@@ -1,0 +1,307 @@
+//! The emotion model: discrete labels, the Russell circumplex embedding, and
+//! the cognitive states used by the uulmMAC video-playback case study.
+//!
+//! The paper quantifies affect with the two/three-dimensional Russell
+//! circumplex model (Fig. 1): *valence* is the pleasure axis, *arousal* the
+//! activation axis, and *dominance* the control axis. Discrete classifier
+//! labels (happy, angry, …) are points in this space; the "mood angle" in the
+//! valence–arousal plane identifies the circumplex octant.
+
+use std::fmt;
+
+/// Discrete emotion labels, following the RAVDESS label set the paper's
+/// classifiers are trained on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Emotion {
+    /// Flat affect; the reference class.
+    Neutral,
+    /// Low-arousal positive.
+    Calm,
+    /// High-arousal positive.
+    Happy,
+    /// Low-arousal negative.
+    Sad,
+    /// High-arousal negative, high dominance.
+    Angry,
+    /// High-arousal negative, low dominance.
+    Fearful,
+    /// Negative valence, moderate arousal.
+    Disgust,
+    /// High arousal, mid valence.
+    Surprised,
+}
+
+impl Emotion {
+    /// All emotion labels in canonical (class-index) order.
+    pub const ALL: [Emotion; 8] = [
+        Emotion::Neutral,
+        Emotion::Calm,
+        Emotion::Happy,
+        Emotion::Sad,
+        Emotion::Angry,
+        Emotion::Fearful,
+        Emotion::Disgust,
+        Emotion::Surprised,
+    ];
+
+    /// Stable class index of this label (the classifier's output index).
+    pub fn index(self) -> usize {
+        Emotion::ALL
+            .iter()
+            .position(|&e| e == self)
+            .expect("every emotion is in ALL")
+    }
+
+    /// Label for a class index, or `None` when out of range.
+    pub fn from_index(index: usize) -> Option<Emotion> {
+        Emotion::ALL.get(index).copied()
+    }
+
+    /// Canonical lowercase name (used in dataset specs and reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            Emotion::Neutral => "neutral",
+            Emotion::Calm => "calm",
+            Emotion::Happy => "happy",
+            Emotion::Sad => "sad",
+            Emotion::Angry => "angry",
+            Emotion::Fearful => "fearful",
+            Emotion::Disgust => "disgust",
+            Emotion::Surprised => "surprised",
+        }
+    }
+
+    /// The Russell-circumplex embedding of this label.
+    ///
+    /// Coordinates are in `[-1, 1]` per axis, placed per the standard
+    /// circumplex layout (Fig. 1(a) of the paper).
+    pub fn to_vector(self) -> EmotionVector {
+        match self {
+            Emotion::Neutral => EmotionVector::new(0.0, 0.0, 0.0),
+            Emotion::Calm => EmotionVector::new(0.6, -0.6, 0.2),
+            Emotion::Happy => EmotionVector::new(0.8, 0.5, 0.4),
+            Emotion::Sad => EmotionVector::new(-0.7, -0.5, -0.4),
+            Emotion::Angry => EmotionVector::new(-0.6, 0.8, 0.5),
+            Emotion::Fearful => EmotionVector::new(-0.7, 0.7, -0.6),
+            Emotion::Disgust => EmotionVector::new(-0.6, 0.3, 0.1),
+            Emotion::Surprised => EmotionVector::new(0.3, 0.8, -0.1),
+        }
+    }
+
+    /// `true` for labels in the high-arousal half-plane (arousal > 0).
+    pub fn is_high_arousal(self) -> bool {
+        self.to_vector().arousal > 0.0
+    }
+
+    /// `true` for labels in the positive-valence half-plane.
+    pub fn is_positive(self) -> bool {
+        self.to_vector().valence > 0.0
+    }
+}
+
+impl fmt::Display for Emotion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A point in Russell's circumplex space.
+///
+/// # Example
+///
+/// ```
+/// use affect_core::emotion::{Emotion, EmotionVector};
+/// let v = Emotion::Happy.to_vector();
+/// assert!(v.valence > 0.0 && v.arousal > 0.0);
+/// let nearest = v.nearest_emotion();
+/// assert_eq!(nearest, Emotion::Happy);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EmotionVector {
+    /// Pleasure axis, `[-1, 1]`.
+    pub valence: f32,
+    /// Activation axis, `[-1, 1]`.
+    pub arousal: f32,
+    /// Control axis, `[-1, 1]`.
+    pub dominance: f32,
+}
+
+impl EmotionVector {
+    /// Creates a vector, clamping each axis to `[-1, 1]`.
+    pub fn new(valence: f32, arousal: f32, dominance: f32) -> Self {
+        Self {
+            valence: valence.clamp(-1.0, 1.0),
+            arousal: arousal.clamp(-1.0, 1.0),
+            dominance: dominance.clamp(-1.0, 1.0),
+        }
+    }
+
+    /// Mood angle in radians in the valence–arousal plane, measured
+    /// counter-clockwise from the positive-valence axis (the paper's
+    /// circumplex angle).
+    pub fn mood_angle(&self) -> f32 {
+        self.arousal.atan2(self.valence)
+    }
+
+    /// Euclidean distance to another point in the 3-D affect space.
+    pub fn distance(&self, other: &EmotionVector) -> f32 {
+        ((self.valence - other.valence).powi(2)
+            + (self.arousal - other.arousal).powi(2)
+            + (self.dominance - other.dominance).powi(2))
+        .sqrt()
+    }
+
+    /// The discrete label whose embedding is nearest to this point.
+    pub fn nearest_emotion(&self) -> Emotion {
+        *Emotion::ALL
+            .iter()
+            .min_by(|a, b| {
+                self.distance(&a.to_vector())
+                    .total_cmp(&self.distance(&b.to_vector()))
+            })
+            .expect("ALL is non-empty")
+    }
+}
+
+/// Cognitive/attentional states from the uulmMAC-style labelled session used
+/// in the video-playback experiment (paper Fig. 6: distracted 0–14 min,
+/// concentrated 14–20 min, tense 20–29 min, relaxed 29–40 min).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CognitiveState {
+    /// Attention away from the screen — quality is not critical.
+    Distracted,
+    /// Engaged with the content — quality matters.
+    Concentrated,
+    /// High-stress engagement — maximum quality (paper: standard mode).
+    Tense,
+    /// At ease — quality can be traded for power.
+    Relaxed,
+}
+
+impl CognitiveState {
+    /// All cognitive states in canonical order.
+    pub const ALL: [CognitiveState; 4] = [
+        CognitiveState::Distracted,
+        CognitiveState::Concentrated,
+        CognitiveState::Tense,
+        CognitiveState::Relaxed,
+    ];
+
+    /// Canonical lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CognitiveState::Distracted => "distracted",
+            CognitiveState::Concentrated => "concentrated",
+            CognitiveState::Tense => "tense",
+            CognitiveState::Relaxed => "relaxed",
+        }
+    }
+
+    /// How much the user cares about video quality right now, `[0, 1]`.
+    ///
+    /// This is the scalar the affect-adaptive decoder policy keys on:
+    /// distracted < relaxed < concentrated < tense.
+    pub fn quality_demand(self) -> f32 {
+        match self {
+            CognitiveState::Distracted => 0.1,
+            CognitiveState::Relaxed => 0.4,
+            CognitiveState::Concentrated => 0.75,
+            CognitiveState::Tense => 1.0,
+        }
+    }
+}
+
+impl fmt::Display for CognitiveState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_round_trips() {
+        for e in Emotion::ALL {
+            assert_eq!(Emotion::from_index(e.index()), Some(e));
+        }
+        assert_eq!(Emotion::from_index(8), None);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = Emotion::ALL.iter().map(|e| e.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 8);
+    }
+
+    #[test]
+    fn circumplex_quadrants_match_psychology() {
+        assert!(Emotion::Happy.is_positive() && Emotion::Happy.is_high_arousal());
+        assert!(!Emotion::Sad.is_positive() && !Emotion::Sad.is_high_arousal());
+        assert!(!Emotion::Angry.is_positive() && Emotion::Angry.is_high_arousal());
+        assert!(Emotion::Calm.is_positive() && !Emotion::Calm.is_high_arousal());
+    }
+
+    #[test]
+    fn vectors_clamped() {
+        let v = EmotionVector::new(2.0, -3.0, 0.5);
+        assert_eq!(v.valence, 1.0);
+        assert_eq!(v.arousal, -1.0);
+    }
+
+    #[test]
+    fn mood_angle_quadrants() {
+        // Happy: first quadrant -> angle in (0, pi/2).
+        let a = Emotion::Happy.to_vector().mood_angle();
+        assert!(a > 0.0 && a < std::f32::consts::FRAC_PI_2);
+        // Angry: second quadrant.
+        let a = Emotion::Angry.to_vector().mood_angle();
+        assert!(a > std::f32::consts::FRAC_PI_2 && a < std::f32::consts::PI);
+    }
+
+    #[test]
+    fn nearest_emotion_is_self_for_all_labels() {
+        for e in Emotion::ALL {
+            assert_eq!(e.to_vector().nearest_emotion(), e, "{e}");
+        }
+    }
+
+    #[test]
+    fn nearest_emotion_of_origin_is_neutral() {
+        assert_eq!(EmotionVector::default().nearest_emotion(), Emotion::Neutral);
+    }
+
+    #[test]
+    fn distance_is_metric_like() {
+        let a = Emotion::Happy.to_vector();
+        let b = Emotion::Sad.to_vector();
+        assert_eq!(a.distance(&a), 0.0);
+        assert!((a.distance(&b) - b.distance(&a)).abs() < 1e-6);
+        assert!(a.distance(&b) > 1.0); // opposite quadrants are far apart
+    }
+
+    #[test]
+    fn quality_demand_ordering_matches_paper() {
+        assert!(
+            CognitiveState::Distracted.quality_demand()
+                < CognitiveState::Relaxed.quality_demand()
+        );
+        assert!(
+            CognitiveState::Relaxed.quality_demand()
+                < CognitiveState::Concentrated.quality_demand()
+        );
+        assert!(
+            CognitiveState::Concentrated.quality_demand()
+                < CognitiveState::Tense.quality_demand()
+        );
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(Emotion::Fearful.to_string(), "fearful");
+        assert_eq!(CognitiveState::Tense.to_string(), "tense");
+    }
+}

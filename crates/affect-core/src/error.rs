@@ -1,0 +1,83 @@
+//! Error type for the affect-core crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by fallible affect-core operations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum AffectError {
+    /// A configuration parameter was invalid.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Constraint that was violated.
+        reason: &'static str,
+    },
+    /// The underlying DSP kernel failed.
+    Dsp(dsp::DspError),
+    /// The underlying neural-network layer failed.
+    Nn(nn::NnError),
+    /// The input window was too short for the configured feature extraction.
+    WindowTooShort {
+        /// Samples required.
+        required: usize,
+        /// Samples supplied.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for AffectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AffectError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            AffectError::Dsp(e) => write!(f, "dsp error: {e}"),
+            AffectError::Nn(e) => write!(f, "nn error: {e}"),
+            AffectError::WindowTooShort { required, actual } => {
+                write!(f, "window too short: need {required} samples, got {actual}")
+            }
+        }
+    }
+}
+
+impl Error for AffectError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            AffectError::Dsp(e) => Some(e),
+            AffectError::Nn(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<dsp::DspError> for AffectError {
+    fn from(e: dsp::DspError) -> Self {
+        AffectError::Dsp(e)
+    }
+}
+
+impl From<nn::NnError> for AffectError {
+    fn from(e: nn::NnError) -> Self {
+        AffectError::Nn(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<AffectError>();
+    }
+
+    #[test]
+    fn wraps_sources() {
+        let e: AffectError = dsp::DspError::EmptyInput.into();
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("dsp"));
+    }
+}

@@ -1,0 +1,461 @@
+//! Feature extraction from raw signal windows into model-ready tensors.
+//!
+//! The paper's front end computes "Mel-frequency cepstral coefficients
+//! (MFCC), zero crossing, root-mean-square deviation (rmse), sound pitch,
+//! and magnitude" per analysis frame. [`FeaturePipeline`] implements exactly
+//! that set and packages it three ways, one per classifier family:
+//!
+//! * a `[frames, features]` sequence for the LSTM,
+//! * a `[1, frames × features]` strip for the 1-D CNN,
+//! * a flat statistics vector (mean/std/min/max per feature) for the MLP.
+
+use crate::AffectError;
+use dsp::{pitch_autocorrelation, rms, spectral_magnitude, zero_crossing_rate, Frames, MfccExtractor};
+use nn::Tensor;
+
+/// Configuration of the feature front end.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureConfig {
+    /// Input sample rate in hertz.
+    pub sample_rate: f32,
+    /// Analysis frame length in samples (must be a power of two).
+    pub frame_len: usize,
+    /// Hop between frames in samples.
+    pub hop: usize,
+    /// Number of MFCC coefficients per frame.
+    pub n_mfcc: usize,
+    /// Number of mel filterbank bands.
+    pub n_mels: usize,
+    /// Pitch search range in hertz.
+    pub pitch_range: (f32, f32),
+    /// Append per-frame delta (Δ) features: the frame-to-frame difference
+    /// of every base feature, doubling the feature dimensionality. Deltas
+    /// capture articulation dynamics the sequence models exploit.
+    pub deltas: bool,
+}
+
+impl Default for FeatureConfig {
+    fn default() -> Self {
+        Self {
+            sample_rate: 16_000.0,
+            frame_len: 512,
+            hop: 256,
+            n_mfcc: 13,
+            n_mels: 26,
+            pitch_range: (60.0, 500.0),
+            deltas: false,
+        }
+    }
+}
+
+/// Stateless feature extractor built from a [`FeatureConfig`].
+///
+/// # Example
+///
+/// ```
+/// use affect_core::pipeline::{FeatureConfig, FeaturePipeline};
+/// # fn main() -> Result<(), affect_core::AffectError> {
+/// let pipeline = FeaturePipeline::new(FeatureConfig::default())?;
+/// let window: Vec<f32> = (0..4096)
+///     .map(|i| (2.0 * std::f32::consts::PI * 220.0 * i as f32 / 16_000.0).sin())
+///     .collect();
+/// let seq = pipeline.extract_sequence(&window)?;
+/// assert_eq!(seq.shape()[1], pipeline.features_per_frame());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct FeaturePipeline {
+    config: FeatureConfig,
+    mfcc: MfccExtractor,
+}
+
+/// Number of non-MFCC scalar features per frame: ZCR, RMS, pitch, spectral
+/// mean, spectral peak, spectral centroid.
+const EXTRA_FEATURES: usize = 6;
+
+impl FeaturePipeline {
+    /// Builds the pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AffectError::InvalidParameter`] for a zero hop and
+    /// propagates MFCC-extractor validation errors (non-power-of-two frame,
+    /// bad filterbank sizing).
+    pub fn new(config: FeatureConfig) -> Result<Self, AffectError> {
+        if config.hop == 0 {
+            return Err(AffectError::InvalidParameter {
+                name: "hop",
+                reason: "must be non-zero",
+            });
+        }
+        let mfcc = MfccExtractor::new(
+            config.sample_rate,
+            config.frame_len,
+            config.n_mels,
+            config.n_mfcc,
+        )?;
+        Ok(Self { config, mfcc })
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &FeatureConfig {
+        &self.config
+    }
+
+    /// Feature dimensionality per analysis frame (doubled when delta
+    /// features are enabled).
+    pub fn features_per_frame(&self) -> usize {
+        let base = self.config.n_mfcc + EXTRA_FEATURES;
+        if self.config.deltas {
+            2 * base
+        } else {
+            base
+        }
+    }
+
+    /// Number of frames a window of `samples` samples produces.
+    pub fn frames_for(&self, samples: usize) -> usize {
+        if samples < self.config.frame_len {
+            0
+        } else {
+            (samples - self.config.frame_len) / self.config.hop + 1
+        }
+    }
+
+    /// Extracts the per-frame feature matrix `[frames, features]` — the
+    /// LSTM's input layout.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AffectError::WindowTooShort`] when the window yields no
+    /// full frame.
+    pub fn extract_sequence(&self, window: &[f32]) -> Result<Tensor, AffectError> {
+        let n_frames = self.frames_for(window.len());
+        if n_frames == 0 {
+            return Err(AffectError::WindowTooShort {
+                required: self.config.frame_len,
+                actual: window.len(),
+            });
+        }
+        let fpf = self.features_per_frame();
+        let base_fpf = self.config.n_mfcc + EXTRA_FEATURES;
+        let mut data = Vec::with_capacity(n_frames * fpf);
+        let (min_hz, max_hz) = self.config.pitch_range;
+        for frame in Frames::new(window, self.config.frame_len, self.config.hop)? {
+            let mfcc = self.mfcc.extract(frame)?;
+            data.extend_from_slice(&mfcc);
+            data.push(zero_crossing_rate(frame)?);
+            data.push(rms(frame)?);
+            // Pitch normalized to [0, 1] over the search range; 0 = unvoiced.
+            let pitch = match pitch_autocorrelation(frame, self.config.sample_rate, min_hz, max_hz)
+            {
+                Ok(Some(f0)) => (f0 - min_hz) / (max_hz - min_hz),
+                Ok(None) => 0.0,
+                Err(_) => 0.0, // frame shorter than the pitch range needs
+            };
+            data.push(pitch);
+            let spec = spectral_magnitude(frame, self.config.sample_rate)?;
+            data.push(spec.mean);
+            data.push(spec.peak);
+            // Centroid normalized by Nyquist.
+            data.push(spec.centroid_hz / (self.config.sample_rate / 2.0));
+        }
+        if self.config.deltas {
+            // Interleave Δ features after each frame's base features:
+            // Δ_t = base_t - base_{t-1}, with Δ_0 = 0.
+            let mut with_deltas = Vec::with_capacity(n_frames * fpf);
+            for t in 0..n_frames {
+                let row = &data[t * base_fpf..(t + 1) * base_fpf];
+                with_deltas.extend_from_slice(row);
+                if t == 0 {
+                    with_deltas.extend(std::iter::repeat_n(0.0f32, base_fpf));
+                } else {
+                    let prev = &data[(t - 1) * base_fpf..t * base_fpf];
+                    with_deltas.extend(row.iter().zip(prev).map(|(a, b)| a - b));
+                }
+            }
+            return Ok(Tensor::from_vec(with_deltas, &[n_frames, fpf])?);
+        }
+        Ok(Tensor::from_vec(data, &[n_frames, fpf])?)
+    }
+
+    /// Extracts the CNN input strip `[1, frames × features]`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`FeaturePipeline::extract_sequence`].
+    pub fn extract_strip(&self, window: &[f32]) -> Result<Tensor, AffectError> {
+        let seq = self.extract_sequence(window)?;
+        let len = seq.len();
+        Ok(Tensor::from_vec(seq.into_vec(), &[1, len])?)
+    }
+
+    /// Extracts the MLP's flat statistics vector: mean, standard deviation,
+    /// minimum and maximum of each per-frame feature across frames
+    /// (`4 × features_per_frame()` values).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`FeaturePipeline::extract_sequence`].
+    pub fn extract_flat(&self, window: &[f32]) -> Result<Tensor, AffectError> {
+        let seq = self.extract_sequence(window)?;
+        let (n_frames, fpf) = (seq.shape()[0], seq.shape()[1]);
+        let mut data = Vec::with_capacity(4 * fpf);
+        for f in 0..fpf {
+            let column: Vec<f32> = (0..n_frames).map(|t| seq.data()[t * fpf + f]).collect();
+            let mean = dsp::stats::mean(&column)?;
+            let std = dsp::stats::std_dev(&column)?;
+            let (lo, hi) = dsp::stats::min_max(&column)?;
+            data.extend_from_slice(&[mean, std, lo, hi]);
+        }
+        Ok(Tensor::from_vec(data, &[4 * fpf])?)
+    }
+
+    /// Flat feature dimensionality produced by
+    /// [`FeaturePipeline::extract_flat`].
+    pub fn flat_dim(&self) -> usize {
+        4 * self.features_per_frame()
+    }
+}
+
+/// Feature dimensionality of [`biosignal_window_features`].
+pub const BIOSIGNAL_FEATURES: usize = 8;
+
+/// Extracts the paper's "time-based features such as mean, histogram, and
+/// variance" from a slow biosignal window (skin conductance, heart rate…):
+///
+/// `[mean, std, min, max, slope, mean |Δ|, upper-half fraction, p90 − p10]`
+///
+/// The slope is the least-squares linear trend per sample; the upper-half
+/// fraction and inter-decile range summarize the histogram. These are the
+/// inputs of the cognitive-state classifier in the Fig. 6 closed-loop
+/// experiment.
+///
+/// # Errors
+///
+/// Returns [`AffectError::WindowTooShort`] for windows under 4 samples.
+///
+/// # Example
+///
+/// ```
+/// use affect_core::pipeline::{biosignal_window_features, BIOSIGNAL_FEATURES};
+/// # fn main() -> Result<(), affect_core::AffectError> {
+/// let window: Vec<f32> = (0..120).map(|i| 2.0 + 0.01 * i as f32).collect();
+/// let features = biosignal_window_features(&window)?;
+/// assert_eq!(features.len(), BIOSIGNAL_FEATURES);
+/// assert!(features.data()[4] > 0.0); // rising trend
+/// # Ok(())
+/// # }
+/// ```
+pub fn biosignal_window_features(window: &[f32]) -> Result<Tensor, AffectError> {
+    if window.len() < 4 {
+        return Err(AffectError::WindowTooShort {
+            required: 4,
+            actual: window.len(),
+        });
+    }
+    let mean = dsp::stats::mean(window)?;
+    let std = dsp::stats::std_dev(window)?;
+    let (min, max) = dsp::stats::min_max(window)?;
+
+    // Least-squares slope against the sample index.
+    let n = window.len() as f32;
+    let t_mean = (n - 1.0) / 2.0;
+    let mut num = 0.0f32;
+    let mut den = 0.0f32;
+    for (i, &x) in window.iter().enumerate() {
+        let dt = i as f32 - t_mean;
+        num += dt * (x - mean);
+        den += dt * dt;
+    }
+    let slope = if den > 0.0 { num / den } else { 0.0 };
+
+    let mean_abs_delta = window
+        .windows(2)
+        .map(|w| (w[1] - w[0]).abs())
+        .sum::<f32>()
+        / (n - 1.0);
+
+    let mid = (min + max) / 2.0;
+    let upper_fraction = window.iter().filter(|&&x| x > mid).count() as f32 / n;
+
+    let mut sorted = window.to_vec();
+    sorted.sort_by(f32::total_cmp);
+    let p10 = sorted[(0.1 * (n - 1.0)) as usize];
+    let p90 = sorted[(0.9 * (n - 1.0)) as usize];
+
+    Ok(Tensor::from_vec(
+        vec![
+            mean,
+            std,
+            min,
+            max,
+            slope,
+            mean_abs_delta,
+            upper_fraction,
+            p90 - p10,
+        ],
+        &[BIOSIGNAL_FEATURES],
+    )?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tone(hz: f32, samples: usize) -> Vec<f32> {
+        (0..samples)
+            .map(|i| (2.0 * std::f32::consts::PI * hz * i as f32 / 16_000.0).sin())
+            .collect()
+    }
+
+    #[test]
+    fn rejects_zero_hop() {
+        let cfg = FeatureConfig {
+            hop: 0,
+            ..FeatureConfig::default()
+        };
+        assert!(FeaturePipeline::new(cfg).is_err());
+    }
+
+    #[test]
+    fn rejects_short_window() {
+        let p = FeaturePipeline::new(FeatureConfig::default()).unwrap();
+        assert!(matches!(
+            p.extract_sequence(&[0.0; 100]),
+            Err(AffectError::WindowTooShort { .. })
+        ));
+    }
+
+    #[test]
+    fn sequence_shape_matches_frame_math() {
+        let p = FeaturePipeline::new(FeatureConfig::default()).unwrap();
+        let window = tone(220.0, 4096);
+        let seq = p.extract_sequence(&window).unwrap();
+        assert_eq!(seq.shape(), &[p.frames_for(4096), p.features_per_frame()]);
+        assert_eq!(p.frames_for(4096), (4096 - 512) / 256 + 1);
+    }
+
+    #[test]
+    fn strip_is_flattened_sequence() {
+        let p = FeaturePipeline::new(FeatureConfig::default()).unwrap();
+        let window = tone(330.0, 2048);
+        let seq = p.extract_sequence(&window).unwrap();
+        let strip = p.extract_strip(&window).unwrap();
+        assert_eq!(strip.shape(), &[1, seq.len()]);
+        assert_eq!(strip.data(), seq.data());
+    }
+
+    #[test]
+    fn flat_dim_is_four_per_feature() {
+        let p = FeaturePipeline::new(FeatureConfig::default()).unwrap();
+        let flat = p.extract_flat(&tone(220.0, 4096)).unwrap();
+        assert_eq!(flat.shape(), &[p.flat_dim()]);
+        assert_eq!(p.flat_dim(), 4 * (13 + 6));
+    }
+
+    #[test]
+    fn features_separate_tones() {
+        let p = FeaturePipeline::new(FeatureConfig::default()).unwrap();
+        let a = p.extract_flat(&tone(150.0, 4096)).unwrap();
+        let b = p.extract_flat(&tone(450.0, 4096)).unwrap();
+        let dist: f32 = a
+            .data()
+            .iter()
+            .zip(b.data())
+            .map(|(x, y)| (x - y).powi(2))
+            .sum();
+        assert!(dist > 0.1, "features too similar: {dist}");
+    }
+
+    #[test]
+    fn pitch_feature_tracks_f0() {
+        let p = FeaturePipeline::new(FeatureConfig::default()).unwrap();
+        let seq = p.extract_sequence(&tone(250.0, 4096)).unwrap();
+        let fpf = p.features_per_frame();
+        // Pitch is feature index n_mfcc + 2.
+        let pitch_idx = 13 + 2;
+        let pitch = seq.data()[pitch_idx];
+        let expected = (250.0 - 60.0) / (500.0 - 60.0);
+        assert!((pitch - expected).abs() < 0.1, "{pitch} vs {expected}");
+        // All frames agree for a stationary tone.
+        for t in 1..seq.shape()[0] {
+            assert!((seq.data()[t * fpf + pitch_idx] - pitch).abs() < 0.05);
+        }
+    }
+
+    #[test]
+    fn delta_features_double_the_dimension() {
+        let base = FeaturePipeline::new(FeatureConfig::default()).unwrap();
+        let with = FeaturePipeline::new(FeatureConfig {
+            deltas: true,
+            ..FeatureConfig::default()
+        })
+        .unwrap();
+        assert_eq!(with.features_per_frame(), 2 * base.features_per_frame());
+        let window = tone(220.0, 2048);
+        let seq = with.extract_sequence(&window).unwrap();
+        assert_eq!(seq.shape()[1], with.features_per_frame());
+    }
+
+    #[test]
+    fn delta_features_are_frame_differences() {
+        let p = FeaturePipeline::new(FeatureConfig {
+            deltas: true,
+            ..FeatureConfig::default()
+        })
+        .unwrap();
+        let base_p = FeaturePipeline::new(FeatureConfig::default()).unwrap();
+        let window = tone(300.0, 2048);
+        let seq = p.extract_sequence(&window).unwrap();
+        let base = base_p.extract_sequence(&window).unwrap();
+        let bf = base_p.features_per_frame();
+        let fpf = p.features_per_frame();
+        // Frame 0 deltas are zero.
+        for k in 0..bf {
+            assert_eq!(seq.data()[bf + k], 0.0);
+        }
+        // Frame 1 deltas equal base_1 - base_0.
+        for k in 0..bf {
+            let expected = base.data()[bf + k] - base.data()[k];
+            assert!((seq.data()[fpf + bf + k] - expected).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn biosignal_features_shape_and_trend() {
+        let rising: Vec<f32> = (0..100).map(|i| i as f32 * 0.1).collect();
+        let f = biosignal_window_features(&rising).unwrap();
+        assert_eq!(f.len(), BIOSIGNAL_FEATURES);
+        assert!((f.data()[4] - 0.1).abs() < 1e-4, "slope {}", f.data()[4]);
+        let falling: Vec<f32> = rising.iter().rev().copied().collect();
+        let g = biosignal_window_features(&falling).unwrap();
+        assert!(g.data()[4] < 0.0);
+    }
+
+    #[test]
+    fn biosignal_features_reject_tiny_windows() {
+        assert!(biosignal_window_features(&[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn biosignal_features_separate_arousal_levels() {
+        // Bursty high-arousal-like window vs a flat one.
+        let flat = vec![2.0f32; 200];
+        let bursty: Vec<f32> = (0..200)
+            .map(|i| 2.0 + if i % 40 < 8 { 0.8 } else { 0.0 })
+            .collect();
+        let a = biosignal_window_features(&flat).unwrap();
+        let b = biosignal_window_features(&bursty).unwrap();
+        assert!(b.data()[1] > a.data()[1]); // std
+        assert!(b.data()[5] > a.data()[5]); // mean |delta|
+    }
+
+    #[test]
+    fn silence_produces_finite_features() {
+        let p = FeaturePipeline::new(FeatureConfig::default()).unwrap();
+        let flat = p.extract_flat(&vec![0.0; 2048]).unwrap();
+        assert!(flat.data().iter().all(|v| v.is_finite()));
+    }
+}

@@ -1,0 +1,187 @@
+//! Debouncing of the raw classifier output stream.
+//!
+//! Per-window classifications are noisy; flipping decoder modes or app
+//! rankings on every misclassified window would cost more than it saves.
+//! [`MajoritySmoother`] emits a state change only when a new label wins a
+//! majority of the recent window *and* the current state has dwelled for a
+//! minimum number of observations.
+
+use crate::AffectError;
+use std::collections::VecDeque;
+
+/// Majority-vote smoother with minimum dwell.
+///
+/// Generic over the label type so it serves both [`crate::Emotion`] and
+/// [`crate::CognitiveState`] streams.
+///
+/// # Example
+///
+/// ```
+/// use affect_core::emotion::Emotion;
+/// use affect_core::smoothing::MajoritySmoother;
+/// # fn main() -> Result<(), affect_core::AffectError> {
+/// let mut s = MajoritySmoother::new(3, 0)?;
+/// assert_eq!(s.push(Emotion::Happy), Some(Emotion::Happy)); // first observation latches
+/// assert_eq!(s.push(Emotion::Angry), None); // one outlier ignored
+/// assert_eq!(s.push(Emotion::Angry), Some(Emotion::Angry)); // majority flips
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct MajoritySmoother<T> {
+    window: VecDeque<T>,
+    capacity: usize,
+    min_dwell: usize,
+    current: Option<T>,
+    dwell: usize,
+}
+
+impl<T: Copy + Eq> MajoritySmoother<T> {
+    /// Creates a smoother voting over the last `window` observations and
+    /// requiring `min_dwell` observations since the last change before
+    /// allowing another change.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AffectError::InvalidParameter`] when `window` is zero.
+    pub fn new(window: usize, min_dwell: usize) -> Result<Self, AffectError> {
+        if window == 0 {
+            return Err(AffectError::InvalidParameter {
+                name: "window",
+                reason: "must be non-zero",
+            });
+        }
+        Ok(Self {
+            window: VecDeque::with_capacity(window),
+            capacity: window,
+            min_dwell,
+            current: None,
+            dwell: 0,
+        })
+    }
+
+    /// The smoothed state, if any observation has arrived.
+    pub fn current(&self) -> Option<T> {
+        self.current
+    }
+
+    /// Pushes one raw observation; returns `Some(new_state)` when the
+    /// smoothed state changes (including the first latch), `None` otherwise.
+    pub fn push(&mut self, label: T) -> Option<T> {
+        if self.window.len() == self.capacity {
+            self.window.pop_front();
+        }
+        self.window.push_back(label);
+        self.dwell += 1;
+
+        let winner = self.majority()?;
+        match self.current {
+            None => {
+                self.current = Some(winner);
+                self.dwell = 1;
+                Some(winner)
+            }
+            Some(cur) if cur != winner && self.dwell >= self.min_dwell => {
+                self.current = Some(winner);
+                self.dwell = 1;
+                Some(winner)
+            }
+            _ => None,
+        }
+    }
+
+    /// Label holding a strict majority of the current window, if any.
+    fn majority(&self) -> Option<T> {
+        let need = self.window.len() / 2 + 1;
+        for candidate in &self.window {
+            let count = self.window.iter().filter(|&l| l == candidate).count();
+            if count >= need {
+                return Some(*candidate);
+            }
+        }
+        None
+    }
+
+    /// Clears all state.
+    pub fn reset(&mut self) {
+        self.window.clear();
+        self.current = None;
+        self.dwell = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::emotion::Emotion;
+
+    #[test]
+    fn rejects_zero_window() {
+        assert!(MajoritySmoother::<Emotion>::new(0, 0).is_err());
+    }
+
+    #[test]
+    fn first_observation_latches() {
+        let mut s = MajoritySmoother::new(5, 0).unwrap();
+        assert_eq!(s.push(Emotion::Sad), Some(Emotion::Sad));
+        assert_eq!(s.current(), Some(Emotion::Sad));
+    }
+
+    #[test]
+    fn single_outlier_ignored() {
+        let mut s = MajoritySmoother::new(5, 0).unwrap();
+        s.push(Emotion::Happy);
+        s.push(Emotion::Happy);
+        s.push(Emotion::Happy);
+        assert_eq!(s.push(Emotion::Angry), None);
+        assert_eq!(s.current(), Some(Emotion::Happy));
+    }
+
+    #[test]
+    fn sustained_change_flips_state() {
+        let mut s = MajoritySmoother::new(3, 0).unwrap();
+        s.push(Emotion::Happy);
+        s.push(Emotion::Happy);
+        s.push(Emotion::Happy);
+        assert_eq!(s.push(Emotion::Sad), None);
+        // Window now [happy, sad, sad] -> sad wins.
+        assert_eq!(s.push(Emotion::Sad), Some(Emotion::Sad));
+    }
+
+    #[test]
+    fn min_dwell_blocks_rapid_flips() {
+        let mut s = MajoritySmoother::new(1, 3).unwrap();
+        assert_eq!(s.push(Emotion::Happy), Some(Emotion::Happy));
+        // Window of 1 means each push is an instant majority, but dwell
+        // gates the flip until 3 observations since the last change passed.
+        assert_eq!(s.push(Emotion::Sad), None);
+        assert_eq!(s.push(Emotion::Sad), Some(Emotion::Sad));
+    }
+
+    #[test]
+    fn no_majority_no_change() {
+        let mut s = MajoritySmoother::new(4, 0).unwrap();
+        s.push(Emotion::Happy);
+        s.push(Emotion::Happy);
+        s.push(Emotion::Sad);
+        // Window [happy, happy, sad]: happy has 2 of 3 -> majority. Add one
+        // more distinct label to break it: [happy, happy, sad, angry].
+        assert_eq!(s.push(Emotion::Angry), None);
+        assert_eq!(s.current(), Some(Emotion::Happy));
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut s = MajoritySmoother::new(3, 0).unwrap();
+        s.push(Emotion::Happy);
+        s.reset();
+        assert_eq!(s.current(), None);
+        assert_eq!(s.push(Emotion::Sad), Some(Emotion::Sad));
+    }
+
+    #[test]
+    fn works_with_integers_too() {
+        let mut s = MajoritySmoother::new(3, 0).unwrap();
+        assert_eq!(s.push(7u32), Some(7));
+    }
+}

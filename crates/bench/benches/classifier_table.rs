@@ -1,0 +1,75 @@
+//! Feature-extraction throughput per classifier layout — the phone-side
+//! per-utterance cost feeding the Fig. 3 study — plus the smoothing-window
+//! ablation of DESIGN.md §7.
+
+use affect_core::emotion::Emotion;
+use affect_core::pipeline::{FeatureConfig, FeaturePipeline};
+use affect_core::smoothing::MajoritySmoother;
+use biosignal::{synthesize_utterance, UtteranceParams};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_extraction(c: &mut Criterion) {
+    let pipeline = FeaturePipeline::new(FeatureConfig {
+        sample_rate: 8_000.0,
+        frame_len: 256,
+        hop: 128,
+        ..FeatureConfig::default()
+    })
+    .unwrap();
+    let window =
+        synthesize_utterance(&UtteranceParams::for_emotion(Emotion::Happy), 1.2, 8_000.0, 1)
+            .unwrap();
+
+    let mut group = c.benchmark_group("feature_extraction");
+    group.bench_function("sequence", |b| {
+        b.iter(|| pipeline.extract_sequence(black_box(&window)).unwrap());
+    });
+    group.bench_function("strip", |b| {
+        b.iter(|| pipeline.extract_strip(black_box(&window)).unwrap());
+    });
+    group.bench_function("flat_stats", |b| {
+        b.iter(|| pipeline.extract_flat(black_box(&window)).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_smoothing_ablation(c: &mut Criterion) {
+    // DESIGN.md §7: smoothing window vs control thrash. Feed a noisy
+    // stream (80% happy, 20% random) and count state changes per window.
+    let noisy: Vec<Emotion> = (0..10_000)
+        .map(|i| {
+            if i % 5 == 4 {
+                Emotion::ALL[i * 7 % 8]
+            } else {
+                Emotion::Happy
+            }
+        })
+        .collect();
+    eprintln!("\nsmoothing-window ablation (state changes over 10k noisy windows):");
+    for window in [1usize, 3, 5, 9] {
+        let mut smoother = MajoritySmoother::new(window, 0).unwrap();
+        let changes = noisy.iter().filter(|&&e| smoother.push(e).is_some()).count();
+        eprintln!("  window {window}: {changes} changes");
+    }
+
+    let mut group = c.benchmark_group("smoother_push");
+    for window in [1usize, 5, 9] {
+        group.bench_with_input(BenchmarkId::from_parameter(window), &noisy, |b, stream| {
+            b.iter(|| {
+                let mut smoother = MajoritySmoother::new(window, 0).unwrap();
+                let mut changes = 0usize;
+                for &e in stream.iter().take(1_000) {
+                    if smoother.push(black_box(e)).is_some() {
+                        changes += 1;
+                    }
+                }
+                changes
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_extraction, bench_smoothing_ablation);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Decode throughput of the four power modes on the calibration clip —
+//! the Fig. 6 (middle) comparison as wall-clock rather than modelled
+//! energy. The workload reduction of the saving modes should show up as a
+//! real speedup here.
+
+use affect_core::policy::VideoPowerMode;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use h264::adaptive::{options_for_mode, paper_reference};
+use h264::decoder::Decoder;
+use std::hint::black_box;
+
+fn bench_modes(c: &mut Criterion) {
+    let (_, stream) = paper_reference(5).unwrap();
+    let mut group = c.benchmark_group("decode_mode");
+    group.sample_size(20);
+    for mode in VideoPowerMode::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(mode),
+            &stream,
+            |b, s| {
+                b.iter(|| {
+                    let mut decoder = Decoder::new(options_for_mode(mode));
+                    decoder.decode(black_box(s)).unwrap()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_modes);
+criterion_main!(benches);

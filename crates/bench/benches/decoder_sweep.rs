@@ -1,0 +1,50 @@
+//! Ablation sweep of the Input Selector parameters (`S_th`, `f`) — the
+//! design-choice study DESIGN.md §7 calls out. Prints the power/quality
+//! frontier alongside the timing measurement.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use h264::adaptive::paper_reference;
+use h264::buffers::SelectorParams;
+use h264::decoder::{Decoder, DecoderOptions};
+use h264::quality::mean_psnr;
+use std::hint::black_box;
+
+fn bench_sweep(c: &mut Criterion) {
+    let (frames, stream) = paper_reference(5).unwrap();
+
+    // Report the frontier once so the bench output doubles as the ablation
+    // table.
+    eprintln!("\nS_th / f ablation (deleted units, psnr):");
+    for s_th in [0usize, 70, 140, 280, 560] {
+        for f in [1u32, 2, 4] {
+            let mut decoder = Decoder::new(DecoderOptions {
+                deblock: true,
+                selector: Some(SelectorParams::new(s_th, f).unwrap()),
+            });
+            let out = decoder.decode(&stream).unwrap();
+            let psnr = mean_psnr(&frames, &out.frames).unwrap();
+            eprintln!(
+                "  s_th {s_th:>4}  f {f}: deleted {:>2}  psnr {psnr:.2} dB",
+                out.selection.deleted_units
+            );
+        }
+    }
+
+    let mut group = c.benchmark_group("selector_sweep");
+    group.sample_size(20);
+    for s_th in [0usize, 140, 560] {
+        group.bench_with_input(BenchmarkId::from_parameter(s_th), &stream, |b, s| {
+            b.iter(|| {
+                let mut decoder = Decoder::new(DecoderOptions {
+                    deblock: true,
+                    selector: Some(SelectorParams::new(s_th, 1).unwrap()),
+                });
+                decoder.decode(black_box(s)).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep);
+criterion_main!(benches);

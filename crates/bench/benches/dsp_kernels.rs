@@ -1,0 +1,41 @@
+//! Kernel benchmarks for the DSP front end (the per-window work the
+//! wearable/phone does for every classification).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsp::{pitch_autocorrelation, rfft_magnitude, MfccExtractor};
+use std::hint::black_box;
+
+fn tone(hz: f32, n: usize, sample_rate: f32) -> Vec<f32> {
+    (0..n)
+        .map(|i| (2.0 * std::f32::consts::PI * hz * i as f32 / sample_rate).sin())
+        .collect()
+}
+
+fn bench_fft(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft_magnitude");
+    for size in [256usize, 512, 1024] {
+        let signal = tone(440.0, size, 16_000.0);
+        group.bench_with_input(BenchmarkId::from_parameter(size), &signal, |b, s| {
+            b.iter(|| rfft_magnitude(black_box(s)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_mfcc(c: &mut Criterion) {
+    let extractor = MfccExtractor::new(16_000.0, 512, 26, 13).unwrap();
+    let frame = tone(220.0, 512, 16_000.0);
+    c.bench_function("mfcc_extract_512", |b| {
+        b.iter(|| extractor.extract(black_box(&frame)).unwrap());
+    });
+}
+
+fn bench_pitch(c: &mut Criterion) {
+    let frame = tone(180.0, 800, 8_000.0);
+    c.bench_function("pitch_autocorrelation_800", |b| {
+        b.iter(|| pitch_autocorrelation(black_box(&frame), 8_000.0, 60.0, 500.0).unwrap());
+    });
+}
+
+criterion_group!(benches, bench_fft, bench_mfcc, bench_pitch);
+criterion_main!(benches);

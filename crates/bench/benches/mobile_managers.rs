@@ -1,0 +1,72 @@
+//! Throughput of the mobile simulator under the three kill policies on
+//! the Fig. 9 workload, plus the Affect-Table learning-rate ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mobile_sim::device::DeviceConfig;
+use mobile_sim::manager::PolicyKind;
+use mobile_sim::monkey::MonkeyScript;
+use mobile_sim::sim::{compare_policies, Simulator};
+use mobile_sim::subjects::SubjectProfile;
+use std::hint::black_box;
+
+fn bench_policies(c: &mut Criterion) {
+    let device = DeviceConfig::paper_emulator();
+    let subject = SubjectProfile::subject3();
+    let workload = MonkeyScript::new(&subject, 5)
+        .paper_fig9()
+        .build(&device)
+        .unwrap();
+
+    let mut group = c.benchmark_group("sim_policy");
+    for kind in [PolicyKind::Fifo, PolicyKind::Lru, PolicyKind::Emotion] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind),
+            &workload,
+            |b, w| {
+                b.iter(|| {
+                    let mut sim =
+                        Simulator::with_subject(device.clone(), kind, &subject, 0.05).unwrap();
+                    sim.run(black_box(w)).unwrap()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_alpha_ablation(c: &mut Criterion) {
+    // DESIGN.md §7: App Affect Table learning rate vs reload savings.
+    let device = DeviceConfig::paper_emulator();
+    let subject = SubjectProfile::subject3();
+    let workload = MonkeyScript::new(&subject, 6)
+        .paper_fig9()
+        .build(&device)
+        .unwrap();
+
+    eprintln!("\nAffect-table EMA alpha ablation (memory saving vs fifo):");
+    for alpha in [0.0f32, 0.02, 0.05, 0.1, 0.3] {
+        let report =
+            compare_policies(&device, &subject, &workload, PolicyKind::Fifo, alpha).unwrap();
+        eprintln!(
+            "  alpha {alpha:>4}: memory saving {:>5.1}%  time saving {:>5.1}%",
+            report.memory_saving() * 100.0,
+            report.time_saving() * 100.0
+        );
+    }
+
+    c.bench_function("compare_policies_alpha_0.05", |b| {
+        b.iter(|| {
+            compare_policies(
+                &device,
+                &subject,
+                black_box(&workload),
+                PolicyKind::Fifo,
+                0.05,
+            )
+            .unwrap()
+        });
+    });
+}
+
+criterion_group!(benches, bench_policies, bench_alpha_ablation);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Inference latency of the three classifier families — the "real-time"
+//! budget a wearable-class deployment must meet — at the scaled profile,
+//! float versus int8-rounded weights.
+
+use affect_core::classifier::ModelConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
+use nn::quant::quantize_weights_in_place;
+use nn::Tensor;
+use std::hint::black_box;
+
+const SEQ_LEN: usize = 73;
+const FEATURES: usize = 19;
+
+fn bench_family(c: &mut Criterion, name: &str, config: ModelConfig, input: Tensor) {
+    let mut float_model = config.build(1).unwrap();
+    let mut int8_model = config.build(1).unwrap();
+    quantize_weights_in_place(&mut int8_model).unwrap();
+
+    let mut group = c.benchmark_group(name);
+    group.bench_function("float", |b| {
+        b.iter(|| float_model.forward(black_box(&input), false).unwrap());
+    });
+    group.bench_function("int8_rounded", |b| {
+        b.iter(|| int8_model.forward(black_box(&input), false).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_models(c: &mut Criterion) {
+    bench_family(
+        c,
+        "mlp_forward",
+        ModelConfig::scaled_mlp(SEQ_LEN * FEATURES, 8),
+        Tensor::zeros(&[SEQ_LEN * FEATURES]).unwrap(),
+    );
+    bench_family(
+        c,
+        "cnn_forward",
+        ModelConfig::scaled_cnn(SEQ_LEN * FEATURES, 8),
+        Tensor::zeros(&[1, SEQ_LEN * FEATURES]).unwrap(),
+    );
+    bench_family(
+        c,
+        "lstm_forward",
+        ModelConfig::scaled_lstm(FEATURES, 8),
+        Tensor::zeros(&[SEQ_LEN, FEATURES]).unwrap(),
+    );
+}
+
+criterion_group!(benches, bench_models);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! End-to-end Fig. 6 playback: the full mode-profile measurement plus the
+//! session replay, as one benchmark unit.
+
+use affect_core::policy::PolicyTable;
+use biosignal::UulmmacSession;
+use criterion::{criterion_group, criterion_main, Criterion};
+use h264::adaptive::{adaptive_playback, paper_reference};
+use std::hint::black_box;
+
+fn bench_playback(c: &mut Criterion) {
+    let (frames, stream) = paper_reference(5).unwrap();
+    let session = UulmmacSession::paper_fig6(5).unwrap();
+    let schedule: Vec<_> = session
+        .segments()
+        .iter()
+        .map(|s| (s.state, s.duration_min()))
+        .collect();
+    let policy = PolicyTable::paper_defaults();
+
+    let mut group = c.benchmark_group("fig6_playback");
+    group.sample_size(10);
+    group.bench_function("adaptive_playback_end_to_end", |b| {
+        b.iter(|| {
+            adaptive_playback(black_box(&stream), &frames, &schedule, &policy).unwrap()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_playback);
+criterion_main!(benches);

@@ -1,0 +1,113 @@
+//! Fig. 10: total memory loaded at app start and total loading time,
+//! emotion-driven versus the system default, averaged over seeds.
+
+use mobile_sim::device::DeviceConfig;
+use mobile_sim::manager::PolicyKind;
+use mobile_sim::monkey::MonkeyScript;
+use mobile_sim::sim::{compare_policies, ComparisonReport};
+use mobile_sim::subjects::SubjectProfile;
+use mobile_sim::SimError;
+
+/// Aggregated Fig. 10 numbers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig10Result {
+    /// Mean bytes loaded at app start, emotion-driven.
+    pub emotion_bytes: f64,
+    /// Mean bytes loaded at app start, baseline.
+    pub baseline_bytes: f64,
+    /// Mean loading seconds, emotion-driven.
+    pub emotion_secs: f64,
+    /// Mean loading seconds, baseline.
+    pub baseline_secs: f64,
+    /// Fractional memory saving (paper: 17%).
+    pub memory_saving: f64,
+    /// Saving of the flash file-loading component (paper: roughly half
+    /// the total saving).
+    pub flash_saving: f64,
+    /// Saving of the app-specific allocated-memory component.
+    pub allocated_saving: f64,
+    /// Fractional loading-time saving (paper: 12%).
+    pub time_saving: f64,
+    /// Seeds averaged.
+    pub runs: usize,
+}
+
+/// Runs the Fig. 10 comparison over `runs` workload seeds and averages.
+///
+/// # Errors
+///
+/// Returns [`SimError::InvalidParameter`] for zero runs; propagates
+/// simulator errors.
+pub fn run(base_seed: u64, runs: usize) -> Result<Fig10Result, SimError> {
+    if runs == 0 {
+        return Err(SimError::InvalidParameter {
+            name: "runs",
+            reason: "must be non-zero",
+        });
+    }
+    let device = DeviceConfig::paper_emulator();
+    let subject = SubjectProfile::subject3();
+    let mut totals = Fig10Result {
+        emotion_bytes: 0.0,
+        baseline_bytes: 0.0,
+        emotion_secs: 0.0,
+        baseline_secs: 0.0,
+        memory_saving: 0.0,
+        flash_saving: 0.0,
+        allocated_saving: 0.0,
+        time_saving: 0.0,
+        runs,
+    };
+    let mut emotion_flash = 0.0f64;
+    let mut baseline_flash = 0.0f64;
+    let mut emotion_alloc = 0.0f64;
+    let mut baseline_alloc = 0.0f64;
+    for k in 0..runs {
+        let workload = MonkeyScript::new(&subject, base_seed + k as u64)
+            .paper_fig9()
+            .build(&device)?;
+        let report: ComparisonReport =
+            compare_policies(&device, &subject, &workload, PolicyKind::Fifo, 0.05)?;
+        totals.emotion_bytes += report.emotion.loaded_bytes as f64;
+        totals.baseline_bytes += report.baseline.loaded_bytes as f64;
+        totals.emotion_secs += report.emotion.load_time_s;
+        totals.baseline_secs += report.baseline.load_time_s;
+        emotion_flash += report.emotion.flash_bytes as f64;
+        baseline_flash += report.baseline.flash_bytes as f64;
+        emotion_alloc += report.emotion.allocated_bytes as f64;
+        baseline_alloc += report.baseline.allocated_bytes as f64;
+    }
+    let n = runs as f64;
+    totals.emotion_bytes /= n;
+    totals.baseline_bytes /= n;
+    totals.emotion_secs /= n;
+    totals.baseline_secs /= n;
+    totals.memory_saving = 1.0 - totals.emotion_bytes / totals.baseline_bytes;
+    totals.flash_saving = 1.0 - emotion_flash / baseline_flash;
+    totals.allocated_saving = 1.0 - emotion_alloc / baseline_alloc;
+    totals.time_saving = 1.0 - totals.emotion_secs / totals.baseline_secs;
+    Ok(totals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_runs_rejected() {
+        assert!(run(0, 0).is_err());
+    }
+
+    #[test]
+    fn savings_positive_and_in_band() {
+        let r = run(100, 3).unwrap();
+        assert!(r.memory_saving > 0.0, "memory {:.3}", r.memory_saving);
+        assert!(r.time_saving > 0.0, "time {:.3}", r.time_saving);
+        // Paper: 17% / 12%. Generous band for workload noise.
+        assert!(r.memory_saving < 0.45);
+        assert!(r.time_saving < 0.40);
+        // Shape: memory saving exceeds time saving (warm starts still pay
+        // the resume latency).
+        assert!(r.memory_saving > r.time_saving);
+    }
+}

@@ -1,0 +1,294 @@
+//! Fig. 3: the classifier study — per-model/per-corpus accuracy (3b), the
+//! LSTM/RAVDESS confusion matrix (3a), and the int8 quantization footprint
+//! and accuracy comparison (3c/3d).
+
+use affect_core::classifier::{ClassifierKind, ModelConfig};
+use affect_core::pipeline::{FeatureConfig, FeaturePipeline};
+use affect_core::AffectError;
+use datasets::{
+    extract_dataset, features::apply_normalization, features::normalize_in_place, Corpus,
+    CorpusSpec, DatasetError, FeatureLayout, TrainTestSplit,
+};
+use nn::metrics::{accuracy, ConfusionMatrix};
+use nn::optim::Adam;
+use nn::quant::{quantize_weights_in_place, QuantReport};
+use nn::train::{fit, FitConfig};
+use nn::{Sequential, Tensor};
+
+/// Experiment scale knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig3Config {
+    /// Actors per corpus (caps the spec's actor count).
+    pub max_actors: usize,
+    /// Utterances per actor per emotion.
+    pub utterances: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Fig3Config {
+    /// Fast profile for tests (~seconds per model).
+    pub fn quick() -> Self {
+        Self {
+            max_actors: 4,
+            utterances: 2,
+            epochs: 12,
+            seed: 7,
+        }
+    }
+
+    /// The profile the repro harness uses (~a minute per model in release).
+    pub fn full() -> Self {
+        Self {
+            max_actors: 10,
+            utterances: 3,
+            epochs: 30,
+            seed: 7,
+        }
+    }
+}
+
+/// Result of training one classifier family on one corpus.
+#[derive(Debug, Clone)]
+pub struct ClassifierResult {
+    /// Model family.
+    pub kind: ClassifierKind,
+    /// Corpus display name.
+    pub corpus: String,
+    /// Float test accuracy.
+    pub accuracy: f32,
+    /// Test accuracy after int8 weight quantization.
+    pub int8_accuracy: f32,
+    /// Quantization storage report (Fig. 3(c) for this model).
+    pub quant: QuantReport,
+    /// Confusion matrix of the float model on the test split (Fig. 3(a)
+    /// when kind = LSTM and corpus = RAVDESS-like).
+    pub confusion: ConfusionMatrix,
+}
+
+/// Error type of the study (dataset or model errors).
+#[derive(Debug)]
+pub enum Fig3Error {
+    /// Dataset generation/extraction failed.
+    Dataset(DatasetError),
+    /// Model construction/training failed.
+    Affect(AffectError),
+    /// A model-level error.
+    Nn(nn::NnError),
+}
+
+impl std::fmt::Display for Fig3Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Fig3Error::Dataset(e) => write!(f, "dataset: {e}"),
+            Fig3Error::Affect(e) => write!(f, "affect: {e}"),
+            Fig3Error::Nn(e) => write!(f, "nn: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Fig3Error {}
+
+impl From<DatasetError> for Fig3Error {
+    fn from(e: DatasetError) -> Self {
+        Fig3Error::Dataset(e)
+    }
+}
+impl From<AffectError> for Fig3Error {
+    fn from(e: AffectError) -> Self {
+        Fig3Error::Affect(e)
+    }
+}
+impl From<nn::NnError> for Fig3Error {
+    fn from(e: nn::NnError) -> Self {
+        Fig3Error::Nn(e)
+    }
+}
+
+/// Feature pipeline matched to a corpus spec.
+fn pipeline_for(spec: &CorpusSpec) -> Result<FeaturePipeline, AffectError> {
+    FeaturePipeline::new(FeatureConfig {
+        sample_rate: spec.sample_rate,
+        frame_len: 256,
+        hop: 128,
+        n_mfcc: 13,
+        n_mels: 24,
+        pitch_range: (60.0, 500.0),
+        deltas: false,
+    })
+}
+
+/// Builds the scaled model for a family given the dataset's tensor shape.
+fn model_for(
+    kind: ClassifierKind,
+    sample: &Tensor,
+    classes: usize,
+    seed: u64,
+) -> Result<Sequential, AffectError> {
+    let config = match kind {
+        ClassifierKind::Mlp => ModelConfig::scaled_mlp(sample.shape()[0], classes),
+        ClassifierKind::Cnn => ModelConfig::scaled_cnn(sample.shape()[1], classes),
+        ClassifierKind::Lstm => ModelConfig::scaled_lstm(sample.shape()[1], classes),
+    };
+    config.build(seed)
+}
+
+/// Trains and evaluates one `(family, corpus)` cell of Fig. 3(b), also
+/// producing the quantization numbers of Fig. 3(c)/(d) and the confusion
+/// matrix of Fig. 3(a).
+///
+/// # Errors
+///
+/// Propagates dataset, feature and training errors.
+pub fn evaluate_classifier(
+    kind: ClassifierKind,
+    spec: &CorpusSpec,
+    config: &Fig3Config,
+) -> Result<ClassifierResult, Fig3Error> {
+    let spec = spec
+        .clone()
+        .with_actors(spec.actors.min(config.max_actors))
+        .with_utterances(config.utterances);
+    let corpus = Corpus::generate(&spec, config.seed)?;
+    let pipeline = pipeline_for(&spec)?;
+    let layout = FeatureLayout::for_kind(kind);
+    let (xs, ys) = extract_dataset(&corpus, &pipeline, layout)?;
+
+    let split = TrainTestSplit::by_actor(&corpus, 0.25, config.seed)?;
+    let mut train_x = TrainTestSplit::gather(&split.train, &xs);
+    let train_y = TrainTestSplit::gather(&split.train, &ys);
+    let mut test_x = TrainTestSplit::gather(&split.test, &xs);
+    let test_y = TrainTestSplit::gather(&split.test, &ys);
+    // Flat vectors use per-dimension stats; sequence-shaped data uses
+    // per-feature stats pooled over time (robust in the T×F >> samples
+    // regime of the CNN/LSTM inputs).
+    match layout {
+        FeatureLayout::Flat => {
+            let (mean, std) = normalize_in_place(&mut train_x)?;
+            apply_normalization(&mut test_x, &mean, &std)?;
+        }
+        FeatureLayout::Flattened | FeatureLayout::Strip | FeatureLayout::Sequence => {
+            let fpf = pipeline.features_per_frame();
+            let (mean, std) =
+                datasets::features::normalize_features_in_place(&mut train_x, fpf)?;
+            datasets::features::apply_feature_normalization(&mut test_x, &mean, &std)?;
+        }
+    }
+
+    let mut model = model_for(kind, &train_x[0], spec.emotions.len(), config.seed)?;
+    let mut optimizer = Adam::new(0.004);
+    fit(
+        &mut model,
+        &train_x,
+        &train_y,
+        &mut optimizer,
+        &FitConfig {
+            epochs: config.epochs,
+            batch_size: 8,
+            seed: config.seed,
+            verbose: false,
+        },
+    )?;
+
+    let float_accuracy = accuracy(&mut model, &test_x, &test_y)?;
+    let mut confusion = ConfusionMatrix::new(spec.label_names())?;
+    confusion.evaluate(&mut model, &test_x, &test_y)?;
+
+    let quant = quantize_weights_in_place(&mut model)?;
+    let int8_accuracy = accuracy(&mut model, &test_x, &test_y)?;
+
+    Ok(ClassifierResult {
+        kind,
+        corpus: spec.name.clone(),
+        accuracy: float_accuracy,
+        int8_accuracy,
+        quant,
+        confusion,
+    })
+}
+
+/// Runs the full Fig. 3(b) grid: every family on every corpus.
+///
+/// # Errors
+///
+/// Propagates cell errors.
+pub fn full_grid(config: &Fig3Config) -> Result<Vec<ClassifierResult>, Fig3Error> {
+    let mut results = Vec::new();
+    for spec in CorpusSpec::paper_corpora() {
+        for kind in ClassifierKind::ALL {
+            results.push(evaluate_classifier(kind, &spec, config)?);
+        }
+    }
+    Ok(results)
+}
+
+/// Fig. 3(c): float vs int8 weight footprints of the *paper-scale*
+/// configurations (sizes are architecture facts and need no training).
+/// Returns `(kind, float_kb, int8_kb)` rows.
+pub fn paper_weight_sizes() -> Vec<(ClassifierKind, f64, f64)> {
+    [
+        ModelConfig::paper_mlp(),
+        ModelConfig::paper_cnn(),
+        ModelConfig::paper_lstm(),
+    ]
+    .into_iter()
+    .map(|cfg| {
+        let params = cfg.param_count();
+        // Tensor count per architecture: each dense/conv layer has W+b,
+        // each LSTM Wx+Wh+b. Scale overhead is negligible at this size;
+        // approximate with the parameter payload alone plus one scale per
+        // tensor estimated from the config shape.
+        let tensors = match &cfg {
+            ModelConfig::Mlp { hidden, .. } => 2 * (hidden.len() + 1),
+            ModelConfig::Cnn { channels, .. } => 2 * (channels.len() + 2),
+            ModelConfig::Lstm { hidden, .. } => 3 * hidden.len() + 2,
+            _ => 4,
+        };
+        let float_kb = nn::quant::float_weight_bytes(params) as f64 / 1024.0;
+        let int8_kb = nn::quant::int8_weight_bytes(params, tensors) as f64 / 1024.0;
+        (cfg.kind(), float_kb, int8_kb)
+    })
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_cell_beats_chance() {
+        let spec = CorpusSpec::emovo_like();
+        let r = evaluate_classifier(ClassifierKind::Mlp, &spec, &Fig3Config::quick()).unwrap();
+        let chance = 1.0 / spec.emotions.len() as f32;
+        assert!(r.accuracy > chance, "{} <= chance {}", r.accuracy, chance);
+        assert_eq!(r.confusion.num_classes(), 7);
+    }
+
+    #[test]
+    fn quantization_loss_is_small() {
+        let spec = CorpusSpec::emovo_like();
+        let r = evaluate_classifier(ClassifierKind::Mlp, &spec, &Fig3Config::quick()).unwrap();
+        // The paper: under 3% loss. Allow a slightly wider band for the
+        // quick profile's tiny test split.
+        assert!(
+            r.accuracy - r.int8_accuracy <= 0.1,
+            "{} -> {}",
+            r.accuracy,
+            r.int8_accuracy
+        );
+        assert!(r.quant.compression_ratio() > 3.0);
+    }
+
+    #[test]
+    fn paper_sizes_show_4x_compression() {
+        let rows = paper_weight_sizes();
+        assert_eq!(rows.len(), 3);
+        for (kind, float_kb, int8_kb) in rows {
+            let ratio = float_kb / int8_kb;
+            assert!((3.9..=4.1).contains(&ratio), "{kind}: {ratio}");
+            assert!(float_kb > 1000.0, "{kind} paper model should be MB-scale");
+        }
+    }
+}

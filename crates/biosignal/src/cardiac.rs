@@ -1,0 +1,258 @@
+//! Cardiac signal synthesis: PPG and ECG.
+//!
+//! Heart rate rises and heart-rate variability falls with sympathetic
+//! arousal; both effects are encoded here so the classification pipeline can
+//! recover arousal from the smartwatch's PPG/ECG channels.
+
+use crate::noise::gaussian_with;
+use crate::types::SampledSignal;
+use crate::BiosignalError;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Configuration shared by the PPG and ECG generators.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CardiacConfig {
+    /// Output sample rate in hertz.
+    pub sample_rate: f32,
+    /// Resting heart rate in beats/minute (arousal 0).
+    pub resting_hr_bpm: f32,
+    /// Heart rate added at arousal 1.0.
+    pub hr_range_bpm: f32,
+    /// RR-interval jitter (fraction of the interval) at arousal 0; HRV
+    /// shrinks linearly to 25% of this at arousal 1.
+    pub hrv_fraction: f32,
+    /// Additive measurement noise standard deviation.
+    pub noise: f32,
+}
+
+impl Default for CardiacConfig {
+    fn default() -> Self {
+        Self {
+            sample_rate: 64.0,
+            resting_hr_bpm: 62.0,
+            hr_range_bpm: 50.0,
+            hrv_fraction: 0.08,
+            noise: 0.02,
+        }
+    }
+}
+
+impl CardiacConfig {
+    fn validate(&self) -> Result<(), BiosignalError> {
+        if !(self.sample_rate > 0.0) {
+            return Err(BiosignalError::InvalidParameter {
+                name: "sample_rate",
+                reason: "must be positive",
+            });
+        }
+        if !(self.resting_hr_bpm > 20.0) {
+            return Err(BiosignalError::InvalidParameter {
+                name: "resting_hr_bpm",
+                reason: "must exceed 20 bpm",
+            });
+        }
+        Ok(())
+    }
+
+    /// Mean heart rate at an arousal level in `[0, 1]`.
+    pub fn hr_at(&self, arousal: f32) -> f32 {
+        self.resting_hr_bpm + self.hr_range_bpm * arousal.clamp(0.0, 1.0)
+    }
+}
+
+/// Beat onset times (seconds) for a run of `duration_secs` at constant
+/// arousal, with HRV jitter.
+fn beat_times(
+    cfg: &CardiacConfig,
+    arousal: f32,
+    duration_secs: f32,
+    rng: &mut StdRng,
+) -> Vec<f32> {
+    let hr = cfg.hr_at(arousal);
+    let mean_rr = 60.0 / hr;
+    let hrv = cfg.hrv_fraction * (1.0 - 0.75 * arousal.clamp(0.0, 1.0));
+    let mut times = Vec::new();
+    let mut t = 0.0f32;
+    while t < duration_secs {
+        times.push(t);
+        let rr = gaussian_with(rng, mean_rr, mean_rr * hrv).max(0.25 * mean_rr);
+        t += rr;
+    }
+    times
+}
+
+/// Generates a PPG waveform: per beat, a systolic peak followed by a
+/// dicrotic notch, modelled as two Gaussians on the beat-relative phase.
+///
+/// # Errors
+///
+/// Returns [`BiosignalError::InvalidParameter`] for an invalid configuration
+/// or non-positive duration.
+///
+/// # Example
+///
+/// ```
+/// use biosignal::cardiac::{generate_ppg, CardiacConfig};
+/// # fn main() -> Result<(), biosignal::BiosignalError> {
+/// let s = generate_ppg(&CardiacConfig::default(), 0.5, 10.0, 1)?;
+/// assert_eq!(s.len(), 640);
+/// # Ok(())
+/// # }
+/// ```
+pub fn generate_ppg(
+    cfg: &CardiacConfig,
+    arousal: f32,
+    duration_secs: f32,
+    seed: u64,
+) -> Result<SampledSignal, BiosignalError> {
+    cfg.validate()?;
+    if !(duration_secs > 0.0) {
+        return Err(BiosignalError::InvalidParameter {
+            name: "duration_secs",
+            reason: "must be positive",
+        });
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let beats = beat_times(cfg, arousal, duration_secs, &mut rng);
+    let n = (duration_secs * cfg.sample_rate) as usize;
+    let mut samples = vec![0.0f32; n];
+    for window in beats.windows(2) {
+        let (start, end) = (window[0], window[1]);
+        let period = end - start;
+        let a = (start * cfg.sample_rate) as usize;
+        let b = ((end * cfg.sample_rate) as usize).min(n);
+        for (i, s) in samples.iter_mut().enumerate().take(b).skip(a) {
+            let phase = (i as f32 / cfg.sample_rate - start) / period;
+            // Systolic peak at 20% of the cycle, dicrotic bump at 55%.
+            let systolic = (-(phase - 0.2).powi(2) / (2.0 * 0.004)).exp();
+            let dicrotic = 0.35 * (-(phase - 0.55).powi(2) / (2.0 * 0.01)).exp();
+            *s = systolic + dicrotic;
+        }
+    }
+    for s in &mut samples {
+        *s += gaussian_with(&mut rng, 0.0, cfg.noise);
+    }
+    SampledSignal::new(samples, cfg.sample_rate)
+}
+
+/// Generates an ECG waveform as a sum of Gaussian bumps (P, Q, R, S, T) per
+/// beat — the standard phenomenological ECG model.
+///
+/// # Errors
+///
+/// Same conditions as [`generate_ppg`].
+pub fn generate_ecg(
+    cfg: &CardiacConfig,
+    arousal: f32,
+    duration_secs: f32,
+    seed: u64,
+) -> Result<SampledSignal, BiosignalError> {
+    cfg.validate()?;
+    if !(duration_secs > 0.0) {
+        return Err(BiosignalError::InvalidParameter {
+            name: "duration_secs",
+            reason: "must be positive",
+        });
+    }
+    // (phase center, width, amplitude) per wave.
+    const WAVES: [(f32, f32, f32); 5] = [
+        (0.10, 0.020, 0.15),  // P
+        (0.22, 0.008, -0.12), // Q
+        (0.25, 0.008, 1.00),  // R
+        (0.28, 0.008, -0.25), // S
+        (0.45, 0.030, 0.30),  // T
+    ];
+    let mut rng = StdRng::seed_from_u64(seed);
+    let beats = beat_times(cfg, arousal, duration_secs, &mut rng);
+    let n = (duration_secs * cfg.sample_rate) as usize;
+    let mut samples = vec![0.0f32; n];
+    for window in beats.windows(2) {
+        let (start, end) = (window[0], window[1]);
+        let period = end - start;
+        let a = (start * cfg.sample_rate) as usize;
+        let b = ((end * cfg.sample_rate) as usize).min(n);
+        for (i, s) in samples.iter_mut().enumerate().take(b).skip(a) {
+            let phase = (i as f32 / cfg.sample_rate - start) / period;
+            let mut v = 0.0;
+            for (center, width, amp) in WAVES {
+                v += amp * (-(phase - center).powi(2) / (2.0 * width)).exp();
+            }
+            *s = v;
+        }
+    }
+    for s in &mut samples {
+        *s += gaussian_with(&mut rng, 0.0, cfg.noise);
+    }
+    SampledSignal::new(samples, cfg.sample_rate)
+}
+
+/// Estimates heart rate (beats/minute) from a cardiac trace by counting
+/// threshold crossings of the dominant peak.
+pub fn estimate_hr_bpm(signal: &SampledSignal, threshold: f32) -> f32 {
+    let mut beats = 0u32;
+    let mut above = false;
+    for &x in &signal.samples {
+        if x > threshold && !above {
+            beats += 1;
+            above = true;
+        } else if x < threshold * 0.5 {
+            above = false;
+        }
+    }
+    beats as f32 * 60.0 / signal.duration_secs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_config_and_duration() {
+        let bad = CardiacConfig {
+            sample_rate: -1.0,
+            ..CardiacConfig::default()
+        };
+        assert!(generate_ppg(&bad, 0.5, 1.0, 0).is_err());
+        assert!(generate_ecg(&CardiacConfig::default(), 0.5, 0.0, 0).is_err());
+    }
+
+    #[test]
+    fn ppg_hr_tracks_arousal() {
+        let cfg = CardiacConfig::default();
+        let calm = generate_ppg(&cfg, 0.0, 60.0, 2).unwrap();
+        let excited = generate_ppg(&cfg, 1.0, 60.0, 2).unwrap();
+        let hr_calm = estimate_hr_bpm(&calm, 0.6);
+        let hr_excited = estimate_hr_bpm(&excited, 0.6);
+        assert!(
+            (hr_calm - cfg.hr_at(0.0)).abs() < 8.0,
+            "calm hr {hr_calm} vs {}",
+            cfg.hr_at(0.0)
+        );
+        assert!(hr_excited > hr_calm + 30.0, "{hr_calm} vs {hr_excited}");
+    }
+
+    #[test]
+    fn ecg_r_peaks_dominate() {
+        let s = generate_ecg(&CardiacConfig::default(), 0.3, 30.0, 3).unwrap();
+        let hr = estimate_hr_bpm(&s, 0.6);
+        let expected = CardiacConfig::default().hr_at(0.3);
+        assert!((hr - expected).abs() < 10.0, "hr {hr} vs {expected}");
+    }
+
+    #[test]
+    fn signals_deterministic_per_seed() {
+        let cfg = CardiacConfig::default();
+        assert_eq!(
+            generate_ppg(&cfg, 0.4, 5.0, 9).unwrap(),
+            generate_ppg(&cfg, 0.4, 5.0, 9).unwrap()
+        );
+    }
+
+    #[test]
+    fn hr_at_clamps_arousal() {
+        let cfg = CardiacConfig::default();
+        assert_eq!(cfg.hr_at(-1.0), cfg.resting_hr_bpm);
+        assert_eq!(cfg.hr_at(2.0), cfg.resting_hr_bpm + cfg.hr_range_bpm);
+    }
+}

@@ -1,0 +1,52 @@
+//! Error type for the biosignal generators.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by fallible biosignal operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BiosignalError {
+    /// A generator configuration parameter was invalid.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Constraint that was violated.
+        reason: &'static str,
+    },
+    /// A requested time range was empty or inverted.
+    InvalidTimeRange,
+}
+
+impl fmt::Display for BiosignalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BiosignalError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            BiosignalError::InvalidTimeRange => write!(f, "invalid time range"),
+        }
+    }
+}
+
+impl Error for BiosignalError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<BiosignalError>();
+    }
+
+    #[test]
+    fn display_names_parameter() {
+        let e = BiosignalError::InvalidParameter {
+            name: "sample_rate",
+            reason: "must be positive",
+        };
+        assert!(e.to_string().contains("sample_rate"));
+    }
+}

@@ -1,0 +1,133 @@
+//! Common signal container.
+
+use crate::BiosignalError;
+
+/// A uniformly sampled real-valued signal.
+///
+/// # Example
+///
+/// ```
+/// use biosignal::SampledSignal;
+/// # fn main() -> Result<(), biosignal::BiosignalError> {
+/// let s = SampledSignal::new(vec![0.0; 400], 4.0)?;
+/// assert!((s.duration_secs() - 100.0).abs() < 1e-6);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampledSignal {
+    /// Sample values.
+    pub samples: Vec<f32>,
+    /// Sample rate in hertz.
+    pub sample_rate: f32,
+}
+
+impl SampledSignal {
+    /// Wraps samples with their rate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BiosignalError::InvalidParameter`] for a non-positive rate.
+    pub fn new(samples: Vec<f32>, sample_rate: f32) -> Result<Self, BiosignalError> {
+        if !(sample_rate > 0.0) {
+            return Err(BiosignalError::InvalidParameter {
+                name: "sample_rate",
+                reason: "must be positive",
+            });
+        }
+        Ok(Self {
+            samples,
+            sample_rate,
+        })
+    }
+
+    /// Signal duration in seconds.
+    pub fn duration_secs(&self) -> f32 {
+        self.samples.len() as f32 / self.sample_rate
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Returns `true` when the signal has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The sample index for a time in seconds (clamped to the signal end).
+    pub fn index_at(&self, secs: f32) -> usize {
+        ((secs * self.sample_rate) as usize).min(self.samples.len().saturating_sub(1))
+    }
+
+    /// A slice covering `[start_secs, end_secs)`, clamped to the signal.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BiosignalError::InvalidTimeRange`] when `end <= start`.
+    pub fn slice_secs(&self, start_secs: f32, end_secs: f32) -> Result<&[f32], BiosignalError> {
+        if end_secs <= start_secs {
+            return Err(BiosignalError::InvalidTimeRange);
+        }
+        let a = ((start_secs * self.sample_rate) as usize).min(self.samples.len());
+        let b = ((end_secs * self.sample_rate) as usize).min(self.samples.len());
+        Ok(&self.samples[a..b])
+    }
+
+    /// Mean value of the signal; `0.0` for an empty signal.
+    pub fn mean(&self) -> f32 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().sum::<f32>() / self.samples.len() as f32
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_rate() {
+        assert!(SampledSignal::new(vec![], 0.0).is_err());
+        assert!(SampledSignal::new(vec![], -1.0).is_err());
+    }
+
+    #[test]
+    fn duration_math() {
+        let s = SampledSignal::new(vec![0.0; 16_000], 16_000.0).unwrap();
+        assert!((s.duration_secs() - 1.0).abs() < 1e-6);
+        assert_eq!(s.len(), 16_000);
+    }
+
+    #[test]
+    fn slice_by_seconds() {
+        let s = SampledSignal::new((0..100).map(|i| i as f32).collect(), 10.0).unwrap();
+        let mid = s.slice_secs(2.0, 4.0).unwrap();
+        assert_eq!(mid.len(), 20);
+        assert_eq!(mid[0], 20.0);
+        assert!(s.slice_secs(4.0, 2.0).is_err());
+    }
+
+    #[test]
+    fn slice_clamps_to_signal() {
+        let s = SampledSignal::new(vec![1.0; 10], 1.0).unwrap();
+        assert_eq!(s.slice_secs(5.0, 100.0).unwrap().len(), 5);
+    }
+
+    #[test]
+    fn index_at_clamped() {
+        let s = SampledSignal::new(vec![0.0; 10], 2.0).unwrap();
+        assert_eq!(s.index_at(3.0), 6);
+        assert_eq!(s.index_at(100.0), 9);
+    }
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        let s = SampledSignal::new(vec![], 1.0).unwrap();
+        assert_eq!(s.mean(), 0.0);
+        assert!(s.is_empty());
+    }
+}

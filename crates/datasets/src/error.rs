@@ -1,0 +1,75 @@
+//! Error type for the datasets crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by fallible dataset operations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DatasetError {
+    /// A corpus specification parameter was invalid.
+    InvalidSpec {
+        /// Parameter name.
+        name: &'static str,
+        /// Constraint that was violated.
+        reason: &'static str,
+    },
+    /// Signal synthesis failed.
+    Biosignal(biosignal::BiosignalError),
+    /// Feature extraction failed.
+    Affect(affect_core::AffectError),
+    /// A split fraction was outside `(0, 1)` or left a side empty.
+    InvalidSplit(&'static str),
+}
+
+impl fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatasetError::InvalidSpec { name, reason } => {
+                write!(f, "invalid corpus spec `{name}`: {reason}")
+            }
+            DatasetError::Biosignal(e) => write!(f, "signal synthesis failed: {e}"),
+            DatasetError::Affect(e) => write!(f, "feature extraction failed: {e}"),
+            DatasetError::InvalidSplit(msg) => write!(f, "invalid split: {msg}"),
+        }
+    }
+}
+
+impl Error for DatasetError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DatasetError::Biosignal(e) => Some(e),
+            DatasetError::Affect(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<biosignal::BiosignalError> for DatasetError {
+    fn from(e: biosignal::BiosignalError) -> Self {
+        DatasetError::Biosignal(e)
+    }
+}
+
+impl From<affect_core::AffectError> for DatasetError {
+    fn from(e: affect_core::AffectError) -> Self {
+        DatasetError::Affect(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DatasetError>();
+    }
+
+    #[test]
+    fn sources_wired() {
+        let e: DatasetError = biosignal::BiosignalError::InvalidTimeRange.into();
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,330 @@
+//! Feature extraction from a corpus into model-ready tensor datasets.
+
+use crate::corpus::Corpus;
+use crate::DatasetError;
+use affect_core::classifier::ClassifierKind;
+use affect_core::pipeline::FeaturePipeline;
+use nn::Tensor;
+
+/// The tensor layout a classifier family consumes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FeatureLayout {
+    /// Flat statistics vector `[4 × features]` (mean/std/min/max per
+    /// feature) — a compact summary for streaming classification.
+    Flat,
+    /// Flattened sequence `[frames × features]` — for the MLP, which (as
+    /// in the paper, whose 508 k-parameter MLP takes a ~2760-dim input)
+    /// sees the whole sequence but without any temporal weight sharing.
+    Flattened,
+    /// Strip `[1, frames × features]` — for the 1-D CNN.
+    Strip,
+    /// Sequence `[frames, features]` — for the LSTM.
+    Sequence,
+}
+
+impl FeatureLayout {
+    /// The layout each classifier family consumes.
+    pub fn for_kind(kind: ClassifierKind) -> Self {
+        match kind {
+            ClassifierKind::Mlp => FeatureLayout::Flattened,
+            ClassifierKind::Cnn => FeatureLayout::Strip,
+            ClassifierKind::Lstm => FeatureLayout::Sequence,
+        }
+    }
+}
+
+/// Extracts `(inputs, labels)` from every utterance of a corpus in the given
+/// layout.
+///
+/// # Errors
+///
+/// Propagates feature-extraction errors (e.g. an utterance shorter than one
+/// analysis frame).
+///
+/// # Example
+///
+/// ```
+/// use affect_core::pipeline::{FeatureConfig, FeaturePipeline};
+/// use datasets::{extract_dataset, Corpus, CorpusSpec, FeatureLayout};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let spec = CorpusSpec::emovo_like().with_actors(1).with_utterances(1);
+/// let corpus = Corpus::generate(&spec, 1)?;
+/// let pipeline = FeaturePipeline::new(FeatureConfig {
+///     sample_rate: spec.sample_rate,
+///     frame_len: 256,
+///     hop: 128,
+///     ..FeatureConfig::default()
+/// })?;
+/// let (xs, ys) = extract_dataset(&corpus, &pipeline, FeatureLayout::Flat)?;
+/// assert_eq!(xs.len(), ys.len());
+/// assert_eq!(xs[0].shape(), &[pipeline.flat_dim()]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn extract_dataset(
+    corpus: &Corpus,
+    pipeline: &FeaturePipeline,
+    layout: FeatureLayout,
+) -> Result<(Vec<Tensor>, Vec<usize>), DatasetError> {
+    let mut xs = Vec::with_capacity(corpus.len());
+    let mut ys = Vec::with_capacity(corpus.len());
+    for utt in corpus.utterances() {
+        let tensor = match layout {
+            FeatureLayout::Flat => pipeline.extract_flat(&utt.waveform)?,
+            FeatureLayout::Flattened => {
+                let seq = pipeline.extract_sequence(&utt.waveform)?;
+                seq.to_flat()
+            }
+            FeatureLayout::Strip => pipeline.extract_strip(&utt.waveform)?,
+            FeatureLayout::Sequence => pipeline.extract_sequence(&utt.waveform)?,
+        };
+        xs.push(tensor);
+        ys.push(utt.label);
+    }
+    Ok((xs, ys))
+}
+
+/// Per-utterance feature normalization to zero mean / unit variance across
+/// the dataset (per dimension). Greatly stabilizes training of the small
+/// models. Returns the `(mean, std)` vectors so held-out data can reuse
+/// them.
+///
+/// # Errors
+///
+/// Returns [`DatasetError::InvalidSplit`] for an empty dataset or
+/// inconsistent tensor shapes.
+pub fn normalize_in_place(xs: &mut [Tensor]) -> Result<(Vec<f32>, Vec<f32>), DatasetError> {
+    let Some(first) = xs.first() else {
+        return Err(DatasetError::InvalidSplit("empty dataset"));
+    };
+    let dim = first.len();
+    if xs.iter().any(|x| x.len() != dim) {
+        return Err(DatasetError::InvalidSplit("inconsistent tensor sizes"));
+    }
+    let n = xs.len() as f32;
+    let mut mean = vec![0.0f32; dim];
+    for x in xs.iter() {
+        for (m, &v) in mean.iter_mut().zip(x.data()) {
+            *m += v;
+        }
+    }
+    for m in &mut mean {
+        *m /= n;
+    }
+    let mut std = vec![0.0f32; dim];
+    for x in xs.iter() {
+        for ((s, &v), &m) in std.iter_mut().zip(x.data()).zip(&mean) {
+            *s += (v - m).powi(2);
+        }
+    }
+    for s in &mut std {
+        *s = (*s / n).sqrt().max(1e-6);
+    }
+    for x in xs.iter_mut() {
+        for (i, v) in x.data_mut().iter_mut().enumerate() {
+            *v = (*v - mean[i]) / std[i];
+        }
+    }
+    Ok((mean, std))
+}
+
+/// Per-*feature* normalization for sequence-shaped data: tensors are
+/// interpreted as rows of `feature_dim` features (`[T, F]` sequences or
+/// `[1, T × F]` strips) and each feature column is standardized with
+/// statistics pooled across samples **and** time. Far more robust than
+/// per-cell normalization when `T × F` exceeds the sample count, which is
+/// exactly the regime of the sequence classifiers. Returns `(mean, std)`
+/// of length `feature_dim`.
+///
+/// # Errors
+///
+/// Returns [`DatasetError::InvalidSplit`] for an empty dataset, a zero
+/// `feature_dim`, or tensors whose length is not a multiple of
+/// `feature_dim`.
+pub fn normalize_features_in_place(
+    xs: &mut [Tensor],
+    feature_dim: usize,
+) -> Result<(Vec<f32>, Vec<f32>), DatasetError> {
+    if xs.is_empty() || feature_dim == 0 {
+        return Err(DatasetError::InvalidSplit("empty dataset or zero feature_dim"));
+    }
+    if xs.iter().any(|x| x.len() % feature_dim != 0) {
+        return Err(DatasetError::InvalidSplit(
+            "tensor length not a multiple of feature_dim",
+        ));
+    }
+    let mut mean = vec![0.0f32; feature_dim];
+    let mut count = 0u64;
+    for x in xs.iter() {
+        for (i, &v) in x.data().iter().enumerate() {
+            mean[i % feature_dim] += v;
+        }
+        count += (x.len() / feature_dim) as u64;
+    }
+    for m in &mut mean {
+        *m /= count as f32;
+    }
+    let mut std = vec![0.0f32; feature_dim];
+    for x in xs.iter() {
+        for (i, &v) in x.data().iter().enumerate() {
+            std[i % feature_dim] += (v - mean[i % feature_dim]).powi(2);
+        }
+    }
+    for s in &mut std {
+        *s = (*s / count as f32).sqrt().max(1e-6);
+    }
+    apply_feature_normalization(xs, &mean, &std)?;
+    Ok((mean, std))
+}
+
+/// Applies per-feature normalization produced by
+/// [`normalize_features_in_place`] to held-out data.
+///
+/// # Errors
+///
+/// Returns [`DatasetError::InvalidSplit`] on dimension mismatch.
+pub fn apply_feature_normalization(
+    xs: &mut [Tensor],
+    mean: &[f32],
+    std: &[f32],
+) -> Result<(), DatasetError> {
+    let feature_dim = mean.len();
+    if feature_dim == 0 || std.len() != feature_dim {
+        return Err(DatasetError::InvalidSplit("mean/std length mismatch"));
+    }
+    for x in xs.iter_mut() {
+        if x.len() % feature_dim != 0 {
+            return Err(DatasetError::InvalidSplit(
+                "tensor length not a multiple of feature_dim",
+            ));
+        }
+        for (i, v) in x.data_mut().iter_mut().enumerate() {
+            *v = (*v - mean[i % feature_dim]) / std[i % feature_dim];
+        }
+    }
+    Ok(())
+}
+
+/// Applies a previously computed normalization to held-out data.
+///
+/// # Errors
+///
+/// Returns [`DatasetError::InvalidSplit`] when dimensions do not match.
+pub fn apply_normalization(
+    xs: &mut [Tensor],
+    mean: &[f32],
+    std: &[f32],
+) -> Result<(), DatasetError> {
+    if mean.len() != std.len() {
+        return Err(DatasetError::InvalidSplit("mean/std length mismatch"));
+    }
+    for x in xs.iter_mut() {
+        if x.len() != mean.len() {
+            return Err(DatasetError::InvalidSplit("tensor/stats length mismatch"));
+        }
+        for (i, v) in x.data_mut().iter_mut().enumerate() {
+            *v = (*v - mean[i]) / std[i];
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::CorpusSpec;
+    use affect_core::pipeline::FeatureConfig;
+
+    fn pipeline_for(spec: &CorpusSpec) -> FeaturePipeline {
+        FeaturePipeline::new(FeatureConfig {
+            sample_rate: spec.sample_rate,
+            frame_len: 256,
+            hop: 128,
+            ..FeatureConfig::default()
+        })
+        .unwrap()
+    }
+
+    fn tiny_corpus() -> Corpus {
+        let spec = CorpusSpec::crema_d_like().with_actors(2).with_utterances(1);
+        Corpus::generate(&spec, 5).unwrap()
+    }
+
+    #[test]
+    fn layouts_match_kinds() {
+        assert_eq!(
+            FeatureLayout::for_kind(ClassifierKind::Mlp),
+            FeatureLayout::Flattened
+        );
+        assert_eq!(
+            FeatureLayout::for_kind(ClassifierKind::Cnn),
+            FeatureLayout::Strip
+        );
+        assert_eq!(
+            FeatureLayout::for_kind(ClassifierKind::Lstm),
+            FeatureLayout::Sequence
+        );
+    }
+
+    #[test]
+    fn all_layouts_extract() {
+        let corpus = tiny_corpus();
+        let p = pipeline_for(corpus.spec());
+        for layout in [
+            FeatureLayout::Flat,
+            FeatureLayout::Flattened,
+            FeatureLayout::Strip,
+            FeatureLayout::Sequence,
+        ] {
+            let (xs, ys) = extract_dataset(&corpus, &p, layout).unwrap();
+            assert_eq!(xs.len(), corpus.len());
+            assert_eq!(ys, corpus.labels());
+        }
+    }
+
+    #[test]
+    fn sequence_shape_consistent_across_utterances() {
+        let corpus = tiny_corpus();
+        let p = pipeline_for(corpus.spec());
+        let (xs, _) = extract_dataset(&corpus, &p, FeatureLayout::Sequence).unwrap();
+        let shape = xs[0].shape().to_vec();
+        assert!(xs.iter().all(|x| x.shape() == shape));
+        assert_eq!(shape[1], p.features_per_frame());
+    }
+
+    #[test]
+    fn normalization_centers_data() {
+        let corpus = tiny_corpus();
+        let p = pipeline_for(corpus.spec());
+        let (mut xs, _) = extract_dataset(&corpus, &p, FeatureLayout::Flat).unwrap();
+        let (mean, std) = normalize_in_place(&mut xs).unwrap();
+        assert_eq!(mean.len(), p.flat_dim());
+        assert_eq!(std.len(), p.flat_dim());
+        // Post-normalization per-dim mean ~ 0.
+        let dim = xs[0].len();
+        for d in 0..dim {
+            let m: f32 = xs.iter().map(|x| x.data()[d]).sum::<f32>() / xs.len() as f32;
+            assert!(m.abs() < 1e-3, "dim {d}: mean {m}");
+        }
+    }
+
+    #[test]
+    fn apply_normalization_validates_dims() {
+        let mut xs = vec![Tensor::zeros(&[3]).unwrap()];
+        assert!(apply_normalization(&mut xs, &[0.0; 2], &[1.0; 2]).is_err());
+        assert!(apply_normalization(&mut xs, &[0.0; 3], &[1.0; 2]).is_err());
+        assert!(apply_normalization(&mut xs, &[0.0; 3], &[1.0; 3]).is_ok());
+    }
+
+    #[test]
+    fn normalize_rejects_empty_or_ragged() {
+        let mut empty: Vec<Tensor> = vec![];
+        assert!(normalize_in_place(&mut empty).is_err());
+        let mut ragged = vec![
+            Tensor::zeros(&[2]).unwrap(),
+            Tensor::zeros(&[3]).unwrap(),
+        ];
+        assert!(normalize_in_place(&mut ragged).is_err());
+    }
+}

@@ -1,0 +1,201 @@
+//! Corpus specifications mirroring the paper's three datasets.
+
+use affect_core::emotion::Emotion;
+use crate::DatasetError;
+
+/// Structural description of an emotional-speech corpus.
+///
+/// The `*_like` constructors mirror the actor counts and label sets of the
+/// corpora the paper evaluates (Sec. 2); `with_actors`/`with_utterances`
+/// scale a spec down for fast tests without changing its structure.
+///
+/// # Example
+///
+/// ```
+/// use datasets::CorpusSpec;
+/// let spec = CorpusSpec::emovo_like();
+/// assert_eq!(spec.actors, 6);
+/// assert_eq!(spec.emotions.len(), 7);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorpusSpec {
+    /// Corpus display name.
+    pub name: String,
+    /// Number of actors (each gets a distinct synthetic voice).
+    pub actors: usize,
+    /// Utterances per actor per emotion.
+    pub utterances_per_emotion: usize,
+    /// Label set, in class-index order.
+    pub emotions: Vec<Emotion>,
+    /// Utterance duration in seconds.
+    pub utterance_secs: f32,
+    /// Waveform sample rate in hertz.
+    pub sample_rate: f32,
+}
+
+impl CorpusSpec {
+    /// RAVDESS-like: 24 actors, the full 8-emotion label set.
+    ///
+    /// (The real corpus holds 7356 clips; the default spec generates 2 clips
+    /// per actor/emotion = 384 — scale up with
+    /// [`CorpusSpec::with_utterances`] if desired.)
+    pub fn ravdess_like() -> Self {
+        Self {
+            name: "RAVDESS-like".into(),
+            actors: 24,
+            utterances_per_emotion: 2,
+            emotions: Emotion::ALL.to_vec(),
+            utterance_secs: 1.2,
+            sample_rate: 8_000.0,
+        }
+    }
+
+    /// EMOVO-like: 6 actors, 7 emotions (no "calm" in EMOVO's label set),
+    /// 14 sentences per actor/emotion in the original (2 by default here).
+    pub fn emovo_like() -> Self {
+        Self {
+            name: "EMOVO-like".into(),
+            actors: 6,
+            utterances_per_emotion: 2,
+            emotions: vec![
+                Emotion::Neutral,
+                Emotion::Happy,
+                Emotion::Sad,
+                Emotion::Angry,
+                Emotion::Fearful,
+                Emotion::Disgust,
+                Emotion::Surprised,
+            ],
+            utterance_secs: 1.2,
+            sample_rate: 8_000.0,
+        }
+    }
+
+    /// CREMA-D-like: 91 actors, 6 emotions (no "calm"/"surprised").
+    pub fn crema_d_like() -> Self {
+        Self {
+            name: "CREMA-D-like".into(),
+            actors: 91,
+            utterances_per_emotion: 1,
+            emotions: vec![
+                Emotion::Neutral,
+                Emotion::Happy,
+                Emotion::Sad,
+                Emotion::Angry,
+                Emotion::Fearful,
+                Emotion::Disgust,
+            ],
+            utterance_secs: 1.2,
+            sample_rate: 8_000.0,
+        }
+    }
+
+    /// All three paper corpora, in the paper's Fig. 3(b) order.
+    pub fn paper_corpora() -> Vec<CorpusSpec> {
+        vec![
+            Self::crema_d_like(),
+            Self::emovo_like(),
+            Self::ravdess_like(),
+        ]
+    }
+
+    /// Returns the spec with a different actor count (builder style).
+    pub fn with_actors(mut self, actors: usize) -> Self {
+        self.actors = actors;
+        self
+    }
+
+    /// Returns the spec with a different utterances-per-emotion count.
+    pub fn with_utterances(mut self, utterances: usize) -> Self {
+        self.utterances_per_emotion = utterances;
+        self
+    }
+
+    /// Total number of utterances the spec generates.
+    pub fn total_utterances(&self) -> usize {
+        self.actors * self.utterances_per_emotion * self.emotions.len()
+    }
+
+    /// Class label names in index order.
+    pub fn label_names(&self) -> Vec<String> {
+        self.emotions.iter().map(|e| e.name().to_string()).collect()
+    }
+
+    /// Validates the specification.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::InvalidSpec`] for zero counts, an empty label
+    /// set, or non-positive duration/rate.
+    pub fn validate(&self) -> Result<(), DatasetError> {
+        if self.actors == 0 {
+            return Err(DatasetError::InvalidSpec {
+                name: "actors",
+                reason: "must be non-zero",
+            });
+        }
+        if self.utterances_per_emotion == 0 {
+            return Err(DatasetError::InvalidSpec {
+                name: "utterances_per_emotion",
+                reason: "must be non-zero",
+            });
+        }
+        if self.emotions.is_empty() {
+            return Err(DatasetError::InvalidSpec {
+                name: "emotions",
+                reason: "must be non-empty",
+            });
+        }
+        if !(self.utterance_secs > 0.0) || !(self.sample_rate > 0.0) {
+            return Err(DatasetError::InvalidSpec {
+                name: "utterance_secs/sample_rate",
+                reason: "must be positive",
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_specs_have_paper_structure() {
+        let r = CorpusSpec::ravdess_like();
+        assert_eq!((r.actors, r.emotions.len()), (24, 8));
+        let e = CorpusSpec::emovo_like();
+        assert_eq!((e.actors, e.emotions.len()), (6, 7));
+        assert!(!e.emotions.contains(&Emotion::Calm));
+        let c = CorpusSpec::crema_d_like();
+        assert_eq!((c.actors, c.emotions.len()), (91, 6));
+    }
+
+    #[test]
+    fn builders_scale() {
+        let s = CorpusSpec::ravdess_like().with_actors(3).with_utterances(5);
+        assert_eq!(s.total_utterances(), 3 * 5 * 8);
+    }
+
+    #[test]
+    fn validation_catches_degenerate_specs() {
+        assert!(CorpusSpec::ravdess_like().with_actors(0).validate().is_err());
+        assert!(CorpusSpec::ravdess_like()
+            .with_utterances(0)
+            .validate()
+            .is_err());
+        let mut s = CorpusSpec::ravdess_like();
+        s.emotions.clear();
+        assert!(s.validate().is_err());
+        let mut s = CorpusSpec::ravdess_like();
+        s.sample_rate = 0.0;
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn label_names_in_order() {
+        let names = CorpusSpec::crema_d_like().label_names();
+        assert_eq!(names[0], "neutral");
+        assert_eq!(names.len(), 6);
+    }
+}

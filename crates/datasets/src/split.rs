@@ -1,0 +1,159 @@
+//! Train/test splitting.
+
+use crate::corpus::Corpus;
+use crate::DatasetError;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Index-based train/test split of a corpus.
+///
+/// # Example
+///
+/// ```
+/// use datasets::{Corpus, CorpusSpec, TrainTestSplit};
+/// # fn main() -> Result<(), datasets::DatasetError> {
+/// let spec = CorpusSpec::emovo_like().with_actors(4).with_utterances(1);
+/// let corpus = Corpus::generate(&spec, 1)?;
+/// let split = TrainTestSplit::by_actor(&corpus, 0.25, 7)?;
+/// assert_eq!(split.train.len() + split.test.len(), corpus.len());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrainTestSplit {
+    /// Utterance indices assigned to training.
+    pub train: Vec<usize>,
+    /// Utterance indices assigned to testing.
+    pub test: Vec<usize>,
+}
+
+impl TrainTestSplit {
+    /// Random utterance-level split with `test_fraction` held out.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::InvalidSplit`] when the fraction is outside
+    /// `(0, 1)` or either side ends up empty.
+    pub fn random(
+        corpus: &Corpus,
+        test_fraction: f32,
+        seed: u64,
+    ) -> Result<Self, DatasetError> {
+        if !(0.0..1.0).contains(&test_fraction) || test_fraction == 0.0 {
+            return Err(DatasetError::InvalidSplit("fraction must be in (0, 1)"));
+        }
+        let mut idx: Vec<usize> = (0..corpus.len()).collect();
+        idx.shuffle(&mut StdRng::seed_from_u64(seed));
+        let n_test = ((corpus.len() as f32) * test_fraction).round() as usize;
+        if n_test == 0 || n_test == corpus.len() {
+            return Err(DatasetError::InvalidSplit("a side would be empty"));
+        }
+        let test = idx[..n_test].to_vec();
+        let train = idx[n_test..].to_vec();
+        Ok(Self { train, test })
+    }
+
+    /// Speaker-independent split: whole actors are held out (the standard
+    /// protocol for speech-emotion recognition).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::InvalidSplit`] when the fraction is outside
+    /// `(0, 1)` or either side would hold no actors.
+    pub fn by_actor(
+        corpus: &Corpus,
+        test_fraction: f32,
+        seed: u64,
+    ) -> Result<Self, DatasetError> {
+        if !(0.0..1.0).contains(&test_fraction) || test_fraction == 0.0 {
+            return Err(DatasetError::InvalidSplit("fraction must be in (0, 1)"));
+        }
+        let actors = corpus.spec().actors;
+        let mut actor_ids: Vec<usize> = (0..actors).collect();
+        actor_ids.shuffle(&mut StdRng::seed_from_u64(seed));
+        let n_test = ((actors as f32) * test_fraction).round().max(1.0) as usize;
+        if n_test >= actors {
+            return Err(DatasetError::InvalidSplit("a side would hold no actors"));
+        }
+        let test_actors: Vec<usize> = actor_ids[..n_test].to_vec();
+        let mut train = Vec::new();
+        let mut test = Vec::new();
+        for (i, utt) in corpus.utterances().iter().enumerate() {
+            if test_actors.contains(&utt.actor) {
+                test.push(i);
+            } else {
+                train.push(i);
+            }
+        }
+        Ok(Self { train, test })
+    }
+
+    /// Gathers the elements of `items` selected by an index list.
+    pub fn gather<T: Clone>(indices: &[usize], items: &[T]) -> Vec<T> {
+        indices.iter().map(|&i| items[i].clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::CorpusSpec;
+
+    fn corpus() -> Corpus {
+        let spec = CorpusSpec::emovo_like().with_actors(4).with_utterances(1);
+        Corpus::generate(&spec, 3).unwrap()
+    }
+
+    #[test]
+    fn random_split_partitions() {
+        let c = corpus();
+        let s = TrainTestSplit::random(&c, 0.25, 1).unwrap();
+        assert_eq!(s.train.len() + s.test.len(), c.len());
+        let mut all: Vec<usize> = s.train.iter().chain(&s.test).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..c.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn by_actor_keeps_speakers_disjoint() {
+        let c = corpus();
+        let s = TrainTestSplit::by_actor(&c, 0.25, 2).unwrap();
+        let train_actors: std::collections::BTreeSet<usize> =
+            s.train.iter().map(|&i| c.utterances()[i].actor).collect();
+        let test_actors: std::collections::BTreeSet<usize> =
+            s.test.iter().map(|&i| c.utterances()[i].actor).collect();
+        assert!(train_actors.is_disjoint(&test_actors));
+        assert!(!test_actors.is_empty());
+    }
+
+    #[test]
+    fn invalid_fractions_rejected() {
+        let c = corpus();
+        assert!(TrainTestSplit::random(&c, 0.0, 1).is_err());
+        assert!(TrainTestSplit::random(&c, 1.0, 1).is_err());
+        assert!(TrainTestSplit::by_actor(&c, 0.99, 1).is_err());
+    }
+
+    #[test]
+    fn splits_deterministic_per_seed() {
+        let c = corpus();
+        assert_eq!(
+            TrainTestSplit::by_actor(&c, 0.25, 5).unwrap(),
+            TrainTestSplit::by_actor(&c, 0.25, 5).unwrap()
+        );
+        assert_ne!(
+            TrainTestSplit::random(&c, 0.25, 5).unwrap(),
+            TrainTestSplit::random(&c, 0.25, 6).unwrap()
+        );
+    }
+
+    #[test]
+    fn gather_selects_in_order() {
+        let items = vec!["a", "b", "c", "d"];
+        assert_eq!(
+            TrainTestSplit::gather(&[2, 0], &items),
+            vec!["c", "a"]
+        );
+    }
+}

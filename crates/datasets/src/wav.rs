@@ -1,0 +1,131 @@
+//! Minimal PCM16 WAV export so synthetic corpora can be listened to.
+
+use crate::DatasetError;
+use std::io;
+use std::path::Path;
+
+/// Encodes mono float samples (clamped to `[-1, 1]`) as a 16-bit PCM WAV
+/// byte blob.
+///
+/// # Errors
+///
+/// Returns [`DatasetError::InvalidSpec`] for a non-positive sample rate or
+/// empty sample buffer.
+///
+/// # Example
+///
+/// ```
+/// use datasets::wav::encode_wav;
+/// # fn main() -> Result<(), datasets::DatasetError> {
+/// let samples: Vec<f32> = (0..800)
+///     .map(|i| (2.0 * std::f32::consts::PI * 440.0 * i as f32 / 8000.0).sin())
+///     .collect();
+/// let bytes = encode_wav(&samples, 8000)?;
+/// assert_eq!(&bytes[..4], b"RIFF");
+/// assert_eq!(&bytes[8..12], b"WAVE");
+/// # Ok(())
+/// # }
+/// ```
+pub fn encode_wav(samples: &[f32], sample_rate: u32) -> Result<Vec<u8>, DatasetError> {
+    if sample_rate == 0 {
+        return Err(DatasetError::InvalidSpec {
+            name: "sample_rate",
+            reason: "must be positive",
+        });
+    }
+    if samples.is_empty() {
+        return Err(DatasetError::InvalidSpec {
+            name: "samples",
+            reason: "must be non-empty",
+        });
+    }
+    let data_len = (samples.len() * 2) as u32;
+    let mut out = Vec::with_capacity(44 + samples.len() * 2);
+    out.extend_from_slice(b"RIFF");
+    out.extend_from_slice(&(36 + data_len).to_le_bytes());
+    out.extend_from_slice(b"WAVE");
+    // fmt chunk: PCM, mono, 16 bit.
+    out.extend_from_slice(b"fmt ");
+    out.extend_from_slice(&16u32.to_le_bytes());
+    out.extend_from_slice(&1u16.to_le_bytes()); // PCM
+    out.extend_from_slice(&1u16.to_le_bytes()); // mono
+    out.extend_from_slice(&sample_rate.to_le_bytes());
+    out.extend_from_slice(&(sample_rate * 2).to_le_bytes()); // byte rate
+    out.extend_from_slice(&2u16.to_le_bytes()); // block align
+    out.extend_from_slice(&16u16.to_le_bytes()); // bits per sample
+    out.extend_from_slice(b"data");
+    out.extend_from_slice(&data_len.to_le_bytes());
+    for &s in samples {
+        let v = (s.clamp(-1.0, 1.0) * i16::MAX as f32) as i16;
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    Ok(out)
+}
+
+/// Writes samples to a WAV file, creating parent directories.
+///
+/// # Errors
+///
+/// Propagates encoding and filesystem errors (the latter as
+/// `io::Error`-wrapped panics are avoided by returning `io::Result`).
+pub fn write_wav<P: AsRef<Path>>(
+    path: P,
+    samples: &[f32],
+    sample_rate: u32,
+) -> io::Result<()> {
+    let bytes = encode_wav(samples, sample_rate)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+    if let Some(parent) = path.as_ref().parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(path, bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_fields_correct() {
+        let bytes = encode_wav(&[0.0; 100], 8000).unwrap();
+        assert_eq!(bytes.len(), 44 + 200);
+        assert_eq!(&bytes[..4], b"RIFF");
+        assert_eq!(&bytes[12..16], b"fmt ");
+        assert_eq!(u16::from_le_bytes([bytes[22], bytes[23]]), 1); // mono
+        assert_eq!(
+            u32::from_le_bytes([bytes[24], bytes[25], bytes[26], bytes[27]]),
+            8000
+        );
+        assert_eq!(&bytes[36..40], b"data");
+        assert_eq!(
+            u32::from_le_bytes([bytes[40], bytes[41], bytes[42], bytes[43]]),
+            200
+        );
+    }
+
+    #[test]
+    fn samples_clamped_and_scaled() {
+        let bytes = encode_wav(&[1.0, -1.0, 0.0, 2.0], 8000).unwrap();
+        let sample = |i: usize| i16::from_le_bytes([bytes[44 + 2 * i], bytes[45 + 2 * i]]);
+        assert_eq!(sample(0), i16::MAX);
+        assert_eq!(sample(1), -i16::MAX);
+        assert_eq!(sample(2), 0);
+        assert_eq!(sample(3), i16::MAX); // clamped
+    }
+
+    #[test]
+    fn rejects_degenerate_inputs() {
+        assert!(encode_wav(&[], 8000).is_err());
+        assert!(encode_wav(&[0.0], 0).is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("affectsys_wav_test");
+        let path = dir.join("tone.wav");
+        write_wav(&path, &[0.5; 64], 16_000).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        assert_eq!(&bytes[..4], b"RIFF");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,82 @@
+//! Error type shared by all DSP kernels.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by fallible DSP operations.
+///
+/// Every variant carries enough context to diagnose the failing call without
+/// a debugger; messages are lowercase and concise per Rust API guidelines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DspError {
+    /// An FFT length that is not a power of two was requested.
+    NonPowerOfTwoFft {
+        /// The offending length.
+        len: usize,
+    },
+    /// A frame or buffer had a different length than the kernel expects.
+    LengthMismatch {
+        /// Length the kernel expected.
+        expected: usize,
+        /// Length it received.
+        actual: usize,
+    },
+    /// A configuration parameter was zero or otherwise out of range.
+    InvalidParameter {
+        /// Name of the parameter.
+        name: &'static str,
+        /// Human-readable description of the constraint that was violated.
+        reason: &'static str,
+    },
+    /// The input signal was empty where a non-empty signal is required.
+    EmptyInput,
+}
+
+impl fmt::Display for DspError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DspError::NonPowerOfTwoFft { len } => {
+                write!(f, "fft length {len} is not a power of two")
+            }
+            DspError::LengthMismatch { expected, actual } => {
+                write!(f, "length mismatch: expected {expected}, got {actual}")
+            }
+            DspError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            DspError::EmptyInput => write!(f, "input signal is empty"),
+        }
+    }
+}
+
+impl Error for DspError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = DspError::NonPowerOfTwoFft { len: 300 };
+        let msg = e.to_string();
+        assert!(msg.contains("300"));
+        assert!(msg.starts_with(char::is_lowercase));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DspError>();
+    }
+
+    #[test]
+    fn length_mismatch_reports_both_lengths() {
+        let e = DspError::LengthMismatch {
+            expected: 512,
+            actual: 256,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("512") && msg.contains("256"));
+    }
+}

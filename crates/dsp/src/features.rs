@@ -1,0 +1,310 @@
+//! Time-domain and spectral features used by the affect classifiers.
+//!
+//! Besides MFCCs the paper lists zero-crossing rate, root-mean-square energy
+//! (`rmse`), pitch, and spectral magnitude as classifier inputs.
+
+use crate::fft::rfft_magnitude;
+use crate::DspError;
+
+/// Zero-crossing rate: fraction of adjacent sample pairs whose signs differ.
+///
+/// Returns a value in `[0, 1]`. Unvoiced/fricative (and noisy, agitated)
+/// speech has a markedly higher ZCR than voiced speech, which is why it is a
+/// cheap arousal cue.
+///
+/// # Errors
+///
+/// Returns [`DspError::EmptyInput`] for signals with fewer than two samples.
+///
+/// # Example
+///
+/// ```
+/// use dsp::zero_crossing_rate;
+/// # fn main() -> Result<(), dsp::DspError> {
+/// let alternating = [1.0f32, -1.0, 1.0, -1.0, 1.0];
+/// assert!((zero_crossing_rate(&alternating)? - 1.0).abs() < 1e-6);
+/// # Ok(())
+/// # }
+/// ```
+pub fn zero_crossing_rate(signal: &[f32]) -> Result<f32, DspError> {
+    if signal.len() < 2 {
+        return Err(DspError::EmptyInput);
+    }
+    let crossings = signal
+        .windows(2)
+        .filter(|w| (w[0] >= 0.0) != (w[1] >= 0.0))
+        .count();
+    Ok(crossings as f32 / (signal.len() - 1) as f32)
+}
+
+/// Root-mean-square amplitude of a signal (the paper's `rmse` feature).
+///
+/// # Errors
+///
+/// Returns [`DspError::EmptyInput`] for an empty signal.
+///
+/// # Example
+///
+/// ```
+/// use dsp::rms;
+/// # fn main() -> Result<(), dsp::DspError> {
+/// assert!((rms(&[3.0, -4.0])? - (12.5f32).sqrt()).abs() < 1e-6);
+/// # Ok(())
+/// # }
+/// ```
+pub fn rms(signal: &[f32]) -> Result<f32, DspError> {
+    if signal.is_empty() {
+        return Err(DspError::EmptyInput);
+    }
+    let energy: f32 = signal.iter().map(|x| x * x).sum();
+    Ok((energy / signal.len() as f32).sqrt())
+}
+
+/// Fundamental-frequency estimate by normalized autocorrelation peak picking.
+///
+/// Searches lags corresponding to `min_hz..=max_hz` and returns the frequency
+/// whose normalized autocorrelation is maximal, or `None` when the frame is
+/// aperiodic (peak below an internal voicing threshold of 0.3) or silent.
+///
+/// # Errors
+///
+/// Returns [`DspError::InvalidParameter`] when the frequency range is empty
+/// or not representable at this `sample_rate`/frame length.
+///
+/// # Example
+///
+/// ```
+/// use dsp::pitch_autocorrelation;
+/// # fn main() -> Result<(), dsp::DspError> {
+/// let sr = 8000.0;
+/// let frame: Vec<f32> = (0..800)
+///     .map(|i| (2.0 * std::f32::consts::PI * 200.0 * i as f32 / sr).sin())
+///     .collect();
+/// let f0 = pitch_autocorrelation(&frame, sr, 80.0, 400.0)?.expect("voiced");
+/// assert!((f0 - 200.0).abs() < 10.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn pitch_autocorrelation(
+    frame: &[f32],
+    sample_rate: f32,
+    min_hz: f32,
+    max_hz: f32,
+) -> Result<Option<f32>, DspError> {
+    if !(sample_rate > 0.0) {
+        return Err(DspError::InvalidParameter {
+            name: "sample_rate",
+            reason: "must be positive",
+        });
+    }
+    if !(min_hz > 0.0) || max_hz <= min_hz {
+        return Err(DspError::InvalidParameter {
+            name: "min_hz/max_hz",
+            reason: "need 0 < min_hz < max_hz",
+        });
+    }
+    let min_lag = (sample_rate / max_hz).floor() as usize;
+    let max_lag = (sample_rate / min_hz).ceil() as usize;
+    if min_lag == 0 || max_lag >= frame.len() {
+        return Err(DspError::InvalidParameter {
+            name: "frame",
+            reason: "frame too short for the requested pitch range",
+        });
+    }
+
+    let energy: f32 = frame.iter().map(|x| x * x).sum();
+    if energy < 1e-12 {
+        return Ok(None); // silence
+    }
+
+    let mut corrs = Vec::with_capacity(max_lag - min_lag + 1);
+    let mut best_corr = 0.0f32;
+    for lag in min_lag..=max_lag {
+        let n = frame.len() - lag;
+        let mut num = 0.0f32;
+        let mut e0 = 0.0f32;
+        let mut e1 = 0.0f32;
+        for i in 0..n {
+            num += frame[i] * frame[i + lag];
+            e0 += frame[i] * frame[i];
+            e1 += frame[i + lag] * frame[i + lag];
+        }
+        let denom = (e0 * e1).sqrt();
+        let corr = if denom > 1e-12 { num / denom } else { 0.0 };
+        corrs.push(corr);
+        best_corr = best_corr.max(corr);
+    }
+
+    const VOICING_THRESHOLD: f32 = 0.3;
+    if best_corr < VOICING_THRESHOLD {
+        return Ok(None);
+    }
+    // Sub-octave correction: a lag of 2×, 3×… the true period correlates
+    // just as well, so take the *smallest* lag whose correlation is within a
+    // small tolerance of the peak.
+    const OCTAVE_TOLERANCE: f32 = 0.02;
+    let lag = corrs
+        .iter()
+        .position(|&c| c >= best_corr - OCTAVE_TOLERANCE)
+        .map(|i| i + min_lag)
+        .unwrap_or(min_lag);
+    Ok(Some(sample_rate / lag as f32))
+}
+
+/// Summary statistics of the magnitude spectrum: `(mean, peak, centroid_hz)`.
+///
+/// The paper's feature list includes a raw "magnitude" feature; the spectral
+/// centroid is included because it is the standard scalar summary of where
+/// the magnitude mass sits, and brightness correlates with arousal.
+///
+/// # Errors
+///
+/// Propagates FFT errors (non-power-of-two or empty frames) and rejects a
+/// non-positive `sample_rate`.
+pub fn spectral_magnitude(
+    frame: &[f32],
+    sample_rate: f32,
+) -> Result<SpectralSummary, DspError> {
+    if !(sample_rate > 0.0) {
+        return Err(DspError::InvalidParameter {
+            name: "sample_rate",
+            reason: "must be positive",
+        });
+    }
+    let mag = rfft_magnitude(frame)?;
+    let sum: f32 = mag.iter().sum();
+    let mean = sum / mag.len() as f32;
+    let peak = mag.iter().fold(0.0f32, |a, &b| a.max(b));
+    let centroid_hz = if sum > 1e-12 {
+        let bin_hz = sample_rate / frame.len() as f32;
+        mag.iter()
+            .enumerate()
+            .map(|(i, &m)| i as f32 * bin_hz * m)
+            .sum::<f32>()
+            / sum
+    } else {
+        0.0
+    };
+    Ok(SpectralSummary {
+        mean,
+        peak,
+        centroid_hz,
+    })
+}
+
+/// Scalar summary of a magnitude spectrum returned by [`spectral_magnitude`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SpectralSummary {
+    /// Mean bin magnitude.
+    pub mean: f32,
+    /// Largest bin magnitude.
+    pub peak: f32,
+    /// Magnitude-weighted mean frequency in hertz.
+    pub centroid_hz: f32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zcr_of_constant_is_zero() {
+        assert_eq!(zero_crossing_rate(&[1.0; 16]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn zcr_rejects_tiny_input() {
+        assert!(zero_crossing_rate(&[1.0]).is_err());
+        assert!(zero_crossing_rate(&[]).is_err());
+    }
+
+    #[test]
+    fn zcr_scales_with_frequency() {
+        let sr = 8000.0;
+        let tone = |hz: f32| -> Vec<f32> {
+            (0..800)
+                .map(|i| (2.0 * std::f32::consts::PI * hz * i as f32 / sr).sin())
+                .collect()
+        };
+        let low = zero_crossing_rate(&tone(100.0)).unwrap();
+        let high = zero_crossing_rate(&tone(1000.0)).unwrap();
+        assert!(high > low * 5.0, "low={low} high={high}");
+    }
+
+    #[test]
+    fn rms_of_unit_square_wave_is_one() {
+        let sq: Vec<f32> = (0..64).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        assert!((rms(&sq).unwrap() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rms_rejects_empty() {
+        assert_eq!(rms(&[]), Err(DspError::EmptyInput));
+    }
+
+    #[test]
+    fn pitch_detects_150hz() {
+        let sr = 16_000.0;
+        let frame: Vec<f32> = (0..1600)
+            .map(|i| (2.0 * std::f32::consts::PI * 150.0 * i as f32 / sr).sin())
+            .collect();
+        let f0 = pitch_autocorrelation(&frame, sr, 60.0, 500.0)
+            .unwrap()
+            .expect("voiced frame");
+        assert!((f0 - 150.0).abs() < 8.0, "f0={f0}");
+    }
+
+    #[test]
+    fn pitch_returns_none_for_silence() {
+        let frame = vec![0.0f32; 1600];
+        assert_eq!(
+            pitch_autocorrelation(&frame, 16_000.0, 60.0, 500.0).unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn pitch_returns_none_for_white_noise() {
+        // Deterministic pseudo-noise via an LCG.
+        let mut state = 0x2545F491u64;
+        let frame: Vec<f32> = (0..1600)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                ((state >> 33) as f32 / (1u64 << 30) as f32) - 1.0
+            })
+            .collect();
+        let result = pitch_autocorrelation(&frame, 16_000.0, 60.0, 500.0).unwrap();
+        assert_eq!(result, None, "noise should be unvoiced, got {result:?}");
+    }
+
+    #[test]
+    fn pitch_rejects_invalid_range() {
+        let frame = vec![0.0f32; 100];
+        assert!(pitch_autocorrelation(&frame, 16_000.0, 500.0, 100.0).is_err());
+        assert!(pitch_autocorrelation(&frame, 16_000.0, 0.0, 100.0).is_err());
+        // Frame too short for 60 Hz at 16 kHz (needs lag 267).
+        assert!(pitch_autocorrelation(&frame, 16_000.0, 60.0, 500.0).is_err());
+    }
+
+    #[test]
+    fn centroid_tracks_tone_frequency() {
+        let sr = 16_000.0;
+        let tone = |hz: f32| -> Vec<f32> {
+            (0..512)
+                .map(|i| (2.0 * std::f32::consts::PI * hz * i as f32 / sr).sin())
+                .collect()
+        };
+        let lo = spectral_magnitude(&tone(500.0), sr).unwrap();
+        let hi = spectral_magnitude(&tone(4000.0), sr).unwrap();
+        assert!(hi.centroid_hz > lo.centroid_hz + 2000.0);
+        assert!((lo.centroid_hz - 500.0).abs() < 400.0, "{}", lo.centroid_hz);
+    }
+
+    #[test]
+    fn spectral_summary_of_silence_is_zero() {
+        let s = spectral_magnitude(&[0.0; 256], 16_000.0).unwrap();
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.peak, 0.0);
+        assert_eq!(s.centroid_hz, 0.0);
+    }
+}

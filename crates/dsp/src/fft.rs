@@ -1,0 +1,334 @@
+//! Radix-2 decimation-in-time fast Fourier transform.
+//!
+//! The affect classifier front end needs magnitude spectra for the mel
+//! filterbank ([`crate::mel`]) and spectral features ([`crate::features`]).
+//! A plain iterative Cooley–Tukey FFT is more than fast enough for the frame
+//! sizes the paper uses (256–1024 samples) and keeps the crate free of
+//! external numeric dependencies.
+
+use crate::DspError;
+
+/// A complex number with `f32` components.
+///
+/// Deliberately minimal: only the operations the FFT and its tests need.
+///
+/// # Example
+///
+/// ```
+/// use dsp::Complex;
+/// let a = Complex::new(1.0, 2.0);
+/// let b = Complex::new(3.0, -1.0);
+/// let c = a * b;
+/// assert!((c.re - 5.0).abs() < 1e-6);
+/// assert!((c.im - 5.0).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f32,
+    /// Imaginary part.
+    pub im: f32,
+}
+
+impl Complex {
+    /// Creates a complex number from real and imaginary parts.
+    #[inline]
+    pub fn new(re: f32, im: f32) -> Self {
+        Self { re, im }
+    }
+
+    /// The additive identity.
+    #[inline]
+    pub fn zero() -> Self {
+        Self { re: 0.0, im: 0.0 }
+    }
+
+    /// Magnitude (absolute value).
+    #[inline]
+    pub fn abs(self) -> f32 {
+        self.re.hypot(self.im)
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Self::new(self.re, -self.im)
+    }
+}
+
+impl std::ops::Add for Complex {
+    type Output = Complex;
+
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        Self::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl std::ops::Sub for Complex {
+    type Output = Complex;
+
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        Self::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl std::ops::Mul for Complex {
+    type Output = Complex;
+
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        Self::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl From<f32> for Complex {
+    fn from(re: f32) -> Self {
+        Self::new(re, 0.0)
+    }
+}
+
+/// Returns `true` when `n` is a power of two (and non-zero).
+#[inline]
+fn is_pow2(n: usize) -> bool {
+    n != 0 && n & (n - 1) == 0
+}
+
+/// In-place forward FFT of a power-of-two-length buffer.
+///
+/// Uses the iterative radix-2 decimation-in-time algorithm with bit-reversal
+/// permutation. The transform is unnormalized: `ifft(fft(x)) == x` because
+/// [`ifft_inplace`] applies the `1/N` factor.
+///
+/// # Errors
+///
+/// Returns [`DspError::NonPowerOfTwoFft`] when `buf.len()` is not a power of
+/// two, and [`DspError::EmptyInput`] when it is empty.
+///
+/// # Example
+///
+/// ```
+/// use dsp::{fft_inplace, Complex};
+/// # fn main() -> Result<(), dsp::DspError> {
+/// let mut buf = vec![Complex::new(1.0, 0.0); 8];
+/// fft_inplace(&mut buf)?;
+/// // DC bin holds the sum, all other bins are zero for a constant signal.
+/// assert!((buf[0].re - 8.0).abs() < 1e-5);
+/// assert!(buf[1].abs() < 1e-5);
+/// # Ok(())
+/// # }
+/// ```
+pub fn fft_inplace(buf: &mut [Complex]) -> Result<(), DspError> {
+    let n = buf.len();
+    if n == 0 {
+        return Err(DspError::EmptyInput);
+    }
+    if !is_pow2(n) {
+        return Err(DspError::NonPowerOfTwoFft { len: n });
+    }
+    if n == 1 {
+        return Ok(());
+    }
+
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = i.reverse_bits() >> (usize::BITS - bits);
+        if j > i {
+            buf.swap(i, j);
+        }
+    }
+
+    // Butterfly passes.
+    let mut len = 2;
+    while len <= n {
+        let ang = -2.0 * std::f32::consts::PI / len as f32;
+        let wlen = Complex::new(ang.cos(), ang.sin());
+        for chunk in buf.chunks_mut(len) {
+            let mut w = Complex::new(1.0, 0.0);
+            let half = len / 2;
+            for k in 0..half {
+                let u = chunk[k];
+                let v = chunk[k + half] * w;
+                chunk[k] = u + v;
+                chunk[k + half] = u - v;
+                w = w * wlen;
+            }
+        }
+        len <<= 1;
+    }
+    Ok(())
+}
+
+/// In-place inverse FFT, normalized by `1/N`.
+///
+/// # Errors
+///
+/// Same conditions as [`fft_inplace`].
+///
+/// # Example
+///
+/// ```
+/// use dsp::{fft_inplace, ifft_inplace, Complex};
+/// # fn main() -> Result<(), dsp::DspError> {
+/// let orig: Vec<Complex> = (0..16).map(|i| Complex::new(i as f32, 0.0)).collect();
+/// let mut buf = orig.clone();
+/// fft_inplace(&mut buf)?;
+/// ifft_inplace(&mut buf)?;
+/// for (a, b) in orig.iter().zip(&buf) {
+///     assert!((a.re - b.re).abs() < 1e-3);
+/// }
+/// # Ok(())
+/// # }
+/// ```
+pub fn ifft_inplace(buf: &mut [Complex]) -> Result<(), DspError> {
+    for v in buf.iter_mut() {
+        *v = v.conj();
+    }
+    fft_inplace(buf)?;
+    let scale = 1.0 / buf.len() as f32;
+    for v in buf.iter_mut() {
+        *v = Complex::new(v.re * scale, -v.im * scale);
+    }
+    Ok(())
+}
+
+/// Magnitude spectrum of a real signal: `|FFT(x)|` for the first `N/2 + 1`
+/// bins (the rest are conjugate-symmetric and carry no extra information).
+///
+/// # Errors
+///
+/// Returns [`DspError::NonPowerOfTwoFft`] when `signal.len()` is not a power
+/// of two, and [`DspError::EmptyInput`] when it is empty.
+///
+/// # Example
+///
+/// ```
+/// use dsp::rfft_magnitude;
+/// # fn main() -> Result<(), dsp::DspError> {
+/// // A pure cosine at bin 4 of a 64-point transform.
+/// let signal: Vec<f32> = (0..64)
+///     .map(|i| (2.0 * std::f32::consts::PI * 4.0 * i as f32 / 64.0).cos())
+///     .collect();
+/// let mag = rfft_magnitude(&signal)?;
+/// assert_eq!(mag.len(), 33);
+/// let peak = mag
+///     .iter()
+///     .enumerate()
+///     .max_by(|a, b| a.1.total_cmp(b.1))
+///     .map(|(i, _)| i);
+/// assert_eq!(peak, Some(4));
+/// # Ok(())
+/// # }
+/// ```
+pub fn rfft_magnitude(signal: &[f32]) -> Result<Vec<f32>, DspError> {
+    let mut buf: Vec<Complex> = signal.iter().map(|&x| Complex::new(x, 0.0)).collect();
+    fft_inplace(&mut buf)?;
+    Ok(buf[..signal.len() / 2 + 1].iter().map(|c| c.abs()).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f32, b: f32, tol: f32) {
+        assert!((a - b).abs() <= tol, "{a} vs {b} (tol {tol})");
+    }
+
+    #[test]
+    fn rejects_non_power_of_two() {
+        let mut buf = vec![Complex::zero(); 12];
+        assert_eq!(
+            fft_inplace(&mut buf),
+            Err(DspError::NonPowerOfTwoFft { len: 12 })
+        );
+    }
+
+    #[test]
+    fn rejects_empty() {
+        let mut buf: Vec<Complex> = vec![];
+        assert_eq!(fft_inplace(&mut buf), Err(DspError::EmptyInput));
+    }
+
+    #[test]
+    fn length_one_is_identity() {
+        let mut buf = vec![Complex::new(3.5, -1.0)];
+        fft_inplace(&mut buf).unwrap();
+        assert_eq!(buf[0], Complex::new(3.5, -1.0));
+    }
+
+    #[test]
+    fn impulse_has_flat_spectrum() {
+        let mut buf = vec![Complex::zero(); 32];
+        buf[0] = Complex::new(1.0, 0.0);
+        fft_inplace(&mut buf).unwrap();
+        for c in &buf {
+            assert_close(c.abs(), 1.0, 1e-5);
+        }
+    }
+
+    #[test]
+    fn sine_concentrates_in_two_bins() {
+        let n = 128;
+        let k = 7;
+        let signal: Vec<Complex> = (0..n)
+            .map(|i| {
+                Complex::new(
+                    (2.0 * std::f32::consts::PI * k as f32 * i as f32 / n as f32).sin(),
+                    0.0,
+                )
+            })
+            .collect();
+        let mut buf = signal;
+        fft_inplace(&mut buf).unwrap();
+        assert_close(buf[k].abs(), n as f32 / 2.0, 1e-2);
+        assert_close(buf[n - k].abs(), n as f32 / 2.0, 1e-2);
+        // Everything else is near zero.
+        for (i, c) in buf.iter().enumerate() {
+            if i != k && i != n - k {
+                assert!(c.abs() < 1e-2, "bin {i} = {}", c.abs());
+            }
+        }
+    }
+
+    #[test]
+    fn parseval_energy_is_preserved() {
+        let n = 64;
+        let signal: Vec<f32> = (0..n).map(|i| ((i * 37 % 17) as f32 - 8.0) / 8.0).collect();
+        let time_energy: f32 = signal.iter().map(|x| x * x).sum();
+        let mut buf: Vec<Complex> = signal.iter().map(|&x| Complex::new(x, 0.0)).collect();
+        fft_inplace(&mut buf).unwrap();
+        let freq_energy: f32 = buf.iter().map(|c| c.abs() * c.abs()).sum::<f32>() / n as f32;
+        assert_close(time_energy, freq_energy, 1e-2);
+    }
+
+    #[test]
+    fn rfft_magnitude_len_is_half_plus_one() {
+        let signal = vec![0.0f32; 256];
+        assert_eq!(rfft_magnitude(&signal).unwrap().len(), 129);
+    }
+
+    #[test]
+    fn linearity() {
+        let n = 32;
+        let a: Vec<Complex> = (0..n).map(|i| Complex::new((i % 5) as f32, 0.0)).collect();
+        let b: Vec<Complex> = (0..n).map(|i| Complex::new((i % 3) as f32, 0.5)).collect();
+        let sum: Vec<Complex> = a.iter().zip(&b).map(|(&x, &y)| x + y).collect();
+
+        let mut fa = a.clone();
+        let mut fb = b.clone();
+        let mut fs = sum.clone();
+        fft_inplace(&mut fa).unwrap();
+        fft_inplace(&mut fb).unwrap();
+        fft_inplace(&mut fs).unwrap();
+        for i in 0..n {
+            let expect = fa[i] + fb[i];
+            assert_close(fs[i].re, expect.re, 1e-3);
+            assert_close(fs[i].im, expect.im, 1e-3);
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based tests for the DSP kernels.
+
+use dsp::fft::{fft_inplace, ifft_inplace, Complex};
+use dsp::stats::{histogram, mean, min_max, variance};
+use dsp::{rms, zero_crossing_rate, Frames, MelFilterBank, Window};
+use proptest::prelude::*;
+
+fn signal_strategy(max_pow: u32) -> impl Strategy<Value = Vec<f32>> {
+    (1u32..=max_pow).prop_flat_map(|p| {
+        prop::collection::vec(-1.0f32..1.0, 1usize << p..=1usize << p)
+    })
+}
+
+proptest! {
+    /// `ifft(fft(x)) == x` for any power-of-two real signal.
+    #[test]
+    fn fft_round_trip(signal in signal_strategy(9)) {
+        let orig: Vec<Complex> = signal.iter().map(|&x| Complex::new(x, 0.0)).collect();
+        let mut buf = orig.clone();
+        fft_inplace(&mut buf).unwrap();
+        ifft_inplace(&mut buf).unwrap();
+        for (a, b) in orig.iter().zip(&buf) {
+            prop_assert!((a.re - b.re).abs() < 1e-3, "{} vs {}", a.re, b.re);
+            prop_assert!(b.im.abs() < 1e-3);
+        }
+    }
+
+    /// Parseval: time-domain energy equals frequency-domain energy / N.
+    #[test]
+    fn fft_preserves_energy(signal in signal_strategy(8)) {
+        let n = signal.len() as f32;
+        let te: f32 = signal.iter().map(|x| x * x).sum();
+        let mut buf: Vec<Complex> = signal.iter().map(|&x| Complex::new(x, 0.0)).collect();
+        fft_inplace(&mut buf).unwrap();
+        let fe: f32 = buf.iter().map(|c| c.abs() * c.abs()).sum::<f32>() / n;
+        prop_assert!((te - fe).abs() < 1e-2 * (1.0 + te), "{te} vs {fe}");
+    }
+
+    /// ZCR is always in [0, 1].
+    #[test]
+    fn zcr_bounded(signal in prop::collection::vec(-10.0f32..10.0, 2..512)) {
+        let z = zero_crossing_rate(&signal).unwrap();
+        prop_assert!((0.0..=1.0).contains(&z));
+    }
+
+    /// RMS is nonnegative and bounded by the peak magnitude.
+    #[test]
+    fn rms_bounded_by_peak(signal in prop::collection::vec(-10.0f32..10.0, 1..512)) {
+        let r = rms(&signal).unwrap();
+        let peak = signal.iter().fold(0.0f32, |a, &b| a.max(b.abs()));
+        prop_assert!(r >= 0.0);
+        prop_assert!(r <= peak + 1e-4);
+    }
+
+    /// Frame iterator yields exactly `count_frames()` frames of `frame_len`.
+    #[test]
+    fn frames_consistent(
+        signal in prop::collection::vec(0.0f32..1.0, 0..256),
+        frame_len in 1usize..32,
+        hop in 1usize..16,
+    ) {
+        let frames = Frames::new(&signal, frame_len, hop).unwrap();
+        let expected = frames.count_frames();
+        let collected: Vec<_> = frames.collect();
+        prop_assert_eq!(collected.len(), expected);
+        prop_assert!(collected.iter().all(|f| f.len() == frame_len));
+    }
+
+    /// Mel filterbank output is nonnegative for nonnegative spectra and
+    /// scales linearly with the input.
+    #[test]
+    fn mel_filterbank_linear(scale in 0.1f32..10.0) {
+        let bank = MelFilterBank::new(16_000.0, 256, 20).unwrap();
+        let spectrum: Vec<f32> = (0..129).map(|i| (i % 13) as f32 * 0.1).collect();
+        let scaled: Vec<f32> = spectrum.iter().map(|&x| x * scale).collect();
+        let e1 = bank.apply(&spectrum).unwrap();
+        let e2 = bank.apply(&scaled).unwrap();
+        for (a, b) in e1.iter().zip(&e2) {
+            prop_assert!((a * scale - b).abs() < 1e-3 * (1.0 + b.abs()));
+        }
+    }
+
+    /// Histogram fractions sum to 1 and every fraction is in [0, 1].
+    #[test]
+    fn histogram_is_distribution(
+        xs in prop::collection::vec(-100.0f32..100.0, 1..200),
+        bins in 1usize..32,
+    ) {
+        let h = histogram(&xs, bins).unwrap();
+        prop_assert_eq!(h.len(), bins);
+        let total: f32 = h.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-4);
+        prop_assert!(h.iter().all(|&b| (0.0..=1.0).contains(&b)));
+    }
+
+    /// Mean lies between min and max; variance is nonnegative.
+    #[test]
+    fn moments_sane(xs in prop::collection::vec(-50.0f32..50.0, 1..200)) {
+        let m = mean(&xs).unwrap();
+        let (lo, hi) = min_max(&xs).unwrap();
+        prop_assert!(m >= lo - 1e-4 && m <= hi + 1e-4);
+        prop_assert!(variance(&xs).unwrap() >= -1e-6);
+    }
+
+    /// Window coefficients stay in [0, 1] and application never increases
+    /// the peak magnitude.
+    #[test]
+    fn window_attenuates(len in 2usize..256) {
+        for w in [Window::Rectangular, Window::Hann, Window::Hamming, Window::Blackman] {
+            let mut frame = vec![1.0f32; len];
+            w.apply(&mut frame).unwrap();
+            prop_assert!(frame.iter().all(|&x| (-1e-6..=1.0 + 1e-6).contains(&x)));
+        }
+    }
+}

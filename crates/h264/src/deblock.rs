@@ -1,0 +1,233 @@
+//! In-loop deblocking filter with boundary-strength logic.
+//!
+//! The paper's first power knob: "the deactivation of the Deblocking Filter
+//! reduces up to 31.4% power consumption with minor degradation of video
+//! quality in terms of fuzzy MB edges". The filter here follows the H.264
+//! structure: per 4×4 block edge a boundary strength (BS) is derived from
+//! the coding decisions on both sides, and edges with BS > 0 whose pixel
+//! step is below a QP-dependent threshold are low-pass filtered.
+
+use crate::frame::{Frame, BLOCK_SIZE};
+
+/// Per-4×4-block coding information the filter needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BlockInfo {
+    /// The block was intra coded.
+    pub intra: bool,
+    /// The block carried nonzero residual coefficients.
+    pub coded: bool,
+    /// Motion vector (zero for intra blocks).
+    pub mv_x: i32,
+    /// Motion vector, vertical component.
+    pub mv_y: i32,
+}
+
+/// Boundary strength between two adjacent blocks, per the H.264 rules
+/// (simplified: 4 → 2 for intra, 1 for coded-or-moving, 0 otherwise).
+pub fn boundary_strength(a: BlockInfo, b: BlockInfo) -> u8 {
+    if a.intra || b.intra {
+        2
+    } else if a.coded || b.coded || (a.mv_x - b.mv_x).abs() >= 4 || (a.mv_y - b.mv_y).abs() >= 4 {
+        1
+    } else {
+        0
+    }
+}
+
+/// QP-dependent edge threshold (alpha): edges with a larger pixel step are
+/// assumed to be real content and left alone.
+pub fn alpha(qp: u8) -> i32 {
+    // Roughly exponential in QP like the spec's alpha table.
+    (2.0 * 1.12f32.powi(i32::from(qp))).min(255.0) as i32
+}
+
+/// Report of one deblocking pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DeblockReport {
+    /// Edges examined.
+    pub edges_checked: u64,
+    /// Edges actually filtered.
+    pub edges_filtered: u64,
+}
+
+/// Filters all internal 4×4 edges of `frame` in place, given per-block
+/// coding info laid out row-major over the block grid
+/// (`blocks_x = width / 4`).
+///
+/// Returns the edge counts (the module's activity metric).
+///
+/// # Panics
+///
+/// Panics when `info.len()` does not match the frame's block grid.
+pub fn deblock_frame(frame: &mut Frame, info: &[BlockInfo], qp: u8) -> DeblockReport {
+    let blocks_x = frame.width() / BLOCK_SIZE;
+    let blocks_y = frame.height() / BLOCK_SIZE;
+    assert_eq!(
+        info.len(),
+        blocks_x * blocks_y,
+        "block info grid must match the frame"
+    );
+    let a = alpha(qp);
+    let mut report = DeblockReport::default();
+
+    // Vertical edges (between horizontally adjacent blocks).
+    for by in 0..blocks_y {
+        for bx in 1..blocks_x {
+            let left = info[by * blocks_x + bx - 1];
+            let right = info[by * blocks_x + bx];
+            report.edges_checked += 1;
+            if boundary_strength(left, right) == 0 {
+                continue;
+            }
+            let x = bx * BLOCK_SIZE;
+            let mut touched = false;
+            for row in 0..BLOCK_SIZE {
+                let y = by * BLOCK_SIZE + row;
+                let p1 = i32::from(frame.pixel(x - 2, y));
+                let p0 = i32::from(frame.pixel(x - 1, y));
+                let q0 = i32::from(frame.pixel(x, y));
+                let q1 = i32::from(frame.pixel(x + 1, y));
+                if (p0 - q0).abs() < a && (p0 - q0).abs() > 0 {
+                    let new_p0 = (p1 + 2 * p0 + q0 + 2) >> 2;
+                    let new_q0 = (p0 + 2 * q0 + q1 + 2) >> 2;
+                    frame.set_pixel(x - 1, y, new_p0.clamp(0, 255) as u8);
+                    frame.set_pixel(x, y, new_q0.clamp(0, 255) as u8);
+                    touched = true;
+                }
+            }
+            if touched {
+                report.edges_filtered += 1;
+            }
+        }
+    }
+
+    // Horizontal edges (between vertically adjacent blocks).
+    for by in 1..blocks_y {
+        for bx in 0..blocks_x {
+            let top = info[(by - 1) * blocks_x + bx];
+            let bottom = info[by * blocks_x + bx];
+            report.edges_checked += 1;
+            if boundary_strength(top, bottom) == 0 {
+                continue;
+            }
+            let y = by * BLOCK_SIZE;
+            let mut touched = false;
+            for col in 0..BLOCK_SIZE {
+                let x = bx * BLOCK_SIZE + col;
+                let p1 = i32::from(frame.pixel(x, y - 2));
+                let p0 = i32::from(frame.pixel(x, y - 1));
+                let q0 = i32::from(frame.pixel(x, y));
+                let q1 = i32::from(frame.pixel(x, y + 1));
+                if (p0 - q0).abs() < a && (p0 - q0).abs() > 0 {
+                    let new_p0 = (p1 + 2 * p0 + q0 + 2) >> 2;
+                    let new_q0 = (p0 + 2 * q0 + q1 + 2) >> 2;
+                    frame.set_pixel(x, y - 1, new_p0.clamp(0, 255) as u8);
+                    frame.set_pixel(x, y, new_q0.clamp(0, 255) as u8);
+                    touched = true;
+                }
+            }
+            if touched {
+                report.edges_filtered += 1;
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn intra_info(n: usize) -> Vec<BlockInfo> {
+        vec![
+            BlockInfo {
+                intra: true,
+                coded: true,
+                mv_x: 0,
+                mv_y: 0
+            };
+            n
+        ]
+    }
+
+    #[test]
+    fn boundary_strength_rules() {
+        let intra = BlockInfo {
+            intra: true,
+            ..BlockInfo::default()
+        };
+        let coded = BlockInfo {
+            coded: true,
+            ..BlockInfo::default()
+        };
+        let moving = BlockInfo {
+            mv_x: 8,
+            ..BlockInfo::default()
+        };
+        let still = BlockInfo::default();
+        assert_eq!(boundary_strength(intra, still), 2);
+        assert_eq!(boundary_strength(still, coded), 1);
+        assert_eq!(boundary_strength(moving, still), 1);
+        assert_eq!(boundary_strength(still, still), 0);
+    }
+
+    #[test]
+    fn alpha_grows_with_qp() {
+        assert!(alpha(40) > alpha(20));
+        assert!(alpha(51) <= 255);
+    }
+
+    #[test]
+    fn filter_smooths_a_block_edge() {
+        let mut f = Frame::new(16, 16).unwrap();
+        // Hard vertical step at x = 4 (a 4×4 block boundary).
+        for y in 0..16 {
+            for x in 0..16 {
+                f.set_pixel(x, y, if x < 4 { 100 } else { 120 });
+            }
+        }
+        let info = intra_info(16);
+        let before = (i32::from(f.pixel(3, 8)) - i32::from(f.pixel(4, 8))).abs();
+        let report = deblock_frame(&mut f, &info, 30);
+        let after = (i32::from(f.pixel(3, 8)) - i32::from(f.pixel(4, 8))).abs();
+        assert!(after < before, "{after} vs {before}");
+        assert!(report.edges_filtered > 0);
+    }
+
+    #[test]
+    fn real_edges_above_alpha_left_alone() {
+        let mut f = Frame::new(16, 16).unwrap();
+        for y in 0..16 {
+            for x in 0..16 {
+                f.set_pixel(x, y, if x < 4 { 0 } else { 255 });
+            }
+        }
+        let info = intra_info(16);
+        deblock_frame(&mut f, &info, 10); // low QP -> small alpha
+        assert_eq!(f.pixel(3, 8), 0);
+        assert_eq!(f.pixel(4, 8), 255);
+    }
+
+    #[test]
+    fn zero_bs_edges_skipped() {
+        let mut f = Frame::new(16, 16).unwrap();
+        for y in 0..16 {
+            for x in 0..16 {
+                f.set_pixel(x, y, if x < 4 { 100 } else { 120 });
+            }
+        }
+        let info = vec![BlockInfo::default(); 16]; // all skip blocks
+        let report = deblock_frame(&mut f, &info, 30);
+        assert_eq!(report.edges_filtered, 0);
+        assert_eq!(f.pixel(4, 8), 120);
+    }
+
+    #[test]
+    fn edge_counts_match_grid() {
+        let mut f = Frame::new(32, 16).unwrap();
+        let info = intra_info((32 / 4) * (16 / 4));
+        let report = deblock_frame(&mut f, &info, 30);
+        // 8x4 block grid: vertical edges 7*4, horizontal edges 8*3.
+        assert_eq!(report.edges_checked, 7 * 4 + 8 * 3);
+    }
+}

@@ -1,0 +1,666 @@
+//! The decoder: the paper's Fig. 5 pipeline with per-module activity
+//! accounting and the two affect-driven power knobs.
+
+use crate::buffers::{select_units, BufferChain, BufferStats, SelectionReport, SelectorParams};
+use crate::cavlc::{coeff_count, context_for, decode_block};
+use crate::deblock::{deblock_frame, BlockInfo};
+use crate::expgolomb::BitReader;
+use crate::frame::{Frame, BLOCKS_PER_MB, BLOCK_SIZE, MB_SIZE};
+use crate::inter::{compensate_mb, compensate_mb_bi, compensate_mb_bi_hp, compensate_mb_hp, MotionVector};
+use crate::intra::{predict, IntraMode};
+use crate::nal::{split_annex_b, write_annex_b, NalType, NalUnit};
+use crate::transform::decode_residual;
+use crate::CodecError;
+
+/// Per-module activity counters — the power model's inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Activity {
+    /// Bits consumed by the bitstream parser (Exp-Golomb + CAVLC reads).
+    pub parser_bits: u64,
+    /// VLC symbols decoded by the CAVLC module.
+    pub cavlc_symbols: u64,
+    /// 4×4 inverse transforms performed (IQIT).
+    pub iqit_blocks: u64,
+    /// 4×4 intra predictions.
+    pub intra_blocks: u64,
+    /// Motion-compensated macroblocks (bi-prediction counts twice).
+    pub inter_mb_refs: u64,
+    /// Deblocking edges examined.
+    pub deblock_edges: u64,
+    /// Bytes moved through the buffer front end.
+    pub buffer_bytes: u64,
+    /// Frames emitted.
+    pub frames: u64,
+}
+
+impl Activity {
+    /// Adds another activity record into this one.
+    pub fn merge(&mut self, other: &Activity) {
+        self.parser_bits += other.parser_bits;
+        self.cavlc_symbols += other.cavlc_symbols;
+        self.iqit_blocks += other.iqit_blocks;
+        self.intra_blocks += other.intra_blocks;
+        self.inter_mb_refs += other.inter_mb_refs;
+        self.deblock_edges += other.deblock_edges;
+        self.buffer_bytes += other.buffer_bytes;
+        self.frames += other.frames;
+    }
+}
+
+/// Decoder configuration: the two power knobs of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecoderOptions {
+    /// Run the in-loop deblocking filter (knob 1; `false` = the paper's
+    /// "deactivated" mode, −31.4% power).
+    pub deblock: bool,
+    /// Input Selector parameters (knob 2; `Some(S_th, f)` deletes small
+    /// P/B NAL units).
+    pub selector: Option<SelectorParams>,
+}
+
+impl Default for DecoderOptions {
+    fn default() -> Self {
+        Self {
+            deblock: true,
+            selector: None,
+        }
+    }
+}
+
+/// Everything a decode run produces.
+#[derive(Debug, Clone)]
+pub struct DecodeOutput {
+    /// Decoded frames in display order. Frames whose NAL units were deleted
+    /// are concealed by repeating the previous frame, so the count always
+    /// matches the encoded clip.
+    pub frames: Vec<Frame>,
+    /// Per-module activity.
+    pub activity: Activity,
+    /// Input Selector report (empty selection when no selector configured).
+    pub selection: SelectionReport,
+    /// Buffer front-end statistics.
+    pub buffer: BufferStats,
+}
+
+/// The decoder. See the crate-level example.
+#[derive(Debug, Clone)]
+pub struct Decoder {
+    options: DecoderOptions,
+}
+
+struct SliceContext {
+    blocks_x: usize,
+    coeff_grid: Vec<u32>,
+    block_info: Vec<BlockInfo>,
+}
+
+impl SliceContext {
+    fn new(width: usize, height: usize) -> Self {
+        let blocks_x = width / BLOCK_SIZE;
+        let blocks_y = height / BLOCK_SIZE;
+        Self {
+            blocks_x,
+            coeff_grid: vec![0; blocks_x * blocks_y],
+            block_info: vec![BlockInfo::default(); blocks_x * blocks_y],
+        }
+    }
+
+    fn context_at(&self, bx: usize, by: usize) -> usize {
+        let mut sum = 0u32;
+        let mut n = 0u32;
+        if bx > 0 {
+            sum += self.coeff_grid[by * self.blocks_x + bx - 1];
+            n += 1;
+        }
+        if by > 0 {
+            sum += self.coeff_grid[(by - 1) * self.blocks_x + bx];
+            n += 1;
+        }
+        context_for(sum.checked_div(n).unwrap_or(0))
+    }
+
+    fn record(&mut self, bx: usize, by: usize, coeffs: u32, info: BlockInfo) {
+        self.coeff_grid[by * self.blocks_x + bx] = coeffs;
+        self.block_info[by * self.blocks_x + bx] = info;
+    }
+}
+
+impl Decoder {
+    /// Creates a decoder with the given power-knob settings.
+    pub fn new(options: DecoderOptions) -> Self {
+        Self { options }
+    }
+
+    /// The active options.
+    pub fn options(&self) -> &DecoderOptions {
+        &self.options
+    }
+
+    /// Decodes an Annex-B bitstream.
+    ///
+    /// # Errors
+    ///
+    /// Returns syntax errors for malformed streams,
+    /// [`CodecError::InvalidSyntax`] when the stream lacks a leading SPS,
+    /// and [`CodecError::MissingReference`] when the first slice is not an
+    /// I slice.
+    pub fn decode(&mut self, stream: &[u8]) -> Result<DecodeOutput, CodecError> {
+        let all_units = split_annex_b(stream)?;
+
+        // Input Selector (knob 2).
+        let (units, selection) = match self.options.selector {
+            Some(params) => {
+                let report = select_units(&all_units, params);
+                (report.kept.clone(), report)
+            }
+            None => {
+                let kept_bytes = all_units.iter().map(NalUnit::wire_size).sum();
+                (
+                    all_units.clone(),
+                    SelectionReport {
+                        kept: all_units,
+                        kept_bytes,
+                        ..SelectionReport::default()
+                    },
+                )
+            }
+        };
+
+        // Pump the surviving bytes through the Pre-store/Circular chain.
+        let surviving = write_annex_b(&units);
+        let mut chain = BufferChain::paper_sized();
+        let buffer = chain.pump(&surviving);
+
+        let mut activity = Activity {
+            buffer_bytes: (buffer.prestore_writes + buffer.circular_writes) as u64,
+            ..Activity::default()
+        };
+
+        // SPS first.
+        let Some((sps, slices)) = units.split_first() else {
+            return Err(CodecError::InvalidSyntax("empty stream"));
+        };
+        if sps.nal_type != NalType::Sps {
+            return Err(CodecError::InvalidSyntax("stream must start with sps"));
+        }
+        let mut r = BitReader::new(&sps.payload);
+        let mb_cols = r.read_ue()? as usize;
+        let mb_rows = r.read_ue()? as usize;
+        let qp = r.read_ue()?;
+        let total_frames = r.read_ue()? as usize;
+        activity.parser_bits += r.bits_read() as u64;
+        // Sanity bounds defend against corrupted streams requesting
+        // pathological allocations (a fuzzer's favourite trick).
+        const MAX_MBS: usize = 1024; // 16384 pixels per side
+        const MAX_FRAMES: usize = 100_000;
+        if qp > 51 || mb_cols == 0 || mb_rows == 0 || mb_cols > MAX_MBS || mb_rows > MAX_MBS {
+            return Err(CodecError::InvalidSyntax("sps parameters out of range"));
+        }
+        if total_frames > MAX_FRAMES {
+            return Err(CodecError::InvalidSyntax("implausible frame count"));
+        }
+        let qp = qp as u8;
+        let (width, height) = (mb_cols * MB_SIZE, mb_rows * MB_SIZE);
+
+        let mut frames: Vec<Frame> = Vec::with_capacity(total_frames);
+        let mut refs: Vec<Frame> = Vec::new();
+
+        for unit in slices {
+            let mut reader = BitReader::new(&unit.payload);
+            let frame_num = reader.read_ue()? as usize;
+            if frame_num >= total_frames.max(1) + 16 {
+                return Err(CodecError::InvalidSyntax("frame number out of range"));
+            }
+
+            // Conceal frames whose NAL units were deleted: repeat the last
+            // emitted frame (or black if nothing decoded yet).
+            while frames.len() < frame_num {
+                let concealed = frames
+                    .last()
+                    .cloned()
+                    .map_or_else(|| Frame::new(width, height), Ok)?;
+                frames.push(concealed);
+                activity.frames += 1;
+            }
+
+            let decoded = self.decode_slice(
+                unit.nal_type,
+                &mut reader,
+                width,
+                height,
+                qp,
+                &refs,
+                &mut activity,
+            )?;
+            activity.parser_bits += reader.bits_read() as u64;
+
+            if unit.nal_type != NalType::BSlice {
+                refs.push(decoded.clone());
+                if refs.len() > 2 {
+                    refs.remove(0);
+                }
+            }
+            if frames.len() == frame_num {
+                frames.push(decoded);
+            } else {
+                // Out-of-order or duplicate frame_num: overwrite concealment.
+                frames[frame_num] = decoded;
+            }
+            activity.frames += 1;
+        }
+
+        // Conceal a deleted tail.
+        while frames.len() < total_frames {
+            let concealed = frames
+                .last()
+                .cloned()
+                .map_or_else(|| Frame::new(width, height), Ok)?;
+            frames.push(concealed);
+            activity.frames += 1;
+        }
+
+        Ok(DecodeOutput {
+            frames,
+            activity,
+            selection,
+            buffer,
+        })
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn decode_slice(
+        &self,
+        nal_type: NalType,
+        reader: &mut BitReader<'_>,
+        width: usize,
+        height: usize,
+        qp: u8,
+        refs: &[Frame],
+        activity: &mut Activity,
+    ) -> Result<Frame, CodecError> {
+        let mut frame = Frame::new(width, height)?;
+        let mut ctx = SliceContext::new(width, height);
+
+        for mb_y in 0..height / MB_SIZE {
+            for mb_x in 0..width / MB_SIZE {
+                match nal_type {
+                    NalType::IdrSlice => {
+                        self.decode_intra_mb(reader, &mut frame, &mut ctx, mb_x, mb_y, qp, activity)?;
+                    }
+                    NalType::PSlice => {
+                        let reference = refs.last().ok_or(CodecError::MissingReference)?;
+                        self.decode_p_mb(
+                            reader, &mut frame, &mut ctx, reference, mb_x, mb_y, qp, activity,
+                        )?;
+                    }
+                    NalType::BSlice => {
+                        let ref1 = refs.last().ok_or(CodecError::MissingReference)?;
+                        let ref0 = if refs.len() >= 2 { &refs[0] } else { ref1 };
+                        self.decode_b_mb(
+                            reader, &mut frame, &mut ctx, ref0, ref1, mb_x, mb_y, qp, activity,
+                        )?;
+                    }
+                    NalType::Sps => return Err(CodecError::InvalidSyntax("nested sps")),
+                }
+            }
+        }
+
+        // Knob 1: the deblocking filter.
+        if self.options.deblock {
+            let report = deblock_frame(&mut frame, &ctx.block_info, qp);
+            activity.deblock_edges += report.edges_checked;
+        }
+        Ok(frame)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn decode_intra_mb(
+        &self,
+        reader: &mut BitReader<'_>,
+        frame: &mut Frame,
+        ctx: &mut SliceContext,
+        mb_x: usize,
+        mb_y: usize,
+        qp: u8,
+        activity: &mut Activity,
+    ) -> Result<(), CodecError> {
+        for sub_y in 0..BLOCKS_PER_MB {
+            for sub_x in 0..BLOCKS_PER_MB {
+                let x = mb_x * MB_SIZE + sub_x * BLOCK_SIZE;
+                let y = mb_y * MB_SIZE + sub_y * BLOCK_SIZE;
+                let (bx, by) = (x / BLOCK_SIZE, y / BLOCK_SIZE);
+                let mode = IntraMode::from_code(reader.read_ue()?)?;
+                let context = ctx.context_at(bx, by);
+                let (zz, symbols) = decode_block(reader, context)?;
+                activity.cavlc_symbols += u64::from(symbols);
+                let pred = predict(frame, x, y, mode);
+                activity.intra_blocks += 1;
+                let residual = decode_residual(&zz, qp)?;
+                activity.iqit_blocks += 1;
+                let mut rec = [0i32; 16];
+                for i in 0..16 {
+                    rec[i] = pred[i] + residual[i];
+                }
+                frame.write_block(x, y, &rec);
+                ctx.record(
+                    bx,
+                    by,
+                    coeff_count(&zz),
+                    BlockInfo {
+                        intra: true,
+                        coded: coeff_count(&zz) > 0,
+                        mv_x: 0,
+                        mv_y: 0,
+                    },
+                );
+            }
+        }
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn decode_p_mb(
+        &self,
+        reader: &mut BitReader<'_>,
+        frame: &mut Frame,
+        ctx: &mut SliceContext,
+        reference: &Frame,
+        mb_x: usize,
+        mb_y: usize,
+        qp: u8,
+        activity: &mut Activity,
+    ) -> Result<(), CodecError> {
+        let mb_type = reader.read_ue()?;
+        match mb_type {
+            0 => {
+                let mut pred = [0i32; MB_SIZE * MB_SIZE];
+                compensate_mb(reference, mb_x, mb_y, MotionVector::default(), &mut pred);
+                activity.inter_mb_refs += 1;
+                write_mb(frame, mb_x, mb_y, &pred);
+                record_skip(ctx, mb_x, mb_y);
+                Ok(())
+            }
+            1 => {
+                // Motion vectors are coded in half-pel units.
+                let mv = MotionVector::new(reader.read_se()?, reader.read_se()?);
+                let mut pred = [0i32; MB_SIZE * MB_SIZE];
+                compensate_mb_hp(reference, mb_x, mb_y, mv, &mut pred);
+                activity.inter_mb_refs += 1;
+                self.decode_mb_residual(reader, frame, ctx, &pred, mb_x, mb_y, qp, mv, activity)
+            }
+            _ => Err(CodecError::InvalidSyntax("p macroblock type")),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn decode_b_mb(
+        &self,
+        reader: &mut BitReader<'_>,
+        frame: &mut Frame,
+        ctx: &mut SliceContext,
+        ref0: &Frame,
+        ref1: &Frame,
+        mb_x: usize,
+        mb_y: usize,
+        qp: u8,
+        activity: &mut Activity,
+    ) -> Result<(), CodecError> {
+        let mb_type = reader.read_ue()?;
+        match mb_type {
+            0 => {
+                let mut pred = [0i32; MB_SIZE * MB_SIZE];
+                compensate_mb_bi(
+                    ref0,
+                    ref1,
+                    mb_x,
+                    mb_y,
+                    MotionVector::default(),
+                    MotionVector::default(),
+                    &mut pred,
+                );
+                activity.inter_mb_refs += 2;
+                write_mb(frame, mb_x, mb_y, &pred);
+                record_skip(ctx, mb_x, mb_y);
+                Ok(())
+            }
+            1 => {
+                let mv0 = MotionVector::new(reader.read_se()?, reader.read_se()?);
+                let mv1 = MotionVector::new(reader.read_se()?, reader.read_se()?);
+                let mut pred = [0i32; MB_SIZE * MB_SIZE];
+                compensate_mb_bi_hp(ref0, ref1, mb_x, mb_y, mv0, mv1, &mut pred);
+                activity.inter_mb_refs += 2;
+                self.decode_mb_residual(reader, frame, ctx, &pred, mb_x, mb_y, qp, mv0, activity)
+            }
+            _ => Err(CodecError::InvalidSyntax("b macroblock type")),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn decode_mb_residual(
+        &self,
+        reader: &mut BitReader<'_>,
+        frame: &mut Frame,
+        ctx: &mut SliceContext,
+        pred: &[i32; MB_SIZE * MB_SIZE],
+        mb_x: usize,
+        mb_y: usize,
+        qp: u8,
+        mv: MotionVector,
+        activity: &mut Activity,
+    ) -> Result<(), CodecError> {
+        for sub_y in 0..BLOCKS_PER_MB {
+            for sub_x in 0..BLOCKS_PER_MB {
+                let x = mb_x * MB_SIZE + sub_x * BLOCK_SIZE;
+                let y = mb_y * MB_SIZE + sub_y * BLOCK_SIZE;
+                let (bx, by) = (x / BLOCK_SIZE, y / BLOCK_SIZE);
+                let context = ctx.context_at(bx, by);
+                let (zz, symbols) = decode_block(reader, context)?;
+                activity.cavlc_symbols += u64::from(symbols);
+                let residual = decode_residual(&zz, qp)?;
+                activity.iqit_blocks += 1;
+                let mut rec = [0i32; 16];
+                for dy in 0..BLOCK_SIZE {
+                    for dx in 0..BLOCK_SIZE {
+                        let p = pred[(sub_y * BLOCK_SIZE + dy) * MB_SIZE + sub_x * BLOCK_SIZE + dx];
+                        rec[dy * BLOCK_SIZE + dx] = p + residual[dy * BLOCK_SIZE + dx];
+                    }
+                }
+                frame.write_block(x, y, &rec);
+                ctx.record(
+                    bx,
+                    by,
+                    coeff_count(&zz),
+                    BlockInfo {
+                        intra: false,
+                        coded: coeff_count(&zz) > 0,
+                        mv_x: mv.x,
+                        mv_y: mv.y,
+                    },
+                );
+            }
+        }
+        Ok(())
+    }
+}
+
+fn write_mb(frame: &mut Frame, mb_x: usize, mb_y: usize, pred: &[i32; MB_SIZE * MB_SIZE]) {
+    for dy in 0..MB_SIZE {
+        for dx in 0..MB_SIZE {
+            frame.set_pixel(
+                mb_x * MB_SIZE + dx,
+                mb_y * MB_SIZE + dy,
+                pred[dy * MB_SIZE + dx].clamp(0, 255) as u8,
+            );
+        }
+    }
+}
+
+fn record_skip(ctx: &mut SliceContext, mb_x: usize, mb_y: usize) {
+    for sub_y in 0..BLOCKS_PER_MB {
+        for sub_x in 0..BLOCKS_PER_MB {
+            ctx.record(
+                mb_x * BLOCKS_PER_MB + sub_x,
+                mb_y * BLOCKS_PER_MB + sub_y,
+                0,
+                BlockInfo::default(),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoder::{Encoder, EncoderConfig, GopPattern};
+    use crate::quality::mean_psnr;
+    use crate::video::synthetic_clip;
+
+    fn encode_clip(qp: u8, n: usize) -> (Vec<Frame>, Vec<u8>) {
+        let frames = synthetic_clip(48, 48, n, 3).unwrap();
+        let enc = Encoder::new(EncoderConfig {
+            qp,
+            gop: GopPattern {
+                intra_period: 6,
+                b_between: 1,
+            },
+            ..EncoderConfig::default()
+        })
+        .unwrap();
+        let stream = enc.encode(&frames).unwrap();
+        (frames, stream)
+    }
+
+    #[test]
+    fn decode_reproduces_frame_count() {
+        let (frames, stream) = encode_clip(28, 7);
+        let mut dec = Decoder::new(DecoderOptions::default());
+        let out = dec.decode(&stream).unwrap();
+        assert_eq!(out.frames.len(), frames.len());
+    }
+
+    #[test]
+    fn decode_quality_reasonable_at_moderate_qp() {
+        let (frames, stream) = encode_clip(20, 6);
+        let mut dec = Decoder::new(DecoderOptions::default());
+        let out = dec.decode(&stream).unwrap();
+        let psnr = mean_psnr(&frames, &out.frames).unwrap();
+        assert!(psnr > 28.0, "psnr {psnr}");
+    }
+
+    #[test]
+    fn lower_qp_gives_higher_quality() {
+        let (frames, hi_q) = encode_clip(12, 5);
+        let (_, lo_q) = encode_clip(40, 5);
+        let psnr_hi = mean_psnr(
+            &frames,
+            &Decoder::new(DecoderOptions::default())
+                .decode(&hi_q)
+                .unwrap()
+                .frames,
+        )
+        .unwrap();
+        let psnr_lo = mean_psnr(
+            &frames,
+            &Decoder::new(DecoderOptions::default())
+                .decode(&lo_q)
+                .unwrap()
+                .frames,
+        )
+        .unwrap();
+        assert!(psnr_hi > psnr_lo + 3.0, "{psnr_hi} vs {psnr_lo}");
+    }
+
+    #[test]
+    fn deblock_off_reduces_activity_and_quality() {
+        let (frames, stream) = encode_clip(32, 6);
+        let on = Decoder::new(DecoderOptions::default())
+            .decode(&stream)
+            .unwrap();
+        let off = Decoder::new(DecoderOptions {
+            deblock: false,
+            selector: None,
+        })
+        .decode(&stream)
+        .unwrap();
+        assert!(on.activity.deblock_edges > 0);
+        assert_eq!(off.activity.deblock_edges, 0);
+        let psnr_on = mean_psnr(&frames, &on.frames).unwrap();
+        let psnr_off = mean_psnr(&frames, &off.frames).unwrap();
+        assert!(psnr_on >= psnr_off, "{psnr_on} vs {psnr_off}");
+    }
+
+    #[test]
+    fn selector_deletes_and_conceals() {
+        let (frames, stream) = crate::adaptive::paper_reference(5).unwrap();
+        let mut dec = Decoder::new(DecoderOptions {
+            deblock: true,
+            selector: Some(SelectorParams::PAPER),
+        });
+        let out = dec.decode(&stream).unwrap();
+        assert_eq!(out.frames.len(), frames.len());
+        // On this content some B/P units are small enough to be candidates.
+        assert!(out.selection.candidates > 0, "no deletion candidates");
+    }
+
+    #[test]
+    fn deletion_reduces_parser_work() {
+        let (_, stream) = encode_clip(36, 12); // high qp -> small P/B units
+        let full = Decoder::new(DecoderOptions::default())
+            .decode(&stream)
+            .unwrap();
+        let pruned = Decoder::new(DecoderOptions {
+            deblock: true,
+            selector: Some(SelectorParams { s_th: 4000, f: 1 }),
+        })
+        .decode(&stream)
+        .unwrap();
+        assert!(pruned.selection.deleted_units > 0);
+        assert!(pruned.activity.parser_bits < full.activity.parser_bits);
+        assert!(pruned.activity.iqit_blocks < full.activity.iqit_blocks);
+    }
+
+    #[test]
+    fn rejects_stream_without_sps() {
+        let unit = NalUnit::new(NalType::IdrSlice, vec![0x80]);
+        let stream = write_annex_b(&[unit]);
+        assert!(Decoder::new(DecoderOptions::default())
+            .decode(&stream)
+            .is_err());
+    }
+
+    #[test]
+    fn activity_merge_adds_fields() {
+        let (_, stream) = encode_clip(28, 4);
+        let out = Decoder::new(DecoderOptions::default())
+            .decode(&stream)
+            .unwrap();
+        let mut doubled = out.activity;
+        doubled.merge(&out.activity);
+        assert_eq!(doubled.frames, 2 * out.activity.frames);
+        assert_eq!(doubled.parser_bits, 2 * out.activity.parser_bits);
+        assert_eq!(doubled.deblock_edges, 2 * out.activity.deblock_edges);
+    }
+
+    #[test]
+    fn decoder_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<Decoder>();
+        assert_send::<DecodeOutput>();
+    }
+
+    #[test]
+    fn activity_counters_populated() {
+        let (_, stream) = encode_clip(28, 6);
+        let out = Decoder::new(DecoderOptions::default())
+            .decode(&stream)
+            .unwrap();
+        let a = out.activity;
+        assert!(a.parser_bits > 0);
+        assert!(a.cavlc_symbols > 0);
+        assert!(a.iqit_blocks > 0);
+        assert!(a.intra_blocks > 0);
+        assert!(a.inter_mb_refs > 0);
+        assert!(a.buffer_bytes > 0);
+        assert_eq!(a.frames, 6);
+    }
+}

@@ -1,0 +1,606 @@
+//! The encoder: produces Annex-B bitstreams the decoder consumes.
+//!
+//! Not part of the paper's contribution (the paper decodes existing
+//! streams), but required to generate conformant input: GOP structuring
+//! with I/P/B slices, intra mode decision, full-search motion estimation,
+//! residual transform/quantization and CAVLC coding, with an in-loop
+//! deblocked reconstruction that exactly mirrors the decoder.
+
+use crate::cavlc::{coeff_count, context_for, encode_block};
+use crate::deblock::{deblock_frame, BlockInfo};
+use crate::expgolomb::BitWriter;
+use crate::frame::{Frame, BLOCKS_PER_MB, BLOCK_SIZE, MB_SIZE};
+use crate::inter::{compensate_mb, compensate_mb_bi, compensate_mb_bi_hp, compensate_mb_hp, estimate_motion_halfpel, sad_mb, MotionVector};
+use crate::intra::{best_mode, predict};
+use crate::nal::{write_annex_b, NalType, NalUnit};
+use crate::transform::{decode_residual, encode_residual};
+use crate::CodecError;
+
+/// Frame coding kind within a GOP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FrameKind {
+    /// Intra frame (IDR).
+    I,
+    /// Predicted frame (one reference).
+    P,
+    /// Bi-predicted frame (two references, not itself a reference).
+    B,
+}
+
+/// GOP structure: an I frame every `intra_period` frames, with `b_between`
+/// B frames between consecutive reference frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GopPattern {
+    /// Distance between I frames.
+    pub intra_period: usize,
+    /// Number of B frames between references.
+    pub b_between: usize,
+}
+
+impl Default for GopPattern {
+    fn default() -> Self {
+        Self {
+            intra_period: 12,
+            b_between: 1,
+        }
+    }
+}
+
+impl GopPattern {
+    /// The coding kind of frame `index`.
+    pub fn kind(&self, index: usize) -> FrameKind {
+        let period = self.intra_period.max(1);
+        let offset = index % period;
+        if offset == 0 {
+            FrameKind::I
+        } else if offset.is_multiple_of(self.b_between + 1) {
+            FrameKind::P
+        } else {
+            FrameKind::B
+        }
+    }
+}
+
+/// Encoder configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EncoderConfig {
+    /// Quantization parameter, 0..=51.
+    pub qp: u8,
+    /// GOP structure.
+    pub gop: GopPattern,
+    /// Motion search range in pixels.
+    pub search_range: i32,
+    /// Macroblock SAD below which a P/B macroblock is coded as skip.
+    pub skip_threshold: u32,
+}
+
+impl Default for EncoderConfig {
+    fn default() -> Self {
+        Self {
+            qp: 28,
+            gop: GopPattern::default(),
+            search_range: 4,
+            skip_threshold: 300,
+        }
+    }
+}
+
+/// The encoder. See the crate-level example.
+#[derive(Debug, Clone)]
+pub struct Encoder {
+    config: EncoderConfig,
+}
+
+/// Shared per-frame coding state (mirrored exactly by the decoder).
+struct FrameCoder {
+    blocks_x: usize,
+    /// Per-4×4-block nonzero-coefficient counts (CAVLC context grid).
+    coeff_grid: Vec<u32>,
+    /// Per-4×4-block info for the deblocking filter.
+    block_info: Vec<BlockInfo>,
+}
+
+impl FrameCoder {
+    fn new(width: usize, height: usize) -> Self {
+        let blocks_x = width / BLOCK_SIZE;
+        let blocks_y = height / BLOCK_SIZE;
+        Self {
+            blocks_x,
+            coeff_grid: vec![0; blocks_x * blocks_y],
+            block_info: vec![BlockInfo::default(); blocks_x * blocks_y],
+        }
+    }
+
+    fn context_at(&self, bx: usize, by: usize) -> usize {
+        let mut sum = 0u32;
+        let mut n = 0u32;
+        if bx > 0 {
+            sum += self.coeff_grid[by * self.blocks_x + bx - 1];
+            n += 1;
+        }
+        if by > 0 {
+            sum += self.coeff_grid[(by - 1) * self.blocks_x + bx];
+            n += 1;
+        }
+        context_for(sum.checked_div(n).unwrap_or(0))
+    }
+
+    fn record(&mut self, bx: usize, by: usize, coeffs: u32, info: BlockInfo) {
+        self.coeff_grid[by * self.blocks_x + bx] = coeffs;
+        self.block_info[by * self.blocks_x + bx] = info;
+    }
+}
+
+impl Encoder {
+    /// Creates an encoder.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::InvalidParameter`] for QP above 51, a zero
+    /// intra period, or a non-positive search range.
+    pub fn new(config: EncoderConfig) -> Result<Self, CodecError> {
+        if config.qp > 51 {
+            return Err(CodecError::InvalidParameter {
+                name: "qp",
+                reason: "must be at most 51",
+            });
+        }
+        if config.gop.intra_period == 0 {
+            return Err(CodecError::InvalidParameter {
+                name: "intra_period",
+                reason: "must be non-zero",
+            });
+        }
+        if config.search_range < 0 {
+            return Err(CodecError::InvalidParameter {
+                name: "search_range",
+                reason: "must be non-negative",
+            });
+        }
+        Ok(Self { config })
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &EncoderConfig {
+        &self.config
+    }
+
+    /// Encodes a clip into an Annex-B bitstream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::InvalidParameter`] for an empty clip or frames
+    /// of differing dimensions, and propagates transform errors.
+    pub fn encode(&self, frames: &[Frame]) -> Result<Vec<u8>, CodecError> {
+        let Some(first) = frames.first() else {
+            return Err(CodecError::InvalidParameter {
+                name: "frames",
+                reason: "clip must have at least one frame",
+            });
+        };
+        let (width, height) = (first.width(), first.height());
+        if frames.iter().any(|f| f.width() != width || f.height() != height) {
+            return Err(CodecError::InvalidParameter {
+                name: "frames",
+                reason: "all frames must share dimensions",
+            });
+        }
+
+        let mut units = Vec::with_capacity(frames.len() + 1);
+        // SPS: dimensions in macroblocks, QP, frame count.
+        let mut sps = BitWriter::new();
+        sps.write_ue((width / MB_SIZE) as u32);
+        sps.write_ue((height / MB_SIZE) as u32);
+        sps.write_ue(u32::from(self.config.qp));
+        sps.write_ue(frames.len() as u32);
+        units.push(NalUnit::new(NalType::Sps, sps.into_bytes()));
+
+        // Reference store: the two most recent reconstructed I/P frames,
+        // newest last.
+        let mut refs: Vec<Frame> = Vec::new();
+        for (index, source) in frames.iter().enumerate() {
+            let mut kind = self.config.gop.kind(index);
+            if refs.is_empty() {
+                kind = FrameKind::I; // the stream must start decodable
+            }
+            let (unit, recon) = self.encode_frame(source, index, kind, &refs)?;
+            units.push(unit);
+            if kind != FrameKind::B {
+                refs.push(recon);
+                if refs.len() > 2 {
+                    refs.remove(0);
+                }
+            }
+        }
+        Ok(write_annex_b(&units))
+    }
+
+    fn encode_frame(
+        &self,
+        source: &Frame,
+        index: usize,
+        kind: FrameKind,
+        refs: &[Frame],
+    ) -> Result<(NalUnit, Frame), CodecError> {
+        let qp = self.config.qp;
+        let (width, height) = (source.width(), source.height());
+        let mut recon = Frame::new(width, height)?;
+        let mut coder = FrameCoder::new(width, height);
+        let mut w = BitWriter::new();
+        w.write_ue(index as u32);
+
+        let newest_ref = refs.last();
+        let oldest_ref = if refs.len() >= 2 { &refs[0] } else { refs.first().unwrap_or(source) };
+
+        for mb_y in 0..height / MB_SIZE {
+            for mb_x in 0..width / MB_SIZE {
+                match kind {
+                    FrameKind::I => {
+                        self.encode_intra_mb(source, &mut recon, &mut coder, &mut w, mb_x, mb_y, qp)?;
+                    }
+                    FrameKind::P => {
+                        let reference = newest_ref.ok_or(CodecError::MissingReference)?;
+                        self.encode_p_mb(
+                            source, reference, &mut recon, &mut coder, &mut w, mb_x, mb_y, qp,
+                        )?;
+                    }
+                    FrameKind::B => {
+                        let ref1 = newest_ref.ok_or(CodecError::MissingReference)?;
+                        let ref0 = oldest_ref;
+                        self.encode_b_mb(
+                            source, ref0, ref1, &mut recon, &mut coder, &mut w, mb_x, mb_y, qp,
+                        )?;
+                    }
+                }
+            }
+        }
+
+        // In-loop deblocking on the reconstruction (mirrored by the
+        // decoder when its filter is enabled).
+        deblock_frame(&mut recon, &coder.block_info, qp);
+
+        let nal_type = match kind {
+            FrameKind::I => NalType::IdrSlice,
+            FrameKind::P => NalType::PSlice,
+            FrameKind::B => NalType::BSlice,
+        };
+        Ok((NalUnit::new(nal_type, w.into_bytes()), recon))
+    }
+
+    /// Encodes one intra macroblock: per 4×4 block, mode decision against
+    /// the progressive reconstruction, then residual coding.
+    #[allow(clippy::too_many_arguments)]
+    fn encode_intra_mb(
+        &self,
+        source: &Frame,
+        recon: &mut Frame,
+        coder: &mut FrameCoder,
+        w: &mut BitWriter,
+        mb_x: usize,
+        mb_y: usize,
+        qp: u8,
+    ) -> Result<(), CodecError> {
+        for sub_y in 0..BLOCKS_PER_MB {
+            for sub_x in 0..BLOCKS_PER_MB {
+                let x = mb_x * MB_SIZE + sub_x * BLOCK_SIZE;
+                let y = mb_y * MB_SIZE + sub_y * BLOCK_SIZE;
+                let (bx, by) = (x / BLOCK_SIZE, y / BLOCK_SIZE);
+                let mut src = [0i32; 16];
+                source.read_block(x, y, &mut src);
+                let (mode, _) = best_mode(recon, &src, x, y);
+                let pred = predict(recon, x, y, mode);
+                let mut residual = [0i32; 16];
+                for i in 0..16 {
+                    residual[i] = src[i] - pred[i];
+                }
+                let zz = encode_residual(&residual, qp)?;
+                w.write_ue(mode.code());
+                let ctx = coder.context_at(bx, by);
+                encode_block(w, &zz, ctx);
+                // Reconstruct exactly as the decoder will.
+                let decoded = decode_residual(&zz, qp)?;
+                let mut rec = [0i32; 16];
+                for i in 0..16 {
+                    rec[i] = pred[i] + decoded[i];
+                }
+                recon.write_block(x, y, &rec);
+                coder.record(
+                    bx,
+                    by,
+                    coeff_count(&zz),
+                    BlockInfo {
+                        intra: true,
+                        coded: coeff_count(&zz) > 0,
+                        mv_x: 0,
+                        mv_y: 0,
+                    },
+                );
+            }
+        }
+        Ok(())
+    }
+
+    /// Encodes one P macroblock: skip / inter decision, motion coding and
+    /// residuals.
+    #[allow(clippy::too_many_arguments)]
+    fn encode_p_mb(
+        &self,
+        source: &Frame,
+        reference: &Frame,
+        recon: &mut Frame,
+        coder: &mut FrameCoder,
+        w: &mut BitWriter,
+        mb_x: usize,
+        mb_y: usize,
+        qp: u8,
+    ) -> Result<(), CodecError> {
+        let zero_sad = sad_mb(source, reference, mb_x, mb_y, MotionVector::default());
+        if zero_sad <= self.config.skip_threshold {
+            w.write_ue(0); // skip
+            self.reconstruct_skip(reference, None, recon, coder, mb_x, mb_y);
+            return Ok(());
+        }
+        let (mv, _) =
+            estimate_motion_halfpel(source, reference, mb_x, mb_y, self.config.search_range);
+        w.write_ue(1); // inter
+        w.write_se(mv.x); // half-pel units
+        w.write_se(mv.y);
+        let mut pred = [0i32; MB_SIZE * MB_SIZE];
+        compensate_mb_hp(reference, mb_x, mb_y, mv, &mut pred);
+        self.encode_mb_residual(source, &pred, recon, coder, w, mb_x, mb_y, qp, mv, false)
+    }
+
+    /// Encodes one B macroblock: bi-skip / bi-inter decision.
+    #[allow(clippy::too_many_arguments)]
+    fn encode_b_mb(
+        &self,
+        source: &Frame,
+        ref0: &Frame,
+        ref1: &Frame,
+        recon: &mut Frame,
+        coder: &mut FrameCoder,
+        w: &mut BitWriter,
+        mb_x: usize,
+        mb_y: usize,
+        qp: u8,
+    ) -> Result<(), CodecError> {
+        let mut bi_zero = [0i32; MB_SIZE * MB_SIZE];
+        compensate_mb_bi(
+            ref0,
+            ref1,
+            mb_x,
+            mb_y,
+            MotionVector::default(),
+            MotionVector::default(),
+            &mut bi_zero,
+        );
+        let zero_sad = self.sad_against(source, &bi_zero, mb_x, mb_y);
+        if zero_sad <= self.config.skip_threshold {
+            w.write_ue(0); // bi-skip
+            self.reconstruct_skip(ref0, Some(ref1), recon, coder, mb_x, mb_y);
+            return Ok(());
+        }
+        let (mv0, _) =
+            estimate_motion_halfpel(source, ref0, mb_x, mb_y, self.config.search_range);
+        let (mv1, _) =
+            estimate_motion_halfpel(source, ref1, mb_x, mb_y, self.config.search_range);
+        w.write_ue(1); // bi-inter
+        w.write_se(mv0.x); // half-pel units
+        w.write_se(mv0.y);
+        w.write_se(mv1.x);
+        w.write_se(mv1.y);
+        let mut pred = [0i32; MB_SIZE * MB_SIZE];
+        compensate_mb_bi_hp(ref0, ref1, mb_x, mb_y, mv0, mv1, &mut pred);
+        self.encode_mb_residual(source, &pred, recon, coder, w, mb_x, mb_y, qp, mv0, false)
+    }
+
+    fn sad_against(
+        &self,
+        source: &Frame,
+        pred: &[i32; MB_SIZE * MB_SIZE],
+        mb_x: usize,
+        mb_y: usize,
+    ) -> u32 {
+        let mut sad = 0u32;
+        for dy in 0..MB_SIZE {
+            for dx in 0..MB_SIZE {
+                let s = i32::from(source.pixel(mb_x * MB_SIZE + dx, mb_y * MB_SIZE + dy));
+                sad += s.abs_diff(pred[dy * MB_SIZE + dx]);
+            }
+        }
+        sad
+    }
+
+    /// Copies the skip prediction into the reconstruction and records
+    /// zero-coefficient block info.
+    fn reconstruct_skip(
+        &self,
+        ref0: &Frame,
+        ref1: Option<&Frame>,
+        recon: &mut Frame,
+        coder: &mut FrameCoder,
+        mb_x: usize,
+        mb_y: usize,
+    ) {
+        let mut pred = [0i32; MB_SIZE * MB_SIZE];
+        match ref1 {
+            None => compensate_mb(ref0, mb_x, mb_y, MotionVector::default(), &mut pred),
+            Some(r1) => compensate_mb_bi(
+                ref0,
+                r1,
+                mb_x,
+                mb_y,
+                MotionVector::default(),
+                MotionVector::default(),
+                &mut pred,
+            ),
+        }
+        for dy in 0..MB_SIZE {
+            for dx in 0..MB_SIZE {
+                recon.set_pixel(
+                    mb_x * MB_SIZE + dx,
+                    mb_y * MB_SIZE + dy,
+                    pred[dy * MB_SIZE + dx].clamp(0, 255) as u8,
+                );
+            }
+        }
+        for sub_y in 0..BLOCKS_PER_MB {
+            for sub_x in 0..BLOCKS_PER_MB {
+                let bx = mb_x * BLOCKS_PER_MB + sub_x;
+                let by = mb_y * BLOCKS_PER_MB + sub_y;
+                coder.record(bx, by, 0, BlockInfo::default());
+            }
+        }
+    }
+
+    /// Codes the 16 residual blocks of an inter macroblock and reconstructs.
+    #[allow(clippy::too_many_arguments)]
+    fn encode_mb_residual(
+        &self,
+        source: &Frame,
+        pred: &[i32; MB_SIZE * MB_SIZE],
+        recon: &mut Frame,
+        coder: &mut FrameCoder,
+        w: &mut BitWriter,
+        mb_x: usize,
+        mb_y: usize,
+        qp: u8,
+        mv: MotionVector,
+        intra: bool,
+    ) -> Result<(), CodecError> {
+        for sub_y in 0..BLOCKS_PER_MB {
+            for sub_x in 0..BLOCKS_PER_MB {
+                let x = mb_x * MB_SIZE + sub_x * BLOCK_SIZE;
+                let y = mb_y * MB_SIZE + sub_y * BLOCK_SIZE;
+                let (bx, by) = (x / BLOCK_SIZE, y / BLOCK_SIZE);
+                let mut residual = [0i32; 16];
+                for dy in 0..BLOCK_SIZE {
+                    for dx in 0..BLOCK_SIZE {
+                        let s = i32::from(source.pixel(x + dx, y + dy));
+                        let p = pred[(sub_y * BLOCK_SIZE + dy) * MB_SIZE + sub_x * BLOCK_SIZE + dx];
+                        residual[dy * BLOCK_SIZE + dx] = s - p;
+                    }
+                }
+                let zz = encode_residual(&residual, qp)?;
+                let ctx = coder.context_at(bx, by);
+                encode_block(w, &zz, ctx);
+                let decoded = decode_residual(&zz, qp)?;
+                let mut rec = [0i32; 16];
+                for dy in 0..BLOCK_SIZE {
+                    for dx in 0..BLOCK_SIZE {
+                        let p = pred[(sub_y * BLOCK_SIZE + dy) * MB_SIZE + sub_x * BLOCK_SIZE + dx];
+                        rec[dy * BLOCK_SIZE + dx] = p + decoded[dy * BLOCK_SIZE + dx];
+                    }
+                }
+                recon.write_block(x, y, &rec);
+                coder.record(
+                    bx,
+                    by,
+                    coeff_count(&zz),
+                    BlockInfo {
+                        intra,
+                        coded: coeff_count(&zz) > 0,
+                        mv_x: mv.x,
+                        mv_y: mv.y,
+                    },
+                );
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nal::split_annex_b;
+    use crate::video::synthetic_clip;
+
+    #[test]
+    fn gop_pattern_kinds() {
+        let gop = GopPattern {
+            intra_period: 6,
+            b_between: 1,
+        };
+        let kinds: Vec<FrameKind> = (0..7).map(|i| gop.kind(i)).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                FrameKind::I,
+                FrameKind::B,
+                FrameKind::P,
+                FrameKind::B,
+                FrameKind::P,
+                FrameKind::B,
+                FrameKind::I
+            ]
+        );
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(Encoder::new(EncoderConfig {
+            qp: 60,
+            ..EncoderConfig::default()
+        })
+        .is_err());
+        assert!(Encoder::new(EncoderConfig {
+            gop: GopPattern {
+                intra_period: 0,
+                b_between: 0
+            },
+            ..EncoderConfig::default()
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn rejects_empty_and_mismatched_clips() {
+        let enc = Encoder::new(EncoderConfig::default()).unwrap();
+        assert!(enc.encode(&[]).is_err());
+        let mixed = vec![Frame::new(16, 16).unwrap(), Frame::new(32, 16).unwrap()];
+        assert!(enc.encode(&mixed).is_err());
+    }
+
+    #[test]
+    fn stream_structure_matches_gop() {
+        let frames = synthetic_clip(32, 32, 7, 1).unwrap();
+        let enc = Encoder::new(EncoderConfig {
+            gop: GopPattern {
+                intra_period: 6,
+                b_between: 1,
+            },
+            ..EncoderConfig::default()
+        })
+        .unwrap();
+        let stream = enc.encode(&frames).unwrap();
+        let units = split_annex_b(&stream).unwrap();
+        assert_eq!(units.len(), 8); // SPS + 7 slices
+        assert_eq!(units[0].nal_type, NalType::Sps);
+        assert_eq!(units[1].nal_type, NalType::IdrSlice);
+        assert_eq!(units[2].nal_type, NalType::BSlice);
+        assert_eq!(units[3].nal_type, NalType::PSlice);
+        assert_eq!(units[7].nal_type, NalType::IdrSlice); // frame 6
+    }
+
+    #[test]
+    fn i_frames_are_larger_than_p_and_b() {
+        let frames = synthetic_clip(48, 48, 6, 2).unwrap();
+        let enc = Encoder::new(EncoderConfig::default()).unwrap();
+        let stream = enc.encode(&frames).unwrap();
+        let units = split_annex_b(&stream).unwrap();
+        let size_of = |t: NalType| {
+            units
+                .iter()
+                .filter(|u| u.nal_type == t)
+                .map(|u| u.wire_size())
+                .sum::<usize>() as f64
+                / units.iter().filter(|u| u.nal_type == t).count().max(1) as f64
+        };
+        let i = size_of(NalType::IdrSlice);
+        let p = size_of(NalType::PSlice);
+        let b = size_of(NalType::BSlice);
+        assert!(i > p, "I {i} vs P {p}");
+        assert!(i > b, "I {i} vs B {b}");
+    }
+}

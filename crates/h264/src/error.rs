@@ -1,0 +1,69 @@
+//! Error type for the codec.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by fallible codec operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CodecError {
+    /// A configuration parameter was invalid.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Constraint that was violated.
+        reason: &'static str,
+    },
+    /// The bitstream ended in the middle of a syntax element.
+    UnexpectedEndOfStream,
+    /// A syntax element held an impossible value.
+    InvalidSyntax(&'static str),
+    /// The bitstream referenced a frame that was never decoded (e.g. the
+    /// very first NAL unit is a P slice).
+    MissingReference,
+    /// Frame dimensions are unsupported (zero, or not macroblock-aligned).
+    BadDimensions {
+        /// Frame width in pixels.
+        width: usize,
+        /// Frame height in pixels.
+        height: usize,
+    },
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            CodecError::UnexpectedEndOfStream => write!(f, "unexpected end of bitstream"),
+            CodecError::InvalidSyntax(what) => write!(f, "invalid syntax element: {what}"),
+            CodecError::MissingReference => write!(f, "reference frame missing"),
+            CodecError::BadDimensions { width, height } => {
+                write!(f, "unsupported frame dimensions {width}x{height}")
+            }
+        }
+    }
+}
+
+impl Error for CodecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CodecError>();
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = CodecError::BadDimensions {
+            width: 3,
+            height: 5,
+        };
+        assert!(e.to_string().contains("3x5"));
+    }
+}

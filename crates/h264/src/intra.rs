@@ -1,0 +1,467 @@
+//! 4×4 intra prediction: the full nine-mode set of H.264.
+//!
+//! Border handling: the predictor arrays read reconstructed pixels with a
+//! 128 fallback outside the frame, and indices past the cached border are
+//! clamped (a documented simplification of the spec's availability rules).
+//! Because the encoder and the decoder both call [`predict`] on identically
+//! reconstructed frames, the two sides always agree.
+
+use crate::frame::{Frame, BLOCK_SIZE};
+use crate::CodecError;
+
+/// Intra prediction mode for a 4×4 block (the nine H.264 modes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IntraMode {
+    /// Extend the pixels above the block downward.
+    Vertical,
+    /// Extend the pixels left of the block rightward.
+    Horizontal,
+    /// Fill with the mean of the available border pixels.
+    Dc,
+    /// 45° down-left diagonal from the above/above-right border.
+    DiagonalDownLeft,
+    /// 45° down-right diagonal from the corner.
+    DiagonalDownRight,
+    /// ~26.6° vertical-right.
+    VerticalRight,
+    /// ~26.6° horizontal-down.
+    HorizontalDown,
+    /// ~26.6° vertical-left.
+    VerticalLeft,
+    /// ~26.6° horizontal-up.
+    HorizontalUp,
+}
+
+impl IntraMode {
+    /// All modes in code order (the H.264 mode numbering).
+    pub const ALL: [IntraMode; 9] = [
+        IntraMode::Vertical,
+        IntraMode::Horizontal,
+        IntraMode::Dc,
+        IntraMode::DiagonalDownLeft,
+        IntraMode::DiagonalDownRight,
+        IntraMode::VerticalRight,
+        IntraMode::HorizontalDown,
+        IntraMode::VerticalLeft,
+        IntraMode::HorizontalUp,
+    ];
+
+    /// The wire code of this mode.
+    pub fn code(self) -> u32 {
+        IntraMode::ALL
+            .iter()
+            .position(|&m| m == self)
+            .expect("every mode is in ALL") as u32
+    }
+
+    /// Mode for a wire code.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::InvalidSyntax`] for an unknown code.
+    pub fn from_code(code: u32) -> Result<Self, CodecError> {
+        IntraMode::ALL
+            .get(code as usize)
+            .copied()
+            .ok_or(CodecError::InvalidSyntax("intra mode code"))
+    }
+}
+
+/// Cached prediction borders of a block: `above[0..8]` (including
+/// above-right), `left[0..4]`, and the corner `p[-1,-1]`.
+struct Borders {
+    above: [i32; 8],
+    left: [i32; 4],
+    corner: i32,
+    have_above: bool,
+    have_left: bool,
+}
+
+impl Borders {
+    fn gather(frame: &Frame, x: usize, y: usize) -> Borders {
+        let read = |px: isize, py: isize| -> i32 {
+            if px < 0 || py < 0 || px >= frame.width() as isize || py >= frame.height() as isize
+            {
+                128
+            } else {
+                i32::from(frame.pixel(px as usize, py as usize))
+            }
+        };
+        let (xi, yi) = (x as isize, y as isize);
+        let mut above = [128i32; 8];
+        for (k, a) in above.iter_mut().enumerate() {
+            *a = read(xi + k as isize, yi - 1);
+        }
+        let mut left = [128i32; 4];
+        for (k, l) in left.iter_mut().enumerate() {
+            *l = read(xi - 1, yi + k as isize);
+        }
+        Borders {
+            above,
+            left,
+            corner: read(xi - 1, yi - 1),
+            have_above: y > 0,
+            have_left: x > 0,
+        }
+    }
+
+    /// `p[i, -1]` with index clamping; `i == -1` is the corner.
+    fn a(&self, i: isize) -> i32 {
+        if i < 0 {
+            self.corner
+        } else {
+            self.above[(i as usize).min(7)]
+        }
+    }
+
+    /// `p[-1, j]` with index clamping; `j == -1` is the corner.
+    fn l(&self, j: isize) -> i32 {
+        if j < 0 {
+            self.corner
+        } else {
+            self.left[(j as usize).min(3)]
+        }
+    }
+}
+
+/// Computes the predicted 4×4 block for `mode` at `(x, y)` using
+/// already-reconstructed pixels of `frame`.
+pub fn predict(frame: &Frame, x: usize, y: usize, mode: IntraMode) -> [i32; 16] {
+    let b = Borders::gather(frame, x, y);
+    let mut out = [0i32; 16];
+    let mut set = |px: usize, py: usize, v: i32| out[py * BLOCK_SIZE + px] = v;
+    match mode {
+        IntraMode::Vertical => {
+            for px in 0..4 {
+                for py in 0..4 {
+                    set(px, py, b.a(px as isize));
+                }
+            }
+        }
+        IntraMode::Horizontal => {
+            for py in 0..4 {
+                for px in 0..4 {
+                    set(px, py, b.l(py as isize));
+                }
+            }
+        }
+        IntraMode::Dc => {
+            let mut sum = 0i32;
+            let mut count = 0i32;
+            if b.have_above {
+                sum += (0..4).map(|k| b.a(k)).sum::<i32>();
+                count += 4;
+            }
+            if b.have_left {
+                sum += (0..4).map(|k| b.l(k)).sum::<i32>();
+                count += 4;
+            }
+            let dc = if count > 0 {
+                (sum + count / 2) / count
+            } else {
+                128
+            };
+            out = [dc; 16];
+        }
+        IntraMode::DiagonalDownLeft => {
+            for py in 0..4isize {
+                for px in 0..4isize {
+                    let v = if px == 3 && py == 3 {
+                        (b.a(6) + 3 * b.a(7) + 2) >> 2
+                    } else {
+                        (b.a(px + py) + 2 * b.a(px + py + 1) + b.a(px + py + 2) + 2) >> 2
+                    };
+                    set(px as usize, py as usize, v);
+                }
+            }
+        }
+        IntraMode::DiagonalDownRight => {
+            for py in 0..4isize {
+                for px in 0..4isize {
+                    let v = match px.cmp(&py) {
+                        std::cmp::Ordering::Greater => {
+                            (b.a(px - py - 2) + 2 * b.a(px - py - 1) + b.a(px - py) + 2) >> 2
+                        }
+                        std::cmp::Ordering::Less => {
+                            (b.l(py - px - 2) + 2 * b.l(py - px - 1) + b.l(py - px) + 2) >> 2
+                        }
+                        std::cmp::Ordering::Equal => {
+                            (b.a(0) + 2 * b.corner + b.l(0) + 2) >> 2
+                        }
+                    };
+                    set(px as usize, py as usize, v);
+                }
+            }
+        }
+        IntraMode::VerticalRight => {
+            for py in 0..4isize {
+                for px in 0..4isize {
+                    let z = 2 * px - py;
+                    let v = if z >= 0 && z % 2 == 0 {
+                        (b.a(px - (py >> 1) - 1) + b.a(px - (py >> 1)) + 1) >> 1
+                    } else if z >= 0 {
+                        (b.a(px - (py >> 1) - 2)
+                            + 2 * b.a(px - (py >> 1) - 1)
+                            + b.a(px - (py >> 1))
+                            + 2)
+                            >> 2
+                    } else if z == -1 {
+                        (b.l(0) + 2 * b.corner + b.a(0) + 2) >> 2
+                    } else {
+                        (b.l(py - 2 * px - 1) + 2 * b.l(py - 2 * px - 2) + b.l(py - 2 * px - 3)
+                            + 2)
+                            >> 2
+                    };
+                    set(px as usize, py as usize, v);
+                }
+            }
+        }
+        IntraMode::HorizontalDown => {
+            for py in 0..4isize {
+                for px in 0..4isize {
+                    let z = 2 * py - px;
+                    let v = if z >= 0 && z % 2 == 0 {
+                        (b.l(py - (px >> 1) - 1) + b.l(py - (px >> 1)) + 1) >> 1
+                    } else if z >= 0 {
+                        (b.l(py - (px >> 1) - 2)
+                            + 2 * b.l(py - (px >> 1) - 1)
+                            + b.l(py - (px >> 1))
+                            + 2)
+                            >> 2
+                    } else if z == -1 {
+                        (b.l(0) + 2 * b.corner + b.a(0) + 2) >> 2
+                    } else {
+                        (b.a(px - 2 * py - 1) + 2 * b.a(px - 2 * py - 2) + b.a(px - 2 * py - 3)
+                            + 2)
+                            >> 2
+                    };
+                    set(px as usize, py as usize, v);
+                }
+            }
+        }
+        IntraMode::VerticalLeft => {
+            for py in 0..4isize {
+                for px in 0..4isize {
+                    let base = px + (py >> 1);
+                    let v = if py % 2 == 0 {
+                        (b.a(base) + b.a(base + 1) + 1) >> 1
+                    } else {
+                        (b.a(base) + 2 * b.a(base + 1) + b.a(base + 2) + 2) >> 2
+                    };
+                    set(px as usize, py as usize, v);
+                }
+            }
+        }
+        IntraMode::HorizontalUp => {
+            for py in 0..4isize {
+                for px in 0..4isize {
+                    let z = px + 2 * py;
+                    let base = py + (px >> 1);
+                    let v = if z >= 9 {
+                        b.l(3)
+                    } else if z % 2 == 0 {
+                        (b.l(base) + b.l(base + 1) + 1) >> 1
+                    } else {
+                        (b.l(base) + 2 * b.l(base + 1) + b.l(base + 2) + 2) >> 2
+                    };
+                    set(px as usize, py as usize, v);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Picks the mode minimizing the sum of absolute differences against the
+/// source block (the encoder's mode decision). Returns `(mode, sad)`.
+/// Ties resolve to the lower mode code (cheaper to signal).
+pub fn best_mode(recon: &Frame, source: &[i32; 16], x: usize, y: usize) -> (IntraMode, i32) {
+    let mut best = (IntraMode::Dc, i32::MAX);
+    for mode in IntraMode::ALL {
+        let pred = predict(recon, x, y, mode);
+        let sad: i32 = pred.iter().zip(source).map(|(p, s)| (p - s).abs()).sum();
+        if sad < best.1 {
+            best = (mode, sad);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gradient_frame() -> Frame {
+        let mut f = Frame::new(16, 16).unwrap();
+        for y in 0..16 {
+            for x in 0..16 {
+                f.set_pixel(x, y, (x * 10 + y) as u8);
+            }
+        }
+        f
+    }
+
+    #[test]
+    fn mode_codes_round_trip() {
+        for m in IntraMode::ALL {
+            assert_eq!(IntraMode::from_code(m.code()).unwrap(), m);
+        }
+        assert!(IntraMode::from_code(9).is_err());
+    }
+
+    #[test]
+    fn vertical_copies_top_row() {
+        let f = gradient_frame();
+        let pred = predict(&f, 4, 4, IntraMode::Vertical);
+        for bx in 0..4 {
+            let top = i32::from(f.pixel(4 + bx, 3));
+            for by in 0..4 {
+                assert_eq!(pred[by * 4 + bx], top);
+            }
+        }
+    }
+
+    #[test]
+    fn horizontal_copies_left_column() {
+        let f = gradient_frame();
+        let pred = predict(&f, 4, 4, IntraMode::Horizontal);
+        for by in 0..4 {
+            let left = i32::from(f.pixel(3, 4 + by));
+            for bx in 0..4 {
+                assert_eq!(pred[by * 4 + bx], left);
+            }
+        }
+    }
+
+    #[test]
+    fn dc_at_origin_defaults_to_128() {
+        let f = gradient_frame();
+        let pred = predict(&f, 0, 0, IntraMode::Dc);
+        assert!(pred.iter().all(|&p| p == 128));
+    }
+
+    #[test]
+    fn dc_is_border_mean() {
+        let mut f = Frame::new(16, 16).unwrap();
+        for i in 0..16 {
+            f.set_pixel(i, 3, 100); // row above block at (4,4)
+            f.set_pixel(3, i, 50); // column left of it
+        }
+        let pred = predict(&f, 4, 4, IntraMode::Dc);
+        assert!(pred.iter().all(|&p| p == 75));
+    }
+
+    #[test]
+    fn all_modes_produce_valid_pixels_everywhere() {
+        let f = gradient_frame();
+        for mode in IntraMode::ALL {
+            for &(x, y) in &[(0usize, 0usize), (4, 0), (0, 4), (12, 12), (4, 8)] {
+                let pred = predict(&f, x, y, mode);
+                assert!(
+                    pred.iter().all(|&p| (0..=255).contains(&p)),
+                    "{mode:?} at ({x},{y}): {pred:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ddr_follows_the_diagonal() {
+        // A frame whose borders form a clean diagonal pattern: the DDR
+        // predictor must propagate the corner value down the diagonal.
+        let mut f = Frame::new(16, 16).unwrap();
+        for i in 0..16 {
+            f.set_pixel(i, 3, 200);
+            f.set_pixel(3, i, 40);
+        }
+        f.set_pixel(3, 3, 120); // corner
+        let pred = predict(&f, 4, 4, IntraMode::DiagonalDownRight);
+        // Main diagonal gets (a(0) + 2*corner + l(0) + 2) >> 2.
+        let expected = (200 + 2 * 120 + 40 + 2) >> 2;
+        for k in 0..4 {
+            assert_eq!(pred[k * 4 + k], expected);
+        }
+    }
+
+    #[test]
+    fn ddl_uses_above_right() {
+        // Distinct above-right pixels must influence the DDL prediction of
+        // the bottom-right area.
+        let mut a = gradient_frame();
+        let mut b = gradient_frame();
+        for k in 4..8 {
+            a.set_pixel(4 + k, 3, 0);
+            b.set_pixel(4 + k, 3, 255);
+        }
+        let pa = predict(&a, 4, 4, IntraMode::DiagonalDownLeft);
+        let pb = predict(&b, 4, 4, IntraMode::DiagonalDownLeft);
+        assert_ne!(pa[15], pb[15]);
+    }
+
+    #[test]
+    fn best_mode_matches_content() {
+        // A vertically uniform source should pick Vertical when the top
+        // border matches it exactly.
+        let mut f = Frame::new(16, 16).unwrap();
+        for x in 0..16 {
+            f.set_pixel(x, 3, (x * 5) as u8);
+        }
+        let mut source = [0i32; 16];
+        for by in 0..4 {
+            for bx in 0..4 {
+                source[by * 4 + bx] = ((4 + bx) * 5) as i32;
+            }
+        }
+        let (mode, sad) = best_mode(&f, &source, 4, 4);
+        assert_eq!(mode, IntraMode::Vertical);
+        assert_eq!(sad, 0);
+    }
+
+    #[test]
+    fn diagonal_content_picks_a_diagonal_mode() {
+        // Source continuing a down-right diagonal gradient should prefer a
+        // diagonal/angular predictor over plain V/H/DC.
+        let mut f = Frame::new(16, 16).unwrap();
+        for y in 0..16 {
+            for x in 0..16 {
+                f.set_pixel(x, y, ((x as i32 - y as i32) * 12 + 128).clamp(0, 255) as u8);
+            }
+        }
+        let mut source = [0i32; 16];
+        for by in 0..4 {
+            for bx in 0..4 {
+                let (x, y) = (4 + bx as i32, 4 + by as i32);
+                source[by * 4 + bx] = ((x - y) * 12 + 128).clamp(0, 255);
+            }
+        }
+        let (mode, _) = best_mode(&f, &source, 4, 4);
+        assert!(
+            !matches!(mode, IntraMode::Vertical | IntraMode::Horizontal | IntraMode::Dc),
+            "expected an angular mode, got {mode:?}"
+        );
+    }
+
+    #[test]
+    fn nine_modes_give_no_worse_sad_than_three() {
+        // The mode decision over 9 modes can only improve on the V/H/DC
+        // subset.
+        let f = gradient_frame();
+        let mut source = [0i32; 16];
+        for (i, s) in source.iter_mut().enumerate() {
+            *s = ((i * 37) % 200) as i32;
+        }
+        let (_, sad9) = best_mode(&f, &source, 8, 8);
+        let sad3 = [IntraMode::Vertical, IntraMode::Horizontal, IntraMode::Dc]
+            .iter()
+            .map(|&m| {
+                predict(&f, 8, 8, m)
+                    .iter()
+                    .zip(&source)
+                    .map(|(p, s)| (p - s).abs())
+                    .sum::<i32>()
+            })
+            .min()
+            .unwrap();
+        assert!(sad9 <= sad3);
+    }
+}

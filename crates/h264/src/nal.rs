@@ -1,0 +1,443 @@
+//! Network Abstraction Layer: NAL unit types, Annex-B start-code framing,
+//! and emulation prevention.
+//!
+//! The paper's Input Selector distinguishes I, P and B NAL units by "a start
+//! code (i.e. 0x000001 or 0x00000001) and subsequent identification bits".
+//! This module provides exactly that framing, including the `0x03`
+//! emulation-prevention escape so payload bytes can never fake a start code.
+
+use crate::CodecError;
+
+/// The NAL unit types the codec emits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NalType {
+    /// Sequence parameter set (dimensions, QP, frame count).
+    Sps,
+    /// IDR slice — an I frame; indispensable reference data.
+    IdrSlice,
+    /// Non-IDR predicted slice — a P frame.
+    PSlice,
+    /// Bi-predicted slice — a B frame.
+    BSlice,
+}
+
+impl NalType {
+    /// Wire code (5-bit `nal_unit_type` field). SPS and IDR reuse the
+    /// H.264 codes (7 and 5); P and B use 1 and 2 so the Input Selector can
+    /// classify them from the header byte alone.
+    pub fn code(self) -> u8 {
+        match self {
+            NalType::Sps => 7,
+            NalType::IdrSlice => 5,
+            NalType::PSlice => 1,
+            NalType::BSlice => 2,
+        }
+    }
+
+    /// Type for a wire code.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::InvalidSyntax`] for an unknown code.
+    pub fn from_code(code: u8) -> Result<Self, CodecError> {
+        match code {
+            7 => Ok(NalType::Sps),
+            5 => Ok(NalType::IdrSlice),
+            1 => Ok(NalType::PSlice),
+            2 => Ok(NalType::BSlice),
+            _ => Err(CodecError::InvalidSyntax("nal unit type")),
+        }
+    }
+
+    /// `true` for the droppable slice types (P and B) the Input Selector
+    /// may delete.
+    pub fn is_droppable(self) -> bool {
+        matches!(self, NalType::PSlice | NalType::BSlice)
+    }
+}
+
+/// A parsed NAL unit: type plus raw (un-escaped) payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NalUnit {
+    /// Unit type.
+    pub nal_type: NalType,
+    /// Payload bytes (RBSP, after removing emulation prevention).
+    pub payload: Vec<u8>,
+}
+
+impl NalUnit {
+    /// Creates a unit.
+    pub fn new(nal_type: NalType, payload: Vec<u8>) -> Self {
+        Self { nal_type, payload }
+    }
+
+    /// Size of the unit on the wire (start code + header + escaped
+    /// payload) — what the Input Selector compares against `S_th`.
+    pub fn wire_size(&self) -> usize {
+        4 + 1 + escape(&self.payload).len()
+    }
+}
+
+/// Inserts emulation-prevention `0x03` bytes: any `00 00 0x` with
+/// `x <= 3` in the payload becomes `00 00 03 0x`.
+fn escape(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len());
+    let mut zeros = 0usize;
+    for &b in payload {
+        if zeros >= 2 && b <= 0x03 {
+            out.push(0x03);
+            zeros = 0;
+        }
+        out.push(b);
+        if b == 0 {
+            zeros += 1;
+        } else {
+            zeros = 0;
+        }
+    }
+    out
+}
+
+/// Removes emulation-prevention bytes.
+fn unescape(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len());
+    let mut zeros = 0usize;
+    let mut i = 0;
+    while i < data.len() {
+        let b = data[i];
+        if zeros >= 2 && b == 0x03 && i + 1 < data.len() && data[i + 1] <= 0x03 {
+            zeros = 0;
+            i += 1;
+            continue; // skip the escape byte
+        }
+        out.push(b);
+        if b == 0 {
+            zeros += 1;
+        } else {
+            zeros = 0;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Serializes NAL units into an Annex-B byte stream (4-byte start codes).
+pub fn write_annex_b(units: &[NalUnit]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for unit in units {
+        out.extend_from_slice(&[0, 0, 0, 1]);
+        out.push(unit.nal_type.code());
+        out.extend_from_slice(&escape(&unit.payload));
+    }
+    out
+}
+
+/// Splits an Annex-B stream into NAL units (accepting both 3- and 4-byte
+/// start codes, as the paper notes).
+///
+/// # Errors
+///
+/// Returns [`CodecError::InvalidSyntax`] when the stream does not begin
+/// with a start code or a unit has an unknown type, and
+/// [`CodecError::UnexpectedEndOfStream`] for an empty unit.
+pub fn split_annex_b(stream: &[u8]) -> Result<Vec<NalUnit>, CodecError> {
+    if stream.is_empty() {
+        return Ok(Vec::new());
+    }
+    // Find all start-code offsets.
+    let mut starts: Vec<(usize, usize)> = Vec::new(); // (offset, code_len)
+    let mut i = 0usize;
+    while i + 3 <= stream.len() {
+        if stream[i] == 0 && stream[i + 1] == 0 {
+            if stream[i + 2] == 1 {
+                starts.push((i, 3));
+                i += 3;
+                continue;
+            }
+            if i + 4 <= stream.len() && stream[i + 2] == 0 && stream[i + 3] == 1 {
+                starts.push((i, 4));
+                i += 4;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    if starts.is_empty() || starts[0].0 != 0 {
+        return Err(CodecError::InvalidSyntax("missing leading start code"));
+    }
+    let mut units = Vec::with_capacity(starts.len());
+    for (k, &(offset, code_len)) in starts.iter().enumerate() {
+        let body_start = offset + code_len;
+        let body_end = starts.get(k + 1).map(|&(o, _)| o).unwrap_or(stream.len());
+        if body_start >= body_end {
+            return Err(CodecError::UnexpectedEndOfStream);
+        }
+        let nal_type = NalType::from_code(stream[body_start])?;
+        let payload = unescape(&stream[body_start + 1..body_end]);
+        units.push(NalUnit::new(nal_type, payload));
+    }
+    Ok(units)
+}
+
+/// Per-type statistics of a NAL stream — the analysis the Input Selector
+/// performs ("the category and size of each NAL unit are analyzed").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TypeStats {
+    /// Number of units of this type.
+    pub count: usize,
+    /// Total wire bytes.
+    pub bytes: usize,
+    /// Smallest unit's wire size (0 when none).
+    pub min_size: usize,
+    /// Largest unit's wire size.
+    pub max_size: usize,
+}
+
+impl TypeStats {
+    fn record(&mut self, size: usize) {
+        self.count += 1;
+        self.bytes += size;
+        self.min_size = if self.count == 1 {
+            size
+        } else {
+            self.min_size.min(size)
+        };
+        self.max_size = self.max_size.max(size);
+    }
+
+    /// Mean wire size, or 0.0 when no units were seen.
+    pub fn mean_size(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.bytes as f64 / self.count as f64
+        }
+    }
+}
+
+/// Structural summary of an Annex-B stream: per-type unit statistics plus
+/// the fraction of droppable bytes under a given `S_th`.
+///
+/// # Example
+///
+/// ```
+/// use h264::nal::{write_annex_b, NalType, NalUnit, StreamInfo};
+/// let units = vec![
+///     NalUnit::new(NalType::IdrSlice, vec![0; 300]),
+///     NalUnit::new(NalType::PSlice, vec![0; 40]),
+/// ];
+/// let stream = write_annex_b(&units);
+/// let info = StreamInfo::analyze(&stream).unwrap();
+/// assert_eq!(info.stats(NalType::PSlice).count, 1);
+/// assert!(info.droppable_fraction(140) > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamInfo {
+    sps: TypeStats,
+    idr: TypeStats,
+    p: TypeStats,
+    b: TypeStats,
+    /// Wire sizes of droppable units in stream order.
+    droppable_sizes: Vec<usize>,
+    /// Total wire bytes.
+    pub total_bytes: usize,
+}
+
+impl StreamInfo {
+    /// Analyzes an Annex-B stream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`split_annex_b`] parse errors.
+    pub fn analyze(stream: &[u8]) -> Result<StreamInfo, CodecError> {
+        let units = split_annex_b(stream)?;
+        let mut info = StreamInfo {
+            sps: TypeStats::default(),
+            idr: TypeStats::default(),
+            p: TypeStats::default(),
+            b: TypeStats::default(),
+            droppable_sizes: Vec::new(),
+            total_bytes: 0,
+        };
+        for unit in &units {
+            let size = unit.wire_size();
+            info.total_bytes += size;
+            match unit.nal_type {
+                NalType::Sps => info.sps.record(size),
+                NalType::IdrSlice => info.idr.record(size),
+                NalType::PSlice => info.p.record(size),
+                NalType::BSlice => info.b.record(size),
+            }
+            if unit.nal_type.is_droppable() {
+                info.droppable_sizes.push(size);
+            }
+        }
+        Ok(info)
+    }
+
+    /// Statistics for one unit type.
+    pub fn stats(&self, nal_type: NalType) -> TypeStats {
+        match nal_type {
+            NalType::Sps => self.sps,
+            NalType::IdrSlice => self.idr,
+            NalType::PSlice => self.p,
+            NalType::BSlice => self.b,
+        }
+    }
+
+    /// Fraction of total wire bytes the Input Selector could delete at a
+    /// given threshold (`f = 1`).
+    pub fn droppable_fraction(&self, s_th: usize) -> f64 {
+        if self.total_bytes == 0 {
+            return 0.0;
+        }
+        let droppable: usize = self
+            .droppable_sizes
+            .iter()
+            .filter(|&&s| s <= s_th)
+            .sum();
+        droppable as f64 / self.total_bytes as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_info_counts_by_type() {
+        let units = vec![
+            NalUnit::new(NalType::Sps, vec![1; 5]),
+            NalUnit::new(NalType::IdrSlice, vec![1; 200]),
+            NalUnit::new(NalType::PSlice, vec![1; 50]),
+            NalUnit::new(NalType::PSlice, vec![1; 90]),
+            NalUnit::new(NalType::BSlice, vec![1; 30]),
+        ];
+        let total: usize = units.iter().map(NalUnit::wire_size).sum();
+        let info = StreamInfo::analyze(&write_annex_b(&units)).unwrap();
+        assert_eq!(info.stats(NalType::PSlice).count, 2);
+        assert_eq!(info.stats(NalType::IdrSlice).count, 1);
+        assert_eq!(info.total_bytes, total);
+        assert_eq!(info.stats(NalType::PSlice).min_size, 55);
+        assert_eq!(info.stats(NalType::PSlice).max_size, 95);
+        assert!((info.stats(NalType::PSlice).mean_size() - 75.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn droppable_fraction_monotone_and_bounded() {
+        let units = vec![
+            NalUnit::new(NalType::IdrSlice, vec![1; 200]),
+            NalUnit::new(NalType::PSlice, vec![1; 50]),
+            NalUnit::new(NalType::BSlice, vec![1; 100]),
+        ];
+        let info = StreamInfo::analyze(&write_annex_b(&units)).unwrap();
+        assert_eq!(info.droppable_fraction(0), 0.0);
+        let mid = info.droppable_fraction(60);
+        let all = info.droppable_fraction(10_000);
+        assert!(mid > 0.0 && mid < all);
+        // The IDR unit can never be dropped.
+        assert!(all < 1.0);
+    }
+
+    #[test]
+    fn empty_stream_info() {
+        let info = StreamInfo::analyze(&[]).unwrap();
+        assert_eq!(info.total_bytes, 0);
+        assert_eq!(info.droppable_fraction(100), 0.0);
+        assert_eq!(info.stats(NalType::PSlice).mean_size(), 0.0);
+    }
+
+    #[test]
+    fn type_codes_round_trip() {
+        for t in [NalType::Sps, NalType::IdrSlice, NalType::PSlice, NalType::BSlice] {
+            assert_eq!(NalType::from_code(t.code()).unwrap(), t);
+        }
+        assert!(NalType::from_code(31).is_err());
+    }
+
+    #[test]
+    fn droppability_matches_paper() {
+        assert!(!NalType::Sps.is_droppable());
+        assert!(!NalType::IdrSlice.is_droppable());
+        assert!(NalType::PSlice.is_droppable());
+        assert!(NalType::BSlice.is_droppable());
+    }
+
+    #[test]
+    fn annex_b_round_trip() {
+        let units = vec![
+            NalUnit::new(NalType::Sps, vec![1, 2, 3]),
+            NalUnit::new(NalType::IdrSlice, vec![0xAA; 50]),
+            NalUnit::new(NalType::PSlice, vec![]),
+            NalUnit::new(NalType::BSlice, vec![0, 0, 0, 0, 0]),
+        ];
+        // Empty payloads are not representable (a unit must have a body),
+        // so give the P slice one byte.
+        let units: Vec<NalUnit> = units
+            .into_iter()
+            .map(|mut u| {
+                if u.payload.is_empty() {
+                    u.payload.push(9);
+                }
+                u
+            })
+            .collect();
+        let stream = write_annex_b(&units);
+        let back = split_annex_b(&stream).unwrap();
+        assert_eq!(back, units);
+    }
+
+    #[test]
+    fn emulation_prevention_protects_start_codes() {
+        // A payload containing a start-code pattern must round-trip.
+        let payload = vec![0, 0, 1, 0, 0, 0, 1, 0, 0, 2, 0, 0, 3];
+        let unit = NalUnit::new(NalType::IdrSlice, payload.clone());
+        let stream = write_annex_b(&[unit]);
+        // The raw payload pattern must not appear after the header.
+        let body = &stream[5..];
+        assert!(!body.windows(3).any(|w| w == [0, 0, 1]));
+        let back = split_annex_b(&stream).unwrap();
+        assert_eq!(back[0].payload, payload);
+    }
+
+    #[test]
+    fn three_byte_start_codes_accepted() {
+        let mut stream = vec![0, 0, 1, NalType::Sps.code(), 42];
+        stream.extend_from_slice(&[0, 0, 1, NalType::PSlice.code(), 7, 8]);
+        let units = split_annex_b(&stream).unwrap();
+        assert_eq!(units.len(), 2);
+        assert_eq!(units[0].payload, vec![42]);
+        assert_eq!(units[1].nal_type, NalType::PSlice);
+    }
+
+    #[test]
+    fn garbage_prefix_rejected() {
+        let stream = vec![9, 9, 0, 0, 0, 1, 7, 1];
+        assert!(split_annex_b(&stream).is_err());
+    }
+
+    #[test]
+    fn empty_stream_yields_no_units() {
+        assert!(split_annex_b(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn wire_size_includes_framing_and_escapes() {
+        let unit = NalUnit::new(NalType::PSlice, vec![0, 0, 0]);
+        // escape([0,0,0]) = [0,0,3,0] (third zero escaped) -> 4 bytes.
+        assert_eq!(unit.wire_size(), 4 + 1 + 4);
+    }
+
+    #[test]
+    fn escape_unescape_fuzz_patterns() {
+        let patterns: Vec<Vec<u8>> = vec![
+            vec![0; 10],
+            vec![0, 0, 1, 1, 0, 0, 2, 2, 0, 0, 3, 3],
+            vec![0, 0, 0, 0, 1],
+            (0..=255).collect(),
+        ];
+        for p in patterns {
+            assert_eq!(unescape(&escape(&p)), p, "pattern {p:?}");
+        }
+    }
+}

@@ -1,0 +1,375 @@
+//! Activity-based power/energy model, calibrated to the paper's 65-nm
+//! silicon.
+//!
+//! The paper reports mode-level power on its fabricated decoder
+//! (65 nm CMOS, 1.9 mm², 1.2 V, 28 MHz): deactivating the deblocking filter
+//! saves 31.4%, NAL deletion at `S_th = 140, f = 1` saves 10.6%, and both
+//! together save 36.9%. We cannot measure silicon, so energy is modelled as
+//!
+//! ```text
+//! E = s·frames + a·A + d·deblock_edges
+//! ```
+//!
+//! where `A` is a composite of the non-deblock module activities (parser
+//! bits, CAVLC symbols, IQIT blocks, predictions, buffer traffic) with
+//! fixed relative per-op costs, and `(s, a, d)` are calibrated **once** by
+//! least squares so the four mode powers on a reference clip match the
+//! paper's measurements ([`PowerModel::fit`]). All activity numbers come
+//! from real decodes, so content-dependence and crossovers are genuine;
+//! only the Joules-per-op scale is fitted (DESIGN.md §2).
+
+use crate::decoder::Activity;
+use crate::CodecError;
+
+/// Relative per-operation costs of the non-deblock modules (typical
+/// decoder energy-breakdown proportions; documented model assumptions).
+pub mod op_costs {
+    /// Energy units per parser bit.
+    pub const PARSER_BIT: f64 = 1.0;
+    /// Energy units per CAVLC symbol.
+    pub const CAVLC_SYMBOL: f64 = 8.0;
+    /// Energy units per 4×4 inverse transform.
+    pub const IQIT_BLOCK: f64 = 40.0;
+    /// Energy units per 4×4 intra prediction.
+    pub const INTRA_BLOCK: f64 = 30.0;
+    /// Energy units per motion-compensated macroblock reference.
+    pub const INTER_MB_REF: f64 = 600.0;
+    /// Energy units per buffer byte moved.
+    pub const BUFFER_BYTE: f64 = 2.0;
+}
+
+/// Composite non-deblock activity of a decode run.
+pub fn composite_activity(a: &Activity) -> f64 {
+    a.parser_bits as f64 * op_costs::PARSER_BIT
+        + a.cavlc_symbols as f64 * op_costs::CAVLC_SYMBOL
+        + a.iqit_blocks as f64 * op_costs::IQIT_BLOCK
+        + a.intra_blocks as f64 * op_costs::INTRA_BLOCK
+        + a.inter_mb_refs as f64 * op_costs::INTER_MB_REF
+        + a.buffer_bytes as f64 * op_costs::BUFFER_BYTE
+}
+
+/// The fitted energy model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerModel {
+    /// Static/clock energy per displayed frame.
+    pub static_per_frame: f64,
+    /// Scale on the composite non-deblock activity.
+    pub activity_scale: f64,
+    /// Energy per deblocking edge examined.
+    pub deblock_per_edge: f64,
+}
+
+impl PowerModel {
+    /// Energy of a decode run in (arbitrary but consistent) model units.
+    pub fn energy(&self, activity: &Activity) -> f64 {
+        self.static_per_frame * activity.frames as f64
+            + self.activity_scale * composite_activity(activity)
+            + self.deblock_per_edge * activity.deblock_edges as f64
+    }
+
+    /// Fits `(s, a, d)` by least squares so that the energies of the given
+    /// `(activity, target)` pairs match the targets (the paper's normalized
+    /// mode powers). Negative solutions are clamped to zero (a physical
+    /// model cannot have negative per-op energy).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::InvalidParameter`] with fewer than three
+    /// observations or a singular system.
+    pub fn fit(observations: &[(Activity, f64)]) -> Result<PowerModel, CodecError> {
+        if observations.len() < 3 {
+            return Err(CodecError::InvalidParameter {
+                name: "observations",
+                reason: "need at least three (activity, target) pairs",
+            });
+        }
+        // Design matrix rows: [frames, composite, deblock_edges].
+        let rows: Vec<[f64; 3]> = observations
+            .iter()
+            .map(|(a, _)| {
+                [
+                    a.frames as f64,
+                    composite_activity(a),
+                    a.deblock_edges as f64,
+                ]
+            })
+            .collect();
+        let targets: Vec<f64> = observations.iter().map(|&(_, t)| t).collect();
+
+        // Normal equations: (XᵀX) w = Xᵀy.
+        let mut ata = [[0.0f64; 3]; 3];
+        let mut aty = [0.0f64; 3];
+        for (row, &y) in rows.iter().zip(&targets) {
+            for i in 0..3 {
+                for j in 0..3 {
+                    ata[i][j] += row[i] * row[j];
+                }
+                aty[i] += row[i] * y;
+            }
+        }
+        let w = solve3(ata, aty).ok_or(CodecError::InvalidParameter {
+            name: "observations",
+            reason: "singular calibration system",
+        })?;
+        Ok(PowerModel {
+            static_per_frame: w[0].max(0.0),
+            activity_scale: w[1].max(0.0),
+            deblock_per_edge: w[2].max(0.0),
+        })
+    }
+}
+
+/// Per-module energy shares of one decode run (fractions of the total,
+/// summing to 1) — the decoder's power breakdown pie.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ModuleBreakdown {
+    /// Static/clock energy share.
+    pub static_share: f64,
+    /// Bitstream parser share.
+    pub parser: f64,
+    /// CAVLC decoder share.
+    pub cavlc: f64,
+    /// IQIT share.
+    pub iqit: f64,
+    /// Intra-prediction share.
+    pub intra: f64,
+    /// Inter-prediction (motion compensation) share.
+    pub inter: f64,
+    /// Buffer front-end share.
+    pub buffer: f64,
+    /// Deblocking-filter share.
+    pub deblock: f64,
+}
+
+impl ModuleBreakdown {
+    /// Sum of all shares (1.0 up to rounding for a non-empty run).
+    pub fn total(&self) -> f64 {
+        self.static_share
+            + self.parser
+            + self.cavlc
+            + self.iqit
+            + self.intra
+            + self.inter
+            + self.buffer
+            + self.deblock
+    }
+}
+
+impl PowerModel {
+    /// Splits a run's energy into per-module shares.
+    pub fn breakdown(&self, activity: &Activity) -> ModuleBreakdown {
+        let total = self.energy(activity);
+        if total <= 0.0 {
+            return ModuleBreakdown::default();
+        }
+        let a = self.activity_scale;
+        ModuleBreakdown {
+            static_share: self.static_per_frame * activity.frames as f64 / total,
+            parser: a * activity.parser_bits as f64 * op_costs::PARSER_BIT / total,
+            cavlc: a * activity.cavlc_symbols as f64 * op_costs::CAVLC_SYMBOL / total,
+            iqit: a * activity.iqit_blocks as f64 * op_costs::IQIT_BLOCK / total,
+            intra: a * activity.intra_blocks as f64 * op_costs::INTRA_BLOCK / total,
+            inter: a * activity.inter_mb_refs as f64 * op_costs::INTER_MB_REF / total,
+            buffer: a * activity.buffer_bytes as f64 * op_costs::BUFFER_BYTE / total,
+            deblock: self.deblock_per_edge * activity.deblock_edges as f64 / total,
+        }
+    }
+}
+
+/// Solves a 3×3 linear system by Gaussian elimination with partial
+/// pivoting; `None` when singular.
+fn solve3(mut m: [[f64; 3]; 3], mut b: [f64; 3]) -> Option<[f64; 3]> {
+    for col in 0..3 {
+        // Pivot.
+        let pivot = (col..3).max_by(|&i, &j| m[i][col].abs().total_cmp(&m[j][col].abs()))?;
+        if m[pivot][col].abs() < 1e-12 {
+            return None;
+        }
+        m.swap(col, pivot);
+        b.swap(col, pivot);
+        for row in col + 1..3 {
+            let factor = m[row][col] / m[col][col];
+            let pivot_row = m[col];
+            for (k, cell) in m[row].iter_mut().enumerate().skip(col) {
+                *cell -= factor * pivot_row[k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    let mut x = [0.0f64; 3];
+    for row in (0..3).rev() {
+        let mut v = b[row];
+        for k in row + 1..3 {
+            v -= m[row][k] * x[k];
+        }
+        x[row] = v / m[row][row];
+    }
+    Some(x)
+}
+
+/// The paper's silicon figures (for reporting and the area table).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SiliconSpec {
+    /// Process node in nanometres.
+    pub node_nm: u32,
+    /// Die area in mm².
+    pub area_mm2: f64,
+    /// Supply voltage in volts.
+    pub supply_v: f64,
+    /// Clock frequency in MHz.
+    pub clock_mhz: f64,
+    /// Area overhead of the added Pre-store Buffer, as a fraction.
+    pub prestore_overhead: f64,
+}
+
+impl SiliconSpec {
+    /// The paper's implementation: 65 nm, 1.9 mm², 1.2 V, 28 MHz, 4.23%
+    /// Pre-store Buffer overhead.
+    pub fn paper_65nm() -> Self {
+        Self {
+            node_nm: 65,
+            area_mm2: 1.9,
+            supply_v: 1.2,
+            clock_mhz: 28.0,
+            prestore_overhead: 0.0423,
+        }
+    }
+
+    /// Area of the baseline decoder without the Pre-store Buffer, in mm².
+    pub fn baseline_area_mm2(&self) -> f64 {
+        self.area_mm2 / (1.0 + self.prestore_overhead)
+    }
+}
+
+/// The paper's normalized mode powers (Fig. 6 middle panel).
+pub mod paper_targets {
+    /// Standard mode (reference).
+    pub const STANDARD: f64 = 1.0;
+    /// NAL deletion only (−10.6%).
+    pub const DELETION: f64 = 0.894;
+    /// Deblocking filter deactivated (−31.4%).
+    pub const DEBLOCK_OFF: f64 = 0.686;
+    /// Both knobs (−36.9%).
+    pub const COMBINED: f64 = 0.631;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn activity(frames: u64, iqit: u64, deblock: u64) -> Activity {
+        Activity {
+            parser_bits: iqit * 50,
+            cavlc_symbols: iqit * 3,
+            iqit_blocks: iqit,
+            intra_blocks: iqit / 2,
+            inter_mb_refs: iqit / 16,
+            deblock_edges: deblock,
+            buffer_bytes: iqit * 10,
+            frames,
+        }
+    }
+
+    #[test]
+    fn energy_is_linear_in_activity() {
+        let model = PowerModel {
+            static_per_frame: 1.0,
+            activity_scale: 0.001,
+            deblock_per_edge: 0.01,
+        };
+        let a1 = activity(10, 1000, 500);
+        let mut doubled = a1;
+        doubled.frames *= 2;
+        doubled.parser_bits *= 2;
+        doubled.cavlc_symbols *= 2;
+        doubled.iqit_blocks *= 2;
+        doubled.intra_blocks *= 2;
+        doubled.inter_mb_refs *= 2;
+        doubled.deblock_edges *= 2;
+        doubled.buffer_bytes *= 2;
+        assert!((model.energy(&doubled) - 2.0 * model.energy(&a1)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fit_recovers_known_model() {
+        let truth = PowerModel {
+            static_per_frame: 2.0,
+            activity_scale: 0.0005,
+            deblock_per_edge: 0.02,
+        };
+        let observations: Vec<(Activity, f64)> = [
+            activity(10, 1000, 800),
+            activity(10, 700, 0),
+            activity(10, 400, 500),
+            activity(12, 1200, 100),
+        ]
+        .into_iter()
+        .map(|a| {
+            let e = truth.energy(&a);
+            (a, e)
+        })
+        .collect();
+        let fitted = PowerModel::fit(&observations).unwrap();
+        assert!((fitted.static_per_frame - truth.static_per_frame).abs() < 1e-6);
+        assert!((fitted.activity_scale - truth.activity_scale).abs() < 1e-9);
+        assert!((fitted.deblock_per_edge - truth.deblock_per_edge).abs() < 1e-8);
+    }
+
+    #[test]
+    fn fit_rejects_insufficient_observations() {
+        let obs = vec![(activity(1, 1, 1), 1.0)];
+        assert!(PowerModel::fit(&obs).is_err());
+    }
+
+    #[test]
+    fn fit_rejects_singular_system() {
+        // Identical observations -> rank 1.
+        let a = activity(10, 1000, 800);
+        let obs = vec![(a, 1.0), (a, 1.0), (a, 1.0)];
+        assert!(PowerModel::fit(&obs).is_err());
+    }
+
+    #[test]
+    fn breakdown_sums_to_one() {
+        let model = PowerModel {
+            static_per_frame: 1.5,
+            activity_scale: 0.0007,
+            deblock_per_edge: 0.03,
+        };
+        let a = activity(10, 1000, 800);
+        let b = model.breakdown(&a);
+        assert!((b.total() - 1.0).abs() < 1e-9, "{}", b.total());
+        assert!(b.deblock > 0.0 && b.static_share > 0.0);
+    }
+
+    #[test]
+    fn breakdown_of_empty_run_is_zero() {
+        let model = PowerModel {
+            static_per_frame: 1.0,
+            activity_scale: 1.0,
+            deblock_per_edge: 1.0,
+        };
+        let b = model.breakdown(&Activity::default());
+        assert_eq!(b.total(), 0.0);
+    }
+
+    #[test]
+    fn silicon_spec_matches_paper() {
+        let s = SiliconSpec::paper_65nm();
+        assert_eq!(s.node_nm, 65);
+        assert!((s.area_mm2 - 1.9).abs() < 1e-9);
+        // Baseline area + 4.23% = full area.
+        assert!((s.baseline_area_mm2() * 1.0423 - 1.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn solve3_handles_permuted_pivots() {
+        // A system needing row swaps.
+        let m = [[0.0, 1.0, 0.0], [1.0, 0.0, 0.0], [0.0, 0.0, 2.0]];
+        let b = [3.0, 4.0, 10.0];
+        let x = solve3(m, b).unwrap();
+        assert!((x[0] - 4.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+        assert!((x[2] - 5.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,254 @@
+//! Quality metrics.
+
+use crate::frame::Frame;
+use crate::CodecError;
+
+/// Peak signal-to-noise ratio between two frames in dB; `f64::INFINITY`
+/// for identical frames.
+///
+/// # Errors
+///
+/// Returns [`CodecError::BadDimensions`] when the frames differ in size.
+///
+/// # Example
+///
+/// ```
+/// use h264::quality::psnr;
+/// use h264::Frame;
+/// # fn main() -> Result<(), h264::CodecError> {
+/// let a = Frame::new(16, 16)?;
+/// let b = a.clone();
+/// assert!(psnr(&a, &b)?.is_infinite());
+/// # Ok(())
+/// # }
+/// ```
+pub fn psnr(reference: &Frame, distorted: &Frame) -> Result<f64, CodecError> {
+    if reference.width() != distorted.width() || reference.height() != distorted.height() {
+        return Err(CodecError::BadDimensions {
+            width: distorted.width(),
+            height: distorted.height(),
+        });
+    }
+    let mse: f64 = reference
+        .data()
+        .iter()
+        .zip(distorted.data())
+        .map(|(&a, &b)| {
+            let d = f64::from(a) - f64::from(b);
+            d * d
+        })
+        .sum::<f64>()
+        / reference.data().len() as f64;
+    if mse == 0.0 {
+        return Ok(f64::INFINITY);
+    }
+    Ok(10.0 * (255.0 * 255.0 / mse).log10())
+}
+
+/// Mean PSNR over a clip (infinite per-frame values are capped at 99 dB so
+/// the mean stays finite).
+///
+/// # Errors
+///
+/// Returns [`CodecError::InvalidParameter`] for clip-length mismatch or
+/// empty clips and propagates frame-size errors.
+pub fn mean_psnr(reference: &[Frame], distorted: &[Frame]) -> Result<f64, CodecError> {
+    if reference.len() != distorted.len() || reference.is_empty() {
+        return Err(CodecError::InvalidParameter {
+            name: "reference/distorted",
+            reason: "clips must be non-empty and equal length",
+        });
+    }
+    let mut total = 0.0f64;
+    for (r, d) in reference.iter().zip(distorted) {
+        total += psnr(r, d)?.min(99.0);
+    }
+    Ok(total / reference.len() as f64)
+}
+
+/// Structural similarity (SSIM) between two frames, computed over 8×8
+/// windows with the standard constants (`K1 = 0.01`, `K2 = 0.03`,
+/// `L = 255`). Returns a value in `[-1, 1]`; 1 means identical.
+///
+/// PSNR treats all errors equally; SSIM tracks the *structural* damage the
+/// deblocking filter trades against power, so the mode-profile reports use
+/// both.
+///
+/// # Errors
+///
+/// Returns [`CodecError::BadDimensions`] when the frames differ in size.
+///
+/// # Example
+///
+/// ```
+/// use h264::quality::ssim;
+/// use h264::Frame;
+/// # fn main() -> Result<(), h264::CodecError> {
+/// let a = Frame::new(16, 16)?;
+/// assert!((ssim(&a, &a.clone())? - 1.0).abs() < 1e-6);
+/// # Ok(())
+/// # }
+/// ```
+pub fn ssim(reference: &Frame, distorted: &Frame) -> Result<f64, CodecError> {
+    if reference.width() != distorted.width() || reference.height() != distorted.height() {
+        return Err(CodecError::BadDimensions {
+            width: distorted.width(),
+            height: distorted.height(),
+        });
+    }
+    const WINDOW: usize = 8;
+    const C1: f64 = (0.01 * 255.0) * (0.01 * 255.0);
+    const C2: f64 = (0.03 * 255.0) * (0.03 * 255.0);
+
+    let (w, h) = (reference.width(), reference.height());
+    let mut total = 0.0f64;
+    let mut windows = 0usize;
+    for wy in (0..h).step_by(WINDOW) {
+        for wx in (0..w).step_by(WINDOW) {
+            let bw = WINDOW.min(w - wx);
+            let bh = WINDOW.min(h - wy);
+            let n = (bw * bh) as f64;
+            let (mut sum_a, mut sum_b) = (0.0f64, 0.0f64);
+            for y in wy..wy + bh {
+                for x in wx..wx + bw {
+                    sum_a += f64::from(reference.pixel(x, y));
+                    sum_b += f64::from(distorted.pixel(x, y));
+                }
+            }
+            let (mu_a, mu_b) = (sum_a / n, sum_b / n);
+            let (mut var_a, mut var_b, mut cov) = (0.0f64, 0.0f64, 0.0f64);
+            for y in wy..wy + bh {
+                for x in wx..wx + bw {
+                    let da = f64::from(reference.pixel(x, y)) - mu_a;
+                    let db = f64::from(distorted.pixel(x, y)) - mu_b;
+                    var_a += da * da;
+                    var_b += db * db;
+                    cov += da * db;
+                }
+            }
+            var_a /= n;
+            var_b /= n;
+            cov /= n;
+            total += ((2.0 * mu_a * mu_b + C1) * (2.0 * cov + C2))
+                / ((mu_a * mu_a + mu_b * mu_b + C1) * (var_a + var_b + C2));
+            windows += 1;
+        }
+    }
+    Ok(total / windows as f64)
+}
+
+/// Mean SSIM over a clip.
+///
+/// # Errors
+///
+/// Same conditions as [`mean_psnr`].
+pub fn mean_ssim(reference: &[Frame], distorted: &[Frame]) -> Result<f64, CodecError> {
+    if reference.len() != distorted.len() || reference.is_empty() {
+        return Err(CodecError::InvalidParameter {
+            name: "reference/distorted",
+            reason: "clips must be non-empty and equal length",
+        });
+    }
+    let mut total = 0.0f64;
+    for (r, d) in reference.iter().zip(distorted) {
+        total += ssim(r, d)?;
+    }
+    Ok(total / reference.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ssim_of_identical_frames_is_one() {
+        let mut f = Frame::new(32, 32).unwrap();
+        for (i, p) in f.data_mut().iter_mut().enumerate() {
+            *p = (i % 251) as u8;
+        }
+        assert!((ssim(&f, &f.clone()).unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ssim_decreases_with_structural_damage() {
+        let mut reference = Frame::new(32, 32).unwrap();
+        for (i, p) in reference.data_mut().iter_mut().enumerate() {
+            *p = ((i * 7) % 200) as u8;
+        }
+        // Mild uniform offset vs structure-destroying blur to a constant.
+        let mut offset = reference.clone();
+        for p in offset.data_mut() {
+            *p = p.saturating_add(5);
+        }
+        let mut flat = Frame::new(32, 32).unwrap();
+        for p in flat.data_mut() {
+            *p = 100;
+        }
+        let s_offset = ssim(&reference, &offset).unwrap();
+        let s_flat = ssim(&reference, &flat).unwrap();
+        assert!(s_offset > 0.9, "{s_offset}");
+        assert!(s_flat < s_offset - 0.3, "{s_flat} vs {s_offset}");
+    }
+
+    #[test]
+    fn ssim_rejects_size_mismatch() {
+        let a = Frame::new(16, 16).unwrap();
+        let b = Frame::new(32, 16).unwrap();
+        assert!(ssim(&a, &b).is_err());
+        assert!(mean_ssim(&[a], &[]).is_err());
+    }
+
+    #[test]
+    fn mean_ssim_averages() {
+        let a = Frame::new(16, 16).unwrap();
+        let clip = vec![a.clone(), a.clone()];
+        assert!((mean_ssim(&clip, &clip.clone()).unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn identical_frames_have_infinite_psnr() {
+        let f = Frame::new(32, 32).unwrap();
+        assert!(psnr(&f, &f.clone()).unwrap().is_infinite());
+    }
+
+    #[test]
+    fn known_mse_value() {
+        let a = Frame::new(16, 16).unwrap();
+        let mut b = Frame::new(16, 16).unwrap();
+        for p in b.data_mut() {
+            *p = 16; // uniform error of 16 -> MSE 256 -> PSNR ~ 24.05 dB
+        }
+        let v = psnr(&a, &b).unwrap();
+        assert!((v - 24.0494).abs() < 0.01, "{v}");
+    }
+
+    #[test]
+    fn more_noise_lower_psnr() {
+        let a = Frame::new(16, 16).unwrap();
+        let mut small = Frame::new(16, 16).unwrap();
+        let mut big = Frame::new(16, 16).unwrap();
+        for p in small.data_mut() {
+            *p = 4;
+        }
+        for p in big.data_mut() {
+            *p = 40;
+        }
+        assert!(psnr(&a, &small).unwrap() > psnr(&a, &big).unwrap());
+    }
+
+    #[test]
+    fn size_mismatch_rejected() {
+        let a = Frame::new(16, 16).unwrap();
+        let b = Frame::new(32, 16).unwrap();
+        assert!(psnr(&a, &b).is_err());
+    }
+
+    #[test]
+    fn mean_psnr_validates_and_caps() {
+        let a = vec![Frame::new(16, 16).unwrap(); 2];
+        assert!(mean_psnr(&a, &a[..1]).is_err());
+        assert!(mean_psnr(&[], &[]).is_err());
+        let m = mean_psnr(&a, &a.clone()).unwrap();
+        assert_eq!(m, 99.0); // capped infinity
+    }
+}

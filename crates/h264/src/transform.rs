@@ -1,0 +1,318 @@
+//! The H.264 4×4 integer transform and quantization (the "IQIT" module of
+//! the paper's decoder).
+//!
+//! Forward transform `W = C · X · Cᵀ` with the standard integer core
+//!
+//! ```text
+//!     | 1  1  1  1 |
+//! C = | 2  1 -1 -2 |
+//!     | 1 -1 -1  1 |
+//!     | 1 -2  2 -1 |
+//! ```
+//!
+//! Quantization and dequantization use the standard's `MF`/`V` multiplier
+//! tables (position classes a/b/c, periodic in `QP mod 6`, doubling every
+//! six QP), and the inverse transform is the standard `Ci` core with the
+//! final `(+32) >> 6` scaling — i.e. the genuine H.264 4×4 path.
+
+use crate::CodecError;
+
+/// Zigzag scan order for a 4×4 block.
+pub const ZIGZAG: [usize; 16] = [0, 1, 4, 8, 5, 2, 3, 6, 9, 12, 13, 10, 7, 11, 14, 15];
+
+/// Quantization step size for a QP (the H.264 law: doubles every 6 QP,
+/// anchored at 0.625 for QP 0). Used by heuristics (deblocking thresholds,
+/// error bounds); the codec itself quantizes through the `MF`/`V` tables.
+pub fn qp_step(qp: u8) -> f32 {
+    0.625 * 2f32.powf(f32::from(qp) / 6.0)
+}
+
+/// Forward quantization multipliers `(a, b, c)` per `QP mod 6`
+/// (H.264 Table: positions (0,0)-class, (1,1)-class, mixed-class).
+const MF: [(i64, i64, i64); 6] = [
+    (13107, 5243, 8066),
+    (11916, 4660, 7490),
+    (10082, 4194, 6554),
+    (9362, 3647, 5825),
+    (8192, 3355, 5243),
+    (7282, 2893, 4559),
+];
+
+/// Dequantization multipliers `(a, b, c)` per `QP mod 6`.
+const V: [(i64, i64, i64); 6] = [
+    (10, 16, 13),
+    (11, 18, 14),
+    (13, 20, 16),
+    (14, 23, 18),
+    (16, 25, 20),
+    (18, 29, 23),
+];
+
+/// Position class within the 4×4 block: 0 = a, 1 = b, 2 = c.
+fn position_class(pos: usize) -> usize {
+    let (row, col) = (pos / 4, pos % 4);
+    match (row % 2, col % 2) {
+        (0, 0) => 0,
+        (1, 1) => 1,
+        _ => 2,
+    }
+}
+
+fn mf_at(pos: usize, qp: u8) -> i64 {
+    let (a, b, c) = MF[usize::from(qp) % 6];
+    match position_class(pos) {
+        0 => a,
+        1 => b,
+        _ => c,
+    }
+}
+
+fn v_at(pos: usize, qp: u8) -> i64 {
+    let (a, b, c) = V[usize::from(qp) % 6];
+    match position_class(pos) {
+        0 => a,
+        1 => b,
+        _ => c,
+    }
+}
+
+/// Forward 4×4 integer transform (row-major input/output).
+pub fn forward_transform(block: &[i32; 16]) -> [i32; 16] {
+    let mut tmp = [0i32; 16];
+    for i in 0..4 {
+        let (a, b, c, d) = (block[i], block[4 + i], block[8 + i], block[12 + i]);
+        let s0 = a + d;
+        let s1 = b + c;
+        let s2 = a - d;
+        let s3 = b - c;
+        tmp[i] = s0 + s1;
+        tmp[4 + i] = 2 * s2 + s3;
+        tmp[8 + i] = s0 - s1;
+        tmp[12 + i] = s2 - 2 * s3;
+    }
+    let mut out = [0i32; 16];
+    for i in 0..4 {
+        let (a, b, c, d) = (tmp[4 * i], tmp[4 * i + 1], tmp[4 * i + 2], tmp[4 * i + 3]);
+        let s0 = a + d;
+        let s1 = b + c;
+        let s2 = a - d;
+        let s3 = b - c;
+        out[4 * i] = s0 + s1;
+        out[4 * i + 1] = 2 * s2 + s3;
+        out[4 * i + 2] = s0 - s1;
+        out[4 * i + 3] = s2 - 2 * s3;
+    }
+    out
+}
+
+/// Inverse 4×4 integer transform with the standard `(+32) >> 6` rounding.
+pub fn inverse_transform(coeffs: &[i32; 16]) -> [i32; 16] {
+    let mut tmp = [0i32; 16];
+    for i in 0..4 {
+        let (a, b, c, d) = (coeffs[i], coeffs[4 + i], coeffs[8 + i], coeffs[12 + i]);
+        let s0 = a + c;
+        let s1 = a - c;
+        let s2 = (b >> 1) - d;
+        let s3 = b + (d >> 1);
+        tmp[i] = s0 + s3;
+        tmp[4 + i] = s1 + s2;
+        tmp[8 + i] = s1 - s2;
+        tmp[12 + i] = s0 - s3;
+    }
+    let mut out = [0i32; 16];
+    for i in 0..4 {
+        let (a, b, c, d) = (tmp[4 * i], tmp[4 * i + 1], tmp[4 * i + 2], tmp[4 * i + 3]);
+        let s0 = a + c;
+        let s1 = a - c;
+        let s2 = (b >> 1) - d;
+        let s3 = b + (d >> 1);
+        out[4 * i] = (s0 + s3 + 32) >> 6;
+        out[4 * i + 1] = (s1 + s2 + 32) >> 6;
+        out[4 * i + 2] = (s1 - s2 + 32) >> 6;
+        out[4 * i + 3] = (s0 - s3 + 32) >> 6;
+    }
+    out
+}
+
+/// Quantizes transform coefficients at the given QP (standard `MF` path
+/// with the intra rounding offset `2^qbits / 3`).
+///
+/// # Errors
+///
+/// Returns [`CodecError::InvalidParameter`] for QP above 51 (the H.264
+/// range).
+pub fn quantize(coeffs: &[i32; 16], qp: u8) -> Result<[i32; 16], CodecError> {
+    if qp > 51 {
+        return Err(CodecError::InvalidParameter {
+            name: "qp",
+            reason: "must be at most 51",
+        });
+    }
+    let qbits = 15 + i64::from(qp / 6);
+    let f = (1i64 << qbits) / 3;
+    let mut out = [0i32; 16];
+    for (pos, (o, &c)) in out.iter_mut().zip(coeffs).enumerate() {
+        let level = (i64::from(c.unsigned_abs()) * mf_at(pos, qp) + f) >> qbits;
+        *o = if c < 0 { -(level as i32) } else { level as i32 };
+    }
+    Ok(out)
+}
+
+/// Dequantizes coefficient levels at the given QP (standard `V` path).
+///
+/// # Errors
+///
+/// Returns [`CodecError::InvalidParameter`] for QP above 51.
+pub fn dequantize(levels: &[i32; 16], qp: u8) -> Result<[i32; 16], CodecError> {
+    if qp > 51 {
+        return Err(CodecError::InvalidParameter {
+            name: "qp",
+            reason: "must be at most 51",
+        });
+    }
+    let shift = u32::from(qp / 6);
+    let mut out = [0i32; 16];
+    for (pos, (o, &l)) in out.iter_mut().zip(levels).enumerate() {
+        *o = ((i64::from(l) * v_at(pos, qp)) << shift) as i32;
+    }
+    Ok(out)
+}
+
+/// Full residual encode: transform + quantize, returning zigzag-ordered
+/// levels.
+///
+/// # Errors
+///
+/// Propagates [`quantize`] errors.
+pub fn encode_residual(residual: &[i32; 16], qp: u8) -> Result<[i32; 16], CodecError> {
+    let coeffs = forward_transform(residual);
+    let levels = quantize(&coeffs, qp)?;
+    let mut zz = [0i32; 16];
+    for (i, &pos) in ZIGZAG.iter().enumerate() {
+        zz[i] = levels[pos];
+    }
+    Ok(zz)
+}
+
+/// Full residual decode: un-zigzag + dequantize + inverse transform.
+///
+/// # Errors
+///
+/// Propagates [`dequantize`] errors.
+pub fn decode_residual(zz_levels: &[i32; 16], qp: u8) -> Result<[i32; 16], CodecError> {
+    let mut levels = [0i32; 16];
+    for (i, &pos) in ZIGZAG.iter().enumerate() {
+        levels[pos] = zz_levels[i];
+    }
+    let coeffs = dequantize(&levels, qp)?;
+    Ok(inverse_transform(&coeffs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zigzag_is_a_permutation() {
+        let mut z = ZIGZAG;
+        z.sort_unstable();
+        assert_eq!(z, core::array::from_fn(|i| i));
+    }
+
+    #[test]
+    fn qp_step_doubles_every_six() {
+        for qp in 0..=45u8 {
+            let ratio = qp_step(qp + 6) / qp_step(qp);
+            assert!((ratio - 2.0).abs() < 1e-4, "qp {qp}: {ratio}");
+        }
+    }
+
+    #[test]
+    fn dc_block_transforms_to_single_coeff() {
+        let block = [10i32; 16];
+        let coeffs = forward_transform(&block);
+        assert_eq!(coeffs[0], 160); // 16 * 10
+        assert!(coeffs[1..].iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn low_qp_round_trip_is_near_lossless() {
+        let qp = 0u8;
+        let block: [i32; 16] = core::array::from_fn(|i| (i as i32 * 13 % 37) - 18);
+        let zz = encode_residual(&block, qp).unwrap();
+        let back = decode_residual(&zz, qp).unwrap();
+        for (a, b) in block.iter().zip(&back) {
+            assert!((a - b).abs() <= 1, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn quantization_round_trip_error_tracks_step() {
+        for qp in [8u8, 16, 24, 32] {
+            let block: [i32; 16] = core::array::from_fn(|i| ((i * 31) % 255) as i32 - 128);
+            let zz = encode_residual(&block, qp).unwrap();
+            let back = decode_residual(&zz, qp).unwrap();
+            // Pixel-domain error is on the order of the quantization step.
+            let bound = (qp_step(qp) * 1.5 + 2.0) as i32;
+            for (a, b) in block.iter().zip(&back) {
+                assert!((a - b).abs() <= bound, "qp {qp}: {a} vs {b} (bound {bound})");
+            }
+        }
+    }
+
+    #[test]
+    fn error_grows_with_qp() {
+        let block: [i32; 16] = core::array::from_fn(|i| ((i * 71) % 200) as i32 - 100);
+        let err = |qp: u8| -> i32 {
+            let zz = encode_residual(&block, qp).unwrap();
+            let back = decode_residual(&zz, qp).unwrap();
+            block.iter().zip(&back).map(|(a, b)| (a - b).abs()).sum()
+        };
+        assert!(err(40) > err(8), "{} vs {}", err(40), err(8));
+    }
+
+    #[test]
+    fn higher_qp_zeroes_more_coefficients() {
+        let block: [i32; 16] = core::array::from_fn(|i| (i as i32 % 5) * 6 - 12);
+        let zeros = |qp: u8| {
+            encode_residual(&block, qp)
+                .unwrap()
+                .iter()
+                .filter(|&&l| l == 0)
+                .count()
+        };
+        assert!(zeros(40) >= zeros(10));
+    }
+
+    #[test]
+    fn qp_out_of_range_rejected() {
+        let block = [0i32; 16];
+        assert!(quantize(&block, 52).is_err());
+        assert!(dequantize(&block, 200).is_err());
+    }
+
+    #[test]
+    fn position_classes_follow_parity() {
+        assert_eq!(position_class(0), 0); // (0,0)
+        assert_eq!(position_class(5), 1); // (1,1)
+        assert_eq!(position_class(1), 2); // (0,1)
+        assert_eq!(position_class(10), 0); // (2,2)
+        assert_eq!(position_class(15), 1); // (3,3)
+    }
+
+    #[test]
+    fn mf_v_product_is_qp_invariant_per_position() {
+        // MF(qp) * V(qp) ≈ 2^21ish per position class, constant over qp%6 —
+        // the defining property of the table pair.
+        for pos in [0usize, 5, 1] {
+            let products: Vec<i64> = (0..6u8).map(|qp| mf_at(pos, qp) * v_at(pos, qp)).collect();
+            let first = products[0] as f64;
+            for &p in &products {
+                assert!(
+                    ((p as f64) - first).abs() / first < 0.02,
+                    "pos {pos}: {products:?}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Synthetic test clips.
+//!
+//! Stand-in for the paper's playback content: a textured background with
+//! moving objects, giving the encoder realistic temporal redundancy (good
+//! P/B prediction) and enough detail that quality loss is measurable.
+
+use crate::frame::Frame;
+use crate::CodecError;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Generates a deterministic clip of `n_frames` frames: a smooth gradient
+/// background with static texture plus two moving bright discs.
+///
+/// # Errors
+///
+/// Returns [`CodecError::BadDimensions`] for invalid dimensions and
+/// [`CodecError::InvalidParameter`] for a zero frame count.
+///
+/// # Example
+///
+/// ```
+/// use h264::video::synthetic_clip;
+/// # fn main() -> Result<(), h264::CodecError> {
+/// let clip = synthetic_clip(64, 48, 10, 1)?;
+/// assert_eq!(clip.len(), 10);
+/// # Ok(())
+/// # }
+/// ```
+pub fn synthetic_clip(
+    width: usize,
+    height: usize,
+    n_frames: usize,
+    seed: u64,
+) -> Result<Vec<Frame>, CodecError> {
+    synthetic_clip_with_pause(width, height, n_frames, seed, 0..0)
+}
+
+/// Like [`synthetic_clip`], but motion freezes for the frame indices in
+/// `pause` — those frames are (nearly) identical to their predecessor, so
+/// their P/B NAL units come out tiny. This reproduces the realistic mix of
+/// the paper's content, where only *some* P/B units fall under the
+/// `S_th = 140` deletion threshold.
+///
+/// # Errors
+///
+/// Same conditions as [`synthetic_clip`].
+pub fn synthetic_clip_with_pause(
+    width: usize,
+    height: usize,
+    n_frames: usize,
+    seed: u64,
+    pause: std::ops::Range<usize>,
+) -> Result<Vec<Frame>, CodecError> {
+    if n_frames == 0 {
+        return Err(CodecError::InvalidParameter {
+            name: "n_frames",
+            reason: "must be non-zero",
+        });
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Static texture layer, shared by all frames (temporal redundancy).
+    let texture: Vec<i32> = (0..width * height)
+        .map(|_| (rng.random::<f32>() * 24.0) as i32 - 12)
+        .collect();
+
+    let mut frames = Vec::with_capacity(n_frames);
+    let mut motion_time = 0usize;
+    for t in 0..n_frames {
+        if !pause.contains(&t) && t > 0 {
+            motion_time += 1;
+        }
+        let mut frame = Frame::new(width, height)?;
+        let tf = motion_time as f32;
+        // Disc centers follow smooth paths.
+        let cx0 = (width as f32 * 0.3 + tf * 2.0) % width as f32;
+        let cy0 = height as f32 * 0.4;
+        let cx1 = width as f32 * 0.7;
+        let cy1 = (height as f32 * 0.2 + tf * 1.5) % height as f32;
+        for y in 0..height {
+            for x in 0..width {
+                let gradient = (x * 128 / width + y * 64 / height) as i32 + 32;
+                let mut v = gradient + texture[y * width + x];
+                let d0 = ((x as f32 - cx0).powi(2) + (y as f32 - cy0).powi(2)).sqrt();
+                let d1 = ((x as f32 - cx1).powi(2) + (y as f32 - cy1).powi(2)).sqrt();
+                if d0 < 8.0 {
+                    v += 90 - (d0 * 6.0) as i32;
+                }
+                if d1 < 6.0 {
+                    v += 70 - (d1 * 7.0) as i32;
+                }
+                frame.set_pixel(x, y, v.clamp(0, 255) as u8);
+            }
+        }
+        frames.push(frame);
+    }
+    Ok(frames)
+}
+
+/// The reference clip used to calibrate the power model against the paper's
+/// mode measurements: 64×64, 24 frames, with motion pausing over frames
+/// 9..15 so a realistic minority of P/B NAL units is small enough for the
+/// `S_th = 140` Input Selector.
+///
+/// # Errors
+///
+/// Never fails for the built-in parameters; the `Result` matches
+/// [`synthetic_clip_with_pause`].
+pub fn reference_clip(seed: u64) -> Result<Vec<Frame>, CodecError> {
+    synthetic_clip_with_pause(64, 64, 24, seed, 9..15)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clip_has_requested_shape() {
+        let clip = synthetic_clip(32, 32, 5, 0).unwrap();
+        assert_eq!(clip.len(), 5);
+        assert!(clip.iter().all(|f| f.width() == 32 && f.height() == 32));
+    }
+
+    #[test]
+    fn rejects_zero_frames_and_bad_dims() {
+        assert!(synthetic_clip(32, 32, 0, 0).is_err());
+        assert!(synthetic_clip(30, 32, 3, 0).is_err());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = synthetic_clip(32, 32, 3, 9).unwrap();
+        let b = synthetic_clip(32, 32, 3, 9).unwrap();
+        assert_eq!(a[2].data(), b[2].data());
+        let c = synthetic_clip(32, 32, 3, 10).unwrap();
+        assert_ne!(a[0].data(), c[0].data());
+    }
+
+    #[test]
+    fn consecutive_frames_are_similar_but_not_identical() {
+        let clip = synthetic_clip(64, 64, 2, 1).unwrap();
+        let diff: u64 = clip[0]
+            .data()
+            .iter()
+            .zip(clip[1].data())
+            .map(|(&a, &b)| u64::from(a.abs_diff(b)))
+            .sum();
+        assert!(diff > 0, "frames identical");
+        let mean_diff = diff as f64 / (64.0 * 64.0);
+        assert!(mean_diff < 20.0, "frames too different: {mean_diff}");
+    }
+
+    #[test]
+    fn frames_use_wide_value_range() {
+        let clip = synthetic_clip(64, 64, 1, 2).unwrap();
+        let min = clip[0].data().iter().min().unwrap();
+        let max = clip[0].data().iter().max().unwrap();
+        assert!(max - min > 100, "range {min}..{max} too flat");
+    }
+}

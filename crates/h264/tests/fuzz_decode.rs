@@ -1,0 +1,104 @@
+//! Failure-injection tests: a decoder facing corrupted bitstreams must
+//! fail *cleanly* — return an error or decode garbage frames — but never
+//! panic, hang, or attempt a pathological allocation.
+
+use h264::adaptive::paper_reference;
+use h264::decoder::{Decoder, DecoderOptions};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+fn reference_stream() -> &'static [u8] {
+    static STREAM: OnceLock<Vec<u8>> = OnceLock::new();
+    STREAM.get_or_init(|| paper_reference(5).expect("reference encodes").1)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Flipping any single byte of a valid stream never panics the decoder.
+    #[test]
+    fn single_byte_corruption_is_handled(offset in 0usize..6000, xor in 1u8..=255) {
+        let mut stream = reference_stream().to_vec();
+        let offset = offset % stream.len();
+        stream[offset] ^= xor;
+        let mut decoder = Decoder::new(DecoderOptions::default());
+        let _ = decoder.decode(&stream); // Ok(garbage) or Err are both fine
+    }
+
+    /// Truncating the stream at any point never panics.
+    #[test]
+    fn truncation_is_handled(keep in 1usize..6000) {
+        let stream = reference_stream();
+        let keep = keep % stream.len();
+        let mut decoder = Decoder::new(DecoderOptions::default());
+        let _ = decoder.decode(&stream[..keep.max(1)]);
+    }
+
+    /// Pure random bytes (with a forced start code so parsing begins) never
+    /// panic.
+    #[test]
+    fn random_bytes_are_handled(mut bytes in prop::collection::vec(any::<u8>(), 8..512)) {
+        bytes[0] = 0;
+        bytes[1] = 0;
+        bytes[2] = 0;
+        bytes[3] = 1;
+        bytes[4] = 7; // claim an SPS
+        let mut decoder = Decoder::new(DecoderOptions::default());
+        let _ = decoder.decode(&bytes);
+    }
+
+    /// Swapping two NAL-unit regions never panics (simulates reordered
+    /// packets).
+    #[test]
+    fn region_swap_is_handled(a in 0usize..3000, b in 3000usize..6000, len in 1usize..64) {
+        let mut stream = reference_stream().to_vec();
+        let n = stream.len();
+        let a = a % n;
+        let b = b % n;
+        let len = len.min(n - a.max(b));
+        if len > 0 && a + len <= n && b + len <= n && a != b {
+            for k in 0..len {
+                stream.swap(a + k, b + k);
+            }
+        }
+        let mut decoder = Decoder::new(DecoderOptions::default());
+        let _ = decoder.decode(&stream);
+    }
+}
+
+/// A stream claiming absurd dimensions must be rejected, not allocated.
+#[test]
+fn oversized_sps_rejected() {
+    use h264::expgolomb::BitWriter;
+    use h264::nal::{write_annex_b, NalType, NalUnit};
+
+    let mut w = BitWriter::new();
+    w.write_ue(1_000_000); // mb_cols
+    w.write_ue(1_000_000); // mb_rows
+    w.write_ue(28);
+    w.write_ue(10);
+    let stream = write_annex_b(&[NalUnit::new(NalType::Sps, w.into_bytes())]);
+    let mut decoder = Decoder::new(DecoderOptions::default());
+    assert!(decoder.decode(&stream).is_err());
+}
+
+/// A slice claiming a frame number far past the SPS frame count must be
+/// rejected rather than concealing billions of frames.
+#[test]
+fn runaway_frame_number_rejected() {
+    use h264::expgolomb::BitWriter;
+    use h264::nal::{split_annex_b, write_annex_b, NalType, NalUnit};
+
+    let stream = reference_stream();
+    let mut units = split_annex_b(stream).unwrap();
+    // Replace the first slice payload's frame_num with a huge value,
+    // keeping the remaining payload bits.
+    let mut w = BitWriter::new();
+    w.write_ue(4_000_000);
+    let mut payload = w.into_bytes();
+    payload.extend_from_slice(&units[1].payload[1..]);
+    units[1] = NalUnit::new(NalType::IdrSlice, payload);
+    let corrupted = write_annex_b(&units);
+    let mut decoder = Decoder::new(DecoderOptions::default());
+    assert!(decoder.decode(&corrupted).is_err());
+}

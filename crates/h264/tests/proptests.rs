@@ -1,0 +1,130 @@
+//! Property-based tests for the codec's core invariants.
+
+use h264::buffers::{select_units, BufferChain, SelectorParams};
+use h264::cavlc::{decode_block, encode_block};
+use h264::expgolomb::{BitReader, BitWriter};
+use h264::nal::{split_annex_b, write_annex_b, NalType, NalUnit};
+use h264::transform::{decode_residual, encode_residual, qp_step};
+use proptest::prelude::*;
+
+fn nal_units_strategy() -> impl Strategy<Value = Vec<NalUnit>> {
+    prop::collection::vec(
+        (
+            prop_oneof![
+                Just(NalType::IdrSlice),
+                Just(NalType::PSlice),
+                Just(NalType::BSlice),
+            ],
+            prop::collection::vec(any::<u8>(), 1..300),
+        )
+            .prop_map(|(t, p)| NalUnit::new(t, p)),
+        1..12,
+    )
+}
+
+proptest! {
+    /// ue/se Exp-Golomb codes round-trip for any value sequence.
+    #[test]
+    fn expgolomb_round_trip(
+        ues in prop::collection::vec(0u32..1_000_000, 1..32),
+        ses in prop::collection::vec(-100_000i32..100_000, 1..32),
+    ) {
+        let mut w = BitWriter::new();
+        for &v in &ues {
+            w.write_ue(v);
+        }
+        for &v in &ses {
+            w.write_se(v);
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &v in &ues {
+            prop_assert_eq!(r.read_ue().unwrap(), v);
+        }
+        for &v in &ses {
+            prop_assert_eq!(r.read_se().unwrap(), v);
+        }
+    }
+
+    /// CAVLC blocks round-trip in every context for arbitrary levels.
+    #[test]
+    fn cavlc_round_trip(
+        levels in prop::collection::vec(-64i32..64, 16..=16),
+        ctx in 0usize..3,
+    ) {
+        let mut block = [0i32; 16];
+        block.copy_from_slice(&levels);
+        let mut w = BitWriter::new();
+        encode_block(&mut w, &block, ctx);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        let (decoded, _) = decode_block(&mut r, ctx).unwrap();
+        prop_assert_eq!(decoded, block);
+    }
+
+    /// Residual coding error is bounded by the quantization step scale at
+    /// every QP.
+    #[test]
+    fn residual_error_bounded(
+        values in prop::collection::vec(-255i32..=255, 16..=16),
+        qp in 0u8..=40,
+    ) {
+        let mut block = [0i32; 16];
+        block.copy_from_slice(&values);
+        let zz = encode_residual(&block, qp).unwrap();
+        let back = decode_residual(&zz, qp).unwrap();
+        let bound = (qp_step(qp) * 2.0 + 3.0) as i32;
+        for (a, b) in block.iter().zip(&back) {
+            prop_assert!((a - b).abs() <= bound, "qp {}: {} vs {}", qp, a, b);
+        }
+    }
+
+    /// Annex-B framing round-trips arbitrary payloads (emulation
+    /// prevention must protect every byte pattern).
+    #[test]
+    fn annex_b_round_trip(units in nal_units_strategy()) {
+        let stream = write_annex_b(&units);
+        let back = split_annex_b(&stream).unwrap();
+        prop_assert_eq!(back, units);
+    }
+
+    /// The Input Selector never drops I/SPS units, and its byte accounting
+    /// balances.
+    #[test]
+    fn selector_conserves_bytes(
+        units in nal_units_strategy(),
+        s_th in 0usize..400,
+        f in 1u32..4,
+    ) {
+        let total: usize = units.iter().map(NalUnit::wire_size).sum();
+        let report = select_units(&units, SelectorParams::new(s_th, f).unwrap());
+        prop_assert_eq!(report.kept_bytes + report.deleted_bytes, total);
+        prop_assert_eq!(report.kept.len() + report.deleted_units, units.len());
+        // Non-droppable units always survive.
+        let idr_in = units.iter().filter(|u| u.nal_type == NalType::IdrSlice).count();
+        let idr_out = report.kept.iter().filter(|u| u.nal_type == NalType::IdrSlice).count();
+        prop_assert_eq!(idr_in, idr_out);
+        // Deleted count never exceeds candidates / f (rounded up).
+        prop_assert!(report.deleted_units <= report.candidates.div_ceil(f as usize));
+    }
+
+    /// The buffer chain delivers every byte exactly once, in order-free
+    /// accounting terms, for any length.
+    #[test]
+    fn buffer_chain_lossless(len in 0usize..4096) {
+        let data: Vec<u8> = (0..len).map(|i| (i % 256) as u8).collect();
+        let mut chain = BufferChain::paper_sized();
+        let stats = chain.pump(&data);
+        prop_assert_eq!(stats.delivered, len);
+        prop_assert_eq!(stats.prestore_writes, len);
+        prop_assert_eq!(stats.circular_writes, len);
+    }
+
+    /// Larger S_th never deletes fewer units (monotonicity of the knob).
+    #[test]
+    fn selector_monotone_in_s_th(units in nal_units_strategy(), a in 0usize..200, b in 200usize..500) {
+        let small = select_units(&units, SelectorParams::new(a, 1).unwrap());
+        let large = select_units(&units, SelectorParams::new(b, 1).unwrap());
+        prop_assert!(large.deleted_units >= small.deleted_units);
+    }
+}

@@ -1,0 +1,231 @@
+//! Apps and the usage-study categories.
+
+use affect_core::emotion::Emotion;
+use std::fmt;
+
+/// App categories from the personality/usage study the paper samples its
+/// subjects from (Fig. 7 left lists the top-20 daily categories).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AppCategory {
+    /// SMS/IM apps — dominates daily usage.
+    Messaging,
+    /// Social network clients.
+    SocialNetworks,
+    /// Photo apps.
+    Foto,
+    /// Device settings.
+    Settings,
+    /// Music / audio / radio players.
+    MusicAudioRadio,
+    /// Timers and clocks.
+    TimerClocks,
+    /// Phone calling.
+    Calling,
+    /// Calculator.
+    Calculator,
+    /// Web browsers — the other dominant category.
+    InternetBrowser,
+    /// Mail clients.
+    EMail,
+    /// Shopping apps.
+    Shopping,
+    /// File sharing / cloud storage.
+    SharingCloud,
+    /// Camera.
+    Camera,
+    /// Local video players.
+    Video,
+    /// Live TV apps.
+    Tv,
+    /// Streaming video apps.
+    VideoApps,
+    /// Photo gallery.
+    Gallery,
+    /// System services (never killed).
+    SystemApp,
+    /// Calendars.
+    CalendarApps,
+    /// Ride sharing / shared transportation.
+    SharedTransport,
+}
+
+impl AppCategory {
+    /// All categories in canonical order.
+    pub const ALL: [AppCategory; 20] = [
+        AppCategory::Messaging,
+        AppCategory::SocialNetworks,
+        AppCategory::Foto,
+        AppCategory::Settings,
+        AppCategory::MusicAudioRadio,
+        AppCategory::TimerClocks,
+        AppCategory::Calling,
+        AppCategory::Calculator,
+        AppCategory::InternetBrowser,
+        AppCategory::EMail,
+        AppCategory::Shopping,
+        AppCategory::SharingCloud,
+        AppCategory::Camera,
+        AppCategory::Video,
+        AppCategory::Tv,
+        AppCategory::VideoApps,
+        AppCategory::Gallery,
+        AppCategory::SystemApp,
+        AppCategory::CalendarApps,
+        AppCategory::SharedTransport,
+    ];
+
+    /// Canonical snake_case name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AppCategory::Messaging => "messaging",
+            AppCategory::SocialNetworks => "social_networks",
+            AppCategory::Foto => "foto",
+            AppCategory::Settings => "settings",
+            AppCategory::MusicAudioRadio => "music_audio_radio",
+            AppCategory::TimerClocks => "timer_clocks",
+            AppCategory::Calling => "calling",
+            AppCategory::Calculator => "calculator",
+            AppCategory::InternetBrowser => "internet_browser",
+            AppCategory::EMail => "e_mail",
+            AppCategory::Shopping => "shopping",
+            AppCategory::SharingCloud => "sharing_cloud",
+            AppCategory::Camera => "camera",
+            AppCategory::Video => "video",
+            AppCategory::Tv => "tv",
+            AppCategory::VideoApps => "video_apps",
+            AppCategory::Gallery => "gallery",
+            AppCategory::SystemApp => "system_app",
+            AppCategory::CalendarApps => "calendar_apps",
+            AppCategory::SharedTransport => "shared_transport",
+        }
+    }
+
+    /// Affinity of this category with an emotional state, in `[0.25, 2.0]`:
+    /// the multiplier the App Affect Table applies on top of the subject's
+    /// baseline usage share. High-arousal states favour interactive/social
+    /// categories; low-arousal states favour passive consumption.
+    pub fn emotion_affinity(self, emotion: Emotion) -> f32 {
+        // Category prototype in (valence, arousal) space: where in the
+        // circumplex this category's usage concentrates.
+        let (v, a) = match self {
+            AppCategory::Messaging => (0.2, 0.3),
+            AppCategory::SocialNetworks => (0.3, 0.6),
+            AppCategory::Foto => (0.5, 0.4),
+            AppCategory::Settings => (0.0, -0.2),
+            AppCategory::MusicAudioRadio => (0.4, -0.5),
+            AppCategory::TimerClocks => (0.0, -0.3),
+            AppCategory::Calling => (0.3, 0.7),
+            AppCategory::Calculator => (0.0, 0.0),
+            AppCategory::InternetBrowser => (0.1, 0.1),
+            AppCategory::EMail => (-0.1, -0.2),
+            AppCategory::Shopping => (0.5, 0.5),
+            AppCategory::SharingCloud => (0.1, -0.1),
+            AppCategory::Camera => (0.6, 0.6),
+            AppCategory::Video => (0.3, -0.4),
+            AppCategory::Tv => (0.3, -0.5),
+            AppCategory::VideoApps => (0.3, -0.4),
+            AppCategory::Gallery => (0.4, -0.3),
+            AppCategory::SystemApp => (0.0, 0.0),
+            AppCategory::CalendarApps => (-0.1, -0.1),
+            AppCategory::SharedTransport => (0.2, 0.7),
+        };
+        let e = emotion.to_vector();
+        // Cosine-like similarity mapped to a positive multiplier.
+        let dot = v * e.valence + a * e.arousal;
+        (1.0 + dot).clamp(0.25, 2.0)
+    }
+}
+
+impl fmt::Display for AppCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// An installed app.
+#[derive(Debug, Clone, PartialEq)]
+pub struct App {
+    /// Stable app id (index into the device's app table).
+    pub id: usize,
+    /// Display name.
+    pub name: String,
+    /// Usage-study category.
+    pub category: AppCategory,
+    /// Bytes loaded from flash on a cold start (code + initial data).
+    pub cold_load_bytes: u64,
+    /// Resident RAM footprint while alive.
+    pub ram_bytes: u64,
+}
+
+impl App {
+    /// Cold-start load time in seconds at the given flash bandwidth, plus a
+    /// fixed process-initialization cost.
+    pub fn cold_start_secs(&self, flash_bytes_per_sec: f64) -> f64 {
+        const INIT_SECS: f64 = 0.15;
+        INIT_SECS + self.cold_load_bytes as f64 / flash_bytes_per_sec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twenty_categories_with_unique_names() {
+        let mut names: Vec<_> = AppCategory::ALL.iter().map(|c| c.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 20);
+    }
+
+    #[test]
+    fn affinity_bounded() {
+        for c in AppCategory::ALL {
+            for e in Emotion::ALL {
+                let a = c.emotion_affinity(e);
+                assert!((0.25..=2.0).contains(&a), "{c}/{e}: {a}");
+            }
+        }
+    }
+
+    #[test]
+    fn excited_boosts_calling_over_tv() {
+        // Subject 3's "excited" behaviour in the paper: more calling and
+        // shared transportation.
+        let happy_call = AppCategory::Calling.emotion_affinity(Emotion::Happy);
+        let happy_tv = AppCategory::Tv.emotion_affinity(Emotion::Happy);
+        assert!(happy_call > happy_tv);
+    }
+
+    #[test]
+    fn calm_boosts_passive_media() {
+        let calm_tv = AppCategory::Tv.emotion_affinity(Emotion::Calm);
+        let calm_call = AppCategory::Calling.emotion_affinity(Emotion::Calm);
+        assert!(calm_tv > calm_call);
+    }
+
+    #[test]
+    fn cold_start_time_scales_with_size() {
+        let small = App {
+            id: 0,
+            name: "a".into(),
+            category: AppCategory::Calculator,
+            cold_load_bytes: 10_000_000,
+            ram_bytes: 50_000_000,
+        };
+        let big = App {
+            cold_load_bytes: 300_000_000,
+            ..small.clone()
+        };
+        let bw = 500e6;
+        assert!(big.cold_start_secs(bw) > small.cold_start_secs(bw) + 0.3);
+    }
+
+    #[test]
+    fn neutral_emotion_is_near_unit_affinity() {
+        for c in AppCategory::ALL {
+            let a = c.emotion_affinity(Emotion::Neutral);
+            assert!((a - 1.0).abs() < 1e-6, "{c}: {a}");
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! Device configuration and the synthetic app table.
+
+use crate::app::{App, AppCategory};
+use crate::SimError;
+
+/// Device/emulator configuration.
+///
+/// [`DeviceConfig::paper_emulator`] mirrors the paper's Fig. 7 (right):
+/// Android Studio 2021 emulator, Android 11 (API 30), 4 CPU cores, 4096 MB
+/// RAM, 32 GB ROM, 44 installed apps, 1920×1080.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceConfig {
+    /// Platform description (reporting only).
+    pub platform: String,
+    /// OS description (reporting only).
+    pub os: String,
+    /// CPU core count (reporting only).
+    pub cpu_cores: u32,
+    /// RAM size in bytes.
+    pub ram_bytes: u64,
+    /// Flash (ROM) size in bytes.
+    pub flash_bytes: u64,
+    /// Sustained flash read bandwidth in bytes/second.
+    pub flash_read_bps: f64,
+    /// Background process limit (Android default: 20).
+    pub process_limit: usize,
+    /// RAM reserved for the OS itself.
+    pub os_reserved_bytes: u64,
+    /// Display resolution (reporting only).
+    pub resolution: String,
+    /// Installed apps.
+    pub apps: Vec<App>,
+}
+
+impl DeviceConfig {
+    /// The paper's emulator with its 44-app install base.
+    pub fn paper_emulator() -> Self {
+        Self {
+            platform: "Android Studio 2021 (simulated)".into(),
+            os: "Android 11 API 30 (simulated)".into(),
+            cpu_cores: 4,
+            ram_bytes: 4096 * 1024 * 1024,
+            flash_bytes: 32 * 1024 * 1024 * 1024,
+            flash_read_bps: 500e6,
+            process_limit: 20,
+            os_reserved_bytes: 1200 * 1024 * 1024,
+            resolution: "1920x1080".into(),
+            apps: default_app_table(),
+        }
+    }
+
+    /// Looks up an app.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownApp`] for an out-of-range id.
+    pub fn app(&self, id: usize) -> Result<&App, SimError> {
+        self.apps.get(id).ok_or(SimError::UnknownApp(id))
+    }
+
+    /// Installed apps of a category.
+    pub fn apps_in(&self, category: AppCategory) -> Vec<&App> {
+        self.apps.iter().filter(|a| a.category == category).collect()
+    }
+
+    /// RAM available to app processes.
+    pub fn app_ram_bytes(&self) -> u64 {
+        self.ram_bytes.saturating_sub(self.os_reserved_bytes)
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidParameter`] for zero limits, an empty app
+    /// table, or non-positive bandwidth.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if self.process_limit == 0 {
+            return Err(SimError::InvalidParameter {
+                name: "process_limit",
+                reason: "must be non-zero",
+            });
+        }
+        if self.apps.is_empty() {
+            return Err(SimError::InvalidParameter {
+                name: "apps",
+                reason: "app table must be non-empty",
+            });
+        }
+        if !(self.flash_read_bps > 0.0) {
+            return Err(SimError::InvalidParameter {
+                name: "flash_read_bps",
+                reason: "must be positive",
+            });
+        }
+        if self.app_ram_bytes() == 0 {
+            return Err(SimError::InvalidParameter {
+                name: "ram_bytes",
+                reason: "no ram left after the os reservation",
+            });
+        }
+        Ok(())
+    }
+}
+
+const MB: u64 = 1024 * 1024;
+
+/// The 44-app install base: 2–3 apps per category with realistic footprint
+/// spreads (messaging/social/browser apps are heavy; tools are light).
+fn default_app_table() -> Vec<App> {
+    // (name, category, cold_load_MB, ram_MB)
+    let specs: [(&str, AppCategory, u64, u64); 44] = [
+        ("Android Message", AppCategory::Messaging, 90, 180),
+        ("ChatNow", AppCategory::Messaging, 140, 260),
+        ("PingMe", AppCategory::Messaging, 110, 210),
+        ("FriendFeed", AppCategory::SocialNetworks, 220, 380),
+        ("Snapshot", AppCategory::SocialNetworks, 200, 340),
+        ("MicroBlog", AppCategory::SocialNetworks, 180, 300),
+        ("PhotoLab", AppCategory::Foto, 130, 240),
+        ("PicTool", AppCategory::Foto, 90, 160),
+        ("Settings", AppCategory::Settings, 30, 80),
+        ("RadioOne", AppCategory::MusicAudioRadio, 110, 200),
+        ("TuneBox", AppCategory::MusicAudioRadio, 150, 260),
+        ("PodCatch", AppCategory::MusicAudioRadio, 100, 170),
+        ("Clock", AppCategory::TimerClocks, 20, 60),
+        ("SandTimer", AppCategory::TimerClocks, 15, 50),
+        ("Dialer", AppCategory::Calling, 50, 120),
+        ("VoiceLink", AppCategory::Calling, 90, 170),
+        ("Calculator", AppCategory::Calculator, 12, 40),
+        ("Chrome", AppCategory::InternetBrowser, 250, 450),
+        ("Lighthouse", AppCategory::InternetBrowser, 190, 330),
+        ("MailBird", AppCategory::EMail, 120, 210),
+        ("Postbox", AppCategory::EMail, 100, 180),
+        ("ShopCart", AppCategory::Shopping, 170, 290),
+        ("Bazaar", AppCategory::Shopping, 150, 250),
+        ("CloudDrop", AppCategory::SharingCloud, 130, 220),
+        ("SyncBox", AppCategory::SharingCloud, 110, 190),
+        ("Camera", AppCategory::Camera, 80, 230),
+        ("ProShot", AppCategory::Camera, 120, 280),
+        ("PlayerX", AppCategory::Video, 140, 260),
+        ("ClipView", AppCategory::Video, 100, 190),
+        ("LiveTV", AppCategory::Tv, 180, 320),
+        ("AntennaGo", AppCategory::Tv, 150, 270),
+        ("StreamFlix", AppCategory::VideoApps, 230, 400),
+        ("TubeCast", AppCategory::VideoApps, 210, 360),
+        ("Gallery", AppCategory::Gallery, 70, 200),
+        ("Albums", AppCategory::Gallery, 60, 160),
+        ("System UI", AppCategory::SystemApp, 40, 150),
+        ("Play Services", AppCategory::SystemApp, 60, 220),
+        ("Phone Services", AppCategory::SystemApp, 30, 110),
+        ("Calendar", AppCategory::CalendarApps, 60, 130),
+        ("Planner", AppCategory::CalendarApps, 70, 140),
+        ("RideShare", AppCategory::SharedTransport, 160, 270),
+        ("CityCab", AppCategory::SharedTransport, 140, 240),
+        ("ScooterGo", AppCategory::SharedTransport, 110, 190),
+        ("FileManager", AppCategory::Settings, 40, 100),
+    ];
+    specs
+        .into_iter()
+        .enumerate()
+        .map(|(id, (name, category, load_mb, ram_mb))| App {
+            id,
+            name: name.into(),
+            category,
+            cold_load_bytes: load_mb * MB,
+            ram_bytes: ram_mb * MB,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_emulator_matches_fig7_table() {
+        let d = DeviceConfig::paper_emulator();
+        assert_eq!(d.apps.len(), 44);
+        assert_eq!(d.process_limit, 20);
+        assert_eq!(d.ram_bytes, 4096 * 1024 * 1024);
+        assert_eq!(d.flash_bytes, 32 * 1024 * 1024 * 1024);
+        assert_eq!(d.cpu_cores, 4);
+        assert_eq!(d.resolution, "1920x1080");
+        d.validate().unwrap();
+    }
+
+    #[test]
+    fn every_category_has_an_app() {
+        let d = DeviceConfig::paper_emulator();
+        for c in AppCategory::ALL {
+            assert!(!d.apps_in(c).is_empty(), "no app in {c}");
+        }
+    }
+
+    #[test]
+    fn app_ids_are_indices() {
+        let d = DeviceConfig::paper_emulator();
+        for (i, a) in d.apps.iter().enumerate() {
+            assert_eq!(a.id, i);
+        }
+        assert!(d.app(43).is_ok());
+        assert_eq!(d.app(44), Err(SimError::UnknownApp(44)));
+    }
+
+    #[test]
+    fn validation_catches_degenerate_configs() {
+        let mut d = DeviceConfig::paper_emulator();
+        d.process_limit = 0;
+        assert!(d.validate().is_err());
+        let mut d = DeviceConfig::paper_emulator();
+        d.apps.clear();
+        assert!(d.validate().is_err());
+        let mut d = DeviceConfig::paper_emulator();
+        d.os_reserved_bytes = d.ram_bytes;
+        assert!(d.validate().is_err());
+    }
+
+    #[test]
+    fn ram_budget_cannot_hold_all_apps() {
+        // The experiment depends on memory pressure actually occurring.
+        let d = DeviceConfig::paper_emulator();
+        let total: u64 = d.apps.iter().map(|a| a.ram_bytes).sum();
+        assert!(total > d.app_ram_bytes());
+    }
+}

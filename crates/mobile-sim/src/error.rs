@@ -1,0 +1,51 @@
+//! Error type for the mobile simulator.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by fallible simulator operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A configuration parameter was invalid.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Constraint that was violated.
+        reason: &'static str,
+    },
+    /// A workload referenced an app id the device does not have installed.
+    UnknownApp(usize),
+    /// The workload was empty.
+    EmptyWorkload,
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            SimError::UnknownApp(id) => write!(f, "unknown app id {id}"),
+            SimError::EmptyWorkload => write!(f, "workload has no events"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+    }
+
+    #[test]
+    fn display_mentions_app_id() {
+        assert!(SimError::UnknownApp(7).to_string().contains('7'));
+    }
+}

@@ -1,0 +1,337 @@
+//! Background app managers: the Android-default FIFO policy, an LRU
+//! variant, and the paper's emotion-adaptive policy.
+
+use crate::affect_table::AppAffectTable;
+use crate::app::AppCategory;
+use crate::device::DeviceConfig;
+use crate::subjects::SubjectProfile;
+use affect_core::emotion::Emotion;
+use std::collections::BTreeMap;
+
+/// Which background-kill policy a simulator runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PolicyKind {
+    /// Android-like default: oldest background process dies first (the
+    /// paper's baseline).
+    Fifo,
+    /// Least-recently-used background process dies first.
+    Lru,
+    /// The paper's proposal: the app least likely under the current
+    /// emotion dies first.
+    Emotion,
+}
+
+impl PolicyKind {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyKind::Fifo => "fifo (system default)",
+            PolicyKind::Lru => "lru",
+            PolicyKind::Emotion => "emotion driven",
+        }
+    }
+}
+
+impl std::fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A resident app process as the manager sees it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResidentProcess {
+    /// App id.
+    pub app_id: usize,
+    /// Simulation time the process was (last) started.
+    pub started_at: f64,
+    /// Simulation time of the last foreground use.
+    pub last_used: f64,
+    /// Currently in the foreground (never killed).
+    pub foreground: bool,
+}
+
+/// Information available to a kill decision.
+#[derive(Debug)]
+pub struct PolicyContext<'a> {
+    /// Smoothed current emotion.
+    pub emotion: Emotion,
+    /// Cumulative launches per app id (the "frequently used" signal —
+    /// Android never kills apps like Messages that are used periodically).
+    pub launch_counts: &'a BTreeMap<usize, u32>,
+    /// The device (for app lookups).
+    pub device: &'a DeviceConfig,
+}
+
+impl PolicyContext<'_> {
+    /// `true` for processes the OS never kills: the foreground app, system
+    /// apps, and the single most frequently launched app ("Android
+    /// Message" in the paper's Fig. 9).
+    pub fn is_protected(&self, process: &ResidentProcess) -> bool {
+        if process.foreground {
+            return true;
+        }
+        let Ok(app) = self.device.app(process.app_id) else {
+            return true; // unknown apps are left alone
+        };
+        if app.category == AppCategory::SystemApp {
+            return true;
+        }
+        let max_count = self.launch_counts.values().copied().max().unwrap_or(0);
+        max_count >= 3 && self.launch_counts.get(&process.app_id) == Some(&max_count)
+    }
+}
+
+/// A background-kill policy.
+pub trait BackgroundPolicy: std::fmt::Debug + Send {
+    /// The policy's kind tag.
+    fn kind(&self) -> PolicyKind;
+
+    /// Observes a launch (the emotion policy learns from this).
+    fn observe_launch(&mut self, _emotion: Emotion, _category: AppCategory) {}
+
+    /// Picks the background process to kill, or `None` when every resident
+    /// is protected.
+    fn choose_victim(
+        &self,
+        residents: &[ResidentProcess],
+        ctx: &PolicyContext<'_>,
+    ) -> Option<usize>;
+}
+
+/// The Android-like default: first in, first out.
+#[derive(Debug, Default)]
+pub struct FifoPolicy;
+
+impl BackgroundPolicy for FifoPolicy {
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::Fifo
+    }
+
+    fn choose_victim(
+        &self,
+        residents: &[ResidentProcess],
+        ctx: &PolicyContext<'_>,
+    ) -> Option<usize> {
+        residents
+            .iter()
+            .filter(|p| !ctx.is_protected(p))
+            .min_by(|a, b| a.started_at.total_cmp(&b.started_at))
+            .map(|p| p.app_id)
+    }
+}
+
+/// Least recently used.
+#[derive(Debug, Default)]
+pub struct LruPolicy;
+
+impl BackgroundPolicy for LruPolicy {
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::Lru
+    }
+
+    fn choose_victim(
+        &self,
+        residents: &[ResidentProcess],
+        ctx: &PolicyContext<'_>,
+    ) -> Option<usize> {
+        residents
+            .iter()
+            .filter(|p| !ctx.is_protected(p))
+            .min_by(|a, b| a.last_used.total_cmp(&b.last_used))
+            .map(|p| p.app_id)
+    }
+}
+
+/// The paper's emotional app manager: rank generator over the App Affect
+/// Table; the lowest-ranked (least likely under the current emotion)
+/// background app dies first, ties broken FIFO.
+#[derive(Debug)]
+pub struct EmotionPolicy {
+    table: AppAffectTable,
+}
+
+impl EmotionPolicy {
+    /// Builds the policy from a subject profile with the given online
+    /// learning rate.
+    pub fn from_subject(subject: &SubjectProfile, alpha: f32) -> Self {
+        Self {
+            table: AppAffectTable::from_subject(subject, alpha),
+        }
+    }
+
+    /// Read access to the affect table (for inspection/reporting).
+    pub fn table(&self) -> &AppAffectTable {
+        &self.table
+    }
+}
+
+impl BackgroundPolicy for EmotionPolicy {
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::Emotion
+    }
+
+    fn observe_launch(&mut self, emotion: Emotion, category: AppCategory) {
+        self.table.record_launch(emotion, category);
+    }
+
+    fn choose_victim(
+        &self,
+        residents: &[ResidentProcess],
+        ctx: &PolicyContext<'_>,
+    ) -> Option<usize> {
+        residents
+            .iter()
+            .filter(|p| !ctx.is_protected(p))
+            .min_by(|a, b| {
+                let ra = ctx
+                    .device
+                    .app(a.app_id)
+                    .map(|app| self.table.rank(ctx.emotion, app))
+                    .unwrap_or(f32::MAX);
+                let rb = ctx
+                    .device
+                    .app(b.app_id)
+                    .map(|app| self.table.rank(ctx.emotion, app))
+                    .unwrap_or(f32::MAX);
+                ra.total_cmp(&rb)
+                    .then(a.started_at.total_cmp(&b.started_at))
+            })
+            .map(|p| p.app_id)
+    }
+}
+
+/// Instantiates a policy. The emotion policy is seeded from `subject`;
+/// `alpha` is its online learning rate.
+pub fn make_policy(
+    kind: PolicyKind,
+    subject: &SubjectProfile,
+    alpha: f32,
+) -> Box<dyn BackgroundPolicy> {
+    match kind {
+        PolicyKind::Fifo => Box::new(FifoPolicy),
+        PolicyKind::Lru => Box::new(LruPolicy),
+        PolicyKind::Emotion => Box::new(EmotionPolicy::from_subject(subject, alpha)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx<'a>(
+        counts: &'a BTreeMap<usize, u32>,
+        device: &'a DeviceConfig,
+    ) -> PolicyContext<'a> {
+        PolicyContext {
+            emotion: Emotion::Happy,
+            launch_counts: counts,
+            device,
+        }
+    }
+
+    fn resident(app_id: usize, started_at: f64, last_used: f64) -> ResidentProcess {
+        ResidentProcess {
+            app_id,
+            started_at,
+            last_used,
+            foreground: false,
+        }
+    }
+
+    #[test]
+    fn fifo_kills_oldest_background() {
+        let device = DeviceConfig::paper_emulator();
+        let counts = BTreeMap::new();
+        let residents = vec![resident(17, 5.0, 50.0), resident(3, 1.0, 90.0)];
+        let victim = FifoPolicy.choose_victim(&residents, &ctx(&counts, &device));
+        assert_eq!(victim, Some(3));
+    }
+
+    #[test]
+    fn lru_kills_least_recently_used() {
+        let device = DeviceConfig::paper_emulator();
+        let counts = BTreeMap::new();
+        let residents = vec![resident(17, 5.0, 50.0), resident(3, 1.0, 90.0)];
+        let victim = LruPolicy.choose_victim(&residents, &ctx(&counts, &device));
+        assert_eq!(victim, Some(17));
+    }
+
+    #[test]
+    fn foreground_never_chosen() {
+        let device = DeviceConfig::paper_emulator();
+        let counts = BTreeMap::new();
+        let mut fg = resident(3, 1.0, 1.0);
+        fg.foreground = true;
+        let residents = vec![fg, resident(17, 5.0, 5.0)];
+        assert_eq!(
+            FifoPolicy.choose_victim(&residents, &ctx(&counts, &device)),
+            Some(17)
+        );
+    }
+
+    #[test]
+    fn system_apps_protected() {
+        let device = DeviceConfig::paper_emulator();
+        let sys_id = device.apps_in(crate::app::AppCategory::SystemApp)[0].id;
+        let counts = BTreeMap::new();
+        let residents = vec![resident(sys_id, 0.0, 0.0)];
+        assert_eq!(
+            FifoPolicy.choose_victim(&residents, &ctx(&counts, &device)),
+            None
+        );
+    }
+
+    #[test]
+    fn most_frequent_app_protected() {
+        // "Android messages ... never killed due to the periodic usage."
+        let device = DeviceConfig::paper_emulator();
+        let mut counts = BTreeMap::new();
+        counts.insert(0usize, 10u32); // Android Message
+        counts.insert(17usize, 2u32);
+        let residents = vec![resident(0, 0.0, 0.0), resident(17, 5.0, 5.0)];
+        assert_eq!(
+            FifoPolicy.choose_victim(&residents, &ctx(&counts, &device)),
+            Some(17)
+        );
+    }
+
+    #[test]
+    fn emotion_policy_kills_least_likely() {
+        let device = DeviceConfig::paper_emulator();
+        let policy = EmotionPolicy::from_subject(&SubjectProfile::subject3(), 0.0);
+        let counts = BTreeMap::new();
+        let dialer = device.apps_in(crate::app::AppCategory::Calling)[0].id;
+        let tv = device.apps_in(crate::app::AppCategory::Tv)[0].id;
+        // Under Happy (excited), subject 3 is far likelier to call than to
+        // watch TV, so the TV app dies even though the dialer is older.
+        let residents = vec![resident(dialer, 0.0, 0.0), resident(tv, 100.0, 100.0)];
+        assert_eq!(
+            policy.choose_victim(&residents, &ctx(&counts, &device)),
+            Some(tv)
+        );
+    }
+
+    #[test]
+    fn make_policy_dispatches() {
+        let s = SubjectProfile::subject1();
+        assert_eq!(make_policy(PolicyKind::Fifo, &s, 0.0).kind(), PolicyKind::Fifo);
+        assert_eq!(make_policy(PolicyKind::Lru, &s, 0.0).kind(), PolicyKind::Lru);
+        assert_eq!(
+            make_policy(PolicyKind::Emotion, &s, 0.1).kind(),
+            PolicyKind::Emotion
+        );
+    }
+
+    #[test]
+    fn all_protected_yields_none() {
+        let device = DeviceConfig::paper_emulator();
+        let counts = BTreeMap::new();
+        let mut fg = resident(1, 0.0, 0.0);
+        fg.foreground = true;
+        assert_eq!(
+            LruPolicy.choose_victim(&[fg], &ctx(&counts, &device)),
+            None
+        );
+    }
+}

@@ -1,0 +1,279 @@
+//! Monkey-script workload generation.
+//!
+//! The paper drives its emulator with "a monkey script ... to open certain
+//! Apps with a given frequency and duration to match the probability of the
+//! subjects' daily statistics" plus random touch/typing input. This module
+//! generates that launch sequence: per emotion segment, app launches are
+//! sampled from the subject's usage distribution modulated by the emotion's
+//! category affinity — the same statistics the App Affect Table models.
+
+use crate::app::AppCategory;
+use crate::device::DeviceConfig;
+use crate::subjects::SubjectProfile;
+use crate::SimError;
+use affect_core::emotion::Emotion;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// One app launch in a workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LaunchEvent {
+    /// Simulation time in seconds.
+    pub time_s: f64,
+    /// Launched app id.
+    pub app_id: usize,
+    /// The user's (ground-truth) emotion at launch time.
+    pub emotion: Emotion,
+    /// Foreground dwell time in seconds.
+    pub dwell_s: f64,
+    /// Random touch/typing inputs during the dwell.
+    pub touches: u32,
+}
+
+/// A generated workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Workload {
+    /// Launches in time order.
+    pub events: Vec<LaunchEvent>,
+    /// Total duration in seconds.
+    pub duration_s: f64,
+}
+
+impl Workload {
+    /// Number of launches.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` when the workload has no launches.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+/// Builder for monkey workloads: a sequence of emotion segments.
+#[derive(Debug, Clone)]
+pub struct MonkeyScript<'a> {
+    subject: &'a SubjectProfile,
+    seed: u64,
+    segments: Vec<(Emotion, f64, usize)>,
+}
+
+impl<'a> MonkeyScript<'a> {
+    /// Starts a script for a subject with a deterministic seed.
+    pub fn new(subject: &'a SubjectProfile, seed: u64) -> Self {
+        Self {
+            subject,
+            seed,
+            segments: Vec::new(),
+        }
+    }
+
+    /// Appends a segment: `launches` app launches spread over
+    /// `duration_s` seconds while the user is in `emotion`.
+    #[must_use]
+    pub fn segment(mut self, emotion: Emotion, duration_s: f64, launches: usize) -> Self {
+        self.segments.push((emotion, duration_s, launches));
+        self
+    }
+
+    /// The paper's Fig. 9 scenario: 12 minutes excited followed by
+    /// 8 minutes calm, with a launch roughly every 12 seconds (the paper
+    /// compresses idle time, so launches are dense).
+    #[must_use]
+    pub fn paper_fig9(self) -> Self {
+        self.segment(Emotion::Happy, 12.0 * 60.0, 60)
+            .segment(Emotion::Calm, 8.0 * 60.0, 40)
+    }
+
+    /// Generates the workload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidParameter`] when no segment was added or
+    /// a segment has a non-positive duration, and [`SimError::EmptyWorkload`]
+    /// when every segment has zero launches.
+    pub fn build(self, device: &DeviceConfig) -> Result<Workload, SimError> {
+        if self.segments.is_empty() {
+            return Err(SimError::InvalidParameter {
+                name: "segments",
+                reason: "script needs at least one segment",
+            });
+        }
+        if self.segments.iter().any(|&(_, d, _)| !(d > 0.0)) {
+            return Err(SimError::InvalidParameter {
+                name: "duration_s",
+                reason: "must be positive",
+            });
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut events = Vec::new();
+        let mut t0 = 0.0f64;
+        for (emotion, duration, launches) in &self.segments {
+            let weights = category_weights(self.subject, *emotion);
+            for k in 0..*launches {
+                let slot = duration / *launches as f64;
+                let jitter = rng.random::<f64>() * 0.5 * slot;
+                let time_s = t0 + k as f64 * slot + jitter;
+                let category = sample_category(&weights, &mut rng);
+                let app_id = sample_app(device, category, &mut rng);
+                let dwell_s = (slot * (0.3 + 0.5 * rng.random::<f64>())).max(1.0);
+                let touches = rng.random_range(5u32..50);
+                events.push(LaunchEvent {
+                    time_s,
+                    app_id,
+                    emotion: *emotion,
+                    dwell_s,
+                    touches,
+                });
+            }
+            t0 += duration;
+        }
+        if events.is_empty() {
+            return Err(SimError::EmptyWorkload);
+        }
+        events.sort_by(|a, b| a.time_s.total_cmp(&b.time_s));
+        Ok(Workload {
+            events,
+            duration_s: t0,
+        })
+    }
+}
+
+/// Emotion-modulated category distribution for a subject.
+fn category_weights(subject: &SubjectProfile, emotion: Emotion) -> Vec<(AppCategory, f32)> {
+    let mut weights: Vec<(AppCategory, f32)> = AppCategory::ALL
+        .iter()
+        .map(|&c| (c, subject.usage_share(c) * c.emotion_affinity(emotion)))
+        .filter(|&(_, w)| w > 0.0)
+        .collect();
+    let total: f32 = weights.iter().map(|&(_, w)| w).sum();
+    for (_, w) in &mut weights {
+        *w /= total;
+    }
+    weights
+}
+
+fn sample_category(weights: &[(AppCategory, f32)], rng: &mut StdRng) -> AppCategory {
+    let mut x: f32 = rng.random();
+    for &(c, w) in weights {
+        if x < w {
+            return c;
+        }
+        x -= w;
+    }
+    weights.last().map(|&(c, _)| c).unwrap_or(AppCategory::Messaging)
+}
+
+fn sample_app(device: &DeviceConfig, category: AppCategory, rng: &mut StdRng) -> usize {
+    let apps = device.apps_in(category);
+    if apps.is_empty() {
+        // Fall back to messaging, which the default table always has.
+        let fallback = device.apps_in(AppCategory::Messaging);
+        return fallback[0].id;
+    }
+    // Primary app of a category dominates (users have one browser they
+    // actually use): 70/30-ish split.
+    let idx = if apps.len() == 1 || rng.random::<f32>() < 0.7 {
+        0
+    } else {
+        1 + (rng.random_range(0usize..apps.len() - 1))
+    };
+    apps[idx].id
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_requires_segments_and_durations() {
+        let device = DeviceConfig::paper_emulator();
+        let s = SubjectProfile::subject1();
+        assert!(MonkeyScript::new(&s, 1).build(&device).is_err());
+        assert!(MonkeyScript::new(&s, 1)
+            .segment(Emotion::Happy, 0.0, 5)
+            .build(&device)
+            .is_err());
+        assert!(matches!(
+            MonkeyScript::new(&s, 1)
+                .segment(Emotion::Happy, 10.0, 0)
+                .build(&device),
+            Err(SimError::EmptyWorkload)
+        ));
+    }
+
+    #[test]
+    fn events_sorted_and_within_duration() {
+        let device = DeviceConfig::paper_emulator();
+        let s = SubjectProfile::subject3();
+        let w = MonkeyScript::new(&s, 3).paper_fig9().build(&device).unwrap();
+        assert_eq!(w.len(), 100);
+        assert!((w.duration_s - 1200.0).abs() < 1e-9);
+        for pair in w.events.windows(2) {
+            assert!(pair[0].time_s <= pair[1].time_s);
+        }
+        assert!(w.events.iter().all(|e| e.time_s < w.duration_s));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let device = DeviceConfig::paper_emulator();
+        let s = SubjectProfile::subject2();
+        let a = MonkeyScript::new(&s, 9).paper_fig9().build(&device).unwrap();
+        let b = MonkeyScript::new(&s, 9).paper_fig9().build(&device).unwrap();
+        assert_eq!(a, b);
+        let c = MonkeyScript::new(&s, 10).paper_fig9().build(&device).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn launch_distribution_tracks_subject() {
+        let device = DeviceConfig::paper_emulator();
+        let s = SubjectProfile::subject1();
+        let w = MonkeyScript::new(&s, 5)
+            .segment(Emotion::Neutral, 10_000.0, 1000)
+            .build(&device)
+            .unwrap();
+        let messaging = w
+            .events
+            .iter()
+            .filter(|e| {
+                device.app(e.app_id).unwrap().category == AppCategory::Messaging
+            })
+            .count() as f32
+            / 1000.0;
+        // Subject 1 sends ~38% of launches to messaging.
+        assert!((0.28..=0.48).contains(&messaging), "{messaging}");
+    }
+
+    #[test]
+    fn emotion_shifts_the_mix() {
+        let device = DeviceConfig::paper_emulator();
+        let s = SubjectProfile::subject3();
+        let count_calls = |emotion: Emotion| {
+            let w = MonkeyScript::new(&s, 6)
+                .segment(emotion, 10_000.0, 1000)
+                .build(&device)
+                .unwrap();
+            w.events
+                .iter()
+                .filter(|e| device.app(e.app_id).unwrap().category == AppCategory::Calling)
+                .count()
+        };
+        assert!(count_calls(Emotion::Happy) > count_calls(Emotion::Calm));
+    }
+
+    #[test]
+    fn segments_carry_their_emotion() {
+        let device = DeviceConfig::paper_emulator();
+        let s = SubjectProfile::subject4();
+        let w = MonkeyScript::new(&s, 7)
+            .segment(Emotion::Happy, 60.0, 5)
+            .segment(Emotion::Sad, 60.0, 5)
+            .build(&device)
+            .unwrap();
+        assert!(w.events[..5].iter().all(|e| e.emotion == Emotion::Happy));
+        assert!(w.events[5..].iter().all(|e| e.emotion == Emotion::Sad));
+    }
+}

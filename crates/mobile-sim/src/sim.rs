@@ -1,0 +1,446 @@
+//! The discrete-event simulator and the Fig. 10 policy comparison.
+
+use crate::device::DeviceConfig;
+use crate::manager::{make_policy, BackgroundPolicy, PolicyContext, PolicyKind, ResidentProcess};
+use crate::monkey::Workload;
+use crate::subjects::SubjectProfile;
+use crate::trace::{ProcessTimeline, TraceEvent};
+use crate::SimError;
+use affect_core::emotion::Emotion;
+use std::collections::BTreeMap;
+
+/// Metrics of one simulated session — the quantities of the paper's
+/// Fig. 10: total memory loaded at app start and total app loading time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimMetrics {
+    /// Policy that produced the run.
+    pub policy: PolicyKind,
+    /// Total launches.
+    pub launches: usize,
+    /// Launches that required a flash reload.
+    pub cold_starts: usize,
+    /// Launches served from a resident process.
+    pub warm_starts: usize,
+    /// Background kills performed.
+    pub kills: usize,
+    /// Total memory loaded at app start (flash file loading + app-specific
+    /// allocated memory), in bytes.
+    pub loaded_bytes: u64,
+    /// Flash file-loading component of `loaded_bytes`.
+    pub flash_bytes: u64,
+    /// App-specific allocated-memory component of `loaded_bytes`.
+    pub allocated_bytes: u64,
+    /// Total app loading time in seconds.
+    pub load_time_s: f64,
+    /// Peak resident app RAM over the session, in bytes.
+    pub peak_resident_bytes: u64,
+    /// Peak resident process count.
+    pub peak_resident_processes: usize,
+    /// Full event trace.
+    pub trace: Vec<TraceEvent>,
+    /// Session duration in seconds.
+    pub duration_s: f64,
+}
+
+impl SimMetrics {
+    /// The Fig. 9 process timeline of this run.
+    pub fn timeline(&self) -> ProcessTimeline {
+        ProcessTimeline::from_trace(&self.trace, self.duration_s)
+    }
+}
+
+/// The simulator: a device, a kill policy, and the launch semantics of an
+/// Android-like foreground/background service pair.
+#[derive(Debug)]
+pub struct Simulator {
+    device: DeviceConfig,
+    policy: Box<dyn BackgroundPolicy>,
+    kind: PolicyKind,
+    /// Resume latency of a warm start (no flash traffic).
+    warm_start_secs: f64,
+}
+
+impl Simulator {
+    /// Creates a simulator. The emotion policy is seeded from subject 3
+    /// (use [`Simulator::with_subject`] to pick another profile).
+    ///
+    /// # Errors
+    ///
+    /// Propagates device validation errors.
+    pub fn new(device: DeviceConfig, kind: PolicyKind) -> Result<Self, SimError> {
+        Self::with_subject(device, kind, &SubjectProfile::subject3(), 0.05)
+    }
+
+    /// Creates a simulator whose emotion policy is seeded from `subject`
+    /// with online learning rate `alpha`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device validation errors.
+    pub fn with_subject(
+        device: DeviceConfig,
+        kind: PolicyKind,
+        subject: &SubjectProfile,
+        alpha: f32,
+    ) -> Result<Self, SimError> {
+        device.validate()?;
+        Ok(Self {
+            policy: make_policy(kind, subject, alpha),
+            device,
+            kind,
+            warm_start_secs: 0.05,
+        })
+    }
+
+    /// The device configuration.
+    pub fn device(&self) -> &DeviceConfig {
+        &self.device
+    }
+
+    /// Runs a workload to completion.
+    ///
+    /// Launch semantics: a launch of a resident app is a *warm start*
+    /// (foreground swap, no flash traffic); otherwise a *cold start* loads
+    /// the app's code from flash and allocates its RAM. After every launch
+    /// the background manager enforces the process limit and the RAM
+    /// budget by killing policy-selected victims.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::EmptyWorkload`] for an empty workload and
+    /// [`SimError::UnknownApp`] when the workload references an app the
+    /// device lacks.
+    pub fn run(&mut self, workload: &Workload) -> Result<SimMetrics, SimError> {
+        if workload.is_empty() {
+            return Err(SimError::EmptyWorkload);
+        }
+        let mut residents: Vec<ResidentProcess> = Vec::new();
+        let mut launch_counts: BTreeMap<usize, u32> = BTreeMap::new();
+        let mut trace: Vec<TraceEvent> = Vec::new();
+        let mut metrics = SimMetrics {
+            policy: self.kind,
+            launches: 0,
+            cold_starts: 0,
+            warm_starts: 0,
+            kills: 0,
+            loaded_bytes: 0,
+            flash_bytes: 0,
+            allocated_bytes: 0,
+            load_time_s: 0.0,
+            peak_resident_bytes: 0,
+            peak_resident_processes: 0,
+            trace: Vec::new(),
+            duration_s: workload.duration_s,
+        };
+        let mut current_emotion: Option<Emotion> = None;
+
+        for event in &workload.events {
+            let app = self.device.app(event.app_id)?.clone();
+
+            if current_emotion != Some(event.emotion) {
+                current_emotion = Some(event.emotion);
+                trace.push(TraceEvent::EmotionChange {
+                    time_s: event.time_s,
+                    emotion: event.emotion,
+                });
+            }
+            self.policy.observe_launch(event.emotion, app.category);
+            *launch_counts.entry(event.app_id).or_insert(0) += 1;
+            metrics.launches += 1;
+
+            // Clear the previous foreground.
+            for p in &mut residents {
+                p.foreground = false;
+            }
+
+            if let Some(p) = residents.iter_mut().find(|p| p.app_id == event.app_id) {
+                p.foreground = true;
+                p.last_used = event.time_s;
+                metrics.warm_starts += 1;
+                metrics.load_time_s += self.warm_start_secs;
+                trace.push(TraceEvent::Launch {
+                    time_s: event.time_s,
+                    app_id: event.app_id,
+                    cold: false,
+                });
+            } else {
+                metrics.cold_starts += 1;
+                // "The memory loading saving comes from roughly equal
+                // saving of file loading from flash drive and app-specific
+                // allocated memory space."
+                metrics.loaded_bytes += app.cold_load_bytes + app.ram_bytes;
+                metrics.flash_bytes += app.cold_load_bytes;
+                metrics.allocated_bytes += app.ram_bytes;
+                metrics.load_time_s += app.cold_start_secs(self.device.flash_read_bps);
+                residents.push(ResidentProcess {
+                    app_id: event.app_id,
+                    started_at: event.time_s,
+                    last_used: event.time_s,
+                    foreground: true,
+                });
+                trace.push(TraceEvent::Launch {
+                    time_s: event.time_s,
+                    app_id: event.app_id,
+                    cold: true,
+                });
+            }
+
+            // Enforce the process limit and RAM budget.
+            loop {
+                let used_ram: u64 = residents
+                    .iter()
+                    .map(|p| {
+                        self.device
+                            .app(p.app_id)
+                            .map(|a| a.ram_bytes)
+                            .unwrap_or(0)
+                    })
+                    .sum();
+                metrics.peak_resident_bytes = metrics.peak_resident_bytes.max(used_ram);
+                metrics.peak_resident_processes =
+                    metrics.peak_resident_processes.max(residents.len());
+                let over_limit = residents.len() > self.device.process_limit;
+                let over_ram = used_ram > self.device.app_ram_bytes();
+                if !over_limit && !over_ram {
+                    break;
+                }
+                let ctx = PolicyContext {
+                    emotion: event.emotion,
+                    launch_counts: &launch_counts,
+                    device: &self.device,
+                };
+                let Some(victim) = self.policy.choose_victim(&residents, &ctx) else {
+                    break; // everything protected; tolerate the overshoot
+                };
+                residents.retain(|p| p.app_id != victim);
+                metrics.kills += 1;
+                trace.push(TraceEvent::Kill {
+                    time_s: event.time_s,
+                    app_id: victim,
+                });
+            }
+        }
+
+        metrics.trace = trace;
+        Ok(metrics)
+    }
+}
+
+/// Side-by-side Fig. 10 comparison of the emotion-driven manager against a
+/// baseline policy on the identical workload.
+#[derive(Debug, Clone)]
+pub struct ComparisonReport {
+    /// The baseline run.
+    pub baseline: SimMetrics,
+    /// The emotion-driven run.
+    pub emotion: SimMetrics,
+}
+
+impl ComparisonReport {
+    /// Fractional saving of total memory loaded at app start
+    /// (paper: 17%).
+    pub fn memory_saving(&self) -> f64 {
+        if self.baseline.loaded_bytes == 0 {
+            return 0.0;
+        }
+        1.0 - self.emotion.loaded_bytes as f64 / self.baseline.loaded_bytes as f64
+    }
+
+    /// Fractional saving of the flash file-loading component.
+    pub fn flash_saving(&self) -> f64 {
+        if self.baseline.flash_bytes == 0 {
+            return 0.0;
+        }
+        1.0 - self.emotion.flash_bytes as f64 / self.baseline.flash_bytes as f64
+    }
+
+    /// Fractional saving of the app-specific allocated-memory component.
+    pub fn allocated_saving(&self) -> f64 {
+        if self.baseline.allocated_bytes == 0 {
+            return 0.0;
+        }
+        1.0 - self.emotion.allocated_bytes as f64 / self.baseline.allocated_bytes as f64
+    }
+
+    /// Fractional saving of total app loading time (paper: 12%).
+    pub fn time_saving(&self) -> f64 {
+        if self.baseline.load_time_s == 0.0 {
+            return 0.0;
+        }
+        1.0 - self.emotion.load_time_s / self.baseline.load_time_s
+    }
+}
+
+/// Runs the same workload under `baseline` and the emotion policy and
+/// reports both.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn compare_policies(
+    device: &DeviceConfig,
+    subject: &SubjectProfile,
+    workload: &Workload,
+    baseline: PolicyKind,
+    alpha: f32,
+) -> Result<ComparisonReport, SimError> {
+    let mut base_sim = Simulator::with_subject(device.clone(), baseline, subject, alpha)?;
+    let mut emo_sim =
+        Simulator::with_subject(device.clone(), PolicyKind::Emotion, subject, alpha)?;
+    Ok(ComparisonReport {
+        baseline: base_sim.run(workload)?,
+        emotion: emo_sim.run(workload)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monkey::MonkeyScript;
+
+    fn fig9_workload(device: &DeviceConfig, seed: u64) -> Workload {
+        MonkeyScript::new(&SubjectProfile::subject3(), seed)
+            .paper_fig9()
+            .build(device)
+            .unwrap()
+    }
+
+    #[test]
+    fn empty_workload_rejected() {
+        let device = DeviceConfig::paper_emulator();
+        let mut sim = Simulator::new(device, PolicyKind::Fifo).unwrap();
+        let w = Workload {
+            events: vec![],
+            duration_s: 0.0,
+        };
+        assert_eq!(sim.run(&w), Err(SimError::EmptyWorkload));
+    }
+
+    #[test]
+    fn accounting_balances() {
+        let device = DeviceConfig::paper_emulator();
+        let w = fig9_workload(&device, 1);
+        let mut sim = Simulator::new(device, PolicyKind::Fifo).unwrap();
+        let m = sim.run(&w).unwrap();
+        assert_eq!(m.launches, m.cold_starts + m.warm_starts);
+        assert_eq!(m.launches, 100);
+        assert!(m.cold_starts > 0);
+        assert!(m.loaded_bytes > 0);
+        assert!(m.load_time_s > 0.0);
+    }
+
+    #[test]
+    fn process_pressure_triggers_kills() {
+        let device = DeviceConfig::paper_emulator();
+        let w = fig9_workload(&device, 2);
+        let mut sim = Simulator::new(device, PolicyKind::Fifo).unwrap();
+        let m = sim.run(&w).unwrap();
+        assert!(m.kills > 0, "no memory pressure in the scenario");
+    }
+
+    #[test]
+    fn emotion_policy_saves_reloads() {
+        let device = DeviceConfig::paper_emulator();
+        let subject = SubjectProfile::subject3();
+        let w = fig9_workload(&device, 3);
+        let report =
+            compare_policies(&device, &subject, &w, PolicyKind::Fifo, 0.05).unwrap();
+        assert!(
+            report.emotion.cold_starts <= report.baseline.cold_starts,
+            "{} vs {}",
+            report.emotion.cold_starts,
+            report.baseline.cold_starts
+        );
+        assert!(
+            report.memory_saving() > 0.0,
+            "memory saving {:.3}",
+            report.memory_saving()
+        );
+        assert!(
+            report.time_saving() > 0.0,
+            "time saving {:.3}",
+            report.time_saving()
+        );
+    }
+
+    #[test]
+    fn savings_are_in_the_paper_ballpark() {
+        // Average over seeds to smooth workload noise; the paper reports
+        // 17% memory / 12% time savings for its single scenario.
+        let device = DeviceConfig::paper_emulator();
+        let subject = SubjectProfile::subject3();
+        let mut mem = 0.0;
+        let mut time = 0.0;
+        let seeds = [11u64, 22, 33, 44, 55];
+        for &seed in &seeds {
+            let w = fig9_workload(&device, seed);
+            let r = compare_policies(&device, &subject, &w, PolicyKind::Fifo, 0.05).unwrap();
+            mem += r.memory_saving();
+            time += r.time_saving();
+        }
+        mem /= seeds.len() as f64;
+        time /= seeds.len() as f64;
+        assert!((0.05..=0.40).contains(&mem), "memory saving {mem:.3}");
+        assert!((0.03..=0.35).contains(&time), "time saving {time:.3}");
+    }
+
+    #[test]
+    fn loaded_bytes_split_into_flash_and_allocated() {
+        // The paper: "the memory loading saving comes from roughly equal
+        // saving of file loading from flash drive and app-specific
+        // allocated memory space."
+        let device = DeviceConfig::paper_emulator();
+        let subject = SubjectProfile::subject3();
+        let w = fig9_workload(&device, 6);
+        let report = compare_policies(&device, &subject, &w, PolicyKind::Fifo, 0.05).unwrap();
+        for m in [&report.baseline, &report.emotion] {
+            assert_eq!(m.loaded_bytes, m.flash_bytes + m.allocated_bytes);
+            assert!(m.flash_bytes > 0 && m.allocated_bytes > 0);
+        }
+        // Both components contribute savings of the same sign and a
+        // comparable magnitude (within a factor of ~3 of each other).
+        let f = report.flash_saving();
+        let a = report.allocated_saving();
+        assert!(f > 0.0 && a > 0.0, "flash {f:.3} allocated {a:.3}");
+        assert!(f / a < 3.0 && a / f < 3.0, "flash {f:.3} vs allocated {a:.3}");
+    }
+
+    #[test]
+    fn occupancy_stats_tracked() {
+        let device = DeviceConfig::paper_emulator();
+        let w = fig9_workload(&device, 8);
+        let mut sim = Simulator::new(device.clone(), PolicyKind::Fifo).unwrap();
+        let m = sim.run(&w).unwrap();
+        assert!(m.peak_resident_processes >= 1);
+        assert!(m.peak_resident_processes <= device.process_limit + 1);
+        assert!(m.peak_resident_bytes > 0);
+        // Peak RAM cannot exceed the budget by more than one app's
+        // footprint (the transient overshoot before enforcement).
+        let max_app = device.apps.iter().map(|a| a.ram_bytes).max().unwrap();
+        assert!(m.peak_resident_bytes <= device.app_ram_bytes() + max_app);
+    }
+
+    #[test]
+    fn trace_supports_timeline() {
+        let device = DeviceConfig::paper_emulator();
+        let w = fig9_workload(&device, 4);
+        let mut sim = Simulator::new(device.clone(), PolicyKind::Emotion).unwrap();
+        let m = sim.run(&w).unwrap();
+        let tl = m.timeline();
+        assert!(!tl.rows.is_empty());
+        let art = tl.render_ascii(&device, 80);
+        assert!(art.contains('━'));
+    }
+
+    #[test]
+    fn lru_differs_from_fifo() {
+        let device = DeviceConfig::paper_emulator();
+        let w = fig9_workload(&device, 5);
+        let mut fifo = Simulator::new(device.clone(), PolicyKind::Fifo).unwrap();
+        let mut lru = Simulator::new(device, PolicyKind::Lru).unwrap();
+        let mf = fifo.run(&w).unwrap();
+        let ml = lru.run(&w).unwrap();
+        // Policies genuinely act differently on this workload.
+        assert_ne!(mf.trace, ml.trace);
+    }
+}

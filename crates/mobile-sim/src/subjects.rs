@@ -1,0 +1,271 @@
+//! The four personality-based usage profiles of the paper's Fig. 7.
+//!
+//! The paper samples four subjects from a 640-subject personality/usage
+//! study and uses their personalities to "emulate the impact of different
+//! affects to the user's App usage patterns". Messaging and internet
+//! browsing dominate every subject (60–70% combined); the remaining share
+//! varies with personality.
+
+use crate::app::AppCategory;
+use std::collections::BTreeMap;
+
+/// Big-Five personality scores in `[0, 1]` (O, C, E, A, ES).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BigFive {
+    /// Openness.
+    pub openness: f32,
+    /// Conscientiousness.
+    pub conscientiousness: f32,
+    /// Extraversion.
+    pub extraversion: f32,
+    /// Agreeableness.
+    pub agreeableness: f32,
+    /// Emotional stability.
+    pub emotional_stability: f32,
+}
+
+/// A subject: personality plus daily app-usage shares by category.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubjectProfile {
+    /// Subject number (1–4 as in the paper).
+    pub id: u8,
+    /// The personality trait the paper highlights for this subject.
+    pub trait_label: String,
+    /// Big-Five scores.
+    pub personality: BigFive,
+    /// Usage share per category; sums to 1.
+    usage: BTreeMap<AppCategory, f32>,
+}
+
+impl SubjectProfile {
+    fn build(
+        id: u8,
+        trait_label: &str,
+        personality: BigFive,
+        raw: &[(AppCategory, f32)],
+    ) -> Self {
+        let total: f32 = raw.iter().map(|&(_, w)| w).sum();
+        let usage = raw
+            .iter()
+            .map(|&(c, w)| (c, w / total))
+            .collect::<BTreeMap<_, _>>();
+        Self {
+            id,
+            trait_label: trait_label.into(),
+            personality,
+            usage,
+        }
+    }
+
+    /// Subject 1: high "agreeableness and willingness to trust" — frequent
+    /// radio, sharing-cloud and TV/video apps.
+    pub fn subject1() -> Self {
+        Self::build(
+            1,
+            "agreeableness / willingness to trust",
+            BigFive {
+                openness: 0.55,
+                conscientiousness: 0.5,
+                extraversion: 0.45,
+                agreeableness: 0.9,
+                emotional_stability: 0.55,
+            },
+            &[
+                (AppCategory::Messaging, 38.0),
+                (AppCategory::InternetBrowser, 26.0),
+                (AppCategory::MusicAudioRadio, 8.0),
+                (AppCategory::SharingCloud, 7.0),
+                (AppCategory::Tv, 6.0),
+                (AppCategory::VideoApps, 4.0),
+                (AppCategory::SocialNetworks, 3.0),
+                (AppCategory::EMail, 2.5),
+                (AppCategory::Gallery, 1.5),
+                (AppCategory::Camera, 1.0),
+                (AppCategory::Settings, 1.0),
+                (AppCategory::Calling, 1.0),
+                (AppCategory::CalendarApps, 1.0),
+            ],
+        )
+    }
+
+    /// Subject 2: median scores — even usage across sharing cloud,
+    /// browsing and TV/video apps.
+    pub fn subject2() -> Self {
+        Self::build(
+            2,
+            "median / average",
+            BigFive {
+                openness: 0.5,
+                conscientiousness: 0.5,
+                extraversion: 0.5,
+                agreeableness: 0.5,
+                emotional_stability: 0.5,
+            },
+            &[
+                (AppCategory::Messaging, 36.0),
+                (AppCategory::InternetBrowser, 28.0),
+                (AppCategory::SharingCloud, 6.0),
+                (AppCategory::Tv, 6.0),
+                (AppCategory::VideoApps, 5.0),
+                (AppCategory::SocialNetworks, 4.0),
+                (AppCategory::EMail, 3.5),
+                (AppCategory::MusicAudioRadio, 3.0),
+                (AppCategory::Gallery, 2.5),
+                (AppCategory::Foto, 2.0),
+                (AppCategory::Shopping, 2.0),
+                (AppCategory::Settings, 1.0),
+                (AppCategory::Calculator, 1.0),
+            ],
+        )
+    }
+
+    /// Subject 3: high "cheerfulness and positive mood" — the excited
+    /// profile, heavy on calling and shared transportation.
+    pub fn subject3() -> Self {
+        Self::build(
+            3,
+            "cheerfulness / happiness / excited",
+            BigFive {
+                openness: 0.6,
+                conscientiousness: 0.45,
+                extraversion: 0.85,
+                agreeableness: 0.6,
+                emotional_stability: 0.7,
+            },
+            &[
+                (AppCategory::Messaging, 34.0),
+                (AppCategory::InternetBrowser, 26.0),
+                (AppCategory::Calling, 9.0),
+                (AppCategory::SharedTransport, 8.0),
+                (AppCategory::SocialNetworks, 6.0),
+                (AppCategory::Camera, 4.0),
+                (AppCategory::Shopping, 3.5),
+                (AppCategory::Foto, 3.0),
+                (AppCategory::MusicAudioRadio, 2.5),
+                (AppCategory::Gallery, 1.5),
+                (AppCategory::TimerClocks, 1.0),
+                (AppCategory::Settings, 1.0),
+                (AppCategory::EMail, 0.5),
+            ],
+        )
+    }
+
+    /// Subject 4: median scores with a very even usage pattern — the calm
+    /// profile.
+    pub fn subject4() -> Self {
+        Self::build(
+            4,
+            "emotion robustness / calm",
+            BigFive {
+                openness: 0.5,
+                conscientiousness: 0.55,
+                extraversion: 0.4,
+                agreeableness: 0.55,
+                emotional_stability: 0.8,
+            },
+            &[
+                (AppCategory::Messaging, 33.0),
+                (AppCategory::InternetBrowser, 29.0),
+                (AppCategory::EMail, 5.0),
+                (AppCategory::MusicAudioRadio, 5.0),
+                (AppCategory::Tv, 4.5),
+                (AppCategory::Gallery, 4.0),
+                (AppCategory::VideoApps, 4.0),
+                (AppCategory::CalendarApps, 3.5),
+                (AppCategory::SharingCloud, 3.0),
+                (AppCategory::SocialNetworks, 2.5),
+                (AppCategory::Video, 2.5),
+                (AppCategory::Settings, 2.0),
+                (AppCategory::Calculator, 2.0),
+            ],
+        )
+    }
+
+    /// All four subjects in paper order.
+    pub fn paper_subjects() -> Vec<SubjectProfile> {
+        vec![
+            Self::subject1(),
+            Self::subject2(),
+            Self::subject3(),
+            Self::subject4(),
+        ]
+    }
+
+    /// Usage share of a category (0 when the subject never uses it).
+    pub fn usage_share(&self, category: AppCategory) -> f32 {
+        self.usage.get(&category).copied().unwrap_or(0.0)
+    }
+
+    /// Categories with nonzero usage, highest share first.
+    pub fn top_categories(&self) -> Vec<(AppCategory, f32)> {
+        let mut v: Vec<(AppCategory, f32)> =
+            self.usage.iter().map(|(&c, &w)| (c, w)).collect();
+        v.sort_by(|a, b| b.1.total_cmp(&a.1));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_subjects_with_normalized_usage() {
+        for s in SubjectProfile::paper_subjects() {
+            let total: f32 = AppCategory::ALL
+                .iter()
+                .map(|&c| s.usage_share(c))
+                .sum();
+            assert!((total - 1.0).abs() < 1e-5, "subject {}: {total}", s.id);
+        }
+    }
+
+    #[test]
+    fn messaging_plus_browsing_dominates() {
+        // The paper: about 60% to 70% combined for every subject.
+        for s in SubjectProfile::paper_subjects() {
+            let share = s.usage_share(AppCategory::Messaging)
+                + s.usage_share(AppCategory::InternetBrowser);
+            assert!(
+                (0.55..=0.75).contains(&share),
+                "subject {}: {share}",
+                s.id
+            );
+        }
+    }
+
+    #[test]
+    fn subject1_favours_radio_cloud_tv() {
+        let s = SubjectProfile::subject1();
+        assert!(s.usage_share(AppCategory::MusicAudioRadio) > 0.05);
+        assert!(s.usage_share(AppCategory::SharingCloud) > 0.05);
+        assert!(s.usage_share(AppCategory::Tv) > 0.04);
+    }
+
+    #[test]
+    fn subject3_favours_calling_and_transport() {
+        let s = SubjectProfile::subject3();
+        assert!(s.usage_share(AppCategory::Calling) > 0.06);
+        assert!(s.usage_share(AppCategory::SharedTransport) > 0.06);
+        assert!(s.personality.extraversion > 0.8);
+    }
+
+    #[test]
+    fn top_categories_sorted_descending() {
+        let tops = SubjectProfile::subject2().top_categories();
+        assert_eq!(tops[0].0, AppCategory::Messaging);
+        for w in tops.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    #[test]
+    fn subjects_differ_in_tail_usage() {
+        let s1 = SubjectProfile::subject1();
+        let s3 = SubjectProfile::subject3();
+        assert!(
+            s3.usage_share(AppCategory::Calling) > s1.usage_share(AppCategory::Calling)
+        );
+        assert!(s1.usage_share(AppCategory::Tv) > s3.usage_share(AppCategory::Tv));
+    }
+}

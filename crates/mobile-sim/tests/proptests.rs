@@ -1,0 +1,131 @@
+//! Property-based tests for the mobile simulator's invariants.
+
+use affect_core::emotion::Emotion;
+use mobile_sim::device::DeviceConfig;
+use mobile_sim::manager::PolicyKind;
+use mobile_sim::monkey::MonkeyScript;
+use mobile_sim::sim::Simulator;
+use mobile_sim::subjects::SubjectProfile;
+use mobile_sim::trace::TraceEvent;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn subject_for(index: u8) -> SubjectProfile {
+    match index % 4 {
+        0 => SubjectProfile::subject1(),
+        1 => SubjectProfile::subject2(),
+        2 => SubjectProfile::subject3(),
+        _ => SubjectProfile::subject4(),
+    }
+}
+
+fn emotion_for(index: u8) -> Emotion {
+    Emotion::ALL[usize::from(index) % Emotion::ALL.len()]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// For every policy, subject, emotion and seed: launches are conserved,
+    /// the byte split balances, and the resident set respects the process
+    /// limit (+1 transient for the just-launched app).
+    #[test]
+    fn simulator_invariants(
+        seed in 0u64..500,
+        subject_idx in 0u8..4,
+        emotion_idx in 0u8..8,
+        launches in 20usize..80,
+        policy_idx in 0u8..3,
+    ) {
+        let device = DeviceConfig::paper_emulator();
+        let subject = subject_for(subject_idx);
+        let policy = [PolicyKind::Fifo, PolicyKind::Lru, PolicyKind::Emotion]
+            [usize::from(policy_idx) % 3];
+        let workload = MonkeyScript::new(&subject, seed)
+            .segment(emotion_for(emotion_idx), 600.0, launches)
+            .build(&device)
+            .unwrap();
+        let mut sim = Simulator::with_subject(device.clone(), policy, &subject, 0.05).unwrap();
+        let metrics = sim.run(&workload).unwrap();
+
+        prop_assert_eq!(metrics.launches, launches);
+        prop_assert_eq!(metrics.launches, metrics.cold_starts + metrics.warm_starts);
+        prop_assert_eq!(metrics.loaded_bytes, metrics.flash_bytes + metrics.allocated_bytes);
+        prop_assert!(metrics.load_time_s >= 0.0);
+
+        // Replay the trace: the resident set never exceeds limit + 1 and
+        // kills only target alive processes.
+        let mut alive: BTreeSet<usize> = BTreeSet::new();
+        for event in &metrics.trace {
+            match event {
+                TraceEvent::Launch { app_id, .. } => {
+                    alive.insert(*app_id);
+                }
+                TraceEvent::Kill { app_id, .. } => {
+                    prop_assert!(alive.remove(app_id), "killed a dead process");
+                }
+                TraceEvent::EmotionChange { .. } => {}
+            }
+            prop_assert!(alive.len() <= device.process_limit + 1);
+        }
+    }
+
+    /// The same workload always produces the same metrics (full
+    /// determinism, the foundation of the A/B comparison).
+    #[test]
+    fn simulator_deterministic(seed in 0u64..200, policy_idx in 0u8..3) {
+        let device = DeviceConfig::paper_emulator();
+        let subject = SubjectProfile::subject3();
+        let policy = [PolicyKind::Fifo, PolicyKind::Lru, PolicyKind::Emotion]
+            [usize::from(policy_idx) % 3];
+        let workload = MonkeyScript::new(&subject, seed)
+            .segment(Emotion::Happy, 300.0, 30)
+            .build(&device)
+            .unwrap();
+        let run = || {
+            let mut sim =
+                Simulator::with_subject(device.clone(), policy, &subject, 0.05).unwrap();
+            sim.run(&workload).unwrap()
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Trace timestamps are non-decreasing.
+    #[test]
+    fn trace_is_time_ordered(seed in 0u64..200) {
+        let device = DeviceConfig::paper_emulator();
+        let subject = SubjectProfile::subject1();
+        let workload = MonkeyScript::new(&subject, seed)
+            .segment(Emotion::Sad, 400.0, 40)
+            .build(&device)
+            .unwrap();
+        let mut sim = Simulator::new(device, PolicyKind::Emotion).unwrap();
+        let metrics = sim.run(&workload).unwrap();
+        for pair in metrics.trace.windows(2) {
+            prop_assert!(pair[0].time_s() <= pair[1].time_s());
+        }
+    }
+
+    /// Monkey workloads respect their segment structure for any subject
+    /// and emotion: counts, ordering, and app validity.
+    #[test]
+    fn monkey_workloads_well_formed(
+        seed in 0u64..500,
+        subject_idx in 0u8..4,
+        a in 1usize..40,
+        b in 1usize..40,
+    ) {
+        let device = DeviceConfig::paper_emulator();
+        let subject = subject_for(subject_idx);
+        let workload = MonkeyScript::new(&subject, seed)
+            .segment(Emotion::Happy, 300.0, a)
+            .segment(Emotion::Calm, 300.0, b)
+            .build(&device)
+            .unwrap();
+        prop_assert_eq!(workload.len(), a + b);
+        prop_assert!(workload.events.iter().all(|e| e.app_id < device.apps.len()));
+        prop_assert!(workload.events.iter().all(|e| e.dwell_s > 0.0));
+        let happy = workload.events.iter().filter(|e| e.emotion == Emotion::Happy).count();
+        prop_assert_eq!(happy, a);
+    }
+}

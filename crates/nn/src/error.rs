@@ -1,0 +1,76 @@
+//! Error type for the neural-network crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by fallible operations in this crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NnError {
+    /// A tensor shape did not match what an operation expects.
+    ShapeMismatch {
+        /// Human-readable description of the expected shape.
+        expected: String,
+        /// The shape that was supplied.
+        actual: Vec<usize>,
+    },
+    /// A construction parameter was invalid (zero size, bad range, …).
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Constraint that was violated.
+        reason: &'static str,
+    },
+    /// `backward` was called before `forward`, or another ordering violation.
+    InvalidState(&'static str),
+    /// A serialized model blob was malformed.
+    MalformedBlob(&'static str),
+    /// A class label was outside the model's output range.
+    LabelOutOfRange {
+        /// The offending label.
+        label: usize,
+        /// Number of classes the model produces.
+        classes: usize,
+    },
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::ShapeMismatch { expected, actual } => {
+                write!(f, "shape mismatch: expected {expected}, got {actual:?}")
+            }
+            NnError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            NnError::InvalidState(msg) => write!(f, "invalid state: {msg}"),
+            NnError::MalformedBlob(msg) => write!(f, "malformed model blob: {msg}"),
+            NnError::LabelOutOfRange { label, classes } => {
+                write!(f, "label {label} out of range for {classes} classes")
+            }
+        }
+    }
+}
+
+impl Error for NnError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NnError>();
+    }
+
+    #[test]
+    fn display_mentions_shapes() {
+        let e = NnError::ShapeMismatch {
+            expected: "[2, 3]".into(),
+            actual: vec![4],
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("[2, 3]") && msg.contains("[4]"));
+    }
+}

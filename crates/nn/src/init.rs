@@ -1,0 +1,66 @@
+//! Weight initialization schemes.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Deterministic RNG used by all layer initializers, seeded per layer so a
+/// model built with the same seeds is bit-for-bit reproducible.
+pub fn seeded_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Glorot/Xavier uniform initialization: `U(-a, a)` with
+/// `a = sqrt(6 / (fan_in + fan_out))`. Suits tanh/sigmoid layers (LSTM).
+pub fn xavier_uniform(rng: &mut StdRng, fan_in: usize, fan_out: usize, n: usize) -> Vec<f32> {
+    let a = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    (0..n).map(|_| rng.random_range(-a..a)).collect()
+}
+
+/// He/Kaiming uniform initialization: `U(-a, a)` with
+/// `a = sqrt(6 / fan_in)`. Suits ReLU layers (dense, conv).
+pub fn he_uniform(rng: &mut StdRng, fan_in: usize, n: usize) -> Vec<f32> {
+    let a = (6.0 / fan_in as f32).sqrt();
+    (0..n).map(|_| rng.random_range(-a..a)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_weights() {
+        let a = xavier_uniform(&mut seeded_rng(42), 10, 10, 32);
+        let b = xavier_uniform(&mut seeded_rng(42), 10, 10, 32);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seed_different_weights() {
+        let a = he_uniform(&mut seeded_rng(1), 10, 32);
+        let b = he_uniform(&mut seeded_rng(2), 10, 32);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn xavier_bounded() {
+        let a = (6.0f32 / 20.0).sqrt();
+        for w in xavier_uniform(&mut seeded_rng(3), 10, 10, 1000) {
+            assert!(w.abs() <= a);
+        }
+    }
+
+    #[test]
+    fn he_bounded() {
+        let a = (6.0f32 / 10.0).sqrt();
+        for w in he_uniform(&mut seeded_rng(4), 10, 1000) {
+            assert!(w.abs() <= a);
+        }
+    }
+
+    #[test]
+    fn initialization_is_roughly_zero_mean() {
+        let ws = he_uniform(&mut seeded_rng(5), 16, 10_000);
+        let mean: f32 = ws.iter().sum::<f32>() / ws.len() as f32;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+    }
+}

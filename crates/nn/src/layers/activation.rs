@@ -1,0 +1,215 @@
+//! Elementwise activation layers.
+
+use crate::layers::Layer;
+use crate::{NnError, Tensor};
+
+/// The activation function applied by an [`Activation`] layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum ActivationKind {
+    /// `max(0, x)`.
+    Relu,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Logistic sigmoid.
+    Sigmoid,
+}
+
+/// An elementwise activation layer.
+///
+/// # Example
+///
+/// ```
+/// use nn::layers::{Activation, Layer};
+/// use nn::Tensor;
+/// # fn main() -> Result<(), nn::NnError> {
+/// let mut relu = Activation::relu();
+/// let x = Tensor::from_vec(vec![-1.0, 2.0], &[2])?;
+/// assert_eq!(relu.forward(&x, false)?.data(), &[0.0, 2.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Activation {
+    kind: ActivationKind,
+    /// Cached forward *output* (enough to differentiate all three kinds).
+    output_cache: Option<Tensor>,
+    /// Cached input sign mask for ReLU.
+    input_cache: Option<Tensor>,
+}
+
+impl Activation {
+    /// Creates an activation layer of the given kind.
+    pub fn new(kind: ActivationKind) -> Self {
+        Self {
+            kind,
+            output_cache: None,
+            input_cache: None,
+        }
+    }
+
+    /// Shorthand for `Activation::new(ActivationKind::Relu)`.
+    pub fn relu() -> Self {
+        Self::new(ActivationKind::Relu)
+    }
+
+    /// Shorthand for `Activation::new(ActivationKind::Tanh)`.
+    pub fn tanh() -> Self {
+        Self::new(ActivationKind::Tanh)
+    }
+
+    /// Shorthand for `Activation::new(ActivationKind::Sigmoid)`.
+    pub fn sigmoid() -> Self {
+        Self::new(ActivationKind::Sigmoid)
+    }
+
+    /// The activation kind.
+    pub fn kind(&self) -> ActivationKind {
+        self.kind
+    }
+}
+
+#[inline]
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+impl Layer for Activation {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Result<Tensor, NnError> {
+        let data: Vec<f32> = match self.kind {
+            ActivationKind::Relu => input.data().iter().map(|&x| x.max(0.0)).collect(),
+            ActivationKind::Tanh => input.data().iter().map(|&x| x.tanh()).collect(),
+            ActivationKind::Sigmoid => input.data().iter().map(|&x| sigmoid(x)).collect(),
+        };
+        let out = Tensor::from_vec(data, input.shape())?;
+        self.output_cache = Some(out.clone());
+        if self.kind == ActivationKind::Relu {
+            self.input_cache = Some(input.clone());
+        }
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
+        let out = self
+            .output_cache
+            .as_ref()
+            .ok_or(NnError::InvalidState("activation backward before forward"))?;
+        if grad_out.shape() != out.shape() {
+            return Err(NnError::ShapeMismatch {
+                expected: format!("{:?}", out.shape()),
+                actual: grad_out.shape().to_vec(),
+            });
+        }
+        let data: Vec<f32> = match self.kind {
+            ActivationKind::Relu => {
+                let input = self
+                    .input_cache
+                    .as_ref()
+                    .ok_or(NnError::InvalidState("relu input cache missing"))?;
+                grad_out
+                    .data()
+                    .iter()
+                    .zip(input.data())
+                    .map(|(&g, &x)| if x > 0.0 { g } else { 0.0 })
+                    .collect()
+            }
+            ActivationKind::Tanh => grad_out
+                .data()
+                .iter()
+                .zip(out.data())
+                .map(|(&g, &y)| g * (1.0 - y * y))
+                .collect(),
+            ActivationKind::Sigmoid => grad_out
+                .data()
+                .iter()
+                .zip(out.data())
+                .map(|(&g, &y)| g * y * (1.0 - y))
+                .collect(),
+        };
+        Tensor::from_vec(data, grad_out.shape())
+    }
+
+    fn name(&self) -> &'static str {
+        match self.kind {
+            ActivationKind::Relu => "relu",
+            ActivationKind::Tanh => "tanh",
+            ActivationKind::Sigmoid => "sigmoid",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grad_check(kind: ActivationKind) {
+        let mut layer = Activation::new(kind);
+        let x = Tensor::from_vec(vec![0.4, -0.3, 1.2, -2.0], &[4]).unwrap();
+        let ones = Tensor::from_vec(vec![1.0; 4], &[4]).unwrap();
+        layer.forward(&x, true).unwrap();
+        let dx = layer.backward(&ones).unwrap();
+        let eps = 1e-3;
+        for i in 0..4 {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let yp: f32 = layer.forward(&xp, true).unwrap().data().iter().sum();
+            let ym: f32 = layer.forward(&xm, true).unwrap().data().iter().sum();
+            let numeric = (yp - ym) / (2.0 * eps);
+            assert!(
+                (dx.data()[i] - numeric).abs() < 1e-2,
+                "{kind:?}[{i}]: {} vs {numeric}",
+                dx.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn gradient_check_all_kinds() {
+        grad_check(ActivationKind::Relu);
+        grad_check(ActivationKind::Tanh);
+        grad_check(ActivationKind::Sigmoid);
+    }
+
+    #[test]
+    fn relu_zeroes_negatives() {
+        let mut l = Activation::relu();
+        let y = l
+            .forward(&Tensor::from_vec(vec![-3.0, 0.0, 3.0], &[3]).unwrap(), false)
+            .unwrap();
+        assert_eq!(y.data(), &[0.0, 0.0, 3.0]);
+    }
+
+    #[test]
+    fn sigmoid_bounded() {
+        let mut l = Activation::sigmoid();
+        let y = l
+            .forward(
+                &Tensor::from_vec(vec![-100.0, 0.0, 100.0], &[3]).unwrap(),
+                false,
+            )
+            .unwrap();
+        assert!(y.data()[0] >= 0.0 && y.data()[2] <= 1.0);
+        assert!((y.data()[1] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn backward_before_forward_fails() {
+        let mut l = Activation::tanh();
+        assert!(l.backward(&Tensor::zeros(&[2]).unwrap()).is_err());
+    }
+
+    #[test]
+    fn backward_shape_checked() {
+        let mut l = Activation::tanh();
+        l.forward(&Tensor::zeros(&[3]).unwrap(), false).unwrap();
+        assert!(l.backward(&Tensor::zeros(&[2]).unwrap()).is_err());
+    }
+
+    #[test]
+    fn activations_have_no_params() {
+        let l = Activation::relu();
+        assert_eq!(l.param_count(), 0);
+    }
+}

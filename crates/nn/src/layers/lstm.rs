@@ -1,0 +1,401 @@
+//! Long short-term memory layer with full backpropagation through time.
+
+use crate::init::{seeded_rng, xavier_uniform};
+use crate::layers::{Layer, Param};
+use crate::{NnError, Tensor};
+
+/// Gate pre-activations/activations per time step, cached for BPTT.
+#[derive(Debug, Clone)]
+struct StepCache {
+    x: Vec<f32>,
+    h_prev: Vec<f32>,
+    c_prev: Vec<f32>,
+    i: Vec<f32>,
+    f: Vec<f32>,
+    g: Vec<f32>,
+    o: Vec<f32>,
+    tanh_c: Vec<f32>,
+}
+
+/// A single-direction LSTM over `[time, features]` inputs.
+///
+/// Gate layout in the stacked weight matrices is `[input, forget, candidate,
+/// output]`. With `return_sequences` the layer outputs `[time, hidden]`
+/// (for stacking, as in the paper's two-layer LSTM classifier); otherwise it
+/// outputs the final hidden state `[hidden]`.
+///
+/// # Example
+///
+/// ```
+/// use nn::layers::{Layer, Lstm};
+/// use nn::Tensor;
+/// # fn main() -> Result<(), nn::NnError> {
+/// let mut lstm = Lstm::new(4, 8, false, 3)?;
+/// let x = Tensor::zeros(&[10, 4])?; // 10 time steps of 4 features
+/// let h = lstm.forward(&x, false)?;
+/// assert_eq!(h.shape(), &[8]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Lstm {
+    wx: Param, // [4H, F]
+    wh: Param, // [4H, H]
+    bias: Param, // [4H]
+    input_dim: usize,
+    hidden: usize,
+    return_sequences: bool,
+    steps: Vec<StepCache>,
+}
+
+#[inline]
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+impl Lstm {
+    /// Creates an LSTM with `input_dim` features and `hidden` units,
+    /// Xavier-initialized from `seed`. The forget-gate bias starts at 1.0
+    /// (the standard trick that stabilizes early training).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidParameter`] when either size is zero.
+    pub fn new(
+        input_dim: usize,
+        hidden: usize,
+        return_sequences: bool,
+        seed: u64,
+    ) -> Result<Self, NnError> {
+        if input_dim == 0 || hidden == 0 {
+            return Err(NnError::InvalidParameter {
+                name: "input_dim/hidden",
+                reason: "must be non-zero",
+            });
+        }
+        let mut rng = seeded_rng(seed);
+        let wx = xavier_uniform(&mut rng, input_dim, hidden, 4 * hidden * input_dim);
+        let wh = xavier_uniform(&mut rng, hidden, hidden, 4 * hidden * hidden);
+        let mut bias = vec![0.0f32; 4 * hidden];
+        for b in bias.iter_mut().skip(hidden).take(hidden) {
+            *b = 1.0; // forget gate
+        }
+        Ok(Self {
+            wx: Param::new(Tensor::from_vec(wx, &[4 * hidden, input_dim])?),
+            wh: Param::new(Tensor::from_vec(wh, &[4 * hidden, hidden])?),
+            bias: Param::new(Tensor::from_vec(bias, &[4 * hidden])?),
+            input_dim,
+            hidden,
+            return_sequences,
+            steps: Vec::new(),
+        })
+    }
+
+    /// Number of hidden units.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// Input feature dimensionality.
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// Whether the layer emits the full hidden sequence.
+    pub fn return_sequences(&self) -> bool {
+        self.return_sequences
+    }
+}
+
+impl Layer for Lstm {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Result<Tensor, NnError> {
+        let shape = input.shape();
+        if shape.len() != 2 || shape[1] != self.input_dim || shape[0] == 0 {
+            return Err(NnError::ShapeMismatch {
+                expected: format!("[t >= 1, {}]", self.input_dim),
+                actual: shape.to_vec(),
+            });
+        }
+        let (t_len, h) = (shape[0], self.hidden);
+        self.steps.clear();
+        self.steps.reserve(t_len);
+
+        let mut h_prev = vec![0.0f32; h];
+        let mut c_prev = vec![0.0f32; h];
+        let mut seq_out = Vec::with_capacity(if self.return_sequences { t_len * h } else { 0 });
+
+        for t in 0..t_len {
+            let x = &input.data()[t * self.input_dim..(t + 1) * self.input_dim];
+            // z = Wx·x + Wh·h_prev + b, laid out as [i | f | g | o].
+            let mut z = self.wx.value.matvec(x)?;
+            let zh = self.wh.value.matvec(&h_prev)?;
+            for ((zi, &zhi), &bi) in z.iter_mut().zip(&zh).zip(self.bias.value.data()) {
+                *zi += zhi + bi;
+            }
+            let mut i_gate = vec![0.0f32; h];
+            let mut f_gate = vec![0.0f32; h];
+            let mut g_gate = vec![0.0f32; h];
+            let mut o_gate = vec![0.0f32; h];
+            let mut c = vec![0.0f32; h];
+            let mut tanh_c = vec![0.0f32; h];
+            let mut h_new = vec![0.0f32; h];
+            for j in 0..h {
+                i_gate[j] = sigmoid(z[j]);
+                f_gate[j] = sigmoid(z[h + j]);
+                g_gate[j] = z[2 * h + j].tanh();
+                o_gate[j] = sigmoid(z[3 * h + j]);
+                c[j] = f_gate[j] * c_prev[j] + i_gate[j] * g_gate[j];
+                tanh_c[j] = c[j].tanh();
+                h_new[j] = o_gate[j] * tanh_c[j];
+            }
+            if self.return_sequences {
+                seq_out.extend_from_slice(&h_new);
+            }
+            self.steps.push(StepCache {
+                x: x.to_vec(),
+                h_prev: h_prev.clone(),
+                c_prev: c_prev.clone(),
+                i: i_gate,
+                f: f_gate,
+                g: g_gate,
+                o: o_gate,
+                tanh_c,
+            });
+            h_prev = h_new;
+            c_prev = c;
+        }
+
+        if self.return_sequences {
+            Tensor::from_vec(seq_out, &[t_len, h])
+        } else {
+            Tensor::from_vec(h_prev, &[h])
+        }
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
+        if self.steps.is_empty() {
+            return Err(NnError::InvalidState("lstm backward before forward"));
+        }
+        let t_len = self.steps.len();
+        let h = self.hidden;
+        let expected: &[usize] = if self.return_sequences {
+            &[t_len, h]
+        } else {
+            &[h]
+        };
+        if grad_out.shape() != expected {
+            return Err(NnError::ShapeMismatch {
+                expected: format!("{expected:?}"),
+                actual: grad_out.shape().to_vec(),
+            });
+        }
+
+        let mut dx_all = vec![0.0f32; t_len * self.input_dim];
+        let mut dh_next = vec![0.0f32; h];
+        let mut dc_next = vec![0.0f32; h];
+
+        for t in (0..t_len).rev() {
+            let step = &self.steps[t];
+            // Gradient flowing into h_t: from the output plus from t+1.
+            let mut dh = dh_next.clone();
+            if self.return_sequences {
+                for (j, dhj) in dh.iter_mut().enumerate() {
+                    *dhj += grad_out.data()[t * h + j];
+                }
+            } else if t == t_len - 1 {
+                for (dhj, &g) in dh.iter_mut().zip(grad_out.data()) {
+                    *dhj += g;
+                }
+            }
+
+            let mut dz = vec![0.0f32; 4 * h];
+            let mut dc_prev = vec![0.0f32; h];
+            for j in 0..h {
+                let do_ = dh[j] * step.tanh_c[j];
+                let mut dc = dc_next[j] + dh[j] * step.o[j] * (1.0 - step.tanh_c[j].powi(2));
+                let di = dc * step.g[j];
+                let df = dc * step.c_prev[j];
+                let dg = dc * step.i[j];
+                dc *= step.f[j];
+                dc_prev[j] = dc;
+                dz[j] = di * step.i[j] * (1.0 - step.i[j]);
+                dz[h + j] = df * step.f[j] * (1.0 - step.f[j]);
+                dz[2 * h + j] = dg * (1.0 - step.g[j].powi(2));
+                dz[3 * h + j] = do_ * step.o[j] * (1.0 - step.o[j]);
+            }
+
+            // Accumulate parameter gradients: dWx += dz ⊗ x, dWh += dz ⊗ h_prev.
+            {
+                let dwx = self.wx.grad.data_mut();
+                for (r, &dzr) in dz.iter().enumerate() {
+                    let base = r * self.input_dim;
+                    for (cidx, &xv) in step.x.iter().enumerate() {
+                        dwx[base + cidx] += dzr * xv;
+                    }
+                }
+            }
+            {
+                let dwh = self.wh.grad.data_mut();
+                for (r, &dzr) in dz.iter().enumerate() {
+                    let base = r * h;
+                    for (cidx, &hv) in step.h_prev.iter().enumerate() {
+                        dwh[base + cidx] += dzr * hv;
+                    }
+                }
+            }
+            for (db, &dzr) in self.bias.grad.data_mut().iter_mut().zip(&dz) {
+                *db += dzr;
+            }
+
+            // dx_t = Wxᵀ dz; dh_prev = Whᵀ dz.
+            let dx = self.wx.value.matvec_t(&dz)?;
+            dx_all[t * self.input_dim..(t + 1) * self.input_dim].copy_from_slice(&dx);
+            dh_next = self.wh.value.matvec_t(&dz)?;
+            dc_next = dc_prev;
+        }
+
+        Tensor::from_vec(dx_all, &[t_len, self.input_dim])
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.wx, &mut self.wh, &mut self.bias]
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.wx, &self.wh, &self.bias]
+    }
+
+    fn name(&self) -> &'static str {
+        "lstm"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_zero_sizes() {
+        assert!(Lstm::new(0, 4, false, 0).is_err());
+        assert!(Lstm::new(4, 0, false, 0).is_err());
+    }
+
+    #[test]
+    fn output_shapes() {
+        let mut last = Lstm::new(3, 5, false, 1).unwrap();
+        let mut seq = Lstm::new(3, 5, true, 1).unwrap();
+        let x = Tensor::zeros(&[7, 3]).unwrap();
+        assert_eq!(last.forward(&x, false).unwrap().shape(), &[5]);
+        assert_eq!(seq.forward(&x, false).unwrap().shape(), &[7, 5]);
+    }
+
+    #[test]
+    fn rejects_wrong_feature_dim() {
+        let mut l = Lstm::new(3, 5, false, 1).unwrap();
+        assert!(l.forward(&Tensor::zeros(&[7, 4]).unwrap(), false).is_err());
+    }
+
+    #[test]
+    fn param_count_matches_keras_formula() {
+        // Keras: 4 * (H * (F + H) + H)
+        let l = Lstm::new(10, 16, false, 0).unwrap();
+        assert_eq!(l.param_count(), 4 * (16 * (10 + 16) + 16));
+    }
+
+    #[test]
+    fn hidden_states_bounded() {
+        // h = o * tanh(c) with o in (0,1) so |h| < 1.
+        let mut l = Lstm::new(2, 4, true, 5).unwrap();
+        let x = Tensor::from_vec(vec![10.0; 12], &[6, 2]).unwrap();
+        let y = l.forward(&x, false).unwrap();
+        assert!(y.data().iter().all(|&v| v.abs() <= 1.0));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = Lstm::new(2, 3, false, 9).unwrap();
+        let mut b = Lstm::new(2, 3, false, 9).unwrap();
+        let x = Tensor::from_vec(vec![0.1, -0.2, 0.3, 0.4], &[2, 2]).unwrap();
+        assert_eq!(a.forward(&x, false).unwrap(), b.forward(&x, false).unwrap());
+    }
+
+    fn sum_forward(l: &mut Lstm, x: &Tensor) -> f32 {
+        l.forward(x, true).unwrap().data().iter().sum()
+    }
+
+    #[test]
+    fn gradient_check_input_last_state() {
+        let mut l = Lstm::new(2, 3, false, 11).unwrap();
+        let x = Tensor::from_vec(vec![0.5, -0.3, 0.2, 0.8, -0.1, 0.4], &[3, 2]).unwrap();
+        let y = l.forward(&x, true).unwrap();
+        let ones = Tensor::from_vec(vec![1.0; y.len()], y.shape()).unwrap();
+        let dx = l.backward(&ones).unwrap();
+
+        let eps = 1e-3;
+        for idx in 0..x.len() {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let numeric = (sum_forward(&mut l, &xp) - sum_forward(&mut l, &xm)) / (2.0 * eps);
+            assert!(
+                (dx.data()[idx] - numeric).abs() < 2e-2,
+                "dx[{idx}]: {} vs {numeric}",
+                dx.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn gradient_check_weights_sequence_mode() {
+        let mut l = Lstm::new(2, 2, true, 13).unwrap();
+        let x = Tensor::from_vec(vec![0.3, 0.7, -0.4, 0.1], &[2, 2]).unwrap();
+        let y = l.forward(&x, true).unwrap();
+        let ones = Tensor::from_vec(vec![1.0; y.len()], y.shape()).unwrap();
+        l.backward(&ones).unwrap();
+
+        let eps = 1e-3;
+        // Spot-check a few weights in each parameter tensor.
+        for (pname, pidx) in [("wx", 3usize), ("wh", 5), ("bias", 1)] {
+            let analytic = match pname {
+                "wx" => l.wx.grad.data()[pidx],
+                "wh" => l.wh.grad.data()[pidx],
+                _ => l.bias.grad.data()[pidx],
+            };
+            let value = |l: &Lstm| match pname {
+                "wx" => l.wx.value.data()[pidx],
+                "wh" => l.wh.value.data()[pidx],
+                _ => l.bias.value.data()[pidx],
+            };
+            let set = |l: &mut Lstm, v: f32| match pname {
+                "wx" => l.wx.value.data_mut()[pidx] = v,
+                "wh" => l.wh.value.data_mut()[pidx] = v,
+                _ => l.bias.value.data_mut()[pidx] = v,
+            };
+            let base = value(&l);
+            set(&mut l, base + eps);
+            let yp = sum_forward(&mut l, &x);
+            set(&mut l, base - eps);
+            let ym = sum_forward(&mut l, &x);
+            set(&mut l, base);
+            let numeric = (yp - ym) / (2.0 * eps);
+            assert!(
+                (analytic - numeric).abs() < 2e-2,
+                "{pname}[{pidx}]: {analytic} vs {numeric}"
+            );
+        }
+    }
+
+    #[test]
+    fn backward_before_forward_fails() {
+        let mut l = Lstm::new(2, 3, false, 1).unwrap();
+        assert!(l.backward(&Tensor::zeros(&[3]).unwrap()).is_err());
+    }
+
+    #[test]
+    fn backward_rejects_wrong_grad_shape() {
+        let mut l = Lstm::new(2, 3, false, 1).unwrap();
+        l.forward(&Tensor::zeros(&[4, 2]).unwrap(), true).unwrap();
+        assert!(l.backward(&Tensor::zeros(&[4]).unwrap()).is_err());
+    }
+}

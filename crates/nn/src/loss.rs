@@ -1,0 +1,169 @@
+//! Loss functions.
+
+use crate::{NnError, Tensor};
+
+/// Numerically stable softmax of a logit vector.
+///
+/// # Example
+///
+/// ```
+/// use nn::loss::softmax;
+/// let p = softmax(&[1.0, 1.0]);
+/// assert!((p[0] - 0.5).abs() < 1e-6);
+/// ```
+pub fn softmax(logits: &[f32]) -> Vec<f32> {
+    let max = logits.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
+    let exps: Vec<f32> = logits.iter().map(|&x| (x - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    exps.iter().map(|&e| e / sum).collect()
+}
+
+/// Softmax cross-entropy loss against an integer class label.
+///
+/// Returns `(loss, grad_logits)` — the gradient is with respect to the raw
+/// logits (the standard fused form `softmax(z) - onehot(y)`), ready to feed
+/// into the last layer's `backward`.
+///
+/// # Errors
+///
+/// Returns [`NnError::LabelOutOfRange`] when `label >= logits.len()` and
+/// [`NnError::ShapeMismatch`] when `logits` is not 1-D.
+///
+/// # Example
+///
+/// ```
+/// use nn::loss::cross_entropy;
+/// use nn::Tensor;
+/// # fn main() -> Result<(), nn::NnError> {
+/// let logits = Tensor::from_vec(vec![2.0, 0.0, 0.0], &[3])?;
+/// let (loss, grad) = cross_entropy(&logits, 0)?;
+/// assert!(loss < 0.5); // correct class already dominant
+/// assert!(grad.data()[0] < 0.0); // push class 0 up
+/// # Ok(())
+/// # }
+/// ```
+pub fn cross_entropy(logits: &Tensor, label: usize) -> Result<(f32, Tensor), NnError> {
+    if logits.shape().len() != 1 {
+        return Err(NnError::ShapeMismatch {
+            expected: "1-d logits".into(),
+            actual: logits.shape().to_vec(),
+        });
+    }
+    let n = logits.len();
+    if label >= n {
+        return Err(NnError::LabelOutOfRange { label, classes: n });
+    }
+    let probs = softmax(logits.data());
+    let loss = -(probs[label].max(1e-12)).ln();
+    let mut grad = probs;
+    grad[label] -= 1.0;
+    Ok((loss, Tensor::from_vec(grad, &[n])?))
+}
+
+/// Mean squared error between prediction and target vectors.
+///
+/// Returns `(loss, grad_pred)` with `loss = mean((p - t)^2)` and
+/// `grad = 2 (p - t) / n`.
+///
+/// # Errors
+///
+/// Returns [`NnError::ShapeMismatch`] when the shapes differ.
+pub fn mse(pred: &Tensor, target: &Tensor) -> Result<(f32, Tensor), NnError> {
+    if pred.shape() != target.shape() {
+        return Err(NnError::ShapeMismatch {
+            expected: format!("{:?}", pred.shape()),
+            actual: target.shape().to_vec(),
+        });
+    }
+    let n = pred.len() as f32;
+    let mut grad = vec![0.0f32; pred.len()];
+    let mut loss = 0.0f32;
+    for (i, (&p, &t)) in pred.data().iter().zip(target.data()).enumerate() {
+        let d = p - t;
+        loss += d * d;
+        grad[i] = 2.0 * d / n;
+    }
+    Ok((loss / n, Tensor::from_vec(grad, pred.shape())?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let p = softmax(&[0.1, -2.0, 3.5, 1.0]);
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+        assert!(p.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn softmax_stable_for_large_logits() {
+        let p = softmax(&[1000.0, 1000.0]);
+        assert!((p[0] - 0.5).abs() < 1e-5);
+        assert!(p.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn cross_entropy_of_uniform_is_log_n() {
+        let logits = Tensor::from_vec(vec![0.0; 4], &[4]).unwrap();
+        let (loss, _) = cross_entropy(&logits, 2).unwrap();
+        assert!((loss - (4.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cross_entropy_grad_sums_to_zero() {
+        let logits = Tensor::from_vec(vec![1.0, -2.0, 0.5], &[3]).unwrap();
+        let (_, grad) = cross_entropy(&logits, 1).unwrap();
+        assert!(grad.data().iter().sum::<f32>().abs() < 1e-5);
+    }
+
+    #[test]
+    fn cross_entropy_rejects_bad_label() {
+        let logits = Tensor::from_vec(vec![0.0; 3], &[3]).unwrap();
+        assert_eq!(
+            cross_entropy(&logits, 3),
+            Err(NnError::LabelOutOfRange { label: 3, classes: 3 })
+        );
+    }
+
+    #[test]
+    fn cross_entropy_gradient_check() {
+        let logits = Tensor::from_vec(vec![0.4, -0.9, 1.2], &[3]).unwrap();
+        let (_, grad) = cross_entropy(&logits, 0).unwrap();
+        let eps = 1e-3;
+        for i in 0..3 {
+            let mut lp = logits.clone();
+            lp.data_mut()[i] += eps;
+            let mut lm = logits.clone();
+            lm.data_mut()[i] -= eps;
+            let (loss_p, _) = cross_entropy(&lp, 0).unwrap();
+            let (loss_m, _) = cross_entropy(&lm, 0).unwrap();
+            let numeric = (loss_p - loss_m) / (2.0 * eps);
+            assert!((grad.data()[i] - numeric).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn mse_zero_for_equal_inputs() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap();
+        let (loss, grad) = mse(&a, &a.clone()).unwrap();
+        assert_eq!(loss, 0.0);
+        assert!(grad.data().iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn mse_known_value() {
+        let p = Tensor::from_vec(vec![1.0, 3.0], &[2]).unwrap();
+        let t = Tensor::from_vec(vec![0.0, 0.0], &[2]).unwrap();
+        let (loss, _) = mse(&p, &t).unwrap();
+        assert!((loss - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mse_rejects_shape_mismatch() {
+        let p = Tensor::zeros(&[2]).unwrap();
+        let t = Tensor::zeros(&[3]).unwrap();
+        assert!(mse(&p, &t).is_err());
+    }
+}

@@ -1,0 +1,251 @@
+//! Sequential model composition.
+
+use crate::layers::{Layer, Param};
+use crate::loss::{cross_entropy, softmax};
+use crate::{NnError, Tensor};
+
+/// A stack of layers applied in order.
+///
+/// # Example
+///
+/// ```
+/// use nn::layers::{Activation, Dense};
+/// use nn::{Sequential, Tensor};
+/// # fn main() -> Result<(), nn::NnError> {
+/// let mut model = Sequential::new();
+/// model.push(Dense::new(4, 8, 1)?);
+/// model.push(Activation::relu());
+/// model.push(Dense::new(8, 3, 2)?);
+/// let logits = model.forward(&Tensor::zeros(&[4])?, false)?;
+/// assert_eq!(logits.shape(), &[3]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// Creates an empty model.
+    pub fn new() -> Self {
+        Self { layers: Vec::new() }
+    }
+
+    /// Appends a layer to the stack.
+    pub fn push<L: Layer + 'static>(&mut self, layer: L) {
+        self.layers.push(Box::new(layer));
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Returns `true` when the model has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Total number of trainable scalars.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(|l| l.param_count()).sum()
+    }
+
+    /// Runs the full forward pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidState`] for an empty model and propagates
+    /// layer shape errors.
+    pub fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor, NnError> {
+        if self.layers.is_empty() {
+            return Err(NnError::InvalidState("model has no layers"));
+        }
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x, train)?;
+        }
+        Ok(x)
+    }
+
+    /// Back-propagates a gradient of the loss w.r.t. the model output.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer errors; in particular `backward` must follow a
+    /// `forward` call.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
+        if self.layers.is_empty() {
+            return Err(NnError::InvalidState("model has no layers"));
+        }
+        let mut g = grad_out.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g)?;
+        }
+        Ok(g)
+    }
+
+    /// One training step for one labelled sample: forward, softmax
+    /// cross-entropy, backward. Gradients accumulate into the parameters
+    /// (call an optimizer step + [`Sequential::zero_grad`] per minibatch).
+    ///
+    /// Returns the sample loss.
+    ///
+    /// # Errors
+    ///
+    /// Propagates forward/backward and loss errors.
+    pub fn train_step(&mut self, input: &Tensor, label: usize) -> Result<f32, NnError> {
+        let logits = self.forward(input, true)?;
+        let (loss, grad) = cross_entropy(&logits, label)?;
+        self.backward(&grad)?;
+        Ok(loss)
+    }
+
+    /// Class probabilities for an input (inference mode).
+    ///
+    /// # Errors
+    ///
+    /// Propagates forward errors.
+    pub fn predict_proba(&mut self, input: &Tensor) -> Result<Vec<f32>, NnError> {
+        let logits = self.forward(input, false)?;
+        Ok(softmax(logits.data()))
+    }
+
+    /// Most likely class index for an input (inference mode).
+    ///
+    /// # Errors
+    ///
+    /// Propagates forward errors.
+    pub fn predict(&mut self, input: &Tensor) -> Result<usize, NnError> {
+        let probs = self.predict_proba(input)?;
+        Ok(probs
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .unwrap_or(0))
+    }
+
+    /// Mutable access to every parameter in layer order.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.params_mut())
+            .collect()
+    }
+
+    /// Read-only access to every parameter in layer order.
+    pub fn params(&self) -> Vec<&Param> {
+        self.layers.iter().flat_map(|l| l.params()).collect()
+    }
+
+    /// Zeroes every accumulated gradient.
+    pub fn zero_grad(&mut self) {
+        for p in self.params_mut() {
+            p.zero_grad();
+        }
+    }
+
+    /// One-line-per-layer summary (name and parameter count).
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        for (i, l) in self.layers.iter().enumerate() {
+            out.push_str(&format!("{i:>2}  {:<10} params={}\n", l.name(), l.param_count()));
+        }
+        out.push_str(&format!("total params: {}\n", self.param_count()));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Activation, Dense, Flatten, Lstm};
+
+    fn tiny_model() -> Sequential {
+        let mut m = Sequential::new();
+        m.push(Dense::new(3, 4, 1).unwrap());
+        m.push(Activation::tanh());
+        m.push(Dense::new(4, 2, 2).unwrap());
+        m
+    }
+
+    #[test]
+    fn empty_model_errors() {
+        let mut m = Sequential::new();
+        assert!(m.forward(&Tensor::zeros(&[1]).unwrap(), false).is_err());
+        assert!(m.backward(&Tensor::zeros(&[1]).unwrap()).is_err());
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn forward_chains_layers() {
+        let mut m = tiny_model();
+        let y = m.forward(&Tensor::zeros(&[3]).unwrap(), false).unwrap();
+        assert_eq!(y.shape(), &[2]);
+    }
+
+    #[test]
+    fn predict_proba_is_distribution() {
+        let mut m = tiny_model();
+        let p = m.predict_proba(&Tensor::zeros(&[3]).unwrap()).unwrap();
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn train_step_reduces_loss() {
+        let mut m = tiny_model();
+        let x = Tensor::from_vec(vec![0.5, -0.5, 1.0], &[3]).unwrap();
+        let mut last = f32::INFINITY;
+        for _ in 0..50 {
+            let loss = m.train_step(&x, 1).unwrap();
+            // Manual SGD step.
+            for p in m.params_mut() {
+                let grads: Vec<f32> = p.grad.data().to_vec();
+                for (v, g) in p.value.data_mut().iter_mut().zip(grads) {
+                    *v -= 0.5 * g;
+                }
+                p.zero_grad();
+            }
+            last = loss;
+        }
+        assert!(last < 0.1, "loss did not converge: {last}");
+        assert_eq!(m.predict(&x).unwrap(), 1);
+    }
+
+    #[test]
+    fn param_count_sums_layers() {
+        let m = tiny_model();
+        assert_eq!(m.param_count(), (3 * 4 + 4) + (4 * 2 + 2));
+    }
+
+    #[test]
+    fn mixed_sequence_model_shapes() {
+        // LSTM(seq) -> LSTM(last) -> Dense, like the paper's classifier.
+        let mut m = Sequential::new();
+        m.push(Lstm::new(6, 8, true, 1).unwrap());
+        m.push(Lstm::new(8, 8, false, 2).unwrap());
+        m.push(Dense::new(8, 5, 3).unwrap());
+        let y = m.forward(&Tensor::zeros(&[12, 6]).unwrap(), false).unwrap();
+        assert_eq!(y.shape(), &[5]);
+    }
+
+    #[test]
+    fn summary_mentions_layers() {
+        let mut m = tiny_model();
+        m.push(Flatten::new());
+        let s = m.summary();
+        assert!(s.contains("dense") && s.contains("tanh") && s.contains("total params"));
+    }
+
+    #[test]
+    fn zero_grad_clears_all() {
+        let mut m = tiny_model();
+        let x = Tensor::from_vec(vec![1.0, 1.0, 1.0], &[3]).unwrap();
+        m.train_step(&x, 0).unwrap();
+        assert!(m.params().iter().any(|p| p.grad.norm() > 0.0));
+        m.zero_grad();
+        assert!(m.params().iter().all(|p| p.grad.norm() == 0.0));
+    }
+}

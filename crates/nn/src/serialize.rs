@@ -1,0 +1,204 @@
+//! Weight serialization in a tiny self-describing binary format.
+//!
+//! Layout (all little-endian):
+//!
+//! ```text
+//! magic "AFNN" | version u32 | tensor_count u32 |
+//! per tensor: rank u32 | dims u32[rank] | data f32[prod(dims)]
+//! ```
+//!
+//! Only *weights* are serialized; the architecture is code, so loading
+//! checks that every tensor shape matches the receiving model exactly.
+
+use crate::model::Sequential;
+use crate::{NnError, Tensor};
+
+const MAGIC: &[u8; 4] = b"AFNN";
+const VERSION: u32 = 1;
+
+/// Serializes every parameter of `model` (in layer order) to a byte blob.
+///
+/// # Example
+///
+/// ```
+/// use nn::layers::Dense;
+/// use nn::serialize::{load_weights, save_weights};
+/// use nn::Sequential;
+/// # fn main() -> Result<(), nn::NnError> {
+/// let mut a = Sequential::new();
+/// a.push(Dense::new(3, 2, 1)?);
+/// let blob = save_weights(&a);
+/// let mut b = Sequential::new();
+/// b.push(Dense::new(3, 2, 99)?); // different init
+/// load_weights(&mut b, &blob)?;
+/// # Ok(())
+/// # }
+/// ```
+pub fn save_weights(model: &Sequential) -> Vec<u8> {
+    let params = model.params();
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&(params.len() as u32).to_le_bytes());
+    for p in params {
+        out.extend_from_slice(&(p.value.shape().len() as u32).to_le_bytes());
+        for &d in p.value.shape() {
+            out.extend_from_slice(&(d as u32).to_le_bytes());
+        }
+        for &v in p.value.data() {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    out
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], NnError> {
+        if self.pos + n > self.buf.len() {
+            return Err(NnError::MalformedBlob("unexpected end of blob"));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> Result<u32, NnError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn f32(&mut self) -> Result<f32, NnError> {
+        let b = self.take(4)?;
+        Ok(f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+}
+
+/// Loads a blob produced by [`save_weights`] into `model`.
+///
+/// # Errors
+///
+/// Returns [`NnError::MalformedBlob`] for a corrupt blob and
+/// [`NnError::ShapeMismatch`] when the blob's tensors do not match the
+/// model's parameter shapes (wrong architecture).
+pub fn load_weights(model: &mut Sequential, blob: &[u8]) -> Result<(), NnError> {
+    let mut r = Reader { buf: blob, pos: 0 };
+    if r.take(4)? != MAGIC {
+        return Err(NnError::MalformedBlob("bad magic"));
+    }
+    if r.u32()? != VERSION {
+        return Err(NnError::MalformedBlob("unsupported version"));
+    }
+    let count = r.u32()? as usize;
+    let mut params = model.params_mut();
+    if count != params.len() {
+        return Err(NnError::ShapeMismatch {
+            expected: format!("{} parameter tensors", params.len()),
+            actual: vec![count],
+        });
+    }
+    for p in params.iter_mut() {
+        let rank = r.u32()? as usize;
+        if rank > 8 {
+            return Err(NnError::MalformedBlob("implausible tensor rank"));
+        }
+        let mut shape = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            shape.push(r.u32()? as usize);
+        }
+        if shape != p.value.shape() {
+            return Err(NnError::ShapeMismatch {
+                expected: format!("{:?}", p.value.shape()),
+                actual: shape,
+            });
+        }
+        let n: usize = shape.iter().product();
+        let mut data = Vec::with_capacity(n);
+        for _ in 0..n {
+            data.push(r.f32()?);
+        }
+        p.value = Tensor::from_vec(data, &shape)?;
+    }
+    if r.pos != blob.len() {
+        return Err(NnError::MalformedBlob("trailing bytes after weights"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Activation, Dense, Lstm};
+    use crate::Tensor;
+
+    fn model(seed: u64) -> Sequential {
+        let mut m = Sequential::new();
+        m.push(Lstm::new(4, 6, true, seed).unwrap());
+        m.push(Lstm::new(6, 6, false, seed + 1).unwrap());
+        m.push(Activation::relu());
+        m.push(Dense::new(6, 3, seed + 2).unwrap());
+        m
+    }
+
+    #[test]
+    fn round_trip_reproduces_outputs() {
+        let mut a = model(1);
+        let mut b = model(77); // different initialization
+        let x = Tensor::from_vec((0..8).map(|i| (i as f32).cos()).collect(), &[2, 4]).unwrap();
+        let ya = a.forward(&x, false).unwrap();
+        let blob = save_weights(&a);
+        load_weights(&mut b, &blob).unwrap();
+        let yb = b.forward(&x, false).unwrap();
+        assert_eq!(ya, yb);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut m = model(1);
+        assert!(matches!(
+            load_weights(&mut m, b"XXXX\0\0\0\0"),
+            Err(NnError::MalformedBlob(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_truncated_blob() {
+        let a = model(1);
+        let blob = save_weights(&a);
+        let mut m = model(2);
+        assert!(load_weights(&mut m, &blob[..blob.len() - 3]).is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_architecture() {
+        let a = model(1);
+        let blob = save_weights(&a);
+        let mut wrong = Sequential::new();
+        wrong.push(Dense::new(4, 3, 0).unwrap());
+        assert!(load_weights(&mut wrong, &blob).is_err());
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let a = model(1);
+        let mut blob = save_weights(&a);
+        blob.push(0);
+        let mut m = model(2);
+        assert!(matches!(
+            load_weights(&mut m, &blob),
+            Err(NnError::MalformedBlob(_))
+        ));
+    }
+
+    #[test]
+    fn empty_model_round_trips() {
+        let a = Sequential::new();
+        let blob = save_weights(&a);
+        let mut b = Sequential::new();
+        load_weights(&mut b, &blob).unwrap();
+    }
+}

@@ -1,0 +1,340 @@
+//! Minibatch training loop.
+
+use crate::model::Sequential;
+use crate::optim::Optimizer;
+use crate::{NnError, Tensor};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Configuration for [`fit`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FitConfig {
+    /// Number of full passes over the training set.
+    pub epochs: usize,
+    /// Samples per optimizer step.
+    pub batch_size: usize,
+    /// Shuffle seed (training is fully deterministic given the seed).
+    pub seed: u64,
+    /// Print a loss line per epoch to stderr.
+    pub verbose: bool,
+}
+
+impl Default for FitConfig {
+    fn default() -> Self {
+        Self {
+            epochs: 20,
+            batch_size: 16,
+            seed: 0,
+            verbose: false,
+        }
+    }
+}
+
+/// Per-epoch training history returned by [`fit`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FitHistory {
+    /// Mean training loss per epoch.
+    pub epoch_loss: Vec<f32>,
+}
+
+impl FitHistory {
+    /// Final epoch's mean loss, or `None` before any training.
+    pub fn final_loss(&self) -> Option<f32> {
+        self.epoch_loss.last().copied()
+    }
+}
+
+/// Trains `model` on `(inputs, labels)` with softmax cross-entropy.
+///
+/// Shuffles each epoch with a deterministic RNG, accumulates gradients over
+/// `batch_size` samples, and applies one averaged optimizer step per batch.
+///
+/// # Errors
+///
+/// Returns [`NnError::InvalidParameter`] when `inputs` and `labels` differ in
+/// length, the dataset is empty, or `batch_size`/`epochs` is zero; propagates
+/// model and optimizer errors.
+///
+/// # Example
+///
+/// See the crate-level example in [`crate`].
+pub fn fit(
+    model: &mut Sequential,
+    inputs: &[Tensor],
+    labels: &[usize],
+    optimizer: &mut dyn Optimizer,
+    config: &FitConfig,
+) -> Result<FitHistory, NnError> {
+    if inputs.len() != labels.len() {
+        return Err(NnError::InvalidParameter {
+            name: "inputs/labels",
+            reason: "must have the same length",
+        });
+    }
+    if inputs.is_empty() {
+        return Err(NnError::InvalidParameter {
+            name: "inputs",
+            reason: "training set is empty",
+        });
+    }
+    if config.batch_size == 0 || config.epochs == 0 {
+        return Err(NnError::InvalidParameter {
+            name: "batch_size/epochs",
+            reason: "must be non-zero",
+        });
+    }
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut order: Vec<usize> = (0..inputs.len()).collect();
+    let mut history = FitHistory::default();
+
+    for epoch in 0..config.epochs {
+        order.shuffle(&mut rng);
+        let mut epoch_loss = 0.0f64;
+        for batch in order.chunks(config.batch_size) {
+            model.zero_grad();
+            for &idx in batch {
+                epoch_loss += f64::from(model.train_step(&inputs[idx], labels[idx])?);
+            }
+            let scale = 1.0 / batch.len() as f32;
+            optimizer.step(&mut model.params_mut(), scale)?;
+        }
+        let mean = (epoch_loss / inputs.len() as f64) as f32;
+        history.epoch_loss.push(mean);
+        if config.verbose {
+            eprintln!("epoch {epoch:>3}: loss {mean:.4}");
+        }
+    }
+    Ok(history)
+}
+
+/// A held-out validation set for [`fit_with_early_stopping`].
+#[derive(Debug, Clone, Copy)]
+pub struct ValidationSet<'a> {
+    /// Validation inputs.
+    pub inputs: &'a [Tensor],
+    /// Validation labels.
+    pub labels: &'a [usize],
+}
+
+/// Trains with a held-out validation set and early stopping: training halts
+/// when validation accuracy has not improved for `patience` consecutive
+/// epochs, and the best-epoch weights are restored.
+///
+/// Returns `(history, best_validation_accuracy)`.
+///
+/// # Errors
+///
+/// Same conditions as [`fit`], plus [`NnError::InvalidParameter`] for an
+/// empty validation set or zero `patience`.
+pub fn fit_with_early_stopping(
+    model: &mut Sequential,
+    inputs: &[Tensor],
+    labels: &[usize],
+    validation: ValidationSet<'_>,
+    optimizer: &mut dyn Optimizer,
+    config: &FitConfig,
+    patience: usize,
+) -> Result<(FitHistory, f32), NnError> {
+    let (val_inputs, val_labels) = (validation.inputs, validation.labels);
+    if val_inputs.is_empty() || val_inputs.len() != val_labels.len() {
+        return Err(NnError::InvalidParameter {
+            name: "validation",
+            reason: "validation set must be non-empty and equal length",
+        });
+    }
+    if patience == 0 {
+        return Err(NnError::InvalidParameter {
+            name: "patience",
+            reason: "must be non-zero",
+        });
+    }
+
+    let mut history = FitHistory::default();
+    let mut best_accuracy = -1.0f32;
+    let mut best_weights: Vec<u8> = Vec::new();
+    let mut since_best = 0usize;
+    let per_epoch = FitConfig {
+        epochs: 1,
+        ..config.clone()
+    };
+    for epoch in 0..config.epochs {
+        // Derive a fresh shuffle seed per epoch so single-epoch calls do
+        // not repeat the same order.
+        let epoch_config = FitConfig {
+            seed: config.seed.wrapping_add(epoch as u64),
+            ..per_epoch.clone()
+        };
+        let h = fit(model, inputs, labels, optimizer, &epoch_config)?;
+        history.epoch_loss.extend(h.epoch_loss);
+
+        let accuracy = crate::metrics::accuracy(model, val_inputs, val_labels)?;
+        if accuracy > best_accuracy {
+            best_accuracy = accuracy;
+            best_weights = crate::serialize::save_weights(model);
+            since_best = 0;
+        } else {
+            since_best += 1;
+            if since_best >= patience {
+                break;
+            }
+        }
+    }
+    if !best_weights.is_empty() {
+        crate::serialize::load_weights(model, &best_weights)?;
+    }
+    Ok((history, best_accuracy))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Activation, Dense};
+    use crate::optim::{Adam, Sgd};
+
+    fn xor_data() -> (Vec<Tensor>, Vec<usize>) {
+        let pts = [
+            ([0.0f32, 0.0], 0usize),
+            ([0.0, 1.0], 1),
+            ([1.0, 0.0], 1),
+            ([1.0, 1.0], 0),
+        ];
+        let xs = pts
+            .iter()
+            .map(|(p, _)| Tensor::from_vec(p.to_vec(), &[2]).unwrap())
+            .collect();
+        let ys = pts.iter().map(|&(_, y)| y).collect();
+        (xs, ys)
+    }
+
+    fn xor_model(seed: u64) -> Sequential {
+        let mut m = Sequential::new();
+        m.push(Dense::new(2, 8, seed).unwrap());
+        m.push(Activation::tanh());
+        m.push(Dense::new(8, 2, seed + 1).unwrap());
+        m
+    }
+
+    #[test]
+    fn validates_arguments() {
+        let (xs, mut ys) = xor_data();
+        let mut m = xor_model(0);
+        let mut opt = Sgd::new(0.1, 0.0);
+        ys.pop();
+        assert!(fit(&mut m, &xs, &ys, &mut opt, &FitConfig::default()).is_err());
+        let cfg = FitConfig {
+            batch_size: 0,
+            ..FitConfig::default()
+        };
+        let (xs, ys) = xor_data();
+        assert!(fit(&mut m, &xs, &ys, &mut opt, &cfg).is_err());
+        assert!(fit(&mut m, &[], &[], &mut opt, &FitConfig::default()).is_err());
+    }
+
+    #[test]
+    fn learns_xor_with_adam() {
+        let (xs, ys) = xor_data();
+        let mut m = xor_model(5);
+        let mut opt = Adam::new(0.05);
+        let cfg = FitConfig {
+            epochs: 300,
+            batch_size: 4,
+            seed: 1,
+            verbose: false,
+        };
+        let hist = fit(&mut m, &xs, &ys, &mut opt, &cfg).unwrap();
+        assert!(hist.final_loss().unwrap() < 0.1);
+        for (x, &y) in xs.iter().zip(&ys) {
+            assert_eq!(m.predict(x).unwrap(), y);
+        }
+    }
+
+    #[test]
+    fn loss_decreases_over_training() {
+        let (xs, ys) = xor_data();
+        let mut m = xor_model(3);
+        let mut opt = Adam::new(0.02);
+        let cfg = FitConfig {
+            epochs: 100,
+            batch_size: 2,
+            seed: 2,
+            verbose: false,
+        };
+        let hist = fit(&mut m, &xs, &ys, &mut opt, &cfg).unwrap();
+        let first = hist.epoch_loss[0];
+        let last = hist.final_loss().unwrap();
+        assert!(last < first, "{first} -> {last}");
+    }
+
+    #[test]
+    fn early_stopping_validates_arguments() {
+        let (xs, ys) = xor_data();
+        let mut m = xor_model(1);
+        let mut opt = Adam::new(0.01);
+        let cfg = FitConfig::default();
+        let empty = ValidationSet { inputs: &[], labels: &[] };
+        assert!(fit_with_early_stopping(&mut m, &xs, &ys, empty, &mut opt, &cfg, 3).is_err());
+        let val = ValidationSet { inputs: &xs, labels: &ys };
+        assert!(fit_with_early_stopping(&mut m, &xs, &ys, val, &mut opt, &cfg, 0).is_err());
+    }
+
+    #[test]
+    fn early_stopping_restores_best_weights() {
+        let (xs, ys) = xor_data();
+        let mut m = xor_model(9);
+        let mut opt = Adam::new(0.05);
+        let cfg = FitConfig {
+            epochs: 200,
+            batch_size: 4,
+            seed: 2,
+            verbose: false,
+        };
+        let val = ValidationSet { inputs: &xs, labels: &ys };
+        let (history, best) =
+            fit_with_early_stopping(&mut m, &xs, &ys, val, &mut opt, &cfg, 10).unwrap();
+        // Restored model must score exactly the reported best accuracy.
+        let acc = crate::metrics::accuracy(&mut m, &xs, &ys).unwrap();
+        assert_eq!(acc, best);
+        assert!(best >= 0.75, "best {best}");
+        // Early stopping must actually stop before the epoch budget when
+        // the task saturates.
+        assert!(history.epoch_loss.len() <= 200);
+    }
+
+    #[test]
+    fn early_stopping_halts_on_plateau() {
+        // With zero learning rate nothing improves after the first epoch,
+        // so training stops after exactly 1 + patience epochs.
+        let (xs, ys) = xor_data();
+        let mut m = xor_model(3);
+        let mut opt = Sgd::new(0.0, 0.0);
+        let cfg = FitConfig {
+            epochs: 50,
+            batch_size: 4,
+            seed: 1,
+            verbose: false,
+        };
+        let val = ValidationSet { inputs: &xs, labels: &ys };
+        let (history, _) =
+            fit_with_early_stopping(&mut m, &xs, &ys, val, &mut opt, &cfg, 3).unwrap();
+        assert_eq!(history.epoch_loss.len(), 4);
+    }
+
+    #[test]
+    fn deterministic_given_seeds() {
+        let (xs, ys) = xor_data();
+        let run = || {
+            let mut m = xor_model(7);
+            let mut opt = Sgd::new(0.1, 0.9);
+            let cfg = FitConfig {
+                epochs: 10,
+                batch_size: 2,
+                seed: 3,
+                verbose: false,
+            };
+            fit(&mut m, &xs, &ys, &mut opt, &cfg).unwrap().epoch_loss
+        };
+        assert_eq!(run(), run());
+    }
+}

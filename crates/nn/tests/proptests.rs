@@ -1,0 +1,119 @@
+//! Property-based tests for the NN crate's core invariants.
+
+use nn::layers::{Activation, Conv1d, Dense, Flatten, Layer, Lstm, MaxPool1d};
+use nn::loss::{cross_entropy, softmax};
+use nn::quant::QuantizedTensor;
+use nn::serialize::{load_weights, save_weights};
+use nn::{Sequential, Tensor};
+use proptest::prelude::*;
+
+proptest! {
+    /// Softmax always produces a probability distribution.
+    #[test]
+    fn softmax_is_distribution(logits in prop::collection::vec(-20.0f32..20.0, 1..16)) {
+        let p = softmax(&logits);
+        prop_assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-4);
+        prop_assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    /// Cross-entropy loss is nonnegative and its gradient sums to zero.
+    #[test]
+    fn cross_entropy_invariants(
+        logits in prop::collection::vec(-10.0f32..10.0, 2..10),
+        label_seed in 0usize..100,
+    ) {
+        let label = label_seed % logits.len();
+        let t = Tensor::from_vec(logits.clone(), &[logits.len()]).unwrap();
+        let (loss, grad) = cross_entropy(&t, label).unwrap();
+        prop_assert!(loss >= 0.0);
+        prop_assert!(grad.data().iter().sum::<f32>().abs() < 1e-4);
+        // Gradient of the true class is always negative (push it up).
+        prop_assert!(grad.data()[label] <= 0.0);
+    }
+
+    /// int8 quantization error is bounded by half the scale, elementwise.
+    #[test]
+    fn quantization_error_bounded(values in prop::collection::vec(-100.0f32..100.0, 1..256)) {
+        let t = Tensor::from_vec(values, &[1]).unwrap_or_else(|_| Tensor::zeros(&[1]).unwrap());
+        // Build with the real length.
+        let t = Tensor::from_vec(t.data().to_vec(), &[t.len()]).unwrap();
+        let q = QuantizedTensor::quantize(&t);
+        prop_assert!(q.max_error(&t).unwrap() <= q.scale() / 2.0 + 1e-5);
+    }
+
+    /// Dense forward is linear: f(ax) - f(0) == a (f(x) - f(0)).
+    #[test]
+    fn dense_is_affine(scale in -3.0f32..3.0, seed in 0u64..50) {
+        let mut l = Dense::new(4, 3, seed).unwrap();
+        let x = Tensor::from_vec(vec![0.3, -0.2, 0.9, 0.5], &[4]).unwrap();
+        let zero = Tensor::zeros(&[4]).unwrap();
+        let fx = l.forward(&x, false).unwrap();
+        let f0 = l.forward(&zero, false).unwrap();
+        let mut sx = x.clone();
+        sx.scale(scale);
+        let fsx = l.forward(&sx, false).unwrap();
+        for i in 0..3 {
+            let lhs = fsx.data()[i] - f0.data()[i];
+            let rhs = scale * (fx.data()[i] - f0.data()[i]);
+            prop_assert!((lhs - rhs).abs() < 1e-3 * (1.0 + rhs.abs()));
+        }
+    }
+
+    /// Serialization round-trips bit-for-bit for arbitrary architectures.
+    #[test]
+    fn serialize_round_trip(seed in 0u64..64, hidden in 1usize..8) {
+        let build = |s: u64| {
+            let mut m = Sequential::new();
+            m.push(Lstm::new(3, hidden, false, s).unwrap());
+            m.push(Dense::new(hidden, 2, s + 1).unwrap());
+            m
+        };
+        let mut a = build(seed);
+        let mut b = build(seed + 1000);
+        let x = Tensor::from_vec(vec![0.1, 0.2, 0.3, -0.1, -0.2, -0.3], &[2, 3]).unwrap();
+        let blob = save_weights(&a);
+        load_weights(&mut b, &blob).unwrap();
+        prop_assert_eq!(a.forward(&x, false).unwrap(), b.forward(&x, false).unwrap());
+    }
+
+    /// Corrupting any byte of the header is detected.
+    #[test]
+    fn serialize_detects_header_corruption(byte in 0usize..12) {
+        let mut m = Sequential::new();
+        m.push(Dense::new(2, 2, 1).unwrap());
+        let mut blob = save_weights(&m);
+        blob[byte] ^= 0xA5;
+        let mut target = Sequential::new();
+        target.push(Dense::new(2, 2, 2).unwrap());
+        // Either a malformed-blob error or (for the count field colliding)
+        // a shape mismatch — never a silent success.
+        prop_assert!(load_weights(&mut target, &blob).is_err());
+    }
+
+    /// A CNN stack maps shapes consistently for any valid input length.
+    #[test]
+    fn cnn_shape_algebra(t_in in 8usize..64) {
+        let mut conv = Conv1d::new(2, 3, 3, 1).unwrap();
+        let mut pool = MaxPool1d::new(2).unwrap();
+        let mut flat = Flatten::new();
+        let x = Tensor::zeros(&[2, t_in]).unwrap();
+        let y = conv.forward(&x, false).unwrap();
+        prop_assert_eq!(y.shape(), &[3, t_in - 2]);
+        let p = pool.forward(&y, false).unwrap();
+        prop_assert_eq!(p.shape(), &[3, (t_in - 2) / 2]);
+        let f = flat.forward(&p, false).unwrap();
+        prop_assert_eq!(f.len(), 3 * ((t_in - 2) / 2));
+    }
+
+    /// ReLU output is nonnegative and idempotent.
+    #[test]
+    fn relu_idempotent(values in prop::collection::vec(-5.0f32..5.0, 1..64)) {
+        let n = values.len();
+        let mut relu = Activation::relu();
+        let x = Tensor::from_vec(values, &[n]).unwrap();
+        let once = relu.forward(&x, false).unwrap();
+        prop_assert!(once.data().iter().all(|&v| v >= 0.0));
+        let twice = relu.forward(&once, false).unwrap();
+        prop_assert_eq!(once, twice);
+    }
+}

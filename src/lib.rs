@@ -1,0 +1,58 @@
+//! `affectsys` — a Rust reproduction of *"Human Emotion Based Real-time
+//! Memory and Computation Management on Resource-Limited Edge Devices"*
+//! (Wei, Zhong, Gu — DAC 2022).
+//!
+//! The paper closes the loop between affective computing and low-level
+//! system management on edge devices: a wearable streams biosignals, a
+//! phone-side classifier derives the user's emotion in real time, and that
+//! emotion drives (1) the power mode of an H.264/AVC video decoder and
+//! (2) the background-kill policy of an Android-like app manager.
+//!
+//! This crate is a facade re-exporting the whole workspace:
+//!
+//! | module | crate | role |
+//! |---|---|---|
+//! | [`core`](mod@core) | `affect-core` | emotion model, classifiers, policies, controller |
+//! | [`dsp`] | `dsp` | FFT / MFCC / pitch / spectral features |
+//! | [`nn`] | `nn` | from-scratch NN library with int8 quantization |
+//! | [`biosignal`] | `biosignal` | synthetic SC/PPG/ECG/IMU/voice generators |
+//! | [`datasets`] | `datasets` | RAVDESS/EMOVO/CREMA-D-like corpora |
+//! | [`h264`] | `h264` | the affect-adaptive video decoder |
+//! | [`mobile`] | `mobile-sim` | the Android-like app/memory simulator |
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-versus-measured record of every figure.
+//!
+//! # Quickstart
+//!
+//! Classify a synthetic voice window and let the controller pick a decoder
+//! mode:
+//!
+//! ```
+//! use affectsys::core::controller::SystemController;
+//! use affectsys::core::emotion::Emotion;
+//! use affectsys::core::policy::PolicyTable;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut controller = SystemController::new(PolicyTable::paper_defaults(), 1);
+//! let events = controller.observe_emotion(Emotion::Happy)?;
+//! assert!(!events.is_empty());
+//! println!("video mode now: {:?}", controller.video_mode());
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! The runnable examples cover the paper's case studies end to end:
+//! `cargo run --release --example quickstart`, `video_playback`,
+//! `app_management`, `classifier_study`.
+
+/// The paper's core contribution: emotion model, classifiers, policies and
+/// the system controller (`affect-core`).
+pub use affect_core as core;
+pub use biosignal;
+pub use datasets;
+pub use dsp;
+pub use h264;
+/// The Android-like mobile OS simulator (`mobile-sim`).
+pub use mobile_sim as mobile;
+pub use nn;

@@ -1,0 +1,118 @@
+//! Integration: encode → adaptively decode → measure, across `h264` and
+//! `affect-core`.
+
+use affectsys::core::policy::VideoPowerMode;
+use affectsys::h264::adaptive::{options_for_mode, paper_reference, ModeProfile};
+use affectsys::h264::buffers::SelectorParams;
+use affectsys::h264::decoder::{Decoder, DecoderOptions};
+use affectsys::h264::encoder::{Encoder, EncoderConfig, GopPattern};
+use affectsys::h264::quality::mean_psnr;
+use affectsys::h264::video::synthetic_clip;
+
+#[test]
+fn all_four_modes_decode_the_reference_stream() {
+    let (frames, stream) = paper_reference(9).unwrap();
+    for mode in VideoPowerMode::ALL {
+        let mut decoder = Decoder::new(options_for_mode(mode));
+        let out = decoder.decode(&stream).unwrap();
+        assert_eq!(out.frames.len(), frames.len(), "{mode}");
+        let psnr = mean_psnr(&frames, &out.frames).unwrap();
+        assert!(psnr > 25.0, "{mode}: psnr {psnr}");
+    }
+}
+
+#[test]
+fn quality_ordering_follows_modes() {
+    let (frames, stream) = paper_reference(9).unwrap();
+    let profile = ModeProfile::measure(&stream, &frames).unwrap();
+    let standard = profile.reports[0].psnr_db;
+    // No power-saving mode may beat standard quality (small numeric slack
+    // for concealment interactions).
+    for report in &profile.reports[1..] {
+        assert!(
+            report.psnr_db <= standard + 0.3,
+            "{}: {} vs standard {}",
+            report.mode,
+            report.psnr_db,
+            standard
+        );
+    }
+}
+
+#[test]
+fn power_ordering_follows_modes() {
+    let (frames, stream) = paper_reference(9).unwrap();
+    let profile = ModeProfile::measure(&stream, &frames).unwrap();
+    let powers: Vec<f64> = profile.normalized_power().iter().map(|&(_, p)| p).collect();
+    assert!(powers[0] > powers[1], "standard > deletion");
+    assert!(powers[1] > powers[2], "deletion > deblock-off");
+    assert!(powers[2] > powers[3], "deblock-off > combined");
+}
+
+#[test]
+fn aggressive_deletion_degrades_quality_more() {
+    let frames = synthetic_clip(64, 64, 16, 4).unwrap();
+    let encoder = Encoder::new(EncoderConfig {
+        qp: 30,
+        gop: GopPattern {
+            intra_period: 8,
+            b_between: 1,
+        },
+        ..EncoderConfig::default()
+    })
+    .unwrap();
+    let stream = encoder.encode(&frames).unwrap();
+
+    let decode_with = |s_th: usize| {
+        let mut decoder = Decoder::new(DecoderOptions {
+            deblock: true,
+            selector: Some(SelectorParams::new(s_th, 1).unwrap()),
+        });
+        let out = decoder.decode(&stream).unwrap();
+        (
+            out.selection.deleted_units,
+            mean_psnr(&frames, &out.frames).unwrap(),
+        )
+    };
+    let (deleted_mild, psnr_mild) = decode_with(140);
+    let (deleted_all, psnr_all) = decode_with(100_000);
+    assert!(deleted_all > deleted_mild);
+    assert!(
+        psnr_mild >= psnr_all,
+        "mild {psnr_mild} vs aggressive {psnr_all}"
+    );
+    // Deleting every P/B unit leaves only I frames: quality must suffer
+    // visibly on moving content.
+    assert!(psnr_all < psnr_mild + 0.001 && psnr_all < 40.0);
+}
+
+#[test]
+fn deletion_frequency_halves_the_deletions() {
+    let (_, stream) = paper_reference(9).unwrap();
+    let run = |f: u32| {
+        let mut decoder = Decoder::new(DecoderOptions {
+            deblock: true,
+            selector: Some(SelectorParams::new(100_000, f).unwrap()),
+        });
+        decoder.decode(&stream).unwrap().selection.deleted_units
+    };
+    let all = run(1);
+    let half = run(2);
+    assert!(half <= all.div_ceil(2) + 1, "{half} vs {all}");
+    assert!(half >= all / 4, "{half} vs {all}");
+}
+
+#[test]
+fn bitstream_survives_reencoding_different_content() {
+    // Two different clips through the same encoder/decoder pair.
+    for seed in [1u64, 2, 3] {
+        let frames = synthetic_clip(32, 32, 6, seed).unwrap();
+        let encoder = Encoder::new(EncoderConfig::default()).unwrap();
+        let stream = encoder.encode(&frames).unwrap();
+        let out = Decoder::new(DecoderOptions::default())
+            .decode(&stream)
+            .unwrap();
+        let psnr = mean_psnr(&frames, &out.frames).unwrap();
+        assert!(psnr > 28.0, "seed {seed}: {psnr}");
+    }
+}

@@ -1,0 +1,119 @@
+//! Integration: the full sensing → features → classifier → controller loop
+//! across `biosignal`, `dsp`/`affect-core`, `nn` and `datasets`.
+
+use affectsys::core::classifier::{AffectClassifier, ModelConfig};
+use affectsys::core::controller::{ControlEvent, SystemController};
+use affectsys::core::emotion::Emotion;
+use affectsys::core::pipeline::{FeatureConfig, FeaturePipeline};
+use affectsys::core::policy::{PolicyTable, VideoPowerMode};
+use affectsys::datasets::features::normalize_features_in_place;
+use affectsys::datasets::{extract_dataset, Corpus, CorpusSpec, FeatureLayout};
+use affectsys::nn::optim::Adam;
+use affectsys::nn::train::{fit, FitConfig};
+
+fn pipeline_for(spec: &CorpusSpec) -> FeaturePipeline {
+    FeaturePipeline::new(FeatureConfig {
+        sample_rate: spec.sample_rate,
+        frame_len: 256,
+        hop: 128,
+        ..FeatureConfig::default()
+    })
+    .expect("valid pipeline config")
+}
+
+/// Train on a tiny corpus and verify the classifier beats chance on its
+/// own training data (the integration sanity bar; generalization is
+/// covered by the bench harness).
+#[test]
+fn synthetic_voice_trains_a_working_classifier() {
+    let spec = CorpusSpec::emovo_like().with_actors(2).with_utterances(2);
+    let corpus = Corpus::generate(&spec, 11).unwrap();
+    let pipeline = pipeline_for(&spec);
+    let (mut xs, ys) = extract_dataset(&corpus, &pipeline, FeatureLayout::Flattened).unwrap();
+    normalize_features_in_place(&mut xs, pipeline.features_per_frame()).unwrap();
+
+    let config = ModelConfig::scaled_mlp(xs[0].len(), spec.emotions.len());
+    let mut clf = AffectClassifier::from_config(&config, spec.label_names(), 11).unwrap();
+    let mut opt = Adam::new(0.01);
+    fit(
+        clf.model_mut(),
+        &xs,
+        &ys,
+        &mut opt,
+        &FitConfig {
+            epochs: 10,
+            batch_size: 8,
+            seed: 11,
+            verbose: false,
+        },
+    )
+    .unwrap();
+
+    let correct = xs
+        .iter()
+        .zip(&ys)
+        .filter(|(x, &y)| clf.classify(x).unwrap().class == y)
+        .count();
+    let accuracy = correct as f32 / xs.len() as f32;
+    assert!(
+        accuracy > 2.0 / spec.emotions.len() as f32,
+        "training accuracy {accuracy} not above chance"
+    );
+}
+
+/// Classifier decisions drive the controller, which issues modes from the
+/// policy table.
+#[test]
+fn classified_emotions_translate_to_video_modes() {
+    let mut controller = SystemController::new(PolicyTable::paper_defaults(), 1);
+    // An angry stream must command standard quality.
+    let events = controller.observe_emotion(Emotion::Angry).unwrap();
+    assert!(events.contains(&ControlEvent::VideoMode(VideoPowerMode::Standard)));
+    // Calm trades quality for power.
+    let events = controller.observe_emotion(Emotion::Calm).unwrap();
+    assert!(events.contains(&ControlEvent::VideoMode(VideoPowerMode::Combined)));
+}
+
+/// The biosignal arousal cue survives the DSP path: high-arousal skin
+/// conductance windows measurably differ from calm ones in the extracted
+/// statistics.
+#[test]
+fn sc_arousal_is_recoverable_from_features() {
+    use affectsys::biosignal::sc::{ScConfig, ScGenerator};
+    let generator = ScGenerator::new(ScConfig::default()).unwrap();
+    let calm = generator.generate(0.05, 300.0, 5).unwrap();
+    let excited = generator.generate(0.95, 300.0, 5).unwrap();
+    let mean = |xs: &[f32]| xs.iter().sum::<f32>() / xs.len() as f32;
+    let m_calm = mean(&calm.samples);
+    let m_excited = mean(&excited.samples);
+    assert!(
+        m_excited > m_calm * 1.2,
+        "excited {m_excited} vs calm {m_calm}"
+    );
+}
+
+/// The uulmMAC-like session's labelled states reach the controller and the
+/// mode sequence matches the paper's Fig. 6 narrative.
+#[test]
+fn session_replay_produces_paper_mode_sequence() {
+    use affectsys::biosignal::UulmmacSession;
+    let session = UulmmacSession::paper_fig6(3).unwrap();
+    let mut controller = SystemController::new(PolicyTable::paper_defaults(), 1);
+    let mut modes = Vec::new();
+    for (_, state) in session.state_stream(1.0) {
+        for event in controller.observe_state(state).unwrap() {
+            if let ControlEvent::VideoMode(mode) = event {
+                modes.push(mode);
+            }
+        }
+    }
+    assert_eq!(
+        modes,
+        vec![
+            VideoPowerMode::Combined,    // distracted
+            VideoPowerMode::NalDeletion, // concentrated
+            VideoPowerMode::Standard,    // tense
+            VideoPowerMode::DeblockOff,  // relaxed
+        ]
+    );
+}

@@ -1,0 +1,139 @@
+//! Integration: the emotion-driven app manager against baselines on
+//! emotion-correlated workloads, across `mobile-sim` and `affect-core`.
+
+use affectsys::core::emotion::Emotion;
+use affectsys::mobile::device::DeviceConfig;
+use affectsys::mobile::manager::PolicyKind;
+use affectsys::mobile::monkey::MonkeyScript;
+use affectsys::mobile::sim::{compare_policies, Simulator};
+use affectsys::mobile::subjects::SubjectProfile;
+use affectsys::mobile::trace::TraceEvent;
+
+#[test]
+fn emotion_manager_dominates_fifo_on_correlated_workloads() {
+    let device = DeviceConfig::paper_emulator();
+    let subject = SubjectProfile::subject3();
+    let mut wins = 0usize;
+    let seeds = [1u64, 2, 3, 4, 5];
+    for &seed in &seeds {
+        let workload = MonkeyScript::new(&subject, seed)
+            .paper_fig9()
+            .build(&device)
+            .unwrap();
+        let report =
+            compare_policies(&device, &subject, &workload, PolicyKind::Fifo, 0.05).unwrap();
+        if report.emotion.cold_starts < report.baseline.cold_starts {
+            wins += 1;
+        }
+        assert!(
+            report.emotion.cold_starts <= report.baseline.cold_starts + 1,
+            "seed {seed}: emotion manager must not lose badly"
+        );
+    }
+    assert!(wins >= 4, "emotion manager won only {wins}/5 seeds");
+}
+
+#[test]
+fn process_limit_never_exceeded_after_enforcement() {
+    let device = DeviceConfig::paper_emulator();
+    let subject = SubjectProfile::subject1();
+    let workload = MonkeyScript::new(&subject, 7)
+        .segment(Emotion::Neutral, 1200.0, 120)
+        .build(&device)
+        .unwrap();
+    for kind in [PolicyKind::Fifo, PolicyKind::Lru, PolicyKind::Emotion] {
+        let mut sim =
+            Simulator::with_subject(device.clone(), kind, &subject, 0.05).unwrap();
+        let metrics = sim.run(&workload).unwrap();
+        // Replay the trace and track the resident set size.
+        let mut alive = std::collections::BTreeSet::new();
+        let mut max_alive = 0usize;
+        for event in &metrics.trace {
+            match event {
+                TraceEvent::Launch { app_id, .. } => {
+                    alive.insert(*app_id);
+                }
+                TraceEvent::Kill { app_id, .. } => {
+                    alive.remove(app_id);
+                }
+                TraceEvent::EmotionChange { .. } => {}
+            }
+            max_alive = max_alive.max(alive.len());
+        }
+        // Transiently one over (the just-launched app) is permitted; the
+        // enforced bound is limit + protected overshoot.
+        assert!(
+            max_alive <= device.process_limit + 1,
+            "{kind}: resident set peaked at {max_alive}"
+        );
+    }
+}
+
+#[test]
+fn most_used_app_survives_both_policies() {
+    // The paper's Fig. 9 calls out that Android Messages is never killed.
+    let device = DeviceConfig::paper_emulator();
+    let subject = SubjectProfile::subject3();
+    let workload = MonkeyScript::new(&subject, 9)
+        .paper_fig9()
+        .build(&device)
+        .unwrap();
+    // Find the most-launched app in the workload.
+    let mut counts = std::collections::BTreeMap::new();
+    for e in &workload.events {
+        *counts.entry(e.app_id).or_insert(0u32) += 1;
+    }
+    let (&top_app, _) = counts.iter().max_by_key(|&(_, c)| *c).unwrap();
+
+    for kind in [PolicyKind::Fifo, PolicyKind::Emotion] {
+        let mut sim = Simulator::with_subject(device.clone(), kind, &subject, 0.05).unwrap();
+        let metrics = sim.run(&workload).unwrap();
+        let timeline = metrics.timeline();
+        // Once the app becomes clearly most-used it is protected; allow
+        // early kills before its count dominates.
+        assert!(
+            timeline.death_count(top_app) <= 2,
+            "{kind}: top app died {} times",
+            timeline.death_count(top_app)
+        );
+    }
+}
+
+#[test]
+fn emotion_change_shifts_kill_preferences() {
+    // After switching from excited to calm, the emotion manager should be
+    // measurably less protective of high-arousal apps.
+    let device = DeviceConfig::paper_emulator();
+    let subject = SubjectProfile::subject3();
+    let workload = MonkeyScript::new(&subject, 12)
+        .segment(Emotion::Happy, 600.0, 50)
+        .segment(Emotion::Calm, 600.0, 50)
+        .build(&device)
+        .unwrap();
+    let mut sim =
+        Simulator::with_subject(device.clone(), PolicyKind::Emotion, &subject, 0.05).unwrap();
+    let metrics = sim.run(&workload).unwrap();
+    // Kills of calling/transport apps should concentrate in the calm half.
+    let arousal_categories = [
+        affectsys::mobile::app::AppCategory::Calling,
+        affectsys::mobile::app::AppCategory::SharedTransport,
+    ];
+    let mut happy_kills = 0usize;
+    let mut calm_kills = 0usize;
+    for event in &metrics.trace {
+        if let TraceEvent::Kill { time_s, app_id } = event {
+            let category = device.app(*app_id).unwrap().category;
+            if arousal_categories.contains(&category) {
+                if *time_s < 600.0 {
+                    happy_kills += 1;
+                } else {
+                    calm_kills += 1;
+                }
+            }
+        }
+    }
+    assert!(
+        calm_kills >= happy_kills,
+        "high-arousal apps killed more while excited ({happy_kills}) than calm ({calm_kills})"
+    );
+}
