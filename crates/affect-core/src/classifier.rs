@@ -33,8 +33,11 @@ pub enum ClassifierKind {
 
 impl ClassifierKind {
     /// All kinds, in the paper's presentation order.
-    pub const ALL: [ClassifierKind; 3] =
-        [ClassifierKind::Mlp, ClassifierKind::Cnn, ClassifierKind::Lstm];
+    pub const ALL: [ClassifierKind; 3] = [
+        ClassifierKind::Mlp,
+        ClassifierKind::Cnn,
+        ClassifierKind::Lstm,
+    ];
 
     /// The paper's display name.
     pub fn name(self) -> &'static str {
@@ -42,6 +45,27 @@ impl ClassifierKind {
             ClassifierKind::Mlp => "NN",
             ClassifierKind::Cnn => "CNN",
             ClassifierKind::Lstm => "LSTM",
+        }
+    }
+
+    /// The next-cheaper family on the paper's accuracy/latency frontier
+    /// (LSTM → CNN → MLP), or `None` when already at the cheapest. The
+    /// real-time runtime walks this ladder under sustained deadline misses.
+    pub fn fallback(self) -> Option<ClassifierKind> {
+        match self {
+            ClassifierKind::Lstm => Some(ClassifierKind::Cnn),
+            ClassifierKind::Cnn => Some(ClassifierKind::Mlp),
+            ClassifierKind::Mlp => None,
+        }
+    }
+
+    /// The next-richer family (MLP → CNN → LSTM), or `None` at the top.
+    /// Inverse of [`ClassifierKind::fallback`].
+    pub fn upgrade(self) -> Option<ClassifierKind> {
+        match self {
+            ClassifierKind::Mlp => Some(ClassifierKind::Cnn),
+            ClassifierKind::Cnn => Some(ClassifierKind::Lstm),
+            ClassifierKind::Lstm => None,
         }
     }
 }
@@ -277,10 +301,7 @@ impl ModelConfig {
                     model.push(Dense::new(prev, h, seed.wrapping_add(i as u64 * 7 + 1))?);
                     model.push(Activation::relu());
                     if *dropout > 0.0 {
-                        model.push(Dropout::new(
-                            *dropout,
-                            seed.wrapping_add(i as u64 * 7 + 2),
-                        )?);
+                        model.push(Dropout::new(*dropout, seed.wrapping_add(i as u64 * 7 + 2))?);
                     }
                     prev = h;
                 }
@@ -439,6 +460,14 @@ impl AffectClassifier {
         self.kind
     }
 
+    /// The classifier family (alias of [`AffectClassifier::kind`]): the
+    /// cheap accessor the real-time runtime consults when deciding
+    /// degradation fallbacks, named to match the paper's "model family"
+    /// terminology.
+    pub fn family(&self) -> ClassifierKind {
+        self.kind
+    }
+
     /// The class label names, indexed by class id.
     pub fn labels(&self) -> &[String] {
         &self.labels
@@ -578,12 +607,9 @@ mod tests {
     #[test]
     fn decision_confidence_is_max_probability() {
         let cfg = ModelConfig::scaled_mlp(4, 3);
-        let mut clf = AffectClassifier::from_config(
-            &cfg,
-            vec!["a".into(), "b".into(), "c".into()],
-            7,
-        )
-        .unwrap();
+        let mut clf =
+            AffectClassifier::from_config(&cfg, vec!["a".into(), "b".into(), "c".into()], 7)
+                .unwrap();
         let d = clf.classify(&Tensor::zeros(&[4]).unwrap()).unwrap();
         let max = d.probabilities.iter().cloned().fold(0.0f32, f32::max);
         assert_eq!(d.confidence, max);
@@ -612,5 +638,32 @@ mod tests {
         assert_eq!(ClassifierKind::Mlp.to_string(), "NN");
         assert_eq!(ClassifierKind::Cnn.to_string(), "CNN");
         assert_eq!(ClassifierKind::Lstm.to_string(), "LSTM");
+    }
+
+    #[test]
+    fn fallback_ladder_descends_to_mlp() {
+        assert_eq!(ClassifierKind::Lstm.fallback(), Some(ClassifierKind::Cnn));
+        assert_eq!(ClassifierKind::Cnn.fallback(), Some(ClassifierKind::Mlp));
+        assert_eq!(ClassifierKind::Mlp.fallback(), None);
+    }
+
+    #[test]
+    fn upgrade_is_inverse_of_fallback() {
+        for kind in ClassifierKind::ALL {
+            if let Some(down) = kind.fallback() {
+                assert_eq!(down.upgrade(), Some(kind));
+            }
+            if let Some(up) = kind.upgrade() {
+                assert_eq!(up.fallback(), Some(kind));
+            }
+        }
+    }
+
+    #[test]
+    fn family_matches_kind() {
+        let cfg = ModelConfig::scaled_mlp(4, 2);
+        let clf = AffectClassifier::from_config(&cfg, vec!["a".into(), "b".into()], 0).unwrap();
+        assert_eq!(clf.family(), clf.kind());
+        assert_eq!(clf.family(), ClassifierKind::Mlp);
     }
 }

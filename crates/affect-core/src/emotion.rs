@@ -286,16 +286,14 @@ mod tests {
     #[test]
     fn quality_demand_ordering_matches_paper() {
         assert!(
-            CognitiveState::Distracted.quality_demand()
-                < CognitiveState::Relaxed.quality_demand()
+            CognitiveState::Distracted.quality_demand() < CognitiveState::Relaxed.quality_demand()
         );
         assert!(
             CognitiveState::Relaxed.quality_demand()
                 < CognitiveState::Concentrated.quality_demand()
         );
         assert!(
-            CognitiveState::Concentrated.quality_demand()
-                < CognitiveState::Tense.quality_demand()
+            CognitiveState::Concentrated.quality_demand() < CognitiveState::Tense.quality_demand()
         );
     }
 

@@ -10,7 +10,9 @@
 //! * a flat statistics vector (mean/std/min/max per feature) for the MLP.
 
 use crate::AffectError;
-use dsp::{pitch_autocorrelation, rms, spectral_magnitude, zero_crossing_rate, Frames, MfccExtractor};
+use dsp::{
+    pitch_autocorrelation, rms, spectral_magnitude, zero_crossing_rate, Frames, MfccExtractor,
+};
 use nn::Tensor;
 
 /// Configuration of the feature front end.
@@ -271,11 +273,7 @@ pub fn biosignal_window_features(window: &[f32]) -> Result<Tensor, AffectError> 
     }
     let slope = if den > 0.0 { num / den } else { 0.0 };
 
-    let mean_abs_delta = window
-        .windows(2)
-        .map(|w| (w[1] - w[0]).abs())
-        .sum::<f32>()
-        / (n - 1.0);
+    let mean_abs_delta = window.windows(2).map(|w| (w[1] - w[0]).abs()).sum::<f32>() / (n - 1.0);
 
     let mid = (min + max) / 2.0;
     let upper_fraction = window.iter().filter(|&&x| x > mid).count() as f32 / n;

@@ -1,0 +1,77 @@
+//! `affect-rt`: a real-time multi-session streaming runtime for the
+//! closed affect loop of the `affectsys` reproduction (DAC 2022).
+//!
+//! The offline crates classify one window at a time; the paper's system
+//! runs *continuously* on a phone: biosignal windows arrive every second
+//! per wearer, the classifier must keep up, and when it cannot, the system
+//! degrades gracefully instead of falling behind. This crate is that
+//! missing runtime layer:
+//!
+//! - **Staged pipeline** — ingest → feature-extract → classify →
+//!   smooth/control → actuate, each stage on its own worker thread(s)
+//!   behind a bounded queue with an explicit overflow policy
+//!   ([`OverflowPolicy::Block`] / [`OverflowPolicy::DropOldest`] /
+//!   [`OverflowPolicy::DropNewest`]).
+//! - **Session multiplexing** — N independent wearers share one classifier
+//!   worker pool; per-session state (controller smoothing, degradation
+//!   level, statistics) stays isolated.
+//! - **Deadline tracking** — every window carries its arrival timestamp;
+//!   end-to-end latency is recorded against a configurable budget (the
+//!   paper's ~1 s decision cadence) and misses are counted per session.
+//! - **Graceful degradation** — sustained misses drop the session one
+//!   model family down the paper's accuracy/latency ladder (LSTM → CNN →
+//!   MLP) and widen its decision interval; sustained on-time windows climb
+//!   back up.
+//! - **Honest accounting** — `produced == processed + dropped` per
+//!   session, always: load shedding is explicit, never silent.
+//!
+//! Everything is built on `std::thread` + mutex/condvar rings; the crate
+//! adds no dependencies beyond the workspace's own crates.
+//!
+//! # Example
+//!
+//! ```
+//! use affect_rt::{
+//!     CollectActuator, OverflowPolicy, RuntimeBuilder, RuntimeConfig, StageConfig,
+//! };
+//! use affect_core::pipeline::FeatureConfig;
+//!
+//! # fn main() -> Result<(), affect_core::AffectError> {
+//! let config = RuntimeConfig {
+//!     feature: FeatureConfig {
+//!         frame_len: 256,
+//!         hop: 128,
+//!         n_mfcc: 8,
+//!         n_mels: 20,
+//!         ..FeatureConfig::default()
+//!     },
+//!     window_samples: 1024,
+//!     ingest: StageConfig::new(4, OverflowPolicy::DropOldest),
+//!     ..RuntimeConfig::default()
+//! };
+//! let mut builder = RuntimeBuilder::new(config)?;
+//! let session = builder.add_session(Box::new(CollectActuator::default()));
+//! let runtime = builder.start()?;
+//! runtime.submit(session, vec![0.25; 1024]);
+//! runtime.wait_idle();
+//! let outcome = runtime.shutdown();
+//! let report = &outcome.report.sessions[session.index()];
+//! assert!(report.accounted());
+//! assert_eq!(report.produced, 1);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod actuator;
+pub mod clock;
+pub mod ring;
+pub mod runtime;
+pub mod stats;
+
+pub use actuator::{Actuator, AppActuator, CollectActuator, NullActuator, VideoActuator};
+pub use clock::{Clock, SystemClock, VirtualClock};
+pub use ring::{OverflowPolicy, PushOutcome, Ring, RingStats};
+pub use runtime::{
+    Runtime, RuntimeBuilder, RuntimeConfig, SessionId, ShutdownOutcome, StageConfig,
+};
+pub use stats::{LatencySummary, RuntimeReport, SessionReport, StageReport};

@@ -1,0 +1,264 @@
+//! A bounded MPMC ring with explicit overflow policy.
+//!
+//! `std::sync::mpsc::sync_channel` only offers block-on-full semantics;
+//! a streaming pipeline also needs load-shedding queues (drop the oldest
+//! window and keep the freshest, or refuse the newcomer). This ring is a
+//! `Mutex<VecDeque>` + two `Condvar`s — deliberately simple, std-only, and
+//! honest about what it drops: every shed message is *returned to the
+//! producer* so its session's accounting can record the loss. Nothing
+//! vanishes silently.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// What a full ring does with an incoming message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OverflowPolicy {
+    /// Block the producer until a consumer makes room (lossless
+    /// backpressure; propagates stall upstream).
+    Block,
+    /// Evict the oldest queued message to admit the new one (bounded
+    /// staleness; the freshest data always gets through).
+    DropOldest,
+    /// Refuse the new message and keep the queue as-is (bounded effort;
+    /// in-flight work is never wasted).
+    DropNewest,
+}
+
+/// Outcome of a [`Ring::push`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushOutcome<T> {
+    /// The message was queued (after blocking, under [`OverflowPolicy::Block`]).
+    Stored,
+    /// The message was queued; the returned oldest message was evicted to
+    /// make room ([`OverflowPolicy::DropOldest`]).
+    Evicted(T),
+    /// The ring was full and the message was refused
+    /// ([`OverflowPolicy::DropNewest`]).
+    Rejected(T),
+    /// The ring is closed; the message was refused.
+    Closed(T),
+}
+
+/// Counters a ring keeps about itself, snapshot via [`Ring::snapshot`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RingStats {
+    /// Messages accepted into the queue.
+    pub pushed: u64,
+    /// Messages handed to consumers.
+    pub popped: u64,
+    /// Messages shed (evicted or rejected) by overflow policy.
+    pub shed: u64,
+    /// Deepest the queue has ever been.
+    pub depth_high_water: usize,
+}
+
+struct State<T> {
+    queue: VecDeque<T>,
+    stats: RingStats,
+    closed: bool,
+}
+
+/// Bounded multi-producer multi-consumer queue with a per-ring
+/// [`OverflowPolicy`].
+pub struct Ring<T> {
+    state: Mutex<State<T>>,
+    /// Signalled when the queue gains a message or closes.
+    readable: Condvar,
+    /// Signalled when the queue loses a message or closes (Block producers).
+    writable: Condvar,
+    capacity: usize,
+    policy: OverflowPolicy,
+}
+
+impl<T> Ring<T> {
+    /// Creates a ring holding at most `capacity` messages (min 1).
+    pub fn new(capacity: usize, policy: OverflowPolicy) -> Self {
+        Self {
+            state: Mutex::new(State {
+                queue: VecDeque::with_capacity(capacity.max(1)),
+                stats: RingStats::default(),
+                closed: false,
+            }),
+            readable: Condvar::new(),
+            writable: Condvar::new(),
+            capacity: capacity.max(1),
+            policy,
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The configured overflow policy.
+    pub fn policy(&self) -> OverflowPolicy {
+        self.policy
+    }
+
+    /// Offers a message, applying the overflow policy when full.
+    ///
+    /// Under [`OverflowPolicy::Block`] this parks the caller until space
+    /// frees up (or the ring closes); the other policies never block.
+    pub fn push(&self, msg: T) -> PushOutcome<T> {
+        let mut state = self.state.lock().expect("ring lock poisoned");
+        if state.closed {
+            return PushOutcome::Closed(msg);
+        }
+        let mut outcome = PushOutcome::Stored;
+        if state.queue.len() >= self.capacity {
+            match self.policy {
+                OverflowPolicy::Block => {
+                    while state.queue.len() >= self.capacity && !state.closed {
+                        state = self.writable.wait(state).expect("ring lock poisoned");
+                    }
+                    if state.closed {
+                        return PushOutcome::Closed(msg);
+                    }
+                }
+                OverflowPolicy::DropOldest => {
+                    let evicted = state.queue.pop_front().expect("full queue has a front");
+                    state.stats.shed += 1;
+                    outcome = PushOutcome::Evicted(evicted);
+                }
+                OverflowPolicy::DropNewest => {
+                    state.stats.shed += 1;
+                    return PushOutcome::Rejected(msg);
+                }
+            }
+        }
+        state.queue.push_back(msg);
+        state.stats.pushed += 1;
+        state.stats.depth_high_water = state.stats.depth_high_water.max(state.queue.len());
+        drop(state);
+        self.readable.notify_one();
+        outcome
+    }
+
+    /// Takes the oldest message, blocking while the ring is empty and open.
+    /// Returns `None` once the ring is closed *and* drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("ring lock poisoned");
+        loop {
+            if let Some(msg) = state.queue.pop_front() {
+                state.stats.popped += 1;
+                drop(state);
+                self.writable.notify_one();
+                return Some(msg);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.readable.wait(state).expect("ring lock poisoned");
+        }
+    }
+
+    /// Closes the ring: producers are refused from now on, consumers drain
+    /// what is queued and then see `None`.
+    pub fn close(&self) {
+        let mut state = self.state.lock().expect("ring lock poisoned");
+        state.closed = true;
+        drop(state);
+        self.readable.notify_all();
+        self.writable.notify_all();
+    }
+
+    /// Current queue depth.
+    pub fn depth(&self) -> usize {
+        self.state.lock().expect("ring lock poisoned").queue.len()
+    }
+
+    /// Copies out the ring's counters.
+    pub fn snapshot(&self) -> RingStats {
+        self.state.lock().expect("ring lock poisoned").stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order_preserved() {
+        let ring = Ring::new(4, OverflowPolicy::Block);
+        for i in 0..4 {
+            assert_eq!(ring.push(i), PushOutcome::Stored);
+        }
+        for i in 0..4 {
+            assert_eq!(ring.pop(), Some(i));
+        }
+    }
+
+    #[test]
+    fn drop_oldest_returns_evicted_and_keeps_latest() {
+        let ring = Ring::new(2, OverflowPolicy::DropOldest);
+        ring.push(1);
+        ring.push(2);
+        assert_eq!(ring.push(3), PushOutcome::Evicted(1));
+        assert_eq!(ring.pop(), Some(2));
+        assert_eq!(ring.pop(), Some(3));
+        assert_eq!(ring.snapshot().shed, 1);
+    }
+
+    #[test]
+    fn drop_newest_rejects_and_keeps_queue() {
+        let ring = Ring::new(2, OverflowPolicy::DropNewest);
+        ring.push(1);
+        ring.push(2);
+        assert_eq!(ring.push(3), PushOutcome::Rejected(3));
+        assert_eq!(ring.pop(), Some(1));
+        assert_eq!(ring.pop(), Some(2));
+        assert_eq!(ring.snapshot().shed, 1);
+    }
+
+    #[test]
+    fn close_drains_then_none() {
+        let ring = Ring::new(4, OverflowPolicy::Block);
+        ring.push(7);
+        ring.close();
+        assert!(matches!(ring.push(8), PushOutcome::Closed(8)));
+        assert_eq!(ring.pop(), Some(7));
+        assert_eq!(ring.pop(), None);
+    }
+
+    #[test]
+    fn block_policy_parks_producer_until_space() {
+        let ring = Arc::new(Ring::new(1, OverflowPolicy::Block));
+        ring.push(1);
+        let producer = {
+            let ring = Arc::clone(&ring);
+            std::thread::spawn(move || ring.push(2))
+        };
+        // Give the producer a chance to park, then free a slot.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(ring.pop(), Some(1));
+        assert!(matches!(producer.join().unwrap(), PushOutcome::Stored));
+        assert_eq!(ring.pop(), Some(2));
+    }
+
+    #[test]
+    fn close_unblocks_parked_producer() {
+        let ring = Arc::new(Ring::new(1, OverflowPolicy::Block));
+        ring.push(1);
+        let producer = {
+            let ring = Arc::clone(&ring);
+            std::thread::spawn(move || ring.push(2))
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        ring.close();
+        assert!(matches!(producer.join().unwrap(), PushOutcome::Closed(2)));
+    }
+
+    #[test]
+    fn high_water_tracks_deepest_point() {
+        let ring = Ring::new(8, OverflowPolicy::Block);
+        ring.push(1);
+        ring.push(2);
+        ring.push(3);
+        ring.pop();
+        ring.push(4);
+        assert_eq!(ring.snapshot().depth_high_water, 3);
+    }
+}

@@ -1,0 +1,819 @@
+//! The staged streaming runtime: ingest → feature → classify → control →
+//! actuate, each stage on its own worker thread(s) behind a bounded queue.
+//!
+//! ## Topology
+//!
+//! ```text
+//!  submit() ──▶ [ingest ring] ──▶ feature workers (xW)
+//!                                     │ extract per session's family
+//!                                     ▼
+//!                              [classify ring] ──▶ classify workers (xW)
+//!                                     │ shared pool; each worker owns all
+//!                                     │ three model families
+//!                                     ▼
+//!                               [control ring] ──▶ control worker (x1)
+//!                                     │ per-session SystemController
+//!                                     ▼
+//!                               [actuate ring] ──▶ actuate worker (x1)
+//!                                       per-session Actuator; latency,
+//!                                       deadline + degradation accounting
+//! ```
+//!
+//! Classifier models are not `Send` (layers are plain `Box<dyn Layer>`),
+//! so each classify worker *builds its own* copy of all three scaled
+//! families at startup and dispatches on the family stamped into the
+//! message; a session's family switch is picked up by whichever worker
+//! handles its next window.
+//!
+//! ## Accounting invariant
+//!
+//! Every submitted window ends in exactly one of two counters: `processed`
+//! (survived the full pipeline) or `dropped` (shed by an overflow policy,
+//! decimated by a widened decision interval, or refused by a malformed
+//! extraction). `produced == processed + dropped` holds for every session
+//! once the pipeline drains — [`Runtime::wait_idle`] waits on exactly that
+//! condition, so nothing is ever lost silently.
+//!
+//! ## Graceful degradation
+//!
+//! Windows carry their arrival timestamp; the actuate stage measures
+//! end-to-end latency against the deadline budget. A configured streak of
+//! consecutive misses degrades the session — classifier falls back one
+//! family (LSTM → CNN → MLP) *and* the decision interval widens so only
+//! every k-th window enters the pipeline. A streak of on-time windows
+//! recovers one step at a time (first the interval, then the family).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use affect_core::classifier::{AffectClassifier, ClassifierKind, ModelConfig};
+use affect_core::controller::{ControlEvent, SystemController};
+use affect_core::emotion::Emotion;
+use affect_core::pipeline::{FeatureConfig, FeaturePipeline};
+use affect_core::policy::PolicyTable;
+use affect_core::AffectError;
+use nn::Tensor;
+
+use crate::actuator::Actuator;
+use crate::clock::{Clock, SystemClock};
+use crate::ring::{OverflowPolicy, PushOutcome, Ring};
+use crate::stats::{Histogram, RuntimeReport, SessionReport, StageReport};
+
+/// Handle to one session registered with the runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SessionId(usize);
+
+impl SessionId {
+    /// Index of the session (order of `add_session` calls).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Capacity and overflow policy of one pipeline queue.
+#[derive(Debug, Clone, Copy)]
+pub struct StageConfig {
+    /// Maximum queued messages.
+    pub capacity: usize,
+    /// What to do when full.
+    pub policy: OverflowPolicy,
+}
+
+impl StageConfig {
+    /// Convenience constructor.
+    pub fn new(capacity: usize, policy: OverflowPolicy) -> Self {
+        Self { capacity, policy }
+    }
+}
+
+/// Configuration of the streaming runtime.
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Feature extraction parameters (shared by all sessions).
+    pub feature: FeatureConfig,
+    /// Samples per analysis window; fixes the CNN input width, so every
+    /// submitted window must have exactly this length.
+    pub window_samples: usize,
+    /// Classifier family each session starts in.
+    pub initial_family: ClassifierKind,
+    /// Worker threads for the feature and classify stages (each).
+    pub workers: usize,
+    /// Ingest queue (submit → feature).
+    pub ingest: StageConfig,
+    /// Classify queue (feature → classify).
+    pub classify: StageConfig,
+    /// Control queue (classify → control).
+    pub control: StageConfig,
+    /// Actuate queue capacity (control → actuate; always lossless/Block —
+    /// decisions that got this far are never shed).
+    pub actuate_capacity: usize,
+    /// End-to-end latency budget per window, nanoseconds (the paper's
+    /// decision cadence is ~1 s).
+    pub deadline_ns: u64,
+    /// Consecutive deadline misses that trigger degradation.
+    pub miss_streak: u32,
+    /// Consecutive on-time windows that trigger one recovery step.
+    pub ok_streak: u32,
+    /// Decision interval while degraded: only every k-th window enters the
+    /// pipeline (others are decimated and counted as dropped).
+    pub degraded_interval: u32,
+    /// Policy table driving each session's controller.
+    pub policy: PolicyTable,
+    /// Controller smoothing window (decisions debounced over this many
+    /// observations).
+    pub smoothing_window: usize,
+    /// Seed for the untrained models' deterministic initialization.
+    pub model_seed: u64,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        Self {
+            feature: FeatureConfig::default(),
+            window_samples: 16_000, // 1 s at the default 16 kHz
+            initial_family: ClassifierKind::Lstm,
+            workers: 2,
+            ingest: StageConfig::new(8, OverflowPolicy::Block),
+            classify: StageConfig::new(8, OverflowPolicy::Block),
+            control: StageConfig::new(8, OverflowPolicy::Block),
+            actuate_capacity: 8,
+            deadline_ns: 1_000_000_000, // the paper's 1 s cadence
+            miss_streak: 3,
+            ok_streak: 8,
+            degraded_interval: 2,
+            policy: PolicyTable::paper_defaults(),
+            smoothing_window: 1,
+            model_seed: 7,
+        }
+    }
+}
+
+impl RuntimeConfig {
+    fn validate(&self) -> Result<(), AffectError> {
+        if self.workers == 0 {
+            return Err(AffectError::InvalidParameter {
+                name: "workers",
+                reason: "must be at least 1",
+            });
+        }
+        if self.window_samples < self.feature.frame_len {
+            return Err(AffectError::InvalidParameter {
+                name: "window_samples",
+                reason: "must hold at least one analysis frame",
+            });
+        }
+        if self.deadline_ns == 0 {
+            return Err(AffectError::InvalidParameter {
+                name: "deadline_ns",
+                reason: "must be non-zero",
+            });
+        }
+        if self.miss_streak == 0 || self.ok_streak == 0 {
+            return Err(AffectError::InvalidParameter {
+                name: "miss_streak",
+                reason: "streak thresholds must be at least 1",
+            });
+        }
+        if self.degraded_interval == 0 {
+            return Err(AffectError::InvalidParameter {
+                name: "degraded_interval",
+                reason: "must be at least 1",
+            });
+        }
+        if self.smoothing_window == 0 {
+            return Err(AffectError::InvalidParameter {
+                name: "smoothing_window",
+                reason: "must be at least 1",
+            });
+        }
+        Ok(())
+    }
+
+    /// The three scaled model configurations this runtime classifies with,
+    /// dimensioned from the feature config and window length.
+    fn model_configs(&self, pipeline: &FeaturePipeline) -> [ModelConfig; 3] {
+        let fpf = pipeline.features_per_frame();
+        let frames = pipeline.frames_for(self.window_samples);
+        let classes = Emotion::ALL.len();
+        [
+            ModelConfig::scaled_mlp(pipeline.flat_dim(), classes),
+            ModelConfig::scaled_cnn(frames * fpf, classes),
+            ModelConfig::scaled_lstm(fpf, classes),
+        ]
+    }
+}
+
+fn family_code(kind: ClassifierKind) -> u8 {
+    match kind {
+        ClassifierKind::Mlp => 0,
+        ClassifierKind::Cnn => 1,
+        ClassifierKind::Lstm => 2,
+    }
+}
+
+fn family_from_code(code: u8) -> ClassifierKind {
+    match code {
+        0 => ClassifierKind::Mlp,
+        1 => ClassifierKind::Cnn,
+        _ => ClassifierKind::Lstm,
+    }
+}
+
+/// Shared per-session state: counters plus the degradation knobs the
+/// feature workers and submit path read.
+struct SessionState {
+    next_seq: AtomicU64,
+    produced: AtomicU64,
+    processed: AtomicU64,
+    dropped: AtomicU64,
+    misses: AtomicU64,
+    degradations: AtomicU64,
+    recoveries: AtomicU64,
+    family: AtomicU8,
+    interval: AtomicU32,
+    latency: Histogram,
+}
+
+impl SessionState {
+    fn new(initial_family: ClassifierKind) -> Self {
+        Self {
+            next_seq: AtomicU64::new(0),
+            produced: AtomicU64::new(0),
+            processed: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            degradations: AtomicU64::new(0),
+            recoveries: AtomicU64::new(0),
+            family: AtomicU8::new(family_code(initial_family)),
+            interval: AtomicU32::new(1),
+            latency: Histogram::new(),
+        }
+    }
+
+    fn family(&self) -> ClassifierKind {
+        family_from_code(self.family.load(Ordering::SeqCst))
+    }
+
+    fn accounted(&self) -> bool {
+        let produced = self.produced.load(Ordering::SeqCst);
+        let processed = self.processed.load(Ordering::SeqCst);
+        let dropped = self.dropped.load(Ordering::SeqCst);
+        produced == processed + dropped
+    }
+}
+
+/// Wakes `wait_idle` whenever any accounting counter moves.
+struct Progress {
+    generation: Mutex<u64>,
+    changed: Condvar,
+}
+
+impl Progress {
+    fn new() -> Self {
+        Self {
+            generation: Mutex::new(0),
+            changed: Condvar::new(),
+        }
+    }
+
+    fn bump(&self) {
+        *self.generation.lock().expect("progress lock poisoned") += 1;
+        self.changed.notify_all();
+    }
+}
+
+struct IngestMsg {
+    session: usize,
+    seq: u64,
+    arrival_ns: u64,
+    samples: Vec<f32>,
+}
+
+struct ClassifyMsg {
+    session: usize,
+    seq: u64,
+    arrival_ns: u64,
+    family: ClassifierKind,
+    features: Tensor,
+}
+
+struct ControlMsg {
+    session: usize,
+    seq: u64,
+    arrival_ns: u64,
+    emotion: Option<Emotion>,
+}
+
+struct ActuateMsg {
+    session: usize,
+    seq: u64,
+    arrival_ns: u64,
+    events: Vec<ControlEvent>,
+}
+
+/// Everything a run leaves behind after [`Runtime::shutdown`].
+pub struct ShutdownOutcome {
+    /// The final statistics snapshot.
+    pub report: RuntimeReport,
+    /// Each session's actuator, in session order, for inspection.
+    pub actuators: Vec<Box<dyn Actuator>>,
+}
+
+/// Registers sessions and starts the [`Runtime`].
+pub struct RuntimeBuilder {
+    config: RuntimeConfig,
+    clock: Arc<dyn Clock>,
+    actuators: Vec<Box<dyn Actuator>>,
+}
+
+impl RuntimeBuilder {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AffectError::InvalidParameter`] for zero worker counts,
+    /// windows shorter than an analysis frame, or zero budgets/streaks.
+    pub fn new(config: RuntimeConfig) -> Result<Self, AffectError> {
+        config.validate()?;
+        Ok(Self {
+            config,
+            clock: Arc::new(SystemClock::new()),
+            actuators: Vec::new(),
+        })
+    }
+
+    /// Substitutes the time source (tests use a
+    /// [`crate::clock::VirtualClock`]).
+    pub fn clock(mut self, clock: Arc<dyn Clock>) -> Self {
+        self.clock = clock;
+        self
+    }
+
+    /// Registers a session with its actuation endpoint; returns the handle
+    /// used to submit windows.
+    pub fn add_session(&mut self, actuator: Box<dyn Actuator>) -> SessionId {
+        self.actuators.push(actuator);
+        SessionId(self.actuators.len() - 1)
+    }
+
+    /// Spawns the worker threads and returns the live runtime.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AffectError::InvalidParameter`] when no session was
+    /// added, and propagates feature-pipeline or model build errors (the
+    /// models are trial-built here so failures surface on the caller's
+    /// thread, not inside a worker).
+    pub fn start(self) -> Result<Runtime, AffectError> {
+        if self.actuators.is_empty() {
+            return Err(AffectError::InvalidParameter {
+                name: "sessions",
+                reason: "add_session must be called at least once",
+            });
+        }
+        let config = self.config;
+        let pipeline = FeaturePipeline::new(config.feature.clone())?;
+        let labels: Vec<String> = Emotion::ALL.iter().map(|e| e.name().to_string()).collect();
+        for model in config.model_configs(&pipeline) {
+            AffectClassifier::from_config(&model, labels.clone(), config.model_seed)?;
+        }
+
+        let sessions: Arc<Vec<SessionState>> = Arc::new(
+            (0..self.actuators.len())
+                .map(|_| SessionState::new(config.initial_family))
+                .collect(),
+        );
+        let progress = Arc::new(Progress::new());
+        let ingest: Arc<Ring<IngestMsg>> =
+            Arc::new(Ring::new(config.ingest.capacity, config.ingest.policy));
+        let classify: Arc<Ring<ClassifyMsg>> =
+            Arc::new(Ring::new(config.classify.capacity, config.classify.policy));
+        let control: Arc<Ring<ControlMsg>> =
+            Arc::new(Ring::new(config.control.capacity, config.control.policy));
+        let actuate: Arc<Ring<ActuateMsg>> =
+            Arc::new(Ring::new(config.actuate_capacity, OverflowPolicy::Block));
+
+        let mut feature_workers = Vec::with_capacity(config.workers);
+        for _ in 0..config.workers {
+            let ingest = Arc::clone(&ingest);
+            let classify = Arc::clone(&classify);
+            let sessions = Arc::clone(&sessions);
+            let progress = Arc::clone(&progress);
+            let feature = config.feature.clone();
+            feature_workers.push(std::thread::spawn(move || {
+                let pipeline =
+                    FeaturePipeline::new(feature).expect("config validated before spawn");
+                while let Some(msg) = ingest.pop() {
+                    let family = sessions[msg.session].family();
+                    let features = match family {
+                        ClassifierKind::Mlp => pipeline.extract_flat(&msg.samples),
+                        ClassifierKind::Cnn => pipeline.extract_strip(&msg.samples),
+                        ClassifierKind::Lstm => pipeline.extract_sequence(&msg.samples),
+                    };
+                    match features {
+                        Ok(features) => {
+                            let out = ClassifyMsg {
+                                session: msg.session,
+                                seq: msg.seq,
+                                arrival_ns: msg.arrival_ns,
+                                family,
+                                features,
+                            };
+                            offer(&classify, out, |m| m.session, &sessions, &progress);
+                        }
+                        Err(_) => drop_window(&sessions, msg.session, &progress),
+                    }
+                }
+            }));
+        }
+
+        let mut classify_workers = Vec::with_capacity(config.workers);
+        for _ in 0..config.workers {
+            let classify = Arc::clone(&classify);
+            let control = Arc::clone(&control);
+            let sessions = Arc::clone(&sessions);
+            let progress = Arc::clone(&progress);
+            let feature = config.feature.clone();
+            let window_samples = config.window_samples;
+            let seed = config.model_seed;
+            let labels = labels.clone();
+            classify_workers.push(std::thread::spawn(move || {
+                // Models are not Send; build this worker's own pool of all
+                // three families (identical across workers by seed).
+                let pipeline =
+                    FeaturePipeline::new(feature).expect("config validated before spawn");
+                let fpf = pipeline.features_per_frame();
+                let frames = pipeline.frames_for(window_samples);
+                let classes = Emotion::ALL.len();
+                let mut pool: HashMap<u8, AffectClassifier> = HashMap::new();
+                for model in [
+                    ModelConfig::scaled_mlp(pipeline.flat_dim(), classes),
+                    ModelConfig::scaled_cnn(frames * fpf, classes),
+                    ModelConfig::scaled_lstm(fpf, classes),
+                ] {
+                    let clf = AffectClassifier::from_config(&model, labels.clone(), seed)
+                        .expect("trial-built before spawn");
+                    pool.insert(family_code(clf.family()), clf);
+                }
+                while let Some(msg) = classify.pop() {
+                    let clf = pool
+                        .get_mut(&family_code(msg.family))
+                        .expect("all families pooled");
+                    match clf.classify(&msg.features) {
+                        Ok(decision) => {
+                            let out = ControlMsg {
+                                session: msg.session,
+                                seq: msg.seq,
+                                arrival_ns: msg.arrival_ns,
+                                emotion: decision.emotion(),
+                            };
+                            offer(&control, out, |m| m.session, &sessions, &progress);
+                        }
+                        Err(_) => drop_window(&sessions, msg.session, &progress),
+                    }
+                }
+            }));
+        }
+
+        let control_worker = {
+            let control = Arc::clone(&control);
+            let actuate = Arc::clone(&actuate);
+            let sessions = Arc::clone(&sessions);
+            let progress = Arc::clone(&progress);
+            let policy = config.policy.clone();
+            let smoothing = config.smoothing_window;
+            let n_sessions = self.actuators.len();
+            std::thread::spawn(move || {
+                let mut controllers: Vec<SystemController> = (0..n_sessions)
+                    .map(|_| SystemController::new(policy.clone(), smoothing))
+                    .collect();
+                while let Some(msg) = control.pop() {
+                    let events = match msg.emotion {
+                        Some(emotion) => controllers[msg.session]
+                            .observe_emotion(emotion)
+                            .unwrap_or_default(),
+                        None => Vec::new(),
+                    };
+                    let out = ActuateMsg {
+                        session: msg.session,
+                        seq: msg.seq,
+                        arrival_ns: msg.arrival_ns,
+                        events,
+                    };
+                    offer(&actuate, out, |m| m.session, &sessions, &progress);
+                }
+            })
+        };
+
+        let actuate_worker = {
+            let actuate = Arc::clone(&actuate);
+            let sessions = Arc::clone(&sessions);
+            let progress = Arc::clone(&progress);
+            let clock = Arc::clone(&self.clock);
+            let mut actuators = self.actuators;
+            let deadline = config.deadline_ns;
+            let miss_streak_limit = config.miss_streak;
+            let ok_streak_limit = config.ok_streak;
+            let degraded_interval = config.degraded_interval;
+            let initial_family = config.initial_family;
+            std::thread::spawn(move || {
+                let mut miss_streaks = vec![0u32; actuators.len()];
+                let mut ok_streaks = vec![0u32; actuators.len()];
+                while let Some(msg) = actuate.pop() {
+                    let actuator = &mut actuators[msg.session];
+                    // The hook runs before latency is read so a gated test
+                    // actuator can hold the window while a virtual clock
+                    // advances — the measured latency is then exact.
+                    actuator.on_window(msg.seq);
+                    let now = clock.now_nanos();
+                    for event in msg.events {
+                        actuator.actuate(event, now);
+                    }
+                    let state = &sessions[msg.session];
+                    let latency = now.saturating_sub(msg.arrival_ns);
+                    state.latency.record(latency);
+                    if latency > deadline {
+                        state.misses.fetch_add(1, Ordering::SeqCst);
+                        ok_streaks[msg.session] = 0;
+                        miss_streaks[msg.session] += 1;
+                        if miss_streaks[msg.session] >= miss_streak_limit {
+                            miss_streaks[msg.session] = 0;
+                            degrade(state, degraded_interval);
+                        }
+                    } else {
+                        miss_streaks[msg.session] = 0;
+                        ok_streaks[msg.session] += 1;
+                        if ok_streaks[msg.session] >= ok_streak_limit {
+                            ok_streaks[msg.session] = 0;
+                            recover(state, initial_family);
+                        }
+                    }
+                    state.processed.fetch_add(1, Ordering::SeqCst);
+                    progress.bump();
+                }
+                actuators
+            })
+        };
+
+        Ok(Runtime {
+            config,
+            clock: self.clock,
+            sessions,
+            progress,
+            ingest,
+            classify,
+            control,
+            actuate,
+            feature_workers,
+            classify_workers,
+            control_worker,
+            actuate_worker,
+        })
+    }
+}
+
+/// One degradation step: fall back one model family *and* widen the
+/// decision interval (the paper's two load-shedding axes at once).
+fn degrade(state: &SessionState, degraded_interval: u32) {
+    let mut changed = false;
+    if let Some(simpler) = state.family().fallback() {
+        state.family.store(family_code(simpler), Ordering::SeqCst);
+        changed = true;
+    }
+    if state.interval.load(Ordering::SeqCst) < degraded_interval {
+        state.interval.store(degraded_interval, Ordering::SeqCst);
+        changed = true;
+    }
+    if changed {
+        state.degradations.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+/// One recovery step: first restore the decision interval, then climb the
+/// model ladder one family at a time (never past the configured initial).
+fn recover(state: &SessionState, initial_family: ClassifierKind) {
+    if state.interval.load(Ordering::SeqCst) > 1 {
+        state.interval.store(1, Ordering::SeqCst);
+        state.recoveries.fetch_add(1, Ordering::SeqCst);
+        return;
+    }
+    if let Some(richer) = state.family().upgrade() {
+        if family_code(richer) <= family_code(initial_family) {
+            state.family.store(family_code(richer), Ordering::SeqCst);
+            state.recoveries.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+}
+
+/// Accounts one window as dropped and wakes `wait_idle`.
+fn drop_window(sessions: &[SessionState], session: usize, progress: &Progress) {
+    sessions[session].dropped.fetch_add(1, Ordering::SeqCst);
+    progress.bump();
+}
+
+/// Pushes a message downstream, translating every shed outcome into the
+/// owning session's `dropped` counter so the accounting invariant holds.
+fn offer<T>(
+    ring: &Ring<T>,
+    msg: T,
+    session_of: impl Fn(&T) -> usize,
+    sessions: &[SessionState],
+    progress: &Progress,
+) {
+    match ring.push(msg) {
+        PushOutcome::Stored => {}
+        PushOutcome::Evicted(old) | PushOutcome::Rejected(old) | PushOutcome::Closed(old) => {
+            drop_window(sessions, session_of(&old), progress);
+        }
+    }
+}
+
+/// The live multi-session streaming runtime. Build via [`RuntimeBuilder`].
+pub struct Runtime {
+    config: RuntimeConfig,
+    clock: Arc<dyn Clock>,
+    sessions: Arc<Vec<SessionState>>,
+    progress: Arc<Progress>,
+    ingest: Arc<Ring<IngestMsg>>,
+    classify: Arc<Ring<ClassifyMsg>>,
+    control: Arc<Ring<ControlMsg>>,
+    actuate: Arc<Ring<ActuateMsg>>,
+    feature_workers: Vec<JoinHandle<()>>,
+    classify_workers: Vec<JoinHandle<()>>,
+    control_worker: JoinHandle<()>,
+    actuate_worker: JoinHandle<Vec<Box<dyn Actuator>>>,
+}
+
+impl Runtime {
+    /// Number of registered sessions.
+    pub fn sessions(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// The configuration the runtime was started with.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.config
+    }
+
+    /// The classifier family currently in force for a session.
+    pub fn session_family(&self, session: SessionId) -> ClassifierKind {
+        self.sessions[session.0].family()
+    }
+
+    /// The decision interval currently in force for a session.
+    pub fn session_interval(&self, session: SessionId) -> u32 {
+        self.sessions[session.0].interval.load(Ordering::SeqCst)
+    }
+
+    /// Submits one analysis window for a session. The window is stamped
+    /// with the clock's current time as its arrival.
+    ///
+    /// Returns `true` when the window entered the pipeline; `false` when
+    /// it was decimated by a widened decision interval or shed at the
+    /// ingest queue (either way it is counted, never lost). Under
+    /// [`OverflowPolicy::Block`] ingest this call blocks while the queue
+    /// is full — that is the backpressure propagating to the producer.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `session` did not come from this runtime's builder.
+    pub fn submit(&self, session: SessionId, samples: Vec<f32>) -> bool {
+        let state = &self.sessions[session.0];
+        let seq = state.next_seq.fetch_add(1, Ordering::SeqCst);
+        state.produced.fetch_add(1, Ordering::SeqCst);
+        let interval = u64::from(state.interval.load(Ordering::SeqCst).max(1));
+        if !seq.is_multiple_of(interval) {
+            // Decimated: the widened decision interval sheds this window
+            // before it costs any pipeline work.
+            drop_window(&self.sessions, session.0, &self.progress);
+            return false;
+        }
+        let msg = IngestMsg {
+            session: session.0,
+            seq,
+            arrival_ns: self.clock.now_nanos(),
+            samples,
+        };
+        match self.ingest.push(msg) {
+            PushOutcome::Stored => true,
+            PushOutcome::Evicted(old) => {
+                drop_window(&self.sessions, old.session, &self.progress);
+                true
+            }
+            PushOutcome::Rejected(old) | PushOutcome::Closed(old) => {
+                drop_window(&self.sessions, old.session, &self.progress);
+                false
+            }
+        }
+    }
+
+    fn all_accounted(&self) -> bool {
+        self.sessions.iter().all(SessionState::accounted)
+    }
+
+    /// Blocks until every submitted window is accounted for (processed or
+    /// dropped), i.e. the pipeline has fully drained.
+    pub fn wait_idle(&self) {
+        let mut generation = self
+            .progress
+            .generation
+            .lock()
+            .expect("progress lock poisoned");
+        while !self.all_accounted() {
+            // Timed wait: a counter can move between our check and the
+            // wait, so never rely on the notification alone.
+            let (next, _timeout) = self
+                .progress
+                .changed
+                .wait_timeout(generation, Duration::from_millis(20))
+                .expect("progress lock poisoned");
+            generation = next;
+        }
+    }
+
+    /// Snapshots per-session accounting and per-stage queue statistics.
+    /// Callable at any time; a post-[`Runtime::wait_idle`] snapshot
+    /// satisfies [`RuntimeReport::all_accounted`].
+    pub fn report(&self) -> RuntimeReport {
+        snapshot_report(
+            &self.sessions,
+            &self.ingest,
+            &self.classify,
+            &self.control,
+            &self.actuate,
+        )
+    }
+
+    /// Stops accepting work, drains the pipeline stage by stage, joins all
+    /// workers and returns the final report plus each session's actuator.
+    pub fn shutdown(self) -> ShutdownOutcome {
+        // Close upstream first and join before closing the next stage, so
+        // in-flight windows drain instead of being cut off mid-pipeline.
+        self.ingest.close();
+        for worker in self.feature_workers {
+            worker.join().expect("feature worker panicked");
+        }
+        self.classify.close();
+        for worker in self.classify_workers {
+            worker.join().expect("classify worker panicked");
+        }
+        self.control.close();
+        self.control_worker.join().expect("control worker panicked");
+        self.actuate.close();
+        let actuators = self.actuate_worker.join().expect("actuate worker panicked");
+
+        let report = snapshot_report(
+            &self.sessions,
+            &self.ingest,
+            &self.classify,
+            &self.control,
+            &self.actuate,
+        );
+        ShutdownOutcome { report, actuators }
+    }
+}
+
+fn snapshot_report(
+    sessions: &[SessionState],
+    ingest: &Ring<IngestMsg>,
+    classify: &Ring<ClassifyMsg>,
+    control: &Ring<ControlMsg>,
+    actuate: &Ring<ActuateMsg>,
+) -> RuntimeReport {
+    let sessions = sessions
+        .iter()
+        .enumerate()
+        .map(|(index, s)| SessionReport {
+            session: index,
+            produced: s.produced.load(Ordering::SeqCst),
+            processed: s.processed.load(Ordering::SeqCst),
+            dropped: s.dropped.load(Ordering::SeqCst),
+            deadline_misses: s.misses.load(Ordering::SeqCst),
+            degradations: s.degradations.load(Ordering::SeqCst),
+            recoveries: s.recoveries.load(Ordering::SeqCst),
+            family: s.family(),
+            decision_interval: s.interval.load(Ordering::SeqCst),
+            latency: s.latency.summary(),
+        })
+        .collect();
+    let stage = |name: &'static str, stats: crate::ring::RingStats, capacity: usize| StageReport {
+        stage: name,
+        pushed: stats.pushed,
+        popped: stats.popped,
+        shed: stats.shed,
+        depth_high_water: stats.depth_high_water,
+        capacity,
+    };
+    RuntimeReport {
+        sessions,
+        stages: vec![
+            stage("ingest", ingest.snapshot(), ingest.capacity()),
+            stage("classify", classify.snapshot(), classify.capacity()),
+            stage("control", control.snapshot(), control.capacity()),
+            stage("actuate", actuate.snapshot(), actuate.capacity()),
+        ],
+    }
+}

@@ -1,0 +1,260 @@
+//! Lock-free runtime statistics and the end-of-run report.
+//!
+//! Counters are plain atomics updated from the worker threads; latency
+//! percentiles come from a log2-bucketed histogram (one atomic per
+//! power-of-two bucket), so the hot path never takes a lock. Percentiles
+//! are therefore bucket-resolution approximations — each reported value is
+//! the upper bound of the bucket containing the requested quantile, i.e.
+//! within 2x of the true latency — which is plenty for deadline triage.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use affect_core::classifier::ClassifierKind;
+
+const BUCKETS: usize = 64;
+
+/// Log2-bucketed latency histogram with atomic buckets.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample (nanoseconds).
+    pub fn record(&self, nanos: u64) {
+        let bucket = (u64::BITS - nanos.max(1).leading_zeros() - 1) as usize;
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(nanos, Ordering::Relaxed);
+        self.max.fetch_max(nanos, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// The value at quantile `q` in `[0, 1]`, as the upper bound of the
+    /// containing bucket; 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= rank {
+                // Upper bound of bucket i is 2^(i+1) - 1, saturating at the top.
+                return if i + 1 >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << (i + 1)) - 1
+                };
+            }
+        }
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of count, mean, p50/p95/p99 and max.
+    pub fn summary(&self) -> LatencySummary {
+        let count = self.count();
+        LatencySummary {
+            count,
+            mean_ns: self
+                .sum
+                .load(Ordering::Relaxed)
+                .checked_div(count)
+                .unwrap_or(0),
+            p50_ns: self.quantile(0.50),
+            p95_ns: self.quantile(0.95),
+            p99_ns: self.quantile(0.99),
+            max_ns: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Percentile snapshot of a latency distribution (nanoseconds).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencySummary {
+    /// Number of samples.
+    pub count: u64,
+    /// Arithmetic mean.
+    pub mean_ns: u64,
+    /// Median (bucket upper bound).
+    pub p50_ns: u64,
+    /// 95th percentile (bucket upper bound).
+    pub p95_ns: u64,
+    /// 99th percentile (bucket upper bound).
+    pub p99_ns: u64,
+    /// Exact maximum.
+    pub max_ns: u64,
+}
+
+/// One session's accounting in a [`RuntimeReport`].
+#[derive(Debug, Clone)]
+pub struct SessionReport {
+    /// Session index (order of `add_session` calls).
+    pub session: usize,
+    /// Windows submitted (including ones later shed or decimated).
+    pub produced: u64,
+    /// Windows that completed the full pipeline.
+    pub processed: u64,
+    /// Windows shed by overflow policy or decimated by a widened decision
+    /// interval.
+    pub dropped: u64,
+    /// Windows whose end-to-end latency exceeded the deadline budget.
+    pub deadline_misses: u64,
+    /// Times sustained misses forced a model fallback / interval widening.
+    pub degradations: u64,
+    /// Times sustained on-time windows restored a richer model.
+    pub recoveries: u64,
+    /// Classifier family in force at report time.
+    pub family: ClassifierKind,
+    /// Decision interval in force at report time (1 = classify every
+    /// window; k = classify every k-th).
+    pub decision_interval: u32,
+    /// End-to-end (arrival → actuated) latency distribution.
+    pub latency: LatencySummary,
+}
+
+impl SessionReport {
+    /// `true` when every submitted window is accounted for: it either
+    /// completed the pipeline or was counted as dropped. The runtime's
+    /// no-silent-loss invariant.
+    pub fn accounted(&self) -> bool {
+        self.produced == self.processed + self.dropped
+    }
+
+    /// Fraction of processed windows that missed the deadline (0 when
+    /// nothing was processed).
+    pub fn miss_rate(&self) -> f64 {
+        if self.processed == 0 {
+            0.0
+        } else {
+            self.deadline_misses as f64 / self.processed as f64
+        }
+    }
+}
+
+/// One pipeline stage's queue counters in a [`RuntimeReport`].
+#[derive(Debug, Clone)]
+pub struct StageReport {
+    /// Stage name (`"ingest"`, `"classify"`, `"control"`, `"actuate"`).
+    pub stage: &'static str,
+    /// Messages accepted into the stage's queue.
+    pub pushed: u64,
+    /// Messages consumed by the stage's workers.
+    pub popped: u64,
+    /// Messages shed by the stage's overflow policy.
+    pub shed: u64,
+    /// Deepest the stage's queue has been.
+    pub depth_high_water: usize,
+    /// The queue's capacity.
+    pub capacity: usize,
+}
+
+/// Everything the runtime knows about a run: per-session accounting and
+/// per-stage queue behaviour.
+#[derive(Debug, Clone)]
+pub struct RuntimeReport {
+    /// One entry per session, in `add_session` order.
+    pub sessions: Vec<SessionReport>,
+    /// One entry per pipeline stage, in pipeline order.
+    pub stages: Vec<StageReport>,
+}
+
+impl RuntimeReport {
+    /// `true` when every session satisfies the no-silent-loss invariant.
+    pub fn all_accounted(&self) -> bool {
+        self.sessions.iter().all(SessionReport::accounted)
+    }
+
+    /// Total windows submitted across sessions.
+    pub fn total_produced(&self) -> u64 {
+        self.sessions.iter().map(|s| s.produced).sum()
+    }
+
+    /// Total windows that completed the pipeline across sessions.
+    pub fn total_processed(&self) -> u64 {
+        self.sessions.iter().map(|s| s.processed).sum()
+    }
+
+    /// Total windows shed or decimated across sessions.
+    pub fn total_dropped(&self) -> u64 {
+        self.sessions.iter().map(|s| s.dropped).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_bracket_samples() {
+        let h = Histogram::new();
+        for ns in [100u64, 200, 400, 800, 100_000] {
+            h.record(ns);
+        }
+        assert_eq!(h.count(), 5);
+        let s = h.summary();
+        assert!(s.p50_ns >= 200 && s.p50_ns < 800, "p50 {}", s.p50_ns);
+        assert!(s.p99_ns >= 100_000, "p99 {}", s.p99_ns);
+        assert_eq!(s.max_ns, 100_000);
+        assert!(s.mean_ns > 0);
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.summary(), LatencySummary::default());
+    }
+
+    #[test]
+    fn zero_latency_lands_in_first_bucket() {
+        let h = Histogram::new();
+        h.record(0);
+        assert_eq!(h.count(), 1);
+        assert!(h.quantile(0.5) <= 1);
+    }
+
+    #[test]
+    fn accounted_invariant() {
+        let mut r = SessionReport {
+            session: 0,
+            produced: 10,
+            processed: 7,
+            dropped: 3,
+            deadline_misses: 2,
+            degradations: 0,
+            recoveries: 0,
+            family: ClassifierKind::Lstm,
+            decision_interval: 1,
+            latency: LatencySummary::default(),
+        };
+        assert!(r.accounted());
+        assert!((r.miss_rate() - 2.0 / 7.0).abs() < 1e-12);
+        r.dropped = 2;
+        assert!(!r.accounted());
+    }
+}

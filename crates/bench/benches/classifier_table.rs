@@ -17,9 +17,13 @@ fn bench_extraction(c: &mut Criterion) {
         ..FeatureConfig::default()
     })
     .unwrap();
-    let window =
-        synthesize_utterance(&UtteranceParams::for_emotion(Emotion::Happy), 1.2, 8_000.0, 1)
-            .unwrap();
+    let window = synthesize_utterance(
+        &UtteranceParams::for_emotion(Emotion::Happy),
+        1.2,
+        8_000.0,
+        1,
+    )
+    .unwrap();
 
     let mut group = c.benchmark_group("feature_extraction");
     group.bench_function("sequence", |b| {
@@ -49,7 +53,10 @@ fn bench_smoothing_ablation(c: &mut Criterion) {
     eprintln!("\nsmoothing-window ablation (state changes over 10k noisy windows):");
     for window in [1usize, 3, 5, 9] {
         let mut smoother = MajoritySmoother::new(window, 0).unwrap();
-        let changes = noisy.iter().filter(|&&e| smoother.push(e).is_some()).count();
+        let changes = noisy
+            .iter()
+            .filter(|&&e| smoother.push(e).is_some())
+            .count();
         eprintln!("  window {window}: {changes} changes");
     }
 

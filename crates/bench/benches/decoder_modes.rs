@@ -14,16 +14,12 @@ fn bench_modes(c: &mut Criterion) {
     let mut group = c.benchmark_group("decode_mode");
     group.sample_size(20);
     for mode in VideoPowerMode::ALL {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(mode),
-            &stream,
-            |b, s| {
-                b.iter(|| {
-                    let mut decoder = Decoder::new(options_for_mode(mode));
-                    decoder.decode(black_box(s)).unwrap()
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(mode), &stream, |b, s| {
+            b.iter(|| {
+                let mut decoder = Decoder::new(options_for_mode(mode));
+                decoder.decode(black_box(s)).unwrap()
+            });
+        });
     }
     group.finish();
 }

@@ -19,17 +19,13 @@ fn bench_policies(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("sim_policy");
     for kind in [PolicyKind::Fifo, PolicyKind::Lru, PolicyKind::Emotion] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(kind),
-            &workload,
-            |b, w| {
-                b.iter(|| {
-                    let mut sim =
-                        Simulator::with_subject(device.clone(), kind, &subject, 0.05).unwrap();
-                    sim.run(black_box(w)).unwrap()
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(kind), &workload, |b, w| {
+            b.iter(|| {
+                let mut sim =
+                    Simulator::with_subject(device.clone(), kind, &subject, 0.05).unwrap();
+                sim.run(black_box(w)).unwrap()
+            });
+        });
     }
     group.finish();
 }

@@ -20,9 +20,7 @@ fn bench_playback(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig6_playback");
     group.sample_size(10);
     group.bench_function("adaptive_playback_end_to_end", |b| {
-        b.iter(|| {
-            adaptive_playback(black_box(&stream), &frames, &schedule, &policy).unwrap()
-        });
+        b.iter(|| adaptive_playback(black_box(&stream), &frames, &schedule, &policy).unwrap());
     });
     group.finish();
 }

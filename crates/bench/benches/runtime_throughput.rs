@@ -1,0 +1,155 @@
+//! End-to-end throughput of the `affect-rt` streaming runtime as the
+//! shared classifier worker pool scales over {1, 2, 4, 8} workers.
+//!
+//! Each iteration runs the full closed loop: 8 sessions submit
+//! pre-synthesized voice windows, the staged pipeline classifies and
+//! actuates them, and the run drains to idle. Besides the Criterion
+//! timings, a calibration sweep writes `benches/results/
+//! runtime_throughput.csv` (workers, windows, wall seconds, windows/s,
+//! p50/p99 latency) so the scaling curve is inspectable offline.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use affect_core::emotion::Emotion;
+use affect_core::pipeline::FeatureConfig;
+use affect_rt::{NullActuator, RuntimeBuilder, RuntimeConfig, RuntimeReport};
+use bench::table::Table;
+use biosignal::VoiceWindowStream;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+const SESSIONS: usize = 8;
+const WINDOWS: u32 = 16;
+const WINDOW_SAMPLES: usize = 1024;
+
+fn runtime_config(workers: usize) -> RuntimeConfig {
+    RuntimeConfig {
+        feature: FeatureConfig {
+            frame_len: 256,
+            hop: 128,
+            n_mfcc: 8,
+            n_mels: 20,
+            ..FeatureConfig::default()
+        },
+        window_samples: WINDOW_SAMPLES,
+        workers,
+        // Generous budget: the bench measures throughput, not shedding.
+        deadline_ns: 60_000_000_000,
+        ..RuntimeConfig::default()
+    }
+}
+
+/// Pre-synthesized per-session window sets (synthesis cost stays out of
+/// the measured loop).
+fn workload() -> Vec<Vec<Vec<f32>>> {
+    (0..SESSIONS)
+        .map(|i| {
+            VoiceWindowStream::new(
+                vec![(Emotion::ALL[i % Emotion::ALL.len()], WINDOWS)],
+                WINDOW_SAMPLES,
+                16_000.0,
+                7000 + i as u64,
+            )
+            .unwrap()
+            .map(|w| w.samples)
+            .collect()
+        })
+        .collect()
+}
+
+/// One full run: build, stream every window from concurrent producers,
+/// drain, shut down. Returns the final report.
+fn run_once(workers: usize, windows: &[Vec<Vec<f32>>]) -> RuntimeReport {
+    let mut builder = RuntimeBuilder::new(runtime_config(workers)).unwrap();
+    let sessions: Vec<_> = (0..SESSIONS)
+        .map(|_| builder.add_session(Box::new(NullActuator)))
+        .collect();
+    let runtime = Arc::new(builder.start().unwrap());
+    let producers: Vec<_> = sessions
+        .iter()
+        .map(|&session| {
+            let runtime = Arc::clone(&runtime);
+            let windows = windows[session.index()].clone();
+            std::thread::spawn(move || {
+                for window in windows {
+                    runtime.submit(session, window);
+                }
+            })
+        })
+        .collect();
+    for producer in producers {
+        producer.join().unwrap();
+    }
+    runtime.wait_idle();
+    let runtime = Arc::try_unwrap(runtime).unwrap_or_else(|_| panic!("producers joined"));
+    runtime.shutdown().report
+}
+
+fn bench_worker_sweep(c: &mut Criterion) {
+    let windows = workload();
+
+    // Calibration sweep: one explicit timed run per pool size, recorded to
+    // CSV alongside the committed figure data.
+    let mut table = Table::new(vec![
+        "workers".into(),
+        "windows".into(),
+        "seconds".into(),
+        "windows_per_sec".into(),
+        "p50_ms".into(),
+        "p99_ms".into(),
+    ]);
+    eprintln!("\nruntime worker-pool sweep ({SESSIONS} sessions x {WINDOWS} windows):");
+    for workers in [1usize, 2, 4, 8] {
+        let start = Instant::now();
+        let report = run_once(workers, &windows);
+        let elapsed = start.elapsed().as_secs_f64();
+        assert!(report.all_accounted(), "bench run lost windows");
+        let processed = report.total_processed();
+        let p50 = report
+            .sessions
+            .iter()
+            .map(|s| s.latency.p50_ns)
+            .max()
+            .unwrap_or(0);
+        let p99 = report
+            .sessions
+            .iter()
+            .map(|s| s.latency.p99_ns)
+            .max()
+            .unwrap_or(0);
+        eprintln!(
+            "  {workers} workers: {processed} windows in {elapsed:.3}s ({:.0} windows/s)",
+            processed as f64 / elapsed
+        );
+        table.row(vec![
+            workers.to_string(),
+            processed.to_string(),
+            format!("{elapsed:.4}"),
+            format!("{:.1}", processed as f64 / elapsed),
+            format!("{:.3}", p50 as f64 / 1e6),
+            format!("{:.3}", p99 as f64 / 1e6),
+        ]);
+    }
+    let csv_path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/benches/results/runtime_throughput.csv"
+    );
+    table.write_csv(csv_path).expect("write sweep csv");
+    eprintln!("  wrote {csv_path}");
+
+    let mut group = c.benchmark_group("runtime_throughput");
+    group.sample_size(10);
+    for workers in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("workers", workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| run_once(workers, &windows));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_worker_sweep);
+criterion_main!(benches);

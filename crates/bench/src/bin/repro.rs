@@ -265,7 +265,10 @@ fn fig6_classified() -> AnyResult {
         .iter()
         .zip(r.classified_mode_minutes)
     {
-        t.row(vec![format!("minutes in `{mode}`"), format!("{minutes:.0}")]);
+        t.row(vec![
+            format!("minutes in `{mode}`"),
+            format!("{minutes:.0}"),
+        ]);
     }
     println!("{}", t.render());
     println!("the paper reports the oracle-label run (23.1%); the closed loop shows");
@@ -309,7 +312,10 @@ fn fig9_cmd() -> AnyResult {
     println!("{}", fig9::render(&runs, 100));
     println!(
         "baseline: {} kills, {} cold starts; emotion: {} kills, {} cold starts",
-        runs.baseline.kills, runs.baseline.cold_starts, runs.emotion.kills, runs.emotion.cold_starts
+        runs.baseline.kills,
+        runs.baseline.cold_starts,
+        runs.emotion.kills,
+        runs.emotion.cold_starts
     );
     let mut t = Table::new(vec![
         "policy".into(),

@@ -38,7 +38,9 @@ pub struct RecurrentCellRow {
 /// # Errors
 ///
 /// Propagates dataset and training errors.
-pub fn gru_vs_lstm(config: &Fig3Config) -> Result<Vec<RecurrentCellRow>, Box<dyn std::error::Error>> {
+pub fn gru_vs_lstm(
+    config: &Fig3Config,
+) -> Result<Vec<RecurrentCellRow>, Box<dyn std::error::Error>> {
     let spec = CorpusSpec::ravdess_like()
         .with_actors(config.max_actors)
         .with_utterances(config.utterances);
@@ -135,8 +137,7 @@ pub fn process_limit_sweep(
             let workload = MonkeyScript::new(&subject, seed + k)
                 .paper_fig9()
                 .build(&device)?;
-            let report =
-                compare_policies(&device, &subject, &workload, PolicyKind::Fifo, 0.05)?;
+            let report = compare_policies(&device, &subject, &workload, PolicyKind::Fifo, 0.05)?;
             memory += report.memory_saving();
             time += report.time_saving();
         }
@@ -182,8 +183,7 @@ pub fn subject_sweep(seed: u64, runs: u64) -> Result<Vec<SubjectRow>, Box<dyn st
                 .segment(Emotion::Happy, 12.0 * 60.0, 60)
                 .segment(Emotion::Calm, 8.0 * 60.0, 40)
                 .build(&device)?;
-            let report =
-                compare_policies(&device, &subject, &workload, PolicyKind::Fifo, 0.05)?;
+            let report = compare_policies(&device, &subject, &workload, PolicyKind::Fifo, 0.05)?;
             memory += report.memory_saving();
             time += report.time_saving();
         }
@@ -272,7 +272,10 @@ mod tests {
         let tight = rows[0].memory_saving;
         let loose = rows.last().unwrap().memory_saving;
         assert!(tight > loose + 0.05, "tight {tight:.3} vs loose {loose:.3}");
-        assert!(loose.abs() < 0.05, "no-pressure saving should be ~0, got {loose:.3}");
+        assert!(
+            loose.abs() < 0.05,
+            "no-pressure saving should be ~0, got {loose:.3}"
+        );
     }
 
     #[test]

@@ -171,8 +171,7 @@ pub fn evaluate_classifier(
         }
         FeatureLayout::Flattened | FeatureLayout::Strip | FeatureLayout::Sequence => {
             let fpf = pipeline.features_per_frame();
-            let (mean, std) =
-                datasets::features::normalize_features_in_place(&mut train_x, fpf)?;
+            let (mean, std) = datasets::features::normalize_features_in_place(&mut train_x, fpf)?;
             datasets::features::apply_feature_normalization(&mut test_x, &mean, &std)?;
         }
     }

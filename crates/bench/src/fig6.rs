@@ -234,8 +234,16 @@ mod tests {
         let r = playback_classified(5).unwrap();
         // The SC-driven classifier must recover most of the session labels
         // and most of the oracle saving.
-        assert!(r.state_accuracy > 0.6, "state accuracy {:.2}", r.state_accuracy);
-        assert!(r.classified_saving > 0.10, "saving {:.3}", r.classified_saving);
+        assert!(
+            r.state_accuracy > 0.6,
+            "state accuracy {:.2}",
+            r.state_accuracy
+        );
+        assert!(
+            r.classified_saving > 0.10,
+            "saving {:.3}",
+            r.classified_saving
+        );
         assert!(
             r.classified_saving <= r.oracle_saving + 0.08,
             "classified {:.3} vs oracle {:.3}",

@@ -7,9 +7,21 @@ use h264::power::SiliconSpec;
 /// Sec. 2 model-size audit: `(name, paper-reported params, our params)`.
 pub fn model_rows() -> Vec<(String, usize, usize)> {
     vec![
-        ("NN (MLP)".into(), 508_000, ModelConfig::paper_mlp().param_count()),
-        ("CNN".into(), 649_000, ModelConfig::paper_cnn().param_count()),
-        ("LSTM".into(), 429_000, ModelConfig::paper_lstm().param_count()),
+        (
+            "NN (MLP)".into(),
+            508_000,
+            ModelConfig::paper_mlp().param_count(),
+        ),
+        (
+            "CNN".into(),
+            649_000,
+            ModelConfig::paper_cnn().param_count(),
+        ),
+        (
+            "LSTM".into(),
+            429_000,
+            ModelConfig::paper_lstm().param_count(),
+        ),
     ]
 }
 
@@ -47,10 +59,7 @@ mod tests {
     #[test]
     fn silicon_rows_quote_the_paper() {
         let rows = silicon_rows();
-        let text: String = rows
-            .iter()
-            .map(|(k, v)| format!("{k}={v};"))
-            .collect();
+        let text: String = rows.iter().map(|(k, v)| format!("{k}={v};")).collect();
         assert!(text.contains("65 nm"));
         assert!(text.contains("1.9 mm^2"));
         assert!(text.contains("4.23%"));

@@ -63,12 +63,7 @@ impl CardiacConfig {
 
 /// Beat onset times (seconds) for a run of `duration_secs` at constant
 /// arousal, with HRV jitter.
-fn beat_times(
-    cfg: &CardiacConfig,
-    arousal: f32,
-    duration_secs: f32,
-    rng: &mut StdRng,
-) -> Vec<f32> {
+fn beat_times(cfg: &CardiacConfig, arousal: f32, duration_secs: f32, rng: &mut StdRng) -> Vec<f32> {
     let hr = cfg.hr_at(arousal);
     let mean_rr = 60.0 / hr;
     let hrv = cfg.hrv_fraction * (1.0 - 0.75 * arousal.clamp(0.0, 1.0));

@@ -35,11 +35,13 @@ pub mod error;
 pub mod imu;
 pub mod noise;
 pub mod sc;
+pub mod stream;
 pub mod types;
 pub mod uulmmac;
 pub mod voice;
 
 pub use error::BiosignalError;
+pub use stream::{LabeledWindow, VoiceWindowStream};
 pub use types::SampledSignal;
 pub use uulmmac::UulmmacSession;
 pub use voice::{synthesize_utterance, UtteranceParams};

@@ -106,10 +106,7 @@ mod tests {
         let xs: Vec<f32> = (0..20_000).map(|_| pink.next_sample(&mut rng)).collect();
         let mean = xs.iter().sum::<f32>() / xs.len() as f32;
         let var: f32 = xs.iter().map(|x| (x - mean).powi(2)).sum();
-        let cov: f32 = xs
-            .windows(2)
-            .map(|w| (w[0] - mean) * (w[1] - mean))
-            .sum();
+        let cov: f32 = xs.windows(2).map(|w| (w[0] - mean) * (w[1] - mean)).sum();
         let rho = cov / var;
         assert!(rho > 0.3, "lag-1 autocorrelation {rho}");
     }

@@ -284,9 +284,7 @@ mod tests {
     #[test]
     fn profile_concatenates_segments() {
         let g = ScGenerator::new(ScConfig::default()).unwrap();
-        let s = g
-            .generate_profile(&[(0.1, 30.0), (0.9, 30.0)], 7)
-            .unwrap();
+        let s = g.generate_profile(&[(0.1, 30.0), (0.9, 30.0)], 7).unwrap();
         assert_eq!(s.len(), (60.0 * 4.0) as usize);
         // Second half should sit higher on average.
         let first = s.slice_secs(5.0, 30.0).unwrap();

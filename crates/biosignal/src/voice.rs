@@ -9,9 +9,9 @@
 //! * **energy** — overall level and syllable rate;
 //! * **spectrum** — brightness (harmonic tilt) and breathiness (noise mix).
 
-use affect_core::emotion::Emotion;
 use crate::noise::gaussian_with;
 use crate::BiosignalError;
+use affect_core::emotion::Emotion;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
@@ -220,8 +220,8 @@ pub fn synthesize_utterance(
     for i in 0..n {
         let t = i as f32 * dt;
         let progress = t / duration_secs;
-        jitter_state = 0.995 * jitter_state
-            + 0.005 * gaussian_with(&mut rng, 0.0, params.jitter * 20.0);
+        jitter_state =
+            0.995 * jitter_state + 0.005 * gaussian_with(&mut rng, 0.0, params.jitter * 20.0);
         let tremor = params.tremor * (2.0 * std::f32::consts::PI * tremor_hz * t).sin();
         let f0 = params.f0_hz * (1.0 + params.f0_slope * progress) * (1.0 + jitter_state + tremor);
         phase += 2.0 * std::f32::consts::PI * f0.max(20.0) * dt;

@@ -43,7 +43,8 @@ impl Corpus {
         spec.validate()?;
         let mut utterances = Vec::with_capacity(spec.total_utterances());
         for actor in 0..spec.actors {
-            let mut actor_rng = StdRng::seed_from_u64(seed ^ (actor as u64).wrapping_mul(0x9E37_79B9));
+            let mut actor_rng =
+                StdRng::seed_from_u64(seed ^ (actor as u64).wrapping_mul(0x9E37_79B9));
             // Alternate vocal registers; add per-actor spread.
             let register = if actor % 2 == 0 { 1.0 } else { 1.65 };
             let speaker_factor = register * (0.92 + 0.16 * actor_rng.random::<f32>());

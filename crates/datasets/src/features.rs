@@ -147,7 +147,9 @@ pub fn normalize_features_in_place(
     feature_dim: usize,
 ) -> Result<(Vec<f32>, Vec<f32>), DatasetError> {
     if xs.is_empty() || feature_dim == 0 {
-        return Err(DatasetError::InvalidSplit("empty dataset or zero feature_dim"));
+        return Err(DatasetError::InvalidSplit(
+            "empty dataset or zero feature_dim",
+        ));
     }
     if xs.iter().any(|x| x.len() % feature_dim != 0) {
         return Err(DatasetError::InvalidSplit(
@@ -321,10 +323,7 @@ mod tests {
     fn normalize_rejects_empty_or_ragged() {
         let mut empty: Vec<Tensor> = vec![];
         assert!(normalize_in_place(&mut empty).is_err());
-        let mut ragged = vec![
-            Tensor::zeros(&[2]).unwrap(),
-            Tensor::zeros(&[3]).unwrap(),
-        ];
+        let mut ragged = vec![Tensor::zeros(&[2]).unwrap(), Tensor::zeros(&[3]).unwrap()];
         assert!(normalize_in_place(&mut ragged).is_err());
     }
 }

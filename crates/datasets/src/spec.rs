@@ -1,7 +1,7 @@
 //! Corpus specifications mirroring the paper's three datasets.
 
-use affect_core::emotion::Emotion;
 use crate::DatasetError;
+use affect_core::emotion::Emotion;
 
 /// Structural description of an emotional-speech corpus.
 ///
@@ -179,7 +179,10 @@ mod tests {
 
     #[test]
     fn validation_catches_degenerate_specs() {
-        assert!(CorpusSpec::ravdess_like().with_actors(0).validate().is_err());
+        assert!(CorpusSpec::ravdess_like()
+            .with_actors(0)
+            .validate()
+            .is_err());
         assert!(CorpusSpec::ravdess_like()
             .with_utterances(0)
             .validate()

@@ -35,11 +35,7 @@ impl TrainTestSplit {
     ///
     /// Returns [`DatasetError::InvalidSplit`] when the fraction is outside
     /// `(0, 1)` or either side ends up empty.
-    pub fn random(
-        corpus: &Corpus,
-        test_fraction: f32,
-        seed: u64,
-    ) -> Result<Self, DatasetError> {
+    pub fn random(corpus: &Corpus, test_fraction: f32, seed: u64) -> Result<Self, DatasetError> {
         if !(0.0..1.0).contains(&test_fraction) || test_fraction == 0.0 {
             return Err(DatasetError::InvalidSplit("fraction must be in (0, 1)"));
         }
@@ -61,11 +57,7 @@ impl TrainTestSplit {
     ///
     /// Returns [`DatasetError::InvalidSplit`] when the fraction is outside
     /// `(0, 1)` or either side would hold no actors.
-    pub fn by_actor(
-        corpus: &Corpus,
-        test_fraction: f32,
-        seed: u64,
-    ) -> Result<Self, DatasetError> {
+    pub fn by_actor(corpus: &Corpus, test_fraction: f32, seed: u64) -> Result<Self, DatasetError> {
         if !(0.0..1.0).contains(&test_fraction) || test_fraction == 0.0 {
             return Err(DatasetError::InvalidSplit("fraction must be in (0, 1)"));
         }
@@ -151,9 +143,6 @@ mod tests {
     #[test]
     fn gather_selects_in_order() {
         let items = vec!["a", "b", "c", "d"];
-        assert_eq!(
-            TrainTestSplit::gather(&[2, 0], &items),
-            vec!["c", "a"]
-        );
+        assert_eq!(TrainTestSplit::gather(&[2, 0], &items), vec!["c", "a"]);
     }
 }

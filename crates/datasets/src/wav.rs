@@ -68,11 +68,7 @@ pub fn encode_wav(samples: &[f32], sample_rate: u32) -> Result<Vec<u8>, DatasetE
 ///
 /// Propagates encoding and filesystem errors (the latter as
 /// `io::Error`-wrapped panics are avoided by returning `io::Result`).
-pub fn write_wav<P: AsRef<Path>>(
-    path: P,
-    samples: &[f32],
-    sample_rate: u32,
-) -> io::Result<()> {
+pub fn write_wav<P: AsRef<Path>>(path: P, samples: &[f32], sample_rate: u32) -> io::Result<()> {
     let bytes = encode_wav(samples, sample_rate)
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
     if let Some(parent) = path.as_ref().parent() {

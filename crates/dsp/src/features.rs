@@ -161,10 +161,7 @@ pub fn pitch_autocorrelation(
 ///
 /// Propagates FFT errors (non-power-of-two or empty frames) and rejects a
 /// non-positive `sample_rate`.
-pub fn spectral_magnitude(
-    frame: &[f32],
-    sample_rate: f32,
-) -> Result<SpectralSummary, DspError> {
+pub fn spectral_magnitude(frame: &[f32], sample_rate: f32) -> Result<SpectralSummary, DspError> {
     if !(sample_rate > 0.0) {
         return Err(DspError::InvalidParameter {
             name: "sample_rate",
@@ -233,7 +230,9 @@ mod tests {
 
     #[test]
     fn rms_of_unit_square_wave_is_one() {
-        let sq: Vec<f32> = (0..64).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let sq: Vec<f32> = (0..64)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         assert!((rms(&sq).unwrap() - 1.0).abs() < 1e-6);
     }
 

@@ -228,7 +228,10 @@ pub fn ifft_inplace(buf: &mut [Complex]) -> Result<(), DspError> {
 pub fn rfft_magnitude(signal: &[f32]) -> Result<Vec<f32>, DspError> {
     let mut buf: Vec<Complex> = signal.iter().map(|&x| Complex::new(x, 0.0)).collect();
     fft_inplace(&mut buf)?;
-    Ok(buf[..signal.len() / 2 + 1].iter().map(|c| c.abs()).collect())
+    Ok(buf[..signal.len() / 2 + 1]
+        .iter()
+        .map(|c| c.abs())
+        .collect())
 }
 
 #[cfg(test)]

@@ -181,9 +181,7 @@ pub fn dct_ii(input: &[f32], n_out: usize) -> Vec<f32> {
             let sum: f32 = input
                 .iter()
                 .enumerate()
-                .map(|(i, &x)| {
-                    x * (std::f32::consts::PI * k as f32 * (i as f32 + 0.5) / n).cos()
-                })
+                .map(|(i, &x)| x * (std::f32::consts::PI * k as f32 * (i as f32 + 0.5) / n).cos())
                 .sum();
             let scale = if k == 0 {
                 (1.0 / n).sqrt()

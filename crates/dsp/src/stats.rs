@@ -126,9 +126,11 @@ pub fn min_max(xs: &[f32]) -> Result<(f32, f32), DspError> {
     if xs.is_empty() {
         return Err(DspError::EmptyInput);
     }
-    Ok(xs.iter().fold((f32::INFINITY, f32::NEG_INFINITY), |(lo, hi), &x| {
-        (lo.min(x), hi.max(x))
-    }))
+    Ok(xs
+        .iter()
+        .fold((f32::INFINITY, f32::NEG_INFINITY), |(lo, hi), &x| {
+            (lo.min(x), hi.max(x))
+        }))
 }
 
 #[cfg(test)]

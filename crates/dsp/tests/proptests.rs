@@ -6,9 +6,8 @@ use dsp::{rms, zero_crossing_rate, Frames, MelFilterBank, Window};
 use proptest::prelude::*;
 
 fn signal_strategy(max_pow: u32) -> impl Strategy<Value = Vec<f32>> {
-    (1u32..=max_pow).prop_flat_map(|p| {
-        prop::collection::vec(-1.0f32..1.0, 1usize << p..=1usize << p)
-    })
+    (1u32..=max_pow)
+        .prop_flat_map(|p| prop::collection::vec(-1.0f32..1.0, 1usize << p..=1usize << p))
 }
 
 proptest! {

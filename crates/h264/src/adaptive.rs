@@ -219,6 +219,72 @@ pub fn adaptive_playback(
     })
 }
 
+/// Live mode-switching front end for the decoder, driven by the affect
+/// loop at runtime.
+///
+/// Where [`adaptive_playback`] replays a *labelled* schedule offline, the
+/// driver holds the decoder's current [`VideoPowerMode`] between segments
+/// and lets a controller retarget it as emotions arrive. It is the video
+/// side's actuation endpoint for the `affect-rt` runtime.
+#[derive(Debug, Clone)]
+pub struct ModeSwitchDriver {
+    options: DecoderOptions,
+    mode: VideoPowerMode,
+    switches: usize,
+}
+
+impl ModeSwitchDriver {
+    /// Creates a driver starting in `initial` mode.
+    pub fn new(initial: VideoPowerMode) -> Self {
+        Self {
+            options: options_for_mode(initial),
+            mode: initial,
+            switches: 0,
+        }
+    }
+
+    /// The mode the next segment will decode under.
+    pub fn mode(&self) -> VideoPowerMode {
+        self.mode
+    }
+
+    /// Number of effective mode changes applied so far.
+    pub fn switches(&self) -> usize {
+        self.switches
+    }
+
+    /// Retargets the decoder. Returns `true` when the mode actually
+    /// changed; setting the current mode again is a no-op.
+    pub fn set_mode(&mut self, mode: VideoPowerMode) -> bool {
+        if mode == self.mode {
+            return false;
+        }
+        self.mode = mode;
+        self.options = options_for_mode(mode);
+        self.switches += 1;
+        true
+    }
+
+    /// Decodes one segment of bitstream under the current mode.
+    ///
+    /// Mode changes apply at segment boundaries (the paper switches
+    /// between GOPs), so each segment gets a fresh decoder configured
+    /// with the mode in force when the segment starts.
+    ///
+    /// # Errors
+    ///
+    /// Propagates decoder errors for malformed bitstreams.
+    pub fn decode_segment(&self, stream: &[u8]) -> Result<DecodeOutput, CodecError> {
+        Decoder::new(self.options).decode(stream)
+    }
+}
+
+impl Default for ModeSwitchDriver {
+    fn default() -> Self {
+        Self::new(VideoPowerMode::Standard)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -268,8 +334,16 @@ mod tests {
         // real texture, so DF-off can score slightly *higher* SSIM even as
         // PSNR prefers standard — the two metrics disagree by design.
         // Assert only that the spread stays small.
-        let max = profile.reports.iter().map(|r| r.ssim).fold(0.0f64, f64::max);
-        let min = profile.reports.iter().map(|r| r.ssim).fold(1.0f64, f64::min);
+        let max = profile
+            .reports
+            .iter()
+            .map(|r| r.ssim)
+            .fold(0.0f64, f64::max);
+        let min = profile
+            .reports
+            .iter()
+            .map(|r| r.ssim)
+            .fold(1.0f64, f64::min);
         assert!(max - min < 0.05, "ssim spread {min}..{max}");
     }
 
@@ -315,8 +389,7 @@ mod tests {
             (CognitiveState::Relaxed, 11.0),
         ];
         let report =
-            adaptive_playback(&stream, &frames, &schedule, &PolicyTable::paper_defaults())
-                .unwrap();
+            adaptive_playback(&stream, &frames, &schedule, &PolicyTable::paper_defaults()).unwrap();
         // Paper: 23.1% saving. Allow calibration residual.
         assert!(
             (report.saving - 0.231).abs() < 0.05,
@@ -330,8 +403,34 @@ mod tests {
     #[test]
     fn empty_schedule_rejected() {
         let (frames, stream) = clip_and_stream();
+        assert!(adaptive_playback(&stream, &frames, &[], &PolicyTable::paper_defaults()).is_err());
+    }
+
+    #[test]
+    fn driver_counts_only_effective_switches() {
+        let mut driver = ModeSwitchDriver::default();
+        assert_eq!(driver.mode(), VideoPowerMode::Standard);
+        assert!(!driver.set_mode(VideoPowerMode::Standard));
+        assert_eq!(driver.switches(), 0);
+        assert!(driver.set_mode(VideoPowerMode::Combined));
+        assert!(!driver.set_mode(VideoPowerMode::Combined));
+        assert!(driver.set_mode(VideoPowerMode::DeblockOff));
+        assert_eq!(driver.switches(), 2);
+        assert_eq!(driver.mode(), VideoPowerMode::DeblockOff);
+    }
+
+    #[test]
+    fn driver_decodes_under_current_mode() {
+        let (_, stream) = clip_and_stream();
+        let mut driver = ModeSwitchDriver::new(VideoPowerMode::Standard);
+        let standard = driver.decode_segment(&stream).unwrap();
+        assert_eq!(standard.selection.deleted_units, 0);
+        driver.set_mode(VideoPowerMode::NalDeletion);
+        let deletion = driver.decode_segment(&stream).unwrap();
         assert!(
-            adaptive_playback(&stream, &frames, &[], &PolicyTable::paper_defaults()).is_err()
+            deletion.selection.deleted_units > 0,
+            "paper operating point deletes NALs"
         );
+        assert_eq!(standard.frames.len(), deletion.frames.len());
     }
 }

@@ -6,7 +6,9 @@ use crate::cavlc::{coeff_count, context_for, decode_block};
 use crate::deblock::{deblock_frame, BlockInfo};
 use crate::expgolomb::BitReader;
 use crate::frame::{Frame, BLOCKS_PER_MB, BLOCK_SIZE, MB_SIZE};
-use crate::inter::{compensate_mb, compensate_mb_bi, compensate_mb_bi_hp, compensate_mb_hp, MotionVector};
+use crate::inter::{
+    compensate_mb, compensate_mb_bi, compensate_mb_bi_hp, compensate_mb_hp, MotionVector,
+};
 use crate::intra::{predict, IntraMode};
 use crate::nal::{split_annex_b, write_annex_b, NalType, NalUnit};
 use crate::transform::decode_residual;
@@ -285,7 +287,9 @@ impl Decoder {
             for mb_x in 0..width / MB_SIZE {
                 match nal_type {
                     NalType::IdrSlice => {
-                        self.decode_intra_mb(reader, &mut frame, &mut ctx, mb_x, mb_y, qp, activity)?;
+                        self.decode_intra_mb(
+                            reader, &mut frame, &mut ctx, mb_x, mb_y, qp, activity,
+                        )?;
                     }
                     NalType::PSlice => {
                         let reference = refs.last().ok_or(CodecError::MissingReference)?;

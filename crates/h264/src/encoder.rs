@@ -10,7 +10,10 @@ use crate::cavlc::{coeff_count, context_for, encode_block};
 use crate::deblock::{deblock_frame, BlockInfo};
 use crate::expgolomb::BitWriter;
 use crate::frame::{Frame, BLOCKS_PER_MB, BLOCK_SIZE, MB_SIZE};
-use crate::inter::{compensate_mb, compensate_mb_bi, compensate_mb_bi_hp, compensate_mb_hp, estimate_motion_halfpel, sad_mb, MotionVector};
+use crate::inter::{
+    compensate_mb, compensate_mb_bi, compensate_mb_bi_hp, compensate_mb_hp,
+    estimate_motion_halfpel, sad_mb, MotionVector,
+};
 use crate::intra::{best_mode, predict};
 use crate::nal::{write_annex_b, NalType, NalUnit};
 use crate::transform::{decode_residual, encode_residual};
@@ -179,7 +182,10 @@ impl Encoder {
             });
         };
         let (width, height) = (first.width(), first.height());
-        if frames.iter().any(|f| f.width() != width || f.height() != height) {
+        if frames
+            .iter()
+            .any(|f| f.width() != width || f.height() != height)
+        {
             return Err(CodecError::InvalidParameter {
                 name: "frames",
                 reason: "all frames must share dimensions",
@@ -230,13 +236,19 @@ impl Encoder {
         w.write_ue(index as u32);
 
         let newest_ref = refs.last();
-        let oldest_ref = if refs.len() >= 2 { &refs[0] } else { refs.first().unwrap_or(source) };
+        let oldest_ref = if refs.len() >= 2 {
+            &refs[0]
+        } else {
+            refs.first().unwrap_or(source)
+        };
 
         for mb_y in 0..height / MB_SIZE {
             for mb_x in 0..width / MB_SIZE {
                 match kind {
                     FrameKind::I => {
-                        self.encode_intra_mb(source, &mut recon, &mut coder, &mut w, mb_x, mb_y, qp)?;
+                        self.encode_intra_mb(
+                            source, &mut recon, &mut coder, &mut w, mb_x, mb_y, qp,
+                        )?;
                     }
                     FrameKind::P => {
                         let reference = newest_ref.ok_or(CodecError::MissingReference)?;
@@ -380,10 +392,8 @@ impl Encoder {
             self.reconstruct_skip(ref0, Some(ref1), recon, coder, mb_x, mb_y);
             return Ok(());
         }
-        let (mv0, _) =
-            estimate_motion_halfpel(source, ref0, mb_x, mb_y, self.config.search_range);
-        let (mv1, _) =
-            estimate_motion_halfpel(source, ref1, mb_x, mb_y, self.config.search_range);
+        let (mv0, _) = estimate_motion_halfpel(source, ref0, mb_x, mb_y, self.config.search_range);
+        let (mv1, _) = estimate_motion_halfpel(source, ref1, mb_x, mb_y, self.config.search_range);
         w.write_ue(1); // bi-inter
         w.write_se(mv0.x); // half-pel units
         w.write_se(mv0.y);

@@ -38,7 +38,11 @@ impl Frame {
     ///
     /// Returns [`CodecError::BadDimensions`] otherwise.
     pub fn new(width: usize, height: usize) -> Result<Self, CodecError> {
-        if width == 0 || height == 0 || !width.is_multiple_of(MB_SIZE) || !height.is_multiple_of(MB_SIZE) {
+        if width == 0
+            || height == 0
+            || !width.is_multiple_of(MB_SIZE)
+            || !height.is_multiple_of(MB_SIZE)
+        {
             return Err(CodecError::BadDimensions { width, height });
         }
         Ok(Self {

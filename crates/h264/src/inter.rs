@@ -40,10 +40,9 @@ pub fn sad_mb(
     for dy in 0..MB_SIZE as isize {
         for dx in 0..MB_SIZE as isize {
             let cur = i32::from(current.pixel((base_x + dx) as usize, (base_y + dy) as usize));
-            let refp = i32::from(reference.pixel_clamped(
-                base_x + dx + mv.x as isize,
-                base_y + dy + mv.y as isize,
-            ));
+            let refp = i32::from(
+                reference.pixel_clamped(base_x + dx + mv.x as isize, base_y + dy + mv.y as isize),
+            );
             sad += cur.abs_diff(refp);
         }
     }
@@ -92,10 +91,9 @@ pub fn compensate_mb(
     let base_y = (mb_y * MB_SIZE) as isize;
     for dy in 0..MB_SIZE as isize {
         for dx in 0..MB_SIZE as isize {
-            out[(dy as usize) * MB_SIZE + dx as usize] = i32::from(reference.pixel_clamped(
-                base_x + dx + mv.x as isize,
-                base_y + dy + mv.y as isize,
-            ));
+            out[(dy as usize) * MB_SIZE + dx as usize] = i32::from(
+                reference.pixel_clamped(base_x + dx + mv.x as isize, base_y + dy + mv.y as isize),
+            );
         }
     }
 }

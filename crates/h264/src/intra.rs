@@ -80,8 +80,7 @@ struct Borders {
 impl Borders {
     fn gather(frame: &Frame, x: usize, y: usize) -> Borders {
         let read = |px: isize, py: isize| -> i32 {
-            if px < 0 || py < 0 || px >= frame.width() as isize || py >= frame.height() as isize
-            {
+            if px < 0 || py < 0 || px >= frame.width() as isize || py >= frame.height() as isize {
                 128
             } else {
                 i32::from(frame.pixel(px as usize, py as usize))
@@ -185,9 +184,7 @@ pub fn predict(frame: &Frame, x: usize, y: usize, mode: IntraMode) -> [i32; 16] 
                         std::cmp::Ordering::Less => {
                             (b.l(py - px - 2) + 2 * b.l(py - px - 1) + b.l(py - px) + 2) >> 2
                         }
-                        std::cmp::Ordering::Equal => {
-                            (b.a(0) + 2 * b.corner + b.l(0) + 2) >> 2
-                        }
+                        std::cmp::Ordering::Equal => (b.a(0) + 2 * b.corner + b.l(0) + 2) >> 2,
                     };
                     set(px as usize, py as usize, v);
                 }
@@ -208,8 +205,7 @@ pub fn predict(frame: &Frame, x: usize, y: usize, mode: IntraMode) -> [i32; 16] 
                     } else if z == -1 {
                         (b.l(0) + 2 * b.corner + b.a(0) + 2) >> 2
                     } else {
-                        (b.l(py - 2 * px - 1) + 2 * b.l(py - 2 * px - 2) + b.l(py - 2 * px - 3)
-                            + 2)
+                        (b.l(py - 2 * px - 1) + 2 * b.l(py - 2 * px - 2) + b.l(py - 2 * px - 3) + 2)
                             >> 2
                     };
                     set(px as usize, py as usize, v);
@@ -231,8 +227,7 @@ pub fn predict(frame: &Frame, x: usize, y: usize, mode: IntraMode) -> [i32; 16] 
                     } else if z == -1 {
                         (b.l(0) + 2 * b.corner + b.a(0) + 2) >> 2
                     } else {
-                        (b.a(px - 2 * py - 1) + 2 * b.a(px - 2 * py - 2) + b.a(px - 2 * py - 3)
-                            + 2)
+                        (b.a(px - 2 * py - 1) + 2 * b.a(px - 2 * py - 2) + b.a(px - 2 * py - 3) + 2)
                             >> 2
                     };
                     set(px as usize, py as usize, v);
@@ -436,7 +431,10 @@ mod tests {
         }
         let (mode, _) = best_mode(&f, &source, 4, 4);
         assert!(
-            !matches!(mode, IntraMode::Vertical | IntraMode::Horizontal | IntraMode::Dc),
+            !matches!(
+                mode,
+                IntraMode::Vertical | IntraMode::Horizontal | IntraMode::Dc
+            ),
             "expected an angular mode, got {mode:?}"
         );
     }

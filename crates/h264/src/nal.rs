@@ -291,11 +291,7 @@ impl StreamInfo {
         if self.total_bytes == 0 {
             return 0.0;
         }
-        let droppable: usize = self
-            .droppable_sizes
-            .iter()
-            .filter(|&&s| s <= s_th)
-            .sum();
+        let droppable: usize = self.droppable_sizes.iter().filter(|&&s| s <= s_th).sum();
         droppable as f64 / self.total_bytes as f64
     }
 }
@@ -349,7 +345,12 @@ mod tests {
 
     #[test]
     fn type_codes_round_trip() {
-        for t in [NalType::Sps, NalType::IdrSlice, NalType::PSlice, NalType::BSlice] {
+        for t in [
+            NalType::Sps,
+            NalType::IdrSlice,
+            NalType::PSlice,
+            NalType::BSlice,
+        ] {
             assert_eq!(NalType::from_code(t.code()).unwrap(), t);
         }
         assert!(NalType::from_code(31).is_err());

@@ -255,7 +255,10 @@ mod tests {
             // Pixel-domain error is on the order of the quantization step.
             let bound = (qp_step(qp) * 1.5 + 2.0) as i32;
             for (a, b) in block.iter().zip(&back) {
-                assert!((a - b).abs() <= bound, "qp {qp}: {a} vs {b} (bound {bound})");
+                assert!(
+                    (a - b).abs() <= bound,
+                    "qp {qp}: {a} vs {b} (bound {bound})"
+                );
             }
         }
     }

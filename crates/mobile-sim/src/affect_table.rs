@@ -102,6 +102,71 @@ impl AppAffectTable {
     }
 }
 
+/// Live re-ranking front end for the app manager, driven by the affect
+/// loop at runtime.
+///
+/// The simulator consumes emotions from a pre-labelled workload; the
+/// reranker instead holds the *current* emotion between updates so a
+/// streaming controller can retarget it as classifications arrive. It is
+/// the memory side's actuation endpoint for the `affect-rt` runtime.
+#[derive(Debug, Clone)]
+pub struct EmotionReranker {
+    table: AppAffectTable,
+    emotion: Emotion,
+    reranks: usize,
+}
+
+impl EmotionReranker {
+    /// Creates a reranker over `table`, starting in `initial` emotion.
+    pub fn new(table: AppAffectTable, initial: Emotion) -> Self {
+        Self {
+            table,
+            emotion: initial,
+            reranks: 0,
+        }
+    }
+
+    /// The emotion the current ranking is conditioned on.
+    pub fn emotion(&self) -> Emotion {
+        self.emotion
+    }
+
+    /// Number of effective emotion changes (re-ranks) applied so far.
+    pub fn reranks(&self) -> usize {
+        self.reranks
+    }
+
+    /// The underlying affect table.
+    pub fn table(&self) -> &AppAffectTable {
+        &self.table
+    }
+
+    /// Observes a classified emotion. Returns `true` when it differs from
+    /// the current one (the background list must be re-ranked); repeating
+    /// the current emotion is a no-op.
+    pub fn observe(&mut self, emotion: Emotion) -> bool {
+        if emotion == self.emotion {
+            return false;
+        }
+        self.emotion = emotion;
+        self.reranks += 1;
+        true
+    }
+
+    /// Indices of `apps` ordered most-retainable first under the current
+    /// emotion (the head survives longest; the tail is killed first).
+    /// Ties break by input order, keeping the ranking deterministic.
+    pub fn retention_order(&self, apps: &[App]) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..apps.len()).collect();
+        order.sort_by(|&a, &b| {
+            let ra = self.table.rank(self.emotion, &apps[a]);
+            let rb = self.table.rank(self.emotion, &apps[b]);
+            rb.total_cmp(&ra).then(a.cmp(&b))
+        });
+        order
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -159,5 +224,37 @@ mod tests {
     fn alpha_clamped() {
         let t = AppAffectTable::from_subject(&SubjectProfile::subject1(), 5.0);
         assert_eq!(t.alpha(), 1.0);
+    }
+
+    #[test]
+    fn reranker_counts_only_effective_changes() {
+        let t = AppAffectTable::from_subject(&SubjectProfile::subject3(), 0.0);
+        let mut r = EmotionReranker::new(t, Emotion::Neutral);
+        assert!(!r.observe(Emotion::Neutral));
+        assert_eq!(r.reranks(), 0);
+        assert!(r.observe(Emotion::Happy));
+        assert!(!r.observe(Emotion::Happy));
+        assert!(r.observe(Emotion::Calm));
+        assert_eq!(r.reranks(), 2);
+        assert_eq!(r.emotion(), Emotion::Calm);
+    }
+
+    #[test]
+    fn retention_order_tracks_emotion() {
+        let t = AppAffectTable::from_subject(&SubjectProfile::subject3(), 0.0);
+        let device = DeviceConfig::paper_emulator();
+        let apps: Vec<_> = vec![
+            device.apps_in(AppCategory::Tv)[0].clone(),
+            device.apps_in(AppCategory::Calling)[0].clone(),
+        ];
+        let mut r = EmotionReranker::new(t, Emotion::Happy);
+        // Subject 3 calls a lot when excited: the dialer outranks TV.
+        assert_eq!(r.retention_order(&apps), vec![1, 0]);
+        // A full ordering is a permutation regardless of emotion.
+        r.observe(Emotion::Calm);
+        let order = r.retention_order(&apps);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1]);
     }
 }

@@ -60,7 +60,10 @@ impl DeviceConfig {
 
     /// Installed apps of a category.
     pub fn apps_in(&self, category: AppCategory) -> Vec<&App> {
-        self.apps.iter().filter(|a| a.category == category).collect()
+        self.apps
+            .iter()
+            .filter(|a| a.category == category)
+            .collect()
     }
 
     /// RAM available to app processes.

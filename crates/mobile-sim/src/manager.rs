@@ -219,10 +219,7 @@ pub fn make_policy(
 mod tests {
     use super::*;
 
-    fn ctx<'a>(
-        counts: &'a BTreeMap<usize, u32>,
-        device: &'a DeviceConfig,
-    ) -> PolicyContext<'a> {
+    fn ctx<'a>(counts: &'a BTreeMap<usize, u32>, device: &'a DeviceConfig) -> PolicyContext<'a> {
         PolicyContext {
             emotion: Emotion::Happy,
             launch_counts: counts,
@@ -315,8 +312,14 @@ mod tests {
     #[test]
     fn make_policy_dispatches() {
         let s = SubjectProfile::subject1();
-        assert_eq!(make_policy(PolicyKind::Fifo, &s, 0.0).kind(), PolicyKind::Fifo);
-        assert_eq!(make_policy(PolicyKind::Lru, &s, 0.0).kind(), PolicyKind::Lru);
+        assert_eq!(
+            make_policy(PolicyKind::Fifo, &s, 0.0).kind(),
+            PolicyKind::Fifo
+        );
+        assert_eq!(
+            make_policy(PolicyKind::Lru, &s, 0.0).kind(),
+            PolicyKind::Lru
+        );
         assert_eq!(
             make_policy(PolicyKind::Emotion, &s, 0.1).kind(),
             PolicyKind::Emotion
@@ -329,9 +332,6 @@ mod tests {
         let counts = BTreeMap::new();
         let mut fg = resident(1, 0.0, 0.0);
         fg.foreground = true;
-        assert_eq!(
-            LruPolicy.choose_victim(&[fg], &ctx(&counts, &device)),
-            None
-        );
+        assert_eq!(LruPolicy.choose_victim(&[fg], &ctx(&counts, &device)), None);
     }
 }

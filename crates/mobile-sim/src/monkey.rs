@@ -162,7 +162,10 @@ fn sample_category(weights: &[(AppCategory, f32)], rng: &mut StdRng) -> AppCateg
         }
         x -= w;
     }
-    weights.last().map(|&(c, _)| c).unwrap_or(AppCategory::Messaging)
+    weights
+        .last()
+        .map(|&(c, _)| c)
+        .unwrap_or(AppCategory::Messaging)
 }
 
 fn sample_app(device: &DeviceConfig, category: AppCategory, rng: &mut StdRng) -> usize {
@@ -207,7 +210,10 @@ mod tests {
     fn events_sorted_and_within_duration() {
         let device = DeviceConfig::paper_emulator();
         let s = SubjectProfile::subject3();
-        let w = MonkeyScript::new(&s, 3).paper_fig9().build(&device).unwrap();
+        let w = MonkeyScript::new(&s, 3)
+            .paper_fig9()
+            .build(&device)
+            .unwrap();
         assert_eq!(w.len(), 100);
         assert!((w.duration_s - 1200.0).abs() < 1e-9);
         for pair in w.events.windows(2) {
@@ -220,10 +226,19 @@ mod tests {
     fn deterministic_per_seed() {
         let device = DeviceConfig::paper_emulator();
         let s = SubjectProfile::subject2();
-        let a = MonkeyScript::new(&s, 9).paper_fig9().build(&device).unwrap();
-        let b = MonkeyScript::new(&s, 9).paper_fig9().build(&device).unwrap();
+        let a = MonkeyScript::new(&s, 9)
+            .paper_fig9()
+            .build(&device)
+            .unwrap();
+        let b = MonkeyScript::new(&s, 9)
+            .paper_fig9()
+            .build(&device)
+            .unwrap();
         assert_eq!(a, b);
-        let c = MonkeyScript::new(&s, 10).paper_fig9().build(&device).unwrap();
+        let c = MonkeyScript::new(&s, 10)
+            .paper_fig9()
+            .build(&device)
+            .unwrap();
         assert_ne!(a, c);
     }
 
@@ -238,9 +253,7 @@ mod tests {
         let messaging = w
             .events
             .iter()
-            .filter(|e| {
-                device.app(e.app_id).unwrap().category == AppCategory::Messaging
-            })
+            .filter(|e| device.app(e.app_id).unwrap().category == AppCategory::Messaging)
             .count() as f32
             / 1000.0;
         // Subject 1 sends ~38% of launches to messaging.

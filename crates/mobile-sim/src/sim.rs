@@ -189,12 +189,7 @@ impl Simulator {
             loop {
                 let used_ram: u64 = residents
                     .iter()
-                    .map(|p| {
-                        self.device
-                            .app(p.app_id)
-                            .map(|a| a.ram_bytes)
-                            .unwrap_or(0)
-                    })
+                    .map(|p| self.device.app(p.app_id).map(|a| a.ram_bytes).unwrap_or(0))
                     .sum();
                 metrics.peak_resident_bytes = metrics.peak_resident_bytes.max(used_ram);
                 metrics.peak_resident_processes =
@@ -285,8 +280,7 @@ pub fn compare_policies(
     alpha: f32,
 ) -> Result<ComparisonReport, SimError> {
     let mut base_sim = Simulator::with_subject(device.clone(), baseline, subject, alpha)?;
-    let mut emo_sim =
-        Simulator::with_subject(device.clone(), PolicyKind::Emotion, subject, alpha)?;
+    let mut emo_sim = Simulator::with_subject(device.clone(), PolicyKind::Emotion, subject, alpha)?;
     Ok(ComparisonReport {
         baseline: base_sim.run(workload)?,
         emotion: emo_sim.run(workload)?,
@@ -343,8 +337,7 @@ mod tests {
         let device = DeviceConfig::paper_emulator();
         let subject = SubjectProfile::subject3();
         let w = fig9_workload(&device, 3);
-        let report =
-            compare_policies(&device, &subject, &w, PolicyKind::Fifo, 0.05).unwrap();
+        let report = compare_policies(&device, &subject, &w, PolicyKind::Fifo, 0.05).unwrap();
         assert!(
             report.emotion.cold_starts <= report.baseline.cold_starts,
             "{} vs {}",
@@ -402,7 +395,10 @@ mod tests {
         let f = report.flash_saving();
         let a = report.allocated_saving();
         assert!(f > 0.0 && a > 0.0, "flash {f:.3} allocated {a:.3}");
-        assert!(f / a < 3.0 && a / f < 3.0, "flash {f:.3} vs allocated {a:.3}");
+        assert!(
+            f / a < 3.0 && a / f < 3.0,
+            "flash {f:.3} vs allocated {a:.3}"
+        );
     }
 
     #[test]

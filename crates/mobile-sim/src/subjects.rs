@@ -38,12 +38,7 @@ pub struct SubjectProfile {
 }
 
 impl SubjectProfile {
-    fn build(
-        id: u8,
-        trait_label: &str,
-        personality: BigFive,
-        raw: &[(AppCategory, f32)],
-    ) -> Self {
+    fn build(id: u8, trait_label: &str, personality: BigFive, raw: &[(AppCategory, f32)]) -> Self {
         let total: f32 = raw.iter().map(|&(_, w)| w).sum();
         let usage = raw
             .iter()
@@ -198,8 +193,7 @@ impl SubjectProfile {
 
     /// Categories with nonzero usage, highest share first.
     pub fn top_categories(&self) -> Vec<(AppCategory, f32)> {
-        let mut v: Vec<(AppCategory, f32)> =
-            self.usage.iter().map(|(&c, &w)| (c, w)).collect();
+        let mut v: Vec<(AppCategory, f32)> = self.usage.iter().map(|(&c, &w)| (c, w)).collect();
         v.sort_by(|a, b| b.1.total_cmp(&a.1));
         v
     }
@@ -212,10 +206,7 @@ mod tests {
     #[test]
     fn four_subjects_with_normalized_usage() {
         for s in SubjectProfile::paper_subjects() {
-            let total: f32 = AppCategory::ALL
-                .iter()
-                .map(|&c| s.usage_share(c))
-                .sum();
+            let total: f32 = AppCategory::ALL.iter().map(|&c| s.usage_share(c)).sum();
             assert!((total - 1.0).abs() < 1e-5, "subject {}: {total}", s.id);
         }
     }
@@ -224,13 +215,9 @@ mod tests {
     fn messaging_plus_browsing_dominates() {
         // The paper: about 60% to 70% combined for every subject.
         for s in SubjectProfile::paper_subjects() {
-            let share = s.usage_share(AppCategory::Messaging)
-                + s.usage_share(AppCategory::InternetBrowser);
-            assert!(
-                (0.55..=0.75).contains(&share),
-                "subject {}: {share}",
-                s.id
-            );
+            let share =
+                s.usage_share(AppCategory::Messaging) + s.usage_share(AppCategory::InternetBrowser);
+            assert!((0.55..=0.75).contains(&share), "subject {}: {share}", s.id);
         }
     }
 
@@ -263,9 +250,7 @@ mod tests {
     fn subjects_differ_in_tail_usage() {
         let s1 = SubjectProfile::subject1();
         let s3 = SubjectProfile::subject3();
-        assert!(
-            s3.usage_share(AppCategory::Calling) > s1.usage_share(AppCategory::Calling)
-        );
+        assert!(s3.usage_share(AppCategory::Calling) > s1.usage_share(AppCategory::Calling));
         assert!(s1.usage_share(AppCategory::Tv) > s3.usage_share(AppCategory::Tv));
     }
 }

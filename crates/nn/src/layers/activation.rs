@@ -176,7 +176,10 @@ mod tests {
     fn relu_zeroes_negatives() {
         let mut l = Activation::relu();
         let y = l
-            .forward(&Tensor::from_vec(vec![-3.0, 0.0, 3.0], &[3]).unwrap(), false)
+            .forward(
+                &Tensor::from_vec(vec![-3.0, 0.0, 3.0], &[3]).unwrap(),
+                false,
+            )
             .unwrap();
         assert_eq!(y.data(), &[0.0, 0.0, 3.0]);
     }

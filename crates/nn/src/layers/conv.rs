@@ -222,11 +222,8 @@ mod tests {
     #[test]
     fn gradient_check() {
         let mut c = Conv1d::new(2, 3, 3, 17).unwrap();
-        let x = Tensor::from_vec(
-            (0..12).map(|i| (i as f32 * 0.37).sin()).collect(),
-            &[2, 6],
-        )
-        .unwrap();
+        let x =
+            Tensor::from_vec((0..12).map(|i| (i as f32 * 0.37).sin()).collect(), &[2, 6]).unwrap();
         let y = c.forward(&x, true).unwrap();
         let ones = Tensor::from_vec(vec![1.0; y.len()], y.shape()).unwrap();
         let dx = c.backward(&ones).unwrap();
@@ -242,7 +239,10 @@ mod tests {
         let ym: f32 = c.forward(&x, true).unwrap().data().iter().sum();
         c.weight.value.data_mut()[widx] = wv;
         let numeric_w = (yp - ym) / (2.0 * eps);
-        assert!((analytic_w - numeric_w).abs() < 1e-2, "{analytic_w} vs {numeric_w}");
+        assert!(
+            (analytic_w - numeric_w).abs() < 1e-2,
+            "{analytic_w} vs {numeric_w}"
+        );
 
         let xidx = 4;
         let mut xp = x.clone();

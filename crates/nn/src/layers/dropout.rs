@@ -72,7 +72,12 @@ impl Layer for Dropout {
                 }
             })
             .collect();
-        let data: Vec<f32> = input.data().iter().zip(&mask).map(|(&x, &m)| x * m).collect();
+        let data: Vec<f32> = input
+            .data()
+            .iter()
+            .zip(&mask)
+            .map(|(&x, &m)| x * m)
+            .collect();
         self.mask = Some(mask);
         Tensor::from_vec(data, input.shape())
     }

@@ -39,8 +39,8 @@ struct StepCache {
 /// ```
 #[derive(Debug)]
 pub struct Lstm {
-    wx: Param, // [4H, F]
-    wh: Param, // [4H, H]
+    wx: Param,   // [4H, F]
+    wh: Param,   // [4H, H]
     bias: Param, // [4H]
     input_dim: usize,
     hidden: usize,

@@ -123,7 +123,10 @@ mod tests {
         let logits = Tensor::from_vec(vec![0.0; 3], &[3]).unwrap();
         assert_eq!(
             cross_entropy(&logits, 3),
-            Err(NnError::LabelOutOfRange { label: 3, classes: 3 })
+            Err(NnError::LabelOutOfRange {
+                label: 3,
+                classes: 3
+            })
         );
     }
 

@@ -254,8 +254,7 @@ mod tests {
 
     #[test]
     fn normalized_rows_sum_to_one() {
-        let mut cm =
-            ConfusionMatrix::new(vec!["a".into(), "b".into(), "c".into()]).unwrap();
+        let mut cm = ConfusionMatrix::new(vec!["a".into(), "b".into(), "c".into()]).unwrap();
         for (a, p) in [(0, 0), (0, 1), (0, 2), (1, 1), (2, 0)] {
             cm.record(a, p).unwrap();
         }

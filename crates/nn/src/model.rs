@@ -151,7 +151,11 @@ impl Sequential {
     pub fn summary(&self) -> String {
         let mut out = String::new();
         for (i, l) in self.layers.iter().enumerate() {
-            out.push_str(&format!("{i:>2}  {:<10} params={}\n", l.name(), l.param_count()));
+            out.push_str(&format!(
+                "{i:>2}  {:<10} params={}\n",
+                l.name(),
+                l.param_count()
+            ));
         }
         out.push_str(&format!("total params: {}\n", self.param_count()));
         out

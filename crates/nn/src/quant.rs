@@ -61,7 +61,10 @@ impl QuantizedTensor {
     /// (cannot happen through the public API).
     pub fn dequantize(&self) -> Result<Tensor, NnError> {
         Tensor::from_vec(
-            self.values.iter().map(|&q| f32::from(q) * self.scale).collect(),
+            self.values
+                .iter()
+                .map(|&q| f32::from(q) * self.scale)
+                .collect(),
             &self.shape,
         )
     }

@@ -273,9 +273,15 @@ mod tests {
         let mut m = xor_model(1);
         let mut opt = Adam::new(0.01);
         let cfg = FitConfig::default();
-        let empty = ValidationSet { inputs: &[], labels: &[] };
+        let empty = ValidationSet {
+            inputs: &[],
+            labels: &[],
+        };
         assert!(fit_with_early_stopping(&mut m, &xs, &ys, empty, &mut opt, &cfg, 3).is_err());
-        let val = ValidationSet { inputs: &xs, labels: &ys };
+        let val = ValidationSet {
+            inputs: &xs,
+            labels: &ys,
+        };
         assert!(fit_with_early_stopping(&mut m, &xs, &ys, val, &mut opt, &cfg, 0).is_err());
     }
 
@@ -290,7 +296,10 @@ mod tests {
             seed: 2,
             verbose: false,
         };
-        let val = ValidationSet { inputs: &xs, labels: &ys };
+        let val = ValidationSet {
+            inputs: &xs,
+            labels: &ys,
+        };
         let (history, best) =
             fit_with_early_stopping(&mut m, &xs, &ys, val, &mut opt, &cfg, 10).unwrap();
         // Restored model must score exactly the reported best accuracy.
@@ -315,7 +324,10 @@ mod tests {
             seed: 1,
             verbose: false,
         };
-        let val = ValidationSet { inputs: &xs, labels: &ys };
+        let val = ValidationSet {
+            inputs: &xs,
+            labels: &ys,
+        };
         let (history, _) =
             fit_with_early_stopping(&mut m, &xs, &ys, val, &mut opt, &cfg, 3).unwrap();
         assert_eq!(history.epoch_loss.len(), 4);

@@ -53,8 +53,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Fig. 9: lifespan diagrams under both policies.
     let mut fifo_sim = Simulator::with_subject(device.clone(), PolicyKind::Fifo, &subject, 0.05)?;
     let fifo = fifo_sim.run(&workload)?;
-    let mut emo_sim =
-        Simulator::with_subject(device.clone(), PolicyKind::Emotion, &subject, 0.05)?;
+    let mut emo_sim = Simulator::with_subject(device.clone(), PolicyKind::Emotion, &subject, 0.05)?;
     let emotion = emo_sim.run(&workload)?;
 
     println!("=== process lifespans, system default (fifo) ===");

@@ -139,7 +139,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ModelConfig::paper_cnn(),
         ModelConfig::paper_lstm(),
     ] {
-        println!("  {:<5} {:>8} params", config.kind().to_string(), config.param_count());
+        println!(
+            "  {:<5} {:>8} params",
+            config.kind().to_string(),
+            config.param_count()
+        );
     }
     println!();
 

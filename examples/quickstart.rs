@@ -40,8 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         pipeline.features_per_frame(),
         spec.emotions.len(),
     );
-    let mut classifier =
-        AffectClassifier::from_config(&config, spec.label_names(), 42)?;
+    let mut classifier = AffectClassifier::from_config(&config, spec.label_names(), 42)?;
     let mut optimizer = Adam::new(0.01);
     fit(
         classifier.model_mut(),

@@ -10,14 +10,14 @@
 //! wearable → feature extraction → AI classifier → emotion label →
 //! video decoder / app manager control.
 
+use affectsys::biosignal::sc::{ScConfig, ScGenerator};
+use affectsys::biosignal::uulmmac::state_arousal;
+use affectsys::biosignal::UulmmacSession;
 use affectsys::core::classifier::ModelConfig;
 use affectsys::core::controller::{ControlEvent, SystemController};
 use affectsys::core::emotion::CognitiveState;
 use affectsys::core::pipeline::{biosignal_window_features, BIOSIGNAL_FEATURES};
 use affectsys::core::policy::PolicyTable;
-use affectsys::biosignal::sc::{ScConfig, ScGenerator};
-use affectsys::biosignal::uulmmac::state_arousal;
-use affectsys::biosignal::UulmmacSession;
 use affectsys::datasets::features::{apply_normalization, normalize_in_place};
 use affectsys::nn::optim::Adam;
 use affectsys::nn::train::{fit, FitConfig};
@@ -34,8 +34,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut train_y: Vec<usize> = Vec::new();
     for (class, &state) in CognitiveState::ALL.iter().enumerate() {
         for k in 0..30u64 {
-            let window =
-                generator.generate(state_arousal(state), WINDOW_SECS, SEED ^ (class as u64) << 8 ^ k)?;
+            let window = generator.generate(
+                state_arousal(state),
+                WINDOW_SECS,
+                SEED ^ (class as u64) << 8 ^ k,
+            )?;
             train_x.push(biosignal_window_features(&window.samples)?);
             train_y.push(class);
         }

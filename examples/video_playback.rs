@@ -19,7 +19,10 @@ use affectsys::h264::adaptive::{adaptive_playback, paper_reference, ModeProfile}
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. The labelled session (the paper's Fig. 6 schedule).
     let session = UulmmacSession::paper_fig6(7)?;
-    println!("session: {} minutes of labelled skin conductance", session.duration_min());
+    println!(
+        "session: {} minutes of labelled skin conductance",
+        session.duration_min()
+    );
     for segment in session.segments() {
         let sc = session
             .sc_trace()

@@ -49,6 +49,8 @@
 /// The paper's core contribution: emotion model, classifiers, policies and
 /// the system controller (`affect-core`).
 pub use affect_core as core;
+/// The real-time multi-session streaming runtime (`affect-rt`).
+pub use affect_rt as rt;
 pub use biosignal;
 pub use datasets;
 pub use dsp;

@@ -1,0 +1,270 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! Implements the subset of the API the workspace's benches use
+//! ([`Criterion::bench_function`], benchmark groups, [`BenchmarkId`],
+//! [`criterion_group!`], [`criterion_main!`]) with a simple time-boxed
+//! measurement loop instead of criterion's statistical machinery. Mean
+//! per-iteration time is printed per benchmark.
+//!
+//! When the binary is invoked with `--test` (which `cargo test` passes to
+//! `harness = false` bench targets) every benchmark body runs exactly once,
+//! keeping the test suite fast.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall time of one measurement loop.
+const MEASURE_BUDGET: Duration = Duration::from_millis(60);
+/// Iteration cap inside one measurement loop.
+const MAX_ITERS: u64 = 10_000;
+
+/// The benchmark driver.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Self { test_mode }
+    }
+}
+
+impl Criterion {
+    /// CLI configuration hook (accepted and ignored beyond `--test`).
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.test_mode);
+        f(&mut b);
+        b.report(name);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+        }
+    }
+
+    /// End-of-run hook (no-op).
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sample-count hint (accepted and ignored: the stand-in time-boxes).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Measurement-time hint (accepted and ignored).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id().0);
+        let mut b = Bencher::new(self.criterion.test_mode);
+        f(&mut b);
+        b.report(&label);
+        self
+    }
+
+    /// Runs one benchmark parameterized by a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id().0);
+        let mut b = Bencher::new(self.criterion.test_mode);
+        f(&mut b, input);
+        b.report(&label);
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `name/parameter` identifier.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        Self(format!("{name}/{parameter}"))
+    }
+
+    /// Identifier from the parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self(parameter.to_string())
+    }
+}
+
+/// Conversion into [`BenchmarkId`] (mirrors criterion's blanket `Display`
+/// acceptance in group methods).
+pub trait IntoBenchmarkId {
+    /// Converts into an id.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId(self.to_string())
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId(self)
+    }
+}
+
+/// Times a closure: warm-up once, then iterate until the time budget or the
+/// iteration cap is hit.
+pub struct Bencher {
+    test_mode: bool,
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    fn new(test_mode: bool) -> Self {
+        Self {
+            test_mode,
+            total: Duration::ZERO,
+            iters: 0,
+        }
+    }
+
+    /// Measures `f`.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm-up (also the only iteration in `--test` mode).
+        let start = Instant::now();
+        black_box(f());
+        let first = start.elapsed();
+        if self.test_mode {
+            self.total = first;
+            self.iters = 1;
+            return;
+        }
+        let mut total = first;
+        let mut iters = 1u64;
+        while total < MEASURE_BUDGET && iters < MAX_ITERS {
+            let start = Instant::now();
+            black_box(f());
+            total += start.elapsed();
+            iters += 1;
+        }
+        self.total = total;
+        self.iters = iters;
+    }
+
+    fn report(&self, label: &str) {
+        if self.iters == 0 {
+            println!("{label:<48} (no measurement)");
+            return;
+        }
+        let mean_ns = self.total.as_nanos() as f64 / self.iters as f64;
+        let (value, unit) = if mean_ns >= 1.0e9 {
+            (mean_ns / 1.0e9, "s")
+        } else if mean_ns >= 1.0e6 {
+            (mean_ns / 1.0e6, "ms")
+        } else if mean_ns >= 1.0e3 {
+            (mean_ns / 1.0e3, "µs")
+        } else {
+            (mean_ns, "ns")
+        };
+        println!(
+            "{label:<48} time: {value:>10.3} {unit}/iter  ({} iters)",
+            self.iters
+        );
+    }
+}
+
+/// Declares a group-runner function over benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` over one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion { test_mode: true };
+        let mut ran = 0u32;
+        c.bench_function("t", |b| b.iter(|| ran += 1));
+        assert_eq!(ran, 1);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion { test_mode: true };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        let input = vec![1u8, 2, 3];
+        let mut sum = 0usize;
+        group.bench_with_input(BenchmarkId::from_parameter(3), &input, |b, i| {
+            b.iter(|| sum += i.len())
+        });
+        group.finish();
+        assert_eq!(sum, 3);
+    }
+
+    #[test]
+    fn ids_format_like_upstream() {
+        assert_eq!(BenchmarkId::new("fft", 256).0, "fft/256");
+        assert_eq!(BenchmarkId::from_parameter(42).0, "42");
+    }
+}

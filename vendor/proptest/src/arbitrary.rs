@@ -1,0 +1,73 @@
+//! `any::<T>()` — full-domain strategies for primitive types.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::StandardUniform;
+use std::marker::PhantomData;
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_prim {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                <$t as StandardUniform>::sample(rng)
+            }
+        }
+    )*};
+}
+arbitrary_prim!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool);
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Finite full-ish range rather than raw bit soup: property bodies in
+        // this workspace expect arithmetic on the values to stay finite.
+        let unit = f32::sample(rng);
+        (unit - 0.5) * 2.0e6
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        let unit = f64::sample(rng);
+        (unit - 0.5) * 2.0e12
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Full-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::deterministic_rng;
+
+    #[test]
+    fn any_u8_covers_both_halves() {
+        let mut rng = deterministic_rng("any_u8_covers_both_halves");
+        let s = any::<u8>();
+        let (mut lo, mut hi) = (false, false);
+        for _ in 0..200 {
+            let b = s.sample(&mut rng);
+            lo |= b < 128;
+            hi |= b >= 128;
+        }
+        assert!(lo && hi);
+    }
+}

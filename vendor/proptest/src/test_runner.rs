@@ -1,0 +1,42 @@
+//! Test-run configuration and RNG plumbing.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The RNG driving strategy sampling.
+pub type TestRng = StdRng;
+
+/// Per-test configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of sampled cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; 64 keeps the (heavier, codec-level)
+        // property suites in this workspace fast while still sweeping a
+        // meaningful input volume.
+        Self { cases: 64 }
+    }
+}
+
+/// A deterministic RNG derived from the property name, so each property
+/// explores its own (but reproducible) sequence of cases.
+pub fn deterministic_rng(test_name: &str) -> TestRng {
+    // FNV-1a over the name.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    StdRng::seed_from_u64(h)
+}
