@@ -18,7 +18,7 @@
 use crate::emotion::Emotion;
 use crate::AffectError;
 use nn::layers::{Activation, Conv1d, Dense, Dropout, Flatten, Lstm, MaxPool1d};
-use nn::{Sequential, Tensor};
+use nn::{Scratch, Sequential, Tensor};
 
 /// The classifier family, matching the paper's model axis in Fig. 3.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -403,7 +403,7 @@ pub struct AffectClassifier {
 }
 
 /// A classification decision: the winning class and its softmax confidence.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Decision {
     /// Winning class index.
     pub class: usize,
@@ -505,6 +505,34 @@ impl AffectClassifier {
     /// The label name for a decision.
     pub fn label_of(&self, decision: &Decision) -> &str {
         &self.labels[decision.class]
+    }
+
+    /// [`AffectClassifier::classify`] without steady-state allocations: the
+    /// forward pass draws every intermediate from `scratch` and the result is
+    /// written into an existing `decision` (whose probability buffer is
+    /// reused). Produces bit-for-bit the same decision as `classify`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the model's forward pass.
+    pub fn classify_with(
+        &mut self,
+        features: &[f32],
+        shape: &[usize],
+        scratch: &mut Scratch,
+        decision: &mut Decision,
+    ) -> Result<(), AffectError> {
+        let probabilities = self.model.predict_proba_with(features, shape, scratch)?;
+        let (class, &confidence) = probabilities
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .expect("probability vector is non-empty");
+        decision.class = class;
+        decision.confidence = confidence;
+        decision.probabilities.clear();
+        decision.probabilities.extend_from_slice(probabilities);
+        Ok(())
     }
 }
 
@@ -656,6 +684,23 @@ mod tests {
             if let Some(up) = kind.upgrade() {
                 assert_eq!(up.fallback(), Some(kind));
             }
+        }
+    }
+
+    #[test]
+    fn classify_with_matches_classify_bitwise() {
+        let cfg = ModelConfig::scaled_cnn(64, 5);
+        let labels: Vec<String> = (0..5).map(|i| format!("c{i}")).collect();
+        let mut clf = AffectClassifier::from_config(&cfg, labels, 11).unwrap();
+        let features: Vec<f32> = (0..64).map(|i| (i as f32 * 0.37).sin()).collect();
+        let tensor = Tensor::from_vec(features.clone(), &[1, 64]).unwrap();
+        let reference = clf.classify(&tensor).unwrap();
+        let mut scratch = Scratch::new();
+        let mut decision = Decision::default();
+        for _ in 0..3 {
+            clf.classify_with(&features, &[1, 64], &mut scratch, &mut decision)
+                .unwrap();
+            assert_eq!(reference, decision);
         }
     }
 

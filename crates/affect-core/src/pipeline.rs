@@ -50,14 +50,17 @@ impl Default for FeatureConfig {
     }
 }
 
-/// Stateless feature extractor built from a [`FeatureConfig`].
+/// Feature extractor built from a [`FeatureConfig`]. Extraction borrows
+/// the pipeline mutably because the MFCC front end reuses an internal
+/// scratch arena (FFT buffer, mel energies, cepstra) across frames —
+/// steady-state extraction does not touch the allocator for MFCC work.
 ///
 /// # Example
 ///
 /// ```
 /// use affect_core::pipeline::{FeatureConfig, FeaturePipeline};
 /// # fn main() -> Result<(), affect_core::AffectError> {
-/// let pipeline = FeaturePipeline::new(FeatureConfig::default())?;
+/// let mut pipeline = FeaturePipeline::new(FeatureConfig::default())?;
 /// let window: Vec<f32> = (0..4096)
 ///     .map(|i| (2.0 * std::f32::consts::PI * 220.0 * i as f32 / 16_000.0).sin())
 ///     .collect();
@@ -70,6 +73,7 @@ impl Default for FeatureConfig {
 pub struct FeaturePipeline {
     config: FeatureConfig,
     mfcc: MfccExtractor,
+    mfcc_out: Vec<f32>,
 }
 
 /// Number of non-MFCC scalar features per frame: ZCR, RMS, pitch, spectral
@@ -97,7 +101,11 @@ impl FeaturePipeline {
             config.n_mels,
             config.n_mfcc,
         )?;
-        Ok(Self { config, mfcc })
+        Ok(Self {
+            config,
+            mfcc,
+            mfcc_out: Vec::new(),
+        })
     }
 
     /// The active configuration.
@@ -132,7 +140,7 @@ impl FeaturePipeline {
     ///
     /// Returns [`AffectError::WindowTooShort`] when the window yields no
     /// full frame.
-    pub fn extract_sequence(&self, window: &[f32]) -> Result<Tensor, AffectError> {
+    pub fn extract_sequence(&mut self, window: &[f32]) -> Result<Tensor, AffectError> {
         let n_frames = self.frames_for(window.len());
         if n_frames == 0 {
             return Err(AffectError::WindowTooShort {
@@ -145,8 +153,8 @@ impl FeaturePipeline {
         let mut data = Vec::with_capacity(n_frames * fpf);
         let (min_hz, max_hz) = self.config.pitch_range;
         for frame in Frames::new(window, self.config.frame_len, self.config.hop)? {
-            let mfcc = self.mfcc.extract(frame)?;
-            data.extend_from_slice(&mfcc);
+            self.mfcc.extract_into(frame, &mut self.mfcc_out)?;
+            data.extend_from_slice(&self.mfcc_out);
             data.push(zero_crossing_rate(frame)?);
             data.push(rms(frame)?);
             // Pitch normalized to [0, 1] over the search range; 0 = unvoiced.
@@ -187,7 +195,7 @@ impl FeaturePipeline {
     /// # Errors
     ///
     /// Same as [`FeaturePipeline::extract_sequence`].
-    pub fn extract_strip(&self, window: &[f32]) -> Result<Tensor, AffectError> {
+    pub fn extract_strip(&mut self, window: &[f32]) -> Result<Tensor, AffectError> {
         let seq = self.extract_sequence(window)?;
         let len = seq.len();
         Ok(Tensor::from_vec(seq.into_vec(), &[1, len])?)
@@ -200,7 +208,7 @@ impl FeaturePipeline {
     /// # Errors
     ///
     /// Same as [`FeaturePipeline::extract_sequence`].
-    pub fn extract_flat(&self, window: &[f32]) -> Result<Tensor, AffectError> {
+    pub fn extract_flat(&mut self, window: &[f32]) -> Result<Tensor, AffectError> {
         let seq = self.extract_sequence(window)?;
         let (n_frames, fpf) = (seq.shape()[0], seq.shape()[1]);
         let mut data = Vec::with_capacity(4 * fpf);
@@ -319,7 +327,7 @@ mod tests {
 
     #[test]
     fn rejects_short_window() {
-        let p = FeaturePipeline::new(FeatureConfig::default()).unwrap();
+        let mut p = FeaturePipeline::new(FeatureConfig::default()).unwrap();
         assert!(matches!(
             p.extract_sequence(&[0.0; 100]),
             Err(AffectError::WindowTooShort { .. })
@@ -328,7 +336,7 @@ mod tests {
 
     #[test]
     fn sequence_shape_matches_frame_math() {
-        let p = FeaturePipeline::new(FeatureConfig::default()).unwrap();
+        let mut p = FeaturePipeline::new(FeatureConfig::default()).unwrap();
         let window = tone(220.0, 4096);
         let seq = p.extract_sequence(&window).unwrap();
         assert_eq!(seq.shape(), &[p.frames_for(4096), p.features_per_frame()]);
@@ -337,7 +345,7 @@ mod tests {
 
     #[test]
     fn strip_is_flattened_sequence() {
-        let p = FeaturePipeline::new(FeatureConfig::default()).unwrap();
+        let mut p = FeaturePipeline::new(FeatureConfig::default()).unwrap();
         let window = tone(330.0, 2048);
         let seq = p.extract_sequence(&window).unwrap();
         let strip = p.extract_strip(&window).unwrap();
@@ -347,7 +355,7 @@ mod tests {
 
     #[test]
     fn flat_dim_is_four_per_feature() {
-        let p = FeaturePipeline::new(FeatureConfig::default()).unwrap();
+        let mut p = FeaturePipeline::new(FeatureConfig::default()).unwrap();
         let flat = p.extract_flat(&tone(220.0, 4096)).unwrap();
         assert_eq!(flat.shape(), &[p.flat_dim()]);
         assert_eq!(p.flat_dim(), 4 * (13 + 6));
@@ -355,7 +363,7 @@ mod tests {
 
     #[test]
     fn features_separate_tones() {
-        let p = FeaturePipeline::new(FeatureConfig::default()).unwrap();
+        let mut p = FeaturePipeline::new(FeatureConfig::default()).unwrap();
         let a = p.extract_flat(&tone(150.0, 4096)).unwrap();
         let b = p.extract_flat(&tone(450.0, 4096)).unwrap();
         let dist: f32 = a
@@ -369,7 +377,7 @@ mod tests {
 
     #[test]
     fn pitch_feature_tracks_f0() {
-        let p = FeaturePipeline::new(FeatureConfig::default()).unwrap();
+        let mut p = FeaturePipeline::new(FeatureConfig::default()).unwrap();
         let seq = p.extract_sequence(&tone(250.0, 4096)).unwrap();
         let fpf = p.features_per_frame();
         // Pitch is feature index n_mfcc + 2.
@@ -386,7 +394,7 @@ mod tests {
     #[test]
     fn delta_features_double_the_dimension() {
         let base = FeaturePipeline::new(FeatureConfig::default()).unwrap();
-        let with = FeaturePipeline::new(FeatureConfig {
+        let mut with = FeaturePipeline::new(FeatureConfig {
             deltas: true,
             ..FeatureConfig::default()
         })
@@ -399,12 +407,12 @@ mod tests {
 
     #[test]
     fn delta_features_are_frame_differences() {
-        let p = FeaturePipeline::new(FeatureConfig {
+        let mut p = FeaturePipeline::new(FeatureConfig {
             deltas: true,
             ..FeatureConfig::default()
         })
         .unwrap();
-        let base_p = FeaturePipeline::new(FeatureConfig::default()).unwrap();
+        let mut base_p = FeaturePipeline::new(FeatureConfig::default()).unwrap();
         let window = tone(300.0, 2048);
         let seq = p.extract_sequence(&window).unwrap();
         let base = base_p.extract_sequence(&window).unwrap();
@@ -452,7 +460,7 @@ mod tests {
 
     #[test]
     fn silence_produces_finite_features() {
-        let p = FeaturePipeline::new(FeatureConfig::default()).unwrap();
+        let mut p = FeaturePipeline::new(FeatureConfig::default()).unwrap();
         let flat = p.extract_flat(&vec![0.0; 2048]).unwrap();
         assert!(flat.data().iter().all(|v| v.is_finite()));
     }

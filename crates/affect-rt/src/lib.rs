@@ -74,4 +74,4 @@ pub use ring::{OverflowPolicy, PushOutcome, Ring, RingStats};
 pub use runtime::{
     Runtime, RuntimeBuilder, RuntimeConfig, SessionId, ShutdownOutcome, StageConfig,
 };
-pub use stats::{LatencySummary, RuntimeReport, SessionReport, StageReport};
+pub use stats::{ClassifyReport, LatencySummary, RuntimeReport, SessionReport, StageReport};

@@ -154,6 +154,18 @@ impl<T> Ring<T> {
         }
     }
 
+    /// Takes the oldest message without blocking. Returns `None` when the
+    /// queue is currently empty (whether or not the ring is closed) — the
+    /// consumer's opportunistic drain for batching windows.
+    pub fn try_pop(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("ring lock poisoned");
+        let msg = state.queue.pop_front()?;
+        state.stats.popped += 1;
+        drop(state);
+        self.writable.notify_one();
+        Some(msg)
+    }
+
     /// Closes the ring: producers are refused from now on, consumers drain
     /// what is queued and then see `None`.
     pub fn close(&self) {
@@ -211,6 +223,18 @@ mod tests {
         assert_eq!(ring.pop(), Some(1));
         assert_eq!(ring.pop(), Some(2));
         assert_eq!(ring.snapshot().shed, 1);
+    }
+
+    #[test]
+    fn try_pop_never_blocks() {
+        let ring = Ring::new(4, OverflowPolicy::Block);
+        assert_eq!(ring.try_pop(), None);
+        ring.push(1);
+        ring.push(2);
+        assert_eq!(ring.try_pop(), Some(1));
+        assert_eq!(ring.try_pop(), Some(2));
+        assert_eq!(ring.try_pop(), None);
+        assert_eq!(ring.snapshot().popped, 2);
     }
 
     #[test]

@@ -49,18 +49,18 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use affect_core::classifier::{AffectClassifier, ClassifierKind, ModelConfig};
+use affect_core::classifier::{AffectClassifier, ClassifierKind, Decision, ModelConfig};
 use affect_core::controller::{ControlEvent, SystemController};
 use affect_core::emotion::Emotion;
 use affect_core::pipeline::{FeatureConfig, FeaturePipeline};
 use affect_core::policy::PolicyTable;
 use affect_core::AffectError;
-use nn::Tensor;
+use nn::{Scratch, Tensor};
 
 use crate::actuator::Actuator;
 use crate::clock::{Clock, SystemClock};
 use crate::ring::{OverflowPolicy, PushOutcome, Ring};
-use crate::stats::{Histogram, RuntimeReport, SessionReport, StageReport};
+use crate::stats::{ClassifyReport, Histogram, RuntimeReport, SessionReport, StageReport};
 
 /// Handle to one session registered with the runtime.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -105,6 +105,11 @@ pub struct RuntimeConfig {
     pub ingest: StageConfig,
     /// Classify queue (feature → classify).
     pub classify: StageConfig,
+    /// Largest number of queued windows one classify worker drains per
+    /// wakeup (its batching window). 1 restores strict one-at-a-time
+    /// behaviour; larger values amortise queue synchronisation and keep a
+    /// worker's scratch arena hot across consecutive windows.
+    pub classify_batch: usize,
     /// Control queue (classify → control).
     pub control: StageConfig,
     /// Actuate queue capacity (control → actuate; always lossless/Block —
@@ -138,6 +143,7 @@ impl Default for RuntimeConfig {
             workers: 2,
             ingest: StageConfig::new(8, OverflowPolicy::Block),
             classify: StageConfig::new(8, OverflowPolicy::Block),
+            classify_batch: 4,
             control: StageConfig::new(8, OverflowPolicy::Block),
             actuate_capacity: 8,
             deadline_ns: 1_000_000_000, // the paper's 1 s cadence
@@ -186,6 +192,12 @@ impl RuntimeConfig {
         if self.smoothing_window == 0 {
             return Err(AffectError::InvalidParameter {
                 name: "smoothing_window",
+                reason: "must be at least 1",
+            });
+        }
+        if self.classify_batch == 0 {
+            return Err(AffectError::InvalidParameter {
+                name: "classify_batch",
                 reason: "must be at least 1",
             });
         }
@@ -262,6 +274,29 @@ impl SessionState {
         let processed = self.processed.load(Ordering::SeqCst);
         let dropped = self.dropped.load(Ordering::SeqCst);
         produced == processed + dropped
+    }
+}
+
+/// Classify-stage hot-path counters, shared by all classify workers and
+/// snapshot into [`ClassifyReport`].
+#[derive(Default)]
+struct ClassifyCounters {
+    windows: AtomicU64,
+    batches: AtomicU64,
+    max_batch: AtomicU64,
+    scratch_allocs: AtomicU64,
+    scratch_reuses: AtomicU64,
+}
+
+impl ClassifyCounters {
+    fn snapshot(&self) -> ClassifyReport {
+        ClassifyReport {
+            windows: self.windows.load(Ordering::SeqCst),
+            batches: self.batches.load(Ordering::SeqCst),
+            max_batch: self.max_batch.load(Ordering::SeqCst),
+            scratch_allocs: self.scratch_allocs.load(Ordering::SeqCst),
+            scratch_reuses: self.scratch_reuses.load(Ordering::SeqCst),
+        }
     }
 }
 
@@ -404,7 +439,7 @@ impl RuntimeBuilder {
             let progress = Arc::clone(&progress);
             let feature = config.feature.clone();
             feature_workers.push(std::thread::spawn(move || {
-                let pipeline =
+                let mut pipeline =
                     FeaturePipeline::new(feature).expect("config validated before spawn");
                 while let Some(msg) = ingest.pop() {
                     let family = sessions[msg.session].family();
@@ -430,14 +465,17 @@ impl RuntimeBuilder {
             }));
         }
 
+        let classify_counters = Arc::new(ClassifyCounters::default());
         let mut classify_workers = Vec::with_capacity(config.workers);
         for _ in 0..config.workers {
             let classify = Arc::clone(&classify);
             let control = Arc::clone(&control);
             let sessions = Arc::clone(&sessions);
             let progress = Arc::clone(&progress);
+            let counters = Arc::clone(&classify_counters);
             let feature = config.feature.clone();
             let window_samples = config.window_samples;
+            let batch_limit = config.classify_batch;
             let seed = config.model_seed;
             let labels = labels.clone();
             classify_workers.push(std::thread::spawn(move || {
@@ -458,22 +496,63 @@ impl RuntimeBuilder {
                         .expect("trial-built before spawn");
                     pool.insert(family_code(clf.family()), clf);
                 }
+                // The worker's persistent inference arena: every forward
+                // pass across every family draws its intermediates from
+                // here, so steady state runs allocation-free.
+                let mut scratch = Scratch::new();
+                let mut decision = Decision::default();
+                let mut batch: Vec<ClassifyMsg> = Vec::with_capacity(batch_limit);
+                let mut last_allocs = 0u64;
+                let mut last_reuses = 0u64;
                 while let Some(msg) = classify.pop() {
-                    let clf = pool
-                        .get_mut(&family_code(msg.family))
-                        .expect("all families pooled");
-                    match clf.classify(&msg.features) {
-                        Ok(decision) => {
-                            let out = ControlMsg {
-                                session: msg.session,
-                                seq: msg.seq,
-                                arrival_ns: msg.arrival_ns,
-                                emotion: decision.emotion(),
-                            };
-                            offer(&control, out, |m| m.session, &sessions, &progress);
+                    // Batching window: after the blocking pop, drain
+                    // whatever else is already queued (up to the limit) so
+                    // one wakeup amortises over several windows.
+                    batch.push(msg);
+                    while batch.len() < batch_limit {
+                        match classify.try_pop() {
+                            Some(next) => batch.push(next),
+                            None => break,
                         }
-                        Err(_) => drop_window(&sessions, msg.session, &progress),
                     }
+                    counters.batches.fetch_add(1, Ordering::SeqCst);
+                    counters
+                        .max_batch
+                        .fetch_max(batch.len() as u64, Ordering::SeqCst);
+                    for msg in batch.drain(..) {
+                        let clf = pool
+                            .get_mut(&family_code(msg.family))
+                            .expect("all families pooled");
+                        let outcome = clf.classify_with(
+                            msg.features.data(),
+                            msg.features.shape(),
+                            &mut scratch,
+                            &mut decision,
+                        );
+                        counters.windows.fetch_add(1, Ordering::SeqCst);
+                        match outcome {
+                            Ok(()) => {
+                                let out = ControlMsg {
+                                    session: msg.session,
+                                    seq: msg.seq,
+                                    arrival_ns: msg.arrival_ns,
+                                    emotion: decision.emotion(),
+                                };
+                                offer(&control, out, |m| m.session, &sessions, &progress);
+                            }
+                            Err(_) => drop_window(&sessions, msg.session, &progress),
+                        }
+                    }
+                    let allocs = scratch.alloc_events();
+                    let reuses = scratch.reuse_events();
+                    counters
+                        .scratch_allocs
+                        .fetch_add(allocs - last_allocs, Ordering::SeqCst);
+                    counters
+                        .scratch_reuses
+                        .fetch_add(reuses - last_reuses, Ordering::SeqCst);
+                    last_allocs = allocs;
+                    last_reuses = reuses;
                 }
             }));
         }
@@ -567,6 +646,7 @@ impl RuntimeBuilder {
             classify,
             control,
             actuate,
+            classify_counters,
             feature_workers,
             classify_workers,
             control_worker,
@@ -641,6 +721,7 @@ pub struct Runtime {
     classify: Arc<Ring<ClassifyMsg>>,
     control: Arc<Ring<ControlMsg>>,
     actuate: Arc<Ring<ActuateMsg>>,
+    classify_counters: Arc<ClassifyCounters>,
     feature_workers: Vec<JoinHandle<()>>,
     classify_workers: Vec<JoinHandle<()>>,
     control_worker: JoinHandle<()>,
@@ -744,6 +825,7 @@ impl Runtime {
             &self.classify,
             &self.control,
             &self.actuate,
+            &self.classify_counters,
         )
     }
 
@@ -771,6 +853,7 @@ impl Runtime {
             &self.classify,
             &self.control,
             &self.actuate,
+            &self.classify_counters,
         );
         ShutdownOutcome { report, actuators }
     }
@@ -782,6 +865,7 @@ fn snapshot_report(
     classify: &Ring<ClassifyMsg>,
     control: &Ring<ControlMsg>,
     actuate: &Ring<ActuateMsg>,
+    classify_counters: &ClassifyCounters,
 ) -> RuntimeReport {
     let sessions = sessions
         .iter()
@@ -815,5 +899,6 @@ fn snapshot_report(
             stage("control", control.snapshot(), control.capacity()),
             stage("actuate", actuate.snapshot(), actuate.capacity()),
         ],
+        classify: classify_counters.snapshot(),
     }
 }

@@ -174,6 +174,45 @@ pub struct StageReport {
     pub capacity: usize,
 }
 
+/// Classify-stage hot-path counters aggregated across workers: how much
+/// work arrived in batches and how well the per-worker scratch arenas
+/// amortised their allocations.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClassifyReport {
+    /// Windows classified.
+    pub windows: u64,
+    /// Queue drains (each drain classifies 1..=batch windows).
+    pub batches: u64,
+    /// Largest number of windows classified in one drain.
+    pub max_batch: u64,
+    /// Scratch-arena buffer allocations (cold starts and growth).
+    pub scratch_allocs: u64,
+    /// Scratch-arena buffer reuses (allocation-free acquisitions).
+    pub scratch_reuses: u64,
+}
+
+impl ClassifyReport {
+    /// Mean windows per queue drain (0 when nothing ran).
+    pub fn mean_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.windows as f64 / self.batches as f64
+        }
+    }
+
+    /// Fraction of scratch acquisitions served without allocating (0 when
+    /// the scratch was never used).
+    pub fn reuse_rate(&self) -> f64 {
+        let total = self.scratch_allocs + self.scratch_reuses;
+        if total == 0 {
+            0.0
+        } else {
+            self.scratch_reuses as f64 / total as f64
+        }
+    }
+}
+
 /// Everything the runtime knows about a run: per-session accounting and
 /// per-stage queue behaviour.
 #[derive(Debug, Clone)]
@@ -182,6 +221,8 @@ pub struct RuntimeReport {
     pub sessions: Vec<SessionReport>,
     /// One entry per pipeline stage, in pipeline order.
     pub stages: Vec<StageReport>,
+    /// Classify-stage batching and scratch-arena counters.
+    pub classify: ClassifyReport,
 }
 
 impl RuntimeReport {
@@ -236,6 +277,21 @@ mod tests {
         h.record(0);
         assert_eq!(h.count(), 1);
         assert!(h.quantile(0.5) <= 1);
+    }
+
+    #[test]
+    fn classify_report_rates() {
+        let r = ClassifyReport {
+            windows: 12,
+            batches: 4,
+            max_batch: 5,
+            scratch_allocs: 6,
+            scratch_reuses: 18,
+        };
+        assert!((r.mean_batch() - 3.0).abs() < 1e-12);
+        assert!((r.reuse_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(ClassifyReport::default().mean_batch(), 0.0);
+        assert_eq!(ClassifyReport::default().reuse_rate(), 0.0);
     }
 
     #[test]

@@ -130,6 +130,20 @@ fn eight_concurrent_sessions_account_every_window() {
         outcome.report.total_processed(),
         u64::from(WINDOWS) * SESSIONS as u64
     );
+    // Classify-stage hot-path accounting: every processed window was
+    // classified, in at least one batch, and the scratch arenas settled
+    // into reuse after their cold-start allocations.
+    let classify = &outcome.report.classify;
+    assert_eq!(classify.windows, u64::from(WINDOWS) * SESSIONS as u64);
+    assert!(classify.batches > 0 && classify.batches <= classify.windows);
+    assert!(classify.max_batch >= 1);
+    assert!(classify.mean_batch() >= 1.0);
+    assert!(
+        classify.scratch_reuses > classify.scratch_allocs,
+        "scratch arenas should mostly reuse: {} allocs vs {} reuses",
+        classify.scratch_allocs,
+        classify.scratch_reuses
+    );
 }
 
 #[test]

@@ -1,0 +1,100 @@
+//! A counting [`GlobalAlloc`] wrapper used by this workspace's tests and
+//! benches to *prove* that the hot-path kernels are allocation-free in
+//! steady state, rather than merely claiming it.
+//!
+//! Install it as the global allocator in a test or bench binary:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: alloc_counter::CountingAllocator = alloc_counter::CountingAllocator::new();
+//! ```
+//!
+//! then bracket the code under measurement with [`snapshot`] and inspect
+//! the delta, or use the [`count_allocations`] convenience wrapper.
+//!
+//! Each measurement binary should contain a single `#[test]` (or run the
+//! measured region on the only active thread) — the counters are global,
+//! so concurrent tests in the same process would pollute each other.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static DEALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static BYTES_ALLOCATED: AtomicU64 = AtomicU64::new(0);
+
+/// Forwards every request to the system allocator while counting calls
+/// and bytes. `realloc` counts as one allocation of the new size (it may
+/// grow in place, but it is still a heap interaction the hot path must
+/// not perform).
+pub struct CountingAllocator;
+
+impl CountingAllocator {
+    pub const fn new() -> Self {
+        CountingAllocator
+    }
+}
+
+impl Default for CountingAllocator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+// SAFETY: delegates verbatim to `System`; the counters are side effects
+// with no bearing on the returned pointers or layouts.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        BYTES_ALLOCATED.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        DEALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        BYTES_ALLOCATED.fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+/// A point-in-time reading of the global counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AllocSnapshot {
+    pub allocations: u64,
+    pub deallocations: u64,
+    pub bytes_allocated: u64,
+}
+
+impl AllocSnapshot {
+    /// Counter deltas since an `earlier` snapshot.
+    pub fn since(&self, earlier: &AllocSnapshot) -> AllocSnapshot {
+        AllocSnapshot {
+            allocations: self.allocations - earlier.allocations,
+            deallocations: self.deallocations - earlier.deallocations,
+            bytes_allocated: self.bytes_allocated - earlier.bytes_allocated,
+        }
+    }
+}
+
+/// Read the global counters. Meaningful only in a binary where
+/// [`CountingAllocator`] is installed as the `#[global_allocator]`;
+/// otherwise every field stays zero.
+pub fn snapshot() -> AllocSnapshot {
+    AllocSnapshot {
+        allocations: ALLOCATIONS.load(Ordering::Relaxed),
+        deallocations: DEALLOCATIONS.load(Ordering::Relaxed),
+        bytes_allocated: BYTES_ALLOCATED.load(Ordering::Relaxed),
+    }
+}
+
+/// Run `f` and return `(counter deltas, f's result)`.
+pub fn count_allocations<R>(f: impl FnOnce() -> R) -> (AllocSnapshot, R) {
+    let before = snapshot();
+    let result = f();
+    (snapshot().since(&before), result)
+}

@@ -1,0 +1,21 @@
+//! Sanity check that the counting allocator actually observes heap
+//! traffic — guards against the zero-alloc tests passing vacuously.
+
+use alloc_counter::{count_allocations, CountingAllocator};
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator::new();
+
+#[test]
+fn counter_observes_vec_allocations() {
+    let (delta, v) = count_allocations(|| {
+        let mut v: Vec<u64> = Vec::with_capacity(64);
+        v.extend(0..64);
+        v
+    });
+    assert!(delta.allocations >= 1, "missed an allocation: {delta:?}");
+    assert!(delta.bytes_allocated >= 64 * 8);
+    drop(v);
+    let after = alloc_counter::snapshot();
+    assert!(after.deallocations >= 1);
+}

@@ -1,0 +1,69 @@
+//! Proves the scratch-buffer inference path (`Sequential::forward_with`
+//! and `AffectClassifier::classify_with`) performs zero steady-state
+//! heap allocations once the `Scratch` arena is warm.
+//!
+//! Runs without the libtest harness (`harness = false`): the allocator
+//! counters are process-global, so the measurement must own the process.
+
+use affect_core::classifier::{AffectClassifier, Decision, ModelConfig};
+use alloc_counter::{count_allocations, CountingAllocator};
+use nn::layers::{Activation, Dense};
+use nn::{Scratch, Sequential};
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator::new();
+
+fn main() {
+    // Plain MLP through the raw nn API.
+    let mut model = Sequential::new();
+    model.push(Dense::new(16, 32, 7).unwrap());
+    model.push(Activation::relu());
+    model.push(Dense::new(32, 8, 8).unwrap());
+    let input: Vec<f32> = (0..16).map(|i| (i as f32 - 8.0) * 0.1).collect();
+    let mut scratch = Scratch::new();
+
+    // Warm-up sizes the ping-pong buffers in the scratch pool. Two calls:
+    // the best-fit acquire can hand buffers back in a different order than
+    // the cold pass, growing one of them once more before settling.
+    for _ in 0..2 {
+        model.forward_with(&input, &[16], &mut scratch).unwrap();
+    }
+
+    let (delta, ()) = count_allocations(|| {
+        for _ in 0..100 {
+            model.forward_with(&input, &[16], &mut scratch).unwrap();
+        }
+    });
+    assert_eq!(
+        delta.allocations, 0,
+        "forward_with allocated in steady state: {delta:?}"
+    );
+    assert_eq!(delta.bytes_allocated, 0);
+
+    // Full classifier path: CNN forward + softmax + decision reuse, the
+    // exact loop the affect-rt classify workers run per window.
+    let cfg = ModelConfig::scaled_cnn(64, 5);
+    let labels: Vec<String> = (0..5).map(|i| format!("c{i}")).collect();
+    let mut clf = AffectClassifier::from_config(&cfg, labels, 11).unwrap();
+    let features: Vec<f32> = (0..64).map(|i| (i as f32 * 0.37).sin()).collect();
+    let mut clf_scratch = Scratch::new();
+    let mut decision = Decision::default();
+
+    for _ in 0..2 {
+        clf.classify_with(&features, &[1, 64], &mut clf_scratch, &mut decision)
+            .unwrap();
+    }
+
+    let (delta, ()) = count_allocations(|| {
+        for _ in 0..100 {
+            clf.classify_with(&features, &[1, 64], &mut clf_scratch, &mut decision)
+                .unwrap();
+        }
+    });
+    assert_eq!(
+        delta.allocations, 0,
+        "classify_with allocated in steady state: {delta:?}"
+    );
+    assert_eq!(delta.bytes_allocated, 0);
+    println!("forward_zero_alloc: ok");
+}

@@ -1,0 +1,36 @@
+//! Proves `MfccExtractor::extract_into` performs zero steady-state heap
+//! allocations: after one warm-up call sizes every internal scratch
+//! buffer, repeated extraction never touches the allocator again.
+//!
+//! Runs without the libtest harness (`harness = false`): the allocator
+//! counters are process-global, so the measurement must own the process.
+
+use alloc_counter::{count_allocations, CountingAllocator};
+use dsp::MfccExtractor;
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator::new();
+
+fn main() {
+    let mut mfcc = MfccExtractor::new(16_000.0, 512, 26, 13).unwrap();
+    let frame: Vec<f32> = (0..512).map(|i| (i as f32 * 0.013).sin()).collect();
+    let mut out = Vec::new();
+
+    // Warm-up: the first call may size the internal FFT/spectrum/energy
+    // buffers and the caller's output vector.
+    mfcc.extract_into(&frame, &mut out).unwrap();
+    let warm = out.clone();
+
+    let (delta, ()) = count_allocations(|| {
+        for _ in 0..100 {
+            mfcc.extract_into(&frame, &mut out).unwrap();
+        }
+    });
+    assert_eq!(
+        delta.allocations, 0,
+        "extract_into allocated in steady state: {delta:?}"
+    );
+    assert_eq!(delta.bytes_allocated, 0);
+    assert_eq!(out, warm, "steady-state output drifted");
+    println!("mfcc_zero_alloc: ok");
+}

@@ -10,7 +10,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 fn bench_extraction(c: &mut Criterion) {
-    let pipeline = FeaturePipeline::new(FeatureConfig {
+    let mut pipeline = FeaturePipeline::new(FeatureConfig {
         sample_rate: 8_000.0,
         frame_len: 256,
         hop: 128,

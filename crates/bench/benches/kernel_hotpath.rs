@@ -1,0 +1,478 @@
+//! Per-window classify-path benchmark: the seed's allocating kernels
+//! against the planned, scratch-buffer hot path introduced by the
+//! zero-allocation rework.
+//!
+//! "Before" replays the pre-change per-window work faithfully, as
+//! in-bench replicas of the seed code: MFCC with on-the-fly Hann
+//! coefficients, ad-hoc `rfft_magnitude`, per-call mel/DCT vectors with
+//! per-element trig; inference through naive triple-loop conv and
+//! sequential matvec with the seed's per-layer `input_cache` clones and
+//! per-op output allocations. "After" runs `MfccExtractor::extract_into`
+//! (precomputed plan/window/filterbank/DCT basis) and
+//! `predict_proba_with` through a warm `Scratch` arena over the blocked
+//! kernels.
+//!
+//! Besides the timings, the bench measures per-window heap traffic with
+//! a counting global allocator and writes:
+//!   - `benches/results/kernel_hotpath.csv` — per-stage latency, bytes
+//!     allocated per call, and speedups
+//!   - `../../BENCH_kernel_hotpath.json` — the repo-root trajectory
+//!     point tracked across PRs
+//!
+//! `--test` (passed by `cargo test` and the CI smoke job) shrinks the
+//! loops to a handful of iterations and skips the speedup gate.
+
+use std::time::Instant;
+
+use affect_core::classifier::ModelConfig;
+use alloc_counter::CountingAllocator;
+use bench::table::Table;
+use criterion::black_box;
+use dsp::fft::rfft_magnitude;
+use dsp::mel::dct_ii;
+use dsp::{MelFilterBank, MfccExtractor, Window};
+use nn::{Scratch, Sequential};
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator::new();
+
+const SAMPLE_RATE: f32 = 16_000.0;
+const WINDOW_SAMPLES: usize = 1024;
+const FRAME_LEN: usize = 512;
+const HOP: usize = 256;
+const N_MELS: usize = 26;
+const N_MFCC: usize = 13;
+const CLASSES: usize = 7;
+
+/// Frames per analysis window.
+const FRAMES: usize = (WINDOW_SAMPLES - FRAME_LEN) / HOP + 1;
+/// Flat feature vector length fed to the classifiers.
+const FEAT_DIM: usize = FRAMES * N_MFCC;
+
+fn synth_window() -> Vec<f32> {
+    (0..WINDOW_SAMPLES)
+        .map(|i| {
+            let t = i as f32 / SAMPLE_RATE;
+            (2.0 * std::f32::consts::PI * 220.0 * t).sin()
+                + 0.3 * (2.0 * std::f32::consts::PI * 570.0 * t).sin()
+        })
+        .collect()
+}
+
+fn lcg_weights(n: usize, seed: u64) -> Vec<f32> {
+    let mut s = seed;
+    (0..n)
+        .map(|_| {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((s >> 33) as i32 % 1000) as f32 / 2500.0
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Seed-faithful "before" kernels. These replicate the pre-change code paths
+// line for line: every op allocates its output, dense/conv layers clone
+// their input into a cache exactly as the seed `forward` did on every call
+// (inference included), and conv uses the naive triple loop with per-element
+// weight indexing.
+// ---------------------------------------------------------------------------
+
+/// The seed's `MfccExtractor::extract`: windows with freshly computed Hann
+/// coefficients, allocates the FFT buffer and every intermediate vector,
+/// and evaluates the DCT cosines per call.
+fn seed_extract(bank: &MelFilterBank, frame: &[f32]) -> Vec<f32> {
+    let mut windowed = frame.to_vec();
+    Window::Hann.apply(&mut windowed).unwrap();
+    let spectrum = rfft_magnitude(&windowed).unwrap();
+    let energies = bank.apply(&spectrum).unwrap();
+    let log_energies: Vec<f32> = energies.iter().map(|&e| (e.max(1e-10)).ln()).collect();
+    dct_ii(&log_energies, N_MFCC)
+}
+
+struct SeedDense {
+    w: Vec<f32>, // [m, n]
+    b: Vec<f32>,
+    m: usize,
+    n: usize,
+    cache: Option<Vec<f32>>,
+}
+
+impl SeedDense {
+    fn new(n: usize, m: usize, seed: u64) -> Self {
+        Self {
+            w: lcg_weights(m * n, seed),
+            b: lcg_weights(m, seed + 1),
+            m,
+            n,
+            cache: None,
+        }
+    }
+
+    fn forward(&mut self, x: &[f32]) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.m];
+        for (row, out_val) in out.iter_mut().enumerate() {
+            let base = row * self.n;
+            let mut acc = 0.0f32;
+            for (j, &vj) in x.iter().enumerate() {
+                acc += self.w[base + j] * vj;
+            }
+            *out_val = acc + self.b[row];
+        }
+        self.cache = Some(x.to_vec());
+        out
+    }
+}
+
+struct SeedConv {
+    w: Vec<f32>, // [out_ch, in_ch * k]
+    b: Vec<f32>,
+    in_ch: usize,
+    out_ch: usize,
+    kernel: usize,
+    cache: Option<Vec<f32>>,
+}
+
+impl SeedConv {
+    fn new(in_ch: usize, out_ch: usize, kernel: usize, seed: u64) -> Self {
+        Self {
+            w: lcg_weights(out_ch * in_ch * kernel, seed),
+            b: lcg_weights(out_ch, seed + 1),
+            in_ch,
+            out_ch,
+            kernel,
+            cache: None,
+        }
+    }
+
+    fn forward(&mut self, x: &[f32], t_in: usize) -> Vec<f32> {
+        let t_out = t_in - self.kernel + 1;
+        let mut out = vec![0.0f32; self.out_ch * t_out];
+        for o in 0..self.out_ch {
+            let b = self.b[o];
+            for t in 0..t_out {
+                let mut acc = b;
+                for c in 0..self.in_ch {
+                    let in_base = c * t_in + t;
+                    for k in 0..self.kernel {
+                        acc += self.w[o * self.in_ch * self.kernel + c * self.kernel + k]
+                            * x[in_base + k];
+                    }
+                }
+                out[o * t_out + t] = acc;
+            }
+        }
+        self.cache = Some(x.to_vec());
+        out
+    }
+}
+
+fn seed_relu(x: &[f32]) -> Vec<f32> {
+    x.iter().map(|&v| v.max(0.0)).collect()
+}
+
+fn seed_maxpool(x: &[f32], channels: usize, t: usize, pool: usize) -> Vec<f32> {
+    let t_out = t / pool;
+    let mut out = vec![f32::NEG_INFINITY; channels * t_out];
+    for c in 0..channels {
+        for (i, out_val) in out[c * t_out..(c + 1) * t_out].iter_mut().enumerate() {
+            for k in 0..pool {
+                *out_val = out_val.max(x[c * t + i * pool + k]);
+            }
+        }
+    }
+    out
+}
+
+fn seed_softmax(logits: &[f32]) -> Vec<f32> {
+    let max = logits.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
+    let exps: Vec<f32> = logits.iter().map(|&l| (l - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    exps.iter().map(|&e| e / sum).collect()
+}
+
+/// The seed's scaled MLP: 39 → 48 → 24 → 12 → 7 with ReLU between.
+struct SeedMlp {
+    layers: Vec<SeedDense>,
+}
+
+impl SeedMlp {
+    fn new() -> Self {
+        let dims = [FEAT_DIM, 48, 24, 12, CLASSES];
+        Self {
+            layers: dims
+                .windows(2)
+                .enumerate()
+                .map(|(i, d)| SeedDense::new(d[0], d[1], 100 + i as u64 * 7))
+                .collect(),
+        }
+    }
+
+    fn predict_proba(&mut self, x: &[f32]) -> Vec<f32> {
+        let last = self.layers.len() - 1;
+        let mut cur = x.to_vec();
+        for (i, layer) in self.layers.iter_mut().enumerate() {
+            cur = layer.forward(&cur);
+            if i < last {
+                cur = seed_relu(&cur);
+            }
+        }
+        seed_softmax(&cur)
+    }
+}
+
+/// The seed's scaled CNN: three conv(k=3)+ReLU+pool(2) blocks over
+/// channels 1 → 8 → 16 → 32, then dense 96 → 32 → 7.
+struct SeedCnn {
+    convs: Vec<SeedConv>,
+    dense: Vec<SeedDense>,
+    pool: usize,
+}
+
+impl SeedCnn {
+    fn new() -> Self {
+        let channels = [1usize, 8, 16, 32];
+        let convs: Vec<SeedConv> = channels
+            .windows(2)
+            .enumerate()
+            .map(|(i, c)| SeedConv::new(c[0], c[1], 3, 200 + i as u64 * 11))
+            .collect();
+        let mut t = FEAT_DIM;
+        for _ in &convs {
+            t = (t - 2) / 2;
+        }
+        let flat = channels[channels.len() - 1] * t;
+        Self {
+            convs,
+            dense: vec![
+                SeedDense::new(flat, 32, 300),
+                SeedDense::new(32, CLASSES, 301),
+            ],
+            pool: 2,
+        }
+    }
+
+    fn predict_proba(&mut self, x: &[f32]) -> Vec<f32> {
+        let mut cur = x.to_vec();
+        let mut t = FEAT_DIM;
+        for conv in &mut self.convs {
+            cur = conv.forward(&cur, t);
+            t -= conv.kernel - 1;
+            cur = seed_relu(&cur);
+            cur = seed_maxpool(&cur, conv.out_ch, t, self.pool);
+            t /= self.pool;
+        }
+        // Flatten is a no-op on the flat Vec, but the seed allocated a copy.
+        cur = cur.clone();
+        let logits = {
+            let h = seed_relu(&self.dense[0].forward(&cur));
+            self.dense[1].forward(&h)
+        };
+        seed_softmax(&logits)
+    }
+}
+
+/// One pre-change window: seed MFCC per frame, then both classifier
+/// families through the seed's naive allocating forward.
+fn before_window(
+    window: &[f32],
+    bank: &MelFilterBank,
+    mlp: &mut SeedMlp,
+    cnn: &mut SeedCnn,
+) -> f32 {
+    let mut features = Vec::new();
+    let mut start = 0;
+    while start + FRAME_LEN <= window.len() {
+        features.extend_from_slice(&seed_extract(bank, &window[start..start + FRAME_LEN]));
+        start += HOP;
+    }
+    mlp.predict_proba(&features)[0] + cnn.predict_proba(&features)[0]
+}
+
+// ---------------------------------------------------------------------------
+// Post-change hot path.
+// ---------------------------------------------------------------------------
+
+/// Reusable state for the post-change path: everything below is warm after
+/// the first window.
+struct HotState {
+    mfcc: MfccExtractor,
+    features: Vec<f32>,
+    coeffs: Vec<f32>,
+    scratch: Scratch,
+}
+
+struct Models {
+    mlp: Sequential,
+    cnn: Sequential,
+}
+
+/// One post-change window: `extract_into` per frame, then both families
+/// through `predict_proba_with` on the shared scratch arena.
+fn after_window(window: &[f32], state: &mut HotState, models: &mut Models) -> f32 {
+    state.features.clear();
+    let mut start = 0;
+    while start + FRAME_LEN <= window.len() {
+        state
+            .mfcc
+            .extract_into(&window[start..start + FRAME_LEN], &mut state.coeffs)
+            .unwrap();
+        state.features.extend_from_slice(&state.coeffs);
+        start += HOP;
+    }
+    let first = models
+        .mlp
+        .predict_proba_with(&state.features, &[FEAT_DIM], &mut state.scratch)
+        .unwrap()[0];
+    first
+        + models
+            .cnn
+            .predict_proba_with(&state.features, &[1, FEAT_DIM], &mut state.scratch)
+            .unwrap()[0]
+}
+
+/// Mean wall time (µs) and heap bytes per call of `f` over `iters` runs.
+fn measure(iters: u64, mut f: impl FnMut() -> f32) -> (f64, f64) {
+    // Warm-up outside the measurement: sizes scratch arenas and caches.
+    black_box(f());
+    black_box(f());
+    let before = alloc_counter::snapshot();
+    let start = Instant::now();
+    for _ in 0..iters {
+        black_box(f());
+    }
+    let elapsed = start.elapsed();
+    let delta = alloc_counter::snapshot().since(&before);
+    (
+        elapsed.as_nanos() as f64 / iters as f64 / 1e3,
+        delta.bytes_allocated as f64 / iters as f64,
+    )
+}
+
+fn main() {
+    let test_mode = std::env::args().any(|a| a == "--test");
+    let iters: u64 = if test_mode { 5 } else { 2_000 };
+
+    let window = synth_window();
+    let bank = MelFilterBank::new(SAMPLE_RATE, FRAME_LEN, N_MELS).unwrap();
+    let mut seed_mlp = SeedMlp::new();
+    let mut seed_cnn = SeedCnn::new();
+    let mut models = Models {
+        mlp: ModelConfig::scaled_mlp(FEAT_DIM, CLASSES)
+            .build(11)
+            .unwrap(),
+        cnn: ModelConfig::scaled_cnn(FEAT_DIM, CLASSES)
+            .build(12)
+            .unwrap(),
+    };
+    let mut hot = HotState {
+        mfcc: MfccExtractor::new(SAMPLE_RATE, FRAME_LEN, N_MELS, N_MFCC).unwrap(),
+        features: Vec::new(),
+        coeffs: Vec::new(),
+        scratch: Scratch::new(),
+    };
+
+    // Stage-level measurements (one frame / one forward), then the full
+    // per-window classify path both ways.
+    let frame = &window[..FRAME_LEN];
+    let (mfcc_b_us, mfcc_b_bytes) = measure(iters, || seed_extract(&bank, frame)[0]);
+    let (mfcc_a_us, mfcc_a_bytes) = measure(iters, || {
+        hot.mfcc.extract_into(frame, &mut hot.coeffs).unwrap();
+        hot.coeffs[0]
+    });
+
+    let features: Vec<f32> = (0..FEAT_DIM).map(|i| (i as f32 * 0.17).sin()).collect();
+    let (mlp_b_us, mlp_b_bytes) = measure(iters, || seed_mlp.predict_proba(&features)[0]);
+    let (mlp_a_us, mlp_a_bytes) = measure(iters, || {
+        models
+            .mlp
+            .predict_proba_with(&features, &[FEAT_DIM], &mut hot.scratch)
+            .unwrap()[0]
+    });
+    let (cnn_b_us, cnn_b_bytes) = measure(iters, || seed_cnn.predict_proba(&features)[0]);
+    let (cnn_a_us, cnn_a_bytes) = measure(iters, || {
+        models
+            .cnn
+            .predict_proba_with(&features, &[1, FEAT_DIM], &mut hot.scratch)
+            .unwrap()[0]
+    });
+
+    let (win_b_us, win_b_bytes) = measure(iters, || {
+        before_window(&window, &bank, &mut seed_mlp, &mut seed_cnn)
+    });
+    let (win_a_us, win_a_bytes) = measure(iters, || after_window(&window, &mut hot, &mut models));
+
+    let mut table = Table::new(vec![
+        "stage".into(),
+        "before_us".into(),
+        "after_us".into(),
+        "speedup".into(),
+        "before_bytes_per_call".into(),
+        "after_bytes_per_call".into(),
+    ]);
+    let mut emit = |stage: &str, b_us: f64, a_us: f64, b_bytes: f64, a_bytes: f64| {
+        println!(
+            "{stage:<28} before {b_us:>9.2} µs  after {a_us:>9.2} µs  speedup {:>5.2}x  bytes {b_bytes:>8.0} -> {a_bytes:>6.0}",
+            b_us / a_us
+        );
+        table.row(vec![
+            stage.into(),
+            format!("{b_us:.3}"),
+            format!("{a_us:.3}"),
+            format!("{:.2}", b_us / a_us),
+            format!("{b_bytes:.0}"),
+            format!("{a_bytes:.0}"),
+        ]);
+    };
+    println!("kernel_hotpath: per-window classify path ({iters} iters/stage)");
+    emit(
+        "mfcc_frame_512",
+        mfcc_b_us,
+        mfcc_a_us,
+        mfcc_b_bytes,
+        mfcc_a_bytes,
+    );
+    emit("mlp_forward", mlp_b_us, mlp_a_us, mlp_b_bytes, mlp_a_bytes);
+    emit("cnn_forward", cnn_b_us, cnn_a_us, cnn_b_bytes, cnn_a_bytes);
+    emit(
+        "window_classify_path",
+        win_b_us,
+        win_a_us,
+        win_b_bytes,
+        win_a_bytes,
+    );
+
+    // `--test` keeps the committed results untouched: five iterations are a
+    // smoke signal, not a measurement.
+    if test_mode {
+        println!("test mode: skipping csv/json output");
+        return;
+    }
+
+    let csv_path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/benches/results/kernel_hotpath.csv"
+    );
+    table.write_csv(csv_path).expect("write kernel_hotpath csv");
+    println!("wrote {csv_path}");
+
+    // Repo-root trajectory point: one JSON object per optimization PR so
+    // the per-window cost is trackable across the stack.
+    let json_path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_kernel_hotpath.json"
+    );
+    let json = format!(
+        "{{\n  \"bench\": \"kernel_hotpath\",\n  \"unit\": \"us_per_window\",\n  \"points\": [\n    {{\n      \"label\": \"zero-alloc-kernels\",\n      \"window_before_us\": {win_b_us:.3},\n      \"window_after_us\": {win_a_us:.3},\n      \"speedup\": {:.3},\n      \"bytes_before_per_window\": {win_b_bytes:.0},\n      \"bytes_after_per_window\": {win_a_bytes:.0}\n    }}\n  ]\n}}\n",
+        win_b_us / win_a_us
+    );
+    std::fs::write(json_path, json).expect("write kernel_hotpath json");
+    println!("wrote {json_path}");
+
+    assert!(
+        win_b_us / win_a_us >= 2.0,
+        "classify-path speedup regressed below 2x: {:.2}",
+        win_b_us / win_a_us
+    );
+}

@@ -45,13 +45,13 @@ pub fn gru_vs_lstm(
         .with_actors(config.max_actors)
         .with_utterances(config.utterances);
     let corpus = Corpus::generate(&spec, config.seed)?;
-    let pipeline = FeaturePipeline::new(FeatureConfig {
+    let mut pipeline = FeaturePipeline::new(FeatureConfig {
         sample_rate: spec.sample_rate,
         frame_len: 256,
         hop: 128,
         ..FeatureConfig::default()
     })?;
-    let (xs, ys) = extract_dataset(&corpus, &pipeline, FeatureLayout::Sequence)?;
+    let (xs, ys) = extract_dataset(&corpus, &mut pipeline, FeatureLayout::Sequence)?;
     let split = TrainTestSplit::by_actor(&corpus, 0.25, config.seed)?;
     let mut train_x = TrainTestSplit::gather(&split.train, &xs);
     let train_y = TrainTestSplit::gather(&split.train, &ys);

@@ -152,9 +152,9 @@ pub fn evaluate_classifier(
         .with_actors(spec.actors.min(config.max_actors))
         .with_utterances(config.utterances);
     let corpus = Corpus::generate(&spec, config.seed)?;
-    let pipeline = pipeline_for(&spec)?;
+    let mut pipeline = pipeline_for(&spec)?;
     let layout = FeatureLayout::for_kind(kind);
-    let (xs, ys) = extract_dataset(&corpus, &pipeline, layout)?;
+    let (xs, ys) = extract_dataset(&corpus, &mut pipeline, layout)?;
 
     let split = TrainTestSplit::by_actor(&corpus, 0.25, config.seed)?;
     let mut train_x = TrainTestSplit::gather(&split.train, &xs);

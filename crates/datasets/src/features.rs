@@ -50,13 +50,13 @@ impl FeatureLayout {
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// let spec = CorpusSpec::emovo_like().with_actors(1).with_utterances(1);
 /// let corpus = Corpus::generate(&spec, 1)?;
-/// let pipeline = FeaturePipeline::new(FeatureConfig {
+/// let mut pipeline = FeaturePipeline::new(FeatureConfig {
 ///     sample_rate: spec.sample_rate,
 ///     frame_len: 256,
 ///     hop: 128,
 ///     ..FeatureConfig::default()
 /// })?;
-/// let (xs, ys) = extract_dataset(&corpus, &pipeline, FeatureLayout::Flat)?;
+/// let (xs, ys) = extract_dataset(&corpus, &mut pipeline, FeatureLayout::Flat)?;
 /// assert_eq!(xs.len(), ys.len());
 /// assert_eq!(xs[0].shape(), &[pipeline.flat_dim()]);
 /// # Ok(())
@@ -64,7 +64,7 @@ impl FeatureLayout {
 /// ```
 pub fn extract_dataset(
     corpus: &Corpus,
-    pipeline: &FeaturePipeline,
+    pipeline: &mut FeaturePipeline,
     layout: FeatureLayout,
 ) -> Result<(Vec<Tensor>, Vec<usize>), DatasetError> {
     let mut xs = Vec::with_capacity(corpus.len());
@@ -272,14 +272,14 @@ mod tests {
     #[test]
     fn all_layouts_extract() {
         let corpus = tiny_corpus();
-        let p = pipeline_for(corpus.spec());
+        let mut p = pipeline_for(corpus.spec());
         for layout in [
             FeatureLayout::Flat,
             FeatureLayout::Flattened,
             FeatureLayout::Strip,
             FeatureLayout::Sequence,
         ] {
-            let (xs, ys) = extract_dataset(&corpus, &p, layout).unwrap();
+            let (xs, ys) = extract_dataset(&corpus, &mut p, layout).unwrap();
             assert_eq!(xs.len(), corpus.len());
             assert_eq!(ys, corpus.labels());
         }
@@ -288,8 +288,8 @@ mod tests {
     #[test]
     fn sequence_shape_consistent_across_utterances() {
         let corpus = tiny_corpus();
-        let p = pipeline_for(corpus.spec());
-        let (xs, _) = extract_dataset(&corpus, &p, FeatureLayout::Sequence).unwrap();
+        let mut p = pipeline_for(corpus.spec());
+        let (xs, _) = extract_dataset(&corpus, &mut p, FeatureLayout::Sequence).unwrap();
         let shape = xs[0].shape().to_vec();
         assert!(xs.iter().all(|x| x.shape() == shape));
         assert_eq!(shape[1], p.features_per_frame());
@@ -298,8 +298,8 @@ mod tests {
     #[test]
     fn normalization_centers_data() {
         let corpus = tiny_corpus();
-        let p = pipeline_for(corpus.spec());
-        let (mut xs, _) = extract_dataset(&corpus, &p, FeatureLayout::Flat).unwrap();
+        let mut p = pipeline_for(corpus.spec());
+        let (mut xs, _) = extract_dataset(&corpus, &mut p, FeatureLayout::Flat).unwrap();
         let (mean, std) = normalize_in_place(&mut xs).unwrap();
         assert_eq!(mean.len(), p.flat_dim());
         assert_eq!(std.len(), p.flat_dim());

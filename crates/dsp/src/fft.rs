@@ -164,6 +164,158 @@ pub fn fft_inplace(buf: &mut [Complex]) -> Result<(), DspError> {
     Ok(())
 }
 
+/// A precomputed FFT plan for one transform size.
+///
+/// [`fft_inplace`] recomputes the bit-reversal permutation and accumulates
+/// twiddle factors (`w *= w_len`) on every call. A plan trades a one-time
+/// setup for a leaner hot loop: the permutation table and the per-stage
+/// twiddles (`n - 1` of them, evaluated directly from `cos`/`sin` so they
+/// are also slightly *more* accurate than the accumulated product) are
+/// computed once and reused for every frame. `process` takes `&self`, so one
+/// plan can serve any number of callers.
+///
+/// # Example
+///
+/// ```
+/// use dsp::{fft_inplace, Complex, FftPlan};
+/// # fn main() -> Result<(), dsp::DspError> {
+/// let plan = FftPlan::new(64)?;
+/// let signal: Vec<Complex> = (0..64).map(|i| Complex::new((i % 7) as f32, 0.0)).collect();
+/// let mut a = signal.clone();
+/// let mut b = signal;
+/// plan.process(&mut a)?;
+/// fft_inplace(&mut b)?;
+/// for (x, y) in a.iter().zip(&b) {
+///     assert!((x.re - y.re).abs() < 1e-3 && (x.im - y.im).abs() < 1e-3);
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct FftPlan {
+    n: usize,
+    /// Bit-reversed index of each position.
+    rev: Vec<usize>,
+    /// Twiddles for every butterfly stage, concatenated: `len/2` entries for
+    /// each stage `len = 2, 4, …, n` (`n - 1` in total).
+    twiddles: Vec<Complex>,
+}
+
+impl FftPlan {
+    /// Builds a plan for transforms of `n` points.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::NonPowerOfTwoFft`] when `n` is not a power of
+    /// two, and [`DspError::EmptyInput`] when it is zero.
+    pub fn new(n: usize) -> Result<Self, DspError> {
+        if n == 0 {
+            return Err(DspError::EmptyInput);
+        }
+        if !is_pow2(n) {
+            return Err(DspError::NonPowerOfTwoFft { len: n });
+        }
+        let bits = n.trailing_zeros();
+        let rev = if n == 1 {
+            vec![0]
+        } else {
+            (0..n)
+                .map(|i| i.reverse_bits() >> (usize::BITS - bits))
+                .collect()
+        };
+        let mut twiddles = Vec::with_capacity(n.saturating_sub(1));
+        let mut len = 2;
+        while len <= n {
+            let half = len / 2;
+            for k in 0..half {
+                let ang = -2.0 * std::f32::consts::PI * k as f32 / len as f32;
+                twiddles.push(Complex::new(ang.cos(), ang.sin()));
+            }
+            len <<= 1;
+        }
+        Ok(Self { n, rev, twiddles })
+    }
+
+    /// The transform size this plan was built for.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Always `false`: plans cannot be built for zero points.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// In-place forward FFT of `buf` using the precomputed tables.
+    /// Unnormalized, exactly like [`fft_inplace`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::LengthMismatch`] when `buf.len()` differs from
+    /// the planned size.
+    pub fn process(&self, buf: &mut [Complex]) -> Result<(), DspError> {
+        if buf.len() != self.n {
+            return Err(DspError::LengthMismatch {
+                expected: self.n,
+                actual: buf.len(),
+            });
+        }
+        if self.n == 1 {
+            return Ok(());
+        }
+        for (i, &j) in self.rev.iter().enumerate() {
+            if j > i {
+                buf.swap(i, j);
+            }
+        }
+        let mut len = 2;
+        let mut offset = 0;
+        while len <= self.n {
+            let half = len / 2;
+            let tw = &self.twiddles[offset..offset + half];
+            for chunk in buf.chunks_mut(len) {
+                for (k, &w) in tw.iter().enumerate() {
+                    let u = chunk[k];
+                    let v = chunk[k + half] * w;
+                    chunk[k] = u + v;
+                    chunk[k + half] = u - v;
+                }
+            }
+            offset += half;
+            len <<= 1;
+        }
+        Ok(())
+    }
+
+    /// Magnitude spectrum of a real signal (first `n/2 + 1` bins), writing
+    /// into caller-provided buffers so the steady state allocates nothing:
+    /// `work` holds the complex transform, `out` the magnitudes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::LengthMismatch`] when `signal.len()` differs from
+    /// the planned size.
+    pub fn rfft_magnitude_into(
+        &self,
+        signal: &[f32],
+        work: &mut Vec<Complex>,
+        out: &mut Vec<f32>,
+    ) -> Result<(), DspError> {
+        if signal.len() != self.n {
+            return Err(DspError::LengthMismatch {
+                expected: self.n,
+                actual: signal.len(),
+            });
+        }
+        work.clear();
+        work.extend(signal.iter().map(|&x| Complex::new(x, 0.0)));
+        self.process(work)?;
+        out.clear();
+        out.extend(work[..self.n / 2 + 1].iter().map(|c| c.abs()));
+        Ok(())
+    }
+}
+
 /// In-place inverse FFT, normalized by `1/N`.
 ///
 /// # Errors
@@ -307,6 +459,63 @@ mod tests {
         fft_inplace(&mut buf).unwrap();
         let freq_energy: f32 = buf.iter().map(|c| c.abs() * c.abs()).sum::<f32>() / n as f32;
         assert_close(time_energy, freq_energy, 1e-2);
+    }
+
+    #[test]
+    fn plan_matches_fft_inplace() {
+        for n in [1usize, 2, 4, 8, 64, 256] {
+            let plan = FftPlan::new(n).unwrap();
+            assert_eq!(plan.len(), n);
+            let signal: Vec<Complex> = (0..n)
+                .map(|i| Complex::new((i as f32 * 0.37).sin(), (i as f32 * 0.11).cos()))
+                .collect();
+            let mut a = signal.clone();
+            let mut b = signal;
+            plan.process(&mut a).unwrap();
+            fft_inplace(&mut b).unwrap();
+            let scale = (n as f32).max(1.0);
+            for (x, y) in a.iter().zip(&b) {
+                assert_close(x.re, y.re, 1e-3 * scale);
+                assert_close(x.im, y.im, 1e-3 * scale);
+            }
+        }
+    }
+
+    #[test]
+    fn plan_rejects_bad_sizes() {
+        assert!(matches!(FftPlan::new(0), Err(DspError::EmptyInput)));
+        assert!(matches!(
+            FftPlan::new(12),
+            Err(DspError::NonPowerOfTwoFft { len: 12 })
+        ));
+        let plan = FftPlan::new(8).unwrap();
+        let mut buf = vec![Complex::zero(); 4];
+        assert_eq!(
+            plan.process(&mut buf),
+            Err(DspError::LengthMismatch {
+                expected: 8,
+                actual: 4
+            })
+        );
+    }
+
+    #[test]
+    fn plan_rfft_matches_rfft_magnitude() {
+        let n = 128;
+        let signal: Vec<f32> = (0..n).map(|i| (i as f32 * 0.23).sin()).collect();
+        let plan = FftPlan::new(n).unwrap();
+        let mut work = Vec::new();
+        let mut out = Vec::new();
+        plan.rfft_magnitude_into(&signal, &mut work, &mut out)
+            .unwrap();
+        let reference = rfft_magnitude(&signal).unwrap();
+        assert_eq!(out.len(), reference.len());
+        for (a, b) in out.iter().zip(&reference) {
+            assert_close(*a, *b, 1e-2);
+        }
+        assert!(plan
+            .rfft_magnitude_into(&signal[..64], &mut work, &mut out)
+            .is_err());
     }
 
     #[test]

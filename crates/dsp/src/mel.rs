@@ -5,7 +5,7 @@
 //! a bank of triangular filters, log-compressed, and decorrelated with a
 //! DCT-II. This module implements that path exactly.
 
-use crate::fft::rfft_magnitude;
+use crate::fft::{Complex, FftPlan};
 use crate::window::Window;
 use crate::DspError;
 
@@ -149,23 +149,35 @@ impl MelFilterBank {
     /// Returns [`DspError::LengthMismatch`] when `spectrum.len()` differs
     /// from [`MelFilterBank::spectrum_len`].
     pub fn apply(&self, spectrum: &[f32]) -> Result<Vec<f32>, DspError> {
+        let mut out = Vec::with_capacity(self.filters.len());
+        self.apply_into(spectrum, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`MelFilterBank::apply`] writing into a caller-provided buffer,
+    /// allocation-free once the buffer has capacity. Results are bit-for-bit
+    /// identical to `apply`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::LengthMismatch`] when `spectrum.len()` differs
+    /// from [`MelFilterBank::spectrum_len`].
+    pub fn apply_into(&self, spectrum: &[f32], out: &mut Vec<f32>) -> Result<(), DspError> {
         if spectrum.len() != self.spectrum_len {
             return Err(DspError::LengthMismatch {
                 expected: self.spectrum_len,
                 actual: spectrum.len(),
             });
         }
-        Ok(self
-            .filters
-            .iter()
-            .map(|(start, weights)| {
-                weights
-                    .iter()
-                    .enumerate()
-                    .map(|(i, &w)| w * spectrum[start + i])
-                    .sum()
-            })
-            .collect())
+        out.clear();
+        out.extend(self.filters.iter().map(|(start, weights)| {
+            weights
+                .iter()
+                .enumerate()
+                .map(|(i, &w)| w * spectrum[start + i])
+                .sum::<f32>()
+        }));
+        Ok(())
     }
 }
 
@@ -175,36 +187,53 @@ impl MelFilterBank {
 /// Direct O(N·K) evaluation: the paper uses at most 40 mel bands and 13
 /// coefficients, where a fast algorithm would gain nothing.
 pub fn dct_ii(input: &[f32], n_out: usize) -> Vec<f32> {
+    let mut out = Vec::with_capacity(n_out);
+    dct_ii_into(input, n_out, &mut out);
+    out
+}
+
+/// [`dct_ii`] writing into a caller-provided buffer, allocation-free once
+/// the buffer has capacity. Results are bit-for-bit identical to `dct_ii`.
+pub fn dct_ii_into(input: &[f32], n_out: usize, out: &mut Vec<f32>) {
     let n = input.len() as f32;
-    (0..n_out)
-        .map(|k| {
-            let sum: f32 = input
-                .iter()
-                .enumerate()
-                .map(|(i, &x)| x * (std::f32::consts::PI * k as f32 * (i as f32 + 0.5) / n).cos())
-                .sum();
-            let scale = if k == 0 {
-                (1.0 / n).sqrt()
-            } else {
-                (2.0 / n).sqrt()
-            };
-            scale * sum
-        })
-        .collect()
+    out.clear();
+    out.extend((0..n_out).map(|k| {
+        let sum: f32 = input
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| x * (std::f32::consts::PI * k as f32 * (i as f32 + 0.5) / n).cos())
+            .sum();
+        let scale = if k == 0 {
+            (1.0 / n).sqrt()
+        } else {
+            (2.0 / n).sqrt()
+        };
+        scale * sum
+    }));
 }
 
 /// End-to-end MFCC extractor: window → FFT magnitude → mel filterbank →
 /// log → DCT-II.
+///
+/// The extractor precomputes everything the per-frame path needs — the
+/// [`FftPlan`], the window coefficients, the mel filterbank, and the DCT-II
+/// basis — and owns scratch buffers, so [`MfccExtractor::extract_into`]
+/// performs **zero heap allocations** in the steady state. The borrowing
+/// [`MfccExtractor::extract`] produces identical coefficients through the
+/// same precomputed tables but allocates its temporaries per call.
 ///
 /// # Example
 ///
 /// ```
 /// use dsp::MfccExtractor;
 /// # fn main() -> Result<(), dsp::DspError> {
-/// let ex = MfccExtractor::new(16_000.0, 256, 20, 13)?;
+/// let mut ex = MfccExtractor::new(16_000.0, 256, 20, 13)?;
 /// let frame = vec![0.25f32; 256];
 /// let mfcc = ex.extract(&frame)?;
 /// assert_eq!(mfcc.len(), 13);
+/// let mut out = Vec::new();
+/// ex.extract_into(&frame, &mut out)?;
+/// assert_eq!(out, mfcc);
 /// # Ok(())
 /// # }
 /// ```
@@ -214,6 +243,59 @@ pub struct MfccExtractor {
     window: Window,
     frame_len: usize,
     n_coeffs: usize,
+    plan: FftPlan,
+    /// Window coefficients for `frame_len` samples.
+    window_coeffs: Vec<f32>,
+    /// Row-major `[n_coeffs, n_filters]` DCT-II basis with the orthonormal
+    /// scale folded in.
+    dct_basis: Vec<f32>,
+    // Reusable per-frame scratch (only touched by `extract_into`).
+    fft_buf: Vec<Complex>,
+    spectrum: Vec<f32>,
+    energies: Vec<f32>,
+}
+
+/// Shared frame pipeline over caller-provided buffers: window+pack into
+/// `fft_buf`, FFT, magnitudes into `spectrum`, filterbank into `energies`,
+/// log in place, DCT basis matmul into `out`.
+#[allow(clippy::too_many_arguments)]
+fn mfcc_with_buffers(
+    plan: &FftPlan,
+    bank: &MelFilterBank,
+    window_coeffs: &[f32],
+    dct_basis: &[f32],
+    n_coeffs: usize,
+    frame: &[f32],
+    fft_buf: &mut Vec<Complex>,
+    spectrum: &mut Vec<f32>,
+    energies: &mut Vec<f32>,
+    out: &mut Vec<f32>,
+) -> Result<(), DspError> {
+    fft_buf.clear();
+    fft_buf.extend(
+        frame
+            .iter()
+            .zip(window_coeffs)
+            .map(|(&x, &w)| Complex::new(x * w, 0.0)),
+    );
+    plan.process(fft_buf)?;
+    spectrum.clear();
+    spectrum.extend(fft_buf[..frame.len() / 2 + 1].iter().map(|c| c.abs()));
+    bank.apply_into(spectrum, energies)?;
+    // Floor avoids log(0); 1e-10 is ~-200 dB, far below any real signal.
+    for e in energies.iter_mut() {
+        *e = (e.max(1e-10)).ln();
+    }
+    let n_filters = energies.len();
+    out.clear();
+    out.extend((0..n_coeffs).map(|k| {
+        let row = &dct_basis[k * n_filters..(k + 1) * n_filters];
+        row.iter()
+            .zip(energies.iter())
+            .map(|(&b, &e)| b * e)
+            .sum::<f32>()
+    }));
+    Ok(())
 }
 
 impl MfccExtractor {
@@ -237,12 +319,40 @@ impl MfccExtractor {
                 reason: "must be in 1..=n_filters",
             });
         }
+        let bank = MelFilterBank::new(sample_rate, frame_len, n_filters)?;
+        let plan = FftPlan::new(frame_len)?;
+        let window = Window::Hann;
+        let window_coeffs = window.coefficients(frame_len);
+        let n = n_filters as f32;
+        let mut dct_basis = Vec::with_capacity(n_coeffs * n_filters);
+        for k in 0..n_coeffs {
+            let scale = if k == 0 {
+                (1.0 / n).sqrt()
+            } else {
+                (2.0 / n).sqrt()
+            };
+            for i in 0..n_filters {
+                dct_basis
+                    .push(scale * (std::f32::consts::PI * k as f32 * (i as f32 + 0.5) / n).cos());
+            }
+        }
         Ok(Self {
-            bank: MelFilterBank::new(sample_rate, frame_len, n_filters)?,
-            window: Window::Hann,
+            bank,
+            window,
             frame_len,
             n_coeffs,
+            plan,
+            window_coeffs,
+            dct_basis,
+            fft_buf: Vec::new(),
+            spectrum: Vec::new(),
+            energies: Vec::new(),
         })
+    }
+
+    /// The window function applied to each frame.
+    pub fn window(&self) -> Window {
+        self.window
     }
 
     /// Frame length in samples this extractor expects.
@@ -268,13 +378,63 @@ impl MfccExtractor {
                 actual: frame.len(),
             });
         }
-        let mut windowed = frame.to_vec();
-        self.window.apply(&mut windowed)?;
-        let spectrum = rfft_magnitude(&windowed)?;
-        let energies = self.bank.apply(&spectrum)?;
-        // Floor avoids log(0); 1e-10 is ~-200 dB, far below any real signal.
-        let log_energies: Vec<f32> = energies.iter().map(|&e| (e.max(1e-10)).ln()).collect();
-        Ok(dct_ii(&log_energies, self.n_coeffs))
+        let mut fft_buf = Vec::new();
+        let mut spectrum = Vec::new();
+        let mut energies = Vec::new();
+        let mut out = Vec::new();
+        mfcc_with_buffers(
+            &self.plan,
+            &self.bank,
+            &self.window_coeffs,
+            &self.dct_basis,
+            self.n_coeffs,
+            frame,
+            &mut fft_buf,
+            &mut spectrum,
+            &mut energies,
+            &mut out,
+        )?;
+        Ok(out)
+    }
+
+    /// [`MfccExtractor::extract`] writing into a caller-provided buffer and
+    /// drawing every temporary from the extractor's own scratch — zero heap
+    /// allocations in the steady state, bit-for-bit identical coefficients.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::LengthMismatch`] when the frame length differs
+    /// from [`MfccExtractor::frame_len`].
+    pub fn extract_into(&mut self, frame: &[f32], out: &mut Vec<f32>) -> Result<(), DspError> {
+        if frame.len() != self.frame_len {
+            return Err(DspError::LengthMismatch {
+                expected: self.frame_len,
+                actual: frame.len(),
+            });
+        }
+        let Self {
+            bank,
+            plan,
+            window_coeffs,
+            dct_basis,
+            n_coeffs,
+            fft_buf,
+            spectrum,
+            energies,
+            ..
+        } = self;
+        mfcc_with_buffers(
+            plan,
+            bank,
+            window_coeffs,
+            dct_basis,
+            *n_coeffs,
+            frame,
+            fft_buf,
+            spectrum,
+            energies,
+            out,
+        )
     }
 }
 
@@ -379,5 +539,49 @@ mod tests {
     fn mfcc_rejects_zero_coeffs() {
         assert!(MfccExtractor::new(16_000.0, 256, 20, 0).is_err());
         assert!(MfccExtractor::new(16_000.0, 256, 20, 21).is_err());
+    }
+
+    #[test]
+    fn extract_into_matches_extract_bitwise() {
+        let mut ex = MfccExtractor::new(16_000.0, 512, 26, 13).unwrap();
+        let frame: Vec<f32> = (0..512)
+            .map(|i| (2.0 * std::f32::consts::PI * 440.0 * i as f32 / 16_000.0).sin())
+            .collect();
+        let reference = ex.extract(&frame).unwrap();
+        let mut out = Vec::new();
+        // Repeated calls reuse the same scratch; each must match exactly.
+        for _ in 0..3 {
+            ex.extract_into(&frame, &mut out).unwrap();
+            assert_eq!(reference, out);
+        }
+    }
+
+    #[test]
+    fn extract_into_rejects_wrong_frame_len() {
+        let mut ex = MfccExtractor::new(16_000.0, 256, 20, 13).unwrap();
+        let mut out = Vec::new();
+        assert_eq!(
+            ex.extract_into(&[0.0; 100], &mut out),
+            Err(DspError::LengthMismatch {
+                expected: 256,
+                actual: 100
+            })
+        );
+    }
+
+    #[test]
+    fn apply_into_and_dct_into_match_allocating_variants() {
+        let bank = MelFilterBank::new(16_000.0, 512, 26).unwrap();
+        let spectrum: Vec<f32> = (0..257).map(|i| ((i * 3) % 11) as f32).collect();
+        let reference = bank.apply(&spectrum).unwrap();
+        let mut into = Vec::new();
+        bank.apply_into(&spectrum, &mut into).unwrap();
+        assert_eq!(reference, into);
+
+        let input: Vec<f32> = (0..26).map(|i| ((i * 7) % 5) as f32 - 2.0).collect();
+        let reference = dct_ii(&input, 13);
+        let mut into = Vec::new();
+        dct_ii_into(&input, 13, &mut into);
+        assert_eq!(reference, into);
     }
 }

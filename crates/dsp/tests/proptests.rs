@@ -1,9 +1,26 @@
 //! Property-based tests for the DSP kernels.
 
-use dsp::fft::{fft_inplace, ifft_inplace, Complex};
+use dsp::fft::{fft_inplace, ifft_inplace, Complex, FftPlan};
 use dsp::stats::{histogram, mean, min_max, variance};
 use dsp::{rms, zero_crossing_rate, Frames, MelFilterBank, Window};
 use proptest::prelude::*;
+
+/// Textbook O(n²) DFT — the oracle the fast transforms are checked against.
+fn naive_dft(input: &[Complex]) -> Vec<Complex> {
+    let n = input.len();
+    (0..n)
+        .map(|k| {
+            let mut acc = Complex::new(0.0, 0.0);
+            for (t, x) in input.iter().enumerate() {
+                let ang = -2.0 * std::f64::consts::PI * (k as f64) * (t as f64) / n as f64;
+                let (re, im) = (ang.cos() as f32, ang.sin() as f32);
+                acc.re += x.re * re - x.im * im;
+                acc.im += x.re * im + x.im * re;
+            }
+            acc
+        })
+        .collect()
+}
 
 fn signal_strategy(max_pow: u32) -> impl Strategy<Value = Vec<f32>> {
     (1u32..=max_pow)
@@ -33,6 +50,42 @@ proptest! {
         fft_inplace(&mut buf).unwrap();
         let fe: f32 = buf.iter().map(|c| c.abs() * c.abs()).sum::<f32>() / n;
         prop_assert!((te - fe).abs() < 1e-2 * (1.0 + te), "{te} vs {fe}");
+    }
+
+    /// A precomputed plan produces the same spectrum as the ad-hoc
+    /// `fft_inplace` (within accumulation tolerance) for every
+    /// power-of-two size, and both match the naive O(n²) DFT oracle.
+    #[test]
+    fn fft_plan_matches_fft_inplace_and_dft_oracle(signal in signal_strategy(7)) {
+        let input: Vec<Complex> = signal.iter().map(|&x| Complex::new(x, 0.0)).collect();
+        let plan = FftPlan::new(input.len()).unwrap();
+        let mut planned = input.clone();
+        plan.process(&mut planned).unwrap();
+        let mut adhoc = input.clone();
+        fft_inplace(&mut adhoc).unwrap();
+        let oracle = naive_dft(&input);
+        let tol = 1e-3 * input.len() as f32;
+        for ((p, a), o) in planned.iter().zip(&adhoc).zip(&oracle) {
+            prop_assert!((p.re - a.re).abs() < tol, "plan {} vs inplace {}", p.re, a.re);
+            prop_assert!((p.im - a.im).abs() < tol, "plan {} vs inplace {}", p.im, a.im);
+            prop_assert!((p.re - o.re).abs() < tol, "plan {} vs dft {}", p.re, o.re);
+            prop_assert!((p.im - o.im).abs() < tol, "plan {} vs dft {}", p.im, o.im);
+        }
+    }
+
+    /// A plan is reusable: processing the same input twice through one plan
+    /// is bit-for-bit deterministic.
+    #[test]
+    fn fft_plan_is_deterministic_across_calls(signal in signal_strategy(6)) {
+        let plan = FftPlan::new(signal.len()).unwrap();
+        let mut first: Vec<Complex> = signal.iter().map(|&x| Complex::new(x, 0.0)).collect();
+        let mut second = first.clone();
+        plan.process(&mut first).unwrap();
+        plan.process(&mut second).unwrap();
+        for (a, b) in first.iter().zip(&second) {
+            prop_assert_eq!(a.re.to_bits(), b.re.to_bits());
+            prop_assert_eq!(a.im.to_bits(), b.im.to_bits());
+        }
     }
 
     /// ZCR is always in [0, 1].

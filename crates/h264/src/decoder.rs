@@ -13,6 +13,7 @@ use crate::intra::{predict, IntraMode};
 use crate::nal::{split_annex_b, write_annex_b, NalType, NalUnit};
 use crate::transform::decode_residual;
 use crate::CodecError;
+use std::rc::Rc;
 
 /// Per-module activity counters — the power model's inputs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -149,18 +150,20 @@ impl Decoder {
     pub fn decode(&mut self, stream: &[u8]) -> Result<DecodeOutput, CodecError> {
         let all_units = split_annex_b(stream)?;
 
-        // Input Selector (knob 2).
-        let (units, selection) = match self.options.selector {
+        // Input Selector (knob 2). The surviving units are moved out of the
+        // report (not cloned — payloads can be megabytes) and moved back
+        // into `selection.kept` once decoding is done with them.
+        let (units, mut selection) = match self.options.selector {
             Some(params) => {
-                let report = select_units(&all_units, params);
-                (report.kept.clone(), report)
+                let mut report = select_units(&all_units, params);
+                let kept = std::mem::take(&mut report.kept);
+                (kept, report)
             }
             None => {
                 let kept_bytes = all_units.iter().map(NalUnit::wire_size).sum();
                 (
-                    all_units.clone(),
+                    all_units,
                     SelectionReport {
-                        kept: all_units,
                         kept_bytes,
                         ..SelectionReport::default()
                     },
@@ -204,8 +207,13 @@ impl Decoder {
         let qp = qp as u8;
         let (width, height) = (mb_cols * MB_SIZE, mb_rows * MB_SIZE);
 
-        let mut frames: Vec<Frame> = Vec::with_capacity(total_frames);
-        let mut refs: Vec<Frame> = Vec::new();
+        // Frames are reference-counted internally: the reference list and
+        // concealment repeats share the decoded pixels instead of deep-
+        // cloning them. The shared handles are unwrapped (moved, not
+        // copied, wherever ownership is unique) into plain `Frame`s at the
+        // end so `DecodeOutput` stays `Send`.
+        let mut frames: Vec<Rc<Frame>> = Vec::with_capacity(total_frames);
+        let mut refs: Vec<Rc<Frame>> = Vec::new();
 
         for unit in slices {
             let mut reader = BitReader::new(&unit.payload);
@@ -217,15 +225,15 @@ impl Decoder {
             // Conceal frames whose NAL units were deleted: repeat the last
             // emitted frame (or black if nothing decoded yet).
             while frames.len() < frame_num {
-                let concealed = frames
-                    .last()
-                    .cloned()
-                    .map_or_else(|| Frame::new(width, height), Ok)?;
+                let concealed = match frames.last() {
+                    Some(last) => Rc::clone(last),
+                    None => Rc::new(Frame::new(width, height)?),
+                };
                 frames.push(concealed);
                 activity.frames += 1;
             }
 
-            let decoded = self.decode_slice(
+            let decoded = Rc::new(self.decode_slice(
                 unit.nal_type,
                 &mut reader,
                 width,
@@ -233,11 +241,11 @@ impl Decoder {
                 qp,
                 &refs,
                 &mut activity,
-            )?;
+            )?);
             activity.parser_bits += reader.bits_read() as u64;
 
             if unit.nal_type != NalType::BSlice {
-                refs.push(decoded.clone());
+                refs.push(Rc::clone(&decoded));
                 if refs.len() > 2 {
                     refs.remove(0);
                 }
@@ -253,14 +261,23 @@ impl Decoder {
 
         // Conceal a deleted tail.
         while frames.len() < total_frames {
-            let concealed = frames
-                .last()
-                .cloned()
-                .map_or_else(|| Frame::new(width, height), Ok)?;
+            let concealed = match frames.last() {
+                Some(last) => Rc::clone(last),
+                None => Rc::new(Frame::new(width, height)?),
+            };
             frames.push(concealed);
             activity.frames += 1;
         }
 
+        // Release the reference list so uniquely-owned frames move out of
+        // their Rc for free; only concealment-shared frames still copy.
+        drop(refs);
+        let frames = frames
+            .into_iter()
+            .map(|f| Rc::try_unwrap(f).unwrap_or_else(|shared| (*shared).clone()))
+            .collect();
+
+        selection.kept = units;
         Ok(DecodeOutput {
             frames,
             activity,
@@ -277,7 +294,7 @@ impl Decoder {
         width: usize,
         height: usize,
         qp: u8,
-        refs: &[Frame],
+        refs: &[Rc<Frame>],
         activity: &mut Activity,
     ) -> Result<Frame, CodecError> {
         let mut frame = Frame::new(width, height)?;
@@ -294,14 +311,29 @@ impl Decoder {
                     NalType::PSlice => {
                         let reference = refs.last().ok_or(CodecError::MissingReference)?;
                         self.decode_p_mb(
-                            reader, &mut frame, &mut ctx, reference, mb_x, mb_y, qp, activity,
+                            reader,
+                            &mut frame,
+                            &mut ctx,
+                            reference.as_ref(),
+                            mb_x,
+                            mb_y,
+                            qp,
+                            activity,
                         )?;
                     }
                     NalType::BSlice => {
                         let ref1 = refs.last().ok_or(CodecError::MissingReference)?;
                         let ref0 = if refs.len() >= 2 { &refs[0] } else { ref1 };
                         self.decode_b_mb(
-                            reader, &mut frame, &mut ctx, ref0, ref1, mb_x, mb_y, qp, activity,
+                            reader,
+                            &mut frame,
+                            &mut ctx,
+                            ref0.as_ref(),
+                            ref1.as_ref(),
+                            mb_x,
+                            mb_y,
+                            qp,
+                            activity,
                         )?;
                     }
                     NalType::Sps => return Err(CodecError::InvalidSyntax("nested sps")),

@@ -1,6 +1,7 @@
 //! Elementwise activation layers.
 
 use crate::layers::Layer;
+use crate::scratch::{Scratch, Shape};
 use crate::{NnError, Tensor};
 
 /// The activation function applied by an [`Activation`] layer.
@@ -87,6 +88,35 @@ impl Layer for Activation {
             self.input_cache = Some(input.clone());
         }
         Ok(out)
+    }
+
+    fn forward_scratch(
+        &mut self,
+        input: &[f32],
+        shape: Shape,
+        out: &mut Vec<f32>,
+        _scratch: &mut Scratch,
+    ) -> Result<Shape, NnError> {
+        out.clear();
+        out.resize(input.len(), 0.0);
+        match self.kind {
+            ActivationKind::Relu => {
+                for (y, &x) in out.iter_mut().zip(input) {
+                    *y = x.max(0.0);
+                }
+            }
+            ActivationKind::Tanh => {
+                for (y, &x) in out.iter_mut().zip(input) {
+                    *y = x.tanh();
+                }
+            }
+            ActivationKind::Sigmoid => {
+                for (y, &x) in out.iter_mut().zip(input) {
+                    *y = sigmoid(x);
+                }
+            }
+        }
+        Ok(shape)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {

@@ -1,7 +1,9 @@
 //! 1-D convolution over `[channels, time]` inputs.
 
 use crate::init::{he_uniform, seeded_rng};
+use crate::kernels;
 use crate::layers::{Layer, Param};
+use crate::scratch::{Scratch, Shape};
 use crate::{NnError, Tensor};
 
 /// A 1-D convolution layer with stride 1 and "valid" padding, matching the
@@ -92,21 +94,49 @@ impl Layer for Conv1d {
         let t_in = shape[1];
         let t_out = t_in - self.kernel + 1;
         let mut out = vec![0.0f32; self.out_ch * t_out];
-        for o in 0..self.out_ch {
-            let b = self.bias.value.data()[o];
-            for t in 0..t_out {
-                let mut acc = b;
-                for c in 0..self.in_ch {
-                    let in_base = c * t_in + t;
-                    for k in 0..self.kernel {
-                        acc += self.w(o, c, k) * input.data()[in_base + k];
-                    }
-                }
-                out[o * t_out + t] = acc;
-            }
-        }
+        kernels::conv1d_forward(
+            self.weight.value.data(),
+            self.bias.value.data(),
+            input.data(),
+            self.in_ch,
+            self.out_ch,
+            self.kernel,
+            t_in,
+            &mut out,
+        );
         self.input_cache = Some(input.clone());
         Tensor::from_vec(out, &[self.out_ch, t_out])
+    }
+
+    fn forward_scratch(
+        &mut self,
+        input: &[f32],
+        shape: Shape,
+        out: &mut Vec<f32>,
+        _scratch: &mut Scratch,
+    ) -> Result<Shape, NnError> {
+        let dims = shape.as_slice();
+        if dims.len() != 2 || dims[0] != self.in_ch || dims[1] < self.kernel {
+            return Err(NnError::ShapeMismatch {
+                expected: format!("[{}, t >= {}]", self.in_ch, self.kernel),
+                actual: dims.to_vec(),
+            });
+        }
+        let t_in = dims[1];
+        let t_out = t_in - self.kernel + 1;
+        out.clear();
+        out.resize(self.out_ch * t_out, 0.0);
+        kernels::conv1d_forward(
+            self.weight.value.data(),
+            self.bias.value.data(),
+            input,
+            self.in_ch,
+            self.out_ch,
+            self.kernel,
+            t_in,
+            out,
+        );
+        Ok(Shape::d2(self.out_ch, t_out))
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
@@ -211,6 +241,21 @@ mod tests {
         let x = Tensor::from_vec(vec![1.0, 2.0, 4.0], &[1, 3]).unwrap();
         let y = c.forward(&x, false).unwrap();
         assert_eq!(y.data(), &[-1.0, -2.0]);
+    }
+
+    #[test]
+    fn forward_scratch_matches_forward_bitwise() {
+        let mut c = Conv1d::new(2, 3, 3, 17).unwrap();
+        let x =
+            Tensor::from_vec((0..22).map(|i| (i as f32 * 0.41).sin()).collect(), &[2, 11]).unwrap();
+        let y = c.forward(&x, false).unwrap();
+        let mut scratch = Scratch::new();
+        let mut out = Vec::new();
+        let shape = c
+            .forward_scratch(x.data(), Shape::d2(2, 11), &mut out, &mut scratch)
+            .unwrap();
+        assert_eq!(shape.as_slice(), y.shape());
+        assert_eq!(out, y.data());
     }
 
     #[test]

@@ -1,7 +1,9 @@
 //! Fully connected layer.
 
 use crate::init::{he_uniform, seeded_rng};
+use crate::kernels;
 use crate::layers::{Layer, Param};
+use crate::scratch::{Scratch, Shape};
 use crate::{NnError, Tensor};
 
 /// A fully connected (dense) layer: `y = W·x + b`.
@@ -76,6 +78,29 @@ impl Layer for Dense {
         Tensor::from_vec(y, &[self.out_dim()])
     }
 
+    fn forward_scratch(
+        &mut self,
+        input: &[f32],
+        shape: Shape,
+        out: &mut Vec<f32>,
+        _scratch: &mut Scratch,
+    ) -> Result<Shape, NnError> {
+        if shape.as_slice() != [self.in_dim()] {
+            return Err(NnError::ShapeMismatch {
+                expected: format!("[{}]", self.in_dim()),
+                actual: shape.as_slice().to_vec(),
+            });
+        }
+        let (out_dim, in_dim) = (self.out_dim(), self.in_dim());
+        out.clear();
+        out.resize(out_dim, 0.0);
+        kernels::gemv(self.weight.value.data(), out_dim, in_dim, input, out);
+        for (yi, bi) in out.iter_mut().zip(self.bias.value.data()) {
+            *yi += bi;
+        }
+        Ok(Shape::d1(out_dim))
+    }
+
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
         let input = self
             .input_cache
@@ -136,6 +161,30 @@ mod tests {
         let mut b = Dense::new(4, 3, 9).unwrap();
         let x = Tensor::from_vec(vec![1.0, -1.0, 0.5, 2.0], &[4]).unwrap();
         assert_eq!(a.forward(&x, false).unwrap(), b.forward(&x, false).unwrap());
+    }
+
+    #[test]
+    fn forward_scratch_matches_forward_bitwise() {
+        let mut l = Dense::new(5, 3, 21).unwrap();
+        let x = Tensor::from_vec(vec![0.2, -1.3, 0.8, 2.1, -0.4], &[5]).unwrap();
+        let y = l.forward(&x, false).unwrap();
+        let mut scratch = Scratch::new();
+        let mut out = Vec::new();
+        let shape = l
+            .forward_scratch(x.data(), Shape::d1(5), &mut out, &mut scratch)
+            .unwrap();
+        assert_eq!(shape.as_slice(), y.shape());
+        assert_eq!(out, y.data());
+    }
+
+    #[test]
+    fn forward_scratch_rejects_wrong_shape() {
+        let mut l = Dense::new(4, 3, 9).unwrap();
+        let mut scratch = Scratch::new();
+        let mut out = Vec::new();
+        assert!(l
+            .forward_scratch(&[0.0; 5], Shape::d1(5), &mut out, &mut scratch)
+            .is_err());
     }
 
     #[test]

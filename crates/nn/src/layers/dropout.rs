@@ -1,6 +1,7 @@
 //! Inverted dropout.
 
 use crate::layers::Layer;
+use crate::scratch::{Scratch, Shape};
 use crate::{NnError, Tensor};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -80,6 +81,19 @@ impl Layer for Dropout {
             .collect();
         self.mask = Some(mask);
         Tensor::from_vec(data, input.shape())
+    }
+
+    fn forward_scratch(
+        &mut self,
+        input: &[f32],
+        shape: Shape,
+        out: &mut Vec<f32>,
+        _scratch: &mut Scratch,
+    ) -> Result<Shape, NnError> {
+        // Inference-only path: dropout is the identity.
+        out.clear();
+        out.extend_from_slice(input);
+        Ok(shape)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {

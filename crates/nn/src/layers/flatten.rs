@@ -1,6 +1,7 @@
 //! Flatten layer: reshapes any tensor to 1-D.
 
 use crate::layers::Layer;
+use crate::scratch::{Scratch, Shape};
 use crate::{NnError, Tensor};
 
 /// Flattens its input to a 1-D tensor; the backward pass restores the
@@ -34,6 +35,18 @@ impl Layer for Flatten {
     fn forward(&mut self, input: &Tensor, _train: bool) -> Result<Tensor, NnError> {
         self.input_shape = Some(input.shape().to_vec());
         Ok(input.to_flat())
+    }
+
+    fn forward_scratch(
+        &mut self,
+        input: &[f32],
+        _shape: Shape,
+        out: &mut Vec<f32>,
+        _scratch: &mut Scratch,
+    ) -> Result<Shape, NnError> {
+        out.clear();
+        out.extend_from_slice(input);
+        Ok(Shape::d1(input.len()))
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {

@@ -1,7 +1,9 @@
 //! Long short-term memory layer with full backpropagation through time.
 
 use crate::init::{seeded_rng, xavier_uniform};
+use crate::kernels;
 use crate::layers::{Layer, Param};
+use crate::scratch::{Scratch, Shape};
 use crate::{NnError, Tensor};
 
 /// Gate pre-activations/activations per time step, cached for BPTT.
@@ -172,6 +174,62 @@ impl Layer for Lstm {
         }
     }
 
+    fn forward_scratch(
+        &mut self,
+        input: &[f32],
+        shape: Shape,
+        out: &mut Vec<f32>,
+        scratch: &mut Scratch,
+    ) -> Result<Shape, NnError> {
+        let dims = shape.as_slice();
+        if dims.len() != 2 || dims[1] != self.input_dim || dims[0] == 0 {
+            return Err(NnError::ShapeMismatch {
+                expected: format!("[t >= 1, {}]", self.input_dim),
+                actual: dims.to_vec(),
+            });
+        }
+        let (t_len, h, f_dim) = (dims[0], self.hidden, self.input_dim);
+        let mut z = scratch.acquire(4 * h);
+        let mut zh = scratch.acquire(4 * h);
+        let mut h_prev = scratch.acquire(h);
+        let mut c_prev = scratch.acquire(h);
+        out.clear();
+        out.resize(if self.return_sequences { t_len * h } else { h }, 0.0);
+
+        for t in 0..t_len {
+            let x = &input[t * f_dim..(t + 1) * f_dim];
+            kernels::gemv(self.wx.value.data(), 4 * h, f_dim, x, &mut z);
+            kernels::gemv(self.wh.value.data(), 4 * h, h, &h_prev, &mut zh);
+            for ((zi, &zhi), &bi) in z.iter_mut().zip(zh.iter()).zip(self.bias.value.data()) {
+                *zi += zhi + bi;
+            }
+            for j in 0..h {
+                let i_gate = sigmoid(z[j]);
+                let f_gate = sigmoid(z[h + j]);
+                let g_gate = z[2 * h + j].tanh();
+                let o_gate = sigmoid(z[3 * h + j]);
+                let c = f_gate * c_prev[j] + i_gate * g_gate;
+                c_prev[j] = c;
+                h_prev[j] = o_gate * c.tanh();
+            }
+            if self.return_sequences {
+                out[t * h..(t + 1) * h].copy_from_slice(&h_prev);
+            }
+        }
+        if !self.return_sequences {
+            out.copy_from_slice(&h_prev);
+        }
+        scratch.release(z);
+        scratch.release(zh);
+        scratch.release(h_prev);
+        scratch.release(c_prev);
+        Ok(if self.return_sequences {
+            Shape::d2(t_len, h)
+        } else {
+            Shape::d1(h)
+        })
+    }
+
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
         if self.steps.is_empty() {
             return Err(NnError::InvalidState("lstm backward before forward"));
@@ -309,6 +367,23 @@ mod tests {
         let x = Tensor::from_vec(vec![10.0; 12], &[6, 2]).unwrap();
         let y = l.forward(&x, false).unwrap();
         assert!(y.data().iter().all(|&v| v.abs() <= 1.0));
+    }
+
+    #[test]
+    fn forward_scratch_matches_forward_bitwise() {
+        for return_sequences in [false, true] {
+            let mut l = Lstm::new(3, 4, return_sequences, 23).unwrap();
+            let x = Tensor::from_vec((0..15).map(|i| (i as f32 * 0.29).sin()).collect(), &[5, 3])
+                .unwrap();
+            let y = l.forward(&x, false).unwrap();
+            let mut scratch = Scratch::new();
+            let mut out = Vec::new();
+            let shape = l
+                .forward_scratch(x.data(), Shape::d2(5, 3), &mut out, &mut scratch)
+                .unwrap();
+            assert_eq!(shape.as_slice(), y.shape());
+            assert_eq!(out, y.data(), "seq={return_sequences}");
+        }
     }
 
     #[test]

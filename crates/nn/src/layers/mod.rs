@@ -25,6 +25,7 @@ pub use lstm::Lstm;
 pub use param::Param;
 pub use pool::MaxPool1d;
 
+use crate::scratch::{Scratch, Shape};
 use crate::{NnError, Tensor};
 
 /// A differentiable layer.
@@ -51,6 +52,35 @@ pub trait Layer: std::fmt::Debug + Send {
     /// Returns [`NnError::InvalidState`] when called before `forward`, and
     /// [`NnError::ShapeMismatch`] for a wrong gradient shape.
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError>;
+
+    /// Inference-only forward pass over raw slices, writing the output into
+    /// `out` and drawing any temporaries from `scratch`. Returns the output
+    /// shape. Unlike [`Layer::forward`] this path caches nothing, so a
+    /// subsequent `backward` is not supported — it exists so the per-window
+    /// classify path can run without steady-state allocations.
+    ///
+    /// The default implementation falls back to the tensor path (and thus
+    /// allocates); hot layers override it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] when the input shape is
+    /// incompatible with the layer configuration.
+    fn forward_scratch(
+        &mut self,
+        input: &[f32],
+        shape: Shape,
+        out: &mut Vec<f32>,
+        scratch: &mut Scratch,
+    ) -> Result<Shape, NnError> {
+        let _ = scratch;
+        let x = Tensor::from_vec(input.to_vec(), shape.as_slice())?;
+        let y = self.forward(&x, false)?;
+        let out_shape = Shape::from_slice(y.shape())?;
+        out.clear();
+        out.extend_from_slice(y.data());
+        Ok(out_shape)
+    }
 
     /// Mutable access to the trainable parameters (empty for stateless
     /// layers).

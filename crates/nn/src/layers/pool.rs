@@ -1,6 +1,7 @@
 //! Max pooling over the time axis.
 
 use crate::layers::Layer;
+use crate::scratch::{Scratch, Shape};
 use crate::{NnError, Tensor};
 
 /// Non-overlapping 1-D max pooling over `[channels, time]` inputs.
@@ -79,6 +80,39 @@ impl Layer for MaxPool1d {
         }
         self.cache = Some((shape.to_vec(), argmax));
         Tensor::from_vec(out, &[ch, t_out])
+    }
+
+    fn forward_scratch(
+        &mut self,
+        input: &[f32],
+        shape: Shape,
+        out: &mut Vec<f32>,
+        _scratch: &mut Scratch,
+    ) -> Result<Shape, NnError> {
+        let dims = shape.as_slice();
+        if dims.len() != 2 || dims[1] < self.pool {
+            return Err(NnError::ShapeMismatch {
+                expected: format!("[c, t >= {}]", self.pool),
+                actual: dims.to_vec(),
+            });
+        }
+        let (ch, t_in) = (dims[0], dims[1]);
+        let t_out = t_in / self.pool;
+        out.clear();
+        out.resize(ch * t_out, 0.0);
+        for c in 0..ch {
+            for t in 0..t_out {
+                let start = c * t_in + t * self.pool;
+                let mut best = f32::NEG_INFINITY;
+                for &v in &input[start..start + self.pool] {
+                    if v > best {
+                        best = v;
+                    }
+                }
+                out[c * t_out + t] = best;
+            }
+        }
+        Ok(Shape::d2(ch, t_out))
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {

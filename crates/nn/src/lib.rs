@@ -9,6 +9,10 @@
 //!
 //! * [`tensor::Tensor`] — a dense row-major tensor with the handful of ops
 //!   the layers require,
+//! * [`kernels`] — register-blocked matrix–vector and convolution kernels
+//!   (bit-for-bit equal to the naive loops) plus a fused i8×i8→i32 path,
+//! * [`scratch`] — a reusable inference workspace so the steady-state
+//!   forward pass allocates nothing,
 //! * [`layers`] — `Dense`, `Conv1d`, `MaxPool1d`, `Lstm`, activations,
 //!   `Dropout`, `Flatten`, all with hand-written backward passes,
 //! * [`model::Sequential`] — layer composition, forward/backward, prediction,
@@ -60,16 +64,19 @@
 
 pub mod error;
 pub mod init;
+pub mod kernels;
 pub mod layers;
 pub mod loss;
 pub mod metrics;
 pub mod model;
 pub mod optim;
 pub mod quant;
+pub mod scratch;
 pub mod serialize;
 pub mod tensor;
 pub mod train;
 
 pub use error::NnError;
 pub use model::Sequential;
+pub use scratch::{Scratch, Shape};
 pub use tensor::Tensor;

@@ -12,10 +12,30 @@ use crate::{NnError, Tensor};
 /// assert!((p[0] - 0.5).abs() < 1e-6);
 /// ```
 pub fn softmax(logits: &[f32]) -> Vec<f32> {
+    let mut out = logits.to_vec();
+    softmax_in_place(&mut out);
+    out
+}
+
+/// [`softmax`] applied in place, allocation-free; bit-for-bit identical to
+/// the allocating variant.
+pub fn softmax_in_place(logits: &mut [f32]) {
     let max = logits.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
-    let exps: Vec<f32> = logits.iter().map(|&x| (x - max).exp()).collect();
-    let sum: f32 = exps.iter().sum();
-    exps.iter().map(|&e| e / sum).collect()
+    for x in logits.iter_mut() {
+        *x = (*x - max).exp();
+    }
+    let sum: f32 = logits.iter().sum();
+    for x in logits.iter_mut() {
+        *x /= sum;
+    }
+}
+
+/// [`softmax`] writing into a caller-provided buffer (resized to
+/// `logits.len()`), allocation-free once the buffer has capacity.
+pub fn softmax_into(logits: &[f32], out: &mut Vec<f32>) {
+    out.clear();
+    out.extend_from_slice(logits);
+    softmax_in_place(out);
 }
 
 /// Softmax cross-entropy loss against an integer class label.
@@ -95,6 +115,18 @@ mod tests {
         let p = softmax(&[0.1, -2.0, 3.5, 1.0]);
         assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-5);
         assert!(p.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn softmax_variants_agree_bitwise() {
+        let logits = [0.1f32, -2.0, 3.5, 1.0];
+        let reference = softmax(&logits);
+        let mut in_place = logits;
+        softmax_in_place(&mut in_place);
+        assert_eq!(reference, in_place);
+        let mut into = Vec::new();
+        softmax_into(&logits, &mut into);
+        assert_eq!(reference, into);
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! Sequential model composition.
 
 use crate::layers::{Layer, Param};
-use crate::loss::{cross_entropy, softmax};
+use crate::loss::{cross_entropy, softmax, softmax_in_place};
+use crate::scratch::{Scratch, Shape};
 use crate::{NnError, Tensor};
 
 /// A stack of layers applied in order.
@@ -67,6 +68,77 @@ impl Sequential {
             x = layer.forward(&x, train)?;
         }
         Ok(x)
+    }
+
+    /// Inference-only forward pass that reuses buffers from `scratch`
+    /// instead of allocating per layer. Returns the output shape and a view
+    /// of the output living inside the workspace; the data stays valid in
+    /// [`Scratch::out`] until the next scratch-based call.
+    ///
+    /// Results are bit-for-bit identical to [`Sequential::forward`] in
+    /// inference mode. After a few warm-up calls on a fixed architecture the
+    /// pass performs zero heap allocations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidState`] for an empty model and propagates
+    /// layer shape errors.
+    pub fn forward_with<'s>(
+        &mut self,
+        input: &[f32],
+        shape: &[usize],
+        scratch: &'s mut Scratch,
+    ) -> Result<(Shape, &'s [f32]), NnError> {
+        if self.layers.is_empty() {
+            return Err(NnError::InvalidState("model has no layers"));
+        }
+        let mut s = Shape::from_slice(shape)?;
+        if s.len() != input.len() {
+            return Err(NnError::ShapeMismatch {
+                expected: format!("{} elements for shape {shape:?}", s.len()),
+                actual: vec![input.len()],
+            });
+        }
+        let mut cur = scratch.acquire(input.len());
+        cur.copy_from_slice(input);
+        let mut next = scratch.acquire(0);
+        let mut result = Ok(());
+        for layer in &mut self.layers {
+            match layer.forward_scratch(&cur, s, &mut next, scratch) {
+                Ok(out_shape) => s = out_shape,
+                Err(e) => {
+                    result = Err(e);
+                    break;
+                }
+            }
+            std::mem::swap(&mut cur, &mut next);
+        }
+        scratch.release(next);
+        match result {
+            Ok(()) => Ok((s, scratch.install_out(cur))),
+            Err(e) => {
+                scratch.release(cur);
+                Err(e)
+            }
+        }
+    }
+
+    /// Class probabilities via the scratch path: [`Sequential::forward_with`]
+    /// followed by an in-place softmax. Bit-for-bit identical to
+    /// [`Sequential::predict_proba`], without its per-call allocations.
+    ///
+    /// # Errors
+    ///
+    /// Propagates forward errors.
+    pub fn predict_proba_with<'s>(
+        &mut self,
+        input: &[f32],
+        shape: &[usize],
+        scratch: &'s mut Scratch,
+    ) -> Result<&'s [f32], NnError> {
+        self.forward_with(input, shape, &mut *scratch)?;
+        softmax_in_place(scratch.out_mut());
+        Ok(scratch.out())
     }
 
     /// Back-propagates a gradient of the loss w.r.t. the model output.
@@ -233,6 +305,49 @@ mod tests {
         m.push(Dense::new(8, 5, 3).unwrap());
         let y = m.forward(&Tensor::zeros(&[12, 6]).unwrap(), false).unwrap();
         assert_eq!(y.shape(), &[5]);
+    }
+
+    #[test]
+    fn forward_with_matches_forward_bitwise() {
+        let mut m = tiny_model();
+        let x = Tensor::from_vec(vec![0.5, -0.5, 1.0], &[3]).unwrap();
+        let expected = m.forward(&x, false).unwrap();
+        let probs_expected = m.predict_proba(&x).unwrap();
+        let mut scratch = Scratch::new();
+        for _ in 0..3 {
+            let (shape, out) = m.forward_with(x.data(), x.shape(), &mut scratch).unwrap();
+            assert_eq!(shape.as_slice(), expected.shape());
+            assert_eq!(out, expected.data());
+        }
+        let probs = m
+            .predict_proba_with(x.data(), x.shape(), &mut scratch)
+            .unwrap();
+        assert_eq!(probs, probs_expected.as_slice());
+    }
+
+    #[test]
+    fn forward_with_matches_on_sequence_model() {
+        let mut m = Sequential::new();
+        m.push(Lstm::new(6, 8, true, 1).unwrap());
+        m.push(Lstm::new(8, 8, false, 2).unwrap());
+        m.push(Dense::new(8, 5, 3).unwrap());
+        let x =
+            Tensor::from_vec((0..72).map(|i| (i as f32 * 0.13).sin()).collect(), &[12, 6]).unwrap();
+        let expected = m.forward(&x, false).unwrap();
+        let mut scratch = Scratch::new();
+        let (shape, out) = m.forward_with(x.data(), x.shape(), &mut scratch).unwrap();
+        assert_eq!(shape.as_slice(), expected.shape());
+        assert_eq!(out, expected.data());
+    }
+
+    #[test]
+    fn forward_with_rejects_bad_input() {
+        let mut m = tiny_model();
+        let mut scratch = Scratch::new();
+        assert!(m.forward_with(&[0.0; 2], &[3], &mut scratch).is_err());
+        assert!(m.forward_with(&[0.0; 4], &[4], &mut scratch).is_err());
+        let mut empty = Sequential::new();
+        assert!(empty.forward_with(&[0.0], &[1], &mut scratch).is_err());
     }
 
     #[test]

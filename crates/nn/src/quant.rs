@@ -7,6 +7,7 @@
 //! to int8 and inference runs on the dequantized values, so the accuracy
 //! impact of the rounding is exactly what an int8 deployment would see.
 
+use crate::kernels;
 use crate::model::Sequential;
 use crate::{NnError, Tensor};
 
@@ -77,6 +78,39 @@ impl QuantizedTensor {
     /// The raw int8 values.
     pub fn values(&self) -> &[i8] {
         &self.values
+    }
+
+    /// Fully quantized matrix–vector product for a 2-D `[m, n]` quantized
+    /// weight tensor and an int8 activation vector: every multiply-accumulate
+    /// runs in i8×i8→i32 via the fused [`kernels::dot_i8`] kernel, and only
+    /// the final per-row accumulator is rescaled to float
+    /// (`out[r] = w_scale · x_scale · Σ qw[r,j] · qx[j]`). Writes into a
+    /// caller-provided buffer, allocation-free once it has capacity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] when the tensor is not 2-D or the
+    /// activation length differs from `n`.
+    pub fn matvec_i8_into(
+        &self,
+        x: &[i8],
+        x_scale: f32,
+        out: &mut Vec<f32>,
+    ) -> Result<(), NnError> {
+        if self.shape.len() != 2 || self.shape[1] != x.len() {
+            return Err(NnError::ShapeMismatch {
+                expected: format!("[m, {}] quantized matrix", x.len()),
+                actual: self.shape.clone(),
+            });
+        }
+        let (m, n) = (self.shape[0], self.shape[1]);
+        let combined = self.scale * x_scale;
+        out.clear();
+        out.resize(m, 0.0);
+        for (r, yr) in out.iter_mut().enumerate() {
+            *yr = kernels::dot_i8(&self.values[r * n..r * n + n], x) as f32 * combined;
+        }
+        Ok(())
     }
 
     /// Storage footprint in bytes: one byte per value plus the 4-byte scale.
@@ -163,6 +197,21 @@ pub fn quantize_weights_in_place(model: &mut Sequential) -> Result<QuantReport, 
     Ok(report)
 }
 
+/// Quantizes an activation vector symmetrically into a caller-provided int8
+/// buffer (resized to `x.len()`), returning the per-vector scale.
+/// Allocation-free once the buffer has capacity — the runtime counterpart of
+/// [`QuantizedTensor::quantize`] for the fully quantized inference path.
+pub fn quantize_activations_into(x: &[f32], out: &mut Vec<i8>) -> f32 {
+    let max_abs = x.iter().fold(0.0f32, |a, &b| a.max(b.abs()));
+    let scale = if max_abs > 0.0 { max_abs / 127.0 } else { 1.0 };
+    out.clear();
+    out.extend(
+        x.iter()
+            .map(|&v| (v / scale).round().clamp(-127.0, 127.0) as i8),
+    );
+    scale
+}
+
 /// float32 weight footprint in bytes for a given parameter count.
 pub fn float_weight_bytes(params: usize) -> usize {
     params * std::mem::size_of::<f32>()
@@ -236,6 +285,51 @@ mod tests {
         for (a, b) in before.data().iter().zip(after.data()) {
             assert!((a - b).abs() < 0.05, "{a} vs {b}");
         }
+    }
+
+    #[test]
+    fn fused_i8_matvec_tracks_float_matvec() {
+        let w = Tensor::from_vec(
+            (0..48).map(|i| (i as f32 * 0.37).sin() * 0.8).collect(),
+            &[6, 8],
+        )
+        .unwrap();
+        let x: Vec<f32> = (0..8).map(|i| (i as f32 * 0.91).cos() * 1.5).collect();
+        let qw = QuantizedTensor::quantize(&w);
+        let mut qx = Vec::new();
+        let x_scale = quantize_activations_into(&x, &mut qx);
+        let mut fused = Vec::new();
+        qw.matvec_i8_into(&qx, x_scale, &mut fused).unwrap();
+        let float = w.matvec(&x).unwrap();
+        // Per-element error is bounded by the two quantization steps; the
+        // accumulation itself is exact in i32.
+        let bound = 8.0 * (qw.scale() * 1.5 + x_scale * 0.8 + qw.scale() * x_scale);
+        for (f, q) in float.iter().zip(&fused) {
+            assert!((f - q).abs() <= bound, "{f} vs {q} (bound {bound})");
+        }
+    }
+
+    #[test]
+    fn fused_i8_matvec_shape_checked() {
+        let w = Tensor::zeros(&[2, 3]).unwrap();
+        let qw = QuantizedTensor::quantize(&w);
+        let mut out = Vec::new();
+        assert!(qw.matvec_i8_into(&[1, 2], 1.0, &mut out).is_err());
+        let flat = QuantizedTensor::quantize(&Tensor::zeros(&[6]).unwrap());
+        assert!(flat.matvec_i8_into(&[1; 6], 1.0, &mut out).is_err());
+    }
+
+    #[test]
+    fn activation_quantization_round_trips_within_scale() {
+        let x = vec![0.4f32, -1.2, 0.0, 0.77];
+        let mut q = Vec::new();
+        let scale = quantize_activations_into(&x, &mut q);
+        for (orig, &qi) in x.iter().zip(&q) {
+            assert!((orig - f32::from(qi) * scale).abs() <= scale / 2.0 + 1e-7);
+        }
+        let mut qz = Vec::new();
+        assert_eq!(quantize_activations_into(&[0.0; 3], &mut qz), 1.0);
+        assert_eq!(qz, vec![0, 0, 0]);
     }
 
     #[test]

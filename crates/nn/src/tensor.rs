@@ -4,6 +4,7 @@
 //! layers need. Operations validate shapes and return [`NnError`] instead of
 //! panicking so a malformed pipeline fails loudly but recoverably.
 
+use crate::kernels;
 use crate::NnError;
 
 /// A dense row-major tensor of `f32` values.
@@ -158,6 +159,19 @@ impl Tensor {
     ///
     /// Returns [`NnError::ShapeMismatch`] on rank or size mismatch.
     pub fn matvec(&self, v: &[f32]) -> Result<Vec<f32>, NnError> {
+        let mut out = Vec::new();
+        self.matvec_into(v, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Tensor::matvec`] writing into a caller-provided buffer (resized to
+    /// `m`), allocation-free once the buffer has capacity. Results are
+    /// bit-for-bit identical to `matvec`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] on rank or size mismatch.
+    pub fn matvec_into(&self, v: &[f32], out: &mut Vec<f32>) -> Result<(), NnError> {
         if self.shape.len() != 2 || self.shape[1] != v.len() {
             return Err(NnError::ShapeMismatch {
                 expected: format!("[m, {}] matrix", v.len()),
@@ -165,16 +179,10 @@ impl Tensor {
             });
         }
         let (m, n) = (self.shape[0], self.shape[1]);
-        let mut out = vec![0.0f32; m];
-        for (row, out_val) in out.iter_mut().enumerate() {
-            let base = row * n;
-            let mut acc = 0.0f32;
-            for (j, &vj) in v.iter().enumerate() {
-                acc += self.data[base + j] * vj;
-            }
-            *out_val = acc;
-        }
-        Ok(out)
+        out.clear();
+        out.resize(m, 0.0);
+        kernels::gemv(&self.data, m, n, v, out);
+        Ok(())
     }
 
     /// Transposed matrix–vector product `selfᵀ @ v` for a 2-D tensor
@@ -184,6 +192,19 @@ impl Tensor {
     ///
     /// Returns [`NnError::ShapeMismatch`] on rank or size mismatch.
     pub fn matvec_t(&self, v: &[f32]) -> Result<Vec<f32>, NnError> {
+        let mut out = Vec::new();
+        self.matvec_t_into(v, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Tensor::matvec_t`] writing into a caller-provided buffer (resized
+    /// to `n`), allocation-free once the buffer has capacity. Results are
+    /// bit-for-bit identical to `matvec_t`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] on rank or size mismatch.
+    pub fn matvec_t_into(&self, v: &[f32], out: &mut Vec<f32>) -> Result<(), NnError> {
         if self.shape.len() != 2 || self.shape[0] != v.len() {
             return Err(NnError::ShapeMismatch {
                 expected: format!("[{}, n] matrix", v.len()),
@@ -191,14 +212,10 @@ impl Tensor {
             });
         }
         let (m, n) = (self.shape[0], self.shape[1]);
-        let mut out = vec![0.0f32; n];
-        for (i, &vi) in v.iter().enumerate().take(m) {
-            let base = i * n;
-            for (j, out_val) in out.iter_mut().enumerate() {
-                *out_val += self.data[base + j] * vi;
-            }
-        }
-        Ok(out)
+        out.clear();
+        out.resize(n, 0.0);
+        kernels::gemv_t(&self.data, m, n, v, out);
+        Ok(())
     }
 
     /// Elementwise in-place addition.
@@ -284,6 +301,19 @@ mod tests {
         let m = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
         // mᵀ is [[1,4],[2,5],[3,6]]; mᵀ @ [1, 2] = [9, 12, 15].
         assert_eq!(m.matvec_t(&[1.0, 2.0]).unwrap(), vec![9.0, 12.0, 15.0]);
+    }
+
+    #[test]
+    fn matvec_into_matches_matvec() {
+        let m =
+            Tensor::from_vec((0..35).map(|i| (i as f32 * 0.31).sin()).collect(), &[5, 7]).unwrap();
+        let v: Vec<f32> = (0..7).map(|i| (i as f32 * 0.77).cos()).collect();
+        let mut out = Vec::new();
+        m.matvec_into(&v, &mut out).unwrap();
+        assert_eq!(out, m.matvec(&v).unwrap());
+        let vt: Vec<f32> = (0..5).map(|i| (i as f32 * 0.53).cos()).collect();
+        m.matvec_t_into(&vt, &mut out).unwrap();
+        assert_eq!(out, m.matvec_t(&vt).unwrap());
     }
 
     #[test]

@@ -57,14 +57,14 @@ mod bench_harness {
                 .with_actors(spec.actors.min(cfg.max_actors))
                 .with_utterances(cfg.utterances);
             let corpus = Corpus::generate(&spec, cfg.seed)?;
-            let pipeline = FeaturePipeline::new(FeatureConfig {
+            let mut pipeline = FeaturePipeline::new(FeatureConfig {
                 sample_rate: spec.sample_rate,
                 frame_len: 256,
                 hop: 128,
                 ..FeatureConfig::default()
             })?;
             let layout = FeatureLayout::for_kind(kind);
-            let (xs, ys) = extract_dataset(&corpus, &pipeline, layout)?;
+            let (xs, ys) = extract_dataset(&corpus, &mut pipeline, layout)?;
             let split = TrainTestSplit::by_actor(&corpus, 0.25, cfg.seed)?;
             let mut train_x = TrainTestSplit::gather(&split.train, &xs);
             let train_y = TrainTestSplit::gather(&split.train, &ys);

@@ -24,13 +24,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("training a small LSTM affect classifier...");
     let spec = CorpusSpec::ravdess_like().with_actors(4).with_utterances(2);
     let corpus = Corpus::generate(&spec, 42)?;
-    let pipeline = FeaturePipeline::new(FeatureConfig {
+    let mut pipeline = FeaturePipeline::new(FeatureConfig {
         sample_rate: spec.sample_rate,
         frame_len: 256,
         hop: 128,
         ..FeatureConfig::default()
     })?;
-    let (mut xs, ys) = extract_dataset(&corpus, &pipeline, FeatureLayout::Sequence)?;
+    let (mut xs, ys) = extract_dataset(&corpus, &mut pipeline, FeatureLayout::Sequence)?;
     affectsys::datasets::features::normalize_features_in_place(
         &mut xs,
         pipeline.features_per_frame(),

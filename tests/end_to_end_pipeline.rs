@@ -28,8 +28,8 @@ fn pipeline_for(spec: &CorpusSpec) -> FeaturePipeline {
 fn synthetic_voice_trains_a_working_classifier() {
     let spec = CorpusSpec::emovo_like().with_actors(2).with_utterances(2);
     let corpus = Corpus::generate(&spec, 11).unwrap();
-    let pipeline = pipeline_for(&spec);
-    let (mut xs, ys) = extract_dataset(&corpus, &pipeline, FeatureLayout::Flattened).unwrap();
+    let mut pipeline = pipeline_for(&spec);
+    let (mut xs, ys) = extract_dataset(&corpus, &mut pipeline, FeatureLayout::Flattened).unwrap();
     normalize_features_in_place(&mut xs, pipeline.features_per_frame()).unwrap();
 
     let config = ModelConfig::scaled_mlp(xs[0].len(), spec.emotions.len());
