@@ -1,0 +1,80 @@
+//! `affect-obs`: the workspace's observability layer — live metrics and
+//! span timing for the closed affect loop, with zero allocations on the
+//! warm path.
+//!
+//! The paper's system (DAC 2022) reacts to *measured* state: emotion
+//! decisions flip decoder knobs, deadline misses degrade classifier
+//! families, memory pressure kills apps. Until this crate, all of that was
+//! visible only post-hoc through `affect_rt`'s `RuntimeReport`. `affect-obs`
+//! makes it visible *live*:
+//!
+//! - [`MetricsRegistry`] — a process-wide (or per-component) registry of
+//!   named metrics: monotonic [`Counter`]s, last-value [`Gauge`]s, and
+//!   log2-bucketed [`Histogram`]s. Registration (cold path) allocates;
+//!   every update (warm path) is a handful of relaxed atomics and never
+//!   touches the heap — proven by the `alloc-counter` tests.
+//! - [`Span`] — RAII stage timing: [`Span::enter`] stamps a start time from
+//!   a pluggable [`Clock`] and the drop records the elapsed nanoseconds
+//!   into a histogram. The same [`Clock`] trait the `affect-rt` runtime
+//!   uses ([`SystemClock`] in production, [`VirtualClock`] in tests), so
+//!   span durations are deterministic under test.
+//! - [`Recorder`] — a visitor over the registry's current values.
+//!   [`render_prometheus`] is one recorder (Prometheus text exposition
+//!   format); tests swap in a [`CaptureRecorder`] and assert on the
+//!   captured samples directly.
+//! - `server` (feature `obs-server`) — a tiny blocking TCP endpoint that
+//!   serves `GET /metrics` so `curl localhost:9464/metrics` works against
+//!   a running example with no HTTP dependency.
+//!
+//! # Conventions
+//!
+//! Metric names follow Prometheus style: `snake_case`, subsystem prefix
+//! (`affect_rt_`, `h264_`, `mobile_sim_`), unit suffix (`_total` for
+//! counters, `_ns` / `_bytes` for quantities). Labels are fixed at
+//! registration time — the registry hands out one handle per distinct
+//! `(name, labels)` pair, so the warm path never formats or hashes label
+//! strings. See `docs/OBSERVABILITY.md` for the full metric catalogue.
+//!
+//! # Example
+//!
+//! ```
+//! use affect_obs::{MetricsRegistry, Span, VirtualClock};
+//!
+//! let registry = MetricsRegistry::new();
+//! let windows = registry.counter("demo_windows_total", "Windows processed.", &[]);
+//! let latency = registry.histogram("demo_latency_ns", "Per-window latency.", &[]);
+//!
+//! let clock = VirtualClock::new();
+//! {
+//!     let _span = Span::enter(&latency, &clock);
+//!     clock.advance(1_500); // the timed work
+//!     windows.inc();
+//! } // span drop records 1500 ns
+//!
+//! assert_eq!(windows.get(), 1);
+//! assert_eq!(latency.count(), 1);
+//! let text = registry.render_prometheus();
+//! assert!(text.contains("demo_windows_total 1"));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod metrics;
+pub mod prometheus;
+pub mod recorder;
+pub mod registry;
+#[cfg(feature = "obs-server")]
+pub mod server;
+pub mod span;
+
+pub use clock::{Clock, SystemClock, VirtualClock};
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, LatencySummary, BUCKETS};
+pub use prometheus::render_prometheus;
+pub use recorder::{
+    CaptureRecorder, CapturedSample, CapturedValue, MetricDesc, Observation, Recorder,
+};
+pub use registry::{MetricKind, MetricsRegistry};
+#[cfg(feature = "obs-server")]
+pub use server::MetricsServer;
+pub use span::Span;

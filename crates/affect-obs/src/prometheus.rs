@@ -1,0 +1,172 @@
+//! Prometheus text exposition (format version 0.0.4).
+//!
+//! [`render_prometheus`] walks a registry and renders every series as
+//! `# HELP` / `# TYPE` headers plus one `name{labels} value` line per
+//! sample. Histograms expose the standard `_bucket{le=...}` cumulative
+//! series (the log2 buckets' inclusive upper bounds), `_sum`, and
+//! `_count`, so any Prometheus scraper — or a plain `curl` — can consume
+//! the output.
+//!
+//! Rendering is a cold-path operation: it takes the registry lock, reads
+//! every atomic once, and allocates the output string. The warm path
+//! (metric updates) is untouched.
+
+use std::fmt::Write as _;
+
+use crate::metrics::Histogram;
+use crate::recorder::{MetricDesc, Observation, Recorder};
+use crate::registry::{MetricKind, MetricsRegistry};
+
+/// Renders every registered series in the Prometheus text format.
+pub fn render_prometheus(registry: &MetricsRegistry) -> String {
+    let mut r = PrometheusRecorder::default();
+    registry.visit(&mut r);
+    r.out
+}
+
+#[derive(Default)]
+struct PrometheusRecorder {
+    out: String,
+    /// Names whose HELP/TYPE header is already emitted (label variants of
+    /// one name share a single header).
+    announced: Vec<String>,
+}
+
+impl PrometheusRecorder {
+    fn announce(&mut self, desc: &MetricDesc<'_>) {
+        if self.announced.iter().any(|n| n == desc.name) {
+            return;
+        }
+        let kind = match desc.kind {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        };
+        let _ = writeln!(self.out, "# HELP {} {}", desc.name, escape_help(desc.help));
+        let _ = writeln!(self.out, "# TYPE {} {}", desc.name, kind);
+        self.announced.push(desc.name.to_string());
+    }
+
+    fn label_block(labels: &[(String, String)]) -> String {
+        if labels.is_empty() {
+            return String::new();
+        }
+        let body: Vec<String> = labels
+            .iter()
+            .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+            .collect();
+        format!("{{{}}}", body.join(","))
+    }
+
+    fn label_block_with(labels: &[(String, String)], extra_key: &str, extra_val: &str) -> String {
+        let mut body: Vec<String> = labels
+            .iter()
+            .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+            .collect();
+        body.push(format!("{extra_key}=\"{}\"", escape_label(extra_val)));
+        format!("{{{}}}", body.join(","))
+    }
+}
+
+impl Recorder for PrometheusRecorder {
+    fn record(&mut self, desc: &MetricDesc<'_>, value: Observation<'_>) {
+        self.announce(desc);
+        let labels = Self::label_block(desc.labels);
+        match value {
+            Observation::Counter(v) => {
+                let _ = writeln!(self.out, "{}{} {}", desc.name, labels, v);
+            }
+            Observation::Gauge(v) => {
+                let _ = writeln!(self.out, "{}{} {}", desc.name, labels, v);
+            }
+            Observation::Histogram(h) => {
+                let top = h.highest_bucket().map(|i| i + 1).unwrap_or(0);
+                let mut cumulative = 0u64;
+                for i in 0..top {
+                    cumulative += h.buckets[i];
+                    let le = Histogram::bucket_upper_bound(i);
+                    let lb = Self::label_block_with(desc.labels, "le", &le.to_string());
+                    let _ = writeln!(self.out, "{}_bucket{} {}", desc.name, lb, cumulative);
+                }
+                let inf = Self::label_block_with(desc.labels, "le", "+Inf");
+                let _ = writeln!(self.out, "{}_bucket{} {}", desc.name, inf, h.count);
+                let _ = writeln!(self.out, "{}_sum{} {}", desc.name, labels, h.sum);
+                let _ = writeln!(self.out, "{}_count{} {}", desc.name, labels, h.count);
+            }
+        }
+    }
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn escape_help(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_render_one_line_each() {
+        let r = MetricsRegistry::new();
+        r.counter("a_total", "events", &[("stage", "ingest")])
+            .add(7);
+        r.gauge("b_depth", "queue depth", &[]).set(-3);
+        let text = render_prometheus(&r);
+        assert!(text.contains("# HELP a_total events"), "{text}");
+        assert!(text.contains("# TYPE a_total counter"), "{text}");
+        assert!(text.contains("a_total{stage=\"ingest\"} 7"), "{text}");
+        assert!(text.contains("# TYPE b_depth gauge"), "{text}");
+        assert!(text.contains("b_depth -3"), "{text}");
+    }
+
+    #[test]
+    fn histogram_renders_cumulative_buckets() {
+        let r = MetricsRegistry::new();
+        let h = r.histogram("lat_ns", "latency", &[]);
+        h.record(1); // bucket 0, le=1
+        h.record(2); // bucket 1, le=3
+        h.record(5); // bucket 2, le=7
+        let text = render_prometheus(&r);
+        assert!(text.contains("# TYPE lat_ns histogram"), "{text}");
+        assert!(text.contains("lat_ns_bucket{le=\"1\"} 1"), "{text}");
+        assert!(text.contains("lat_ns_bucket{le=\"3\"} 2"), "{text}");
+        assert!(text.contains("lat_ns_bucket{le=\"7\"} 3"), "{text}");
+        assert!(text.contains("lat_ns_bucket{le=\"+Inf\"} 3"), "{text}");
+        assert!(text.contains("lat_ns_sum 8"), "{text}");
+        assert!(text.contains("lat_ns_count 3"), "{text}");
+    }
+
+    #[test]
+    fn label_variants_share_one_header() {
+        let r = MetricsRegistry::new();
+        r.counter("k_total", "kills", &[("policy", "fifo")]).inc();
+        r.counter("k_total", "kills", &[("policy", "emotion")])
+            .inc();
+        let text = render_prometheus(&r);
+        assert_eq!(text.matches("# TYPE k_total").count(), 1, "{text}");
+        assert_eq!(text.matches("k_total{policy=").count(), 2, "{text}");
+    }
+
+    #[test]
+    fn empty_histogram_still_parses() {
+        let r = MetricsRegistry::new();
+        r.histogram("empty_ns", "never recorded", &[]);
+        let text = render_prometheus(&r);
+        assert!(text.contains("empty_ns_bucket{le=\"+Inf\"} 0"), "{text}");
+        assert!(text.contains("empty_ns_count 0"), "{text}");
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let r = MetricsRegistry::new();
+        r.counter("e_total", "h", &[("s", "a\"b\\c")]).inc();
+        let text = render_prometheus(&r);
+        assert!(text.contains("e_total{s=\"a\\\"b\\\\c\"} 1"), "{text}");
+    }
+}

@@ -1,0 +1,135 @@
+//! The [`Recorder`] visitor: how metric values leave the registry.
+//!
+//! A `Recorder` receives every registered series' descriptor and current
+//! value when [`crate::MetricsRegistry::visit`] walks the registry. The
+//! Prometheus renderer is one implementation; [`CaptureRecorder`] is the
+//! test sink — it copies each sample into a plain `Vec` so assertions can
+//! inspect exactly what would have been exposed.
+
+use crate::metrics::HistogramSnapshot;
+use crate::registry::MetricKind;
+
+/// Identity of one series during a [`crate::MetricsRegistry::visit`] walk.
+#[derive(Debug, Clone, Copy)]
+pub struct MetricDesc<'a> {
+    /// Metric name (`snake_case`, subsystem prefix, unit suffix).
+    pub name: &'a str,
+    /// One-line help text for exposition.
+    pub help: &'a str,
+    /// The label pairs fixed at registration.
+    pub labels: &'a [(String, String)],
+    /// The instrument kind.
+    pub kind: MetricKind,
+}
+
+/// One series' current value during a visit.
+#[derive(Debug, Clone, Copy)]
+pub enum Observation<'a> {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(i64),
+    /// Histogram buckets and totals.
+    Histogram(&'a HistogramSnapshot),
+}
+
+/// A sink for metric samples. Implementations must not assume any
+/// particular visit order beyond "registration order".
+pub trait Recorder {
+    /// Receives one series' descriptor and current value.
+    fn record(&mut self, desc: &MetricDesc<'_>, value: Observation<'_>);
+}
+
+/// An owned copy of one visited sample, for test assertions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CapturedSample {
+    /// Metric name.
+    pub name: String,
+    /// Label pairs.
+    pub labels: Vec<(String, String)>,
+    /// Instrument kind.
+    pub kind: MetricKind,
+    /// The value at visit time.
+    pub value: CapturedValue,
+}
+
+/// The value half of a [`CapturedSample`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CapturedValue {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(i64),
+    /// Histogram totals (buckets elided; use the live
+    /// [`crate::Histogram`] handle for bucket-level assertions).
+    Histogram {
+        /// Total samples.
+        count: u64,
+        /// Sum of samples.
+        sum: u64,
+    },
+}
+
+/// A [`Recorder`] that copies every sample into [`CaptureRecorder::samples`].
+#[derive(Debug, Default)]
+pub struct CaptureRecorder {
+    /// Samples in visit (= registration) order.
+    pub samples: Vec<CapturedSample>,
+}
+
+impl CaptureRecorder {
+    /// The captured value of the series `name` with exactly `labels`, if
+    /// it was visited.
+    pub fn find(&self, name: &str, labels: &[(&str, &str)]) -> Option<&CapturedValue> {
+        self.samples
+            .iter()
+            .find(|s| {
+                s.name == name
+                    && s.labels.len() == labels.len()
+                    && s.labels
+                        .iter()
+                        .zip(labels)
+                        .all(|((sk, sv), (qk, qv))| sk == qk && sv == qv)
+            })
+            .map(|s| &s.value)
+    }
+}
+
+impl Recorder for CaptureRecorder {
+    fn record(&mut self, desc: &MetricDesc<'_>, value: Observation<'_>) {
+        self.samples.push(CapturedSample {
+            name: desc.name.to_string(),
+            labels: desc.labels.to_vec(),
+            kind: desc.kind,
+            value: match value {
+                Observation::Counter(v) => CapturedValue::Counter(v),
+                Observation::Gauge(v) => CapturedValue::Gauge(v),
+                Observation::Histogram(h) => CapturedValue::Histogram {
+                    count: h.count,
+                    sum: h.sum,
+                },
+            },
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MetricsRegistry;
+
+    #[test]
+    fn capture_find_matches_on_labels() {
+        let r = MetricsRegistry::new();
+        r.counter("k_total", "h", &[("policy", "fifo")]).add(2);
+        r.counter("k_total", "h", &[("policy", "emotion")]).add(5);
+        let mut cap = CaptureRecorder::default();
+        r.visit(&mut cap);
+        assert_eq!(
+            cap.find("k_total", &[("policy", "emotion")]),
+            Some(&CapturedValue::Counter(5))
+        );
+        assert_eq!(cap.find("k_total", &[]), None);
+        assert_eq!(cap.find("missing", &[("policy", "fifo")]), None);
+    }
+}

@@ -1,0 +1,256 @@
+//! The metrics registry: names, labels, and handle lifetime.
+//!
+//! The registry is the *cold* half of the design: registering a metric
+//! takes a lock and allocates (name, help text, label pairs). The returned
+//! handle (`Arc<Counter>` / `Arc<Gauge>` / `Arc<Histogram>`) is the *warm*
+//! half — callers stash it in their own structs and update it with plain
+//! atomics, never touching the registry again.
+//!
+//! Registration is idempotent per `(name, labels)` pair: asking for the
+//! same metric twice returns the same underlying instrument, so two
+//! subsystems (or two sessions) naturally aggregate into one series.
+
+use std::sync::{Arc, Mutex};
+
+use crate::metrics::{Counter, Gauge, Histogram};
+use crate::recorder::{MetricDesc, Observation, Recorder};
+
+/// What kind of instrument a registered metric is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonic event count ([`Counter`]).
+    Counter,
+    /// Last-value instrument ([`Gauge`]).
+    Gauge,
+    /// Log2-bucketed distribution ([`Histogram`]).
+    Histogram,
+}
+
+enum Instrument {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Instrument {
+    fn kind(&self) -> MetricKind {
+        match self {
+            Instrument::Counter(_) => MetricKind::Counter,
+            Instrument::Gauge(_) => MetricKind::Gauge,
+            Instrument::Histogram(_) => MetricKind::Histogram,
+        }
+    }
+}
+
+struct Entry {
+    name: String,
+    help: String,
+    labels: Vec<(String, String)>,
+    instrument: Instrument,
+}
+
+/// A registry of named metrics. See the [module docs](self) for the
+/// cold/warm split; see `docs/OBSERVABILITY.md` for the workspace's metric
+/// catalogue.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    entries: Mutex<Vec<Entry>>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or retrieves) a counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `(name, labels)` was previously registered as a different
+    /// metric kind — that is a programming error, not a runtime condition.
+    pub fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        match self.register(name, help, labels, || {
+            Instrument::Counter(Arc::new(Counter::new()))
+        }) {
+            Instrument::Counter(c) => c,
+            _ => panic!("metric {name} already registered with a different kind"),
+        }
+    }
+
+    /// Registers (or retrieves) a gauge.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a kind mismatch with an earlier registration (see
+    /// [`MetricsRegistry::counter`]).
+    pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        match self.register(name, help, labels, || {
+            Instrument::Gauge(Arc::new(Gauge::new()))
+        }) {
+            Instrument::Gauge(g) => g,
+            _ => panic!("metric {name} already registered with a different kind"),
+        }
+    }
+
+    /// Registers (or retrieves) a histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a kind mismatch with an earlier registration (see
+    /// [`MetricsRegistry::counter`]).
+    pub fn histogram(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        match self.register(name, help, labels, || {
+            Instrument::Histogram(Arc::new(Histogram::new()))
+        }) {
+            Instrument::Histogram(h) => h,
+            _ => panic!("metric {name} already registered with a different kind"),
+        }
+    }
+
+    fn register(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        make: impl FnOnce() -> Instrument,
+    ) -> Instrument {
+        let mut entries = self.entries.lock().expect("registry lock poisoned");
+        if let Some(entry) = entries
+            .iter()
+            .find(|e| e.name == name && label_eq(&e.labels, labels))
+        {
+            return clone_instrument(&entry.instrument);
+        }
+        let instrument = make();
+        let handle = clone_instrument(&instrument);
+        entries.push(Entry {
+            name: name.to_string(),
+            help: help.to_string(),
+            labels: labels
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            instrument,
+        });
+        handle
+    }
+
+    /// Number of registered series.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("registry lock poisoned").len()
+    }
+
+    /// `true` when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The distinct metric names currently registered, in registration
+    /// order (label variants of one name appear once).
+    pub fn names(&self) -> Vec<String> {
+        let entries = self.entries.lock().expect("registry lock poisoned");
+        let mut names: Vec<String> = Vec::new();
+        for e in entries.iter() {
+            if !names.contains(&e.name) {
+                names.push(e.name.clone());
+            }
+        }
+        names
+    }
+
+    /// Walks every registered series in registration order, handing its
+    /// descriptor and current value to `recorder`.
+    pub fn visit(&self, recorder: &mut dyn Recorder) {
+        let entries = self.entries.lock().expect("registry lock poisoned");
+        for e in entries.iter() {
+            let desc = MetricDesc {
+                name: &e.name,
+                help: &e.help,
+                labels: &e.labels,
+                kind: e.instrument.kind(),
+            };
+            match &e.instrument {
+                Instrument::Counter(c) => recorder.record(&desc, Observation::Counter(c.get())),
+                Instrument::Gauge(g) => recorder.record(&desc, Observation::Gauge(g.get())),
+                Instrument::Histogram(h) => {
+                    let snap = h.snapshot();
+                    recorder.record(&desc, Observation::Histogram(&snap));
+                }
+            }
+        }
+    }
+
+    /// Renders every series in the Prometheus text exposition format.
+    /// Convenience for [`crate::render_prometheus`].
+    pub fn render_prometheus(&self) -> String {
+        crate::prometheus::render_prometheus(self)
+    }
+}
+
+fn label_eq(registered: &[(String, String)], requested: &[(&str, &str)]) -> bool {
+    registered.len() == requested.len()
+        && registered
+            .iter()
+            .zip(requested)
+            .all(|((rk, rv), (qk, qv))| rk == qk && rv == qv)
+}
+
+fn clone_instrument(i: &Instrument) -> Instrument {
+    match i {
+        Instrument::Counter(c) => Instrument::Counter(Arc::clone(c)),
+        Instrument::Gauge(g) => Instrument::Gauge(Arc::clone(g)),
+        Instrument::Histogram(h) => Instrument::Histogram(Arc::clone(h)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_is_idempotent_per_name_and_labels() {
+        let r = MetricsRegistry::new();
+        let a = r.counter("x_total", "help", &[("stage", "ingest")]);
+        let b = r.counter("x_total", "help", &[("stage", "ingest")]);
+        let c = r.counter("x_total", "help", &[("stage", "classify")]);
+        a.inc();
+        b.inc();
+        c.inc();
+        assert_eq!(a.get(), 2, "same series shares the instrument");
+        assert_eq!(c.get(), 1, "different labels are a different series");
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.names(), vec!["x_total".to_string()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_mismatch_panics() {
+        let r = MetricsRegistry::new();
+        r.counter("x", "help", &[]);
+        r.gauge("x", "help", &[]);
+    }
+
+    #[test]
+    fn visit_sees_current_values() {
+        use crate::recorder::{CaptureRecorder, CapturedValue};
+        let r = MetricsRegistry::new();
+        let c = r.counter("c_total", "count", &[]);
+        let g = r.gauge("g", "gauge", &[]);
+        let h = r.histogram("h_ns", "hist", &[]);
+        c.add(3);
+        g.set(-2);
+        h.record(100);
+        let mut cap = CaptureRecorder::default();
+        r.visit(&mut cap);
+        assert_eq!(cap.samples.len(), 3);
+        assert_eq!(cap.samples[0].value, CapturedValue::Counter(3));
+        assert_eq!(cap.samples[1].value, CapturedValue::Gauge(-2));
+        match &cap.samples[2].value {
+            CapturedValue::Histogram { count, sum } => {
+                assert_eq!((*count, *sum), (1, 100));
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! A tiny blocking `/metrics` endpoint (feature `obs-server`).
+//!
+//! One listener thread, one connection at a time, HTTP/1.0-style
+//! responses: exactly enough for `curl localhost:9464/metrics` or a
+//! Prometheus scrape against a demo, with zero dependencies. Not a web
+//! server — anything other than `GET /metrics` gets a 404 and the
+//! connection closes after every response.
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use affect_obs::{MetricsRegistry, MetricsServer};
+//!
+//! let registry = Arc::new(MetricsRegistry::new());
+//! let server = MetricsServer::serve(Arc::clone(&registry), "127.0.0.1:9464").unwrap();
+//! println!("metrics at http://{}/metrics", server.local_addr());
+//! // ... run the workload; drop the server to stop it.
+//! ```
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crate::registry::MetricsRegistry;
+
+/// A running metrics endpoint. Stops (and joins its thread) on drop.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:9464"`, or port 0 for an ephemeral
+    /// port) and serves `registry`'s Prometheus rendering at
+    /// `GET /metrics` until the server is dropped.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error (address in use, permission) verbatim.
+    pub fn serve(
+        registry: Arc<MetricsRegistry>,
+        addr: impl ToSocketAddrs,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                if thread_stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                if let Ok(stream) = conn {
+                    // One request per connection; errors just drop the
+                    // connection (the scraper retries).
+                    let _ = handle_connection(stream, &registry);
+                }
+            }
+        });
+        Ok(Self {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, registry: &MetricsRegistry) -> std::io::Result<()> {
+    let mut reader = BufReader::new(stream);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    // Drain headers until the blank line so curl sees a clean exchange.
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 || line == "\r\n" || line == "\n" {
+            break;
+        }
+    }
+    let mut stream = reader.into_inner();
+    let mut parts = request_line.split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    if method == "GET" && (path == "/metrics" || path == "/") {
+        let body = registry.render_prometheus();
+        write!(
+            stream,
+            "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+            body.len(),
+            body
+        )?;
+    } else {
+        let body = "not found; try /metrics\n";
+        write!(
+            stream,
+            "HTTP/1.0 404 Not Found\r\nContent-Type: text/plain\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+            body.len(),
+            body
+        )?;
+    }
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read;
+
+    fn http_get(addr: SocketAddr, path: &str) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "GET {path} HTTP/1.0\r\nHost: test\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        response
+    }
+
+    #[test]
+    fn serves_metrics_and_404s_elsewhere() {
+        let registry = Arc::new(MetricsRegistry::new());
+        registry.counter("served_total", "hits", &[]).add(42);
+        let server = MetricsServer::serve(Arc::clone(&registry), "127.0.0.1:0").unwrap();
+        let addr = server.local_addr();
+
+        let ok = http_get(addr, "/metrics");
+        assert!(ok.starts_with("HTTP/1.0 200"), "{ok}");
+        assert!(ok.contains("served_total 42"), "{ok}");
+
+        let missing = http_get(addr, "/nope");
+        assert!(missing.starts_with("HTTP/1.0 404"), "{missing}");
+
+        // Values are read at request time, not bind time.
+        registry.counter("served_total", "hits", &[]).inc();
+        let again = http_get(addr, "/metrics");
+        assert!(again.contains("served_total 43"), "{again}");
+    }
+}

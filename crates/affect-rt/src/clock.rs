@@ -4,75 +4,13 @@
 //! substitute a [`VirtualClock`] and make deadline misses deterministic:
 //! a test advances virtual time while a window is in flight and the
 //! runtime observes exactly the latency the test dictated.
+//!
+//! The types now live in `affect-obs` (the observability layer needs
+//! them too, and it sits *below* affect-rt in the dependency graph);
+//! this module re-exports them so existing `affect_rt::clock::...` paths
+//! keep working.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Instant;
-
-/// A monotonic nanosecond time source.
-pub trait Clock: Send + Sync {
-    /// Nanoseconds since the clock's origin.
-    fn now_nanos(&self) -> u64;
-}
-
-/// Wall-clock time anchored at construction.
-#[derive(Debug)]
-pub struct SystemClock {
-    origin: Instant,
-}
-
-impl SystemClock {
-    /// Creates a clock whose zero is "now".
-    pub fn new() -> Self {
-        Self {
-            origin: Instant::now(),
-        }
-    }
-}
-
-impl Default for SystemClock {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl Clock for SystemClock {
-    fn now_nanos(&self) -> u64 {
-        u64::try_from(self.origin.elapsed().as_nanos()).unwrap_or(u64::MAX)
-    }
-}
-
-/// A manually advanced clock for deterministic tests.
-///
-/// Time only moves when [`VirtualClock::advance`] (or `set`) is called, so
-/// a test controls exactly how much latency every in-flight window accrues.
-#[derive(Debug, Default)]
-pub struct VirtualClock {
-    nanos: AtomicU64,
-}
-
-impl VirtualClock {
-    /// Creates a clock at t = 0.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Moves time forward by `delta_nanos`.
-    pub fn advance(&self, delta_nanos: u64) {
-        self.nanos.fetch_add(delta_nanos, Ordering::SeqCst);
-    }
-
-    /// Jumps to an absolute time (must not move backwards in sane tests,
-    /// but the clock does not enforce it).
-    pub fn set(&self, nanos: u64) {
-        self.nanos.store(nanos, Ordering::SeqCst);
-    }
-}
-
-impl Clock for VirtualClock {
-    fn now_nanos(&self) -> u64 {
-        self.nanos.load(Ordering::SeqCst)
-    }
-}
+pub use affect_obs::clock::{Clock, SystemClock, VirtualClock};
 
 #[cfg(test)]
 mod tests {

@@ -62,6 +62,8 @@
 //! # }
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod actuator;
 pub mod clock;
 pub mod ring;
@@ -70,7 +72,7 @@ pub mod stats;
 
 pub use actuator::{Actuator, AppActuator, CollectActuator, NullActuator, VideoActuator};
 pub use clock::{Clock, SystemClock, VirtualClock};
-pub use ring::{OverflowPolicy, PushOutcome, Ring, RingStats};
+pub use ring::{OverflowPolicy, PushOutcome, Ring, RingMetrics, RingStats};
 pub use runtime::{
     Runtime, RuntimeBuilder, RuntimeConfig, SessionId, ShutdownOutcome, StageConfig,
 };

@@ -9,7 +9,9 @@
 //! vanishes silently.
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
+
+use affect_obs::{Counter, Gauge};
 
 /// What a full ring does with an incoming message.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -53,6 +55,22 @@ pub struct RingStats {
     pub depth_high_water: usize,
 }
 
+/// Live observability handles for one ring, typically registered as
+/// `affect_rt_queue_*` series labelled by stage (see
+/// `docs/OBSERVABILITY.md`). All fields are plain atomics, so updating
+/// them from the push/pop paths allocates nothing.
+#[derive(Clone)]
+pub struct RingMetrics {
+    /// Incremented once per message accepted into the queue.
+    pub pushed: Arc<Counter>,
+    /// Incremented once per message handed to a consumer.
+    pub popped: Arc<Counter>,
+    /// Incremented once per message shed (evicted or rejected) by policy.
+    pub shed: Arc<Counter>,
+    /// Set to the queue depth after every push/pop.
+    pub depth: Arc<Gauge>,
+}
+
 struct State<T> {
     queue: VecDeque<T>,
     stats: RingStats,
@@ -69,6 +87,7 @@ pub struct Ring<T> {
     writable: Condvar,
     capacity: usize,
     policy: OverflowPolicy,
+    metrics: Option<RingMetrics>,
 }
 
 impl<T> Ring<T> {
@@ -84,7 +103,17 @@ impl<T> Ring<T> {
             writable: Condvar::new(),
             capacity: capacity.max(1),
             policy,
+            metrics: None,
         }
+    }
+
+    /// Creates a ring that mirrors its counters into `metrics` (in
+    /// addition to the built-in [`RingStats`]). The mirroring is plain
+    /// atomic stores — no allocation, no extra locking.
+    pub fn with_metrics(capacity: usize, policy: OverflowPolicy, metrics: RingMetrics) -> Self {
+        let mut ring = Self::new(capacity, policy);
+        ring.metrics = Some(metrics);
+        ring
     }
 
     /// The configured capacity.
@@ -120,10 +149,16 @@ impl<T> Ring<T> {
                 OverflowPolicy::DropOldest => {
                     let evicted = state.queue.pop_front().expect("full queue has a front");
                     state.stats.shed += 1;
+                    if let Some(m) = &self.metrics {
+                        m.shed.inc();
+                    }
                     outcome = PushOutcome::Evicted(evicted);
                 }
                 OverflowPolicy::DropNewest => {
                     state.stats.shed += 1;
+                    if let Some(m) = &self.metrics {
+                        m.shed.inc();
+                    }
                     return PushOutcome::Rejected(msg);
                 }
             }
@@ -131,6 +166,10 @@ impl<T> Ring<T> {
         state.queue.push_back(msg);
         state.stats.pushed += 1;
         state.stats.depth_high_water = state.stats.depth_high_water.max(state.queue.len());
+        if let Some(m) = &self.metrics {
+            m.pushed.inc();
+            m.depth.set(state.queue.len() as i64);
+        }
         drop(state);
         self.readable.notify_one();
         outcome
@@ -143,6 +182,10 @@ impl<T> Ring<T> {
         loop {
             if let Some(msg) = state.queue.pop_front() {
                 state.stats.popped += 1;
+                if let Some(m) = &self.metrics {
+                    m.popped.inc();
+                    m.depth.set(state.queue.len() as i64);
+                }
                 drop(state);
                 self.writable.notify_one();
                 return Some(msg);
@@ -161,6 +204,10 @@ impl<T> Ring<T> {
         let mut state = self.state.lock().expect("ring lock poisoned");
         let msg = state.queue.pop_front()?;
         state.stats.popped += 1;
+        if let Some(m) = &self.metrics {
+            m.popped.inc();
+            m.depth.set(state.queue.len() as i64);
+        }
         drop(state);
         self.writable.notify_one();
         Some(msg)
@@ -273,6 +320,29 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(20));
         ring.close();
         assert!(matches!(producer.join().unwrap(), PushOutcome::Closed(2)));
+    }
+
+    #[test]
+    fn attached_metrics_mirror_ring_stats() {
+        let metrics = RingMetrics {
+            pushed: Arc::new(Counter::new()),
+            popped: Arc::new(Counter::new()),
+            shed: Arc::new(Counter::new()),
+            depth: Arc::new(Gauge::new()),
+        };
+        let ring = Ring::with_metrics(2, OverflowPolicy::DropOldest, metrics.clone());
+        ring.push(1);
+        ring.push(2);
+        ring.push(3); // evicts 1
+        assert_eq!(metrics.pushed.get(), 3);
+        assert_eq!(metrics.shed.get(), 1);
+        assert_eq!(metrics.depth.get(), 2);
+        ring.pop();
+        assert_eq!(metrics.popped.get(), 1);
+        assert_eq!(metrics.depth.get(), 1);
+        let stats = ring.snapshot();
+        assert_eq!(stats.pushed, metrics.pushed.get());
+        assert_eq!(stats.shed, metrics.shed.get());
     }
 
     #[test]

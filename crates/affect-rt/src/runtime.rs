@@ -55,11 +55,12 @@ use affect_core::emotion::Emotion;
 use affect_core::pipeline::{FeatureConfig, FeaturePipeline};
 use affect_core::policy::PolicyTable;
 use affect_core::AffectError;
+use affect_obs::{Counter as ObsCounter, Histogram as ObsHistogram, MetricsRegistry, Span};
 use nn::{Scratch, Tensor};
 
 use crate::actuator::Actuator;
 use crate::clock::{Clock, SystemClock};
-use crate::ring::{OverflowPolicy, PushOutcome, Ring};
+use crate::ring::{OverflowPolicy, PushOutcome, Ring, RingMetrics};
 use crate::stats::{ClassifyReport, Histogram, RuntimeReport, SessionReport, StageReport};
 
 /// Handle to one session registered with the runtime.
@@ -300,6 +301,139 @@ impl ClassifyCounters {
     }
 }
 
+/// Registered observability handles for the whole runtime (shared across
+/// sessions — series aggregate rather than explode per session). Present
+/// only when [`RuntimeBuilder::metrics`] supplied a registry; every update
+/// is a relaxed atomic op, so the warm path stays allocation-free.
+struct RtMetrics {
+    /// Clock the stage spans time against (same source as latency
+    /// accounting, so virtual-clock tests see deterministic spans).
+    clock: Arc<dyn Clock>,
+    feature_latency: Arc<ObsHistogram>,
+    classify_latency: Arc<ObsHistogram>,
+    control_latency: Arc<ObsHistogram>,
+    actuate_latency: Arc<ObsHistogram>,
+    e2e_latency: Arc<ObsHistogram>,
+    submitted: Arc<ObsCounter>,
+    processed: Arc<ObsCounter>,
+    dropped: Arc<ObsCounter>,
+    misses: Arc<ObsCounter>,
+    degradations: Arc<ObsCounter>,
+    recoveries: Arc<ObsCounter>,
+    batch_size: Arc<ObsHistogram>,
+    scratch_allocs: Arc<ObsCounter>,
+    scratch_reuses: Arc<ObsCounter>,
+}
+
+impl RtMetrics {
+    fn register(registry: &MetricsRegistry, clock: Arc<dyn Clock>) -> Self {
+        let stage_latency = |stage: &str| {
+            registry.histogram(
+                "affect_rt_stage_latency_ns",
+                "per-window time spent inside one pipeline stage",
+                &[("stage", stage)],
+            )
+        };
+        Self {
+            clock,
+            feature_latency: stage_latency("feature"),
+            classify_latency: stage_latency("classify"),
+            control_latency: stage_latency("control"),
+            actuate_latency: stage_latency("actuate"),
+            e2e_latency: registry.histogram(
+                "affect_rt_e2e_latency_ns",
+                "submit-to-actuate latency per processed window",
+                &[],
+            ),
+            submitted: registry.counter(
+                "affect_rt_windows_submitted_total",
+                "windows offered to the runtime across all sessions",
+                &[],
+            ),
+            processed: registry.counter(
+                "affect_rt_windows_processed_total",
+                "windows that survived the full pipeline",
+                &[],
+            ),
+            dropped: registry.counter(
+                "affect_rt_windows_dropped_total",
+                "windows shed by overflow policy, decimation or errors",
+                &[],
+            ),
+            misses: registry.counter(
+                "affect_rt_deadline_misses_total",
+                "processed windows that exceeded the deadline budget",
+                &[],
+            ),
+            degradations: registry.counter(
+                "affect_rt_degradations_total",
+                "degradation steps taken (family fallback / interval widen)",
+                &[],
+            ),
+            recoveries: registry.counter(
+                "affect_rt_recoveries_total",
+                "recovery steps taken after sustained on-time windows",
+                &[],
+            ),
+            batch_size: registry.histogram(
+                "affect_rt_classify_batch_size",
+                "windows drained per classify-worker wakeup",
+                &[],
+            ),
+            scratch_allocs: registry.counter(
+                "affect_rt_scratch_allocs_total",
+                "scratch-arena buffer allocations during inference",
+                &[],
+            ),
+            scratch_reuses: registry.counter(
+                "affect_rt_scratch_reuses_total",
+                "scratch-arena buffer reuses during inference",
+                &[],
+            ),
+        }
+    }
+}
+
+/// Builds one stage queue, wiring in the `affect_rt_queue_*` series when a
+/// registry is attached.
+fn make_ring<T>(
+    registry: Option<&MetricsRegistry>,
+    capacity: usize,
+    policy: OverflowPolicy,
+    stage: &str,
+) -> Ring<T> {
+    match registry {
+        Some(r) => Ring::with_metrics(capacity, policy, ring_metrics(r, stage)),
+        None => Ring::new(capacity, policy),
+    }
+}
+
+/// Registers the `affect_rt_queue_*` series for one stage's ring.
+fn ring_metrics(registry: &MetricsRegistry, stage: &str) -> RingMetrics {
+    RingMetrics {
+        pushed: registry.counter(
+            "affect_rt_queue_pushed_total",
+            "messages accepted into a stage queue",
+            &[("stage", stage)],
+        ),
+        popped: registry.counter(
+            "affect_rt_queue_popped_total",
+            "messages handed to a stage's consumers",
+            &[("stage", stage)],
+        ),
+        shed: registry.counter(
+            "affect_rt_queue_shed_total",
+            "messages shed by the stage queue's overflow policy",
+            &[("stage", stage)],
+        ),
+        depth: registry.gauge(
+            "affect_rt_queue_depth",
+            "current queue depth of a stage",
+            &[("stage", stage)],
+        ),
+    }
+}
+
 /// Wakes `wait_idle` whenever any accounting counter moves.
 struct Progress {
     generation: Mutex<u64>,
@@ -362,6 +496,7 @@ pub struct RuntimeBuilder {
     config: RuntimeConfig,
     clock: Arc<dyn Clock>,
     actuators: Vec<Box<dyn Actuator>>,
+    registry: Option<Arc<MetricsRegistry>>,
 }
 
 impl RuntimeBuilder {
@@ -377,6 +512,7 @@ impl RuntimeBuilder {
             config,
             clock: Arc::new(SystemClock::new()),
             actuators: Vec::new(),
+            registry: None,
         })
     }
 
@@ -384,6 +520,17 @@ impl RuntimeBuilder {
     /// [`crate::clock::VirtualClock`]).
     pub fn clock(mut self, clock: Arc<dyn Clock>) -> Self {
         self.clock = clock;
+        self
+    }
+
+    /// Attaches a metrics registry. The runtime registers its
+    /// `affect_rt_*` series there at [`RuntimeBuilder::start`] and keeps
+    /// them updated from the worker threads; without a registry the
+    /// runtime runs exactly as before (the built-in [`RuntimeReport`]
+    /// accounting is always on). See `docs/OBSERVABILITY.md` for the
+    /// catalogue.
+    pub fn metrics(mut self, registry: Arc<MetricsRegistry>) -> Self {
+        self.registry = Some(registry);
         self
     }
 
@@ -422,14 +569,39 @@ impl RuntimeBuilder {
                 .collect(),
         );
         let progress = Arc::new(Progress::new());
-        let ingest: Arc<Ring<IngestMsg>> =
-            Arc::new(Ring::new(config.ingest.capacity, config.ingest.policy));
-        let classify: Arc<Ring<ClassifyMsg>> =
-            Arc::new(Ring::new(config.classify.capacity, config.classify.policy));
-        let control: Arc<Ring<ControlMsg>> =
-            Arc::new(Ring::new(config.control.capacity, config.control.policy));
-        let actuate: Arc<Ring<ActuateMsg>> =
-            Arc::new(Ring::new(config.actuate_capacity, OverflowPolicy::Block));
+        let metrics: Option<Arc<RtMetrics>> = self
+            .registry
+            .as_ref()
+            .map(|r| Arc::new(RtMetrics::register(r, Arc::clone(&self.clock))));
+        if let Some(r) = &self.registry {
+            r.gauge("affect_rt_sessions", "registered sessions", &[])
+                .set(self.actuators.len() as i64);
+        }
+        let registry = self.registry.as_deref();
+        let ingest: Arc<Ring<IngestMsg>> = Arc::new(make_ring(
+            registry,
+            config.ingest.capacity,
+            config.ingest.policy,
+            "ingest",
+        ));
+        let classify: Arc<Ring<ClassifyMsg>> = Arc::new(make_ring(
+            registry,
+            config.classify.capacity,
+            config.classify.policy,
+            "classify",
+        ));
+        let control: Arc<Ring<ControlMsg>> = Arc::new(make_ring(
+            registry,
+            config.control.capacity,
+            config.control.policy,
+            "control",
+        ));
+        let actuate: Arc<Ring<ActuateMsg>> = Arc::new(make_ring(
+            registry,
+            config.actuate_capacity,
+            OverflowPolicy::Block,
+            "actuate",
+        ));
 
         let mut feature_workers = Vec::with_capacity(config.workers);
         for _ in 0..config.workers {
@@ -437,17 +609,22 @@ impl RuntimeBuilder {
             let classify = Arc::clone(&classify);
             let sessions = Arc::clone(&sessions);
             let progress = Arc::clone(&progress);
+            let metrics = metrics.clone();
             let feature = config.feature.clone();
             feature_workers.push(std::thread::spawn(move || {
                 let mut pipeline =
                     FeaturePipeline::new(feature).expect("config validated before spawn");
                 while let Some(msg) = ingest.pop() {
+                    let span = metrics
+                        .as_ref()
+                        .map(|m| Span::enter(&m.feature_latency, &*m.clock));
                     let family = sessions[msg.session].family();
                     let features = match family {
                         ClassifierKind::Mlp => pipeline.extract_flat(&msg.samples),
                         ClassifierKind::Cnn => pipeline.extract_strip(&msg.samples),
                         ClassifierKind::Lstm => pipeline.extract_sequence(&msg.samples),
                     };
+                    drop(span);
                     match features {
                         Ok(features) => {
                             let out = ClassifyMsg {
@@ -457,9 +634,18 @@ impl RuntimeBuilder {
                                 family,
                                 features,
                             };
-                            offer(&classify, out, |m| m.session, &sessions, &progress);
+                            offer(
+                                &classify,
+                                out,
+                                |m| m.session,
+                                &sessions,
+                                &progress,
+                                metrics.as_deref(),
+                            );
                         }
-                        Err(_) => drop_window(&sessions, msg.session, &progress),
+                        Err(_) => {
+                            drop_window(&sessions, msg.session, &progress, metrics.as_deref())
+                        }
                     }
                 }
             }));
@@ -473,6 +659,7 @@ impl RuntimeBuilder {
             let sessions = Arc::clone(&sessions);
             let progress = Arc::clone(&progress);
             let counters = Arc::clone(&classify_counters);
+            let metrics = metrics.clone();
             let feature = config.feature.clone();
             let window_samples = config.window_samples;
             let batch_limit = config.classify_batch;
@@ -519,7 +706,13 @@ impl RuntimeBuilder {
                     counters
                         .max_batch
                         .fetch_max(batch.len() as u64, Ordering::SeqCst);
+                    if let Some(m) = &metrics {
+                        m.batch_size.record(batch.len() as u64);
+                    }
                     for msg in batch.drain(..) {
+                        let span = metrics
+                            .as_ref()
+                            .map(|m| Span::enter(&m.classify_latency, &*m.clock));
                         let clf = pool
                             .get_mut(&family_code(msg.family))
                             .expect("all families pooled");
@@ -529,6 +722,7 @@ impl RuntimeBuilder {
                             &mut scratch,
                             &mut decision,
                         );
+                        drop(span);
                         counters.windows.fetch_add(1, Ordering::SeqCst);
                         match outcome {
                             Ok(()) => {
@@ -538,9 +732,18 @@ impl RuntimeBuilder {
                                     arrival_ns: msg.arrival_ns,
                                     emotion: decision.emotion(),
                                 };
-                                offer(&control, out, |m| m.session, &sessions, &progress);
+                                offer(
+                                    &control,
+                                    out,
+                                    |m| m.session,
+                                    &sessions,
+                                    &progress,
+                                    metrics.as_deref(),
+                                );
                             }
-                            Err(_) => drop_window(&sessions, msg.session, &progress),
+                            Err(_) => {
+                                drop_window(&sessions, msg.session, &progress, metrics.as_deref())
+                            }
                         }
                     }
                     let allocs = scratch.alloc_events();
@@ -551,6 +754,10 @@ impl RuntimeBuilder {
                     counters
                         .scratch_reuses
                         .fetch_add(reuses - last_reuses, Ordering::SeqCst);
+                    if let Some(m) = &metrics {
+                        m.scratch_allocs.add(allocs - last_allocs);
+                        m.scratch_reuses.add(reuses - last_reuses);
+                    }
                     last_allocs = allocs;
                     last_reuses = reuses;
                 }
@@ -564,25 +771,37 @@ impl RuntimeBuilder {
             let progress = Arc::clone(&progress);
             let policy = config.policy.clone();
             let smoothing = config.smoothing_window;
+            let metrics = metrics.clone();
             let n_sessions = self.actuators.len();
             std::thread::spawn(move || {
                 let mut controllers: Vec<SystemController> = (0..n_sessions)
                     .map(|_| SystemController::new(policy.clone(), smoothing))
                     .collect();
                 while let Some(msg) = control.pop() {
+                    let span = metrics
+                        .as_ref()
+                        .map(|m| Span::enter(&m.control_latency, &*m.clock));
                     let events = match msg.emotion {
                         Some(emotion) => controllers[msg.session]
                             .observe_emotion(emotion)
                             .unwrap_or_default(),
                         None => Vec::new(),
                     };
+                    drop(span);
                     let out = ActuateMsg {
                         session: msg.session,
                         seq: msg.seq,
                         arrival_ns: msg.arrival_ns,
                         events,
                     };
-                    offer(&actuate, out, |m| m.session, &sessions, &progress);
+                    offer(
+                        &actuate,
+                        out,
+                        |m| m.session,
+                        &sessions,
+                        &progress,
+                        metrics.as_deref(),
+                    );
                 }
             })
         };
@@ -592,6 +811,7 @@ impl RuntimeBuilder {
             let sessions = Arc::clone(&sessions);
             let progress = Arc::clone(&progress);
             let clock = Arc::clone(&self.clock);
+            let metrics = metrics.clone();
             let mut actuators = self.actuators;
             let deadline = config.deadline_ns;
             let miss_streak_limit = config.miss_streak;
@@ -602,6 +822,9 @@ impl RuntimeBuilder {
                 let mut miss_streaks = vec![0u32; actuators.len()];
                 let mut ok_streaks = vec![0u32; actuators.len()];
                 while let Some(msg) = actuate.pop() {
+                    let span = metrics
+                        .as_ref()
+                        .map(|m| Span::enter(&m.actuate_latency, &*m.clock));
                     let actuator = &mut actuators[msg.session];
                     // The hook runs before latency is read so a gated test
                     // actuator can hold the window while a virtual clock
@@ -614,23 +837,41 @@ impl RuntimeBuilder {
                     let state = &sessions[msg.session];
                     let latency = now.saturating_sub(msg.arrival_ns);
                     state.latency.record(latency);
+                    if let Some(m) = &metrics {
+                        m.e2e_latency.record(latency);
+                    }
                     if latency > deadline {
                         state.misses.fetch_add(1, Ordering::SeqCst);
+                        if let Some(m) = &metrics {
+                            m.misses.inc();
+                        }
                         ok_streaks[msg.session] = 0;
                         miss_streaks[msg.session] += 1;
                         if miss_streaks[msg.session] >= miss_streak_limit {
                             miss_streaks[msg.session] = 0;
-                            degrade(state, degraded_interval);
+                            if degrade(state, degraded_interval) {
+                                if let Some(m) = &metrics {
+                                    m.degradations.inc();
+                                }
+                            }
                         }
                     } else {
                         miss_streaks[msg.session] = 0;
                         ok_streaks[msg.session] += 1;
                         if ok_streaks[msg.session] >= ok_streak_limit {
                             ok_streaks[msg.session] = 0;
-                            recover(state, initial_family);
+                            if recover(state, initial_family) {
+                                if let Some(m) = &metrics {
+                                    m.recoveries.inc();
+                                }
+                            }
                         }
                     }
                     state.processed.fetch_add(1, Ordering::SeqCst);
+                    if let Some(m) = &metrics {
+                        m.processed.inc();
+                    }
+                    drop(span);
                     progress.bump();
                 }
                 actuators
@@ -642,6 +883,7 @@ impl RuntimeBuilder {
             clock: self.clock,
             sessions,
             progress,
+            metrics,
             ingest,
             classify,
             control,
@@ -657,7 +899,8 @@ impl RuntimeBuilder {
 
 /// One degradation step: fall back one model family *and* widen the
 /// decision interval (the paper's two load-shedding axes at once).
-fn degrade(state: &SessionState, degraded_interval: u32) {
+/// Returns whether anything actually changed.
+fn degrade(state: &SessionState, degraded_interval: u32) -> bool {
     let mut changed = false;
     if let Some(simpler) = state.family().fallback() {
         state.family.store(family_code(simpler), Ordering::SeqCst);
@@ -670,27 +913,39 @@ fn degrade(state: &SessionState, degraded_interval: u32) {
     if changed {
         state.degradations.fetch_add(1, Ordering::SeqCst);
     }
+    changed
 }
 
 /// One recovery step: first restore the decision interval, then climb the
 /// model ladder one family at a time (never past the configured initial).
-fn recover(state: &SessionState, initial_family: ClassifierKind) {
+/// Returns whether anything actually changed.
+fn recover(state: &SessionState, initial_family: ClassifierKind) -> bool {
     if state.interval.load(Ordering::SeqCst) > 1 {
         state.interval.store(1, Ordering::SeqCst);
         state.recoveries.fetch_add(1, Ordering::SeqCst);
-        return;
+        return true;
     }
     if let Some(richer) = state.family().upgrade() {
         if family_code(richer) <= family_code(initial_family) {
             state.family.store(family_code(richer), Ordering::SeqCst);
             state.recoveries.fetch_add(1, Ordering::SeqCst);
+            return true;
         }
     }
+    false
 }
 
 /// Accounts one window as dropped and wakes `wait_idle`.
-fn drop_window(sessions: &[SessionState], session: usize, progress: &Progress) {
+fn drop_window(
+    sessions: &[SessionState],
+    session: usize,
+    progress: &Progress,
+    metrics: Option<&RtMetrics>,
+) {
     sessions[session].dropped.fetch_add(1, Ordering::SeqCst);
+    if let Some(m) = metrics {
+        m.dropped.inc();
+    }
     progress.bump();
 }
 
@@ -702,11 +957,12 @@ fn offer<T>(
     session_of: impl Fn(&T) -> usize,
     sessions: &[SessionState],
     progress: &Progress,
+    metrics: Option<&RtMetrics>,
 ) {
     match ring.push(msg) {
         PushOutcome::Stored => {}
         PushOutcome::Evicted(old) | PushOutcome::Rejected(old) | PushOutcome::Closed(old) => {
-            drop_window(sessions, session_of(&old), progress);
+            drop_window(sessions, session_of(&old), progress, metrics);
         }
     }
 }
@@ -717,6 +973,7 @@ pub struct Runtime {
     clock: Arc<dyn Clock>,
     sessions: Arc<Vec<SessionState>>,
     progress: Arc<Progress>,
+    metrics: Option<Arc<RtMetrics>>,
     ingest: Arc<Ring<IngestMsg>>,
     classify: Arc<Ring<ClassifyMsg>>,
     control: Arc<Ring<ControlMsg>>,
@@ -765,11 +1022,19 @@ impl Runtime {
         let state = &self.sessions[session.0];
         let seq = state.next_seq.fetch_add(1, Ordering::SeqCst);
         state.produced.fetch_add(1, Ordering::SeqCst);
+        if let Some(m) = &self.metrics {
+            m.submitted.inc();
+        }
         let interval = u64::from(state.interval.load(Ordering::SeqCst).max(1));
         if !seq.is_multiple_of(interval) {
             // Decimated: the widened decision interval sheds this window
             // before it costs any pipeline work.
-            drop_window(&self.sessions, session.0, &self.progress);
+            drop_window(
+                &self.sessions,
+                session.0,
+                &self.progress,
+                self.metrics.as_deref(),
+            );
             return false;
         }
         let msg = IngestMsg {
@@ -781,11 +1046,21 @@ impl Runtime {
         match self.ingest.push(msg) {
             PushOutcome::Stored => true,
             PushOutcome::Evicted(old) => {
-                drop_window(&self.sessions, old.session, &self.progress);
+                drop_window(
+                    &self.sessions,
+                    old.session,
+                    &self.progress,
+                    self.metrics.as_deref(),
+                );
                 true
             }
             PushOutcome::Rejected(old) | PushOutcome::Closed(old) => {
-                drop_window(&self.sessions, old.session, &self.progress);
+                drop_window(
+                    &self.sessions,
+                    old.session,
+                    &self.progress,
+                    self.metrics.as_deref(),
+                );
                 false
             }
         }

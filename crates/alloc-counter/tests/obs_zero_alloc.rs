@@ -1,0 +1,82 @@
+//! Proves that metric updates on the warm classify path allocate zero
+//! bytes: registering instruments is the cold path (locks, strings); the
+//! returned handles must be pure atomics. The measured loop is exactly
+//! what an instrumented affect-rt classify worker does per window —
+//! a span over `classify_with`, counter bumps, a histogram record.
+//!
+//! Runs without the libtest harness (`harness = false`): the allocator
+//! counters are process-global, so the measurement must own the process.
+
+use affect_core::classifier::{AffectClassifier, Decision, ModelConfig};
+use affect_obs::{MetricsRegistry, Span, SystemClock};
+use alloc_counter::{count_allocations, CountingAllocator};
+use nn::Scratch;
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator::new();
+
+fn main() {
+    // Cold path: registration allocates (names, label pairs, Arc handles).
+    let registry = MetricsRegistry::new();
+    let clock = SystemClock::new();
+    let windows = registry.counter("windows_total", "windows classified", &[]);
+    let dropped = registry.counter("dropped_total", "windows shed", &[("stage", "classify")]);
+    let depth = registry.gauge("queue_depth", "queue depth", &[("stage", "classify")]);
+    let latency = registry.histogram("classify_latency_ns", "per-window latency", &[]);
+    let batch = registry.histogram("batch_size", "windows per wakeup", &[]);
+
+    // The classify workload underneath the instrumentation.
+    let cfg = ModelConfig::scaled_cnn(64, 5);
+    let labels: Vec<String> = (0..5).map(|i| format!("c{i}")).collect();
+    let mut clf = AffectClassifier::from_config(&cfg, labels, 11).unwrap();
+    let features: Vec<f32> = (0..64).map(|i| (i as f32 * 0.37).sin()).collect();
+    let mut scratch = Scratch::new();
+    let mut decision = Decision::default();
+
+    // Warm-up sizes the scratch arena; metric handles have no warm-up —
+    // they are allocation-free from the first update.
+    for _ in 0..2 {
+        clf.classify_with(&features, &[1, 64], &mut scratch, &mut decision)
+            .unwrap();
+    }
+
+    let (delta, ()) = count_allocations(|| {
+        for i in 0..100u64 {
+            let span = Span::enter(&latency, &clock);
+            clf.classify_with(&features, &[1, 64], &mut scratch, &mut decision)
+                .unwrap();
+            drop(span);
+            windows.inc();
+            batch.record(1 + i % 4);
+            depth.set((i % 8) as i64);
+            if i % 10 == 0 {
+                dropped.inc();
+            }
+        }
+    });
+    assert_eq!(
+        delta.allocations, 0,
+        "instrumented classify path allocated in steady state: {delta:?}"
+    );
+    assert_eq!(delta.bytes_allocated, 0);
+
+    // The instruments saw every update the loop made.
+    assert_eq!(windows.get(), 100);
+    assert_eq!(dropped.get(), 10);
+    assert_eq!(latency.count(), 100);
+    assert_eq!(batch.count(), 100);
+
+    // Bare metric ops without the model, for a tight upper bound.
+    let (delta, ()) = count_allocations(|| {
+        for i in 0..10_000u64 {
+            windows.inc();
+            depth.set(i as i64);
+            latency.record(i);
+        }
+    });
+    assert_eq!(
+        delta.allocations, 0,
+        "bare metric updates allocated: {delta:?}"
+    );
+    println!("obs_zero_alloc: ok");
+}

@@ -31,6 +31,7 @@
 // `!(x > 0.0)` guards are deliberate: unlike `x <= 0.0` they also reject
 // NaN, which is exactly what the parameter validation wants.
 #![allow(clippy::neg_cmp_op_on_partial_ord)]
+#![warn(missing_docs)]
 
 pub mod error;
 pub mod features;

@@ -9,6 +9,8 @@ use crate::CodecError;
 use crate::Frame;
 use affect_core::emotion::CognitiveState;
 use affect_core::policy::{PolicyTable, VideoPowerMode};
+use affect_obs::{Counter, MetricsRegistry};
+use std::sync::Arc;
 
 /// The canonical calibration content: the [`crate::video::reference_clip`]
 /// encoded at QP 30 with an 8-frame GOP and one B frame between references.
@@ -231,6 +233,21 @@ pub struct ModeSwitchDriver {
     options: DecoderOptions,
     mode: VideoPowerMode,
     switches: usize,
+    metrics: Option<DriverMetrics>,
+}
+
+/// Registered `h264_*` observability handles (see `docs/OBSERVABILITY.md`).
+/// Counter bumps are plain atomics, so the decode path stays
+/// allocation-free after [`ModeSwitchDriver::attach_metrics`].
+#[derive(Debug, Clone)]
+struct DriverMetrics {
+    mode_switches: Arc<Counter>,
+    deblock_toggles: Arc<Counter>,
+    segments: Arc<Counter>,
+    frames: Arc<Counter>,
+    nal_deleted: Arc<Counter>,
+    iqit_blocks: Arc<Counter>,
+    deblock_edges: Arc<Counter>,
 }
 
 impl ModeSwitchDriver {
@@ -240,7 +257,52 @@ impl ModeSwitchDriver {
             options: options_for_mode(initial),
             mode: initial,
             switches: 0,
+            metrics: None,
         }
+    }
+
+    /// Registers the driver's `h264_*` series with `registry` and keeps
+    /// them updated from [`ModeSwitchDriver::set_mode`] and
+    /// [`ModeSwitchDriver::decode_segment`]. Multiple drivers attached to
+    /// one registry aggregate into the same series.
+    pub fn attach_metrics(&mut self, registry: &MetricsRegistry) {
+        self.metrics = Some(DriverMetrics {
+            mode_switches: registry.counter(
+                "h264_mode_switches_total",
+                "effective decoder power-mode changes",
+                &[],
+            ),
+            deblock_toggles: registry.counter(
+                "h264_deblock_toggles_total",
+                "mode changes that flipped the deblocking filter on or off",
+                &[],
+            ),
+            segments: registry.counter(
+                "h264_segments_decoded_total",
+                "bitstream segments decoded by the adaptive driver",
+                &[],
+            ),
+            frames: registry.counter(
+                "h264_frames_decoded_total",
+                "frames emitted by the adaptive driver",
+                &[],
+            ),
+            nal_deleted: registry.counter(
+                "h264_nal_deleted_total",
+                "NAL units deleted by the input selector",
+                &[],
+            ),
+            iqit_blocks: registry.counter(
+                "h264_iqit_blocks_total",
+                "4x4 inverse-transform (IQIT) blocks decoded",
+                &[],
+            ),
+            deblock_edges: registry.counter(
+                "h264_deblock_edges_total",
+                "deblocking edges examined",
+                &[],
+            ),
+        });
     }
 
     /// The mode the next segment will decode under.
@@ -259,9 +321,16 @@ impl ModeSwitchDriver {
         if mode == self.mode {
             return false;
         }
+        let deblock_before = self.options.deblock;
         self.mode = mode;
         self.options = options_for_mode(mode);
         self.switches += 1;
+        if let Some(m) = &self.metrics {
+            m.mode_switches.inc();
+            if self.options.deblock != deblock_before {
+                m.deblock_toggles.inc();
+            }
+        }
         true
     }
 
@@ -275,7 +344,15 @@ impl ModeSwitchDriver {
     ///
     /// Propagates decoder errors for malformed bitstreams.
     pub fn decode_segment(&self, stream: &[u8]) -> Result<DecodeOutput, CodecError> {
-        Decoder::new(self.options).decode(stream)
+        let out = Decoder::new(self.options).decode(stream)?;
+        if let Some(m) = &self.metrics {
+            m.segments.inc();
+            m.frames.add(out.activity.frames);
+            m.nal_deleted.add(out.selection.deleted_units as u64);
+            m.iqit_blocks.add(out.activity.iqit_blocks);
+            m.deblock_edges.add(out.activity.deblock_edges);
+        }
+        Ok(out)
     }
 }
 
@@ -417,6 +494,29 @@ mod tests {
         assert!(driver.set_mode(VideoPowerMode::DeblockOff));
         assert_eq!(driver.switches(), 2);
         assert_eq!(driver.mode(), VideoPowerMode::DeblockOff);
+    }
+
+    #[test]
+    fn driver_metrics_track_activity() {
+        let (_, stream) = clip_and_stream();
+        let registry = MetricsRegistry::new();
+        let mut driver = ModeSwitchDriver::new(VideoPowerMode::Standard);
+        driver.attach_metrics(&registry);
+        driver.decode_segment(&stream).unwrap();
+        driver.set_mode(VideoPowerMode::Combined); // flips deblock off
+        driver.decode_segment(&stream).unwrap();
+        let get = |name: &str| registry.counter(name, "", &[]).get();
+        assert_eq!(get("h264_segments_decoded_total"), 2);
+        assert_eq!(get("h264_mode_switches_total"), 1);
+        assert_eq!(get("h264_deblock_toggles_total"), 1);
+        assert!(get("h264_frames_decoded_total") > 0);
+        assert!(get("h264_iqit_blocks_total") > 0);
+        assert!(
+            get("h264_nal_deleted_total") > 0,
+            "combined mode deletes NALs at the paper operating point"
+        );
+        // Standard mode examined deblock edges before the toggle.
+        assert!(get("h264_deblock_edges_total") > 0);
     }
 
     #[test]

@@ -114,6 +114,7 @@ pub struct EmotionReranker {
     table: AppAffectTable,
     emotion: Emotion,
     reranks: usize,
+    rerank_metric: Option<std::sync::Arc<affect_obs::Counter>>,
 }
 
 impl EmotionReranker {
@@ -123,7 +124,18 @@ impl EmotionReranker {
             table,
             emotion: initial,
             reranks: 0,
+            rerank_metric: None,
         }
+    }
+
+    /// Registers `mobile_sim_reranks_total` with `registry` and bumps it
+    /// on every effective re-rank observed by this instance.
+    pub fn attach_metrics(&mut self, registry: &affect_obs::MetricsRegistry) {
+        self.rerank_metric = Some(registry.counter(
+            "mobile_sim_reranks_total",
+            "background-list re-ranks triggered by emotion changes",
+            &[],
+        ));
     }
 
     /// The emotion the current ranking is conditioned on.
@@ -150,6 +162,9 @@ impl EmotionReranker {
         }
         self.emotion = emotion;
         self.reranks += 1;
+        if let Some(m) = &self.rerank_metric {
+            m.inc();
+        }
         true
     }
 

@@ -7,7 +7,9 @@ use crate::subjects::SubjectProfile;
 use crate::trace::{ProcessTimeline, TraceEvent};
 use crate::SimError;
 use affect_core::emotion::Emotion;
+use affect_obs::{Counter, Histogram, MetricsRegistry};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Metrics of one simulated session — the quantities of the paper's
 /// Fig. 10: total memory loaded at app start and total app loading time.
@@ -58,6 +60,31 @@ pub struct Simulator {
     kind: PolicyKind,
     /// Resume latency of a warm start (no flash traffic).
     warm_start_secs: f64,
+    metrics: Option<SimObs>,
+}
+
+/// Registered `mobile_sim_*` observability handles (see
+/// `docs/OBSERVABILITY.md`). Kills are labelled by the policy that chose
+/// the victim, so FIFO/LRU/emotion runs against one registry stay
+/// distinguishable.
+#[derive(Debug, Clone)]
+struct SimObs {
+    launches: Arc<Counter>,
+    cold_starts: Arc<Counter>,
+    warm_starts: Arc<Counter>,
+    kills: Arc<Counter>,
+    reload_bytes: Arc<Counter>,
+    flash_bytes: Arc<Counter>,
+    start_latency: Arc<Histogram>,
+}
+
+/// Short label value for a policy (the `Display` form is prose).
+fn policy_label(kind: PolicyKind) -> &'static str {
+    match kind {
+        PolicyKind::Fifo => "fifo",
+        PolicyKind::Lru => "lru",
+        PolicyKind::Emotion => "emotion",
+    }
 }
 
 impl Simulator {
@@ -89,12 +116,57 @@ impl Simulator {
             device,
             kind,
             warm_start_secs: 0.05,
+            metrics: None,
         })
     }
 
     /// The device configuration.
     pub fn device(&self) -> &DeviceConfig {
         &self.device
+    }
+
+    /// Registers the simulator's `mobile_sim_*` series with `registry`
+    /// (kills labelled by this simulator's policy) and keeps them updated
+    /// during [`Simulator::run`].
+    pub fn attach_metrics(&mut self, registry: &MetricsRegistry) {
+        let policy = policy_label(self.kind);
+        self.metrics = Some(SimObs {
+            launches: registry.counter(
+                "mobile_sim_launches_total",
+                "app launches executed by the workload",
+                &[("policy", policy)],
+            ),
+            cold_starts: registry.counter(
+                "mobile_sim_cold_starts_total",
+                "launches that reloaded the app from flash",
+                &[("policy", policy)],
+            ),
+            warm_starts: registry.counter(
+                "mobile_sim_warm_starts_total",
+                "launches served from a resident process",
+                &[("policy", policy)],
+            ),
+            kills: registry.counter(
+                "mobile_sim_kills_total",
+                "background processes killed by the manager",
+                &[("policy", policy)],
+            ),
+            reload_bytes: registry.counter(
+                "mobile_sim_reload_bytes_total",
+                "memory loaded at app start (flash + allocated)",
+                &[("policy", policy)],
+            ),
+            flash_bytes: registry.counter(
+                "mobile_sim_flash_bytes_total",
+                "flash file-loading component of reload traffic",
+                &[("policy", policy)],
+            ),
+            start_latency: registry.histogram(
+                "mobile_sim_app_start_latency_ns",
+                "per-launch app start latency (simulated)",
+                &[("policy", policy)],
+            ),
+        });
     }
 
     /// Runs a workload to completion.
@@ -147,6 +219,9 @@ impl Simulator {
             self.policy.observe_launch(event.emotion, app.category);
             *launch_counts.entry(event.app_id).or_insert(0) += 1;
             metrics.launches += 1;
+            if let Some(obs) = &self.metrics {
+                obs.launches.inc();
+            }
 
             // Clear the previous foreground.
             for p in &mut residents {
@@ -158,6 +233,10 @@ impl Simulator {
                 p.last_used = event.time_s;
                 metrics.warm_starts += 1;
                 metrics.load_time_s += self.warm_start_secs;
+                if let Some(obs) = &self.metrics {
+                    obs.warm_starts.inc();
+                    obs.start_latency.record(secs_to_ns(self.warm_start_secs));
+                }
                 trace.push(TraceEvent::Launch {
                     time_s: event.time_s,
                     app_id: event.app_id,
@@ -171,7 +250,14 @@ impl Simulator {
                 metrics.loaded_bytes += app.cold_load_bytes + app.ram_bytes;
                 metrics.flash_bytes += app.cold_load_bytes;
                 metrics.allocated_bytes += app.ram_bytes;
-                metrics.load_time_s += app.cold_start_secs(self.device.flash_read_bps);
+                let cold_secs = app.cold_start_secs(self.device.flash_read_bps);
+                metrics.load_time_s += cold_secs;
+                if let Some(obs) = &self.metrics {
+                    obs.cold_starts.inc();
+                    obs.reload_bytes.add(app.cold_load_bytes + app.ram_bytes);
+                    obs.flash_bytes.add(app.cold_load_bytes);
+                    obs.start_latency.record(secs_to_ns(cold_secs));
+                }
                 residents.push(ResidentProcess {
                     app_id: event.app_id,
                     started_at: event.time_s,
@@ -209,6 +295,9 @@ impl Simulator {
                 };
                 residents.retain(|p| p.app_id != victim);
                 metrics.kills += 1;
+                if let Some(obs) = &self.metrics {
+                    obs.kills.inc();
+                }
                 trace.push(TraceEvent::Kill {
                     time_s: event.time_s,
                     app_id: victim,
@@ -219,6 +308,11 @@ impl Simulator {
         metrics.trace = trace;
         Ok(metrics)
     }
+}
+
+/// Converts a simulated duration to nanoseconds for histogram recording.
+fn secs_to_ns(secs: f64) -> u64 {
+    (secs * 1e9) as u64
 }
 
 /// Side-by-side Fig. 10 comparison of the emotion-driven manager against a
@@ -426,6 +520,26 @@ mod tests {
         assert!(!tl.rows.is_empty());
         let art = tl.render_ascii(&device, 80);
         assert!(art.contains('━'));
+    }
+
+    #[test]
+    fn attached_metrics_mirror_sim_metrics() {
+        let device = DeviceConfig::paper_emulator();
+        let w = fig9_workload(&device, 7);
+        let registry = MetricsRegistry::new();
+        let mut sim = Simulator::new(device, PolicyKind::Emotion).unwrap();
+        sim.attach_metrics(&registry);
+        let m = sim.run(&w).unwrap();
+        let labels = [("policy", "emotion")];
+        let get = |name: &str| registry.counter(name, "", &labels).get();
+        assert_eq!(get("mobile_sim_launches_total"), m.launches as u64);
+        assert_eq!(get("mobile_sim_cold_starts_total"), m.cold_starts as u64);
+        assert_eq!(get("mobile_sim_warm_starts_total"), m.warm_starts as u64);
+        assert_eq!(get("mobile_sim_kills_total"), m.kills as u64);
+        assert_eq!(get("mobile_sim_reload_bytes_total"), m.loaded_bytes);
+        assert_eq!(get("mobile_sim_flash_bytes_total"), m.flash_bytes);
+        let latency = registry.histogram("mobile_sim_app_start_latency_ns", "", &labels);
+        assert_eq!(latency.count(), m.launches as u64);
     }
 
     #[test]

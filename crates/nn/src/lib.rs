@@ -62,6 +62,8 @@
 //! # }
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod error;
 pub mod init;
 pub mod kernels;

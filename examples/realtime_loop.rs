@@ -13,6 +13,19 @@
 //! report shows per-session accounting, end-to-end latency percentiles,
 //! and the timestamped decoder switches / app re-ranks each session's
 //! actuators performed.
+//!
+//! The whole run is observable: every subsystem registers its metrics in
+//! one shared `affect-obs` registry, and the demo finishes by decoding a
+//! segment in each video power mode and replaying a short app-manager
+//! workload so the `h264_*` and `mobile_sim_*` series are live too. With
+//!
+//! ```text
+//! cargo run --release --features obs-server --example realtime_loop
+//! ```
+//!
+//! the registry is additionally served at `http://127.0.0.1:9464/metrics`
+//! (Prometheus text format; set `OBS_ADDR` to rebind, `OBS_HOLD_SECS` to
+//! keep the server up for manual `curl`ing after the run).
 
 use std::sync::{Arc, Mutex};
 
@@ -21,9 +34,14 @@ use affectsys::core::controller::ControlEvent;
 use affectsys::core::emotion::Emotion;
 use affectsys::core::pipeline::FeatureConfig;
 use affectsys::core::policy::VideoPowerMode;
-use affectsys::h264::adaptive::ModeSwitchDriver;
+use affectsys::h264::adaptive::{paper_reference, ModeSwitchDriver};
 use affectsys::mobile::affect_table::{AppAffectTable, EmotionReranker};
+use affectsys::mobile::device::DeviceConfig;
+use affectsys::mobile::manager::PolicyKind;
+use affectsys::mobile::monkey::MonkeyScript;
+use affectsys::mobile::sim::Simulator;
 use affectsys::mobile::subjects::SubjectProfile;
+use affectsys::obs::MetricsRegistry;
 use affectsys::rt::{Actuator, AppActuator, RuntimeBuilder, RuntimeConfig, VideoActuator};
 
 /// What one wearer's actuators did, mirrored out for the final printout
@@ -78,7 +96,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         config.deadline_ns / 1_000_000
     );
 
-    let mut builder = RuntimeBuilder::new(config)?;
+    // One registry observes everything: the runtime's stage queues and
+    // latency spans, every session's decoder driver and app reranker, and
+    // the post-run decode/simulation phases below.
+    let registry = Arc::new(MetricsRegistry::new());
+    #[cfg(feature = "obs-server")]
+    let server = {
+        let addr = std::env::var("OBS_ADDR").unwrap_or_else(|_| "127.0.0.1:9464".into());
+        let server = affectsys::obs::MetricsServer::serve(Arc::clone(&registry), addr.as_str())?;
+        println!("metrics live at http://{}/metrics", server.local_addr());
+        server
+    };
+
+    let mut builder = RuntimeBuilder::new(config)?.metrics(Arc::clone(&registry));
     let subject = SubjectProfile::subject3();
     let logs: Vec<Arc<Mutex<SessionLog>>> = (0..SESSIONS)
         .map(|_| Arc::new(Mutex::new(SessionLog::default())))
@@ -86,12 +116,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sessions: Vec<_> = logs
         .iter()
         .map(|log| {
+            let mut driver = ModeSwitchDriver::new(VideoPowerMode::Standard);
+            driver.attach_metrics(&registry);
+            let mut reranker = EmotionReranker::new(
+                AppAffectTable::from_subject(&subject, 0.05),
+                Emotion::Neutral,
+            );
+            reranker.attach_metrics(&registry);
             let actuator = DeviceActuator {
-                video: VideoActuator::new(ModeSwitchDriver::new(VideoPowerMode::Standard)),
-                apps: AppActuator::new(EmotionReranker::new(
-                    AppAffectTable::from_subject(&subject, 0.05),
-                    Emotion::Neutral,
-                )),
+                video: VideoActuator::new(driver),
+                apps: AppActuator::new(reranker),
                 log: Arc::clone(log),
             };
             builder.add_session(Box::new(actuator))
@@ -177,5 +211,74 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         outcome.report.total_produced(),
         outcome.report.sessions.len()
     );
+
+    // Post-run phase 1: decode a calibration segment under each video
+    // power mode so the h264_* deletion/deblock/IQIT series are exercised
+    // beyond what the live loop's mode switches touched.
+    println!("\ndecoding one segment per video power mode:");
+    let (_, stream) = paper_reference(5)?;
+    let mut driver = ModeSwitchDriver::new(VideoPowerMode::Standard);
+    driver.attach_metrics(&registry);
+    for mode in VideoPowerMode::ALL {
+        driver.set_mode(mode);
+        let out = driver.decode_segment(&stream)?;
+        println!(
+            "  {mode}: {} frames, {} NALs deleted, {} IQIT blocks",
+            out.frames.len(),
+            out.selection.deleted_units,
+            out.activity.iqit_blocks
+        );
+    }
+
+    // Post-run phase 2: a short emotion-policy app-manager run so the
+    // mobile_sim_* kill/reload/latency series are live as well.
+    let device = DeviceConfig::paper_emulator();
+    let workload = MonkeyScript::new(&subject, 42)
+        .paper_fig9()
+        .build(&device)?;
+    let mut sim = Simulator::new(device, PolicyKind::Emotion)?;
+    sim.attach_metrics(&registry);
+    let sim_metrics = sim.run(&workload)?;
+    println!(
+        "app manager: {} launches, {} kills, {:.1} MB reloaded, {:.1} s loading",
+        sim_metrics.launches,
+        sim_metrics.kills,
+        sim_metrics.loaded_bytes as f64 / 1e6,
+        sim_metrics.load_time_s
+    );
+
+    let names = registry.names();
+    println!(
+        "\nregistry: {} metric series under {} names:",
+        registry.len(),
+        names.len()
+    );
+    for name in &names {
+        println!("  {name}");
+    }
+
+    #[cfg(feature = "obs-server")]
+    {
+        // Prove the endpoint end to end: fetch our own /metrics page.
+        use std::io::{Read as _, Write as _};
+        let mut conn = std::net::TcpStream::connect(server.local_addr())?;
+        write!(conn, "GET /metrics HTTP/1.0\r\nHost: demo\r\n\r\n")?;
+        let mut response = String::new();
+        conn.read_to_string(&mut response)?;
+        let metric_lines = response.lines().filter(|l| l.starts_with("# TYPE")).count();
+        println!("\nGET /metrics → {metric_lines} exposed metrics");
+        let hold: u64 = std::env::var("OBS_HOLD_SECS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0);
+        if hold > 0 {
+            println!(
+                "holding the /metrics endpoint for {hold}s — try: curl http://{}/metrics",
+                server.local_addr()
+            );
+            std::thread::sleep(std::time::Duration::from_secs(hold));
+        }
+        drop(server);
+    }
     Ok(())
 }

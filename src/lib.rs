@@ -13,6 +13,8 @@
 //! | module | crate | role |
 //! |---|---|---|
 //! | [`core`](mod@core) | `affect-core` | emotion model, classifiers, policies, controller |
+//! | [`obs`] | `affect-obs` | metrics registry, span tracing, Prometheus exposition |
+//! | [`rt`] | `affect-rt` | real-time multi-session streaming runtime |
 //! | [`dsp`] | `dsp` | FFT / MFCC / pitch / spectral features |
 //! | [`nn`] | `nn` | from-scratch NN library with int8 quantization |
 //! | [`biosignal`] | `biosignal` | synthetic SC/PPG/ECG/IMU/voice generators |
@@ -49,6 +51,9 @@
 /// The paper's core contribution: emotion model, classifiers, policies and
 /// the system controller (`affect-core`).
 pub use affect_core as core;
+/// The observability layer: metrics registry, span tracing, Prometheus
+/// exposition (`affect-obs`).
+pub use affect_obs as obs;
 /// The real-time multi-session streaming runtime (`affect-rt`).
 pub use affect_rt as rt;
 pub use biosignal;

@@ -1,0 +1,93 @@
+//! Workspace-level observability acceptance: one registry wired through
+//! the runtime, the adaptive decoder and the app-manager simulator must
+//! expose at least a dozen distinct metrics spanning all three
+//! subsystems — the same wiring `examples/realtime_loop.rs` serves at
+//! `/metrics` under `--features obs-server`.
+
+use std::sync::Arc;
+
+use affectsys::biosignal::VoiceWindowStream;
+use affectsys::core::emotion::Emotion;
+use affectsys::core::pipeline::FeatureConfig;
+use affectsys::core::policy::VideoPowerMode;
+use affectsys::h264::adaptive::{paper_reference, ModeSwitchDriver};
+use affectsys::mobile::device::DeviceConfig;
+use affectsys::mobile::manager::PolicyKind;
+use affectsys::mobile::monkey::MonkeyScript;
+use affectsys::mobile::sim::Simulator;
+use affectsys::mobile::subjects::SubjectProfile;
+use affectsys::obs::MetricsRegistry;
+use affectsys::rt::{CollectActuator, RuntimeBuilder, RuntimeConfig};
+
+#[test]
+fn one_registry_observes_all_three_subsystems() {
+    let registry = Arc::new(MetricsRegistry::new());
+
+    // affect-rt: a short two-session run.
+    let config = RuntimeConfig {
+        feature: FeatureConfig {
+            frame_len: 256,
+            hop: 128,
+            n_mfcc: 8,
+            n_mels: 20,
+            ..FeatureConfig::default()
+        },
+        window_samples: 1024,
+        ..RuntimeConfig::default()
+    };
+    let mut builder = RuntimeBuilder::new(config)
+        .unwrap()
+        .metrics(Arc::clone(&registry));
+    let handles: Vec<_> = (0..2)
+        .map(|_| builder.add_session(Box::new(CollectActuator::default())))
+        .collect();
+    let runtime = builder.start().unwrap();
+    for (i, &session) in handles.iter().enumerate() {
+        let stream =
+            VoiceWindowStream::new(vec![(Emotion::Happy, 4)], 1024, 16_000.0, i as u64).unwrap();
+        for window in stream {
+            runtime.submit(session, window.samples);
+        }
+    }
+    runtime.wait_idle();
+    runtime.shutdown();
+
+    // h264: one adaptive decode with a mode switch.
+    let (_, stream) = paper_reference(5).unwrap();
+    let mut driver = ModeSwitchDriver::new(VideoPowerMode::Standard);
+    driver.attach_metrics(&registry);
+    driver.set_mode(VideoPowerMode::Combined);
+    driver.decode_segment(&stream).unwrap();
+
+    // mobile-sim: a short emotion-policy run.
+    let device = DeviceConfig::paper_emulator();
+    let workload = MonkeyScript::new(&SubjectProfile::subject3(), 9)
+        .paper_fig9()
+        .build(&device)
+        .unwrap();
+    let mut sim = Simulator::new(device, PolicyKind::Emotion).unwrap();
+    sim.attach_metrics(&registry);
+    sim.run(&workload).unwrap();
+
+    let names = registry.names();
+    assert!(
+        names.len() >= 12,
+        "expected at least 12 distinct metrics, got {}: {names:?}",
+        names.len()
+    );
+    for prefix in ["affect_rt_", "h264_", "mobile_sim_"] {
+        assert!(
+            names.iter().any(|n| n.starts_with(prefix)),
+            "no {prefix}* metric registered: {names:?}"
+        );
+    }
+
+    // The rendered page exposes every name.
+    let text = registry.render_prometheus();
+    for name in &names {
+        assert!(
+            text.contains(&format!("# TYPE {name} ")),
+            "{name} missing from exposition"
+        );
+    }
+}
