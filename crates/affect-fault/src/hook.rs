@@ -1,0 +1,153 @@
+//! The runtime adapter: a [`FaultPlan`] behind `affect-rt`'s fault seam.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use affect_obs::{Counter, MetricsRegistry};
+use affect_rt::{FaultAction, FaultHook, Stage};
+
+use crate::plan::FaultPlan;
+
+/// Index: [stage][action] where action ∈ {panic, drop, delay}.
+const ACTIONS: usize = 3;
+
+/// What one chaos run injected, per stage.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InjectionReport {
+    /// Injected panics per stage, in [`Stage::ALL`] order.
+    pub panics: [u64; 5],
+    /// Injected drops per stage.
+    pub drops: [u64; 5],
+    /// Injected delays per stage.
+    pub delays: [u64; 5],
+}
+
+impl InjectionReport {
+    /// Total injections of every kind across every stage.
+    pub fn total(&self) -> u64 {
+        let sum = |a: &[u64; 5]| a.iter().sum::<u64>();
+        sum(&self.panics) + sum(&self.drops) + sum(&self.delays)
+    }
+}
+
+/// A [`FaultPlan`] adapted to the runtime's [`FaultHook`] seam, counting
+/// every injection (and mirroring the counts into
+/// `affect_fault_injected_total{stage,action}` when built with a
+/// registry).
+pub struct RtFaultHook {
+    plan: FaultPlan,
+    counts: [[AtomicU64; ACTIONS]; 5],
+    metrics: Option<[[Arc<Counter>; ACTIONS]; 5]>,
+}
+
+impl RtFaultHook {
+    /// Wraps a plan with in-process counting only.
+    pub fn new(plan: FaultPlan) -> Self {
+        Self {
+            plan,
+            counts: std::array::from_fn(|_| std::array::from_fn(|_| AtomicU64::new(0))),
+            metrics: None,
+        }
+    }
+
+    /// Wraps a plan and registers `affect_fault_injected_total` series
+    /// (one per stage × action) in `registry`.
+    pub fn with_metrics(plan: FaultPlan, registry: &MetricsRegistry) -> Self {
+        const ACTION_NAMES: [&str; ACTIONS] = ["panic", "drop", "delay"];
+        let metrics = std::array::from_fn(|s| {
+            std::array::from_fn(|a| {
+                registry.counter(
+                    "affect_fault_injected_total",
+                    "faults injected into the runtime by the chaos plan",
+                    &[
+                        ("stage", Stage::ALL[s].as_str()),
+                        ("action", ACTION_NAMES[a]),
+                    ],
+                )
+            })
+        });
+        Self {
+            metrics: Some(metrics),
+            ..Self::new(plan)
+        }
+    }
+
+    /// The wrapped plan.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Snapshot of everything injected so far.
+    pub fn report(&self) -> InjectionReport {
+        let mut report = InjectionReport::default();
+        for s in 0..5 {
+            report.panics[s] = self.counts[s][0].load(Ordering::SeqCst);
+            report.drops[s] = self.counts[s][1].load(Ordering::SeqCst);
+            report.delays[s] = self.counts[s][2].load(Ordering::SeqCst);
+        }
+        report
+    }
+
+    fn count(&self, stage: Stage, action_index: usize) {
+        let s = Stage::ALL.iter().position(|&x| x == stage).expect("known");
+        self.counts[s][action_index].fetch_add(1, Ordering::SeqCst);
+        if let Some(m) = &self.metrics {
+            m[s][action_index].inc();
+        }
+    }
+}
+
+impl FaultHook for RtFaultHook {
+    fn inject(&self, stage: Stage, session: usize, seq: u64) -> FaultAction {
+        let action = self.plan.decide(stage, session, seq);
+        match action {
+            FaultAction::None => {}
+            FaultAction::Panic => self.count(stage, 0),
+            FaultAction::DropWindow => self.count(stage, 1),
+            FaultAction::DelayNs(_) => self.count(stage, 2),
+        }
+        action
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::StageFaults;
+
+    #[test]
+    fn hook_counts_match_plan_decisions() {
+        let plan = FaultPlan::quiet(5).with_stage(
+            Stage::Feature,
+            StageFaults {
+                panic_per_million: 0,
+                drop_per_million: 500_000,
+                delay_per_million: 0,
+                delay_ns: 0,
+            },
+        );
+        let hook = RtFaultHook::new(plan);
+        let mut expected_drops = 0;
+        for seq in 0..1_000 {
+            if hook.inject(Stage::Feature, 0, seq) == FaultAction::DropWindow {
+                expected_drops += 1;
+            }
+        }
+        let report = hook.report();
+        assert_eq!(report.drops[1], expected_drops);
+        assert_eq!(report.total(), expected_drops);
+        assert!(expected_drops > 300, "roughly half should drop");
+    }
+
+    #[test]
+    fn metrics_variant_registers_series() {
+        let registry = MetricsRegistry::new();
+        let hook = RtFaultHook::with_metrics(FaultPlan::chaos(1), &registry);
+        for seq in 0..500 {
+            let _ = hook.inject(Stage::Classify, 0, seq);
+        }
+        let rendered = affect_obs::render_prometheus(&registry);
+        assert!(rendered.contains("affect_fault_injected_total"));
+        assert!(hook.report().total() > 0);
+    }
+}

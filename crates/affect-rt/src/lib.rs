@@ -24,6 +24,13 @@
 //!   back up.
 //! - **Honest accounting** — `produced == processed + dropped` per
 //!   session, always: load shedding is explicit, never silent.
+//! - **Supervision** — feature and classify workers run each window inside
+//!   a per-message unwind boundary: a panic (injected via [`FaultHook`] or
+//!   organic) costs one window, restarts the worker with exponential
+//!   backoff, and retires it only after a restart budget. Repeated
+//!   classifier failures trip a per-session circuit breaker straight to
+//!   the MLP floor; an optional watchdog force-drains stalled queues. See
+//!   `docs/ROBUSTNESS.md`.
 //!
 //! Everything is built on `std::thread` + mutex/condvar rings; the crate
 //! adds no dependencies beyond the workspace's own crates.
@@ -66,14 +73,19 @@
 
 pub mod actuator;
 pub mod clock;
+pub mod fault;
 pub mod ring;
 pub mod runtime;
 pub mod stats;
 
 pub use actuator::{Actuator, AppActuator, CollectActuator, NullActuator, VideoActuator};
 pub use clock::{Clock, SystemClock, VirtualClock};
+pub use fault::{silence_injected_panics, FaultAction, FaultHook, InjectedPanic, Stage};
 pub use ring::{OverflowPolicy, PushOutcome, Ring, RingMetrics, RingStats};
 pub use runtime::{
     Runtime, RuntimeBuilder, RuntimeConfig, SessionId, ShutdownOutcome, StageConfig,
+    SupervisionConfig, WatchdogConfig,
 };
-pub use stats::{ClassifyReport, LatencySummary, RuntimeReport, SessionReport, StageReport};
+pub use stats::{
+    ClassifyReport, FaultReport, LatencySummary, RuntimeReport, SessionReport, StageReport,
+};

@@ -44,7 +44,8 @@
 //! recovers one step at a time (first the interval, then the family).
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -60,8 +61,11 @@ use nn::{Scratch, Tensor};
 
 use crate::actuator::Actuator;
 use crate::clock::{Clock, SystemClock};
+use crate::fault::{FaultAction, FaultHook, InjectedPanic, Stage};
 use crate::ring::{OverflowPolicy, PushOutcome, Ring, RingMetrics};
-use crate::stats::{ClassifyReport, Histogram, RuntimeReport, SessionReport, StageReport};
+use crate::stats::{
+    ClassifyReport, FaultReport, Histogram, RuntimeReport, SessionReport, StageReport,
+};
 
 /// Handle to one session registered with the runtime.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -87,6 +91,63 @@ impl StageConfig {
     /// Convenience constructor.
     pub fn new(capacity: usize, policy: OverflowPolicy) -> Self {
         Self { capacity, policy }
+    }
+}
+
+/// Supervision parameters for the feature and classify worker pools and
+/// the per-session classify circuit breaker.
+#[derive(Debug, Clone, Copy)]
+pub struct SupervisionConfig {
+    /// Panics one worker may survive before it is retired. Each caught
+    /// panic costs the in-flight window (accounted as dropped) and a
+    /// backoff pause; exceeding the budget retires the worker, and the
+    /// last worker of a pool to retire closes and drains its input queue
+    /// so the accounting invariant still converges.
+    pub restart_budget: u32,
+    /// Backoff after the first caught panic, milliseconds. Doubles per
+    /// consecutive panic.
+    pub backoff_base_ms: u64,
+    /// Backoff ceiling, milliseconds.
+    pub backoff_max_ms: u64,
+    /// Consecutive classify failures of one session that trip its circuit
+    /// breaker: the session is forced to the MLP family until a half-open
+    /// recovery probe (driven by the ordinary `ok_streak` recovery
+    /// machinery) succeeds with a richer family.
+    pub breaker_threshold: u32,
+}
+
+impl Default for SupervisionConfig {
+    fn default() -> Self {
+        Self {
+            restart_budget: 8,
+            backoff_base_ms: 1,
+            backoff_max_ms: 100,
+            breaker_threshold: 3,
+        }
+    }
+}
+
+/// Stalled-queue watchdog parameters. The watchdog is a low-frequency
+/// safety net behind the per-window supervision: when a stage queue holds
+/// messages but its consumers pop nothing for `stall_polls` consecutive
+/// polls, the watchdog force-drains the queue, accounting every drained
+/// window as dropped, so a wedged stage degrades to load-shedding instead
+/// of deadlocking the pipeline.
+#[derive(Debug, Clone, Copy)]
+pub struct WatchdogConfig {
+    /// Poll period, milliseconds.
+    pub poll_ms: u64,
+    /// Consecutive no-progress polls (with a non-empty queue) that declare
+    /// a stage stalled.
+    pub stall_polls: u32,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        Self {
+            poll_ms: 50,
+            stall_polls: 4,
+        }
     }
 }
 
@@ -133,6 +194,10 @@ pub struct RuntimeConfig {
     pub smoothing_window: usize,
     /// Seed for the untrained models' deterministic initialization.
     pub model_seed: u64,
+    /// Worker supervision and circuit-breaker parameters.
+    pub supervision: SupervisionConfig,
+    /// Stalled-queue watchdog; `None` (the default) disables it.
+    pub watchdog: Option<WatchdogConfig>,
 }
 
 impl Default for RuntimeConfig {
@@ -154,6 +219,8 @@ impl Default for RuntimeConfig {
             policy: PolicyTable::paper_defaults(),
             smoothing_window: 1,
             model_seed: 7,
+            supervision: SupervisionConfig::default(),
+            watchdog: None,
         }
     }
 }
@@ -202,6 +269,20 @@ impl RuntimeConfig {
                 reason: "must be at least 1",
             });
         }
+        if self.supervision.breaker_threshold == 0 {
+            return Err(AffectError::InvalidParameter {
+                name: "breaker_threshold",
+                reason: "must be at least 1",
+            });
+        }
+        if let Some(w) = &self.watchdog {
+            if w.poll_ms == 0 || w.stall_polls == 0 {
+                return Err(AffectError::InvalidParameter {
+                    name: "watchdog",
+                    reason: "poll_ms and stall_polls must be at least 1",
+                });
+            }
+        }
         Ok(())
     }
 
@@ -235,6 +316,11 @@ fn family_from_code(code: u8) -> ClassifierKind {
     }
 }
 
+/// Circuit-breaker states, stored in `SessionState::breaker`.
+const BREAKER_CLOSED: u8 = 0;
+const BREAKER_OPEN: u8 = 1;
+const BREAKER_HALF_OPEN: u8 = 2;
+
 /// Shared per-session state: counters plus the degradation knobs the
 /// feature workers and submit path read.
 struct SessionState {
@@ -248,6 +334,11 @@ struct SessionState {
     family: AtomicU8,
     interval: AtomicU32,
     latency: Histogram,
+    /// Classify circuit breaker: `BREAKER_CLOSED`, `BREAKER_OPEN` (family
+    /// pinned to MLP) or `BREAKER_HALF_OPEN` (recovery probe in flight).
+    breaker: AtomicU8,
+    /// Consecutive classify failures while the breaker is closed.
+    breaker_failures: AtomicU32,
 }
 
 impl SessionState {
@@ -263,6 +354,8 @@ impl SessionState {
             family: AtomicU8::new(family_code(initial_family)),
             interval: AtomicU32::new(1),
             latency: Histogram::new(),
+            breaker: AtomicU8::new(BREAKER_CLOSED),
+            breaker_failures: AtomicU32::new(0),
         }
     }
 
@@ -275,6 +368,33 @@ impl SessionState {
         let processed = self.processed.load(Ordering::SeqCst);
         let dropped = self.dropped.load(Ordering::SeqCst);
         produced == processed + dropped
+    }
+}
+
+/// Runtime-wide fault and supervision counters, snapshot into
+/// [`FaultReport`].
+#[derive(Default)]
+struct FaultCounters {
+    worker_panics: AtomicU64,
+    worker_restarts: AtomicU64,
+    workers_lost: AtomicU64,
+    rejected_windows: AtomicU64,
+    watchdog_sheds: AtomicU64,
+    breaker_trips: AtomicU64,
+    breaker_closes: AtomicU64,
+}
+
+impl FaultCounters {
+    fn snapshot(&self) -> FaultReport {
+        FaultReport {
+            worker_panics: self.worker_panics.load(Ordering::SeqCst),
+            worker_restarts: self.worker_restarts.load(Ordering::SeqCst),
+            workers_lost: self.workers_lost.load(Ordering::SeqCst),
+            rejected_windows: self.rejected_windows.load(Ordering::SeqCst),
+            watchdog_sheds: self.watchdog_sheds.load(Ordering::SeqCst),
+            breaker_trips: self.breaker_trips.load(Ordering::SeqCst),
+            breaker_closes: self.breaker_closes.load(Ordering::SeqCst),
+        }
     }
 }
 
@@ -323,6 +443,14 @@ struct RtMetrics {
     batch_size: Arc<ObsHistogram>,
     scratch_allocs: Arc<ObsCounter>,
     scratch_reuses: Arc<ObsCounter>,
+    worker_panics: Arc<ObsCounter>,
+    worker_restarts: Arc<ObsCounter>,
+    workers_lost: Arc<ObsCounter>,
+    rejected_windows: Arc<ObsCounter>,
+    watchdog_sheds: Arc<ObsCounter>,
+    breaker_trips: Arc<ObsCounter>,
+    breaker_closes: Arc<ObsCounter>,
+    breakers_open: Arc<affect_obs::Gauge>,
 }
 
 impl RtMetrics {
@@ -390,6 +518,46 @@ impl RtMetrics {
                 "scratch-arena buffer reuses during inference",
                 &[],
             ),
+            worker_panics: registry.counter(
+                "affect_rt_worker_panics_total",
+                "worker panics caught by per-window supervision",
+                &[],
+            ),
+            worker_restarts: registry.counter(
+                "affect_rt_worker_restarts_total",
+                "panics a worker survived and resumed after (with backoff)",
+                &[],
+            ),
+            workers_lost: registry.counter(
+                "affect_rt_workers_lost_total",
+                "workers retired after exhausting their restart budget",
+                &[],
+            ),
+            rejected_windows: registry.counter(
+                "affect_rt_rejected_windows_total",
+                "windows refused for non-finite samples at the feature stage",
+                &[],
+            ),
+            watchdog_sheds: registry.counter(
+                "affect_rt_watchdog_sheds_total",
+                "windows force-drained from stalled queues by the watchdog",
+                &[],
+            ),
+            breaker_trips: registry.counter(
+                "affect_rt_breaker_trips_total",
+                "classify circuit-breaker trips (session forced to MLP)",
+                &[],
+            ),
+            breaker_closes: registry.counter(
+                "affect_rt_breaker_closes_total",
+                "circuit breakers closed again after a successful probe",
+                &[],
+            ),
+            breakers_open: registry.gauge(
+                "affect_rt_breakers_open",
+                "sessions whose classify circuit breaker is currently open",
+                &[],
+            ),
         }
     }
 }
@@ -431,6 +599,39 @@ fn ring_metrics(registry: &MetricsRegistry, stage: &str) -> RingMetrics {
             "current queue depth of a stage",
             &[("stage", stage)],
         ),
+    }
+}
+
+/// Type-erased view of one stage queue, so a single watchdog thread can
+/// monitor queues of four different message types.
+trait WatchedQueue: Send + Sync {
+    fn popped(&self) -> u64;
+    fn depth(&self) -> usize;
+    /// Drains everything currently queued, returning the owning session of
+    /// each drained message.
+    fn drain_sessions(&self) -> Vec<usize>;
+}
+
+struct WatchedRing<T> {
+    ring: Arc<Ring<T>>,
+    session_of: fn(&T) -> usize,
+}
+
+impl<T: Send> WatchedQueue for WatchedRing<T> {
+    fn popped(&self) -> u64 {
+        self.ring.snapshot().popped
+    }
+
+    fn depth(&self) -> usize {
+        self.ring.depth()
+    }
+
+    fn drain_sessions(&self) -> Vec<usize> {
+        let mut sessions = Vec::new();
+        while let Some(msg) = self.ring.try_pop() {
+            sessions.push((self.session_of)(&msg));
+        }
+        sessions
     }
 }
 
@@ -497,6 +698,7 @@ pub struct RuntimeBuilder {
     clock: Arc<dyn Clock>,
     actuators: Vec<Box<dyn Actuator>>,
     registry: Option<Arc<MetricsRegistry>>,
+    fault_hook: Option<Arc<dyn FaultHook>>,
 }
 
 impl RuntimeBuilder {
@@ -513,7 +715,17 @@ impl RuntimeBuilder {
             clock: Arc::new(SystemClock::new()),
             actuators: Vec::new(),
             registry: None,
+            fault_hook: None,
         })
+    }
+
+    /// Attaches a fault-injection hook, consulted once per window per
+    /// stage. Without one the runtime takes the fault-free fast path (a
+    /// `None` check per window). The `affect-fault` crate provides a
+    /// deterministic, seeded implementation.
+    pub fn fault_hook(mut self, hook: Arc<dyn FaultHook>) -> Self {
+        self.fault_hook = Some(hook);
+        self
     }
 
     /// Substitutes the time source (tests use a
@@ -569,6 +781,8 @@ impl RuntimeBuilder {
                 .collect(),
         );
         let progress = Arc::new(Progress::new());
+        let fault_counters = Arc::new(FaultCounters::default());
+        let fault_hook = self.fault_hook.clone();
         let metrics: Option<Arc<RtMetrics>> = self
             .registry
             .as_ref()
@@ -604,6 +818,7 @@ impl RuntimeBuilder {
         ));
 
         let mut feature_workers = Vec::with_capacity(config.workers);
+        let feature_live = Arc::new(AtomicUsize::new(config.workers));
         for _ in 0..config.workers {
             let ingest = Arc::clone(&ingest);
             let classify = Arc::clone(&classify);
@@ -611,29 +826,67 @@ impl RuntimeBuilder {
             let progress = Arc::clone(&progress);
             let metrics = metrics.clone();
             let feature = config.feature.clone();
+            let hook = fault_hook.clone();
+            let faults = Arc::clone(&fault_counters);
+            let live = Arc::clone(&feature_live);
+            let supervision = config.supervision;
             feature_workers.push(std::thread::spawn(move || {
                 let mut pipeline =
                     FeaturePipeline::new(feature).expect("config validated before spawn");
+                let mut consecutive_panics = 0u32;
+                let mut panics_survived = 0u32;
                 while let Some(msg) = ingest.pop() {
-                    let span = metrics
-                        .as_ref()
-                        .map(|m| Span::enter(&m.feature_latency, &*m.clock));
-                    let family = sessions[msg.session].family();
-                    let features = match family {
-                        ClassifierKind::Mlp => pipeline.extract_flat(&msg.samples),
-                        ClassifierKind::Cnn => pipeline.extract_strip(&msg.samples),
-                        ClassifierKind::Lstm => pipeline.extract_sequence(&msg.samples),
+                    let session = msg.session;
+                    let action = match &hook {
+                        Some(h) => h.inject(Stage::Feature, session, msg.seq),
+                        None => FaultAction::None,
                     };
-                    drop(span);
-                    match features {
-                        Ok(features) => {
-                            let out = ClassifyMsg {
-                                session: msg.session,
-                                seq: msg.seq,
-                                arrival_ns: msg.arrival_ns,
-                                family,
-                                features,
-                            };
+                    if action == FaultAction::DropWindow {
+                        drop_window(&sessions, session, &progress, metrics.as_deref());
+                        continue;
+                    }
+                    if let FaultAction::DelayNs(ns) = action {
+                        std::thread::sleep(Duration::from_nanos(ns));
+                    }
+                    // The NaN gate: a sensor fault costs exactly this
+                    // window, never the session — rejected before the
+                    // feature pipeline can smear non-finite values into
+                    // state shared across windows.
+                    if msg.samples.iter().any(|s| !s.is_finite()) {
+                        faults.rejected_windows.fetch_add(1, Ordering::SeqCst);
+                        if let Some(m) = &metrics {
+                            m.rejected_windows.inc();
+                        }
+                        drop_window(&sessions, session, &progress, metrics.as_deref());
+                        continue;
+                    }
+                    // Per-window unwind boundary: a panic (injected or
+                    // organic) loses only this window.
+                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                        if action == FaultAction::Panic {
+                            std::panic::panic_any(InjectedPanic);
+                        }
+                        let span = metrics
+                            .as_ref()
+                            .map(|m| Span::enter(&m.feature_latency, &*m.clock));
+                        let family = sessions[session].family();
+                        let features = match family {
+                            ClassifierKind::Mlp => pipeline.extract_flat(&msg.samples),
+                            ClassifierKind::Cnn => pipeline.extract_strip(&msg.samples),
+                            ClassifierKind::Lstm => pipeline.extract_sequence(&msg.samples),
+                        };
+                        drop(span);
+                        features.map(|features| ClassifyMsg {
+                            session: msg.session,
+                            seq: msg.seq,
+                            arrival_ns: msg.arrival_ns,
+                            family,
+                            features,
+                        })
+                    }));
+                    match outcome {
+                        Ok(Ok(out)) => {
+                            consecutive_panics = 0;
                             offer(
                                 &classify,
                                 out,
@@ -643,9 +896,33 @@ impl RuntimeBuilder {
                                 metrics.as_deref(),
                             );
                         }
-                        Err(_) => {
-                            drop_window(&sessions, msg.session, &progress, metrics.as_deref())
+                        Ok(Err(_)) => {
+                            consecutive_panics = 0;
+                            drop_window(&sessions, session, &progress, metrics.as_deref());
                         }
+                        Err(_panic) => {
+                            drop_window(&sessions, session, &progress, metrics.as_deref());
+                            consecutive_panics += 1;
+                            panics_survived += 1;
+                            if !survive_panic(
+                                &faults,
+                                metrics.as_deref(),
+                                &supervision,
+                                consecutive_panics,
+                                panics_survived,
+                            ) {
+                                break;
+                            }
+                        }
+                    }
+                }
+                // Last worker out (retired or shutdown) closes and drains
+                // the queue so blocked producers wake and nothing queued
+                // is silently lost.
+                if live.fetch_sub(1, Ordering::SeqCst) == 1 {
+                    ingest.close();
+                    while let Some(m) = ingest.try_pop() {
+                        drop_window(&sessions, m.session, &progress, metrics.as_deref());
                     }
                 }
             }));
@@ -653,6 +930,7 @@ impl RuntimeBuilder {
 
         let classify_counters = Arc::new(ClassifyCounters::default());
         let mut classify_workers = Vec::with_capacity(config.workers);
+        let classify_live = Arc::new(AtomicUsize::new(config.workers));
         for _ in 0..config.workers {
             let classify = Arc::clone(&classify);
             let control = Arc::clone(&control);
@@ -665,6 +943,10 @@ impl RuntimeBuilder {
             let batch_limit = config.classify_batch;
             let seed = config.model_seed;
             let labels = labels.clone();
+            let hook = fault_hook.clone();
+            let faults = Arc::clone(&fault_counters);
+            let live = Arc::clone(&classify_live);
+            let supervision = config.supervision;
             classify_workers.push(std::thread::spawn(move || {
                 // Models are not Send; build this worker's own pool of all
                 // three families (identical across workers by seed).
@@ -688,17 +970,22 @@ impl RuntimeBuilder {
                 // here, so steady state runs allocation-free.
                 let mut scratch = Scratch::new();
                 let mut decision = Decision::default();
-                let mut batch: Vec<ClassifyMsg> = Vec::with_capacity(batch_limit);
+                let mut batch: std::collections::VecDeque<ClassifyMsg> =
+                    std::collections::VecDeque::with_capacity(batch_limit);
+                let mut consecutive_panics = 0u32;
+                let mut panics_survived = 0u32;
                 let mut last_allocs = 0u64;
                 let mut last_reuses = 0u64;
-                while let Some(msg) = classify.pop() {
+                'pool: while let Some(msg) = classify.pop() {
                     // Batching window: after the blocking pop, drain
                     // whatever else is already queued (up to the limit) so
-                    // one wakeup amortises over several windows.
-                    batch.push(msg);
+                    // one wakeup amortises over several windows. The batch
+                    // buffer lives *outside* the unwind boundary below, so
+                    // a panic mid-batch never loses the rest of the drain.
+                    batch.push_back(msg);
                     while batch.len() < batch_limit {
                         match classify.try_pop() {
-                            Some(next) => batch.push(next),
+                            Some(next) => batch.push_back(next),
                             None => break,
                         }
                     }
@@ -709,29 +996,57 @@ impl RuntimeBuilder {
                     if let Some(m) = &metrics {
                         m.batch_size.record(batch.len() as u64);
                     }
-                    for msg in batch.drain(..) {
-                        let span = metrics
-                            .as_ref()
-                            .map(|m| Span::enter(&m.classify_latency, &*m.clock));
-                        let clf = pool
-                            .get_mut(&family_code(msg.family))
-                            .expect("all families pooled");
-                        let outcome = clf.classify_with(
-                            msg.features.data(),
-                            msg.features.shape(),
-                            &mut scratch,
-                            &mut decision,
-                        );
-                        drop(span);
-                        counters.windows.fetch_add(1, Ordering::SeqCst);
+                    while let Some(msg) = batch.pop_front() {
+                        let session = msg.session;
+                        let family = msg.family;
+                        let action = match &hook {
+                            Some(h) => h.inject(Stage::Classify, session, msg.seq),
+                            None => FaultAction::None,
+                        };
+                        if action == FaultAction::DropWindow {
+                            drop_window(&sessions, session, &progress, metrics.as_deref());
+                            continue;
+                        }
+                        if let FaultAction::DelayNs(ns) = action {
+                            std::thread::sleep(Duration::from_nanos(ns));
+                        }
+                        // Per-window unwind boundary. The scratch arena and
+                        // decision buffer are plain reusable buffers — safe
+                        // to keep using after an unwind.
+                        let outcome = catch_unwind(AssertUnwindSafe(|| {
+                            if action == FaultAction::Panic {
+                                std::panic::panic_any(InjectedPanic);
+                            }
+                            let span = metrics
+                                .as_ref()
+                                .map(|m| Span::enter(&m.classify_latency, &*m.clock));
+                            let clf = pool
+                                .get_mut(&family_code(msg.family))
+                                .expect("all families pooled");
+                            let result = clf.classify_with(
+                                msg.features.data(),
+                                msg.features.shape(),
+                                &mut scratch,
+                                &mut decision,
+                            );
+                            drop(span);
+                            result.map(|()| ControlMsg {
+                                session: msg.session,
+                                seq: msg.seq,
+                                arrival_ns: msg.arrival_ns,
+                                emotion: decision.emotion(),
+                            })
+                        }));
                         match outcome {
-                            Ok(()) => {
-                                let out = ControlMsg {
-                                    session: msg.session,
-                                    seq: msg.seq,
-                                    arrival_ns: msg.arrival_ns,
-                                    emotion: decision.emotion(),
-                                };
+                            Ok(Ok(out)) => {
+                                consecutive_panics = 0;
+                                counters.windows.fetch_add(1, Ordering::SeqCst);
+                                breaker_on_success(
+                                    &sessions[session],
+                                    family,
+                                    &faults,
+                                    metrics.as_deref(),
+                                );
                                 offer(
                                     &control,
                                     out,
@@ -741,8 +1056,40 @@ impl RuntimeBuilder {
                                     metrics.as_deref(),
                                 );
                             }
-                            Err(_) => {
-                                drop_window(&sessions, msg.session, &progress, metrics.as_deref())
+                            Ok(Err(_)) => {
+                                consecutive_panics = 0;
+                                counters.windows.fetch_add(1, Ordering::SeqCst);
+                                breaker_on_failure(
+                                    &sessions[session],
+                                    supervision.breaker_threshold,
+                                    &faults,
+                                    metrics.as_deref(),
+                                );
+                                drop_window(&sessions, session, &progress, metrics.as_deref());
+                            }
+                            Err(_panic) => {
+                                drop_window(&sessions, session, &progress, metrics.as_deref());
+                                consecutive_panics += 1;
+                                panics_survived += 1;
+                                if !survive_panic(
+                                    &faults,
+                                    metrics.as_deref(),
+                                    &supervision,
+                                    consecutive_panics,
+                                    panics_survived,
+                                ) {
+                                    // Retiring mid-batch: account the rest
+                                    // of the drained batch before leaving.
+                                    for rest in batch.drain(..) {
+                                        drop_window(
+                                            &sessions,
+                                            rest.session,
+                                            &progress,
+                                            metrics.as_deref(),
+                                        );
+                                    }
+                                    break 'pool;
+                                }
                             }
                         }
                     }
@@ -761,6 +1108,12 @@ impl RuntimeBuilder {
                     last_allocs = allocs;
                     last_reuses = reuses;
                 }
+                if live.fetch_sub(1, Ordering::SeqCst) == 1 {
+                    classify.close();
+                    while let Some(m) = classify.try_pop() {
+                        drop_window(&sessions, m.session, &progress, metrics.as_deref());
+                    }
+                }
             }));
         }
 
@@ -773,11 +1126,27 @@ impl RuntimeBuilder {
             let smoothing = config.smoothing_window;
             let metrics = metrics.clone();
             let n_sessions = self.actuators.len();
+            let hook = fault_hook.clone();
             std::thread::spawn(move || {
                 let mut controllers: Vec<SystemController> = (0..n_sessions)
                     .map(|_| SystemController::new(policy.clone(), smoothing))
                     .collect();
                 while let Some(msg) = control.pop() {
+                    // Single-threaded stage: `Panic` degrades to a drop —
+                    // losing the only control worker would wedge the
+                    // pipeline rather than exercise recovery.
+                    if let Some(h) = &hook {
+                        match h.inject(Stage::Control, msg.session, msg.seq) {
+                            FaultAction::None => {}
+                            FaultAction::DelayNs(ns) => {
+                                std::thread::sleep(Duration::from_nanos(ns));
+                            }
+                            FaultAction::DropWindow | FaultAction::Panic => {
+                                drop_window(&sessions, msg.session, &progress, metrics.as_deref());
+                                continue;
+                            }
+                        }
+                    }
                     let span = metrics
                         .as_ref()
                         .map(|m| Span::enter(&m.control_latency, &*m.clock));
@@ -818,10 +1187,23 @@ impl RuntimeBuilder {
             let ok_streak_limit = config.ok_streak;
             let degraded_interval = config.degraded_interval;
             let initial_family = config.initial_family;
+            let hook = fault_hook.clone();
             std::thread::spawn(move || {
                 let mut miss_streaks = vec![0u32; actuators.len()];
                 let mut ok_streaks = vec![0u32; actuators.len()];
                 while let Some(msg) = actuate.pop() {
+                    if let Some(h) = &hook {
+                        match h.inject(Stage::Actuate, msg.session, msg.seq) {
+                            FaultAction::None => {}
+                            FaultAction::DelayNs(ns) => {
+                                std::thread::sleep(Duration::from_nanos(ns));
+                            }
+                            FaultAction::DropWindow | FaultAction::Panic => {
+                                drop_window(&sessions, msg.session, &progress, metrics.as_deref());
+                                continue;
+                            }
+                        }
+                    }
                     let span = metrics
                         .as_ref()
                         .map(|m| Span::enter(&m.actuate_latency, &*m.clock));
@@ -878,12 +1260,68 @@ impl RuntimeBuilder {
             })
         };
 
+        let watchdog_stop = Arc::new(AtomicBool::new(false));
+        let watchdog_worker = config.watchdog.map(|wcfg| {
+            let views: Vec<Box<dyn WatchedQueue>> = vec![
+                Box::new(WatchedRing {
+                    ring: Arc::clone(&ingest),
+                    session_of: |m: &IngestMsg| m.session,
+                }),
+                Box::new(WatchedRing {
+                    ring: Arc::clone(&classify),
+                    session_of: |m: &ClassifyMsg| m.session,
+                }),
+                Box::new(WatchedRing {
+                    ring: Arc::clone(&control),
+                    session_of: |m: &ControlMsg| m.session,
+                }),
+                Box::new(WatchedRing {
+                    ring: Arc::clone(&actuate),
+                    session_of: |m: &ActuateMsg| m.session,
+                }),
+            ];
+            let sessions = Arc::clone(&sessions);
+            let progress = Arc::clone(&progress);
+            let metrics = metrics.clone();
+            let faults = Arc::clone(&fault_counters);
+            let stop = Arc::clone(&watchdog_stop);
+            std::thread::spawn(move || {
+                // Per queue: pop count at the last poll, and how many
+                // consecutive polls it sat non-empty without popping.
+                let mut last: Vec<(u64, u32)> = vec![(0, 0); views.len()];
+                while !stop.load(Ordering::SeqCst) {
+                    std::thread::sleep(Duration::from_millis(wcfg.poll_ms));
+                    for (view, (last_popped, stalled)) in views.iter().zip(last.iter_mut()) {
+                        let popped = view.popped();
+                        if view.depth() > 0 && popped == *last_popped {
+                            *stalled += 1;
+                            if *stalled >= wcfg.stall_polls {
+                                *stalled = 0;
+                                for session in view.drain_sessions() {
+                                    faults.watchdog_sheds.fetch_add(1, Ordering::SeqCst);
+                                    if let Some(m) = &metrics {
+                                        m.watchdog_sheds.inc();
+                                    }
+                                    drop_window(&sessions, session, &progress, metrics.as_deref());
+                                }
+                            }
+                        } else {
+                            *stalled = 0;
+                        }
+                        *last_popped = popped;
+                    }
+                }
+            })
+        });
+
         Ok(Runtime {
             config,
             clock: self.clock,
             sessions,
             progress,
             metrics,
+            fault_hook,
+            fault_counters,
             ingest,
             classify,
             control,
@@ -893,6 +1331,8 @@ impl RuntimeBuilder {
             classify_workers,
             control_worker,
             actuate_worker,
+            watchdog_worker,
+            watchdog_stop,
         })
     }
 }
@@ -919,14 +1359,27 @@ fn degrade(state: &SessionState, degraded_interval: u32) -> bool {
 /// One recovery step: first restore the decision interval, then climb the
 /// model ladder one family at a time (never past the configured initial).
 /// Returns whether anything actually changed.
+///
+/// The classify circuit breaker rides on this machinery: while a session's
+/// breaker is open, a family upgrade is allowed but marks the breaker
+/// half-open — the upgraded window becomes the recovery *probe*. A probe
+/// that classifies cleanly closes the breaker; one that fails reopens it
+/// and re-pins the MLP floor. While a probe is in flight, no further
+/// upgrades happen.
 fn recover(state: &SessionState, initial_family: ClassifierKind) -> bool {
     if state.interval.load(Ordering::SeqCst) > 1 {
         state.interval.store(1, Ordering::SeqCst);
         state.recoveries.fetch_add(1, Ordering::SeqCst);
         return true;
     }
+    if state.breaker.load(Ordering::SeqCst) == BREAKER_HALF_OPEN {
+        return false;
+    }
     if let Some(richer) = state.family().upgrade() {
         if family_code(richer) <= family_code(initial_family) {
+            if state.breaker.load(Ordering::SeqCst) == BREAKER_OPEN {
+                state.breaker.store(BREAKER_HALF_OPEN, Ordering::SeqCst);
+            }
             state.family.store(family_code(richer), Ordering::SeqCst);
             state.recoveries.fetch_add(1, Ordering::SeqCst);
             return true;
@@ -947,6 +1400,106 @@ fn drop_window(
         m.dropped.inc();
     }
     progress.bump();
+}
+
+/// Books one caught worker panic: decides restart (with exponential
+/// backoff) versus retirement. Returns `true` when the worker should keep
+/// running, `false` when it exhausted its restart budget.
+fn survive_panic(
+    faults: &FaultCounters,
+    metrics: Option<&RtMetrics>,
+    supervision: &SupervisionConfig,
+    consecutive_panics: u32,
+    panics_survived: u32,
+) -> bool {
+    faults.worker_panics.fetch_add(1, Ordering::SeqCst);
+    if let Some(m) = metrics {
+        m.worker_panics.inc();
+    }
+    if panics_survived > supervision.restart_budget {
+        faults.workers_lost.fetch_add(1, Ordering::SeqCst);
+        if let Some(m) = metrics {
+            m.workers_lost.inc();
+        }
+        return false;
+    }
+    faults.worker_restarts.fetch_add(1, Ordering::SeqCst);
+    if let Some(m) = metrics {
+        m.worker_restarts.inc();
+    }
+    let backoff = supervision
+        .backoff_base_ms
+        .saturating_mul(1u64 << consecutive_panics.saturating_sub(1).min(16))
+        .min(supervision.backoff_max_ms);
+    if backoff > 0 {
+        std::thread::sleep(Duration::from_millis(backoff));
+    }
+    true
+}
+
+/// Books one classify failure against a session's circuit breaker,
+/// tripping it (family forced to MLP) after the configured streak.
+fn breaker_on_failure(
+    state: &SessionState,
+    threshold: u32,
+    faults: &FaultCounters,
+    metrics: Option<&RtMetrics>,
+) {
+    match state.breaker.load(Ordering::SeqCst) {
+        BREAKER_HALF_OPEN => {
+            // The recovery probe failed: reopen and re-pin the MLP floor.
+            state.breaker.store(BREAKER_OPEN, Ordering::SeqCst);
+            state
+                .family
+                .store(family_code(ClassifierKind::Mlp), Ordering::SeqCst);
+            faults.breaker_trips.fetch_add(1, Ordering::SeqCst);
+            if let Some(m) = metrics {
+                // The gauge still counts this breaker from the original
+                // trip (half-open is "open, probing"), so no `add` here.
+                m.breaker_trips.inc();
+            }
+        }
+        BREAKER_CLOSED => {
+            let failures = state.breaker_failures.fetch_add(1, Ordering::SeqCst) + 1;
+            if failures >= threshold {
+                state.breaker_failures.store(0, Ordering::SeqCst);
+                state.breaker.store(BREAKER_OPEN, Ordering::SeqCst);
+                // Trip straight to the floor of the fallback chain — no
+                // stepwise descent while the classifier is demonstrably
+                // broken.
+                state
+                    .family
+                    .store(family_code(ClassifierKind::Mlp), Ordering::SeqCst);
+                faults.breaker_trips.fetch_add(1, Ordering::SeqCst);
+                if let Some(m) = metrics {
+                    m.breaker_trips.inc();
+                    m.breakers_open.add(1);
+                }
+            }
+        }
+        _ => {} // already open: nothing below MLP to fall to
+    }
+}
+
+/// Books one classify success: closes a half-open breaker when the probe
+/// window (a richer-than-MLP family) came through.
+fn breaker_on_success(
+    state: &SessionState,
+    family: ClassifierKind,
+    faults: &FaultCounters,
+    metrics: Option<&RtMetrics>,
+) {
+    state.breaker_failures.store(0, Ordering::SeqCst);
+    if state.breaker.load(Ordering::SeqCst) == BREAKER_HALF_OPEN
+        && family_code(family) > family_code(ClassifierKind::Mlp)
+    {
+        state.breaker.store(BREAKER_CLOSED, Ordering::SeqCst);
+        faults.breaker_closes.fetch_add(1, Ordering::SeqCst);
+        if let Some(m) = metrics {
+            m.breaker_closes.inc();
+            m.breakers_open.sub(1);
+        }
+    }
 }
 
 /// Pushes a message downstream, translating every shed outcome into the
@@ -974,6 +1527,8 @@ pub struct Runtime {
     sessions: Arc<Vec<SessionState>>,
     progress: Arc<Progress>,
     metrics: Option<Arc<RtMetrics>>,
+    fault_hook: Option<Arc<dyn FaultHook>>,
+    fault_counters: Arc<FaultCounters>,
     ingest: Arc<Ring<IngestMsg>>,
     classify: Arc<Ring<ClassifyMsg>>,
     control: Arc<Ring<ControlMsg>>,
@@ -983,6 +1538,8 @@ pub struct Runtime {
     classify_workers: Vec<JoinHandle<()>>,
     control_worker: JoinHandle<()>,
     actuate_worker: JoinHandle<Vec<Box<dyn Actuator>>>,
+    watchdog_worker: Option<JoinHandle<()>>,
+    watchdog_stop: Arc<AtomicBool>,
 }
 
 impl Runtime {
@@ -1036,6 +1593,24 @@ impl Runtime {
                 self.metrics.as_deref(),
             );
             return false;
+        }
+        if let Some(h) = &self.fault_hook {
+            match h.inject(Stage::Ingest, session.0, seq) {
+                FaultAction::None => {}
+                FaultAction::DelayNs(ns) => std::thread::sleep(Duration::from_nanos(ns)),
+                // Panicking the *producer's* thread is never interesting;
+                // at ingest both destructive actions mean "the sensor
+                // dropped this window".
+                FaultAction::DropWindow | FaultAction::Panic => {
+                    drop_window(
+                        &self.sessions,
+                        session.0,
+                        &self.progress,
+                        self.metrics.as_deref(),
+                    );
+                    return false;
+                }
+            }
         }
         let msg = IngestMsg {
             session: session.0,
@@ -1101,12 +1676,19 @@ impl Runtime {
             &self.control,
             &self.actuate,
             &self.classify_counters,
+            &self.fault_counters,
         )
     }
 
     /// Stops accepting work, drains the pipeline stage by stage, joins all
     /// workers and returns the final report plus each session's actuator.
     pub fn shutdown(self) -> ShutdownOutcome {
+        // Stop the watchdog first so it cannot mistake the staged drain
+        // below for a stall and shed in-flight windows.
+        self.watchdog_stop.store(true, Ordering::SeqCst);
+        if let Some(watchdog) = self.watchdog_worker {
+            watchdog.join().expect("watchdog panicked");
+        }
         // Close upstream first and join before closing the next stage, so
         // in-flight windows drain instead of being cut off mid-pipeline.
         self.ingest.close();
@@ -1129,11 +1711,13 @@ impl Runtime {
             &self.control,
             &self.actuate,
             &self.classify_counters,
+            &self.fault_counters,
         );
         ShutdownOutcome { report, actuators }
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn snapshot_report(
     sessions: &[SessionState],
     ingest: &Ring<IngestMsg>,
@@ -1141,6 +1725,7 @@ fn snapshot_report(
     control: &Ring<ControlMsg>,
     actuate: &Ring<ActuateMsg>,
     classify_counters: &ClassifyCounters,
+    fault_counters: &FaultCounters,
 ) -> RuntimeReport {
     let sessions = sessions
         .iter()
@@ -1175,5 +1760,119 @@ fn snapshot_report(
             stage("actuate", actuate.snapshot(), actuate.capacity()),
         ],
         classify: classify_counters.snapshot(),
+        faults: fault_counters.snapshot(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state() -> SessionState {
+        SessionState::new(ClassifierKind::Lstm)
+    }
+
+    #[test]
+    fn breaker_trips_to_mlp_after_threshold_failures() {
+        let s = state();
+        let faults = FaultCounters::default();
+        breaker_on_failure(&s, 3, &faults, None);
+        breaker_on_failure(&s, 3, &faults, None);
+        assert_eq!(s.breaker.load(Ordering::SeqCst), BREAKER_CLOSED);
+        assert_eq!(s.family(), ClassifierKind::Lstm);
+        breaker_on_failure(&s, 3, &faults, None);
+        assert_eq!(s.breaker.load(Ordering::SeqCst), BREAKER_OPEN);
+        assert_eq!(s.family(), ClassifierKind::Mlp, "tripped straight to MLP");
+        assert_eq!(faults.breaker_trips.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn success_resets_the_failure_streak() {
+        let s = state();
+        let faults = FaultCounters::default();
+        breaker_on_failure(&s, 3, &faults, None);
+        breaker_on_failure(&s, 3, &faults, None);
+        breaker_on_success(&s, ClassifierKind::Lstm, &faults, None);
+        breaker_on_failure(&s, 3, &faults, None);
+        assert_eq!(s.breaker.load(Ordering::SeqCst), BREAKER_CLOSED);
+    }
+
+    #[test]
+    fn recovery_probe_closes_breaker_on_success() {
+        let s = state();
+        let faults = FaultCounters::default();
+        for _ in 0..3 {
+            breaker_on_failure(&s, 3, &faults, None);
+        }
+        assert_eq!(s.breaker.load(Ordering::SeqCst), BREAKER_OPEN);
+        // The ordinary recovery machinery launches the probe: the family
+        // upgrade marks the breaker half-open.
+        assert!(recover(&s, ClassifierKind::Lstm));
+        assert_eq!(s.breaker.load(Ordering::SeqCst), BREAKER_HALF_OPEN);
+        assert_eq!(s.family(), ClassifierKind::Cnn);
+        // No further upgrades while the probe is in flight.
+        assert!(!recover(&s, ClassifierKind::Lstm));
+        // MLP stragglers still in the pipe must not close the breaker…
+        breaker_on_success(&s, ClassifierKind::Mlp, &faults, None);
+        assert_eq!(s.breaker.load(Ordering::SeqCst), BREAKER_HALF_OPEN);
+        // …but the probe family succeeding does.
+        breaker_on_success(&s, ClassifierKind::Cnn, &faults, None);
+        assert_eq!(s.breaker.load(Ordering::SeqCst), BREAKER_CLOSED);
+        assert_eq!(faults.breaker_closes.load(Ordering::SeqCst), 1);
+        // With the breaker closed, recovery can continue up the ladder.
+        assert!(recover(&s, ClassifierKind::Lstm));
+        assert_eq!(s.family(), ClassifierKind::Lstm);
+    }
+
+    #[test]
+    fn failed_probe_reopens_and_repins_mlp() {
+        let s = state();
+        let faults = FaultCounters::default();
+        for _ in 0..3 {
+            breaker_on_failure(&s, 3, &faults, None);
+        }
+        assert!(recover(&s, ClassifierKind::Lstm));
+        assert_eq!(s.breaker.load(Ordering::SeqCst), BREAKER_HALF_OPEN);
+        breaker_on_failure(&s, 3, &faults, None);
+        assert_eq!(s.breaker.load(Ordering::SeqCst), BREAKER_OPEN);
+        assert_eq!(s.family(), ClassifierKind::Mlp);
+        assert_eq!(faults.breaker_trips.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn survive_panic_respects_budget_and_counts() {
+        let faults = FaultCounters::default();
+        let sup = SupervisionConfig {
+            restart_budget: 2,
+            backoff_base_ms: 0,
+            backoff_max_ms: 0,
+            breaker_threshold: 3,
+        };
+        assert!(survive_panic(&faults, None, &sup, 1, 1));
+        assert!(survive_panic(&faults, None, &sup, 2, 2));
+        assert!(!survive_panic(&faults, None, &sup, 3, 3));
+        assert_eq!(faults.worker_panics.load(Ordering::SeqCst), 3);
+        assert_eq!(faults.worker_restarts.load(Ordering::SeqCst), 2);
+        assert_eq!(faults.workers_lost.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn config_rejects_degenerate_supervision() {
+        let mut config = RuntimeConfig {
+            supervision: SupervisionConfig {
+                breaker_threshold: 0,
+                ..SupervisionConfig::default()
+            },
+            ..RuntimeConfig::default()
+        };
+        assert!(config.validate().is_err());
+        config.supervision = SupervisionConfig::default();
+        config.watchdog = Some(WatchdogConfig {
+            poll_ms: 0,
+            stall_polls: 4,
+        });
+        assert!(config.validate().is_err());
+        config.watchdog = Some(WatchdogConfig::default());
+        assert!(config.validate().is_ok());
     }
 }

@@ -213,6 +213,37 @@ impl ClassifyReport {
     }
 }
 
+/// Fault and recovery counters aggregated across the whole runtime: what
+/// went wrong (or was injected) and what the supervision layer did about
+/// it. All zeros on a healthy run with no fault hook attached.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultReport {
+    /// Worker panics caught by per-window supervision (injected + organic).
+    pub worker_panics: u64,
+    /// Panics the worker survived: it backed off and resumed its loop.
+    pub worker_restarts: u64,
+    /// Workers retired after exhausting their restart budget.
+    pub workers_lost: u64,
+    /// Windows refused at the feature stage for carrying non-finite
+    /// samples (NaN/∞ sensor faults) — each costs exactly one window.
+    pub rejected_windows: u64,
+    /// Windows force-drained from stalled queues by the watchdog.
+    pub watchdog_sheds: u64,
+    /// Times a session's classify circuit breaker tripped open (forcing
+    /// the MLP family until a recovery probe succeeds).
+    pub breaker_trips: u64,
+    /// Times a half-open probe succeeded and a breaker closed again.
+    pub breaker_closes: u64,
+}
+
+impl FaultReport {
+    /// `true` when nothing faulted and nothing was recovered — the shape
+    /// of a clean run.
+    pub fn is_quiet(&self) -> bool {
+        *self == FaultReport::default()
+    }
+}
+
 /// Everything the runtime knows about a run: per-session accounting and
 /// per-stage queue behaviour.
 #[derive(Debug, Clone)]
@@ -223,6 +254,8 @@ pub struct RuntimeReport {
     pub stages: Vec<StageReport>,
     /// Classify-stage batching and scratch-arena counters.
     pub classify: ClassifyReport,
+    /// Fault and supervision counters (all zero on a healthy run).
+    pub faults: FaultReport,
 }
 
 impl RuntimeReport {

@@ -20,6 +20,7 @@ fn bench_sweep(c: &mut Criterion) {
             let mut decoder = Decoder::new(DecoderOptions {
                 deblock: true,
                 selector: Some(SelectorParams::new(s_th, f).unwrap()),
+                resilient: false,
             });
             let out = decoder.decode(&stream).unwrap();
             let psnr = mean_psnr(&frames, &out.frames).unwrap();
@@ -38,6 +39,7 @@ fn bench_sweep(c: &mut Criterion) {
                 let mut decoder = Decoder::new(DecoderOptions {
                     deblock: true,
                     selector: Some(SelectorParams::new(s_th, 1).unwrap()),
+                    resilient: false,
                 });
                 decoder.decode(black_box(s)).unwrap()
             });

@@ -16,6 +16,14 @@ pub enum BiosignalError {
     },
     /// A requested time range was empty or inverted.
     InvalidTimeRange,
+    /// An ingested sample window contained a non-finite or out-of-range
+    /// value — a sensor fault, not a configuration error.
+    InvalidSample {
+        /// Index of the first offending sample within the window.
+        index: usize,
+        /// What was wrong with it (`"non-finite"` or `"out of range"`).
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for BiosignalError {
@@ -25,6 +33,9 @@ impl fmt::Display for BiosignalError {
                 write!(f, "invalid parameter `{name}`: {reason}")
             }
             BiosignalError::InvalidTimeRange => write!(f, "invalid time range"),
+            BiosignalError::InvalidSample { index, reason } => {
+                write!(f, "invalid sample at index {index}: {reason}")
+            }
         }
     }
 }

@@ -41,7 +41,7 @@ pub mod uulmmac;
 pub mod voice;
 
 pub use error::BiosignalError;
-pub use stream::{LabeledWindow, VoiceWindowStream};
+pub use stream::{validate_samples, LabeledWindow, VoiceWindowStream, MAX_ABS_SAMPLE};
 pub use types::SampledSignal;
 pub use uulmmac::UulmmacSession;
 pub use voice::{synthesize_utterance, UtteranceParams};

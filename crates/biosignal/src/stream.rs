@@ -11,6 +11,51 @@ use crate::voice::{synthesize_utterance, UtteranceParams};
 use crate::BiosignalError;
 use affect_core::emotion::Emotion;
 
+/// Largest sample magnitude accepted by [`validate_samples`]. The synthetic
+/// voice path emits normalized samples well inside `[-1, 1]`; the bound
+/// leaves generous headroom for real sensor front ends while still catching
+/// saturation faults (rails pinned at huge values) and unit mix-ups.
+pub const MAX_ABS_SAMPLE: f32 = 16.0;
+
+/// Validates one ingested sample window: every sample must be finite and
+/// within `±`[`MAX_ABS_SAMPLE`].
+///
+/// This is the runtime's sensor-fault gate: a NaN burst or a saturated
+/// window is rejected *here*, as a typed error that costs one window, rather
+/// than propagating NaN through the feature extractor and poisoning the
+/// classifier state for the rest of the session.
+///
+/// # Errors
+///
+/// Returns [`BiosignalError::InvalidSample`] naming the first offending
+/// index with reason `"non-finite"` (NaN or ±∞) or `"out of range"`.
+///
+/// # Example
+///
+/// ```
+/// use biosignal::stream::validate_samples;
+///
+/// assert!(validate_samples(&[0.0, 0.5, -0.5]).is_ok());
+/// assert!(validate_samples(&[0.0, f32::NAN]).is_err());
+/// ```
+pub fn validate_samples(samples: &[f32]) -> Result<(), BiosignalError> {
+    for (index, &s) in samples.iter().enumerate() {
+        if !s.is_finite() {
+            return Err(BiosignalError::InvalidSample {
+                index,
+                reason: "non-finite",
+            });
+        }
+        if s.abs() > MAX_ABS_SAMPLE {
+            return Err(BiosignalError::InvalidSample {
+                index,
+                reason: "out of range",
+            });
+        }
+    }
+    Ok(())
+}
+
 /// One window emitted by a [`VoiceWindowStream`].
 #[derive(Debug, Clone)]
 pub struct LabeledWindow {
@@ -232,6 +277,37 @@ mod tests {
         s.next();
         assert_eq!(s.size_hint(), (0, Some(0)));
         assert!(s.next().is_none());
+    }
+
+    #[test]
+    fn validate_samples_accepts_synthesized_windows() {
+        for w in VoiceWindowStream::new(vec![(Emotion::Angry, 3)], 1024, 16_000.0, 9).unwrap() {
+            validate_samples(&w.samples).unwrap();
+        }
+    }
+
+    #[test]
+    fn validate_samples_rejects_nan_inf_and_saturation() {
+        let nan = validate_samples(&[0.0, 0.1, f32::NAN, 0.2]).unwrap_err();
+        assert_eq!(
+            nan,
+            BiosignalError::InvalidSample {
+                index: 2,
+                reason: "non-finite"
+            }
+        );
+        assert!(validate_samples(&[f32::INFINITY]).is_err());
+        assert!(validate_samples(&[f32::NEG_INFINITY]).is_err());
+        let sat = validate_samples(&[0.0, MAX_ABS_SAMPLE * 2.0]).unwrap_err();
+        assert_eq!(
+            sat,
+            BiosignalError::InvalidSample {
+                index: 1,
+                reason: "out of range"
+            }
+        );
+        // Boundary value itself is accepted.
+        validate_samples(&[MAX_ABS_SAMPLE, -MAX_ABS_SAMPLE]).unwrap();
     }
 
     #[test]

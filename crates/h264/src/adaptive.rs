@@ -46,18 +46,22 @@ pub fn options_for_mode(mode: VideoPowerMode) -> DecoderOptions {
         VideoPowerMode::Standard => DecoderOptions {
             deblock: true,
             selector: None,
+            resilient: false,
         },
         VideoPowerMode::NalDeletion => DecoderOptions {
             deblock: true,
             selector: Some(SelectorParams::PAPER),
+            resilient: false,
         },
         VideoPowerMode::DeblockOff => DecoderOptions {
             deblock: false,
             selector: None,
+            resilient: false,
         },
         VideoPowerMode::Combined => DecoderOptions {
             deblock: false,
             selector: Some(SelectorParams::PAPER),
+            resilient: false,
         },
     }
 }
@@ -232,6 +236,7 @@ pub fn adaptive_playback(
 pub struct ModeSwitchDriver {
     options: DecoderOptions,
     mode: VideoPowerMode,
+    resilient: bool,
     switches: usize,
     metrics: Option<DriverMetrics>,
 }
@@ -248,6 +253,9 @@ struct DriverMetrics {
     nal_deleted: Arc<Counter>,
     iqit_blocks: Arc<Counter>,
     deblock_edges: Arc<Counter>,
+    damaged_units: Arc<Counter>,
+    concealed_frames: Arc<Counter>,
+    resyncs: Arc<Counter>,
 }
 
 impl ModeSwitchDriver {
@@ -256,9 +264,24 @@ impl ModeSwitchDriver {
         Self {
             options: options_for_mode(initial),
             mode: initial,
+            resilient: false,
             switches: 0,
             metrics: None,
         }
+    }
+
+    /// Turns error resilience on or off for subsequent segments: damaged
+    /// slice units are concealed (last good frame held) and decoding
+    /// resynchronizes at the next intact IDR instead of failing the
+    /// segment. The setting survives mode switches.
+    pub fn set_resilient(&mut self, resilient: bool) {
+        self.resilient = resilient;
+        self.options.resilient = resilient;
+    }
+
+    /// Whether error resilience is currently on.
+    pub fn resilient(&self) -> bool {
+        self.resilient
     }
 
     /// Registers the driver's `h264_*` series with `registry` and keeps
@@ -302,6 +325,21 @@ impl ModeSwitchDriver {
                 "deblocking edges examined",
                 &[],
             ),
+            damaged_units: registry.counter(
+                "h264_damaged_units_total",
+                "slice NAL units that failed to decode and were concealed",
+                &[],
+            ),
+            concealed_frames: registry.counter(
+                "h264_concealed_frames_total",
+                "frames emitted as last-good-frame repeats after damage",
+                &[],
+            ),
+            resyncs: registry.counter(
+                "h264_resyncs_total",
+                "times decoding resynchronized at an intact IDR after damage",
+                &[],
+            ),
         });
     }
 
@@ -324,6 +362,7 @@ impl ModeSwitchDriver {
         let deblock_before = self.options.deblock;
         self.mode = mode;
         self.options = options_for_mode(mode);
+        self.options.resilient = self.resilient;
         self.switches += 1;
         if let Some(m) = &self.metrics {
             m.mode_switches.inc();
@@ -351,6 +390,9 @@ impl ModeSwitchDriver {
             m.nal_deleted.add(out.selection.deleted_units as u64);
             m.iqit_blocks.add(out.activity.iqit_blocks);
             m.deblock_edges.add(out.activity.deblock_edges);
+            m.damaged_units.add(out.resilience.damaged_units);
+            m.concealed_frames.add(out.resilience.concealed_frames);
+            m.resyncs.add(out.resilience.resyncs);
         }
         Ok(out)
     }
@@ -377,6 +419,7 @@ mod tests {
             DecoderOptions {
                 deblock: false,
                 selector: Some(SelectorParams::PAPER),
+                resilient: false,
             }
         );
         assert_eq!(

@@ -109,13 +109,20 @@ pub fn encode_block(writer: &mut BitWriter, zz_levels: &[i32; 16], context: usiz
     }
 }
 
+/// The widest coefficient level a well-formed stream can carry; bounding
+/// decoded levels here keeps every downstream dequantize/IDCT sum inside
+/// `i32` (a corrupt stream can otherwise code a level near `i32::MAX` and
+/// overflow the integer transform in debug builds).
+pub const MAX_LEVEL: i32 = 32_767;
+
 /// Decodes one block; returns the zigzag-ordered levels and the number of
 /// VLC symbols consumed (the module's activity metric).
 ///
 /// # Errors
 ///
-/// Returns [`CodecError::UnexpectedEndOfStream`] on truncation and
-/// [`CodecError::InvalidSyntax`] for impossible counts/runs.
+/// Returns [`CodecError::BitstreamExhausted`] on truncation and
+/// [`CodecError::InvalidSyntax`] for impossible counts, runs past the
+/// block, or levels outside `±`[`MAX_LEVEL`].
 pub fn decode_block(
     reader: &mut BitReader<'_>,
     context: usize,
@@ -130,11 +137,21 @@ pub fn decode_block(
     let mut position: i32 = 15;
     for k in 0..total {
         let level = reader.read_se()?;
-        let run = reader.read_ue()? as i32;
+        let run = reader.read_ue()?;
         symbols += 2;
         if level == 0 {
             return Err(CodecError::InvalidSyntax("zero level in cavlc"));
         }
+        if level.unsigned_abs() > MAX_LEVEL as u32 {
+            return Err(CodecError::InvalidSyntax("cavlc level out of range"));
+        }
+        // A run can never reach past the 16-coefficient block; reject
+        // before the `as i32` cast so a huge ue() can't wrap negative and
+        // walk `position` out of bounds.
+        if run > 15 {
+            return Err(CodecError::InvalidSyntax("cavlc run out of range"));
+        }
+        let run = run as i32;
         position -= if k == 0 { run } else { run + 1 };
         if position < 0 {
             return Err(CodecError::InvalidSyntax("cavlc run underflow"));
@@ -253,6 +270,63 @@ mod tests {
             let mut r = BitReader::new(&bytes[..1]);
             assert!(decode_block(&mut r, 0).is_err());
         }
+    }
+
+    #[test]
+    fn huge_run_rejected_not_panicking() {
+        // A corrupt stream can code a run whose u32 value wraps negative
+        // when cast to i32; before the range check this walked `position`
+        // past the end of the block and indexed out of bounds.
+        let mut w = BitWriter::new();
+        w.write_ue(symbol_for(1, 0)); // total_coeffs = 1
+        w.write_se(3); // level
+        w.write_ue(0x8000_0000); // run: wraps negative as i32
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(
+            decode_block(&mut r, 0),
+            Err(CodecError::InvalidSyntax("cavlc run out of range"))
+        );
+    }
+
+    #[test]
+    fn moderately_large_run_still_rejected() {
+        // Positive as i32 but > 15: can't fit a 4x4 block.
+        let mut w = BitWriter::new();
+        w.write_ue(symbol_for(1, 0));
+        w.write_se(-1);
+        w.write_ue(16);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(
+            decode_block(&mut r, 0),
+            Err(CodecError::InvalidSyntax("cavlc run out of range"))
+        );
+    }
+
+    #[test]
+    fn oversized_level_rejected() {
+        // Levels beyond ±MAX_LEVEL would overflow the inverse transform's
+        // i32 arithmetic downstream; the decoder rejects them at the VLC.
+        let mut w = BitWriter::new();
+        w.write_ue(symbol_for(1, 0));
+        w.write_se(MAX_LEVEL + 1);
+        w.write_ue(0);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(
+            decode_block(&mut r, 0),
+            Err(CodecError::InvalidSyntax("cavlc level out of range"))
+        );
+        // The boundary value itself is legal.
+        let mut w = BitWriter::new();
+        w.write_ue(symbol_for(1, 0));
+        w.write_se(MAX_LEVEL);
+        w.write_ue(0);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        let (block, _) = decode_block(&mut r, 0).unwrap();
+        assert_eq!(block[15], MAX_LEVEL);
     }
 
     #[test]

@@ -50,7 +50,8 @@ impl Activity {
     }
 }
 
-/// Decoder configuration: the two power knobs of the paper.
+/// Decoder configuration: the two power knobs of the paper plus the
+/// error-resilience switch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DecoderOptions {
     /// Run the in-loop deblocking filter (knob 1; `false` = the paper's
@@ -59,6 +60,13 @@ pub struct DecoderOptions {
     /// Input Selector parameters (knob 2; `Some(S_th, f)` deletes small
     /// P/B NAL units).
     pub selector: Option<SelectorParams>,
+    /// Conceal damaged slice NAL units instead of failing the whole
+    /// decode: a slice that parses to a typed error is replaced by a
+    /// repeat of the last good frame, and prediction resumes only at the
+    /// next intact IDR (the resynchronization point). A damaged or
+    /// missing SPS still fails — without dimensions there is nothing to
+    /// conceal with.
+    pub resilient: bool,
 }
 
 impl Default for DecoderOptions {
@@ -66,7 +74,30 @@ impl Default for DecoderOptions {
         Self {
             deblock: true,
             selector: None,
+            resilient: false,
         }
+    }
+}
+
+/// What error resilience did during one decode (all zero when the stream
+/// was intact or [`DecoderOptions::resilient`] was off).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResilienceReport {
+    /// Slice NAL units that failed to parse/decode and were concealed.
+    pub damaged_units: u64,
+    /// Frames emitted as repeats of the last good frame because their
+    /// slice was damaged or arrived while awaiting an IDR resync.
+    pub concealed_frames: u64,
+    /// Times decoding resynchronized at an intact IDR after damage.
+    pub resyncs: u64,
+}
+
+impl ResilienceReport {
+    /// Adds another report into this one (segment aggregation).
+    pub fn merge(&mut self, other: &ResilienceReport) {
+        self.damaged_units += other.damaged_units;
+        self.concealed_frames += other.concealed_frames;
+        self.resyncs += other.resyncs;
     }
 }
 
@@ -83,6 +114,8 @@ pub struct DecodeOutput {
     pub selection: SelectionReport,
     /// Buffer front-end statistics.
     pub buffer: BufferStats,
+    /// Error-concealment counters (all zero for intact streams).
+    pub resilience: ResilienceReport,
 }
 
 /// The decoder. See the crate-level example.
@@ -196,13 +229,22 @@ impl Decoder {
         activity.parser_bits += r.bits_read() as u64;
         // Sanity bounds defend against corrupted streams requesting
         // pathological allocations (a fuzzer's favourite trick).
-        const MAX_MBS: usize = 1024; // 16384 pixels per side
+        const MAX_MBS: usize = 256; // 4096 pixels per side
         const MAX_FRAMES: usize = 100_000;
+        // Total emitted luma samples (frames × pixels) stay under a hard
+        // memory/time budget, so a corrupt SPS can't combine a plausible
+        // frame size with a huge frame count into an unbounded decode.
+        const MAX_TOTAL_SAMPLES: u64 = 1 << 27; // 128 M samples
         if qp > 51 || mb_cols == 0 || mb_rows == 0 || mb_cols > MAX_MBS || mb_rows > MAX_MBS {
             return Err(CodecError::InvalidSyntax("sps parameters out of range"));
         }
         if total_frames > MAX_FRAMES {
             return Err(CodecError::InvalidSyntax("implausible frame count"));
+        }
+        let samples =
+            (mb_cols * MB_SIZE) as u64 * (mb_rows * MB_SIZE) as u64 * total_frames.max(1) as u64;
+        if samples > MAX_TOTAL_SAMPLES {
+            return Err(CodecError::InvalidSyntax("stream exceeds decode budget"));
         }
         let qp = qp as u8;
         let (width, height) = (mb_cols * MB_SIZE, mb_rows * MB_SIZE);
@@ -215,12 +257,33 @@ impl Decoder {
         let mut frames: Vec<Rc<Frame>> = Vec::with_capacity(total_frames);
         let mut refs: Vec<Rc<Frame>> = Vec::new();
 
+        let resilient = self.options.resilient;
+        let mut resilience = ResilienceReport::default();
+        // Set after damage: predicted slices are concealed (their
+        // references may be corrupt) until the next intact IDR resyncs.
+        let mut awaiting_idr = false;
+
         for unit in slices {
             let mut reader = BitReader::new(&unit.payload);
-            let frame_num = reader.read_ue()? as usize;
-            if frame_num >= total_frames.max(1) + 16 {
-                return Err(CodecError::InvalidSyntax("frame number out of range"));
-            }
+            let header = reader.read_ue().map(|v| v as usize).and_then(|n| {
+                if n >= total_frames.max(1) + 16 {
+                    Err(CodecError::InvalidSyntax("frame number out of range"))
+                } else {
+                    Ok(n)
+                }
+            });
+            let frame_num = match header {
+                Ok(n) => n,
+                Err(_) if resilient => {
+                    // Unplaceable damage: no trustworthy frame_num, so
+                    // nothing to conceal into — count it and wait for the
+                    // resync point (tail concealment keeps the count).
+                    resilience.damaged_units += 1;
+                    awaiting_idr = true;
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
 
             // Conceal frames whose NAL units were deleted: repeat the last
             // emitted frame (or black if nothing decoded yet).
@@ -232,8 +295,37 @@ impl Decoder {
                 frames.push(concealed);
                 activity.frames += 1;
             }
+            let place = |frames: &mut Vec<Rc<Frame>>, frame: Rc<Frame>| {
+                if frames.len() == frame_num {
+                    frames.push(frame);
+                } else {
+                    // Out-of-order or duplicate frame_num: overwrite.
+                    frames[frame_num] = frame;
+                }
+            };
+            let conceal = |frames: &mut Vec<Rc<Frame>>| -> Result<Rc<Frame>, CodecError> {
+                Ok(match frames.last() {
+                    Some(last) => Rc::clone(last),
+                    None => Rc::new(Frame::new(width, height)?),
+                })
+            };
 
-            let decoded = Rc::new(self.decode_slice(
+            if awaiting_idr && unit.nal_type != NalType::IdrSlice {
+                // Still between the damage and its resync point: hold the
+                // last good frame rather than predict from corrupt state.
+                let held = conceal(&mut frames)?;
+                place(&mut frames, held);
+                resilience.concealed_frames += 1;
+                activity.frames += 1;
+                continue;
+            }
+            let resyncing = awaiting_idr && unit.nal_type == NalType::IdrSlice;
+            if resyncing {
+                // IDR semantics: the reference list restarts from scratch.
+                refs.clear();
+            }
+
+            match self.decode_slice(
                 unit.nal_type,
                 &mut reader,
                 width,
@@ -241,22 +333,36 @@ impl Decoder {
                 qp,
                 &refs,
                 &mut activity,
-            )?);
-            activity.parser_bits += reader.bits_read() as u64;
-
-            if unit.nal_type != NalType::BSlice {
-                refs.push(Rc::clone(&decoded));
-                if refs.len() > 2 {
-                    refs.remove(0);
+            ) {
+                Ok(frame) => {
+                    let decoded = Rc::new(frame);
+                    activity.parser_bits += reader.bits_read() as u64;
+                    if resyncing {
+                        resilience.resyncs += 1;
+                        awaiting_idr = false;
+                    }
+                    if unit.nal_type != NalType::BSlice {
+                        refs.push(Rc::clone(&decoded));
+                        if refs.len() > 2 {
+                            refs.remove(0);
+                        }
+                    }
+                    place(&mut frames, decoded);
+                    activity.frames += 1;
                 }
+                Err(_) if resilient => {
+                    // Damaged slice: conceal its slot and wait for an IDR
+                    // (a damaged IDR cannot resync either — its pixels are
+                    // not trustworthy).
+                    resilience.damaged_units += 1;
+                    awaiting_idr = true;
+                    let held = conceal(&mut frames)?;
+                    place(&mut frames, held);
+                    resilience.concealed_frames += 1;
+                    activity.frames += 1;
+                }
+                Err(e) => return Err(e),
             }
-            if frames.len() == frame_num {
-                frames.push(decoded);
-            } else {
-                // Out-of-order or duplicate frame_num: overwrite concealment.
-                frames[frame_num] = decoded;
-            }
-            activity.frames += 1;
         }
 
         // Conceal a deleted tail.
@@ -283,6 +389,7 @@ impl Decoder {
             activity,
             selection,
             buffer,
+            resilience,
         })
     }
 
@@ -615,6 +722,7 @@ mod tests {
         let off = Decoder::new(DecoderOptions {
             deblock: false,
             selector: None,
+            resilient: false,
         })
         .decode(&stream)
         .unwrap();
@@ -631,6 +739,7 @@ mod tests {
         let mut dec = Decoder::new(DecoderOptions {
             deblock: true,
             selector: Some(SelectorParams::PAPER),
+            resilient: false,
         });
         let out = dec.decode(&stream).unwrap();
         assert_eq!(out.frames.len(), frames.len());
@@ -647,6 +756,7 @@ mod tests {
         let pruned = Decoder::new(DecoderOptions {
             deblock: true,
             selector: Some(SelectorParams { s_th: 4000, f: 1 }),
+            resilient: false,
         })
         .decode(&stream)
         .unwrap();
@@ -682,6 +792,133 @@ mod tests {
         fn assert_send<T: Send>() {}
         assert_send::<Decoder>();
         assert_send::<DecodeOutput>();
+    }
+
+    /// Encodes a P-only clip (no B frames) so post-IDR decode depends only
+    /// on post-IDR state, making resync output bit-comparable.
+    fn encode_p_only(n: usize, intra_period: usize) -> (Vec<Frame>, Vec<u8>) {
+        let frames = synthetic_clip(48, 48, n, 9).unwrap();
+        let enc = Encoder::new(EncoderConfig {
+            qp: 26,
+            gop: GopPattern {
+                intra_period,
+                b_between: 0,
+            },
+            ..EncoderConfig::default()
+        })
+        .unwrap();
+        let stream = enc.encode(&frames).unwrap();
+        (frames, stream)
+    }
+
+    #[test]
+    fn damaged_p_slice_fails_strict_but_conceals_resilient() {
+        let (_, stream) = encode_p_only(12, 4);
+        let mut units = split_annex_b(&stream).unwrap();
+        // Corrupt the first P slice after the first IDR by truncating its
+        // payload mid-macroblock.
+        let victim = units
+            .iter()
+            .position(|u| u.nal_type == NalType::PSlice)
+            .expect("clip has P slices");
+        units[victim].payload.truncate(2);
+        let damaged = write_annex_b(&units);
+
+        let strict = Decoder::new(DecoderOptions::default()).decode(&damaged);
+        assert!(strict.is_err(), "strict decode must surface the damage");
+
+        let out = Decoder::new(DecoderOptions {
+            resilient: true,
+            ..DecoderOptions::default()
+        })
+        .decode(&damaged)
+        .unwrap();
+        assert_eq!(out.frames.len(), 12, "frame count preserved");
+        assert!(out.resilience.damaged_units >= 1);
+        assert!(out.resilience.concealed_frames >= 1);
+        assert_eq!(out.resilience.resyncs, 1, "one resync at the next IDR");
+    }
+
+    #[test]
+    fn resilient_decode_resumes_bit_exact_after_idr() {
+        let (_, stream) = encode_p_only(12, 4);
+        let clean = Decoder::new(DecoderOptions::default())
+            .decode(&stream)
+            .unwrap();
+        let mut units = split_annex_b(&stream).unwrap();
+        let victim = units
+            .iter()
+            .position(|u| u.nal_type == NalType::PSlice)
+            .unwrap();
+        // Bit-flip damage (not truncation): the slice decodes to garbage
+        // or errors; either way output must resync at the next IDR.
+        for b in units[victim].payload.iter_mut() {
+            *b ^= 0xA5;
+        }
+        let damaged = write_annex_b(&units);
+        let out = Decoder::new(DecoderOptions {
+            resilient: true,
+            ..DecoderOptions::default()
+        })
+        .decode(&damaged);
+        // A bit-flipped slice may still parse by luck; only a decode error
+        // triggers concealment. Both outcomes must keep all frames.
+        let out = out.unwrap();
+        assert_eq!(out.frames.len(), clean.frames.len());
+        // Frames from the second IDR (frame 4, intra_period 4) onward must
+        // be bit-identical to the clean decode: the resync point.
+        for (i, (got, want)) in out.frames.iter().zip(&clean.frames).enumerate().skip(4) {
+            assert_eq!(got, want, "frame {i} differs after resync");
+        }
+    }
+
+    #[test]
+    fn resilient_decode_of_intact_stream_reports_nothing() {
+        let (_, stream) = encode_clip(28, 6);
+        let out = Decoder::new(DecoderOptions {
+            resilient: true,
+            ..DecoderOptions::default()
+        })
+        .decode(&stream)
+        .unwrap();
+        assert_eq!(out.resilience, ResilienceReport::default());
+    }
+
+    #[test]
+    fn resilient_mode_still_rejects_damaged_sps() {
+        let (_, stream) = encode_clip(28, 4);
+        let mut units = split_annex_b(&stream).unwrap();
+        assert_eq!(units[0].nal_type, NalType::Sps);
+        units[0].payload.clear();
+        units[0].payload.push(0x00); // all prefix zeros: truncated ue
+        let damaged = write_annex_b(&units);
+        let err = Decoder::new(DecoderOptions {
+            resilient: true,
+            ..DecoderOptions::default()
+        })
+        .decode(&damaged)
+        .expect_err("no dimensions to conceal with");
+        assert!(err.is_truncation() || matches!(err, CodecError::InvalidSyntax(_)));
+    }
+
+    #[test]
+    fn decode_budget_rejects_pathological_sps() {
+        use crate::expgolomb::BitWriter;
+        // 256×256 MBs (4096² pixels) × 100 frames = 1.6 G samples > budget.
+        let mut w = BitWriter::new();
+        w.write_ue(256);
+        w.write_ue(256);
+        w.write_ue(30);
+        w.write_ue(100);
+        let sps = NalUnit::new(NalType::Sps, w.into_bytes());
+        let stream = write_annex_b(&[sps]);
+        let err = Decoder::new(DecoderOptions::default())
+            .decode(&stream)
+            .expect_err("budget must reject");
+        assert_eq!(
+            err,
+            CodecError::InvalidSyntax("stream exceeds decode budget")
+        );
     }
 
     #[test]

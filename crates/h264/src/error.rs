@@ -16,6 +16,13 @@ pub enum CodecError {
     },
     /// The bitstream ended in the middle of a syntax element.
     UnexpectedEndOfStream,
+    /// A read reached past the end of the bitstream. Carries the bit
+    /// position at which the reader ran dry, so truncation reports can
+    /// say exactly where the stream was cut.
+    BitstreamExhausted {
+        /// Bit offset of the failed read.
+        bit_pos: usize,
+    },
     /// A syntax element held an impossible value.
     InvalidSyntax(&'static str),
     /// The bitstream referenced a frame that was never decoded (e.g. the
@@ -37,6 +44,9 @@ impl fmt::Display for CodecError {
                 write!(f, "invalid parameter `{name}`: {reason}")
             }
             CodecError::UnexpectedEndOfStream => write!(f, "unexpected end of bitstream"),
+            CodecError::BitstreamExhausted { bit_pos } => {
+                write!(f, "bitstream exhausted at bit {bit_pos}")
+            }
             CodecError::InvalidSyntax(what) => write!(f, "invalid syntax element: {what}"),
             CodecError::MissingReference => write!(f, "reference frame missing"),
             CodecError::BadDimensions { width, height } => {
@@ -48,6 +58,24 @@ impl fmt::Display for CodecError {
 
 impl Error for CodecError {}
 
+/// Alias emphasising that every decoder failure is a typed value — a
+/// malformed bitstream can only ever surface as an `Err(H264Error)`,
+/// never a panic or a hang.
+pub type H264Error = CodecError;
+
+impl CodecError {
+    /// `true` when the error means the bitstream ran out mid-element
+    /// (either legacy [`CodecError::UnexpectedEndOfStream`] or positional
+    /// [`CodecError::BitstreamExhausted`]) — the signal the resilient
+    /// driver uses to wait for the next IDR.
+    pub fn is_truncation(&self) -> bool {
+        matches!(
+            self,
+            CodecError::UnexpectedEndOfStream | CodecError::BitstreamExhausted { .. }
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -56,6 +84,15 @@ mod tests {
     fn error_is_send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<CodecError>();
+    }
+
+    #[test]
+    fn truncation_predicate_covers_both_variants() {
+        assert!(CodecError::UnexpectedEndOfStream.is_truncation());
+        assert!(CodecError::BitstreamExhausted { bit_pos: 17 }.is_truncation());
+        assert!(!CodecError::MissingReference.is_truncation());
+        let e = CodecError::BitstreamExhausted { bit_pos: 42 };
+        assert!(e.to_string().contains("bit 42"));
     }
 
     #[test]

@@ -119,10 +119,12 @@ impl<'a> BitReader<'a> {
     ///
     /// # Errors
     ///
-    /// Returns [`CodecError::UnexpectedEndOfStream`] at end of data.
+    /// Returns [`CodecError::BitstreamExhausted`] at end of data, carrying
+    /// the bit position where the stream ran dry — reads past the end are
+    /// always a typed error, never silent zero-fill.
     pub fn read_bit(&mut self) -> Result<bool, CodecError> {
         if self.pos >= self.bytes.len() * 8 {
-            return Err(CodecError::UnexpectedEndOfStream);
+            return Err(CodecError::BitstreamExhausted { bit_pos: self.pos });
         }
         let byte = self.bytes[self.pos / 8];
         let bit = (byte >> (7 - (self.pos % 8))) & 1;
@@ -134,7 +136,7 @@ impl<'a> BitReader<'a> {
     ///
     /// # Errors
     ///
-    /// Returns [`CodecError::UnexpectedEndOfStream`] when fewer remain.
+    /// Returns [`CodecError::BitstreamExhausted`] when fewer remain.
     pub fn read_bits(&mut self, n: u8) -> Result<u32, CodecError> {
         let mut v = 0u32;
         for _ in 0..n {
@@ -147,7 +149,7 @@ impl<'a> BitReader<'a> {
     ///
     /// # Errors
     ///
-    /// Returns [`CodecError::UnexpectedEndOfStream`] on truncation and
+    /// Returns [`CodecError::BitstreamExhausted`] on truncation and
     /// [`CodecError::InvalidSyntax`] for a prefix longer than 31 bits.
     pub fn read_ue(&mut self) -> Result<u32, CodecError> {
         let mut zeros = 0u8;
@@ -237,7 +239,68 @@ mod tests {
         let mut r = BitReader::new(&[0b0000_0000]); // all prefix zeros
         assert!(r.read_ue().is_err());
         let mut r = BitReader::new(&[]);
-        assert_eq!(r.read_bit(), Err(CodecError::UnexpectedEndOfStream));
+        assert_eq!(
+            r.read_bit(),
+            Err(CodecError::BitstreamExhausted { bit_pos: 0 })
+        );
+    }
+
+    #[test]
+    fn exhaustion_at_exact_byte_boundary() {
+        // 8 good bits, then the very next read must fail with the exact
+        // position — not zero-fill, not wrap.
+        let mut r = BitReader::new(&[0xFF]);
+        assert_eq!(r.read_bits(8).unwrap(), 0xFF);
+        assert_eq!(r.remaining_bits(), 0);
+        assert_eq!(
+            r.read_bit(),
+            Err(CodecError::BitstreamExhausted { bit_pos: 8 })
+        );
+        // The failed read must not advance the position.
+        assert_eq!(r.bits_read(), 8);
+        assert_eq!(
+            r.read_bit(),
+            Err(CodecError::BitstreamExhausted { bit_pos: 8 })
+        );
+    }
+
+    #[test]
+    fn multibit_read_straddling_the_end_errors() {
+        // 12 bits available; a 13-bit read must fail partway with the
+        // position of the first missing bit.
+        let mut r = BitReader::new(&[0xAB, 0xCD]);
+        assert_eq!(r.read_bits(4).unwrap(), 0xA);
+        assert_eq!(
+            r.read_bits(13),
+            Err(CodecError::BitstreamExhausted { bit_pos: 16 })
+        );
+    }
+
+    #[test]
+    fn ue_truncated_at_every_prefix_cut() {
+        // ue(127) = 0000000 1 0000000 (15 bits). Cutting the buffer at any
+        // byte boundary shorter than the full code must yield a typed
+        // truncation error, never a bogus value.
+        let mut w = BitWriter::new();
+        w.write_ue(127);
+        let bytes = w.into_bytes();
+        assert!(bytes.len() >= 2);
+        for cut in 0..bytes.len() - 1 {
+            let mut r = BitReader::new(&bytes[..cut]);
+            let err = r.read_ue().expect_err("cut stream must error");
+            assert!(err.is_truncation(), "cut {cut}: {err:?}");
+        }
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_ue().unwrap(), 127);
+    }
+
+    #[test]
+    fn se_truncation_is_typed() {
+        let mut w = BitWriter::new();
+        w.write_se(-4000);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes[..1]);
+        assert!(r.read_se().expect_err("truncated se").is_truncation());
     }
 
     #[test]

@@ -83,5 +83,6 @@ pub mod quality;
 pub mod transform;
 pub mod video;
 
-pub use error::CodecError;
+pub use decoder::ResilienceReport;
+pub use error::{CodecError, H264Error};
 pub use frame::Frame;

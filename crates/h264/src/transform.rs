@@ -158,7 +158,16 @@ pub fn quantize(coeffs: &[i32; 16], qp: u8) -> Result<[i32; 16], CodecError> {
     Ok(out)
 }
 
+/// Widest dequantized coefficient magnitude the decoder lets through.
+/// Any real stream stays far below this (levels from [`quantize`] cap out
+/// around `±60k` after dequantization); the bound exists so the inverse
+/// transform's worst-case `~12.25×` accumulation gain stays inside `i32`
+/// even when a corrupt stream codes extreme levels.
+const MAX_DEQUANT: i64 = 1 << 23;
+
 /// Dequantizes coefficient levels at the given QP (standard `V` path).
+/// Output coefficients saturate at `±2^23` — unreachable for well-formed
+/// streams, a hard wall for corrupt ones.
 ///
 /// # Errors
 ///
@@ -173,7 +182,8 @@ pub fn dequantize(levels: &[i32; 16], qp: u8) -> Result<[i32; 16], CodecError> {
     let shift = u32::from(qp / 6);
     let mut out = [0i32; 16];
     for (pos, (o, &l)) in out.iter_mut().zip(levels).enumerate() {
-        *o = ((i64::from(l) * v_at(pos, qp)) << shift) as i32;
+        let wide = (i64::from(l) * v_at(pos, qp)) << shift;
+        *o = wide.clamp(-MAX_DEQUANT, MAX_DEQUANT) as i32;
     }
     Ok(out)
 }
@@ -285,6 +295,20 @@ mod tests {
                 .count()
         };
         assert!(zeros(40) >= zeros(10));
+    }
+
+    #[test]
+    fn extreme_levels_saturate_without_overflow() {
+        // The widest levels the CAVLC layer can admit, at the widest QP
+        // shift: the full decode_residual chain must stay panic-free in
+        // debug builds (no i32 overflow) and produce bounded output.
+        let zz = [crate::cavlc::MAX_LEVEL; 16];
+        let out = decode_residual(&zz, 51).unwrap();
+        for &v in &out {
+            assert!(v.abs() <= (1 << 28), "unbounded output {v}");
+        }
+        let zz_neg = [-crate::cavlc::MAX_LEVEL; 16];
+        decode_residual(&zz_neg, 51).unwrap();
     }
 
     #[test]

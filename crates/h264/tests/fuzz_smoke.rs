@@ -1,0 +1,184 @@
+//! The chaos-suite fuzz smoke test: 10 000 seeded random, truncated, and
+//! bit-flipped NAL payloads against both strict and resilient decoders.
+//!
+//! The contract under attack (ISSUE acceptance criteria):
+//!
+//! * malformed input returns `Err` (or garbage frames) — the decoder never
+//!   panics, never hangs, never attempts a pathological allocation;
+//! * in resilient mode a damaged stream keeps producing one frame per
+//!   encoded frame and resumes bit-clean output at the next intact IDR.
+//!
+//! Everything is seeded through the vendored `StdRng`, so a failure
+//! reproduces from the printed seed alone.
+
+use h264::decoder::{Decoder, DecoderOptions};
+use h264::encoder::{Encoder, EncoderConfig, GopPattern};
+use h264::nal::{split_annex_b, write_annex_b, NalType};
+use h264::video::synthetic_clip;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+fn resilient() -> DecoderOptions {
+    DecoderOptions {
+        resilient: true,
+        ..DecoderOptions::default()
+    }
+}
+
+/// A P-only reference clip (no B slices) so post-IDR output depends only on
+/// post-IDR state — required for the bit-exact resume assertion.
+fn p_only_stream() -> &'static [u8] {
+    static STREAM: OnceLock<Vec<u8>> = OnceLock::new();
+    STREAM.get_or_init(|| {
+        let frames = synthetic_clip(48, 48, 12, 11).expect("clip");
+        Encoder::new(EncoderConfig {
+            qp: 26,
+            gop: GopPattern {
+                intra_period: 4,
+                b_between: 0,
+            },
+            ..EncoderConfig::default()
+        })
+        .expect("encoder")
+        .encode(&frames)
+        .expect("encode")
+    })
+}
+
+fn clean_frames() -> &'static [h264::Frame] {
+    static FRAMES: OnceLock<Vec<h264::Frame>> = OnceLock::new();
+    FRAMES.get_or_init(|| {
+        Decoder::new(DecoderOptions::default())
+            .decode(p_only_stream())
+            .expect("clean decode")
+            .frames
+    })
+}
+
+/// 10 000 seeded payloads — random bytes, truncations of a valid stream,
+/// and bit-flips of a valid stream — decoded under a wall-clock budget.
+/// Zero panics, zero hangs.
+#[test]
+fn ten_thousand_seeded_payloads_never_panic_or_hang() {
+    let reference = p_only_stream();
+    let started = Instant::now();
+    for seed in 0u64..10_000 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let payload: Vec<u8> = match seed % 3 {
+            // Pure random bytes behind a start code + claimed SPS.
+            0 => {
+                let len = rng.random_range(8usize..512);
+                let mut bytes: Vec<u8> = (0..len).map(|_| rng.random_range(0u8..=255)).collect();
+                bytes[..5].copy_from_slice(&[0, 0, 0, 1, 7]);
+                bytes
+            }
+            // Truncation of a valid stream at a random byte.
+            1 => {
+                let keep = rng.random_range(1usize..reference.len());
+                reference[..keep].to_vec()
+            }
+            // 1–8 random bit-flips in a valid stream.
+            _ => {
+                let mut bytes = reference.to_vec();
+                for _ in 0..rng.random_range(1usize..=8) {
+                    let at = rng.random_range(0usize..bytes.len());
+                    bytes[at] ^= 1 << rng.random_range(0u32..8);
+                }
+                bytes
+            }
+        };
+        // Both strict and resilient paths must survive every payload.
+        let _ = Decoder::new(DecoderOptions::default()).decode(&payload);
+        let _ = Decoder::new(resilient()).decode(&payload);
+        assert!(
+            started.elapsed().as_secs() < 120,
+            "fuzz smoke exceeded time budget at seed {seed} — decoder hang?"
+        );
+    }
+}
+
+/// Damaging any single P slice in resilient mode conceals the loss and
+/// resumes bit-exact output at the next intact IDR.
+#[test]
+fn every_p_slice_corruption_resumes_at_next_idr() {
+    let units = split_annex_b(p_only_stream()).expect("valid reference");
+    let clean = clean_frames();
+    let slice_starts: Vec<usize> = {
+        // Map each slice unit to the frame index it carries (decode order ==
+        // display order for P-only streams: IDR then P…).
+        let mut frame = 0usize;
+        units
+            .iter()
+            .map(|u| {
+                let f = frame;
+                if matches!(u.nal_type, NalType::IdrSlice | NalType::PSlice) {
+                    frame += 1;
+                }
+                f
+            })
+            .collect()
+    };
+    for (i, unit) in units.iter().enumerate() {
+        if unit.nal_type != NalType::PSlice {
+            continue;
+        }
+        let mut damaged = units.clone();
+        damaged[i].payload.truncate(1);
+        let out = Decoder::new(resilient())
+            .decode(&write_annex_b(&damaged))
+            .expect("resilient decode survives");
+        assert_eq!(out.frames.len(), clean.len(), "unit {i}: frame count");
+        assert!(out.resilience.damaged_units >= 1, "unit {i}: damage seen");
+        // First IDR frame index strictly after the damaged slice's frame.
+        let resync_frame = ((slice_starts[i] / 4) + 1) * 4;
+        for (f, (got, want)) in out.frames.iter().zip(clean).enumerate() {
+            if f >= resync_frame {
+                assert_eq!(got, want, "unit {i}: frame {f} differs after resync");
+            }
+        }
+        if resync_frame < clean.len() {
+            assert_eq!(out.resilience.resyncs, 1, "unit {i}: resync counted");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random NAL-shaped garbage: decode must return (Ok or Err) without
+    /// panicking, in both strict and resilient modes.
+    #[test]
+    fn decode_never_panics(mut bytes in prop::collection::vec(any::<u8>(), 0..768)) {
+        if bytes.len() >= 4 {
+            bytes[0] = 0;
+            bytes[1] = 0;
+            bytes[2] = 0;
+            bytes[3] = 1;
+        }
+        let _ = Decoder::new(DecoderOptions::default()).decode(&bytes);
+        let _ = Decoder::new(resilient()).decode(&bytes);
+    }
+
+    /// Resilient decode of a bit-flipped stream never loses frames: output
+    /// length always equals the encoded frame count.
+    #[test]
+    fn resilient_decode_keeps_frame_count(
+        flips in prop::collection::vec((0usize..100_000, 0u8..8), 1..6)
+    ) {
+        let reference = p_only_stream();
+        let mut bytes = reference.to_vec();
+        // Leave the SPS (first unit) intact: with no dimensions there is
+        // nothing to conceal with and an error is the correct outcome.
+        let sps_end = 4 + 1 + split_annex_b(reference).unwrap()[0].payload.len();
+        for (at, bit) in flips {
+            let at = sps_end + at % (bytes.len() - sps_end);
+            bytes[at] ^= 1 << bit;
+        }
+        if let Ok(out) = Decoder::new(resilient()).decode(&bytes) {
+            prop_assert_eq!(out.frames.len(), clean_frames().len());
+        }
+    }
+}

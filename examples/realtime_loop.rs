@@ -26,6 +26,20 @@
 //! the registry is additionally served at `http://127.0.0.1:9464/metrics`
 //! (Prometheus text format; set `OBS_ADDR` to rebind, `OBS_HOLD_SECS` to
 //! keep the server up for manual `curl`ing after the run).
+//!
+//! # Chaos mode
+//!
+//! ```text
+//! cargo run --release --example realtime_loop -- --chaos 42
+//! ```
+//!
+//! runs the deterministic chaos suite instead: four sessions on a virtual
+//! clock, one window in flight at a time, with an `affect-fault` plan
+//! injecting sensor faults, worker panics, drops and delays, plus a seeded
+//! NAL-corruption pass through the resilient decoder. Every decision is a
+//! pure hash of the seed, so two invocations with the same seed print
+//! byte-identical reports — `diff <(… --chaos 42) <(… --chaos 42)` is
+//! empty. See `docs/ROBUSTNESS.md` for the fault taxonomy.
 
 use std::sync::{Arc, Mutex};
 
@@ -70,7 +84,194 @@ impl Actuator for DeviceActuator {
     }
 }
 
+/// The `--chaos <seed>` entry point: a fully deterministic fault-injection
+/// run. Determinism comes from three choices working together: a
+/// [`VirtualClock`] (no wall-clock latencies or deadline misses), a single
+/// worker per pool with one window in flight at a time (no batching races),
+/// and `affect-fault`'s pure-hash decisions (no RNG state).
+fn run_chaos(seed: u64) -> Result<(), Box<dyn std::error::Error>> {
+    use affectsys::biosignal::validate_samples;
+    use affectsys::fault::{
+        apply_sensor_faults, corrupt_annex_b, FaultPlan, NalFaultConfig, RtFaultHook, SensorFault,
+        SensorFaultConfig,
+    };
+    use affectsys::h264::decoder::{Decoder, DecoderOptions};
+    use affectsys::h264::encoder::{Encoder, EncoderConfig, GopPattern};
+    use affectsys::h264::video::synthetic_clip;
+    use affectsys::rt::{
+        silence_injected_panics, CollectActuator, FaultHook, SupervisionConfig, VirtualClock,
+    };
+
+    const SESSIONS: usize = 4;
+    const WINDOWS: u64 = 48;
+    const WINDOW_SAMPLES: usize = 1024;
+    const TICK_NS: u64 = 50_000_000; // virtual time per window round
+
+    silence_injected_panics();
+    println!("chaos run: seed {seed}, {SESSIONS} sessions × {WINDOWS} windows, lockstep");
+
+    let config = RuntimeConfig {
+        feature: FeatureConfig {
+            frame_len: 256,
+            hop: 128,
+            n_mfcc: 8,
+            n_mels: 20,
+            ..FeatureConfig::default()
+        },
+        window_samples: WINDOW_SAMPLES,
+        workers: 1,
+        supervision: SupervisionConfig {
+            restart_budget: u32::MAX,
+            backoff_base_ms: 0,
+            backoff_max_ms: 0,
+            ..SupervisionConfig::default()
+        },
+        ..RuntimeConfig::default()
+    };
+    let registry = Arc::new(MetricsRegistry::new());
+    let clock = Arc::new(VirtualClock::new());
+    let mut builder = RuntimeBuilder::new(config)?
+        .metrics(Arc::clone(&registry))
+        .clock(Arc::clone(&clock) as _);
+    let sessions: Vec<_> = (0..SESSIONS)
+        .map(|_| builder.add_session(Box::<CollectActuator>::default()))
+        .collect();
+    let hook = Arc::new(RtFaultHook::with_metrics(FaultPlan::chaos(seed), &registry));
+    let runtime = builder
+        .fault_hook(Arc::clone(&hook) as Arc<dyn FaultHook>)
+        .start()?;
+
+    // Phase 1: sensor + stage chaos through the live loop, one window in
+    // flight at a time so scheduling cannot perturb the outcome.
+    let sensor_cfg = SensorFaultConfig::CHAOS;
+    let (mut dropouts, mut saturated, mut nan_bursts) = (0u64, 0u64, 0u64);
+    for w in 0..WINDOWS {
+        clock.advance(TICK_NS);
+        for (i, &session) in sessions.iter().enumerate() {
+            let mut window: Vec<f32> = (0..WINDOW_SAMPLES)
+                .map(|n| ((n as f32) * 0.013 + i as f32).sin() * 0.4)
+                .collect();
+            let window_index = w * SESSIONS as u64 + i as u64;
+            match apply_sensor_faults(&mut window, seed, window_index, &sensor_cfg) {
+                Some(SensorFault::Saturation { .. }) => {
+                    // The ingest validation path drops rail-pinned windows
+                    // before they reach the pipeline.
+                    assert!(validate_samples(&window).is_err());
+                    saturated += 1;
+                    continue;
+                }
+                Some(SensorFault::NanBurst { .. }) => nan_bursts += 1,
+                Some(SensorFault::Dropout { .. }) => dropouts += 1,
+                None => {}
+            }
+            runtime.submit(session, window);
+            runtime.wait_idle();
+        }
+    }
+    let report = runtime.shutdown().report;
+
+    println!("\nsensor faults: {dropouts} dropouts, {saturated} saturated (refused at ingest), {nan_bursts} NaN bursts");
+    println!("\nper-session accounting (produced = processed + dropped):");
+    for s in &report.sessions {
+        println!(
+            "  session {}: {:3} produced, {:3} processed, {:2} dropped, family {}, interval {}",
+            s.session, s.produced, s.processed, s.dropped, s.family, s.decision_interval
+        );
+        assert!(s.accounted(), "window lost silently");
+    }
+
+    let f = &report.faults;
+    println!(
+        "\nfault report: {} panics, {} restarts, {} workers lost, {} rejected, \
+         {} watchdog sheds, {} breaker trips, {} breaker closes",
+        f.worker_panics,
+        f.worker_restarts,
+        f.workers_lost,
+        f.rejected_windows,
+        f.watchdog_sheds,
+        f.breaker_trips,
+        f.breaker_closes
+    );
+    let injected = hook.report();
+    println!("injected by plan (panic/drop/delay per stage):");
+    for (i, stage) in affectsys::rt::Stage::ALL.iter().enumerate() {
+        println!(
+            "  {:8} {:3} / {:3} / {:3}",
+            stage.as_str(),
+            injected.panics[i],
+            injected.drops[i],
+            injected.delays[i]
+        );
+    }
+
+    // Phase 2: seeded bitstream chaos through the resilient decoder.
+    let clip = synthetic_clip(48, 48, 12, 5)?;
+    let encoder = Encoder::new(EncoderConfig {
+        qp: 26,
+        gop: GopPattern {
+            intra_period: 4,
+            b_between: 0,
+        },
+        ..EncoderConfig::default()
+    })?;
+    let mut stream = encoder.encode(&clip)?;
+    let corruption = corrupt_annex_b(
+        &mut stream,
+        seed,
+        &NalFaultConfig {
+            flip_per_million: 250_000,
+            truncate_per_million: 150_000,
+            max_flips: 4,
+            protect_sps: true,
+        },
+    );
+    let out = Decoder::new(DecoderOptions {
+        resilient: true,
+        ..DecoderOptions::default()
+    })
+    .decode(&stream)?;
+    println!(
+        "\nbitstream chaos: {}/{} units hit ({} bits flipped, {} truncated, {} bytes cut) → \
+         {} frames decoded, {} concealed, {} resyncs",
+        corruption.units_flipped + corruption.units_truncated,
+        corruption.units_seen,
+        corruption.bits_flipped,
+        corruption.units_truncated,
+        corruption.bytes_removed,
+        out.frames.len(),
+        out.resilience.concealed_frames,
+        out.resilience.resyncs
+    );
+
+    // The fault-related metric series, so a diff of two runs covers the
+    // observability path too.
+    println!("\nfault metric series:");
+    let rendered = affectsys::obs::render_prometheus(&registry);
+    for line in rendered.lines() {
+        if !line.starts_with('#')
+            && (line.starts_with("affect_fault_")
+                || line.starts_with("affect_rt_worker")
+                || line.starts_with("affect_rt_breaker")
+                || line.starts_with("affect_rt_rejected")
+                || line.starts_with("affect_rt_watchdog"))
+        {
+            println!("  {line}");
+        }
+    }
+    println!("\nchaos run complete: seed {seed}, all windows accounted.");
+    Ok(())
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().collect();
+    if args.get(1).map(String::as_str) == Some("--chaos") {
+        let seed = args
+            .get(2)
+            .and_then(|s| s.parse().ok())
+            .ok_or("usage: realtime_loop --chaos <seed>")?;
+        return run_chaos(seed);
+    }
+
     const SESSIONS: usize = 8;
     const WINDOWS_PER_SEGMENT: u32 = 6;
 

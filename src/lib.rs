@@ -15,6 +15,7 @@
 //! | [`core`](mod@core) | `affect-core` | emotion model, classifiers, policies, controller |
 //! | [`obs`] | `affect-obs` | metrics registry, span tracing, Prometheus exposition |
 //! | [`rt`] | `affect-rt` | real-time multi-session streaming runtime |
+//! | [`fault`] | `affect-fault` | deterministic fault injection / chaos suite |
 //! | [`dsp`] | `dsp` | FFT / MFCC / pitch / spectral features |
 //! | [`nn`] | `nn` | from-scratch NN library with int8 quantization |
 //! | [`biosignal`] | `biosignal` | synthetic SC/PPG/ECG/IMU/voice generators |
@@ -51,6 +52,9 @@
 /// The paper's core contribution: emotion model, classifiers, policies and
 /// the system controller (`affect-core`).
 pub use affect_core as core;
+/// Deterministic, seed-driven fault injection for chaos testing the loop
+/// (`affect-fault`).
+pub use affect_fault as fault;
 /// The observability layer: metrics registry, span tracing, Prometheus
 /// exposition (`affect-obs`).
 pub use affect_obs as obs;

@@ -67,6 +67,7 @@ fn aggressive_deletion_degrades_quality_more() {
         let mut decoder = Decoder::new(DecoderOptions {
             deblock: true,
             selector: Some(SelectorParams::new(s_th, 1).unwrap()),
+            resilient: false,
         });
         let out = decoder.decode(&stream).unwrap();
         (
@@ -93,6 +94,7 @@ fn deletion_frequency_halves_the_deletions() {
         let mut decoder = Decoder::new(DecoderOptions {
             deblock: true,
             selector: Some(SelectorParams::new(100_000, f).unwrap()),
+            resilient: false,
         });
         decoder.decode(&stream).unwrap().selection.deleted_units
     };
