@@ -45,6 +45,9 @@ pub struct FaultPlan {
 /// Namespace tag for stage decisions in the hash stream.
 const SITE_STAGE_BASE: u64 = 0x5354_4147; // "STAG"
 
+/// Namespace tag for per-shard seed derivation.
+const SITE_SHARD: u64 = 0x5348_5244; // "SHRD"
+
 impl FaultPlan {
     /// A plan with the given seed and no faults anywhere.
     pub fn quiet(seed: u64) -> Self {
@@ -115,6 +118,24 @@ impl FaultPlan {
     /// The plan's seed.
     pub fn seed(&self) -> u64 {
         self.seed
+    }
+
+    /// Derives the plan for one shard of a fleet: same rates, sub-seed
+    /// hashed from `(seed, shard)`.
+    ///
+    /// A sharded runtime re-uses session indices *within* each shard
+    /// (shard 0's session 3 and shard 1's session 3 are different
+    /// wearers), so handing every shard the same plan would inject
+    /// identical fault streams into unrelated sessions — correlated chaos
+    /// that a real fleet never sees. Deriving a per-shard sub-seed keeps
+    /// every decision a pure function of `(fleet seed, shard, stage,
+    /// session, seq)`: independent streams per shard, and the whole fleet
+    /// run still replays from the one fleet seed.
+    pub fn for_shard(&self, shard: usize) -> FaultPlan {
+        FaultPlan {
+            seed: crate::decision_hash(self.seed, SITE_SHARD, shard as u64, 0),
+            stages: self.stages,
+        }
     }
 
     /// The rates in force for one stage.
@@ -207,6 +228,29 @@ mod tests {
         let d = f64::from(drops) / n as f64;
         assert!((0.08..0.12).contains(&p), "panic rate {p}");
         assert!((0.17..0.23).contains(&d), "drop rate {d}");
+    }
+
+    #[test]
+    fn shard_derivation_is_pure_and_decorrelated() {
+        let fleet = FaultPlan::chaos(42);
+        // Pure: the same (seed, shard) derives the same plan.
+        assert_eq!(fleet.for_shard(0), FaultPlan::chaos(42).for_shard(0));
+        // Rates survive derivation; only the seed moves.
+        assert_eq!(
+            fleet.for_shard(3).stage(Stage::Feature),
+            fleet.stage(Stage::Feature)
+        );
+        // Decorrelated: two shards must not inject the same stream into
+        // their (locally re-indexed) sessions.
+        let (a, b) = (fleet.for_shard(0), fleet.for_shard(1));
+        assert_ne!(a.seed(), b.seed());
+        let mut diverged = false;
+        for seq in 0..2_000 {
+            for stage in Stage::ALL {
+                diverged |= a.decide(stage, 0, seq) != b.decide(stage, 0, seq);
+            }
+        }
+        assert!(diverged, "shard streams must differ somewhere");
     }
 
     #[test]

@@ -1,0 +1,131 @@
+//! The `affect_fleet_*` metric family.
+//!
+//! Fleet metrics cover what the shards cannot see: routing, admission,
+//! and tier-level shedding. The per-runtime `affect_rt_*` series need no
+//! fleet counterpart — the registry is idempotent per `(name, labels)`,
+//! so shards sharing one [`MetricsRegistry`] aggregate those series
+//! fleet-wide automatically.
+//!
+//! Every series is documented in `docs/OBSERVABILITY.md`.
+
+use std::sync::Arc;
+
+use affect_obs::{Counter, Gauge, MetricsRegistry};
+
+use crate::qos::QosTier;
+use crate::router::ShardId;
+
+/// Per-tier instrument set (one entry per [`QosTier`]).
+#[derive(Debug)]
+pub struct TierMetrics {
+    /// `affect_fleet_sessions{tier}` — sessions admitted.
+    pub sessions: Arc<Gauge>,
+    /// `affect_fleet_sessions_rejected_total{tier}` — registrations refused.
+    pub rejected: Arc<Counter>,
+    /// `affect_fleet_windows_offered_total{tier}`.
+    pub offered: Arc<Counter>,
+    /// `affect_fleet_windows_submitted_total{tier}`.
+    pub submitted: Arc<Counter>,
+    /// `affect_fleet_windows_shed_total{tier}`.
+    pub shed: Arc<Counter>,
+}
+
+/// All fleet-level instruments, registered once per fleet.
+#[derive(Debug)]
+pub struct FleetMetrics {
+    /// `affect_fleet_shards` — shards in the fleet.
+    pub shards: Arc<Gauge>,
+    /// Per-tier instruments, indexed by [`QosTier::index`].
+    pub tiers: [TierMetrics; 3],
+}
+
+impl FleetMetrics {
+    /// Registers (or re-acquires) every fleet series on `registry`.
+    pub fn register(registry: &MetricsRegistry) -> Self {
+        let tier = |t: QosTier| {
+            let labels: &[(&str, &str)] = &[("tier", t.label())];
+            TierMetrics {
+                sessions: registry.gauge(
+                    "affect_fleet_sessions",
+                    "Sessions admitted to the fleet, by QoS tier",
+                    labels,
+                ),
+                rejected: registry.counter(
+                    "affect_fleet_sessions_rejected_total",
+                    "Session registrations refused by admission control, by QoS tier",
+                    labels,
+                ),
+                offered: registry.counter(
+                    "affect_fleet_windows_offered_total",
+                    "Windows offered to the fleet by load sources, by QoS tier",
+                    labels,
+                ),
+                submitted: registry.counter(
+                    "affect_fleet_windows_submitted_total",
+                    "Windows that entered a shard's ingest queue, by QoS tier",
+                    labels,
+                ),
+                shed: registry.counter(
+                    "affect_fleet_windows_shed_total",
+                    "Windows shed pre-submit by QoS pressure control, by QoS tier",
+                    labels,
+                ),
+            }
+        };
+        Self {
+            shards: registry.gauge("affect_fleet_shards", "Runtime shards in the fleet", &[]),
+            tiers: [
+                tier(QosTier::BestEffort),
+                tier(QosTier::Standard),
+                tier(QosTier::Critical),
+            ],
+        }
+    }
+
+    /// The instrument set for one tier.
+    pub fn tier(&self, tier: QosTier) -> &TierMetrics {
+        &self.tiers[tier.index()]
+    }
+
+    /// Registers and sets the per-shard session gauge
+    /// `affect_fleet_shard_sessions{shard}`.
+    pub fn set_shard_sessions(registry: &MetricsRegistry, shard: ShardId, sessions: usize) {
+        registry
+            .gauge(
+                "affect_fleet_shard_sessions",
+                "Sessions owned by one runtime shard",
+                &[("shard", &shard.index().to_string())],
+            )
+            .set(sessions as i64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_is_idempotent_per_tier() {
+        let registry = MetricsRegistry::new();
+        let a = FleetMetrics::register(&registry);
+        let b = FleetMetrics::register(&registry);
+        a.tier(QosTier::Critical).offered.add(3);
+        b.tier(QosTier::Critical).offered.add(2);
+        // Same (name, labels) → same instrument: both handles share state.
+        assert_eq!(a.tier(QosTier::Critical).offered.get(), 5);
+        // Distinct tiers stay distinct.
+        assert_eq!(a.tier(QosTier::Standard).offered.get(), 0);
+    }
+
+    #[test]
+    fn shard_gauge_is_labelled_per_shard() {
+        let registry = MetricsRegistry::new();
+        FleetMetrics::set_shard_sessions(&registry, ShardId(0), 7);
+        FleetMetrics::set_shard_sessions(&registry, ShardId(1), 9);
+        FleetMetrics::set_shard_sessions(&registry, ShardId(0), 8);
+        let g0 = registry.gauge("affect_fleet_shard_sessions", "", &[("shard", "0")]);
+        let g1 = registry.gauge("affect_fleet_shard_sessions", "", &[("shard", "1")]);
+        assert_eq!(g0.get(), 8);
+        assert_eq!(g1.get(), 9);
+    }
+}

@@ -1,0 +1,255 @@
+//! QoS tiers and admission control.
+//!
+//! The paper's degradation ladder (LSTM → CNN → MLP) trades accuracy for
+//! compute per wearer. At fleet scale the same ladder becomes a *policy
+//! axis*: a tier is a promise about which rung a session starts on, how
+//! far it may climb back after degradation, and who gets shed first when
+//! the fleet saturates.
+//!
+//! | tier         | initial family | shed order            |
+//! |--------------|----------------|-----------------------|
+//! | `Critical`   | LSTM           | never shed            |
+//! | `Standard`   | CNN            | shed under heavy load |
+//! | `BestEffort` | MLP            | shed first            |
+//!
+//! Admission happens at registration time: `affect-rt` fixes its session
+//! set at `start()`, so the fleet's capacity promise has to be made
+//! up-front. The controller keeps *reserves* — headroom that only the
+//! higher tiers may consume — so a burst of best-effort registrations can
+//! never crowd a critical wearer out of a shard.
+//!
+//! Runtime-phase QoS is window shedding: each submit consults the owning
+//! shard's ingest fill and sheds low tiers before the queue's own
+//! overflow policy would start evicting indiscriminately.
+
+use affect_core::classifier::ClassifierKind;
+
+/// Service tier of one fleet session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum QosTier {
+    /// Shed before anything else; runs the cheapest model (MLP).
+    BestEffort,
+    /// Shed only under heavy load; runs the mid-ladder CNN.
+    Standard,
+    /// Never shed; runs the full LSTM and may always recover to it.
+    Critical,
+}
+
+impl QosTier {
+    /// All tiers, lowest priority first.
+    pub const ALL: [QosTier; 3] = [QosTier::BestEffort, QosTier::Standard, QosTier::Critical];
+
+    /// The classifier family a session of this tier starts in — also its
+    /// recovery ceiling (`affect-rt` never climbs a session past the
+    /// family it was registered with).
+    pub fn initial_family(self) -> ClassifierKind {
+        match self {
+            QosTier::Critical => ClassifierKind::Lstm,
+            QosTier::Standard => ClassifierKind::Cnn,
+            QosTier::BestEffort => ClassifierKind::Mlp,
+        }
+    }
+
+    /// Stable label for metrics and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            QosTier::Critical => "critical",
+            QosTier::Standard => "standard",
+            QosTier::BestEffort => "best_effort",
+        }
+    }
+
+    /// Index into per-tier arrays (shed order: 0 sheds first).
+    pub fn index(self) -> usize {
+        match self {
+            QosTier::BestEffort => 0,
+            QosTier::Standard => 1,
+            QosTier::Critical => 2,
+        }
+    }
+}
+
+/// Per-tier values, indexed by [`QosTier::index`]. The fleet report and
+/// the admission controller both count in these.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PerTier {
+    /// `[best_effort, standard, critical]`.
+    pub by_tier: [u64; 3],
+}
+
+impl PerTier {
+    /// The count for one tier.
+    pub fn get(&self, tier: QosTier) -> u64 {
+        self.by_tier[tier.index()]
+    }
+
+    /// Mutable count for one tier.
+    pub fn get_mut(&mut self, tier: QosTier) -> &mut u64 {
+        &mut self.by_tier[tier.index()]
+    }
+
+    /// Sum over all tiers.
+    pub fn total(&self) -> u64 {
+        self.by_tier.iter().sum()
+    }
+
+    /// Element-wise addition (for merging shard-local tallies).
+    pub fn add(&mut self, other: &PerTier) {
+        for (a, b) in self.by_tier.iter_mut().zip(other.by_tier.iter()) {
+            *a += b;
+        }
+    }
+}
+
+/// Capacity promises the admission controller enforces per shard.
+#[derive(Debug, Clone, Copy)]
+pub struct AdmissionConfig {
+    /// Hard session cap per shard (the runtime's working-set budget).
+    pub max_sessions_per_shard: usize,
+    /// Slots only `Critical` registrations may consume.
+    pub critical_reserve: usize,
+    /// Slots only `Standard`-or-better registrations may consume.
+    pub standard_reserve: usize,
+    /// Ingest fill ratio (×1000) past which `BestEffort` windows are shed
+    /// pre-submit. 750 = shed when the queue is ≥ 75% full.
+    pub shed_best_effort_permille: u32,
+    /// Ingest fill ratio (×1000) past which `Standard` windows are shed.
+    pub shed_standard_permille: u32,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        Self {
+            max_sessions_per_shard: 1024,
+            critical_reserve: 64,
+            standard_reserve: 128,
+            shed_best_effort_permille: 750,
+            shed_standard_permille: 950,
+        }
+    }
+}
+
+impl AdmissionConfig {
+    /// Highest occupancy at which a registration of `tier` is still
+    /// admitted. Lower tiers see a smaller effective cap because the
+    /// reserves above them are off limits.
+    pub fn cap_for(&self, tier: QosTier) -> usize {
+        match tier {
+            QosTier::Critical => self.max_sessions_per_shard,
+            QosTier::Standard => self
+                .max_sessions_per_shard
+                .saturating_sub(self.critical_reserve),
+            QosTier::BestEffort => self
+                .max_sessions_per_shard
+                .saturating_sub(self.critical_reserve)
+                .saturating_sub(self.standard_reserve),
+        }
+    }
+
+    /// Whether a window of `tier` should be shed given the owning shard's
+    /// ingest queue state. Critical traffic is never shed here — it rides
+    /// the queue's own overflow policy like any single-runtime deployment.
+    pub fn should_shed(&self, tier: QosTier, depth: usize, capacity: usize) -> bool {
+        if capacity == 0 {
+            return false;
+        }
+        let fill_permille = (depth * 1000 / capacity) as u32;
+        match tier {
+            QosTier::Critical => false,
+            QosTier::Standard => fill_permille >= self.shed_standard_permille,
+            QosTier::BestEffort => fill_permille >= self.shed_best_effort_permille,
+        }
+    }
+}
+
+/// Registration-time admission state for one shard.
+#[derive(Debug, Clone, Default)]
+pub struct ShardOccupancy {
+    /// Admitted sessions per tier.
+    pub admitted: PerTier,
+}
+
+impl ShardOccupancy {
+    /// Total sessions admitted to this shard.
+    pub fn total(&self) -> usize {
+        self.admitted.total() as usize
+    }
+
+    /// Tries to admit one session of `tier` under `config`; returns
+    /// whether the slot was granted.
+    pub fn try_admit(&mut self, tier: QosTier, config: &AdmissionConfig) -> bool {
+        if self.total() < config.cap_for(tier) {
+            *self.admitted.get_mut(tier) += 1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tier_maps_onto_the_degradation_ladder() {
+        assert_eq!(QosTier::Critical.initial_family(), ClassifierKind::Lstm);
+        assert_eq!(QosTier::Standard.initial_family(), ClassifierKind::Cnn);
+        assert_eq!(QosTier::BestEffort.initial_family(), ClassifierKind::Mlp);
+    }
+
+    #[test]
+    fn reserves_protect_high_tiers() {
+        let config = AdmissionConfig {
+            max_sessions_per_shard: 10,
+            critical_reserve: 2,
+            standard_reserve: 3,
+            ..AdmissionConfig::default()
+        };
+        let mut occ = ShardOccupancy::default();
+        // Best effort can only take 10 - 2 - 3 = 5 slots.
+        let admitted = (0..10)
+            .filter(|_| occ.try_admit(QosTier::BestEffort, &config))
+            .count();
+        assert_eq!(admitted, 5);
+        // Standard reaches up to 10 - 2 = 8 total.
+        let admitted = (0..10)
+            .filter(|_| occ.try_admit(QosTier::Standard, &config))
+            .count();
+        assert_eq!(admitted, 3);
+        // Critical fills the shard to its hard cap.
+        let admitted = (0..10)
+            .filter(|_| occ.try_admit(QosTier::Critical, &config))
+            .count();
+        assert_eq!(admitted, 2);
+        assert_eq!(occ.total(), 10);
+        assert!(!occ.try_admit(QosTier::Critical, &config));
+    }
+
+    #[test]
+    fn shedding_orders_tiers() {
+        let config = AdmissionConfig::default();
+        // 75% full: best effort sheds, standard and critical ride on.
+        assert!(config.should_shed(QosTier::BestEffort, 6, 8));
+        assert!(!config.should_shed(QosTier::Standard, 6, 8));
+        assert!(!config.should_shed(QosTier::Critical, 6, 8));
+        // Full queue: standard sheds too; critical never does.
+        assert!(config.should_shed(QosTier::Standard, 8, 8));
+        assert!(!config.should_shed(QosTier::Critical, 8, 8));
+        // Empty or zero-capacity queues never shed.
+        assert!(!config.should_shed(QosTier::BestEffort, 0, 8));
+        assert!(!config.should_shed(QosTier::BestEffort, 1, 0));
+    }
+
+    #[test]
+    fn per_tier_merges_element_wise() {
+        let mut a = PerTier { by_tier: [1, 2, 3] };
+        let b = PerTier {
+            by_tier: [10, 20, 30],
+        };
+        a.add(&b);
+        assert_eq!(a.by_tier, [11, 22, 33]);
+        assert_eq!(a.total(), 66);
+        assert_eq!(a.get(QosTier::Critical), 33);
+    }
+}

@@ -87,5 +87,6 @@ pub use runtime::{
     SupervisionConfig, WatchdogConfig,
 };
 pub use stats::{
-    ClassifyReport, FaultReport, LatencySummary, RuntimeReport, SessionReport, StageReport,
+    ClassifyReport, FaultReport, LatencyHistogram, LatencySummary, RuntimeReport, SessionReport,
+    StageReport,
 };

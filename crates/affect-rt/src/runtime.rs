@@ -332,6 +332,9 @@ struct SessionState {
     degradations: AtomicU64,
     recoveries: AtomicU64,
     family: AtomicU8,
+    /// Richest family this session may recover to (its QoS ceiling): the
+    /// per-session initial family, frozen at registration.
+    ceiling: u8,
     interval: AtomicU32,
     latency: Histogram,
     /// Classify circuit breaker: `BREAKER_CLOSED`, `BREAKER_OPEN` (family
@@ -352,6 +355,7 @@ impl SessionState {
             degradations: AtomicU64::new(0),
             recoveries: AtomicU64::new(0),
             family: AtomicU8::new(family_code(initial_family)),
+            ceiling: family_code(initial_family),
             interval: AtomicU32::new(1),
             latency: Histogram::new(),
             breaker: AtomicU8::new(BREAKER_CLOSED),
@@ -697,6 +701,10 @@ pub struct RuntimeBuilder {
     config: RuntimeConfig,
     clock: Arc<dyn Clock>,
     actuators: Vec<Box<dyn Actuator>>,
+    /// Per-session initial-family overrides (None = the config default).
+    /// A fleet's QoS tiers use this to pin each tier to its rung of the
+    /// degradation ladder.
+    families: Vec<Option<ClassifierKind>>,
     registry: Option<Arc<MetricsRegistry>>,
     fault_hook: Option<Arc<dyn FaultHook>>,
 }
@@ -714,6 +722,7 @@ impl RuntimeBuilder {
             config,
             clock: Arc::new(SystemClock::new()),
             actuators: Vec::new(),
+            families: Vec::new(),
             registry: None,
             fault_hook: None,
         })
@@ -747,9 +756,26 @@ impl RuntimeBuilder {
     }
 
     /// Registers a session with its actuation endpoint; returns the handle
-    /// used to submit windows.
+    /// used to submit windows. The session starts at (and recovers up to)
+    /// the configured [`RuntimeConfig::initial_family`].
     pub fn add_session(&mut self, actuator: Box<dyn Actuator>) -> SessionId {
         self.actuators.push(actuator);
+        self.families.push(None);
+        SessionId(self.actuators.len() - 1)
+    }
+
+    /// Registers a session whose classifier family starts at — and never
+    /// recovers past — `family`, overriding the runtime-wide default. This
+    /// is the per-session QoS knob: a best-effort session pinned at MLP
+    /// stays on the cheapest rung of the degradation ladder for its whole
+    /// life, while a critical one keeps the full LSTM → CNN → MLP range.
+    pub fn add_session_with_family(
+        &mut self,
+        actuator: Box<dyn Actuator>,
+        family: ClassifierKind,
+    ) -> SessionId {
+        self.actuators.push(actuator);
+        self.families.push(Some(family));
         SessionId(self.actuators.len() - 1)
     }
 
@@ -776,8 +802,9 @@ impl RuntimeBuilder {
         }
 
         let sessions: Arc<Vec<SessionState>> = Arc::new(
-            (0..self.actuators.len())
-                .map(|_| SessionState::new(config.initial_family))
+            self.families
+                .iter()
+                .map(|family| SessionState::new(family.unwrap_or(config.initial_family)))
                 .collect(),
         );
         let progress = Arc::new(Progress::new());
@@ -1186,7 +1213,6 @@ impl RuntimeBuilder {
             let miss_streak_limit = config.miss_streak;
             let ok_streak_limit = config.ok_streak;
             let degraded_interval = config.degraded_interval;
-            let initial_family = config.initial_family;
             let hook = fault_hook.clone();
             std::thread::spawn(move || {
                 let mut miss_streaks = vec![0u32; actuators.len()];
@@ -1242,7 +1268,7 @@ impl RuntimeBuilder {
                         ok_streaks[msg.session] += 1;
                         if ok_streaks[msg.session] >= ok_streak_limit {
                             ok_streaks[msg.session] = 0;
-                            if recover(state, initial_family) {
+                            if recover(state) {
                                 if let Some(m) = &metrics {
                                     m.recoveries.inc();
                                 }
@@ -1366,7 +1392,7 @@ fn degrade(state: &SessionState, degraded_interval: u32) -> bool {
 /// that classifies cleanly closes the breaker; one that fails reopens it
 /// and re-pins the MLP floor. While a probe is in flight, no further
 /// upgrades happen.
-fn recover(state: &SessionState, initial_family: ClassifierKind) -> bool {
+fn recover(state: &SessionState) -> bool {
     if state.interval.load(Ordering::SeqCst) > 1 {
         state.interval.store(1, Ordering::SeqCst);
         state.recoveries.fetch_add(1, Ordering::SeqCst);
@@ -1376,7 +1402,7 @@ fn recover(state: &SessionState, initial_family: ClassifierKind) -> bool {
         return false;
     }
     if let Some(richer) = state.family().upgrade() {
-        if family_code(richer) <= family_code(initial_family) {
+        if family_code(richer) <= state.ceiling {
             if state.breaker.load(Ordering::SeqCst) == BREAKER_OPEN {
                 state.breaker.store(BREAKER_HALF_OPEN, Ordering::SeqCst);
             }
@@ -1563,6 +1589,18 @@ impl Runtime {
         self.sessions[session.0].interval.load(Ordering::SeqCst)
     }
 
+    /// Current depth of the ingest queue — the runtime's cheapest
+    /// backpressure signal. A fleet's admission layer polls this to shed
+    /// best-effort windows *before* they cost a queue slot.
+    pub fn ingest_depth(&self) -> usize {
+        self.ingest.depth()
+    }
+
+    /// Capacity of the ingest queue (denominator for pressure ratios).
+    pub fn ingest_capacity(&self) -> usize {
+        self.ingest.capacity()
+    }
+
     /// Submits one analysis window for a session. The window is stamped
     /// with the clock's current time as its arrival.
     ///
@@ -1741,6 +1779,7 @@ fn snapshot_report(
             family: s.family(),
             decision_interval: s.interval.load(Ordering::SeqCst),
             latency: s.latency.summary(),
+            latency_hist: s.latency.snapshot_hist(),
         })
         .collect();
     let stage = |name: &'static str, stats: crate::ring::RingStats, capacity: usize| StageReport {
@@ -1807,11 +1846,11 @@ mod tests {
         assert_eq!(s.breaker.load(Ordering::SeqCst), BREAKER_OPEN);
         // The ordinary recovery machinery launches the probe: the family
         // upgrade marks the breaker half-open.
-        assert!(recover(&s, ClassifierKind::Lstm));
+        assert!(recover(&s));
         assert_eq!(s.breaker.load(Ordering::SeqCst), BREAKER_HALF_OPEN);
         assert_eq!(s.family(), ClassifierKind::Cnn);
         // No further upgrades while the probe is in flight.
-        assert!(!recover(&s, ClassifierKind::Lstm));
+        assert!(!recover(&s));
         // MLP stragglers still in the pipe must not close the breaker…
         breaker_on_success(&s, ClassifierKind::Mlp, &faults, None);
         assert_eq!(s.breaker.load(Ordering::SeqCst), BREAKER_HALF_OPEN);
@@ -1820,7 +1859,7 @@ mod tests {
         assert_eq!(s.breaker.load(Ordering::SeqCst), BREAKER_CLOSED);
         assert_eq!(faults.breaker_closes.load(Ordering::SeqCst), 1);
         // With the breaker closed, recovery can continue up the ladder.
-        assert!(recover(&s, ClassifierKind::Lstm));
+        assert!(recover(&s));
         assert_eq!(s.family(), ClassifierKind::Lstm);
     }
 
@@ -1831,12 +1870,30 @@ mod tests {
         for _ in 0..3 {
             breaker_on_failure(&s, 3, &faults, None);
         }
-        assert!(recover(&s, ClassifierKind::Lstm));
+        assert!(recover(&s));
         assert_eq!(s.breaker.load(Ordering::SeqCst), BREAKER_HALF_OPEN);
         breaker_on_failure(&s, 3, &faults, None);
         assert_eq!(s.breaker.load(Ordering::SeqCst), BREAKER_OPEN);
         assert_eq!(s.family(), ClassifierKind::Mlp);
         assert_eq!(faults.breaker_trips.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn per_session_ceiling_caps_recovery() {
+        // A session registered at the MLP rung (a best-effort QoS tier)
+        // never climbs the ladder, even through sustained on-time windows.
+        let s = SessionState::new(ClassifierKind::Mlp);
+        assert_eq!(s.family(), ClassifierKind::Mlp);
+        assert!(!recover(&s), "nothing above the MLP ceiling");
+        assert_eq!(s.family(), ClassifierKind::Mlp);
+        // A CNN-ceiling session degraded to MLP recovers to CNN and stops.
+        let s = SessionState::new(ClassifierKind::Cnn);
+        assert!(degrade(&s, 2));
+        assert_eq!(s.family(), ClassifierKind::Mlp);
+        assert!(recover(&s), "interval restores first");
+        assert!(recover(&s), "then the family climbs");
+        assert_eq!(s.family(), ClassifierKind::Cnn);
+        assert!(!recover(&s), "ceiling reached");
     }
 
     #[test]

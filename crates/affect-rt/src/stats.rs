@@ -92,6 +92,101 @@ impl Histogram {
             max_ns: self.max.load(Ordering::Relaxed),
         }
     }
+
+    /// Copies the full bucket resolution out into a mergeable
+    /// [`LatencyHistogram`] (reports carry this alongside the summary so
+    /// fleet-level aggregation can merge distributions losslessly).
+    pub fn snapshot_hist(&self) -> LatencyHistogram {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            count: self.count(),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A plain (non-atomic) copy of a log2 latency histogram, carried inside
+/// reports so distributions can be merged across sessions, shards and
+/// whole runtimes without losing bucket resolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    /// Per-bucket sample counts (bucket `i` covers `[2^i, 2^(i+1) - 1]`).
+    pub buckets: [u64; BUCKETS],
+    /// Total samples.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: u64,
+    /// Largest sample (exact).
+    pub max: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Records one sample (nanoseconds). Mostly useful in tests; the live
+    /// path records into the atomic [`Histogram`].
+    pub fn record(&mut self, nanos: u64) {
+        let bucket = (u64::BITS - nanos.max(1).leading_zeros() - 1) as usize;
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.sum += nanos;
+        self.max = self.max.max(nanos);
+    }
+
+    /// Adds every bucket of `other` into `self`. Bucket-wise addition is
+    /// exact: merging two histograms is the histogram of the combined
+    /// sample set, so merge order never matters.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
+    /// The value at quantile `q` in `[0, 1]`, as the upper bound of the
+    /// containing bucket; 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket;
+            if seen >= rank {
+                return if i + 1 >= BUCKETS {
+                    u64::MAX
+                } else {
+                    (1u64 << (i + 1)) - 1
+                };
+            }
+        }
+        self.max
+    }
+
+    /// Derives the percentile summary from the merged buckets.
+    pub fn summary(&self) -> LatencySummary {
+        LatencySummary {
+            count: self.count,
+            mean_ns: self.sum.checked_div(self.count).unwrap_or(0),
+            p50_ns: self.quantile(0.50),
+            p95_ns: self.quantile(0.95),
+            p99_ns: self.quantile(0.99),
+            max_ns: self.max,
+        }
+    }
 }
 
 /// Percentile snapshot of a latency distribution (nanoseconds).
@@ -112,7 +207,7 @@ pub struct LatencySummary {
 }
 
 /// One session's accounting in a [`RuntimeReport`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SessionReport {
     /// Session index (order of `add_session` calls).
     pub session: usize,
@@ -136,6 +231,9 @@ pub struct SessionReport {
     pub decision_interval: u32,
     /// End-to-end (arrival → actuated) latency distribution.
     pub latency: LatencySummary,
+    /// The full log2 bucket resolution behind `latency`, kept so
+    /// fleet-level merges can combine distributions exactly.
+    pub latency_hist: LatencyHistogram,
 }
 
 impl SessionReport {
@@ -157,8 +255,40 @@ impl SessionReport {
     }
 }
 
+impl SessionReport {
+    /// Folds `other` (the same logical session observed by another shard
+    /// or runtime) into `self`: counters sum, the latency histograms merge
+    /// bucket-wise (and the summary is re-derived from the merged
+    /// buckets), the classifier family resolves to the more degraded of
+    /// the two and the decision interval to the wider — both symmetric, so
+    /// `merge(a, b) == merge(b, a)`.
+    pub fn merge(&mut self, other: &SessionReport) {
+        self.produced += other.produced;
+        self.processed += other.processed;
+        self.dropped += other.dropped;
+        self.deadline_misses += other.deadline_misses;
+        self.degradations += other.degradations;
+        self.recoveries += other.recoveries;
+        self.latency_hist.merge(&other.latency_hist);
+        self.latency = self.latency_hist.summary();
+        // "More degraded wins": MLP < CNN < LSTM on the ladder.
+        if ladder_rank(other.family) < ladder_rank(self.family) {
+            self.family = other.family;
+        }
+        self.decision_interval = self.decision_interval.max(other.decision_interval);
+    }
+}
+
+fn ladder_rank(kind: ClassifierKind) -> u8 {
+    match kind {
+        ClassifierKind::Mlp => 0,
+        ClassifierKind::Cnn => 1,
+        ClassifierKind::Lstm => 2,
+    }
+}
+
 /// One pipeline stage's queue counters in a [`RuntimeReport`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StageReport {
     /// Stage name (`"ingest"`, `"classify"`, `"control"`, `"actuate"`).
     pub stage: &'static str,
@@ -246,7 +376,7 @@ impl FaultReport {
 
 /// Everything the runtime knows about a run: per-session accounting and
 /// per-stage queue behaviour.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RuntimeReport {
     /// One entry per session, in `add_session` order.
     pub sessions: Vec<SessionReport>,
@@ -277,6 +407,81 @@ impl RuntimeReport {
     /// Total windows shed or decimated across sessions.
     pub fn total_dropped(&self) -> u64 {
         self.sessions.iter().map(|s| s.dropped).sum()
+    }
+
+    /// The whole runtime's end-to-end latency distribution: every
+    /// session's histogram merged bucket-wise.
+    pub fn merged_latency(&self) -> LatencyHistogram {
+        let mut merged = LatencyHistogram::default();
+        for s in &self.sessions {
+            merged.merge(&s.latency_hist);
+        }
+        merged
+    }
+
+    /// Folds another runtime's report into this one — the fleet-level
+    /// aggregation primitive.
+    ///
+    /// Sessions are matched by their `session` id: a shared id means "the
+    /// same logical session seen by two observers" and the entries merge
+    /// via [`SessionReport::merge`]; an id only `other` has is appended.
+    /// (A fleet remaps each shard's local indices to globally unique ids
+    /// before merging, so cross-shard sessions never collide.) The merged
+    /// session list is re-sorted by id, stages merge by name (counter
+    /// sums, capacity sums, high-water max), and the classify/fault
+    /// counter blocks sum field-wise — every rule is symmetric, so
+    /// `merge(a, b) == merge(b, a)` (proven by a unit test).
+    ///
+    /// # Panics
+    ///
+    /// Panics when both inputs satisfied the accounting invariant but the
+    /// merged report does not — arithmetic that can only mean the merge
+    /// itself lost a window, never a runtime condition.
+    pub fn merge(&mut self, other: &RuntimeReport) {
+        let inputs_accounted = self.all_accounted() && other.all_accounted();
+        for theirs in &other.sessions {
+            match self
+                .sessions
+                .iter_mut()
+                .find(|mine| mine.session == theirs.session)
+            {
+                Some(mine) => mine.merge(theirs),
+                None => self.sessions.push(theirs.clone()),
+            }
+        }
+        self.sessions.sort_by_key(|s| s.session);
+        for theirs in &other.stages {
+            match self
+                .stages
+                .iter_mut()
+                .find(|mine| mine.stage == theirs.stage)
+            {
+                Some(mine) => {
+                    mine.pushed += theirs.pushed;
+                    mine.popped += theirs.popped;
+                    mine.shed += theirs.shed;
+                    mine.depth_high_water = mine.depth_high_water.max(theirs.depth_high_water);
+                    mine.capacity += theirs.capacity;
+                }
+                None => self.stages.push(theirs.clone()),
+            }
+        }
+        self.classify.windows += other.classify.windows;
+        self.classify.batches += other.classify.batches;
+        self.classify.max_batch = self.classify.max_batch.max(other.classify.max_batch);
+        self.classify.scratch_allocs += other.classify.scratch_allocs;
+        self.classify.scratch_reuses += other.classify.scratch_reuses;
+        self.faults.worker_panics += other.faults.worker_panics;
+        self.faults.worker_restarts += other.faults.worker_restarts;
+        self.faults.workers_lost += other.faults.workers_lost;
+        self.faults.rejected_windows += other.faults.rejected_windows;
+        self.faults.watchdog_sheds += other.faults.watchdog_sheds;
+        self.faults.breaker_trips += other.faults.breaker_trips;
+        self.faults.breaker_closes += other.faults.breaker_closes;
+        assert!(
+            !inputs_accounted || self.all_accounted(),
+            "merge broke produced == processed + dropped"
+        );
     }
 }
 
@@ -329,21 +534,153 @@ mod tests {
 
     #[test]
     fn accounted_invariant() {
-        let mut r = SessionReport {
-            session: 0,
-            produced: 10,
-            processed: 7,
-            dropped: 3,
-            deadline_misses: 2,
-            degradations: 0,
-            recoveries: 0,
-            family: ClassifierKind::Lstm,
-            decision_interval: 1,
-            latency: LatencySummary::default(),
-        };
+        let mut r = session_report(0, 10, 7, 3, ClassifierKind::Lstm);
+        r.deadline_misses = 2;
         assert!(r.accounted());
         assert!((r.miss_rate() - 2.0 / 7.0).abs() < 1e-12);
         r.dropped = 2;
         assert!(!r.accounted());
+    }
+
+    fn session_report(
+        session: usize,
+        produced: u64,
+        processed: u64,
+        dropped: u64,
+        family: ClassifierKind,
+    ) -> SessionReport {
+        let mut hist = LatencyHistogram::default();
+        for i in 0..processed {
+            hist.record(1_000 * (session as u64 * 7 + i + 1));
+        }
+        SessionReport {
+            session,
+            produced,
+            processed,
+            dropped,
+            deadline_misses: 0,
+            degradations: 0,
+            recoveries: 0,
+            family,
+            decision_interval: 1,
+            latency: hist.summary(),
+            latency_hist: hist,
+        }
+    }
+
+    fn stage_report(stage: &'static str, pushed: u64, popped: u64, shed: u64) -> StageReport {
+        StageReport {
+            stage,
+            pushed,
+            popped,
+            shed,
+            depth_high_water: (pushed % 5) as usize,
+            capacity: 8,
+        }
+    }
+
+    fn runtime_report(sessions: Vec<SessionReport>, seed: u64) -> RuntimeReport {
+        RuntimeReport {
+            sessions,
+            stages: vec![
+                stage_report("ingest", 10 + seed, 9 + seed, 1),
+                stage_report("classify", 9 + seed, 9 + seed, 0),
+            ],
+            classify: ClassifyReport {
+                windows: 9 + seed,
+                batches: 3 + seed,
+                max_batch: 4,
+                scratch_allocs: 2,
+                scratch_reuses: 7 + seed,
+            },
+            faults: FaultReport {
+                worker_panics: seed,
+                ..FaultReport::default()
+            },
+        }
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        // Disjoint session ids (the fleet case) plus one shared id (the
+        // same logical session observed twice).
+        let a = runtime_report(
+            vec![
+                session_report(0, 12, 10, 2, ClassifierKind::Lstm),
+                session_report(2, 8, 8, 0, ClassifierKind::Cnn),
+            ],
+            1,
+        );
+        let b = runtime_report(
+            vec![
+                session_report(1, 20, 15, 5, ClassifierKind::Mlp),
+                session_report(2, 6, 4, 2, ClassifierKind::Mlp),
+            ],
+            5,
+        );
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba, "merge must be order-independent");
+        assert!(ab.all_accounted());
+        assert_eq!(ab.total_produced(), 46);
+        assert_eq!(ab.total_processed(), 37);
+        assert_eq!(ab.total_dropped(), 9);
+        // The shared session combined: counters summed, more degraded
+        // family won, histogram count is the union.
+        let shared = ab.sessions.iter().find(|s| s.session == 2).unwrap();
+        assert_eq!(shared.produced, 14);
+        assert_eq!(shared.family, ClassifierKind::Mlp);
+        assert_eq!(shared.latency_hist.count, 12);
+        assert_eq!(shared.latency, shared.latency_hist.summary());
+        // Stage counters summed by name.
+        let ingest = ab.stages.iter().find(|s| s.stage == "ingest").unwrap();
+        assert_eq!(ingest.pushed, 11 + 15);
+        assert_eq!(ingest.capacity, 16);
+        assert_eq!(ab.faults.worker_panics, 6);
+    }
+
+    #[test]
+    fn merge_preserves_and_checks_the_accounting_invariant() {
+        // Accounted inputs merge into an accounted output (the assert
+        // inside `merge` fires otherwise, so reaching this line IS the
+        // proof the guard passed).
+        let a = runtime_report(vec![session_report(0, 10, 7, 3, ClassifierKind::Mlp)], 0);
+        let b = runtime_report(vec![session_report(0, 4, 4, 0, ClassifierKind::Cnn)], 1);
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert!(merged.all_accounted());
+        assert_eq!(merged.sessions[0].produced, 14);
+        // An input that was already unaccounted (a mid-flight snapshot)
+        // merges without panicking — the guard only arms when both inputs
+        // satisfied the invariant.
+        let mut midflight = b.clone();
+        midflight.sessions[0].produced += 5; // 5 windows still in the pipe
+        assert!(!midflight.all_accounted());
+        let mut merged2 = a.clone();
+        merged2.merge(&midflight);
+        assert!(!merged2.all_accounted());
+        assert_eq!(merged2.sessions[0].produced, 19);
+    }
+
+    #[test]
+    fn latency_histogram_merges_exactly() {
+        let mut a = LatencyHistogram::default();
+        let mut b = LatencyHistogram::default();
+        let mut both = LatencyHistogram::default();
+        for v in [3u64, 900, 1_048_576] {
+            a.record(v);
+            both.record(v);
+        }
+        for v in [17u64, 17, 2_000_000_000] {
+            b.record(v);
+            both.record(v);
+        }
+        let mut merged = a;
+        merged.merge(&b);
+        assert_eq!(merged, both, "merge == histogram of the union");
+        assert_eq!(merged.summary().count, 6);
+        assert_eq!(merged.max, 2_000_000_000);
     }
 }

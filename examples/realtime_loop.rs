@@ -40,6 +40,24 @@
 //! pure hash of the seed, so two invocations with the same seed print
 //! byte-identical reports — `diff <(… --chaos 42) <(… --chaos 42)` is
 //! empty. See `docs/ROBUSTNESS.md` for the fault taxonomy.
+//!
+//! # Fleet mode
+//!
+//! ```text
+//! cargo run --release --example realtime_loop -- --fleet 4 --sessions 64
+//! cargo run --release --example realtime_loop -- --fleet 2 --chaos 42
+//! ```
+//!
+//! runs the sharded `affect-fleet` runtime instead of one `affect-rt`
+//! instance: sessions are consistent-hash routed across shards, cycled
+//! over the three QoS tiers (critical → LSTM, standard → CNN, best effort
+//! → MLP), and driven in lockstep by the same load driver the
+//! `fleet_throughput` bench uses. With `--chaos <seed>` each shard gets a
+//! decorrelated fault stream derived from the one fleet seed
+//! (`FaultPlan::for_shard`), and the printed fate ledger is byte-stable —
+//! the CI chaos job diffs two invocations.
+//!
+//! `--sessions N` also parameterizes the plain demo (default 8 wearers).
 
 use std::sync::{Arc, Mutex};
 
@@ -262,17 +280,189 @@ fn run_chaos(seed: u64) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
+/// The `--fleet <shards>` entry point: the sharded runtime, driven by the
+/// same lockstep load driver as the `fleet_throughput` bench. Sessions
+/// cycle over the QoS tiers; with a chaos seed, each shard injects a
+/// decorrelated fault stream derived from the one fleet seed, and the
+/// printed fate ledger is byte-stable across invocations (the CI chaos
+/// job diffs two runs).
+fn run_fleet(
+    shards: usize,
+    sessions: usize,
+    chaos_seed: Option<u64>,
+) -> Result<(), Box<dyn std::error::Error>> {
+    use affectsys::fault::{FaultPlan, RtFaultHook};
+    use affectsys::fleet::{drive_lockstep, FleetBuilder, FleetConfig, LoadPlan, QosTier};
+    use affectsys::rt::{
+        silence_injected_panics, CollectActuator, FaultHook, OverflowPolicy, StageConfig,
+        SupervisionConfig, VirtualClock,
+    };
+
+    const WINDOW_SAMPLES: usize = 1024;
+    const ROUNDS: u64 = 12;
+    const TICK_NS: u64 = 50_000_000;
+
+    silence_injected_panics();
+    match chaos_seed {
+        Some(seed) => {
+            println!("fleet chaos run: {shards} shards, {sessions} sessions, seed {seed}, lockstep")
+        }
+        None => println!("fleet run: {shards} shards, {sessions} sessions, lockstep"),
+    }
+
+    let mut config = FleetConfig {
+        shards,
+        runtime: RuntimeConfig {
+            feature: FeatureConfig {
+                frame_len: 256,
+                hop: 128,
+                n_mfcc: 8,
+                n_mels: 20,
+                ..FeatureConfig::default()
+            },
+            window_samples: WINDOW_SAMPLES,
+            workers: 1,
+            // Queues sized so lockstep rounds never cross the QoS shed
+            // thresholds and the fate ledger stays a pure function of the
+            // seed (drain-per-round keeps depth ≤ sessions-per-shard).
+            ingest: StageConfig::new(256, OverflowPolicy::Block),
+            classify: StageConfig::new(256, OverflowPolicy::Block),
+            control: StageConfig::new(256, OverflowPolicy::Block),
+            actuate_capacity: 256,
+            // Latency races the lockstep clock advance; a deadline far
+            // past one tick keeps misses (and thus degradation churn)
+            // deterministically at zero.
+            deadline_ns: 100 * TICK_NS,
+            supervision: SupervisionConfig {
+                restart_budget: u32::MAX,
+                backoff_base_ms: 0,
+                backoff_max_ms: 0,
+                ..SupervisionConfig::default()
+            },
+            ..RuntimeConfig::default()
+        },
+        ..FleetConfig::default()
+    };
+    config.admission.max_sessions_per_shard = sessions.max(1);
+    config.admission.critical_reserve = 0;
+    config.admission.standard_reserve = 0;
+
+    let registry = Arc::new(MetricsRegistry::new());
+    let clock = Arc::new(VirtualClock::new());
+    let mut builder = FleetBuilder::new(config)?;
+    for key in 0..sessions as u64 {
+        let tier = QosTier::ALL[key as usize % QosTier::ALL.len()];
+        builder
+            .add_session(key, tier, Box::<CollectActuator>::default())
+            .ok_or("admission refused a demo session")?;
+    }
+    builder = builder.clock(clock.clone()).metrics(Arc::clone(&registry));
+    if let Some(seed) = chaos_seed {
+        let plan = FaultPlan::chaos(seed);
+        builder = builder.fault_hooks(|shard| {
+            Arc::new(RtFaultHook::new(plan.for_shard(shard.index()))) as Arc<dyn FaultHook>
+        });
+    }
+    let fleet = builder.start()?;
+
+    let plan = LoadPlan {
+        rounds: ROUNDS,
+        window_samples: WINDOW_SAMPLES,
+        tick_ns: TICK_NS,
+        drain_every: Some(1),
+    };
+    drive_lockstep(&fleet, &clock, &plan);
+    fleet.wait_idle();
+    let report = fleet.shutdown();
+
+    println!("\nper-shard placement:");
+    for (shard, shard_report) in &report.shards {
+        println!(
+            "  shard {}: {} sessions, {} produced, {} processed, {} dropped",
+            shard.index(),
+            shard_report.sessions.len(),
+            shard_report.total_produced(),
+            shard_report.total_processed(),
+            shard_report.total_dropped()
+        );
+        assert!(shard_report.all_accounted(), "shard lost windows silently");
+    }
+
+    println!("\nper-session fate ledger (produced = processed + dropped):");
+    for s in &report.merged.sessions {
+        println!(
+            "  session {:3}: {:3} produced, {:3} processed, {:2} dropped",
+            s.session, s.produced, s.processed, s.dropped
+        );
+        assert!(s.accounted(), "window lost silently");
+    }
+
+    println!("\nadmission ledger (offered = submitted + shed per tier):");
+    let a = &report.admission;
+    for tier in QosTier::ALL {
+        println!(
+            "  {:11}: {:3} sessions admitted, {:2} rejected, {:4} offered, {:4} submitted, {:3} shed",
+            tier.label(),
+            a.admitted.get(tier),
+            a.rejected.get(tier),
+            a.offered.get(tier),
+            a.submitted.get(tier),
+            a.shed.get(tier)
+        );
+    }
+    assert!(report.accounted(), "fleet accounting broke");
+
+    println!("\nfleet metric series:");
+    let rendered = affectsys::obs::render_prometheus(&registry);
+    for line in rendered.lines() {
+        if !line.starts_with('#') && line.starts_with("affect_fleet_") {
+            println!("  {line}");
+        }
+    }
+    println!(
+        "\nfleet run complete: {} windows across {} sessions on {} shards, all accounted.",
+        report.merged.total_produced(),
+        report.sessions(),
+        shards
+    );
+    Ok(())
+}
+
+/// Pulls `--flag <value>` out of the argument list.
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().collect();
-    if args.get(1).map(String::as_str) == Some("--chaos") {
-        let seed = args
-            .get(2)
-            .and_then(|s| s.parse().ok())
-            .ok_or("usage: realtime_loop --chaos <seed>")?;
+    let chaos_seed: Option<u64> = match flag_value(&args, "--chaos") {
+        Some(v) => Some(
+            v.parse()
+                .map_err(|_| "usage: realtime_loop --chaos <seed>")?,
+        ),
+        None => None,
+    };
+    let sessions_flag: Option<usize> = match flag_value(&args, "--sessions") {
+        Some(v) => Some(
+            v.parse()
+                .map_err(|_| "usage: realtime_loop --sessions <count>")?,
+        ),
+        None => None,
+    };
+    if let Some(v) = flag_value(&args, "--fleet") {
+        let shards: usize = v
+            .parse()
+            .map_err(|_| "usage: realtime_loop --fleet <shards>")?;
+        return run_fleet(shards, sessions_flag.unwrap_or(24), chaos_seed);
+    }
+    if let Some(seed) = chaos_seed {
         return run_chaos(seed);
     }
 
-    const SESSIONS: usize = 8;
+    let sessions_n: usize = sessions_flag.unwrap_or(8);
     const WINDOWS_PER_SEGMENT: u32 = 6;
 
     // 1-second windows at 16 kHz would be the paper's cadence; the demo
@@ -311,7 +501,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut builder = RuntimeBuilder::new(config)?.metrics(Arc::clone(&registry));
     let subject = SubjectProfile::subject3();
-    let logs: Vec<Arc<Mutex<SessionLog>>> = (0..SESSIONS)
+    let logs: Vec<Arc<Mutex<SessionLog>>> = (0..sessions_n)
         .map(|_| Arc::new(Mutex::new(SessionLog::default())))
         .collect();
     let sessions: Vec<_> = logs

@@ -16,6 +16,7 @@
 //! | [`obs`] | `affect-obs` | metrics registry, span tracing, Prometheus exposition |
 //! | [`rt`] | `affect-rt` | real-time multi-session streaming runtime |
 //! | [`fault`] | `affect-fault` | deterministic fault injection / chaos suite |
+//! | [`fleet`] | `affect-fleet` | sharded many-session fleet runtime with QoS admission |
 //! | [`dsp`] | `dsp` | FFT / MFCC / pitch / spectral features |
 //! | [`nn`] | `nn` | from-scratch NN library with int8 quantization |
 //! | [`biosignal`] | `biosignal` | synthetic SC/PPG/ECG/IMU/voice generators |
@@ -55,6 +56,9 @@ pub use affect_core as core;
 /// Deterministic, seed-driven fault injection for chaos testing the loop
 /// (`affect-fault`).
 pub use affect_fault as fault;
+/// The sharded many-session fleet runtime: consistent-hash routing, QoS
+/// admission control, fleet-wide report aggregation (`affect-fleet`).
+pub use affect_fleet as fleet;
 /// The observability layer: metrics registry, span tracing, Prometheus
 /// exposition (`affect-obs`).
 pub use affect_obs as obs;
