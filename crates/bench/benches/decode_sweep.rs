@@ -1,0 +1,214 @@
+//! Decode-throughput sweep over QP × resolution × affect mode, one run
+//! per decoder kernel backend (ISSUE 7 tentpole gate).
+//!
+//! Each cell encodes a synthetic clip once, then decodes it repeatedly
+//! with `Decoder::with_kernels` pinned to the `reference` and `simd`
+//! backends, reporting macroblocks per second (the decoder's natural
+//! work unit — `Activity::macroblocks` counts every decoded MB, so the
+//! metric is identical across modes even when the Input Selector drops
+//! NAL units). Writes:
+//!   - `benches/results/decode_sweep.csv` — the full grid with both
+//!     backends' MB/s and the simd/reference speedup per cell
+//!   - `../../BENCH_decode_sweep.json` — the repo-root trajectory file
+//!     CI's bench-smoke job uploads as an artifact
+//!
+//! The acceptance gate: with real vector lanes (backend name other than
+//! `simd-scalar`), at least one cell must reach a ≥ 1.5× speedup. The
+//! gate is skipped in `--test` mode (CI smoke / `cargo test`) and when
+//! the simd backend resolves to the portable scalar lanes, where parity
+//! — not speedup — is the contract.
+
+use std::time::Instant;
+
+use affect_core::policy::VideoPowerMode;
+use bench::table::Table;
+use criterion::black_box;
+use h264::adaptive::options_for_mode;
+use h264::backend::BackendKind;
+use h264::decoder::Decoder;
+use h264::encoder::{Encoder, EncoderConfig, GopPattern};
+use h264::video::synthetic_clip;
+
+/// Minimum simd/reference speedup at least one cell must reach.
+const SPEEDUP_GATE: f64 = 1.5;
+/// Target wall-clock per (cell, backend) measurement.
+const TARGET_SECS: f64 = 0.25;
+
+struct Cell {
+    qp: u8,
+    width: usize,
+    height: usize,
+    mode: VideoPowerMode,
+}
+
+fn grid(test_mode: bool) -> Vec<Cell> {
+    let qps: &[u8] = if test_mode { &[28] } else { &[12, 28, 40] };
+    let sizes: &[(usize, usize)] = if test_mode {
+        &[(48, 48)]
+    } else {
+        &[(48, 48), (96, 96), (176, 144)]
+    };
+    let modes: &[VideoPowerMode] = if test_mode {
+        &[VideoPowerMode::Standard]
+    } else {
+        &[VideoPowerMode::Standard, VideoPowerMode::Combined]
+    };
+    let mut cells = Vec::new();
+    for &qp in qps {
+        for &(width, height) in sizes {
+            for &mode in modes {
+                cells.push(Cell {
+                    qp,
+                    width,
+                    height,
+                    mode,
+                });
+            }
+        }
+    }
+    cells
+}
+
+/// Decodes `stream` `reps` times with the given backend and returns
+/// (MB/s, macroblocks per decode).
+fn measure(kind: BackendKind, cell: &Cell, stream: &[u8], reps: usize) -> (f64, u64) {
+    let options = options_for_mode(cell.mode);
+    // Warm: touches the stream once and yields the per-decode MB count.
+    let mb_per_decode = Decoder::with_kernels(options, kind.kernels())
+        .decode(stream)
+        .expect("intact stream decodes")
+        .activity
+        .macroblocks;
+    let start = Instant::now();
+    let mut total_mb = 0u64;
+    for _ in 0..reps {
+        let out = Decoder::with_kernels(options, kind.kernels())
+            .decode(black_box(stream))
+            .expect("intact stream decodes");
+        total_mb += out.activity.macroblocks;
+    }
+    let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+    (total_mb as f64 / elapsed, mb_per_decode)
+}
+
+fn mode_label(mode: VideoPowerMode) -> &'static str {
+    match mode {
+        VideoPowerMode::Standard => "standard",
+        VideoPowerMode::NalDeletion => "nal_deletion",
+        VideoPowerMode::DeblockOff => "deblock_off",
+        VideoPowerMode::Combined => "combined",
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let test_mode = args.iter().any(|a| a == "--test");
+
+    let simd_name = BackendKind::Simd.kernels().name();
+    let vector_lanes = simd_name != "simd-scalar";
+    eprintln!("decode_sweep: simd backend is `{simd_name}`");
+
+    let mut table = Table::new(vec![
+        "qp".into(),
+        "size".into(),
+        "mode".into(),
+        "mb_per_decode".into(),
+        "ref_mb_s".into(),
+        "simd_mb_s".into(),
+        "speedup".into(),
+    ]);
+    let mut json_points = Vec::new();
+    let mut best_speedup = 0.0f64;
+
+    for cell in grid(test_mode) {
+        let frames =
+            synthetic_clip(cell.width, cell.height, if test_mode { 4 } else { 6 }, 17).unwrap();
+        let stream = Encoder::new(EncoderConfig {
+            qp: cell.qp,
+            gop: GopPattern {
+                intra_period: 4,
+                b_between: 1,
+            },
+            ..EncoderConfig::default()
+        })
+        .unwrap()
+        .encode(&frames)
+        .unwrap();
+
+        // Size the rep count off one timed reference decode so each
+        // measurement fills roughly TARGET_SECS regardless of cell cost.
+        let reps = if test_mode {
+            2
+        } else {
+            let t0 = Instant::now();
+            let _ = Decoder::with_kernels(
+                options_for_mode(cell.mode),
+                BackendKind::Reference.kernels(),
+            )
+            .decode(&stream)
+            .unwrap();
+            let once = t0.elapsed().as_secs_f64().max(1e-6);
+            ((TARGET_SECS / once) as usize).clamp(3, 400)
+        };
+
+        let (ref_mb_s, mb) = measure(BackendKind::Reference, &cell, &stream, reps);
+        let (simd_mb_s, _) = measure(BackendKind::Simd, &cell, &stream, reps);
+        let speedup = simd_mb_s / ref_mb_s;
+        best_speedup = best_speedup.max(speedup);
+
+        let size = format!("{}x{}", cell.width, cell.height);
+        let mode = mode_label(cell.mode);
+        eprintln!(
+            "  qp {:>2} {:>8} {:<10} ref {:>9.0} MB/s  simd {:>9.0} MB/s  x{:.2}",
+            cell.qp, size, mode, ref_mb_s, simd_mb_s, speedup
+        );
+        table.row(vec![
+            cell.qp.to_string(),
+            size.clone(),
+            mode.to_string(),
+            mb.to_string(),
+            format!("{ref_mb_s:.1}"),
+            format!("{simd_mb_s:.1}"),
+            format!("{speedup:.3}"),
+        ]);
+        json_points.push(format!(
+            "    {{\"qp\": {}, \"size\": \"{}\", \"mode\": \"{}\", \"mb_per_decode\": {}, \
+             \"reference_mb_per_s\": {:.1}, \"simd_mb_per_s\": {:.1}, \"speedup\": {:.3}}}",
+            cell.qp, size, mode, mb, ref_mb_s, simd_mb_s, speedup
+        ));
+    }
+
+    eprintln!("decode_sweep: best simd/reference speedup x{best_speedup:.2}");
+
+    // `--test` keeps the committed results untouched: a 2-rep debug run
+    // would overwrite the tracked numbers with noise.
+    if test_mode {
+        return;
+    }
+
+    let csv_path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/benches/results/decode_sweep.csv"
+    );
+    table.write_csv(csv_path).expect("write csv");
+    eprintln!("wrote {csv_path}");
+
+    let json_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_decode_sweep.json");
+    let json = format!(
+        "{{\n  \"bench\": \"decode_sweep\",\n  \"unit\": \"macroblocks_per_sec\",\n  \
+         \"simd_backend\": \"{simd_name}\",\n  \"best_speedup\": {best_speedup:.3},\n  \
+         \"points\": [\n{}\n  ]\n}}\n",
+        json_points.join(",\n")
+    );
+    std::fs::write(json_path, json).expect("write json");
+    eprintln!("wrote {json_path}");
+
+    // The tentpole acceptance gate. With portable scalar lanes the simd
+    // backend is a parity build, not a fast one — conformance covers it.
+    if vector_lanes {
+        assert!(
+            best_speedup >= SPEEDUP_GATE,
+            "simd backend best speedup x{best_speedup:.2} below the x{SPEEDUP_GATE} gate"
+        );
+    }
+}

@@ -1,6 +1,7 @@
 //! The affect-adaptive decoder: emotion-driven mode switching and the
 //! Fig. 6 playback experiment.
 
+use crate::backend::{self, BackendKind, DecodeKernels};
 use crate::buffers::SelectorParams;
 use crate::decoder::{Activity, DecodeOutput, Decoder, DecoderOptions};
 use crate::power::{paper_targets, PowerModel};
@@ -9,8 +10,9 @@ use crate::CodecError;
 use crate::Frame;
 use affect_core::emotion::CognitiveState;
 use affect_core::policy::{PolicyTable, VideoPowerMode};
-use affect_obs::{Counter, MetricsRegistry};
+use affect_obs::{Counter, Histogram, MetricsRegistry};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// The canonical calibration content: the [`crate::video::reference_clip`]
 /// encoded at QP 30 with an 8-frame GOP and one B frame between references.
@@ -238,6 +240,7 @@ pub struct ModeSwitchDriver {
     mode: VideoPowerMode,
     resilient: bool,
     switches: usize,
+    kernels: Arc<dyn DecodeKernels>,
     metrics: Option<DriverMetrics>,
 }
 
@@ -256,18 +259,38 @@ struct DriverMetrics {
     damaged_units: Arc<Counter>,
     concealed_frames: Arc<Counter>,
     resyncs: Arc<Counter>,
+    decode_mb: Arc<Counter>,
+    /// Per-backend decode-latency histograms, pre-registered for every
+    /// [`BackendKind`] so switching kernels at runtime never touches the
+    /// registry lock on the decode path. A custom external backend whose
+    /// name matches neither entry simply records no latency samples.
+    decode_ns: Vec<(&'static str, Arc<Histogram>)>,
 }
 
 impl ModeSwitchDriver {
-    /// Creates a driver starting in `initial` mode.
+    /// Creates a driver starting in `initial` mode, decoding through the
+    /// fastest available kernel backend.
     pub fn new(initial: VideoPowerMode) -> Self {
         Self {
             options: options_for_mode(initial),
             mode: initial,
             resilient: false,
             switches: 0,
+            kernels: backend::best_available(),
             metrics: None,
         }
+    }
+
+    /// Pins the kernel backend used for subsequent segments (all backends
+    /// are bit-exact; this only changes speed). Applies from the next
+    /// [`ModeSwitchDriver::decode_segment`], like a mode switch.
+    pub fn set_kernels(&mut self, kernels: Arc<dyn DecodeKernels>) {
+        self.kernels = kernels;
+    }
+
+    /// The name of the kernel backend subsequent segments decode through.
+    pub fn backend_name(&self) -> &'static str {
+        self.kernels.name()
     }
 
     /// Turns error resilience on or off for subsequent segments: damaged
@@ -340,6 +363,25 @@ impl ModeSwitchDriver {
                 "times decoding resynchronized at an intact IDR after damage",
                 &[],
             ),
+            decode_mb: registry.counter(
+                "affect_h264_decode_mb_total",
+                "macroblocks decoded by the adaptive driver",
+                &[],
+            ),
+            decode_ns: BackendKind::ALL
+                .iter()
+                .map(|kind| {
+                    let name = kind.kernels().name();
+                    (
+                        name,
+                        registry.histogram(
+                            "affect_h264_decode_ns",
+                            "wall-clock nanoseconds per decoded segment, by kernel backend",
+                            &[("backend", name)],
+                        ),
+                    )
+                })
+                .collect(),
         });
     }
 
@@ -383,7 +425,9 @@ impl ModeSwitchDriver {
     ///
     /// Propagates decoder errors for malformed bitstreams.
     pub fn decode_segment(&self, stream: &[u8]) -> Result<DecodeOutput, CodecError> {
-        let out = Decoder::new(self.options).decode(stream)?;
+        let start = Instant::now();
+        let out = Decoder::with_kernels(self.options, Arc::clone(&self.kernels)).decode(stream)?;
+        let elapsed_ns = start.elapsed().as_nanos() as u64;
         if let Some(m) = &self.metrics {
             m.segments.inc();
             m.frames.add(out.activity.frames);
@@ -393,6 +437,11 @@ impl ModeSwitchDriver {
             m.damaged_units.add(out.resilience.damaged_units);
             m.concealed_frames.add(out.resilience.concealed_frames);
             m.resyncs.add(out.resilience.resyncs);
+            m.decode_mb.add(out.activity.macroblocks);
+            let backend = self.kernels.name();
+            if let Some((_, h)) = m.decode_ns.iter().find(|(name, _)| *name == backend) {
+                h.record(elapsed_ns);
+            }
         }
         Ok(out)
     }
@@ -560,6 +609,28 @@ mod tests {
         );
         // Standard mode examined deblock edges before the toggle.
         assert!(get("h264_deblock_edges_total") > 0);
+        assert!(get("affect_h264_decode_mb_total") > 0);
+        // Both segments decoded through the driver's current backend, so
+        // its per-backend latency histogram holds both samples.
+        let h = registry.histogram(
+            "affect_h264_decode_ns",
+            "",
+            &[("backend", driver.backend_name())],
+        );
+        assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    fn driver_backend_is_switchable() {
+        let (_, stream) = clip_and_stream();
+        let mut driver = ModeSwitchDriver::default();
+        let default_out = driver.decode_segment(&stream).unwrap();
+        driver.set_kernels(crate::backend::reference());
+        assert_eq!(driver.backend_name(), "reference");
+        let reference_out = driver.decode_segment(&stream).unwrap();
+        // Bit-exact contract: identical frames and counters either way.
+        assert_eq!(default_out.frames, reference_out.frames);
+        assert_eq!(default_out.activity, reference_out.activity);
     }
 
     #[test]

@@ -1,0 +1,205 @@
+//! Decode-kernel backends: the block-level hot path behind a contract.
+//!
+//! The decoder's bitstream layer (NAL, Exp-Golomb, CAVLC parsing, slice
+//! control flow) is architecture-independent and lives in [`crate::decoder`].
+//! Everything that touches pixel blocks in bulk — IQIT, quantization,
+//! reconstruction, motion compensation, deblocking — goes through the
+//! [`DecodeKernels`] trait so it can be swapped at runtime:
+//!
+//! * [`reference()`] — the original scalar functions, verbatim. This is the
+//!   conformance oracle every other backend is measured against.
+//! * [`simd()`] — the same kernels written once against the portable
+//!   `I32x4` lane type (`vec4` module), which compiles to SSE2 on `x86_64`,
+//!   NEON on `aarch64`, and exact scalar code elsewhere.
+//!
+//! The contract is **bit-exactness**: every backend must produce identical
+//! frames *and* identical activity/deblock counters for every input,
+//! including corrupt ones. The SIMD backend holds that bar by guarding each
+//! kernel with an input-magnitude check and delegating out-of-range blocks
+//! (reachable only through the public transform API, never from the
+//! CAVLC-bounded decode path) to the reference implementation.
+//! `tests/backend_conformance.rs` enforces the contract over the encoder
+//! round-trip corpus and the 10k-payload fuzz corpus.
+
+use crate::deblock::{BlockInfo, DeblockReport};
+use crate::frame::{Frame, MB_SIZE};
+use crate::inter::MotionVector;
+use crate::CodecError;
+use std::fmt;
+use std::sync::Arc;
+
+pub(crate) mod vec4;
+
+mod reference;
+mod simd;
+
+pub use reference::ReferenceKernels;
+pub use simd::SimdKernels;
+
+/// The block-kernel contract every decode backend implements.
+///
+/// All methods are pure block transforms (or in-place frame edits) with no
+/// backend-private state, so implementations are zero-sized and a single
+/// `Arc<dyn DecodeKernels>` is shared across cloned decoders.
+pub trait DecodeKernels: fmt::Debug + Send + Sync {
+    /// Stable backend name for logs, metrics labels, and bench artifacts
+    /// (e.g. `"reference"`, `"simd-sse2"`).
+    fn name(&self) -> &'static str;
+
+    /// Forward 4×4 integer transform (encoder side of the round trip the
+    /// conformance proptests exercise).
+    fn forward_transform(&self, block: &[i32; 16]) -> [i32; 16];
+
+    /// Inverse 4×4 integer transform with the standard `(+32) >> 6`
+    /// rounding.
+    fn inverse_transform(&self, coeffs: &[i32; 16]) -> [i32; 16];
+
+    /// Quantizes transform coefficients at `qp`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::InvalidParameter`] for QP above 51.
+    fn quantize(&self, coeffs: &[i32; 16], qp: u8) -> Result<[i32; 16], CodecError>;
+
+    /// Dequantizes coefficient levels at `qp` (saturating at `±2^23` like
+    /// the reference path).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::InvalidParameter`] for QP above 51.
+    fn dequantize(&self, levels: &[i32; 16], qp: u8) -> Result<[i32; 16], CodecError>;
+
+    /// Full residual decode: un-zigzag + dequantize + inverse transform.
+    /// The decoder's per-block hot call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::InvalidParameter`] for QP above 51.
+    fn decode_residual(&self, zz_levels: &[i32; 16], qp: u8) -> Result<[i32; 16], CodecError>;
+
+    /// Adds `residual` to `pred` and writes the clamped 4×4 block at
+    /// `(x, y)` — the reconstruction step shared by intra and inter paths.
+    fn reconstruct_block(
+        &self,
+        frame: &mut Frame,
+        x: usize,
+        y: usize,
+        pred: &[i32; 16],
+        residual: &[i32; 16],
+    );
+
+    /// In-loop deblocking over all internal 4×4 edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `info` does not match the frame's block grid (same
+    /// contract as [`crate::deblock::deblock_frame`]).
+    fn deblock_frame(&self, frame: &mut Frame, info: &[BlockInfo], qp: u8) -> DeblockReport;
+
+    /// Motion-compensates the 16×16 macroblock at `(mb_x, mb_y)` from one
+    /// reference with a **half-pel-unit** motion vector into `out`
+    /// (row-major), border-clamped exactly like
+    /// [`crate::inter::compensate_mb_hp`].
+    fn motion_compensate(
+        &self,
+        reference: &Frame,
+        mb_x: usize,
+        mb_y: usize,
+        mv_hp: MotionVector,
+        out: &mut [i32; MB_SIZE * MB_SIZE],
+    );
+
+    /// Bidirectional compensation: the `(a + b + 1) >> 1` average of two
+    /// single-reference predictions (B macroblocks), matching
+    /// [`crate::inter::compensate_mb_bi_hp`].
+    #[allow(clippy::too_many_arguments)]
+    fn motion_compensate_bi(
+        &self,
+        ref0: &Frame,
+        ref1: &Frame,
+        mb_x: usize,
+        mb_y: usize,
+        mv0_hp: MotionVector,
+        mv1_hp: MotionVector,
+        out: &mut [i32; MB_SIZE * MB_SIZE],
+    );
+}
+
+/// Backend selector for constructing kernels by kind (benches, tests, CLI
+/// surfaces).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendKind {
+    /// The scalar reference backend (the conformance oracle).
+    Reference,
+    /// The vectorized backend (SSE2/NEON, exact scalar lanes elsewhere).
+    Simd,
+}
+
+impl BackendKind {
+    /// Both kinds, reference first (oracle before candidate).
+    pub const ALL: [BackendKind; 2] = [BackendKind::Reference, BackendKind::Simd];
+
+    /// Constructs the kernels for this kind.
+    pub fn kernels(self) -> Arc<dyn DecodeKernels> {
+        match self {
+            BackendKind::Reference => reference(),
+            BackendKind::Simd => simd(),
+        }
+    }
+}
+
+impl fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.kernels().name())
+    }
+}
+
+/// The scalar reference backend.
+pub fn reference() -> Arc<dyn DecodeKernels> {
+    Arc::new(ReferenceKernels)
+}
+
+/// The vectorized backend (falls back to exact scalar lanes on targets
+/// without SSE2/NEON or with the `simd` feature disabled).
+pub fn simd() -> Arc<dyn DecodeKernels> {
+    Arc::new(SimdKernels)
+}
+
+/// The fastest backend for this build: the SIMD backend when it compiles to
+/// real vector instructions, the reference backend otherwise (vector-shaped
+/// scalar code buys nothing over the original loops).
+pub fn best_available() -> Arc<dyn DecodeKernels> {
+    if vec4::LANE_IMPL == "scalar" {
+        reference()
+    } else {
+        simd()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backend_names_are_stable() {
+        assert_eq!(reference().name(), "reference");
+        assert!(simd().name().starts_with("simd-"));
+    }
+
+    #[test]
+    fn best_available_picks_vector_lanes_when_present() {
+        let best = best_available();
+        if vec4::LANE_IMPL == "scalar" {
+            assert_eq!(best.name(), "reference");
+        } else {
+            assert_eq!(best.name(), simd().name());
+        }
+    }
+
+    #[test]
+    fn kinds_construct_matching_backends() {
+        assert_eq!(BackendKind::Reference.kernels().name(), "reference");
+        assert_eq!(BackendKind::Simd.kernels().name(), simd().name());
+        assert_eq!(BackendKind::Reference.to_string(), "reference");
+    }
+}

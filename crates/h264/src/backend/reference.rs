@@ -1,0 +1,87 @@
+//! The scalar reference backend: the decoder's original block kernels,
+//! unchanged, behind the [`DecodeKernels`] contract.
+//!
+//! This backend *is* the specification the conformance suite holds every
+//! other backend to — its behavior must never drift, so it delegates
+//! directly to the free functions in [`crate::transform`] and
+//! [`crate::deblock`] rather than re-implementing them.
+
+use super::DecodeKernels;
+use crate::deblock::{self, BlockInfo, DeblockReport};
+use crate::frame::{Frame, MB_SIZE};
+use crate::inter::{self, MotionVector};
+use crate::transform;
+use crate::CodecError;
+
+/// The scalar reference kernels (zero-sized; see [`super::reference`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReferenceKernels;
+
+impl DecodeKernels for ReferenceKernels {
+    fn name(&self) -> &'static str {
+        "reference"
+    }
+
+    fn forward_transform(&self, block: &[i32; 16]) -> [i32; 16] {
+        transform::forward_transform(block)
+    }
+
+    fn inverse_transform(&self, coeffs: &[i32; 16]) -> [i32; 16] {
+        transform::inverse_transform(coeffs)
+    }
+
+    fn quantize(&self, coeffs: &[i32; 16], qp: u8) -> Result<[i32; 16], CodecError> {
+        transform::quantize(coeffs, qp)
+    }
+
+    fn dequantize(&self, levels: &[i32; 16], qp: u8) -> Result<[i32; 16], CodecError> {
+        transform::dequantize(levels, qp)
+    }
+
+    fn decode_residual(&self, zz_levels: &[i32; 16], qp: u8) -> Result<[i32; 16], CodecError> {
+        transform::decode_residual(zz_levels, qp)
+    }
+
+    fn reconstruct_block(
+        &self,
+        frame: &mut Frame,
+        x: usize,
+        y: usize,
+        pred: &[i32; 16],
+        residual: &[i32; 16],
+    ) {
+        let mut rec = [0i32; 16];
+        for i in 0..16 {
+            rec[i] = pred[i] + residual[i];
+        }
+        frame.write_block(x, y, &rec);
+    }
+
+    fn deblock_frame(&self, frame: &mut Frame, info: &[BlockInfo], qp: u8) -> DeblockReport {
+        deblock::deblock_frame(frame, info, qp)
+    }
+
+    fn motion_compensate(
+        &self,
+        reference: &Frame,
+        mb_x: usize,
+        mb_y: usize,
+        mv_hp: MotionVector,
+        out: &mut [i32; MB_SIZE * MB_SIZE],
+    ) {
+        inter::compensate_mb_hp(reference, mb_x, mb_y, mv_hp, out);
+    }
+
+    fn motion_compensate_bi(
+        &self,
+        ref0: &Frame,
+        ref1: &Frame,
+        mb_x: usize,
+        mb_y: usize,
+        mv0_hp: MotionVector,
+        mv1_hp: MotionVector,
+        out: &mut [i32; MB_SIZE * MB_SIZE],
+    ) {
+        inter::compensate_mb_bi_hp(ref0, ref1, mb_x, mb_y, mv0_hp, mv1_hp, out);
+    }
+}

@@ -1,0 +1,733 @@
+//! The vectorized backend: every block kernel written once against the
+//! portable [`I32x4`] lane type (SSE2 / NEON / exact scalar lanes).
+//!
+//! # Bit-exactness strategy
+//!
+//! The contract with [`super::reference`] is *identical bits for every
+//! input*, not "close enough". Three properties make that hold:
+//!
+//! 1. **Exact integer ops.** Every lane operation is a two's-complement
+//!    add/sub/mul/shift/compare — there is no floating point and no
+//!    rounding-mode dependence anywhere in the backend.
+//! 2. **Overflow guards.** The vector kernels compute in `i32` lanes where
+//!    the reference computes in `i64`; each kernel therefore checks its
+//!    input magnitude against a bound under which the `i32` math provably
+//!    cannot overflow (and so agrees with the `i64` math digit for digit).
+//!    Out-of-range blocks — reachable only through the public transform
+//!    API, never from the CAVLC-bounded decode path — are delegated to the
+//!    reference functions.
+//! 3. **Preserved traversal order.** The deblocking filter visits edges in
+//!    the same order as the reference (all vertical edges, then all
+//!    horizontal), and within one edge the four filtered rows/columns are
+//!    mutually independent, so vectorizing *across* them cannot reorder
+//!    any read/write dependency.
+//!
+//! The CAVLC un-zigzag is also restructured: instead of a 16-iteration
+//! scatter through [`crate::transform::ZIGZAG`], the four output rows are
+//! gathered with precomputed index quadruples ([`ROW_GATHER`]) and flow
+//! straight into the vector dequantize + inverse transform without ever
+//! materializing the intermediate natural-order block.
+//!
+//! Motion compensation follows the delegation pattern too: macroblocks
+//! whose interpolation taps all fall inside the reference frame take a
+//! row-sliced fast path (one bounds check per row instead of a clamp and
+//! an index multiply per pixel, half-pel averaging in 4-wide lanes);
+//! any block that touches the border keeps the reference path's exact
+//! per-pixel clamp by delegating to [`crate::inter::compensate_mb_hp`].
+
+use super::vec4::{transpose, I32x4, LANE_IMPL};
+use super::DecodeKernels;
+use crate::cavlc::MAX_LEVEL;
+use crate::deblock::{alpha, boundary_strength, BlockInfo, DeblockReport};
+use crate::frame::{Frame, BLOCK_SIZE, MB_SIZE};
+use crate::inter::{self, MotionVector};
+use crate::transform::{self, dequant_scale_row, quant_mf_row, MAX_DEQUANT};
+use crate::CodecError;
+
+/// The vectorized kernels (zero-sized; see [`super::simd`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SimdKernels;
+
+/// Per-output-row gather indices into the zigzag-ordered level array:
+/// `levels[4r + c] = zz[ROW_GATHER[r][c]]` (the inverse of
+/// [`crate::transform::ZIGZAG`], pre-grouped by row).
+const ROW_GATHER: [[usize; 4]; 4] = [[0, 1, 5, 6], [2, 4, 7, 12], [3, 8, 11, 13], [9, 10, 14, 15]];
+
+/// Forward-transform input bound: the two butterfly passes amplify at most
+/// `6× · 6× = 36×`, so `36 · 2^25 < 2^31` keeps every lane in `i32`.
+const FWD_LIMIT: u32 = 1 << 25;
+
+/// Inverse-transform input bound: the passes amplify at most
+/// `3.5× · 3.5× ≈ 12.25×`, so `2^23` inputs (the dequantizer's saturation
+/// wall) stay well inside `i32`.
+const INV_LIMIT: u32 = 1 << 23;
+
+/// Quantizer input bound: `2^17 · MF_max(13107) + f_max < 2^31`.
+const QUANT_LIMIT: u32 = 1 << 17;
+
+#[inline]
+fn in_range(block: &[i32; 16], limit: u32) -> bool {
+    block.iter().all(|&v| v.unsigned_abs() <= limit)
+}
+
+#[inline]
+fn row(a: &[i32; 16], r: usize) -> [i32; 4] {
+    [a[4 * r], a[4 * r + 1], a[4 * r + 2], a[4 * r + 3]]
+}
+
+#[inline]
+fn load_rows(a: &[i32; 16]) -> (I32x4, I32x4, I32x4, I32x4) {
+    (
+        I32x4::load(&row(a, 0)),
+        I32x4::load(&row(a, 1)),
+        I32x4::load(&row(a, 2)),
+        I32x4::load(&row(a, 3)),
+    )
+}
+
+#[inline]
+fn store_rows(out: &mut [i32; 16], r0: I32x4, r1: I32x4, r2: I32x4, r3: I32x4) {
+    let mut tmp = [0i32; 4];
+    for (i, v) in [r0, r1, r2, r3].into_iter().enumerate() {
+        v.store(&mut tmp);
+        out[4 * i..4 * i + 4].copy_from_slice(&tmp);
+    }
+}
+
+/// One forward butterfly stage over four parallel lanes:
+/// `(a, b, c, d) → (s0+s1, 2·s2+s3, s0−s1, s2−2·s3)`.
+#[inline]
+fn butterfly_fwd(a: I32x4, b: I32x4, c: I32x4, d: I32x4) -> (I32x4, I32x4, I32x4, I32x4) {
+    let s0 = a.add(d);
+    let s1 = b.add(c);
+    let s2 = a.sub(d);
+    let s3 = b.sub(c);
+    (s0.add(s1), s2.shl(1).add(s3), s0.sub(s1), s2.sub(s3.shl(1)))
+}
+
+/// One inverse butterfly stage (the standard half-shift core):
+/// `(a, b, c, d) → (s0+s3, s1+s2, s1−s2, s0−s3)`.
+#[inline]
+fn butterfly_inv(a: I32x4, b: I32x4, c: I32x4, d: I32x4) -> (I32x4, I32x4, I32x4, I32x4) {
+    let s0 = a.add(c);
+    let s1 = a.sub(c);
+    let s2 = b.shr(1).sub(d);
+    let s3 = b.add(d.shr(1));
+    (s0.add(s3), s1.add(s2), s1.sub(s2), s0.sub(s3))
+}
+
+/// Vector forward transform; caller guarantees [`FWD_LIMIT`].
+#[inline]
+fn forward_vec(block: &[i32; 16]) -> [i32; 16] {
+    let (r0, r1, r2, r3) = load_rows(block);
+    // Pass 1 is a vertical butterfly: lanes are columns, so it maps
+    // directly onto the row vectors.
+    let (t0, t1, t2, t3) = butterfly_fwd(r0, r1, r2, r3);
+    // Pass 2 works within rows: transpose, butterfly, transpose back.
+    let (c0, c1, c2, c3) = transpose(t0, t1, t2, t3);
+    let (o0, o1, o2, o3) = butterfly_fwd(c0, c1, c2, c3);
+    let (f0, f1, f2, f3) = transpose(o0, o1, o2, o3);
+    let mut out = [0i32; 16];
+    store_rows(&mut out, f0, f1, f2, f3);
+    out
+}
+
+/// Vector inverse transform with `(+32) >> 6` rounding; caller guarantees
+/// [`INV_LIMIT`].
+#[inline]
+fn inverse_vec(coeffs: &[i32; 16]) -> [i32; 16] {
+    let (r0, r1, r2, r3) = load_rows(coeffs);
+    let (t0, t1, t2, t3) = butterfly_inv(r0, r1, r2, r3);
+    let (c0, c1, c2, c3) = transpose(t0, t1, t2, t3);
+    let (o0, o1, o2, o3) = butterfly_inv(c0, c1, c2, c3);
+    let bias = I32x4::splat(32);
+    let round = |v: I32x4| v.add(bias).shr(6);
+    let (f0, f1, f2, f3) = transpose(round(o0), round(o1), round(o2), round(o3));
+    let mut out = [0i32; 16];
+    store_rows(&mut out, f0, f1, f2, f3);
+    out
+}
+
+/// Vector dequantize of four natural-order rows; caller guarantees levels
+/// within `±MAX_LEVEL` so the lane products fit `i32` and the `±2^23`
+/// clamp matches the reference's `i64` clamp exactly.
+#[inline]
+fn dequant_vec(rows: [I32x4; 4], qp: u8) -> [I32x4; 4] {
+    let scale = dequant_scale_row(qp);
+    let hi = I32x4::splat(MAX_DEQUANT as i32);
+    let lo = I32x4::splat(-(MAX_DEQUANT as i32));
+    core::array::from_fn(|r| {
+        let s = I32x4::load(&[
+            scale[4 * r],
+            scale[4 * r + 1],
+            scale[4 * r + 2],
+            scale[4 * r + 3],
+        ]);
+        rows[r].mul(s).min(hi).max(lo)
+    })
+}
+
+/// Widens `src` pixels into `dst` lanes (`dst[i] = src[i] as i32`).
+#[inline]
+fn widen(src: &[u8], dst: &mut [i32]) {
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d = i32::from(s);
+    }
+}
+
+#[inline]
+fn chunk(a: &[i32], at: usize) -> I32x4 {
+    I32x4::load(a[at..at + 4].try_into().expect("4-lane chunk"))
+}
+
+/// `out[i] = (a[i] + a[i+1] + 1) >> 1` — the horizontal half-pel filter
+/// over one widened 17-pixel row.
+#[inline]
+fn avg_pairs_h(a: &[i32; MB_SIZE + 1], out: &mut [i32]) {
+    let one = I32x4::splat(1);
+    let mut tmp = [0i32; 4];
+    for c in 0..MB_SIZE / 4 {
+        chunk(a, 4 * c)
+            .add(chunk(a, 4 * c + 1))
+            .add(one)
+            .shr(1)
+            .store(&mut tmp);
+        out[4 * c..4 * c + 4].copy_from_slice(&tmp);
+    }
+}
+
+/// `out[i] = (a[i] + b[i] + 1) >> 1` — the vertical half-pel filter (and
+/// the bi-prediction average) over 16-lane rows.
+#[inline]
+fn avg_rows(a: &[i32], b: &[i32], out: &mut [i32]) {
+    let one = I32x4::splat(1);
+    let mut tmp = [0i32; 4];
+    for c in 0..MB_SIZE / 4 {
+        chunk(a, 4 * c)
+            .add(chunk(b, 4 * c))
+            .add(one)
+            .shr(1)
+            .store(&mut tmp);
+        out[4 * c..4 * c + 4].copy_from_slice(&tmp);
+    }
+}
+
+/// `out[i] = (a[i] + a[i+1] + b[i] + b[i+1] + 2) >> 2` — the diagonal
+/// half-pel filter over two widened 17-pixel rows.
+#[inline]
+fn avg_quad(a: &[i32; MB_SIZE + 1], b: &[i32; MB_SIZE + 1], out: &mut [i32]) {
+    let two = I32x4::splat(2);
+    let mut tmp = [0i32; 4];
+    for c in 0..MB_SIZE / 4 {
+        chunk(a, 4 * c)
+            .add(chunk(a, 4 * c + 1))
+            .add(chunk(b, 4 * c))
+            .add(chunk(b, 4 * c + 1))
+            .add(two)
+            .shr(2)
+            .store(&mut tmp);
+        out[4 * c..4 * c + 4].copy_from_slice(&tmp);
+    }
+}
+
+impl DecodeKernels for SimdKernels {
+    fn name(&self) -> &'static str {
+        match LANE_IMPL {
+            "sse2" => "simd-sse2",
+            "neon" => "simd-neon",
+            _ => "simd-scalar",
+        }
+    }
+
+    fn forward_transform(&self, block: &[i32; 16]) -> [i32; 16] {
+        if in_range(block, FWD_LIMIT) {
+            forward_vec(block)
+        } else {
+            transform::forward_transform(block)
+        }
+    }
+
+    fn inverse_transform(&self, coeffs: &[i32; 16]) -> [i32; 16] {
+        if in_range(coeffs, INV_LIMIT) {
+            inverse_vec(coeffs)
+        } else {
+            transform::inverse_transform(coeffs)
+        }
+    }
+
+    fn quantize(&self, coeffs: &[i32; 16], qp: u8) -> Result<[i32; 16], CodecError> {
+        if qp > 51 {
+            return Err(CodecError::InvalidParameter {
+                name: "qp",
+                reason: "must be at most 51",
+            });
+        }
+        if !in_range(coeffs, QUANT_LIMIT) {
+            return transform::quantize(coeffs, qp);
+        }
+        let qbits = 15 + u32::from(qp / 6);
+        // `f < 2^23 / 3`, and `|c| · MF + f < 2^17 · 13107 + 2^23 < 2^31`,
+        // so the whole rounding product fits an i32 lane.
+        let f = I32x4::splat(((1i64 << qbits) / 3) as i32);
+        let mf = quant_mf_row(qp);
+        let mut out = [0i32; 16];
+        let mut tmp = [0i32; 4];
+        for r in 0..4 {
+            let c = I32x4::load(&row(coeffs, r));
+            let m = I32x4::load(&[mf[4 * r], mf[4 * r + 1], mf[4 * r + 2], mf[4 * r + 3]]);
+            let sign = c.shr(31);
+            let magnitude = c.xor(sign).sub(sign); // |c|
+            let level = magnitude.mul(m).add(f).shr(qbits);
+            let signed = level.xor(sign).sub(sign);
+            signed.store(&mut tmp);
+            out[4 * r..4 * r + 4].copy_from_slice(&tmp);
+        }
+        Ok(out)
+    }
+
+    fn dequantize(&self, levels: &[i32; 16], qp: u8) -> Result<[i32; 16], CodecError> {
+        if qp > 51 {
+            return Err(CodecError::InvalidParameter {
+                name: "qp",
+                reason: "must be at most 51",
+            });
+        }
+        if !in_range(levels, MAX_LEVEL as u32) {
+            return transform::dequantize(levels, qp);
+        }
+        let rows = core::array::from_fn(|r| I32x4::load(&row(levels, r)));
+        let deq = dequant_vec(rows, qp);
+        let mut out = [0i32; 16];
+        store_rows(&mut out, deq[0], deq[1], deq[2], deq[3]);
+        Ok(out)
+    }
+
+    fn decode_residual(&self, zz_levels: &[i32; 16], qp: u8) -> Result<[i32; 16], CodecError> {
+        if qp > 51 {
+            return Err(CodecError::InvalidParameter {
+                name: "qp",
+                reason: "must be at most 51",
+            });
+        }
+        // Zero-block fast path: dequant(0) = 0 and the inverse transform of
+        // an all-zero block is exactly zero ((0 + 32) >> 6 == 0), so the
+        // common skipped-residual case costs one scan.
+        if zz_levels.iter().all(|&l| l == 0) {
+            return Ok([0i32; 16]);
+        }
+        if !in_range(zz_levels, MAX_LEVEL as u32) {
+            // Levels beyond the CAVLC bound only arrive through the public
+            // API; keep the reference's exact i64 saturation behavior.
+            return transform::decode_residual(zz_levels, qp);
+        }
+        // Row-batched un-zigzag: gather each natural-order row straight
+        // from the zigzag array.
+        let rows = core::array::from_fn(|r| {
+            let g = ROW_GATHER[r];
+            I32x4::load(&[
+                zz_levels[g[0]],
+                zz_levels[g[1]],
+                zz_levels[g[2]],
+                zz_levels[g[3]],
+            ])
+        });
+        let [d0, d1, d2, d3] = dequant_vec(rows, qp);
+        // Dequantized lanes are clamped to ±2^23 == INV_LIMIT, so the
+        // vector inverse transform is unconditionally safe here.
+        let (t0, t1, t2, t3) = butterfly_inv(d0, d1, d2, d3);
+        let (c0, c1, c2, c3) = transpose(t0, t1, t2, t3);
+        let (o0, o1, o2, o3) = butterfly_inv(c0, c1, c2, c3);
+        let bias = I32x4::splat(32);
+        let round = |v: I32x4| v.add(bias).shr(6);
+        let (f0, f1, f2, f3) = transpose(round(o0), round(o1), round(o2), round(o3));
+        let mut out = [0i32; 16];
+        store_rows(&mut out, f0, f1, f2, f3);
+        Ok(out)
+    }
+
+    fn reconstruct_block(
+        &self,
+        frame: &mut Frame,
+        x: usize,
+        y: usize,
+        pred: &[i32; 16],
+        residual: &[i32; 16],
+    ) {
+        let mut rec = [0i32; 16];
+        let mut tmp = [0i32; 4];
+        for r in 0..4 {
+            let p = I32x4::load(&row(pred, r));
+            let d = I32x4::load(&row(residual, r));
+            p.add(d).store(&mut tmp);
+            rec[4 * r..4 * r + 4].copy_from_slice(&tmp);
+        }
+        frame.write_block(x, y, &rec);
+    }
+
+    fn deblock_frame(&self, frame: &mut Frame, info: &[BlockInfo], qp: u8) -> DeblockReport {
+        let blocks_x = frame.width() / BLOCK_SIZE;
+        let blocks_y = frame.height() / BLOCK_SIZE;
+        assert_eq!(
+            info.len(),
+            blocks_x * blocks_y,
+            "block info grid must match the frame"
+        );
+        let a = I32x4::splat(alpha(qp));
+        let zero = I32x4::splat(0);
+        let two = I32x4::splat(2);
+        let mut report = DeblockReport::default();
+
+        // The `(0 < |p0−q0| < alpha)` gate and the low-pass filter, four
+        // edge rows/columns per shot. Lanes where the gate fails blend the
+        // original pixels back in, which makes the stores value-preserving
+        // no-ops there — same final pixels as the reference's conditional
+        // writes.
+        let filter = |p1: I32x4, p0: I32x4, q0: I32x4, q1: I32x4| -> Option<(I32x4, I32x4)> {
+            let dabs = p0.sub(q0).abs();
+            let mask = a.cmp_gt(dabs).and(dabs.cmp_gt(zero));
+            if !mask.any() {
+                return None;
+            }
+            let np0 = p1.add(p0.shl(1)).add(q0).add(two).shr(2);
+            let nq0 = p0.add(q0.shl(1)).add(q1).add(two).shr(2);
+            Some((I32x4::blend(mask, np0, p0), I32x4::blend(mask, nq0, q0)))
+        };
+
+        // Vertical edges (between horizontally adjacent blocks): the four
+        // taps lie along a row, so load 4 rows × 4 pixels and transpose to
+        // get the p1/p0/q0/q1 tap vectors (lanes = rows).
+        for by in 0..blocks_y {
+            for bx in 1..blocks_x {
+                let left = info[by * blocks_x + bx - 1];
+                let right = info[by * blocks_x + bx];
+                report.edges_checked += 1;
+                if boundary_strength(left, right) == 0 {
+                    continue;
+                }
+                let x = bx * BLOCK_SIZE;
+                let y0 = by * BLOCK_SIZE;
+                let mut rows = [[0i32; 4]; 4];
+                for (r, taps) in rows.iter_mut().enumerate() {
+                    for (t, v) in taps.iter_mut().enumerate() {
+                        *v = i32::from(frame.pixel(x - 2 + t, y0 + r));
+                    }
+                }
+                let (p1, p0, q0, q1) = transpose(
+                    I32x4::load(&rows[0]),
+                    I32x4::load(&rows[1]),
+                    I32x4::load(&rows[2]),
+                    I32x4::load(&rows[3]),
+                );
+                if let Some((np0, nq0)) = filter(p1, p0, q0, q1) {
+                    let (mut pa, mut qa) = ([0i32; 4], [0i32; 4]);
+                    np0.store(&mut pa);
+                    nq0.store(&mut qa);
+                    for r in 0..BLOCK_SIZE {
+                        frame.set_pixel(x - 1, y0 + r, pa[r].clamp(0, 255) as u8);
+                        frame.set_pixel(x, y0 + r, qa[r].clamp(0, 255) as u8);
+                    }
+                    report.edges_filtered += 1;
+                }
+            }
+        }
+
+        // Horizontal edges: the four taps are whole pixel rows, so they
+        // load and store contiguously with no transpose.
+        for by in 1..blocks_y {
+            for bx in 0..blocks_x {
+                let top = info[(by - 1) * blocks_x + bx];
+                let bottom = info[by * blocks_x + bx];
+                report.edges_checked += 1;
+                if boundary_strength(top, bottom) == 0 {
+                    continue;
+                }
+                let x0 = bx * BLOCK_SIZE;
+                let y = by * BLOCK_SIZE;
+                let load = |frame: &Frame, yy: usize| {
+                    let mut px = [0i32; 4];
+                    for (c, v) in px.iter_mut().enumerate() {
+                        *v = i32::from(frame.pixel(x0 + c, yy));
+                    }
+                    I32x4::load(&px)
+                };
+                let p1 = load(frame, y - 2);
+                let p0 = load(frame, y - 1);
+                let q0 = load(frame, y);
+                let q1 = load(frame, y + 1);
+                if let Some((np0, nq0)) = filter(p1, p0, q0, q1) {
+                    let (mut pa, mut qa) = ([0i32; 4], [0i32; 4]);
+                    np0.store(&mut pa);
+                    nq0.store(&mut qa);
+                    for c in 0..BLOCK_SIZE {
+                        frame.set_pixel(x0 + c, y - 1, pa[c].clamp(0, 255) as u8);
+                        frame.set_pixel(x0 + c, y, qa[c].clamp(0, 255) as u8);
+                    }
+                    report.edges_filtered += 1;
+                }
+            }
+        }
+        report
+    }
+
+    fn motion_compensate(
+        &self,
+        reference: &Frame,
+        mb_x: usize,
+        mb_y: usize,
+        mv_hp: MotionVector,
+        out: &mut [i32; MB_SIZE * MB_SIZE],
+    ) {
+        let base_x = (mb_x * MB_SIZE) as isize * 2 + mv_hp.x as isize;
+        let base_y = (mb_y * MB_SIZE) as isize * 2 + mv_hp.y as isize;
+        let (ix, iy) = (base_x >> 1, base_y >> 1);
+        let (fx, fy) = ((base_x & 1) as usize, (base_y & 1) as usize);
+        let w = reference.width();
+        // Every tap the interpolation touches must be strictly in bounds;
+        // otherwise the reference path's per-pixel border clamp is the
+        // behavior to reproduce, so delegate.
+        if ix < 0
+            || iy < 0
+            || ix + (MB_SIZE - 1 + fx) as isize >= w as isize
+            || iy + (MB_SIZE - 1 + fy) as isize >= reference.height() as isize
+        {
+            inter::compensate_mb_hp(reference, mb_x, mb_y, mv_hp, out);
+            return;
+        }
+        let (ix, iy) = (ix as usize, iy as usize);
+        let data = reference.data();
+        match (fx, fy) {
+            (0, 0) => {
+                for r in 0..MB_SIZE {
+                    widen(
+                        &data[(iy + r) * w + ix..][..MB_SIZE],
+                        &mut out[r * MB_SIZE..][..MB_SIZE],
+                    );
+                }
+            }
+            (1, 0) => {
+                let mut a = [0i32; MB_SIZE + 1];
+                for r in 0..MB_SIZE {
+                    widen(&data[(iy + r) * w + ix..][..MB_SIZE + 1], &mut a);
+                    avg_pairs_h(&a, &mut out[r * MB_SIZE..][..MB_SIZE]);
+                }
+            }
+            (0, 1) => {
+                let mut a = [0i32; MB_SIZE];
+                let mut b = [0i32; MB_SIZE];
+                for r in 0..MB_SIZE {
+                    widen(&data[(iy + r) * w + ix..][..MB_SIZE], &mut a);
+                    widen(&data[(iy + r + 1) * w + ix..][..MB_SIZE], &mut b);
+                    avg_rows(&a, &b, &mut out[r * MB_SIZE..][..MB_SIZE]);
+                }
+            }
+            _ => {
+                let mut a = [0i32; MB_SIZE + 1];
+                let mut b = [0i32; MB_SIZE + 1];
+                for r in 0..MB_SIZE {
+                    widen(&data[(iy + r) * w + ix..][..MB_SIZE + 1], &mut a);
+                    widen(&data[(iy + r + 1) * w + ix..][..MB_SIZE + 1], &mut b);
+                    avg_quad(&a, &b, &mut out[r * MB_SIZE..][..MB_SIZE]);
+                }
+            }
+        }
+    }
+
+    fn motion_compensate_bi(
+        &self,
+        ref0: &Frame,
+        ref1: &Frame,
+        mb_x: usize,
+        mb_y: usize,
+        mv0_hp: MotionVector,
+        mv1_hp: MotionVector,
+        out: &mut [i32; MB_SIZE * MB_SIZE],
+    ) {
+        let mut a = [0i32; MB_SIZE * MB_SIZE];
+        let mut b = [0i32; MB_SIZE * MB_SIZE];
+        self.motion_compensate(ref0, mb_x, mb_y, mv0_hp, &mut a);
+        self.motion_compensate(ref1, mb_x, mb_y, mv1_hp, &mut b);
+        for r in 0..MB_SIZE {
+            avg_rows(
+                &a[r * MB_SIZE..][..MB_SIZE],
+                &b[r * MB_SIZE..][..MB_SIZE],
+                &mut out[r * MB_SIZE..][..MB_SIZE],
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::ReferenceKernels;
+    use crate::transform::ZIGZAG;
+
+    #[test]
+    fn row_gather_is_the_zigzag_inverse() {
+        for (r, g) in ROW_GATHER.iter().enumerate() {
+            for (c, &zi) in g.iter().enumerate() {
+                assert_eq!(ZIGZAG[zi], 4 * r + c, "row {r} col {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn transforms_match_reference_on_random_blocks() {
+        let reference = ReferenceKernels;
+        let simd = SimdKernels;
+        let mut state = 0x2545_F491_4F6C_DD1Du64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..500 {
+            let block: [i32; 16] = core::array::from_fn(|_| (next() % 2048) as i32 - 1024);
+            assert_eq!(
+                reference.forward_transform(&block),
+                simd.forward_transform(&block)
+            );
+            assert_eq!(
+                reference.inverse_transform(&block),
+                simd.inverse_transform(&block)
+            );
+            for qp in [0u8, 17, 34, 51] {
+                assert_eq!(
+                    reference.quantize(&block, qp).unwrap(),
+                    simd.quantize(&block, qp).unwrap()
+                );
+                assert_eq!(
+                    reference.dequantize(&block, qp).unwrap(),
+                    simd.dequantize(&block, qp).unwrap()
+                );
+                assert_eq!(
+                    reference.decode_residual(&block, qp).unwrap(),
+                    simd.decode_residual(&block, qp).unwrap()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn extreme_inputs_delegate_and_still_match() {
+        let reference = ReferenceKernels;
+        let simd = SimdKernels;
+        // Beyond every vector guard: the SIMD backend must fall back to the
+        // exact reference behavior, saturation included.
+        let extremes = [
+            [MAX_LEVEL + 1; 16],
+            [-(MAX_LEVEL + 1); 16],
+            [1 << 26; 16],
+            core::array::from_fn(|i| if i == 3 { i32::MAX / 2 } else { 1 }),
+        ];
+        for block in &extremes {
+            assert_eq!(
+                reference.inverse_transform(block),
+                simd.inverse_transform(block)
+            );
+            for qp in [0u8, 30, 51] {
+                assert_eq!(
+                    reference.dequantize(block, qp).unwrap(),
+                    simd.dequantize(block, qp).unwrap()
+                );
+                assert_eq!(
+                    reference.decode_residual(block, qp).unwrap(),
+                    simd.decode_residual(block, qp).unwrap()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_block_fast_path_is_exact() {
+        let simd = SimdKernels;
+        for qp in 0..=51u8 {
+            assert_eq!(simd.decode_residual(&[0i32; 16], qp).unwrap(), [0i32; 16]);
+        }
+    }
+
+    #[test]
+    fn qp_out_of_range_rejected() {
+        let simd = SimdKernels;
+        let block = [0i32; 16];
+        assert!(simd.quantize(&block, 52).is_err());
+        assert!(simd.dequantize(&block, 52).is_err());
+        assert!(simd.decode_residual(&block, 52).is_err());
+    }
+
+    #[test]
+    fn motion_compensation_matches_reference_everywhere() {
+        let mut seed = 99u64;
+        let mut next = move || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (seed >> 33) as u8
+        };
+        let mut r0 = Frame::new(48, 32).unwrap();
+        let mut r1 = Frame::new(48, 32).unwrap();
+        for p in r0.data_mut() {
+            *p = next();
+        }
+        for p in r1.data_mut() {
+            *p = next();
+        }
+        let simd = SimdKernels;
+        // Every fractional-phase combination, interior and border-clamped
+        // displacements, every macroblock position.
+        let mvs = [-33i32, -5, -2, -1, 0, 1, 2, 3, 7, 40];
+        for mb_y in 0..2 {
+            for mb_x in 0..3 {
+                for &mx in &mvs {
+                    for &my in &mvs {
+                        let mv = MotionVector::new(mx, my);
+                        let mut want = [0i32; MB_SIZE * MB_SIZE];
+                        let mut got = [0i32; MB_SIZE * MB_SIZE];
+                        inter::compensate_mb_hp(&r0, mb_x, mb_y, mv, &mut want);
+                        simd.motion_compensate(&r0, mb_x, mb_y, mv, &mut got);
+                        assert_eq!(want, got, "uni mb ({mb_x},{mb_y}) mv ({mx},{my})");
+
+                        let mv1 = MotionVector::new(my, mx);
+                        inter::compensate_mb_bi_hp(&r0, &r1, mb_x, mb_y, mv, mv1, &mut want);
+                        simd.motion_compensate_bi(&r0, &r1, mb_x, mb_y, mv, mv1, &mut got);
+                        assert_eq!(want, got, "bi mb ({mb_x},{mb_y}) mv ({mx},{my})");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deblock_matches_reference_pixel_for_pixel() {
+        use crate::deblock::deblock_frame as reference_deblock;
+        let mut seed = 7u64;
+        let mut next = move || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (seed >> 33) as u8
+        };
+        for qp in [10u8, 30, 48] {
+            let mut f = Frame::new(32, 32).unwrap();
+            for y in 0..32 {
+                for x in 0..32 {
+                    f.set_pixel(x, y, next());
+                }
+            }
+            let info: Vec<BlockInfo> = (0..64)
+                .map(|i| BlockInfo {
+                    intra: i % 3 == 0,
+                    coded: i % 2 == 0,
+                    mv_x: if i % 5 == 0 { 8 } else { 0 },
+                    mv_y: 0,
+                })
+                .collect();
+            let mut f_ref = f.clone();
+            let report_ref = reference_deblock(&mut f_ref, &info, qp);
+            let report_simd = SimdKernels.deblock_frame(&mut f, &info, qp);
+            assert_eq!(report_ref, report_simd, "qp {qp}: reports differ");
+            assert_eq!(f_ref, f, "qp {qp}: pixels differ");
+        }
+    }
+}

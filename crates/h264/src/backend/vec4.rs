@@ -1,0 +1,510 @@
+//! A four-lane `i32` vector with bit-exact integer semantics across three
+//! implementations: SSE2 on `x86_64`, NEON on `aarch64`, and a portable
+//! scalar fallback everywhere else (or when the crate's `simd` feature is
+//! disabled).
+//!
+//! Every operation is an exact two's-complement integer op — wrapping
+//! add/sub/mul, arithmetic/logical shifts, lane-wise compare masks — so a
+//! kernel written once against [`I32x4`] produces identical bits on every
+//! architecture. That single-source property is what lets the SIMD decode
+//! backend promise bit-exact output against the scalar reference while the
+//! conformance suite only has to be *run*, not ported, per target.
+//!
+//! The SSE2 and NEON paths use only baseline intrinsics for their targets
+//! (SSE2 is part of the `x86_64` ABI, NEON of `aarch64`), so no runtime
+//! feature detection is needed: the `unsafe` blocks are sound on every CPU
+//! the crate compiles for.
+
+/// Which lane implementation is compiled in (surfaced in backend names and
+/// the decode-sweep artifacts).
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+pub(crate) const LANE_IMPL: &str = "sse2";
+/// Which lane implementation is compiled in.
+#[cfg(all(feature = "simd", target_arch = "aarch64"))]
+pub(crate) const LANE_IMPL: &str = "neon";
+/// Which lane implementation is compiled in.
+#[cfg(not(all(feature = "simd", any(target_arch = "x86_64", target_arch = "aarch64"))))]
+pub(crate) const LANE_IMPL: &str = "scalar";
+
+// ---------------------------------------------------------------------------
+// SSE2 (x86_64 baseline)
+// ---------------------------------------------------------------------------
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+mod imp {
+    use std::arch::x86_64::*;
+
+    /// Four `i32` lanes over `__m128i`.
+    #[derive(Copy, Clone)]
+    pub(crate) struct I32x4(__m128i);
+
+    impl I32x4 {
+        #[inline]
+        pub(crate) fn splat(v: i32) -> Self {
+            // SAFETY: SSE2 is a baseline x86_64 target feature.
+            Self(unsafe { _mm_set1_epi32(v) })
+        }
+
+        #[inline]
+        pub(crate) fn load(src: &[i32; 4]) -> Self {
+            // SAFETY: `src` is a valid 16-byte read; loadu has no alignment
+            // requirement.
+            Self(unsafe { _mm_loadu_si128(src.as_ptr().cast()) })
+        }
+
+        #[inline]
+        pub(crate) fn store(self, dst: &mut [i32; 4]) {
+            // SAFETY: `dst` is a valid 16-byte write; storeu is unaligned.
+            unsafe { _mm_storeu_si128(dst.as_mut_ptr().cast(), self.0) }
+        }
+
+        #[inline]
+        pub(crate) fn add(self, o: Self) -> Self {
+            // SAFETY: baseline SSE2.
+            Self(unsafe { _mm_add_epi32(self.0, o.0) })
+        }
+
+        #[inline]
+        pub(crate) fn sub(self, o: Self) -> Self {
+            // SAFETY: baseline SSE2.
+            Self(unsafe { _mm_sub_epi32(self.0, o.0) })
+        }
+
+        /// Lane-wise low-32-bit product (wrapping), emulated on SSE2 with
+        /// the classic pair of widening `pmuludq` multiplies.
+        #[inline]
+        pub(crate) fn mul(self, o: Self) -> Self {
+            // SAFETY: baseline SSE2.
+            unsafe {
+                let even = _mm_mul_epu32(self.0, o.0); // lanes 0, 2
+                let odd = _mm_mul_epu32(_mm_srli_si128(self.0, 4), _mm_srli_si128(o.0, 4));
+                let even = _mm_shuffle_epi32(even, 0b00_00_10_00); // low halves of 0, 2
+                let odd = _mm_shuffle_epi32(odd, 0b00_00_10_00); // low halves of 1, 3
+                Self(_mm_unpacklo_epi32(even, odd))
+            }
+        }
+
+        /// Lane-wise shift left by a runtime count.
+        #[inline]
+        pub(crate) fn shl(self, n: u32) -> Self {
+            // SAFETY: baseline SSE2.
+            Self(unsafe { _mm_sll_epi32(self.0, _mm_cvtsi32_si128(n as i32)) })
+        }
+
+        /// Lane-wise arithmetic (sign-propagating) shift right.
+        #[inline]
+        pub(crate) fn shr(self, n: u32) -> Self {
+            // SAFETY: baseline SSE2.
+            Self(unsafe { _mm_sra_epi32(self.0, _mm_cvtsi32_si128(n as i32)) })
+        }
+
+        /// Lane mask: all-ones where `self > o`, zero elsewhere.
+        #[inline]
+        pub(crate) fn cmp_gt(self, o: Self) -> Self {
+            // SAFETY: baseline SSE2.
+            Self(unsafe { _mm_cmpgt_epi32(self.0, o.0) })
+        }
+
+        #[inline]
+        pub(crate) fn and(self, o: Self) -> Self {
+            // SAFETY: baseline SSE2.
+            Self(unsafe { _mm_and_si128(self.0, o.0) })
+        }
+
+        #[inline]
+        pub(crate) fn or(self, o: Self) -> Self {
+            // SAFETY: baseline SSE2.
+            Self(unsafe { _mm_or_si128(self.0, o.0) })
+        }
+
+        #[inline]
+        pub(crate) fn xor(self, o: Self) -> Self {
+            // SAFETY: baseline SSE2.
+            Self(unsafe { _mm_xor_si128(self.0, o.0) })
+        }
+
+        /// `(!self) & o` — the mask complement side of a blend.
+        #[inline]
+        pub(crate) fn andnot(self, o: Self) -> Self {
+            // SAFETY: baseline SSE2.
+            Self(unsafe { _mm_andnot_si128(self.0, o.0) })
+        }
+
+        /// True when any bit of any lane is set (mask reduction).
+        #[inline]
+        pub(crate) fn any(self) -> bool {
+            // SAFETY: baseline SSE2. movemask alone only sees byte sign
+            // bits, so compare against zero first: all-equal-zero packs to
+            // 0xFFFF, anything less means a set lane.
+            unsafe { _mm_movemask_epi8(_mm_cmpeq_epi32(self.0, _mm_setzero_si128())) != 0xFFFF }
+        }
+    }
+
+    /// 4×4 transpose of four row vectors.
+    #[inline]
+    pub(crate) fn transpose(
+        r0: I32x4,
+        r1: I32x4,
+        r2: I32x4,
+        r3: I32x4,
+    ) -> (I32x4, I32x4, I32x4, I32x4) {
+        // SAFETY: baseline SSE2.
+        unsafe {
+            let t0 = _mm_unpacklo_epi32(r0.0, r1.0);
+            let t1 = _mm_unpackhi_epi32(r0.0, r1.0);
+            let t2 = _mm_unpacklo_epi32(r2.0, r3.0);
+            let t3 = _mm_unpackhi_epi32(r2.0, r3.0);
+            (
+                I32x4(_mm_unpacklo_epi64(t0, t2)),
+                I32x4(_mm_unpackhi_epi64(t0, t2)),
+                I32x4(_mm_unpacklo_epi64(t1, t3)),
+                I32x4(_mm_unpackhi_epi64(t1, t3)),
+            )
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// NEON (aarch64 baseline)
+// ---------------------------------------------------------------------------
+#[cfg(all(feature = "simd", target_arch = "aarch64"))]
+mod imp {
+    use std::arch::aarch64::*;
+
+    /// Four `i32` lanes over `int32x4_t`.
+    #[derive(Copy, Clone)]
+    pub(crate) struct I32x4(int32x4_t);
+
+    impl I32x4 {
+        #[inline]
+        pub(crate) fn splat(v: i32) -> Self {
+            // SAFETY: NEON is a baseline aarch64 target feature.
+            Self(unsafe { vdupq_n_s32(v) })
+        }
+
+        #[inline]
+        pub(crate) fn load(src: &[i32; 4]) -> Self {
+            // SAFETY: `src` is a valid 16-byte read.
+            Self(unsafe { vld1q_s32(src.as_ptr()) })
+        }
+
+        #[inline]
+        pub(crate) fn store(self, dst: &mut [i32; 4]) {
+            // SAFETY: `dst` is a valid 16-byte write.
+            unsafe { vst1q_s32(dst.as_mut_ptr(), self.0) }
+        }
+
+        #[inline]
+        pub(crate) fn add(self, o: Self) -> Self {
+            // SAFETY: baseline NEON.
+            Self(unsafe { vaddq_s32(self.0, o.0) })
+        }
+
+        #[inline]
+        pub(crate) fn sub(self, o: Self) -> Self {
+            // SAFETY: baseline NEON.
+            Self(unsafe { vsubq_s32(self.0, o.0) })
+        }
+
+        #[inline]
+        pub(crate) fn mul(self, o: Self) -> Self {
+            // SAFETY: baseline NEON; vmulq_s32 is a wrapping low-32 product.
+            Self(unsafe { vmulq_s32(self.0, o.0) })
+        }
+
+        #[inline]
+        pub(crate) fn shl(self, n: u32) -> Self {
+            // SAFETY: baseline NEON.
+            Self(unsafe { vshlq_s32(self.0, vdupq_n_s32(n as i32)) })
+        }
+
+        #[inline]
+        pub(crate) fn shr(self, n: u32) -> Self {
+            // SAFETY: baseline NEON; a negative VSHL count on a signed
+            // vector is an arithmetic right shift.
+            Self(unsafe { vshlq_s32(self.0, vdupq_n_s32(-(n as i32))) })
+        }
+
+        #[inline]
+        pub(crate) fn cmp_gt(self, o: Self) -> Self {
+            // SAFETY: baseline NEON.
+            Self(unsafe { vreinterpretq_s32_u32(vcgtq_s32(self.0, o.0)) })
+        }
+
+        #[inline]
+        pub(crate) fn and(self, o: Self) -> Self {
+            // SAFETY: baseline NEON.
+            Self(unsafe { vandq_s32(self.0, o.0) })
+        }
+
+        #[inline]
+        pub(crate) fn or(self, o: Self) -> Self {
+            // SAFETY: baseline NEON.
+            Self(unsafe { vorrq_s32(self.0, o.0) })
+        }
+
+        #[inline]
+        pub(crate) fn xor(self, o: Self) -> Self {
+            // SAFETY: baseline NEON.
+            Self(unsafe { veorq_s32(self.0, o.0) })
+        }
+
+        #[inline]
+        pub(crate) fn andnot(self, o: Self) -> Self {
+            // SAFETY: baseline NEON; vbicq computes `o & !self` with the
+            // operand order below.
+            Self(unsafe { vbicq_s32(o.0, self.0) })
+        }
+
+        #[inline]
+        pub(crate) fn any(self) -> bool {
+            // SAFETY: baseline NEON.
+            unsafe { vmaxvq_u32(vreinterpretq_u32_s32(self.0)) != 0 }
+        }
+    }
+
+    /// 4×4 transpose of four row vectors.
+    #[inline]
+    pub(crate) fn transpose(
+        r0: I32x4,
+        r1: I32x4,
+        r2: I32x4,
+        r3: I32x4,
+    ) -> (I32x4, I32x4, I32x4, I32x4) {
+        // SAFETY: baseline NEON.
+        unsafe {
+            let t0 = vtrn1q_s32(r0.0, r1.0);
+            let t1 = vtrn2q_s32(r0.0, r1.0);
+            let t2 = vtrn1q_s32(r2.0, r3.0);
+            let t3 = vtrn2q_s32(r2.0, r3.0);
+            (
+                I32x4(vreinterpretq_s32_s64(vtrn1q_s64(
+                    vreinterpretq_s64_s32(t0),
+                    vreinterpretq_s64_s32(t2),
+                ))),
+                I32x4(vreinterpretq_s32_s64(vtrn1q_s64(
+                    vreinterpretq_s64_s32(t1),
+                    vreinterpretq_s64_s32(t3),
+                ))),
+                I32x4(vreinterpretq_s32_s64(vtrn2q_s64(
+                    vreinterpretq_s64_s32(t0),
+                    vreinterpretq_s64_s32(t2),
+                ))),
+                I32x4(vreinterpretq_s32_s64(vtrn2q_s64(
+                    vreinterpretq_s64_s32(t1),
+                    vreinterpretq_s64_s32(t3),
+                ))),
+            )
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Portable scalar fallback (also the `--no-default-features` path, which CI
+// exercises so the portable backend stays tested on SIMD-capable runners).
+// ---------------------------------------------------------------------------
+#[cfg(not(all(feature = "simd", any(target_arch = "x86_64", target_arch = "aarch64"))))]
+mod imp {
+    /// Four `i32` lanes over a plain array; every op mirrors the wrapping
+    /// two's-complement semantics of the vector units bit for bit.
+    #[derive(Copy, Clone)]
+    pub(crate) struct I32x4([i32; 4]);
+
+    impl I32x4 {
+        #[inline]
+        pub(crate) fn splat(v: i32) -> Self {
+            Self([v; 4])
+        }
+
+        #[inline]
+        pub(crate) fn load(src: &[i32; 4]) -> Self {
+            Self(*src)
+        }
+
+        #[inline]
+        pub(crate) fn store(self, dst: &mut [i32; 4]) {
+            *dst = self.0;
+        }
+
+        #[inline]
+        pub(crate) fn add(self, o: Self) -> Self {
+            Self(core::array::from_fn(|i| self.0[i].wrapping_add(o.0[i])))
+        }
+
+        #[inline]
+        pub(crate) fn sub(self, o: Self) -> Self {
+            Self(core::array::from_fn(|i| self.0[i].wrapping_sub(o.0[i])))
+        }
+
+        #[inline]
+        pub(crate) fn mul(self, o: Self) -> Self {
+            Self(core::array::from_fn(|i| self.0[i].wrapping_mul(o.0[i])))
+        }
+
+        #[inline]
+        pub(crate) fn shl(self, n: u32) -> Self {
+            Self(self.0.map(|v| v.wrapping_shl(n)))
+        }
+
+        #[inline]
+        pub(crate) fn shr(self, n: u32) -> Self {
+            Self(self.0.map(|v| v.wrapping_shr(n)))
+        }
+
+        #[inline]
+        pub(crate) fn cmp_gt(self, o: Self) -> Self {
+            Self(core::array::from_fn(|i| {
+                if self.0[i] > o.0[i] {
+                    -1
+                } else {
+                    0
+                }
+            }))
+        }
+
+        #[inline]
+        pub(crate) fn and(self, o: Self) -> Self {
+            Self(core::array::from_fn(|i| self.0[i] & o.0[i]))
+        }
+
+        #[inline]
+        pub(crate) fn or(self, o: Self) -> Self {
+            Self(core::array::from_fn(|i| self.0[i] | o.0[i]))
+        }
+
+        #[inline]
+        pub(crate) fn xor(self, o: Self) -> Self {
+            Self(core::array::from_fn(|i| self.0[i] ^ o.0[i]))
+        }
+
+        #[inline]
+        pub(crate) fn andnot(self, o: Self) -> Self {
+            Self(core::array::from_fn(|i| !self.0[i] & o.0[i]))
+        }
+
+        #[inline]
+        pub(crate) fn any(self) -> bool {
+            self.0.iter().any(|&v| v != 0)
+        }
+    }
+
+    /// 4×4 transpose of four row vectors.
+    #[inline]
+    pub(crate) fn transpose(
+        r0: I32x4,
+        r1: I32x4,
+        r2: I32x4,
+        r3: I32x4,
+    ) -> (I32x4, I32x4, I32x4, I32x4) {
+        let m = [r0.0, r1.0, r2.0, r3.0];
+        (
+            I32x4([m[0][0], m[1][0], m[2][0], m[3][0]]),
+            I32x4([m[0][1], m[1][1], m[2][1], m[3][1]]),
+            I32x4([m[0][2], m[1][2], m[2][2], m[3][2]]),
+            I32x4([m[0][3], m[1][3], m[2][3], m[3][3]]),
+        )
+    }
+}
+
+pub(crate) use imp::{transpose, I32x4};
+
+impl I32x4 {
+    /// Lane-wise minimum, built from the compare/blend primitives so all
+    /// three implementations share one definition.
+    #[inline]
+    pub(crate) fn min(self, o: Self) -> Self {
+        let gt = self.cmp_gt(o); // self > o → take o
+        gt.and(o).or(gt.andnot(self))
+    }
+
+    /// Lane-wise maximum.
+    #[inline]
+    pub(crate) fn max(self, o: Self) -> Self {
+        let gt = self.cmp_gt(o); // self > o → take self
+        gt.and(self).or(gt.andnot(o))
+    }
+
+    /// Lane-wise `mask ? a : b` where `mask` lanes are all-ones or zero.
+    #[inline]
+    pub(crate) fn blend(mask: Self, a: Self, b: Self) -> Self {
+        mask.and(a).or(mask.andnot(b))
+    }
+
+    /// Lane-wise absolute value (wrapping at `i32::MIN`, like `abs` on the
+    /// vector units).
+    #[inline]
+    pub(crate) fn abs(self) -> Self {
+        let sign = self.shr(31);
+        self.xor(sign).sub(sign)
+    }
+
+    /// Copies the array out (test/diagnostic helper).
+    #[cfg(test)]
+    pub(crate) fn to_array(self) -> [i32; 4] {
+        let mut out = [0i32; 4];
+        self.store(&mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lanewise_arithmetic() {
+        let a = I32x4::load(&[1, -2, 3, i32::MAX]);
+        let b = I32x4::load(&[10, 20, -30, 1]);
+        assert_eq!(a.add(b).to_array(), [11, 18, -27, i32::MAX.wrapping_add(1)]);
+        assert_eq!(a.sub(b).to_array(), [-9, -22, 33, i32::MAX - 1]);
+        assert_eq!(
+            a.mul(b).to_array(),
+            [10, -40, -90, i32::MAX.wrapping_mul(1)]
+        );
+    }
+
+    #[test]
+    fn shifts_are_arithmetic() {
+        let a = I32x4::load(&[-8, 8, -1, 1]);
+        assert_eq!(a.shr(1).to_array(), [-4, 4, -1, 0]);
+        assert_eq!(a.shl(2).to_array(), [-32, 32, -4, 4]);
+    }
+
+    #[test]
+    fn min_max_blend_abs() {
+        let a = I32x4::load(&[5, -5, 0, 100]);
+        let b = I32x4::load(&[3, 3, 3, 3]);
+        assert_eq!(a.min(b).to_array(), [3, -5, 0, 3]);
+        assert_eq!(a.max(b).to_array(), [5, 3, 3, 100]);
+        assert_eq!(a.abs().to_array(), [5, 5, 0, 100]);
+        let mask = a.cmp_gt(b);
+        assert_eq!(
+            I32x4::blend(mask, a, b).to_array(),
+            [5, 3, 3, 100],
+            "blend(gt, a, b) == max"
+        );
+    }
+
+    #[test]
+    fn any_detects_set_lanes() {
+        assert!(!I32x4::splat(0).any());
+        assert!(I32x4::load(&[0, 0, 1, 0]).any());
+    }
+
+    #[test]
+    fn transpose_round_trips() {
+        let r0 = I32x4::load(&[0, 1, 2, 3]);
+        let r1 = I32x4::load(&[4, 5, 6, 7]);
+        let r2 = I32x4::load(&[8, 9, 10, 11]);
+        let r3 = I32x4::load(&[12, 13, 14, 15]);
+        let (c0, c1, c2, c3) = transpose(r0, r1, r2, r3);
+        assert_eq!(c0.to_array(), [0, 4, 8, 12]);
+        assert_eq!(c1.to_array(), [1, 5, 9, 13]);
+        assert_eq!(c2.to_array(), [2, 6, 10, 14]);
+        assert_eq!(c3.to_array(), [3, 7, 11, 15]);
+        let (b0, b1, b2, b3) = transpose(c0, c1, c2, c3);
+        assert_eq!(b0.to_array(), r0.to_array());
+        assert_eq!(b1.to_array(), r1.to_array());
+        assert_eq!(b2.to_array(), r2.to_array());
+        assert_eq!(b3.to_array(), r3.to_array());
+    }
+}

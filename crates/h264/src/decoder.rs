@@ -1,19 +1,18 @@
 //! The decoder: the paper's Fig. 5 pipeline with per-module activity
 //! accounting and the two affect-driven power knobs.
 
+use crate::backend::{self, DecodeKernels};
 use crate::buffers::{select_units, BufferChain, BufferStats, SelectionReport, SelectorParams};
 use crate::cavlc::{coeff_count, context_for, decode_block};
-use crate::deblock::{deblock_frame, BlockInfo};
+use crate::deblock::BlockInfo;
 use crate::expgolomb::BitReader;
 use crate::frame::{Frame, BLOCKS_PER_MB, BLOCK_SIZE, MB_SIZE};
-use crate::inter::{
-    compensate_mb, compensate_mb_bi, compensate_mb_bi_hp, compensate_mb_hp, MotionVector,
-};
+use crate::inter::MotionVector;
 use crate::intra::{predict, IntraMode};
 use crate::nal::{split_annex_b, write_annex_b, NalType, NalUnit};
-use crate::transform::decode_residual;
 use crate::CodecError;
 use std::rc::Rc;
+use std::sync::Arc;
 
 /// Per-module activity counters — the power model's inputs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -30,10 +29,16 @@ pub struct Activity {
     pub inter_mb_refs: u64,
     /// Deblocking edges examined.
     pub deblock_edges: u64,
+    /// Deblocking edges actually filtered (the full [`crate::deblock::DeblockReport`]
+    /// surfaces here so cross-backend conformance covers both counters).
+    pub deblock_filtered: u64,
     /// Bytes moved through the buffer front end.
     pub buffer_bytes: u64,
     /// Frames emitted.
     pub frames: u64,
+    /// Macroblocks decoded (intra + inter + skip) — the unit of the
+    /// decode-sweep MB/s metric.
+    pub macroblocks: u64,
 }
 
 impl Activity {
@@ -45,8 +50,10 @@ impl Activity {
         self.intra_blocks += other.intra_blocks;
         self.inter_mb_refs += other.inter_mb_refs;
         self.deblock_edges += other.deblock_edges;
+        self.deblock_filtered += other.deblock_filtered;
         self.buffer_bytes += other.buffer_bytes;
         self.frames += other.frames;
+        self.macroblocks += other.macroblocks;
     }
 }
 
@@ -119,9 +126,16 @@ pub struct DecodeOutput {
 }
 
 /// The decoder. See the crate-level example.
+///
+/// Block-level kernels (IQIT, reconstruction, deblocking) run through a
+/// [`DecodeKernels`] backend; [`Decoder::new`] picks the fastest backend
+/// for the build ([`backend::best_available`]) and
+/// [`Decoder::with_kernels`] pins a specific one. All backends are
+/// bit-exact, so the choice affects speed only.
 #[derive(Debug, Clone)]
 pub struct Decoder {
     options: DecoderOptions,
+    kernels: Arc<dyn DecodeKernels>,
 }
 
 struct SliceContext {
@@ -162,14 +176,27 @@ impl SliceContext {
 }
 
 impl Decoder {
-    /// Creates a decoder with the given power-knob settings.
+    /// Creates a decoder with the given power-knob settings and the fastest
+    /// available kernel backend.
     pub fn new(options: DecoderOptions) -> Self {
-        Self { options }
+        Self::with_kernels(options, backend::best_available())
+    }
+
+    /// Creates a decoder pinned to a specific kernel backend (conformance
+    /// testing, benchmarking, or forcing the portable path).
+    pub fn with_kernels(options: DecoderOptions, kernels: Arc<dyn DecodeKernels>) -> Self {
+        Self { options, kernels }
     }
 
     /// The active options.
     pub fn options(&self) -> &DecoderOptions {
         &self.options
+    }
+
+    /// The name of the active kernel backend (e.g. `"reference"`,
+    /// `"simd-sse2"`).
+    pub fn backend_name(&self) -> &'static str {
+        self.kernels.name()
     }
 
     /// Decodes an Annex-B bitstream.
@@ -409,6 +436,7 @@ impl Decoder {
 
         for mb_y in 0..height / MB_SIZE {
             for mb_x in 0..width / MB_SIZE {
+                activity.macroblocks += 1;
                 match nal_type {
                     NalType::IdrSlice => {
                         self.decode_intra_mb(
@@ -450,8 +478,9 @@ impl Decoder {
 
         // Knob 1: the deblocking filter.
         if self.options.deblock {
-            let report = deblock_frame(&mut frame, &ctx.block_info, qp);
+            let report = self.kernels.deblock_frame(&mut frame, &ctx.block_info, qp);
             activity.deblock_edges += report.edges_checked;
+            activity.deblock_filtered += report.edges_filtered;
         }
         Ok(frame)
     }
@@ -478,13 +507,10 @@ impl Decoder {
                 activity.cavlc_symbols += u64::from(symbols);
                 let pred = predict(frame, x, y, mode);
                 activity.intra_blocks += 1;
-                let residual = decode_residual(&zz, qp)?;
+                let residual = self.kernels.decode_residual(&zz, qp)?;
                 activity.iqit_blocks += 1;
-                let mut rec = [0i32; 16];
-                for i in 0..16 {
-                    rec[i] = pred[i] + residual[i];
-                }
-                frame.write_block(x, y, &rec);
+                self.kernels
+                    .reconstruct_block(frame, x, y, &pred, &residual);
                 ctx.record(
                     bx,
                     by,
@@ -517,7 +543,13 @@ impl Decoder {
         match mb_type {
             0 => {
                 let mut pred = [0i32; MB_SIZE * MB_SIZE];
-                compensate_mb(reference, mb_x, mb_y, MotionVector::default(), &mut pred);
+                self.kernels.motion_compensate(
+                    reference,
+                    mb_x,
+                    mb_y,
+                    MotionVector::default(),
+                    &mut pred,
+                );
                 activity.inter_mb_refs += 1;
                 write_mb(frame, mb_x, mb_y, &pred);
                 record_skip(ctx, mb_x, mb_y);
@@ -527,7 +559,8 @@ impl Decoder {
                 // Motion vectors are coded in half-pel units.
                 let mv = MotionVector::new(reader.read_se()?, reader.read_se()?);
                 let mut pred = [0i32; MB_SIZE * MB_SIZE];
-                compensate_mb_hp(reference, mb_x, mb_y, mv, &mut pred);
+                self.kernels
+                    .motion_compensate(reference, mb_x, mb_y, mv, &mut pred);
                 activity.inter_mb_refs += 1;
                 self.decode_mb_residual(reader, frame, ctx, &pred, mb_x, mb_y, qp, mv, activity)
             }
@@ -552,7 +585,7 @@ impl Decoder {
         match mb_type {
             0 => {
                 let mut pred = [0i32; MB_SIZE * MB_SIZE];
-                compensate_mb_bi(
+                self.kernels.motion_compensate_bi(
                     ref0,
                     ref1,
                     mb_x,
@@ -570,7 +603,8 @@ impl Decoder {
                 let mv0 = MotionVector::new(reader.read_se()?, reader.read_se()?);
                 let mv1 = MotionVector::new(reader.read_se()?, reader.read_se()?);
                 let mut pred = [0i32; MB_SIZE * MB_SIZE];
-                compensate_mb_bi_hp(ref0, ref1, mb_x, mb_y, mv0, mv1, &mut pred);
+                self.kernels
+                    .motion_compensate_bi(ref0, ref1, mb_x, mb_y, mv0, mv1, &mut pred);
                 activity.inter_mb_refs += 2;
                 self.decode_mb_residual(reader, frame, ctx, &pred, mb_x, mb_y, qp, mv0, activity)
             }
@@ -599,16 +633,17 @@ impl Decoder {
                 let context = ctx.context_at(bx, by);
                 let (zz, symbols) = decode_block(reader, context)?;
                 activity.cavlc_symbols += u64::from(symbols);
-                let residual = decode_residual(&zz, qp)?;
+                let residual = self.kernels.decode_residual(&zz, qp)?;
                 activity.iqit_blocks += 1;
-                let mut rec = [0i32; 16];
+                let mut sub_pred = [0i32; 16];
                 for dy in 0..BLOCK_SIZE {
                     for dx in 0..BLOCK_SIZE {
-                        let p = pred[(sub_y * BLOCK_SIZE + dy) * MB_SIZE + sub_x * BLOCK_SIZE + dx];
-                        rec[dy * BLOCK_SIZE + dx] = p + residual[dy * BLOCK_SIZE + dx];
+                        sub_pred[dy * BLOCK_SIZE + dx] =
+                            pred[(sub_y * BLOCK_SIZE + dy) * MB_SIZE + sub_x * BLOCK_SIZE + dx];
                     }
                 }
-                frame.write_block(x, y, &rec);
+                self.kernels
+                    .reconstruct_block(frame, x, y, &sub_pred, &residual);
                 ctx.record(
                     bx,
                     by,
@@ -627,13 +662,12 @@ impl Decoder {
 }
 
 fn write_mb(frame: &mut Frame, mb_x: usize, mb_y: usize, pred: &[i32; MB_SIZE * MB_SIZE]) {
+    let width = frame.width();
+    let data = frame.data_mut();
     for dy in 0..MB_SIZE {
-        for dx in 0..MB_SIZE {
-            frame.set_pixel(
-                mb_x * MB_SIZE + dx,
-                mb_y * MB_SIZE + dy,
-                pred[dy * MB_SIZE + dx].clamp(0, 255) as u8,
-            );
+        let row = &mut data[(mb_y * MB_SIZE + dy) * width + mb_x * MB_SIZE..][..MB_SIZE];
+        for (out, &p) in row.iter_mut().zip(&pred[dy * MB_SIZE..][..MB_SIZE]) {
+            *out = p.clamp(0, 255) as u8;
         }
     }
 }
@@ -785,6 +819,16 @@ mod tests {
         assert_eq!(doubled.frames, 2 * out.activity.frames);
         assert_eq!(doubled.parser_bits, 2 * out.activity.parser_bits);
         assert_eq!(doubled.deblock_edges, 2 * out.activity.deblock_edges);
+        assert_eq!(doubled.deblock_filtered, 2 * out.activity.deblock_filtered);
+        assert_eq!(doubled.macroblocks, 2 * out.activity.macroblocks);
+    }
+
+    #[test]
+    fn backend_pinning_is_observable() {
+        let dec = Decoder::with_kernels(DecoderOptions::default(), crate::backend::reference());
+        assert_eq!(dec.backend_name(), "reference");
+        let best = Decoder::new(DecoderOptions::default());
+        assert!(!best.backend_name().is_empty());
     }
 
     #[test]
@@ -934,6 +978,7 @@ mod tests {
         assert!(a.intra_blocks > 0);
         assert!(a.inter_mb_refs > 0);
         assert!(a.buffer_bytes > 0);
+        assert!(a.macroblocks > 0);
         assert_eq!(a.frames, 6);
     }
 }

@@ -135,8 +135,9 @@ impl Frame {
     /// Copies a 4×4 block with top-left corner `(x, y)` into `out`.
     pub fn read_block(&self, x: usize, y: usize, out: &mut [i32; 16]) {
         for by in 0..BLOCK_SIZE {
-            for bx in 0..BLOCK_SIZE {
-                out[by * BLOCK_SIZE + bx] = i32::from(self.pixel(x + bx, y + by));
+            let row = &self.data[(y + by) * self.width + x..][..BLOCK_SIZE];
+            for (out, &p) in out[by * BLOCK_SIZE..][..BLOCK_SIZE].iter_mut().zip(row) {
+                *out = i32::from(p);
             }
         }
     }
@@ -144,9 +145,9 @@ impl Frame {
     /// Writes a 4×4 block (clamping values into `0..=255`).
     pub fn write_block(&mut self, x: usize, y: usize, block: &[i32; 16]) {
         for by in 0..BLOCK_SIZE {
-            for bx in 0..BLOCK_SIZE {
-                let v = block[by * BLOCK_SIZE + bx].clamp(0, 255) as u8;
-                self.set_pixel(x + bx, y + by, v);
+            let row = &mut self.data[(y + by) * self.width + x..][..BLOCK_SIZE];
+            for (out, &v) in row.iter_mut().zip(&block[by * BLOCK_SIZE..][..BLOCK_SIZE]) {
+                *out = v.clamp(0, 255) as u8;
             }
         }
     }

@@ -65,8 +65,10 @@
 // `!(x > 0.0)` guards are deliberate: unlike `x <= 0.0` they also reject
 // NaN, which is exactly what the parameter validation wants.
 #![allow(clippy::neg_cmp_op_on_partial_ord)]
+#![warn(missing_docs)]
 
 pub mod adaptive;
+pub mod backend;
 pub mod buffers;
 pub mod cavlc;
 pub mod deblock;
@@ -83,6 +85,7 @@ pub mod quality;
 pub mod transform;
 pub mod video;
 
+pub use backend::{BackendKind, DecodeKernels};
 pub use decoder::ResilienceReport;
 pub use error::{CodecError, H264Error};
 pub use frame::Frame;

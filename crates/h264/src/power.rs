@@ -267,6 +267,7 @@ mod tests {
             deblock_edges: deblock,
             buffer_bytes: iqit * 10,
             frames,
+            ..Activity::default()
         }
     }
 

@@ -49,7 +49,7 @@ const V: [(i64, i64, i64); 6] = [
 ];
 
 /// Position class within the 4×4 block: 0 = a, 1 = b, 2 = c.
-fn position_class(pos: usize) -> usize {
+const fn position_class(pos: usize) -> usize {
     let (row, col) = (pos / 4, pos % 4);
     match (row % 2, col % 2) {
         (0, 0) => 0,
@@ -58,6 +58,73 @@ fn position_class(pos: usize) -> usize {
     }
 }
 
+/// Per-QP forward quantization multipliers, expanded per position:
+/// `QUANT_MF[qp % 6][pos] = MF[qp % 6][class(pos)]`. Hoists the per-block
+/// class/table lookups of [`quantize`] into one row load per QP.
+static QUANT_MF: [[i32; 16]; 6] = build_quant_mf();
+
+const fn build_quant_mf() -> [[i32; 16]; 6] {
+    let mut table = [[0i32; 16]; 6];
+    let mut rem = 0;
+    while rem < 6 {
+        let (a, b, c) = MF[rem];
+        let mut pos = 0;
+        while pos < 16 {
+            let v = match position_class(pos) {
+                0 => a,
+                1 => b,
+                _ => c,
+            };
+            table[rem][pos] = v as i32;
+            pos += 1;
+        }
+        rem += 1;
+    }
+    table
+}
+
+/// Per-QP dequantization scales, expanded per position with the `qp / 6`
+/// doubling folded in: `DEQUANT_SCALE[qp][pos] = V[qp % 6][class(pos)] <<
+/// (qp / 6)`. QP spans 0–51, so the whole table is 52 × 16 `i32` (3.25 KiB)
+/// and the per-block scale math of [`dequantize`] becomes one row load.
+static DEQUANT_SCALE: [[i32; 16]; 52] = build_dequant_scale();
+
+const fn build_dequant_scale() -> [[i32; 16]; 52] {
+    let mut table = [[0i32; 16]; 52];
+    let mut qp = 0;
+    while qp < 52 {
+        let (a, b, c) = V[qp % 6];
+        let shift = qp / 6;
+        let mut pos = 0;
+        while pos < 16 {
+            let v = match position_class(pos) {
+                0 => a,
+                1 => b,
+                _ => c,
+            };
+            table[qp][pos] = (v as i32) << shift;
+            pos += 1;
+        }
+        qp += 1;
+    }
+    table
+}
+
+/// The expanded per-position quantization multipliers for a QP (the
+/// precomputed `QUANT_MF` row backends share).
+#[inline]
+pub(crate) fn quant_mf_row(qp: u8) -> &'static [i32; 16] {
+    &QUANT_MF[usize::from(qp) % 6]
+}
+
+/// The expanded per-position dequantization scales for a QP, `qp / 6`
+/// doubling included. `qp` must already be validated to 0–51.
+#[inline]
+pub(crate) fn dequant_scale_row(qp: u8) -> &'static [i32; 16] {
+    &DEQUANT_SCALE[usize::from(qp)]
+}
+
+#[cfg(test)]
 fn mf_at(pos: usize, qp: u8) -> i64 {
     let (a, b, c) = MF[usize::from(qp) % 6];
     match position_class(pos) {
@@ -67,6 +134,7 @@ fn mf_at(pos: usize, qp: u8) -> i64 {
     }
 }
 
+#[cfg(test)]
 fn v_at(pos: usize, qp: u8) -> i64 {
     let (a, b, c) = V[usize::from(qp) % 6];
     match position_class(pos) {
@@ -148,11 +216,12 @@ pub fn quantize(coeffs: &[i32; 16], qp: u8) -> Result<[i32; 16], CodecError> {
             reason: "must be at most 51",
         });
     }
-    let qbits = 15 + i64::from(qp / 6);
+    let qbits = 15 + u32::from(qp / 6);
     let f = (1i64 << qbits) / 3;
+    let mf = quant_mf_row(qp);
     let mut out = [0i32; 16];
-    for (pos, (o, &c)) in out.iter_mut().zip(coeffs).enumerate() {
-        let level = (i64::from(c.unsigned_abs()) * mf_at(pos, qp) + f) >> qbits;
+    for ((o, &c), &m) in out.iter_mut().zip(coeffs).zip(mf) {
+        let level = (i64::from(c.unsigned_abs()) * i64::from(m) + f) >> qbits;
         *o = if c < 0 { -(level as i32) } else { level as i32 };
     }
     Ok(out)
@@ -163,7 +232,7 @@ pub fn quantize(coeffs: &[i32; 16], qp: u8) -> Result<[i32; 16], CodecError> {
 /// around `±60k` after dequantization); the bound exists so the inverse
 /// transform's worst-case `~12.25×` accumulation gain stays inside `i32`
 /// even when a corrupt stream codes extreme levels.
-const MAX_DEQUANT: i64 = 1 << 23;
+pub(crate) const MAX_DEQUANT: i64 = 1 << 23;
 
 /// Dequantizes coefficient levels at the given QP (standard `V` path).
 /// Output coefficients saturate at `±2^23` — unreachable for well-formed
@@ -179,10 +248,12 @@ pub fn dequantize(levels: &[i32; 16], qp: u8) -> Result<[i32; 16], CodecError> {
             reason: "must be at most 51",
         });
     }
-    let shift = u32::from(qp / 6);
+    let scale = dequant_scale_row(qp);
     let mut out = [0i32; 16];
-    for (pos, (o, &l)) in out.iter_mut().zip(levels).enumerate() {
-        let wide = (i64::from(l) * v_at(pos, qp)) << shift;
+    for ((o, &l), &s) in out.iter_mut().zip(levels).zip(scale) {
+        // `s` already carries the `<< (qp / 6)` doubling, so the product in
+        // i64 is exactly the old `(l * v) << shift` for every i32 level.
+        let wide = i64::from(l) * i64::from(s);
         *o = wide.clamp(-MAX_DEQUANT, MAX_DEQUANT) as i32;
     }
     Ok(out)
@@ -205,6 +276,13 @@ pub fn encode_residual(residual: &[i32; 16], qp: u8) -> Result<[i32; 16], CodecE
 }
 
 /// Full residual decode: un-zigzag + dequantize + inverse transform.
+///
+/// # Distortion bound
+///
+/// For pixel-domain residuals within `±255`, the
+/// [`encode_residual`]→[`decode_residual`] round trip is bounded per
+/// coefficient by `2 · qp_step(qp) + 3` — the documented bound the
+/// cross-backend proptests gate at every QP.
 ///
 /// # Errors
 ///
@@ -325,6 +403,24 @@ mod tests {
         assert_eq!(position_class(1), 2); // (0,1)
         assert_eq!(position_class(10), 0); // (2,2)
         assert_eq!(position_class(15), 1); // (3,3)
+    }
+
+    #[test]
+    fn luts_match_the_per_position_tables() {
+        // The hoisted per-QP rows must agree with the original per-block
+        // class/table math at every (qp, pos).
+        for qp in 0..=51u8 {
+            let mf = quant_mf_row(qp);
+            let scale = dequant_scale_row(qp);
+            for pos in 0..16 {
+                assert_eq!(i64::from(mf[pos]), mf_at(pos, qp), "mf qp {qp} pos {pos}");
+                assert_eq!(
+                    i64::from(scale[pos]),
+                    v_at(pos, qp) << (qp / 6),
+                    "scale qp {qp} pos {pos}"
+                );
+            }
+        }
     }
 
     #[test]

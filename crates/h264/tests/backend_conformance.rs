@@ -1,0 +1,299 @@
+//! Cross-backend conformance: the `simd` backend must be **bit-exact**
+//! against the `reference` backend — identical frames, identical activity
+//! counters, identical deblock/selection/buffer/resilience reports, and
+//! identical errors — for every input either can see.
+//!
+//! Three corpora enforce the contract (ISSUE 7 acceptance criteria):
+//!
+//! 1. the encoder round-trip corpus: clips swept over QP × GOP shape ×
+//!    resolution × decoder options;
+//! 2. the 10k-payload fuzz corpus (same seeded generator as
+//!    `fuzz_smoke.rs`): random NAL-shaped garbage, truncations, and
+//!    bit-flips, decoded strict and resilient on both backends;
+//! 3. proptest blocks over the raw kernel contract: transform round trips
+//!    within the documented distortion bound on both backends, and
+//!    per-stage equality for arbitrary blocks at every QP.
+//!
+//! The suite runs unchanged with `--no-default-features` (CI's
+//! decode-conformance job), which swaps the simd backend's lanes for the
+//! portable scalar implementation — same contract, different codegen.
+
+use h264::backend::{reference, simd, BackendKind, DecodeKernels};
+use h264::decoder::{DecodeOutput, Decoder, DecoderOptions};
+use h264::encoder::{Encoder, EncoderConfig, GopPattern};
+use h264::inter::MotionVector;
+use h264::transform::qp_step;
+use h264::video::synthetic_clip;
+use h264::{CodecError, Frame};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Decodes `stream` with both backends under `options` and asserts the
+/// full outcome — output or error — is identical. Returns the reference
+/// outcome for further checks.
+fn assert_conformant(
+    stream: &[u8],
+    options: DecoderOptions,
+    what: &str,
+) -> Result<DecodeOutput, CodecError> {
+    let ref_out = Decoder::with_kernels(options, reference()).decode(stream);
+    let simd_out = Decoder::with_kernels(options, simd()).decode(stream);
+    match (&ref_out, &simd_out) {
+        (Ok(r), Ok(s)) => {
+            assert_eq!(r.frames, s.frames, "{what}: frames differ");
+            assert_eq!(r.activity, s.activity, "{what}: activity differs");
+            assert_eq!(r.selection, s.selection, "{what}: selection differs");
+            assert_eq!(r.buffer, s.buffer, "{what}: buffer stats differ");
+            assert_eq!(r.resilience, s.resilience, "{what}: resilience differs");
+        }
+        (Err(r), Err(s)) => assert_eq!(r, s, "{what}: errors differ"),
+        _ => panic!(
+            "{what}: outcome class differs (reference {:?} vs simd {:?})",
+            ref_out.as_ref().map(|_| "ok"),
+            simd_out.as_ref().map(|_| "ok"),
+        ),
+    }
+    ref_out
+}
+
+/// The decoder option points the affect modes reach, plus resilience.
+fn option_matrix() -> Vec<DecoderOptions> {
+    use h264::buffers::SelectorParams;
+    vec![
+        DecoderOptions::default(),
+        DecoderOptions {
+            deblock: false,
+            ..DecoderOptions::default()
+        },
+        DecoderOptions {
+            selector: Some(SelectorParams::PAPER),
+            ..DecoderOptions::default()
+        },
+        DecoderOptions {
+            deblock: false,
+            selector: Some(SelectorParams::PAPER),
+            resilient: true,
+        },
+    ]
+}
+
+/// Encoder round-trip corpus: every QP × GOP × resolution cell decoded
+/// under every option point, both backends, bit-compared.
+#[test]
+fn encoder_corpus_is_bit_exact_across_backends() {
+    let cells = [
+        // (qp, intra_period, b_between, width, height, frames, seed)
+        (8u8, 4usize, 0usize, 48usize, 48usize, 6usize, 3u64),
+        (26, 6, 1, 48, 48, 7, 5),
+        (30, 8, 1, 64, 48, 8, 7),
+        (40, 4, 2, 48, 64, 6, 9),
+        (51, 3, 0, 32, 32, 5, 11),
+    ];
+    for (qp, intra_period, b_between, w, h, n, seed) in cells {
+        let frames = synthetic_clip(w, h, n, seed).expect("clip");
+        let stream = Encoder::new(EncoderConfig {
+            qp,
+            gop: GopPattern {
+                intra_period,
+                b_between,
+            },
+            ..EncoderConfig::default()
+        })
+        .expect("encoder")
+        .encode(&frames)
+        .expect("encode");
+        for options in option_matrix() {
+            let out = assert_conformant(
+                &stream,
+                options,
+                &format!("qp {qp} {w}x{h} gop {intra_period}/{b_between} {options:?}"),
+            )
+            .expect("intact stream decodes");
+            assert_eq!(out.frames.len(), n);
+            assert!(out.activity.macroblocks > 0);
+            if options.deblock {
+                assert!(out.activity.deblock_edges > 0);
+            }
+        }
+    }
+}
+
+fn p_only_stream() -> &'static [u8] {
+    static STREAM: OnceLock<Vec<u8>> = OnceLock::new();
+    STREAM.get_or_init(|| {
+        let frames = synthetic_clip(48, 48, 12, 11).expect("clip");
+        Encoder::new(EncoderConfig {
+            qp: 26,
+            gop: GopPattern {
+                intra_period: 4,
+                b_between: 0,
+            },
+            ..EncoderConfig::default()
+        })
+        .expect("encoder")
+        .encode(&frames)
+        .expect("encode")
+    })
+}
+
+/// The 10k-payload fuzz corpus (the same seeded generator as
+/// `fuzz_smoke.rs`): strict and resilient decodes must agree between
+/// backends on every payload — same frames and counters on success, same
+/// error on failure.
+#[test]
+fn fuzz_corpus_is_bit_exact_across_backends() {
+    let reference_stream = p_only_stream();
+    let started = Instant::now();
+    for seed in 0u64..10_000 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let payload: Vec<u8> = match seed % 3 {
+            0 => {
+                let len = rng.random_range(8usize..512);
+                let mut bytes: Vec<u8> = (0..len).map(|_| rng.random_range(0u8..=255)).collect();
+                bytes[..5].copy_from_slice(&[0, 0, 0, 1, 7]);
+                bytes
+            }
+            1 => {
+                let keep = rng.random_range(1usize..reference_stream.len());
+                reference_stream[..keep].to_vec()
+            }
+            _ => {
+                let mut bytes = reference_stream.to_vec();
+                for _ in 0..rng.random_range(1usize..=8) {
+                    let at = rng.random_range(0usize..bytes.len());
+                    bytes[at] ^= 1 << rng.random_range(0u32..8);
+                }
+                bytes
+            }
+        };
+        let _ = assert_conformant(
+            &payload,
+            DecoderOptions::default(),
+            &format!("fuzz seed {seed} strict"),
+        );
+        let _ = assert_conformant(
+            &payload,
+            DecoderOptions {
+                resilient: true,
+                ..DecoderOptions::default()
+            },
+            &format!("fuzz seed {seed} resilient"),
+        );
+        assert!(
+            started.elapsed().as_secs() < 240,
+            "conformance fuzz exceeded time budget at seed {seed}"
+        );
+    }
+}
+
+/// Every backend kind constructs, reports a stable name, and decodes the
+/// reference clip to the same frames as every other kind.
+#[test]
+fn all_backend_kinds_agree() {
+    let stream = p_only_stream();
+    let outputs: Vec<(String, Vec<Frame>)> = BackendKind::ALL
+        .iter()
+        .map(|kind| {
+            let kernels = kind.kernels();
+            let name = kernels.name().to_string();
+            let out = Decoder::with_kernels(DecoderOptions::default(), kernels)
+                .decode(stream)
+                .expect("intact stream");
+            (name, out.frames)
+        })
+        .collect();
+    for window in outputs.windows(2) {
+        assert_eq!(
+            window[0].1, window[1].1,
+            "{} vs {}: frames differ",
+            window[0].0, window[1].0
+        );
+    }
+}
+
+fn backends() -> [std::sync::Arc<dyn DecodeKernels>; 2] {
+    [reference(), simd()]
+}
+
+proptest! {
+    /// The documented distortion bound (`2 · qp_step(qp) + 3` per
+    /// coefficient for pixel-domain residuals within ±255) holds for the
+    /// full forward→quantize→dequantize→inverse round trip at **every** QP
+    /// on **both** backends — and both backends produce identical stages.
+    #[test]
+    fn kernel_round_trip_within_bound_on_both_backends(
+        values in prop::collection::vec(-255i32..=255, 16..=16),
+        qp in 0u8..=51,
+    ) {
+        let mut block = [0i32; 16];
+        block.copy_from_slice(&values);
+        let bound = (qp_step(qp) * 2.0 + 3.0) as i32;
+        let mut per_backend = Vec::new();
+        for kernels in backends() {
+            let coeffs = kernels.forward_transform(&block);
+            let levels = kernels.quantize(&coeffs, qp).unwrap();
+            let deq = kernels.dequantize(&levels, qp).unwrap();
+            let back = kernels.inverse_transform(&deq);
+            for (a, b) in block.iter().zip(&back) {
+                prop_assert!(
+                    (a - b).abs() <= bound,
+                    "{}: qp {}: {} vs {} (bound {})",
+                    kernels.name(), qp, a, b, bound
+                );
+            }
+            per_backend.push((coeffs, levels, deq, back));
+        }
+        // Stage-for-stage equality, not just a shared bound.
+        prop_assert_eq!(per_backend[0], per_backend[1]);
+    }
+
+    /// Motion compensation agrees between backends for arbitrary frame
+    /// content and arbitrary half-pel vectors — interior fast-path blocks
+    /// and border-clamped ones alike, uni- and bidirectional.
+    #[test]
+    fn motion_compensation_agrees_on_arbitrary_frames(
+        pixels in prop::collection::vec(0u8..=255, 32 * 32),
+        other in prop::collection::vec(0u8..=255, 32 * 32),
+        mv0 in (-40i32..=40, -40i32..=40),
+        mv1 in (-40i32..=40, -40i32..=40),
+        mb_x in 0usize..2,
+        mb_y in 0usize..2,
+    ) {
+        let f0 = Frame::from_data(32, 32, pixels).unwrap();
+        let f1 = Frame::from_data(32, 32, other).unwrap();
+        let (mv0, mv1) = (MotionVector::new(mv0.0, mv0.1), MotionVector::new(mv1.0, mv1.1));
+        let [r, s] = backends();
+        let mut want = [0i32; 256];
+        let mut got = [0i32; 256];
+        r.motion_compensate(&f0, mb_x, mb_y, mv0, &mut want);
+        s.motion_compensate(&f0, mb_x, mb_y, mv0, &mut got);
+        prop_assert_eq!(want, got, "uni prediction differs");
+        r.motion_compensate_bi(&f0, &f1, mb_x, mb_y, mv0, mv1, &mut want);
+        s.motion_compensate_bi(&f0, &f1, mb_x, mb_y, mv0, mv1, &mut got);
+        prop_assert_eq!(want, got, "bi prediction differs");
+    }
+
+    /// Arbitrary (not residual-shaped) blocks: every kernel stage agrees
+    /// between backends, including the saturating dequantizer and the
+    /// zigzag-fused decode_residual.
+    #[test]
+    fn kernel_stages_agree_on_arbitrary_blocks(
+        values in prop::collection::vec(-40_000i32..=40_000, 16..=16),
+        qp in 0u8..=51,
+    ) {
+        let mut block = [0i32; 16];
+        block.copy_from_slice(&values);
+        let [r, s] = backends();
+        prop_assert_eq!(r.forward_transform(&block), s.forward_transform(&block));
+        prop_assert_eq!(r.inverse_transform(&block), s.inverse_transform(&block));
+        prop_assert_eq!(r.quantize(&block, qp).unwrap(), s.quantize(&block, qp).unwrap());
+        prop_assert_eq!(r.dequantize(&block, qp).unwrap(), s.dequantize(&block, qp).unwrap());
+        prop_assert_eq!(
+            r.decode_residual(&block, qp).unwrap(),
+            s.decode_residual(&block, qp).unwrap()
+        );
+    }
+}
