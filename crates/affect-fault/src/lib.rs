@@ -31,7 +31,9 @@ pub mod plan;
 pub mod sensor;
 
 pub use hook::{InjectionReport, RtFaultHook};
-pub use nal::{corrupt_annex_b, NalCorruption, NalFaultConfig};
+pub use nal::{
+    corrupt_annex_b, corrupt_annex_b_from, NalCorruption, NalFaultConfig, WireCorruptor,
+};
 pub use plan::{FaultPlan, StageFaults};
 pub use sensor::{apply_sensor_faults, SensorFault, SensorFaultConfig};
 

@@ -114,6 +114,20 @@ fn scan_units(stream: &[u8]) -> Vec<UnitSpan> {
 /// `cfg`, seeded by `seed`. Returns a tally of the damage. Streams with
 /// no recognizable start codes pass through untouched.
 pub fn corrupt_annex_b(stream: &mut Vec<u8>, seed: u64, cfg: &NalFaultConfig) -> NalCorruption {
+    corrupt_annex_b_from(stream, seed, cfg, 0)
+}
+
+/// [`corrupt_annex_b`] with an explicit starting unit index: unit `u` in
+/// `stream` draws the decision stream of global unit `unit_offset + u`.
+/// This is what makes *per-chunk* wire corruption replayable — feeding a
+/// stream through in pieces (each offset by the units already seen)
+/// damages unit-aligned chunks exactly as one whole-stream pass would.
+pub fn corrupt_annex_b_from(
+    stream: &mut Vec<u8>,
+    seed: u64,
+    cfg: &NalFaultConfig,
+    unit_offset: u64,
+) -> NalCorruption {
     let total = u64::from(cfg.flip_per_million) + u64::from(cfg.truncate_per_million);
     assert!(total <= 1_000_000, "nal fault rates sum to {total}");
 
@@ -127,14 +141,15 @@ pub fn corrupt_annex_b(stream: &mut Vec<u8>, seed: u64, cfg: &NalFaultConfig) ->
     }
 
     let mut out = Vec::with_capacity(stream.len());
-    for (u, span) in units.iter().enumerate() {
+    for (i, span) in units.iter().enumerate() {
+        let u = unit_offset + i as u64;
         // Start code + header byte always survive so unit framing and type
         // classification keep working — the damage lands in the payload.
         out.extend_from_slice(&stream[span.sc_start..=span.hdr]);
         let body = &stream[span.hdr + 1..span.end];
         let protected = cfg.protect_sps && stream[span.hdr] == 7;
 
-        let draw = (decision_hash(seed, SITE_UNIT, u as u64, 0) % 1_000_000) as u32;
+        let draw = (decision_hash(seed, SITE_UNIT, u, 0) % 1_000_000) as u32;
         if protected || body.is_empty() || draw >= cfg.flip_per_million + cfg.truncate_per_million {
             out.extend_from_slice(body);
             continue;
@@ -143,10 +158,10 @@ pub fn corrupt_annex_b(stream: &mut Vec<u8>, seed: u64, cfg: &NalFaultConfig) ->
         if draw < cfg.flip_per_million {
             let mut damaged = body.to_vec();
             let flips = 1
-                + (decision_hash(seed, SITE_FLIP_COUNT, u as u64, 0)
-                    % u64::from(cfg.max_flips.max(1))) as u32;
+                + (decision_hash(seed, SITE_FLIP_COUNT, u, 0) % u64::from(cfg.max_flips.max(1)))
+                    as u32;
             for k in 0..flips {
-                let bit = decision_hash(seed, SITE_FLIP_BIT, u as u64, u64::from(k))
+                let bit = decision_hash(seed, SITE_FLIP_BIT, u, u64::from(k))
                     % (damaged.len() as u64 * 8);
                 damaged[(bit / 8) as usize] ^= 1 << (bit % 8);
             }
@@ -154,7 +169,7 @@ pub fn corrupt_annex_b(stream: &mut Vec<u8>, seed: u64, cfg: &NalFaultConfig) ->
             report.bits_flipped += u64::from(flips);
             out.extend_from_slice(&damaged);
         } else {
-            let keep = (decision_hash(seed, SITE_TRUNC, u as u64, 0) % body.len() as u64) as usize;
+            let keep = (decision_hash(seed, SITE_TRUNC, u, 0) % body.len() as u64) as usize;
             report.units_truncated += 1;
             report.bytes_removed += (body.len() - keep) as u64;
             out.extend_from_slice(&body[..keep]);
@@ -162,6 +177,52 @@ pub fn corrupt_annex_b(stream: &mut Vec<u8>, seed: u64, cfg: &NalFaultConfig) ->
     }
     *stream = out;
     report
+}
+
+/// Stateful per-chunk wire damage: each chunk of a session's byte stream
+/// is corrupted as it crosses the wire, with the global unit index carried
+/// across chunks so the damage pattern is a pure function of
+/// `(seed, stream)` — independent of how the wire was chunked, as long as
+/// chunks split at unit boundaries. (A unit whose start code and tail land
+/// in different chunks only exposes its in-chunk head to damage; bytes
+/// with no visible start code pass through untouched. That asymmetry is
+/// itself realistic — mid-unit fragments aren't reframed by a router.)
+#[derive(Debug, Clone)]
+pub struct WireCorruptor {
+    seed: u64,
+    cfg: NalFaultConfig,
+    units_seen: u64,
+    tally: NalCorruption,
+}
+
+impl WireCorruptor {
+    /// Creates a corruptor for one wire (one session's stream).
+    pub fn new(seed: u64, cfg: NalFaultConfig) -> Self {
+        Self {
+            seed,
+            cfg,
+            units_seen: 0,
+            tally: NalCorruption::default(),
+        }
+    }
+
+    /// Damages one chunk in place, continuing the unit numbering from
+    /// previous chunks. Returns this chunk's tally.
+    pub fn corrupt_chunk(&mut self, chunk: &mut Vec<u8>) -> NalCorruption {
+        let report = corrupt_annex_b_from(chunk, self.seed, &self.cfg, self.units_seen);
+        self.units_seen += report.units_seen;
+        self.tally.units_seen += report.units_seen;
+        self.tally.units_flipped += report.units_flipped;
+        self.tally.bits_flipped += report.bits_flipped;
+        self.tally.units_truncated += report.units_truncated;
+        self.tally.bytes_removed += report.bytes_removed;
+        report
+    }
+
+    /// Cumulative damage across every chunk so far.
+    pub fn tally(&self) -> &NalCorruption {
+        &self.tally
+    }
 }
 
 #[cfg(test)]
@@ -253,6 +314,32 @@ mod tests {
         let report = corrupt_annex_b(&mut s, 3, &cfg);
         assert_eq!(report.units_flipped, 4, "every unit takes a flip");
         assert_ne!(&s[..13], &clean[..13], "SPS payload flipped");
+    }
+
+    #[test]
+    fn unit_aligned_chunked_corruption_matches_whole_stream() {
+        let cfg = NalFaultConfig {
+            flip_per_million: 400_000,
+            truncate_per_million: 300_000,
+            max_flips: 4,
+            protect_sps: true,
+        };
+        // Unit boundaries of `stream()`: 4+1+len per unit.
+        let bounds = [0usize, 13, 82, 135, 188];
+        for seed in 0..20 {
+            let mut whole = stream();
+            let whole_report = corrupt_annex_b(&mut whole, seed, &cfg);
+            let clean = stream();
+            let mut corruptor = WireCorruptor::new(seed, cfg);
+            let mut rejoined = Vec::new();
+            for w in bounds.windows(2) {
+                let mut chunk = clean[w[0]..w[1]].to_vec();
+                corruptor.corrupt_chunk(&mut chunk);
+                rejoined.extend_from_slice(&chunk);
+            }
+            assert_eq!(rejoined, whole, "seed {seed}");
+            assert_eq!(*corruptor.tally(), whole_report, "seed {seed}");
+        }
     }
 
     #[test]

@@ -73,6 +73,7 @@ pub mod metrics;
 pub mod qos;
 pub mod report;
 pub mod router;
+pub mod wire;
 
 pub use driver::{drive_lockstep, synth_window, LoadOutcome, LoadPlan};
 pub use fleet::{Fleet, FleetBuilder, FleetConfig, FleetSessionId, SubmitOutcome};
@@ -80,3 +81,4 @@ pub use metrics::{FleetMetrics, TierMetrics};
 pub use qos::{AdmissionConfig, PerTier, QosTier, ShardOccupancy};
 pub use report::{AdmissionReport, FleetReport};
 pub use router::{HashRing, ShardId};
+pub use wire::{drive_wire, FleetWireReport, TierWirePolicy, WirePlan};

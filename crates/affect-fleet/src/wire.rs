@@ -1,0 +1,251 @@
+//! Fleet-wide video wire: per-tier chunked Annex-B ingest.
+//!
+//! `affect-rt`'s [`WireSession`] closes the traffic loop for *one*
+//! session; a gateway closes it for thousands, and its QoS tiers should
+//! shape the video path the same way they shape the classifier ladder.
+//! This module maps each [`QosTier`] to a decode posture — power mode,
+//! wire framing, resilience — and fans one encoded segment out to every
+//! session's wire, aggregating the per-tier accounting.
+//!
+//! The tier ladder mirrors the admission ladder: `Critical` wearers get
+//! full-fidelity `Standard` decode on a strict wire; `Standard` wearers
+//! get `NalDeletion`; `BestEffort` wearers get the paper's `Combined`
+//! mode on a lenient, resilient wire that resyncs past in-flight damage
+//! instead of failing the session.
+
+use affect_core::policy::VideoPowerMode;
+use affect_rt::{WireConfig, WireReport, WireSession};
+use h264::adaptive::ModeSwitchDriver;
+use h264::{CodecError, ScannerConfig};
+
+use crate::qos::QosTier;
+
+/// Decode posture for one QoS tier's video wire.
+#[derive(Debug, Clone, Copy)]
+pub struct TierWirePolicy {
+    /// Power mode the tier's driver starts in.
+    pub mode: VideoPowerMode,
+    /// Wire framing (chunk size, scanner strictness, pending bound).
+    pub wire: WireConfig,
+    /// Whether the tier's decoder conceals in-flight damage.
+    pub resilient: bool,
+}
+
+/// How the fleet shapes each tier's video wire.
+#[derive(Debug, Clone, Copy)]
+pub struct WirePlan {
+    /// `[best_effort, standard, critical]`, indexed by [`QosTier::index`].
+    pub by_tier: [TierWirePolicy; 3],
+}
+
+impl WirePlan {
+    /// The policy for one tier.
+    pub fn policy(&self, tier: QosTier) -> &TierWirePolicy {
+        &self.by_tier[tier.index()]
+    }
+}
+
+impl Default for WirePlan {
+    /// The admission ladder, translated to the decode side: quality for
+    /// `Critical`, the paper's full savings ladder below it, and lenient
+    /// resilient framing only where shedding is already acceptable.
+    fn default() -> Self {
+        let strict = WireConfig::default();
+        let lenient = WireConfig {
+            scanner: ScannerConfig {
+                strict: false,
+                ..ScannerConfig::default()
+            },
+            ..WireConfig::default()
+        };
+        Self {
+            by_tier: [
+                TierWirePolicy {
+                    mode: VideoPowerMode::Combined,
+                    wire: lenient,
+                    resilient: true,
+                },
+                TierWirePolicy {
+                    mode: VideoPowerMode::NalDeletion,
+                    wire: lenient,
+                    resilient: true,
+                },
+                TierWirePolicy {
+                    mode: VideoPowerMode::Standard,
+                    wire: strict,
+                    resilient: false,
+                },
+            ],
+        }
+    }
+}
+
+/// Per-tier wire accounting for one fleet segment fan-out.
+#[derive(Debug, Clone, Default)]
+pub struct FleetWireReport {
+    /// `[best_effort, standard, critical]`, indexed by [`QosTier::index`].
+    pub by_tier: [WireReport; 3],
+    /// Sessions whose wire segment failed outright (strict-tier decode
+    /// errors); `(tier, session, error)` in fan-out order.
+    pub failures: Vec<(QosTier, u64, CodecError)>,
+}
+
+impl FleetWireReport {
+    /// The accounting for one tier.
+    pub fn tier(&self, tier: QosTier) -> &WireReport {
+        &self.by_tier[tier.index()]
+    }
+
+    /// Sum over all tiers.
+    pub fn total(&self) -> WireReport {
+        let mut total = WireReport::default();
+        for report in &self.by_tier {
+            total.merge(report);
+        }
+        total
+    }
+}
+
+/// One fleet segment fan-out: streams `stream` over every session's wire
+/// under its tier's policy.
+///
+/// `tap` is the in-flight seam, called per session per chunk as
+/// `(session, chunk_index, bytes)` — wire `affect-fault`'s
+/// `WireCorruptor` (one per session, seeded by session id) through it for
+/// deterministic per-session damage. Sessions are processed in slice
+/// order, so runs are reproducible.
+///
+/// Decode errors on a session's wire (possible on strict tiers under
+/// corruption) are collected in [`FleetWireReport::failures`] rather than
+/// aborting the fan-out: one wearer's broken wire must not stall the
+/// fleet.
+pub fn drive_wire(
+    sessions: &[(u64, QosTier)],
+    stream: &[u8],
+    plan: &WirePlan,
+    mut tap: impl FnMut(u64, u64, &mut Vec<u8>),
+) -> FleetWireReport {
+    let mut report = FleetWireReport::default();
+    for &(session, tier) in sessions {
+        let policy = plan.policy(tier);
+        let mut driver = ModeSwitchDriver::new(policy.mode);
+        driver.set_resilient(policy.resilient);
+        let mut wire = WireSession::new(policy.wire);
+        match wire.ingest_segment(&driver, stream, |chunk, buf| tap(session, chunk, buf)) {
+            Ok((_, segment)) => report.by_tier[tier.index()].merge(&segment),
+            Err(err) => report.failures.push((tier, session, err)),
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn segment() -> Vec<u8> {
+        let (_, stream) = h264::adaptive::paper_reference(11).expect("reference clip");
+        stream
+    }
+
+    #[test]
+    fn fan_out_decodes_every_tier_and_aggregates() {
+        let stream = segment();
+        let sessions = [
+            (1u64, QosTier::Critical),
+            (2, QosTier::Standard),
+            (3, QosTier::BestEffort),
+            (4, QosTier::BestEffort),
+        ];
+        let report = drive_wire(&sessions, &stream, &WirePlan::default(), |_, _, _| {});
+        assert!(report.failures.is_empty(), "intact wire: no failures");
+        assert_eq!(
+            report.tier(QosTier::Critical).chunks,
+            report.tier(QosTier::Standard).chunks
+        );
+        assert_eq!(
+            report.tier(QosTier::BestEffort).wire_bytes,
+            2 * stream.len() as u64,
+            "two best-effort sessions each carry the full segment"
+        );
+        let total = report.total();
+        assert_eq!(total.wire_bytes, 4 * stream.len() as u64);
+        assert!(total.frames > 0);
+        // The deletion tiers decode the same frame count as Critical:
+        // concealment keeps display cadence even when units are deleted.
+        assert_eq!(total.frames % 4, 0);
+    }
+
+    #[test]
+    fn tier_policies_follow_the_admission_ladder() {
+        let plan = WirePlan::default();
+        assert_eq!(
+            plan.policy(QosTier::Critical).mode,
+            VideoPowerMode::Standard
+        );
+        assert_eq!(
+            plan.policy(QosTier::Standard).mode,
+            VideoPowerMode::NalDeletion
+        );
+        assert_eq!(
+            plan.policy(QosTier::BestEffort).mode,
+            VideoPowerMode::Combined
+        );
+        assert!(plan.policy(QosTier::Critical).wire.scanner.strict);
+        assert!(!plan.policy(QosTier::BestEffort).wire.scanner.strict);
+    }
+
+    #[test]
+    fn damaged_wire_fails_strict_tier_but_not_resilient_tiers() {
+        let stream = segment();
+        let sessions = [(10u64, QosTier::Critical), (11, QosTier::BestEffort)];
+        // Small chunks so chunk 3 lands mid-stream regardless of clip size.
+        let mut plan = WirePlan::default();
+        for policy in &mut plan.by_tier {
+            policy.wire.chunk_bytes = 64;
+        }
+        // Stomp one mid-stream chunk on every session's wire.
+        let report = drive_wire(&sessions, &stream, &plan, |_, chunk, buf| {
+            if chunk == 3 {
+                buf.iter_mut().for_each(|b| *b = 0xAA);
+            }
+        });
+        let best_effort = report.tier(QosTier::BestEffort);
+        assert!(
+            best_effort.frames > 0,
+            "resilient lenient tier keeps playing through damage"
+        );
+        assert!(
+            best_effort.damaged_units > 0 || best_effort.resyncs > 0,
+            "damage must be visible in the tier accounting"
+        );
+        // Critical is strict + non-resilient: the stomped chunk either
+        // fails the session (recorded, not propagated) or, if the damage
+        // lands entirely inside payload bytes that still parse, decodes.
+        let critical_failed = report
+            .failures
+            .iter()
+            .any(|(t, s, _)| *t == QosTier::Critical && *s == 10);
+        assert!(
+            critical_failed || report.tier(QosTier::Critical).frames > 0,
+            "critical session either fails visibly or decodes"
+        );
+    }
+
+    #[test]
+    fn fan_out_is_deterministic() {
+        let stream = segment();
+        let sessions = [(1u64, QosTier::Standard), (2, QosTier::BestEffort)];
+        let run = |_: ()| {
+            drive_wire(&sessions, &stream, &WirePlan::default(), |s, c, buf| {
+                if (s + c) % 7 == 0 && !buf.is_empty() {
+                    buf[0] ^= 0x40;
+                }
+            })
+        };
+        let a = run(());
+        let b = run(());
+        assert_eq!(a.by_tier, b.by_tier);
+        assert_eq!(a.failures.len(), b.failures.len());
+    }
+}

@@ -10,7 +10,11 @@ use affect_core::controller::ControlEvent;
 use affect_core::emotion::Emotion;
 use affect_core::policy::VideoPowerMode;
 use h264::adaptive::ModeSwitchDriver;
+use h264::decoder::DecodeOutput;
+use h264::CodecError;
 use mobile_sim::affect_table::EmotionReranker;
+
+use crate::wire::{WireReport, WireSession};
 
 /// A session's sink for control decisions.
 pub trait Actuator: Send {
@@ -77,9 +81,27 @@ impl VideoActuator {
         &self.driver
     }
 
+    /// Mutable access to the wrapped driver, for configuration (kernels,
+    /// resilience, metrics) before the session starts.
+    pub fn driver_mut(&mut self) -> &mut ModeSwitchDriver {
+        &mut self.driver
+    }
+
     /// Timestamped effective mode switches.
     pub fn switch_log(&self) -> &[(u64, VideoPowerMode)] {
         &self.switch_log
+    }
+
+    /// Streams one encoded segment through this actuator's driver over
+    /// `wire`, under whatever power mode the affect loop has selected.
+    /// See [`WireSession::ingest_segment`].
+    pub fn ingest_segment(
+        &self,
+        wire: &mut WireSession,
+        stream: &[u8],
+        tap: impl FnMut(u64, &mut Vec<u8>),
+    ) -> Result<(DecodeOutput, WireReport), CodecError> {
+        wire.ingest_segment(&self.driver, stream, tap)
     }
 }
 

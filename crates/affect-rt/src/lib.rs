@@ -77,6 +77,7 @@ pub mod fault;
 pub mod ring;
 pub mod runtime;
 pub mod stats;
+pub mod wire;
 
 pub use actuator::{Actuator, AppActuator, CollectActuator, NullActuator, VideoActuator};
 pub use clock::{Clock, SystemClock, VirtualClock};
@@ -90,3 +91,4 @@ pub use stats::{
     ClassifyReport, FaultReport, LatencyHistogram, LatencySummary, RuntimeReport, SessionReport,
     StageReport,
 };
+pub use wire::{WireConfig, WireReport, WireSession};

@@ -1,0 +1,246 @@
+//! The byte-stream side of the traffic loop: chunked Annex-B wire ingest
+//! feeding a session's affect-adaptive decoder.
+//!
+//! The offline path hands the decoder a whole segment buffer at once. A
+//! real session receives its video as a *wire*: encoded bytes arriving in
+//! transport-sized chunks, possibly corrupted in flight, with NAL units
+//! and even start codes split across chunk boundaries. [`WireSession`]
+//! models that leg of the loop — it chops a segment into
+//! [`WireConfig::chunk_bytes`]-sized chunks, offers each chunk to a caller
+//! tap (the seam where `affect-fault`'s `WireCorruptor` or a metering
+//! probe slots in), and streams the bytes through the session's
+//! [`ModeSwitchDriver`] incrementally, so decode runs under whatever power
+//! mode the affect controller has the driver in *right now*.
+//!
+//! Invariant inherited from `h264::DecodeStream`: for an intact wire, any
+//! chunking (including one byte at a time) yields byte-identical frames
+//! and identical Activity/selection counters to whole-buffer decode.
+
+use h264::adaptive::ModeSwitchDriver;
+use h264::decoder::DecodeOutput;
+use h264::{CodecError, ScannerConfig};
+
+/// How a session's video wire is framed.
+#[derive(Debug, Clone, Copy)]
+pub struct WireConfig {
+    /// Bytes per wire chunk — the simulated transport MTU. Values below 1
+    /// are treated as 1.
+    pub chunk_bytes: usize,
+    /// Stream-framer behaviour (strict vs. resync, pending-byte bound).
+    pub scanner: ScannerConfig,
+}
+
+impl Default for WireConfig {
+    fn default() -> Self {
+        Self {
+            // Ethernet-ish MTU: the default transport picture.
+            chunk_bytes: 1500,
+            scanner: ScannerConfig::default(),
+        }
+    }
+}
+
+/// Per-segment (and, summed, per-session) wire accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WireReport {
+    /// Chunks pushed down the wire.
+    pub chunks: u64,
+    /// Bytes pushed down the wire (after the tap, i.e. as decoded).
+    pub wire_bytes: u64,
+    /// NAL units framed out of the byte stream.
+    pub units: u64,
+    /// Scanner resyncs (lenient mode only; garbage skipped on the wire).
+    pub resyncs: u64,
+    /// High-water mark of bytes buffered awaiting a start code.
+    pub max_pending: usize,
+    /// Frames delivered to the session's display path.
+    pub frames: u64,
+    /// Frames concealed by the decoder's resilience path.
+    pub concealed_frames: u64,
+    /// Slice units damaged in flight and concealed.
+    pub damaged_units: u64,
+}
+
+impl WireReport {
+    /// Adds another report into this one (session aggregation).
+    pub fn merge(&mut self, other: &WireReport) {
+        self.chunks += other.chunks;
+        self.wire_bytes += other.wire_bytes;
+        self.units += other.units;
+        self.resyncs += other.resyncs;
+        self.max_pending = self.max_pending.max(other.max_pending);
+        self.frames += other.frames;
+        self.concealed_frames += other.concealed_frames;
+        self.damaged_units += other.damaged_units;
+    }
+}
+
+/// One session's wire endpoint: chunks segments, applies the caller's
+/// wire tap, and streams the bytes into a [`ModeSwitchDriver`].
+#[derive(Debug, Clone)]
+pub struct WireSession {
+    cfg: WireConfig,
+    segments: u64,
+    totals: WireReport,
+}
+
+impl WireSession {
+    /// A new wire endpoint with the given framing.
+    pub fn new(cfg: WireConfig) -> Self {
+        Self {
+            cfg,
+            segments: 0,
+            totals: WireReport::default(),
+        }
+    }
+
+    /// The wire framing in effect.
+    pub fn config(&self) -> &WireConfig {
+        &self.cfg
+    }
+
+    /// Segments ingested so far.
+    pub fn segments(&self) -> u64 {
+        self.segments
+    }
+
+    /// Wire accounting summed over every segment ingested so far.
+    pub fn totals(&self) -> &WireReport {
+        &self.totals
+    }
+
+    /// Streams one encoded segment through `driver` in wire-sized chunks.
+    ///
+    /// `tap` sees every chunk (`(chunk_index, bytes)`) before it reaches
+    /// the decoder and may mutate it in place — this is where in-flight
+    /// corruption or rate metering plugs in. Decode runs under the
+    /// driver's *current* mode; flip the mode between segments (or let a
+    /// [`VideoActuator`](crate::VideoActuator) do it) and the next
+    /// segment decodes differently.
+    pub fn ingest_segment(
+        &mut self,
+        driver: &ModeSwitchDriver,
+        stream: &[u8],
+        mut tap: impl FnMut(u64, &mut Vec<u8>),
+    ) -> Result<(DecodeOutput, WireReport), CodecError> {
+        let chunk_bytes = self.cfg.chunk_bytes.max(1);
+        let mut decode = driver.begin_segment(self.cfg.scanner);
+        let mut report = WireReport::default();
+        for chunk in stream.chunks(chunk_bytes) {
+            let mut buf = chunk.to_vec();
+            tap(report.chunks, &mut buf);
+            report.chunks += 1;
+            report.wire_bytes += buf.len() as u64;
+            decode.decode_chunk(&buf)?;
+        }
+        let (out, ingest) = driver.finish_segment_with_stats(decode)?;
+        report.units = ingest.units;
+        report.resyncs = ingest.resyncs;
+        report.max_pending = ingest.max_pending;
+        report.frames = out.frames.len() as u64;
+        report.concealed_frames = out.resilience.concealed_frames;
+        report.damaged_units = out.resilience.damaged_units;
+        self.segments += 1;
+        self.totals.merge(&report);
+        Ok((out, report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use affect_core::policy::VideoPowerMode;
+
+    fn segment() -> Vec<u8> {
+        let (_, stream) = h264::adaptive::paper_reference(11).expect("reference clip");
+        stream
+    }
+
+    #[test]
+    fn wire_ingest_matches_whole_buffer_decode() {
+        let stream = segment();
+        let driver = ModeSwitchDriver::new(VideoPowerMode::Combined);
+        let whole = driver.decode_segment(&stream).expect("whole decode");
+        for chunk_bytes in [1usize, 7, 1500] {
+            let mut wire = WireSession::new(WireConfig {
+                chunk_bytes,
+                ..WireConfig::default()
+            });
+            let (out, report) = wire
+                .ingest_segment(&driver, &stream, |_, _| {})
+                .expect("wire decode");
+            assert_eq!(out.frames, whole.frames, "chunk_bytes={chunk_bytes}");
+            assert_eq!(out.activity, whole.activity);
+            assert_eq!(report.wire_bytes, stream.len() as u64);
+            assert_eq!(report.chunks, stream.len().div_ceil(chunk_bytes) as u64);
+            assert_eq!(report.frames, whole.frames.len() as u64);
+        }
+    }
+
+    #[test]
+    fn tap_sees_every_chunk_in_order_and_mutations_reach_the_decoder() {
+        let stream = segment();
+        let mut driver = ModeSwitchDriver::new(VideoPowerMode::Standard);
+        driver.set_resilient(true);
+        let mut wire = WireSession::new(WireConfig {
+            chunk_bytes: 64,
+            scanner: ScannerConfig {
+                strict: false,
+                ..ScannerConfig::default()
+            },
+        });
+        let mut seen = Vec::new();
+        let (out, report) = wire
+            .ingest_segment(&driver, &stream, |i, buf| {
+                seen.push(i);
+                if i == 3 {
+                    // Stomp a chunk mid-stream: resilient decode conceals.
+                    buf.iter_mut().for_each(|b| *b = 0xAA);
+                }
+            })
+            .expect("wire decode survives a stomped chunk");
+        let expect: Vec<u64> = (0..stream.len().div_ceil(64) as u64).collect();
+        assert_eq!(seen, expect, "tap runs once per chunk, in order");
+        assert!(
+            out.resilience.damaged_units > 0 || report.resyncs > 0,
+            "the stomped chunk must register as damage or a wire resync"
+        );
+    }
+
+    #[test]
+    fn report_counts_the_flush_framed_final_unit() {
+        let stream = segment();
+        // Ground truth: scan the whole stream, counting the tail unit
+        // that only the flush frames.
+        let mut scanner = h264::AnnexBScanner::new(ScannerConfig::default());
+        let mut expected = scanner.push_chunk(&stream).expect("scan").len() as u64;
+        if scanner.flush().expect("flush").is_some() {
+            expected += 1;
+        }
+        assert!(expected > 0);
+        let driver = ModeSwitchDriver::new(VideoPowerMode::Standard);
+        let mut wire = WireSession::new(WireConfig::default());
+        let (_, report) = wire
+            .ingest_segment(&driver, &stream, |_, _| {})
+            .expect("wire decode");
+        assert_eq!(
+            report.units, expected,
+            "segment accounting must include the unit framed at flush"
+        );
+    }
+
+    #[test]
+    fn session_totals_accumulate_across_segments() {
+        let stream = segment();
+        let driver = ModeSwitchDriver::new(VideoPowerMode::Standard);
+        let mut wire = WireSession::new(WireConfig::default());
+        for _ in 0..3 {
+            wire.ingest_segment(&driver, &stream, |_, _| {})
+                .expect("segment");
+        }
+        assert_eq!(wire.segments(), 3);
+        assert_eq!(wire.totals().wire_bytes, 3 * stream.len() as u64);
+        assert_eq!(wire.totals().chunks, 3 * stream.len().div_ceil(1500) as u64);
+        assert!(wire.totals().frames > 0);
+    }
+}

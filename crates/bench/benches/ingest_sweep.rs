@@ -1,0 +1,192 @@
+//! Streaming-ingest throughput sweep over wire chunk size (ISSUE 8
+//! tentpole gate).
+//!
+//! Encodes a clip once, then decodes it repeatedly through the chunked
+//! streaming front-end (`Decoder::begin_stream` → `decode_chunk` →
+//! `finish`) at transport chunk sizes from one byte to the whole buffer,
+//! reporting wire MB/s (stream bytes through the scanner per second).
+//! Whole-buffer `Decoder::decode` is measured as the baseline — since the
+//! batch path is itself a thin wrapper over the streaming path, the sweep
+//! isolates pure chunking overhead (scanner carry state, per-chunk
+//! buffer management).
+//!
+//! Writes:
+//!   - `benches/results/ingest_sweep.csv` — chunk-size grid with MB/s and
+//!     the overhead ratio vs. whole-buffer decode
+//!   - `../../BENCH_ingest_sweep.json` — the repo-root trajectory file
+//!     CI's bench-smoke job uploads as an artifact
+//!
+//! Two gates, both exercised in every mode (including `--test`):
+//!   - correctness: every chunking's output must equal whole-buffer
+//!     decode (frames, activity, selection, buffer stats);
+//!   - performance (skipped in `--test`): at MTU-sized chunks (1500 B)
+//!     streaming ingest must stay within 2× of whole-buffer decode time.
+
+use std::time::Instant;
+
+use affect_core::policy::VideoPowerMode;
+use bench::table::Table;
+use criterion::black_box;
+use h264::adaptive::options_for_mode;
+use h264::decoder::{DecodeOutput, Decoder};
+use h264::encoder::{Encoder, EncoderConfig, GopPattern};
+use h264::video::synthetic_clip;
+
+/// Max allowed slowdown vs. whole-buffer decode at MTU-sized chunks.
+const MTU_OVERHEAD_GATE: f64 = 2.0;
+/// Target wall-clock per chunk-size measurement.
+const TARGET_SECS: f64 = 0.25;
+
+fn chunk_sizes(len: usize, test_mode: bool) -> Vec<usize> {
+    if test_mode {
+        vec![1, 64, 1500, len]
+    } else {
+        vec![1, 4, 16, 64, 256, 1500, 8192, len]
+    }
+}
+
+fn decode_chunked(
+    options: h264::decoder::DecoderOptions,
+    stream: &[u8],
+    chunk: usize,
+) -> DecodeOutput {
+    let mut s = Decoder::new(options).begin_stream();
+    for piece in stream.chunks(chunk) {
+        s.decode_chunk(black_box(piece)).expect("chunk decodes");
+    }
+    s.finish().expect("stream finishes")
+}
+
+fn assert_equivalent(chunk: usize, got: &DecodeOutput, want: &DecodeOutput) {
+    assert_eq!(
+        got.frames, want.frames,
+        "frames diverged at chunk size {chunk}"
+    );
+    assert_eq!(
+        got.activity, want.activity,
+        "activity diverged at chunk size {chunk}"
+    );
+    assert_eq!(
+        got.selection, want.selection,
+        "selection diverged at chunk size {chunk}"
+    );
+    assert_eq!(
+        got.buffer, want.buffer,
+        "buffer stats diverged at chunk size {chunk}"
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let test_mode = args.iter().any(|a| a == "--test");
+
+    let mode = VideoPowerMode::Combined;
+    let options = options_for_mode(mode);
+    let frames = synthetic_clip(96, 96, if test_mode { 4 } else { 8 }, 17).unwrap();
+    let stream = Encoder::new(EncoderConfig {
+        qp: 28,
+        gop: GopPattern {
+            intra_period: 4,
+            b_between: 1,
+        },
+        ..EncoderConfig::default()
+    })
+    .unwrap()
+    .encode(&frames)
+    .unwrap();
+    let stream_mb = stream.len() as f64 / 1e6;
+
+    // Baseline: whole-buffer decode, also the correctness reference.
+    let reference = Decoder::new(options)
+        .decode(&stream)
+        .expect("intact stream");
+    let reps = if test_mode {
+        2
+    } else {
+        let t0 = Instant::now();
+        let _ = Decoder::new(options).decode(&stream).unwrap();
+        let once = t0.elapsed().as_secs_f64().max(1e-6);
+        ((TARGET_SECS / once) as usize).clamp(3, 400)
+    };
+    let start = Instant::now();
+    for _ in 0..reps {
+        let _ = Decoder::new(options).decode(black_box(&stream)).unwrap();
+    }
+    let whole_mb_s = stream_mb * reps as f64 / start.elapsed().as_secs_f64().max(1e-9);
+    eprintln!(
+        "ingest_sweep: {} byte stream, whole-buffer baseline {:.1} MB/s ({reps} reps)",
+        stream.len(),
+        whole_mb_s
+    );
+
+    let mut table = Table::new(vec![
+        "chunk_bytes".into(),
+        "chunks".into(),
+        "wire_mb_s".into(),
+        "overhead_vs_whole".into(),
+    ]);
+    let mut json_points = Vec::new();
+    let mut mtu_overhead = 1.0f64;
+
+    for chunk in chunk_sizes(stream.len(), test_mode) {
+        // Correctness gate: every chunking equals whole-buffer decode.
+        let out = decode_chunked(options, &stream, chunk);
+        assert_equivalent(chunk, &out, &reference);
+
+        let start = Instant::now();
+        for _ in 0..reps {
+            let _ = decode_chunked(options, &stream, chunk);
+        }
+        let mb_s = stream_mb * reps as f64 / start.elapsed().as_secs_f64().max(1e-9);
+        let overhead = whole_mb_s / mb_s.max(1e-9);
+        if chunk == 1500 {
+            mtu_overhead = overhead;
+        }
+        let n_chunks = stream.len().div_ceil(chunk);
+        eprintln!(
+            "  chunk {chunk:>7} B  {n_chunks:>6} chunks  {mb_s:>8.1} MB/s  x{overhead:.2} vs whole"
+        );
+        table.row(vec![
+            chunk.to_string(),
+            n_chunks.to_string(),
+            format!("{mb_s:.1}"),
+            format!("{overhead:.3}"),
+        ]);
+        json_points.push(format!(
+            "    {{\"chunk_bytes\": {chunk}, \"chunks\": {n_chunks}, \"wire_mb_per_s\": {mb_s:.1}, \
+             \"overhead_vs_whole\": {overhead:.3}}}"
+        ));
+    }
+
+    eprintln!("ingest_sweep: every chunking byte-identical to whole-buffer decode");
+
+    // `--test` keeps the committed results untouched: a 2-rep debug run
+    // would overwrite the tracked numbers with noise.
+    if test_mode {
+        return;
+    }
+
+    let csv_path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/benches/results/ingest_sweep.csv"
+    );
+    table.write_csv(csv_path).expect("write csv");
+    eprintln!("wrote {csv_path}");
+
+    let json_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_ingest_sweep.json");
+    let json = format!(
+        "{{\n  \"bench\": \"ingest_sweep\",\n  \"unit\": \"wire_mb_per_sec\",\n  \
+         \"stream_bytes\": {},\n  \"whole_buffer_mb_per_s\": {whole_mb_s:.1},\n  \
+         \"mtu_overhead\": {mtu_overhead:.3},\n  \"points\": [\n{}\n  ]\n}}\n",
+        stream.len(),
+        json_points.join(",\n")
+    );
+    std::fs::write(json_path, json).expect("write json");
+    eprintln!("wrote {json_path}");
+
+    assert!(
+        mtu_overhead <= MTU_OVERHEAD_GATE,
+        "MTU-chunked ingest is x{mtu_overhead:.2} slower than whole-buffer decode \
+         (gate x{MTU_OVERHEAD_GATE})"
+    );
+}

@@ -3,9 +3,10 @@
 
 use crate::backend::{self, BackendKind, DecodeKernels};
 use crate::buffers::SelectorParams;
-use crate::decoder::{Activity, DecodeOutput, Decoder, DecoderOptions};
+use crate::decoder::{Activity, DecodeOutput, DecodeStream, Decoder, DecoderOptions};
 use crate::power::{paper_targets, PowerModel};
 use crate::quality::{mean_psnr, mean_ssim};
+use crate::stream::{IngestStats, ScannerConfig};
 use crate::CodecError;
 use crate::Frame;
 use affect_core::emotion::CognitiveState;
@@ -260,6 +261,11 @@ struct DriverMetrics {
     concealed_frames: Arc<Counter>,
     resyncs: Arc<Counter>,
     decode_mb: Arc<Counter>,
+    ingest_chunks: Arc<Counter>,
+    ingest_bytes: Arc<Counter>,
+    ingest_units: Arc<Counter>,
+    ingest_resyncs: Arc<Counter>,
+    ingest_pending: Arc<Histogram>,
     /// Per-backend decode-latency histograms, pre-registered for every
     /// [`BackendKind`] so switching kernels at runtime never touches the
     /// registry lock on the decode path. A custom external backend whose
@@ -368,6 +374,31 @@ impl ModeSwitchDriver {
                 "macroblocks decoded by the adaptive driver",
                 &[],
             ),
+            ingest_chunks: registry.counter(
+                "affect_h264_ingest_chunks_total",
+                "wire chunks pushed through streaming ingest",
+                &[],
+            ),
+            ingest_bytes: registry.counter(
+                "affect_h264_ingest_bytes_total",
+                "wire bytes pushed through streaming ingest",
+                &[],
+            ),
+            ingest_units: registry.counter(
+                "affect_h264_ingest_units_total",
+                "NAL units framed by the streaming scanner",
+                &[],
+            ),
+            ingest_resyncs: registry.counter(
+                "affect_h264_ingest_resyncs_total",
+                "lenient-mode scanner resynchronizations over wire damage",
+                &[],
+            ),
+            ingest_pending: registry.histogram(
+                "affect_h264_ingest_pending_bytes",
+                "per-segment high-water mark of the partial-unit buffer",
+                &[],
+            ),
             decode_ns: BackendKind::ALL
                 .iter()
                 .map(|kind| {
@@ -427,7 +458,82 @@ impl ModeSwitchDriver {
     pub fn decode_segment(&self, stream: &[u8]) -> Result<DecodeOutput, CodecError> {
         let start = Instant::now();
         let out = Decoder::with_kernels(self.options, Arc::clone(&self.kernels)).decode(stream)?;
-        let elapsed_ns = start.elapsed().as_nanos() as u64;
+        self.record_segment(&out, start.elapsed().as_nanos() as u64);
+        Ok(out)
+    }
+
+    /// Starts an incremental decode of one segment under the current mode
+    /// (the streaming counterpart of [`ModeSwitchDriver::decode_segment`];
+    /// a chunked wire feeds [`DecodeStream::decode_chunk`] directly). Pass
+    /// the finished stream to [`ModeSwitchDriver::finish_segment`] so the
+    /// driver's metrics see it.
+    pub fn begin_segment(&self, scanner: ScannerConfig) -> DecodeStream {
+        Decoder::with_kernels(self.options, Arc::clone(&self.kernels)).begin_stream_with(scanner)
+    }
+
+    /// Decodes one segment arriving as wire chunks. Produces byte-identical
+    /// output to [`ModeSwitchDriver::decode_segment`] of the concatenated
+    /// bytes, and additionally feeds the `affect_h264_ingest_*` series.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scanner framing and decoder errors.
+    pub fn decode_segment_chunked<'a>(
+        &self,
+        chunks: impl IntoIterator<Item = &'a [u8]>,
+        scanner: ScannerConfig,
+    ) -> Result<DecodeOutput, CodecError> {
+        let start = Instant::now();
+        let mut stream = self.begin_segment(scanner);
+        for chunk in chunks {
+            stream.decode_chunk(chunk)?;
+        }
+        let out = self.finish_segment(stream)?;
+        if let Some(m) = &self.metrics {
+            let backend = self.kernels.name();
+            if let Some((_, h)) = m.decode_ns.iter().find(|(name, _)| *name == backend) {
+                h.record(start.elapsed().as_nanos() as u64);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Finishes an incremental segment started with
+    /// [`ModeSwitchDriver::begin_segment`], recording segment and ingest
+    /// metrics. (No decode-latency sample: the driver cannot know how long
+    /// the caller held the stream open.)
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DecodeStream::finish`] errors.
+    pub fn finish_segment(&self, stream: DecodeStream) -> Result<DecodeOutput, CodecError> {
+        self.finish_segment_with_stats(stream).map(|(out, _)| out)
+    }
+
+    /// [`ModeSwitchDriver::finish_segment`], also returning the segment's
+    /// final ingest counters (post-flush, so the last unit is counted —
+    /// see [`DecodeStream::finish_with_stats`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DecodeStream::finish`] errors.
+    pub fn finish_segment_with_stats(
+        &self,
+        stream: DecodeStream,
+    ) -> Result<(DecodeOutput, IngestStats), CodecError> {
+        let (out, ingest) = stream.finish_with_stats()?;
+        self.record_segment(&out, 0);
+        if let Some(m) = &self.metrics {
+            m.ingest_chunks.add(ingest.chunks);
+            m.ingest_bytes.add(ingest.bytes);
+            m.ingest_units.add(ingest.units);
+            m.ingest_resyncs.add(ingest.resyncs);
+            m.ingest_pending.record(ingest.max_pending as u64);
+        }
+        Ok((out, ingest))
+    }
+
+    fn record_segment(&self, out: &DecodeOutput, elapsed_ns: u64) {
         if let Some(m) = &self.metrics {
             m.segments.inc();
             m.frames.add(out.activity.frames);
@@ -438,12 +544,13 @@ impl ModeSwitchDriver {
             m.concealed_frames.add(out.resilience.concealed_frames);
             m.resyncs.add(out.resilience.resyncs);
             m.decode_mb.add(out.activity.macroblocks);
-            let backend = self.kernels.name();
-            if let Some((_, h)) = m.decode_ns.iter().find(|(name, _)| *name == backend) {
-                h.record(elapsed_ns);
+            if elapsed_ns > 0 {
+                let backend = self.kernels.name();
+                if let Some((_, h)) = m.decode_ns.iter().find(|(name, _)| *name == backend) {
+                    h.record(elapsed_ns);
+                }
             }
         }
-        Ok(out)
     }
 }
 
@@ -631,6 +738,51 @@ mod tests {
         // Bit-exact contract: identical frames and counters either way.
         assert_eq!(default_out.frames, reference_out.frames);
         assert_eq!(default_out.activity, reference_out.activity);
+    }
+
+    #[test]
+    fn chunked_segment_matches_whole_buffer() {
+        let (_, stream) = clip_and_stream();
+        let mut driver = ModeSwitchDriver::new(VideoPowerMode::Combined);
+        driver.set_resilient(true);
+        let whole = driver.decode_segment(&stream).unwrap();
+        for chunk in [1usize, 7, 1500] {
+            let chunked = driver
+                .decode_segment_chunked(stream.chunks(chunk), ScannerConfig::default())
+                .unwrap();
+            assert_eq!(whole.frames, chunked.frames, "chunk {chunk}");
+            assert_eq!(whole.activity, chunked.activity, "chunk {chunk}");
+            assert_eq!(whole.selection, chunked.selection, "chunk {chunk}");
+            assert_eq!(whole.buffer, chunked.buffer, "chunk {chunk}");
+        }
+    }
+
+    #[test]
+    fn ingest_metrics_flow_through_chunked_segments() {
+        let (_, stream) = clip_and_stream();
+        let registry = MetricsRegistry::new();
+        let mut driver = ModeSwitchDriver::new(VideoPowerMode::Standard);
+        driver.attach_metrics(&registry);
+        driver
+            .decode_segment_chunked(stream.chunks(64), ScannerConfig::default())
+            .unwrap();
+        let get = |name: &str| registry.counter(name, "", &[]).get();
+        assert_eq!(
+            get("affect_h264_ingest_chunks_total"),
+            stream.len().div_ceil(64) as u64
+        );
+        assert_eq!(get("affect_h264_ingest_bytes_total"), stream.len() as u64);
+        assert!(get("affect_h264_ingest_units_total") > 0);
+        assert_eq!(get("affect_h264_ingest_resyncs_total"), 0);
+        assert_eq!(get("h264_segments_decoded_total"), 1);
+        let pending = registry.histogram("affect_h264_ingest_pending_bytes", "", &[]);
+        assert_eq!(pending.count(), 1);
+        let latency = registry.histogram(
+            "affect_h264_decode_ns",
+            "",
+            &[("backend", driver.backend_name())],
+        );
+        assert_eq!(latency.count(), 1);
     }
 
     #[test]

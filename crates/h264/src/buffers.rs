@@ -148,6 +148,17 @@ pub struct BufferStats {
     pub ticks: usize,
 }
 
+impl BufferStats {
+    /// Adds another record into this one (per-unit pump aggregation).
+    pub fn merge(&mut self, other: &BufferStats) {
+        self.prestore_writes += other.prestore_writes;
+        self.circular_writes += other.circular_writes;
+        self.delivered += other.delivered;
+        self.producer_stalls += other.producer_stalls;
+        self.ticks += other.ticks;
+    }
+}
+
 /// The Pre-store Buffer (128 × 16 bits = 256 bytes) feeding the 128-bit
 /// (16-byte) Circular Buffer, with the hand-shake of the paper.
 ///

@@ -2,14 +2,15 @@
 //! accounting and the two affect-driven power knobs.
 
 use crate::backend::{self, DecodeKernels};
-use crate::buffers::{select_units, BufferChain, BufferStats, SelectionReport, SelectorParams};
+use crate::buffers::{BufferChain, BufferStats, SelectionReport, SelectorParams};
 use crate::cavlc::{coeff_count, context_for, decode_block};
 use crate::deblock::BlockInfo;
 use crate::expgolomb::BitReader;
 use crate::frame::{Frame, BLOCKS_PER_MB, BLOCK_SIZE, MB_SIZE};
 use crate::inter::MotionVector;
 use crate::intra::{predict, IntraMode};
-use crate::nal::{split_annex_b, write_annex_b, NalType, NalUnit};
+use crate::nal::{write_annex_b, NalType, NalUnit};
+use crate::stream::{AnnexBScanner, IngestStats, ParameterSetCache, ScannerConfig};
 use crate::CodecError;
 use std::rc::Rc;
 use std::sync::Arc;
@@ -201,6 +202,12 @@ impl Decoder {
 
     /// Decodes an Annex-B bitstream.
     ///
+    /// A thin wrapper over the incremental path: one
+    /// [`Decoder::begin_stream`], one [`DecodeStream::decode_chunk`] with
+    /// the whole buffer, one [`DecodeStream::finish`] — so whole-buffer
+    /// and chunked decoding are the same code and produce identical
+    /// output by construction.
+    ///
     /// # Errors
     ///
     /// Returns syntax errors for malformed streams,
@@ -208,216 +215,22 @@ impl Decoder {
     /// and [`CodecError::MissingReference`] when the first slice is not an
     /// I slice.
     pub fn decode(&mut self, stream: &[u8]) -> Result<DecodeOutput, CodecError> {
-        let all_units = split_annex_b(stream)?;
+        let mut s = self.begin_stream();
+        s.decode_chunk(stream)?;
+        s.finish()
+    }
 
-        // Input Selector (knob 2). The surviving units are moved out of the
-        // report (not cloned — payloads can be megabytes) and moved back
-        // into `selection.kept` once decoding is done with them.
-        let (units, mut selection) = match self.options.selector {
-            Some(params) => {
-                let mut report = select_units(&all_units, params);
-                let kept = std::mem::take(&mut report.kept);
-                (kept, report)
-            }
-            None => {
-                let kept_bytes = all_units.iter().map(NalUnit::wire_size).sum();
-                (
-                    all_units,
-                    SelectionReport {
-                        kept_bytes,
-                        ..SelectionReport::default()
-                    },
-                )
-            }
-        };
+    /// Starts an incremental decode with strict framing (the streaming
+    /// equivalent of [`Decoder::decode`]).
+    pub fn begin_stream(&self) -> DecodeStream {
+        self.begin_stream_with(ScannerConfig::default())
+    }
 
-        // Pump the surviving bytes through the Pre-store/Circular chain.
-        let surviving = write_annex_b(&units);
-        let mut chain = BufferChain::paper_sized();
-        let buffer = chain.pump(&surviving);
-
-        let mut activity = Activity {
-            buffer_bytes: (buffer.prestore_writes + buffer.circular_writes) as u64,
-            ..Activity::default()
-        };
-
-        // SPS first.
-        let Some((sps, slices)) = units.split_first() else {
-            return Err(CodecError::InvalidSyntax("empty stream"));
-        };
-        if sps.nal_type != NalType::Sps {
-            return Err(CodecError::InvalidSyntax("stream must start with sps"));
-        }
-        let mut r = BitReader::new(&sps.payload);
-        let mb_cols = r.read_ue()? as usize;
-        let mb_rows = r.read_ue()? as usize;
-        let qp = r.read_ue()?;
-        let total_frames = r.read_ue()? as usize;
-        activity.parser_bits += r.bits_read() as u64;
-        // Sanity bounds defend against corrupted streams requesting
-        // pathological allocations (a fuzzer's favourite trick).
-        const MAX_MBS: usize = 256; // 4096 pixels per side
-        const MAX_FRAMES: usize = 100_000;
-        // Total emitted luma samples (frames × pixels) stay under a hard
-        // memory/time budget, so a corrupt SPS can't combine a plausible
-        // frame size with a huge frame count into an unbounded decode.
-        const MAX_TOTAL_SAMPLES: u64 = 1 << 27; // 128 M samples
-        if qp > 51 || mb_cols == 0 || mb_rows == 0 || mb_cols > MAX_MBS || mb_rows > MAX_MBS {
-            return Err(CodecError::InvalidSyntax("sps parameters out of range"));
-        }
-        if total_frames > MAX_FRAMES {
-            return Err(CodecError::InvalidSyntax("implausible frame count"));
-        }
-        let samples =
-            (mb_cols * MB_SIZE) as u64 * (mb_rows * MB_SIZE) as u64 * total_frames.max(1) as u64;
-        if samples > MAX_TOTAL_SAMPLES {
-            return Err(CodecError::InvalidSyntax("stream exceeds decode budget"));
-        }
-        let qp = qp as u8;
-        let (width, height) = (mb_cols * MB_SIZE, mb_rows * MB_SIZE);
-
-        // Frames are reference-counted internally: the reference list and
-        // concealment repeats share the decoded pixels instead of deep-
-        // cloning them. The shared handles are unwrapped (moved, not
-        // copied, wherever ownership is unique) into plain `Frame`s at the
-        // end so `DecodeOutput` stays `Send`.
-        let mut frames: Vec<Rc<Frame>> = Vec::with_capacity(total_frames);
-        let mut refs: Vec<Rc<Frame>> = Vec::new();
-
-        let resilient = self.options.resilient;
-        let mut resilience = ResilienceReport::default();
-        // Set after damage: predicted slices are concealed (their
-        // references may be corrupt) until the next intact IDR resyncs.
-        let mut awaiting_idr = false;
-
-        for unit in slices {
-            let mut reader = BitReader::new(&unit.payload);
-            let header = reader.read_ue().map(|v| v as usize).and_then(|n| {
-                if n >= total_frames.max(1) + 16 {
-                    Err(CodecError::InvalidSyntax("frame number out of range"))
-                } else {
-                    Ok(n)
-                }
-            });
-            let frame_num = match header {
-                Ok(n) => n,
-                Err(_) if resilient => {
-                    // Unplaceable damage: no trustworthy frame_num, so
-                    // nothing to conceal into — count it and wait for the
-                    // resync point (tail concealment keeps the count).
-                    resilience.damaged_units += 1;
-                    awaiting_idr = true;
-                    continue;
-                }
-                Err(e) => return Err(e),
-            };
-
-            // Conceal frames whose NAL units were deleted: repeat the last
-            // emitted frame (or black if nothing decoded yet).
-            while frames.len() < frame_num {
-                let concealed = match frames.last() {
-                    Some(last) => Rc::clone(last),
-                    None => Rc::new(Frame::new(width, height)?),
-                };
-                frames.push(concealed);
-                activity.frames += 1;
-            }
-            let place = |frames: &mut Vec<Rc<Frame>>, frame: Rc<Frame>| {
-                if frames.len() == frame_num {
-                    frames.push(frame);
-                } else {
-                    // Out-of-order or duplicate frame_num: overwrite.
-                    frames[frame_num] = frame;
-                }
-            };
-            let conceal = |frames: &mut Vec<Rc<Frame>>| -> Result<Rc<Frame>, CodecError> {
-                Ok(match frames.last() {
-                    Some(last) => Rc::clone(last),
-                    None => Rc::new(Frame::new(width, height)?),
-                })
-            };
-
-            if awaiting_idr && unit.nal_type != NalType::IdrSlice {
-                // Still between the damage and its resync point: hold the
-                // last good frame rather than predict from corrupt state.
-                let held = conceal(&mut frames)?;
-                place(&mut frames, held);
-                resilience.concealed_frames += 1;
-                activity.frames += 1;
-                continue;
-            }
-            let resyncing = awaiting_idr && unit.nal_type == NalType::IdrSlice;
-            if resyncing {
-                // IDR semantics: the reference list restarts from scratch.
-                refs.clear();
-            }
-
-            match self.decode_slice(
-                unit.nal_type,
-                &mut reader,
-                width,
-                height,
-                qp,
-                &refs,
-                &mut activity,
-            ) {
-                Ok(frame) => {
-                    let decoded = Rc::new(frame);
-                    activity.parser_bits += reader.bits_read() as u64;
-                    if resyncing {
-                        resilience.resyncs += 1;
-                        awaiting_idr = false;
-                    }
-                    if unit.nal_type != NalType::BSlice {
-                        refs.push(Rc::clone(&decoded));
-                        if refs.len() > 2 {
-                            refs.remove(0);
-                        }
-                    }
-                    place(&mut frames, decoded);
-                    activity.frames += 1;
-                }
-                Err(_) if resilient => {
-                    // Damaged slice: conceal its slot and wait for an IDR
-                    // (a damaged IDR cannot resync either — its pixels are
-                    // not trustworthy).
-                    resilience.damaged_units += 1;
-                    awaiting_idr = true;
-                    let held = conceal(&mut frames)?;
-                    place(&mut frames, held);
-                    resilience.concealed_frames += 1;
-                    activity.frames += 1;
-                }
-                Err(e) => return Err(e),
-            }
-        }
-
-        // Conceal a deleted tail.
-        while frames.len() < total_frames {
-            let concealed = match frames.last() {
-                Some(last) => Rc::clone(last),
-                None => Rc::new(Frame::new(width, height)?),
-            };
-            frames.push(concealed);
-            activity.frames += 1;
-        }
-
-        // Release the reference list so uniquely-owned frames move out of
-        // their Rc for free; only concealment-shared frames still copy.
-        drop(refs);
-        let frames = frames
-            .into_iter()
-            .map(|f| Rc::try_unwrap(f).unwrap_or_else(|shared| (*shared).clone()))
-            .collect();
-
-        selection.kept = units;
-        Ok(DecodeOutput {
-            frames,
-            activity,
-            selection,
-            buffer,
-            resilience,
-        })
+    /// Starts an incremental decode with an explicit scanner
+    /// configuration — lenient framing lets a long-lived session
+    /// resynchronize over wire garbage instead of failing.
+    pub fn begin_stream_with(&self, scanner: ScannerConfig) -> DecodeStream {
+        DecodeStream::new(self.clone(), scanner)
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -661,6 +474,412 @@ impl Decoder {
     }
 }
 
+/// Parsed and validated sequence parameters (the stream header's four
+/// `ue` fields).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpsParams {
+    /// Macroblock columns.
+    pub mb_cols: usize,
+    /// Macroblock rows.
+    pub mb_rows: usize,
+    /// Quantization parameter (0–51).
+    pub qp: u8,
+    /// Declared frame count of the clip.
+    pub total_frames: usize,
+}
+
+impl SpsParams {
+    /// Frame width in pixels.
+    pub fn width(&self) -> usize {
+        self.mb_cols * MB_SIZE
+    }
+
+    /// Frame height in pixels.
+    pub fn height(&self) -> usize {
+        self.mb_rows * MB_SIZE
+    }
+
+    /// Parses an SPS payload, returning the parameters and the number of
+    /// header bits consumed (parser-activity accounting).
+    ///
+    /// # Errors
+    ///
+    /// Truncation errors from the bit reader, and
+    /// [`CodecError::InvalidSyntax`] when the parameters fall outside the
+    /// decode budget. Sanity bounds defend against corrupted streams
+    /// requesting pathological allocations (a fuzzer's favourite trick):
+    /// dimensions are capped per side, and total emitted luma samples
+    /// (frames × pixels) stay under a hard memory/time budget so a
+    /// corrupt SPS can't combine a plausible frame size with a huge frame
+    /// count into an unbounded decode.
+    pub fn parse(payload: &[u8]) -> Result<(Self, u64), CodecError> {
+        let mut r = BitReader::new(payload);
+        let mb_cols = r.read_ue()? as usize;
+        let mb_rows = r.read_ue()? as usize;
+        let qp = r.read_ue()?;
+        let total_frames = r.read_ue()? as usize;
+        let bits = r.bits_read() as u64;
+        const MAX_MBS: usize = 256; // 4096 pixels per side
+        const MAX_FRAMES: usize = 100_000;
+        const MAX_TOTAL_SAMPLES: u64 = 1 << 27; // 128 M samples
+        if qp > 51 || mb_cols == 0 || mb_rows == 0 || mb_cols > MAX_MBS || mb_rows > MAX_MBS {
+            return Err(CodecError::InvalidSyntax("sps parameters out of range"));
+        }
+        if total_frames > MAX_FRAMES {
+            return Err(CodecError::InvalidSyntax("implausible frame count"));
+        }
+        let samples =
+            (mb_cols * MB_SIZE) as u64 * (mb_rows * MB_SIZE) as u64 * total_frames.max(1) as u64;
+        if samples > MAX_TOTAL_SAMPLES {
+            return Err(CodecError::InvalidSyntax("stream exceeds decode budget"));
+        }
+        Ok((
+            Self {
+                mb_cols,
+                mb_rows,
+                qp: qp as u8,
+                total_frames,
+            },
+            bits,
+        ))
+    }
+}
+
+/// An in-flight incremental decode: chunks (or units) go in, state
+/// accumulates, [`DecodeStream::finish`] yields the same [`DecodeOutput`]
+/// a whole-buffer [`Decoder::decode`] of the concatenated bytes would —
+/// the Input Selector, BufferChain and backend kernels all run per unit.
+///
+/// # Example
+///
+/// ```
+/// use h264::decoder::{Decoder, DecoderOptions};
+/// use h264::encoder::{Encoder, EncoderConfig};
+/// use h264::video::synthetic_clip;
+///
+/// # fn main() -> Result<(), h264::CodecError> {
+/// let frames = synthetic_clip(48, 48, 3, 7)?;
+/// let wire = Encoder::new(EncoderConfig::default())?.encode(&frames)?;
+/// let mut whole = Decoder::new(DecoderOptions::default());
+/// let want = whole.decode(&wire)?;
+/// let mut stream = whole.begin_stream();
+/// for chunk in wire.chunks(5) {
+///     stream.decode_chunk(chunk)?;
+/// }
+/// let got = stream.finish()?;
+/// assert_eq!(got.frames, want.frames);
+/// assert_eq!(got.activity, want.activity);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct DecodeStream {
+    dec: Decoder,
+    scanner: AnnexBScanner,
+    chain: BufferChain,
+    buffer: BufferStats,
+    activity: Activity,
+    selection: SelectionReport,
+    /// Incremental Input-Selector state: index of the next deletion
+    /// candidate, persisted across chunks so any chunking makes the same
+    /// keep/delete decisions as the batch selector.
+    candidate_index: u32,
+    params: ParameterSetCache,
+    sps: Option<SpsParams>,
+    frames: Vec<Rc<Frame>>,
+    refs: Vec<Rc<Frame>>,
+    awaiting_idr: bool,
+    resilience: ResilienceReport,
+}
+
+impl DecodeStream {
+    fn new(dec: Decoder, scanner: ScannerConfig) -> Self {
+        Self {
+            dec,
+            scanner: AnnexBScanner::new(scanner),
+            chain: BufferChain::paper_sized(),
+            buffer: BufferStats::default(),
+            activity: Activity::default(),
+            selection: SelectionReport::default(),
+            candidate_index: 0,
+            params: ParameterSetCache::new(),
+            sps: None,
+            frames: Vec::new(),
+            refs: Vec::new(),
+            awaiting_idr: false,
+            resilience: ResilienceReport::default(),
+        }
+    }
+
+    /// Feeds one wire chunk (any size, including one byte): units the
+    /// chunk completes are framed and decoded immediately. Returns how
+    /// many units this chunk completed (kept *or* deleted).
+    ///
+    /// # Errors
+    ///
+    /// Scanner framing errors (see [`AnnexBScanner::push_chunk`]) and
+    /// decode errors (see [`DecodeStream::decode_unit`]).
+    pub fn decode_chunk(&mut self, chunk: &[u8]) -> Result<usize, CodecError> {
+        let units = self.scanner.push_chunk(chunk)?;
+        let n = units.len();
+        for unit in units {
+            self.decode_unit(unit)?;
+        }
+        Ok(n)
+    }
+
+    /// Feeds one already-framed NAL unit through the Input Selector, the
+    /// buffer chain, and the decode kernels.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::InvalidSyntax`] when a slice arrives before any SPS
+    /// or an SPS changes mid-stream; slice decode errors propagate in
+    /// strict mode and are concealed under
+    /// [`DecoderOptions::resilient`].
+    pub fn decode_unit(&mut self, unit: NalUnit) -> Result<(), CodecError> {
+        // Input Selector (knob 2), incrementally: same decisions as the
+        // batch `select_units` because `candidate_index` persists.
+        let size = unit.wire_size();
+        if let Some(p) = self.dec.options.selector {
+            if unit.nal_type.is_droppable() && size <= p.s_th {
+                self.selection.candidates += 1;
+                let hit = self.candidate_index.is_multiple_of(p.f);
+                self.candidate_index += 1;
+                if hit {
+                    self.selection.deleted_units += 1;
+                    self.selection.deleted_bytes += size;
+                    return Ok(());
+                }
+            }
+        }
+        self.selection.kept_bytes += size;
+
+        // Pump the unit's wire bytes through the Pre-store/Circular chain.
+        let wire = write_annex_b(std::slice::from_ref(&unit));
+        let stats = self.chain.pump(&wire);
+        self.activity.buffer_bytes += (stats.prestore_writes + stats.circular_writes) as u64;
+        self.buffer.merge(&stats);
+
+        let result = self.process_unit(&unit);
+        // Kept units land in the report whatever their decode outcome, so
+        // resilient concealment still accounts for the damaged unit.
+        self.selection.kept.push(unit);
+        result
+    }
+
+    fn process_unit(&mut self, unit: &NalUnit) -> Result<(), CodecError> {
+        if unit.nal_type == NalType::Sps {
+            // Parameter-set cache: a byte-identical re-sent SPS is a hit
+            // (no re-activation, no parser work); a changed one is an
+            // error. SPS damage is never concealed — without trustworthy
+            // dimensions there is nothing to conceal with.
+            if self.params.offer_sps(&unit.payload)? {
+                let (sps, bits) = SpsParams::parse(&unit.payload)?;
+                self.activity.parser_bits += bits;
+                self.sps = Some(sps);
+            }
+            return Ok(());
+        }
+        let Some(sps) = self.sps else {
+            return Err(CodecError::InvalidSyntax("stream must start with sps"));
+        };
+        let (width, height) = (sps.width(), sps.height());
+        let resilient = self.dec.options.resilient;
+
+        let mut reader = BitReader::new(&unit.payload);
+        let header = reader.read_ue().map(|v| v as usize).and_then(|n| {
+            if n >= sps.total_frames.max(1) + 16 {
+                Err(CodecError::InvalidSyntax("frame number out of range"))
+            } else {
+                Ok(n)
+            }
+        });
+        let frame_num = match header {
+            Ok(n) => n,
+            Err(_) if resilient => {
+                // Unplaceable damage: no trustworthy frame_num, so
+                // nothing to conceal into — count it and wait for the
+                // resync point (tail concealment keeps the count).
+                self.resilience.damaged_units += 1;
+                self.awaiting_idr = true;
+                return Ok(());
+            }
+            Err(e) => return Err(e),
+        };
+
+        // Conceal frames whose NAL units were deleted: repeat the last
+        // emitted frame (or black if nothing decoded yet).
+        while self.frames.len() < frame_num {
+            let concealed = conceal(&self.frames, width, height)?;
+            self.frames.push(concealed);
+            self.activity.frames += 1;
+        }
+
+        if self.awaiting_idr && unit.nal_type != NalType::IdrSlice {
+            // Still between the damage and its resync point: hold the
+            // last good frame rather than predict from corrupt state.
+            let held = conceal(&self.frames, width, height)?;
+            place(&mut self.frames, frame_num, held);
+            self.resilience.concealed_frames += 1;
+            self.activity.frames += 1;
+            return Ok(());
+        }
+        let resyncing = self.awaiting_idr && unit.nal_type == NalType::IdrSlice;
+        if resyncing {
+            // IDR semantics: the reference list restarts from scratch.
+            self.refs.clear();
+        }
+
+        match self.dec.decode_slice(
+            unit.nal_type,
+            &mut reader,
+            width,
+            height,
+            sps.qp,
+            &self.refs,
+            &mut self.activity,
+        ) {
+            Ok(frame) => {
+                let decoded = Rc::new(frame);
+                self.activity.parser_bits += reader.bits_read() as u64;
+                if resyncing {
+                    self.resilience.resyncs += 1;
+                    self.awaiting_idr = false;
+                }
+                if unit.nal_type != NalType::BSlice {
+                    self.refs.push(Rc::clone(&decoded));
+                    if self.refs.len() > 2 {
+                        self.refs.remove(0);
+                    }
+                }
+                place(&mut self.frames, frame_num, decoded);
+                self.activity.frames += 1;
+                Ok(())
+            }
+            Err(_) if resilient => {
+                // Damaged slice: conceal its slot and wait for an IDR (a
+                // damaged IDR cannot resync either — its pixels are not
+                // trustworthy).
+                self.resilience.damaged_units += 1;
+                self.awaiting_idr = true;
+                let held = conceal(&self.frames, width, height)?;
+                place(&mut self.frames, frame_num, held);
+                self.resilience.concealed_frames += 1;
+                self.activity.frames += 1;
+                Ok(())
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Frames emitted so far (concealment of a deleted tail happens at
+    /// [`DecodeStream::finish`]).
+    pub fn frames_decoded(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// The active sequence parameters, once an SPS has been decoded.
+    pub fn sps(&self) -> Option<&SpsParams> {
+        self.sps.as_ref()
+    }
+
+    /// Scanner-side ingest counters (chunks, bytes, units, resyncs,
+    /// partial-unit depth).
+    pub fn ingest_stats(&self) -> &IngestStats {
+        self.scanner.stats()
+    }
+
+    /// Bytes currently buffered for the in-flight partial unit.
+    pub fn pending_bytes(&self) -> usize {
+        self.scanner.pending_bytes()
+    }
+
+    /// Parameter-set cache hits (re-sent identical SPS units).
+    pub fn parameter_set_hits(&self) -> u64 {
+        self.params.hits()
+    }
+
+    /// Ends the stream: frames and decodes the final unit, conceals a
+    /// deleted tail up to the SPS frame count, and returns the decode
+    /// output.
+    ///
+    /// # Errors
+    ///
+    /// Scanner flush errors, final-unit decode errors, and
+    /// [`CodecError::InvalidSyntax`] ("empty stream") when no unit
+    /// survived to establish an SPS.
+    pub fn finish(self) -> Result<DecodeOutput, CodecError> {
+        self.finish_with_stats().map(|(out, _)| out)
+    }
+
+    /// [`DecodeStream::finish`], also returning the final ingest counters.
+    ///
+    /// The stream's last unit is only framed by the scanner flush that
+    /// happens *here*, so stats read via [`DecodeStream::ingest_stats`]
+    /// before finishing undercount `units` by one (and miss any
+    /// flush-time resync). Accounting that must cover the whole segment
+    /// takes the stats from this return value instead.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`DecodeStream::finish`].
+    pub fn finish_with_stats(mut self) -> Result<(DecodeOutput, IngestStats), CodecError> {
+        if let Some(unit) = self.scanner.flush()? {
+            self.decode_unit(unit)?;
+        }
+        let ingest = *self.scanner.stats();
+        let Some(sps) = self.sps else {
+            return Err(CodecError::InvalidSyntax("empty stream"));
+        };
+        // Conceal a deleted tail.
+        while self.frames.len() < sps.total_frames {
+            let concealed = conceal(&self.frames, sps.width(), sps.height())?;
+            self.frames.push(concealed);
+            self.activity.frames += 1;
+        }
+
+        // Release the reference list so uniquely-owned frames move out of
+        // their Rc for free; only concealment-shared frames still copy.
+        drop(self.refs);
+        let frames = self
+            .frames
+            .into_iter()
+            .map(|f| Rc::try_unwrap(f).unwrap_or_else(|shared| (*shared).clone()))
+            .collect();
+
+        Ok((
+            DecodeOutput {
+                frames,
+                activity: self.activity,
+                selection: self.selection,
+                buffer: self.buffer,
+                resilience: self.resilience,
+            },
+            ingest,
+        ))
+    }
+}
+
+/// Last emitted frame again (or black if nothing decoded yet) — the
+/// concealment primitive.
+fn conceal(frames: &[Rc<Frame>], width: usize, height: usize) -> Result<Rc<Frame>, CodecError> {
+    Ok(match frames.last() {
+        Some(last) => Rc::clone(last),
+        None => Rc::new(Frame::new(width, height)?),
+    })
+}
+
+/// Places a decoded frame at its `frame_num` slot (out-of-order or
+/// duplicate `frame_num` overwrites).
+fn place(frames: &mut Vec<Rc<Frame>>, frame_num: usize, frame: Rc<Frame>) {
+    if frames.len() == frame_num {
+        frames.push(frame);
+    } else {
+        frames[frame_num] = frame;
+    }
+}
+
 fn write_mb(frame: &mut Frame, mb_x: usize, mb_y: usize, pred: &[i32; MB_SIZE * MB_SIZE]) {
     let width = frame.width();
     let data = frame.data_mut();
@@ -689,6 +908,7 @@ fn record_skip(ctx: &mut SliceContext, mb_x: usize, mb_y: usize) {
 mod tests {
     use super::*;
     use crate::encoder::{Encoder, EncoderConfig, GopPattern};
+    use crate::nal::split_annex_b;
     use crate::quality::mean_psnr;
     use crate::video::synthetic_clip;
 

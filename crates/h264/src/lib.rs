@@ -82,10 +82,12 @@ pub mod intra;
 pub mod nal;
 pub mod power;
 pub mod quality;
+pub mod stream;
 pub mod transform;
 pub mod video;
 
 pub use backend::{BackendKind, DecodeKernels};
-pub use decoder::ResilienceReport;
+pub use decoder::{DecodeStream, ResilienceReport, SpsParams};
 pub use error::{CodecError, H264Error};
 pub use frame::Frame;
+pub use stream::{AccessUnit, AccessUnitAssembler, AnnexBScanner, IngestStats, ScannerConfig};

@@ -73,15 +73,36 @@ impl NalUnit {
 
     /// Size of the unit on the wire (start code + header + escaped
     /// payload) — what the Input Selector compares against `S_th`.
+    /// Computed without allocating (the selector calls this per unit).
     pub fn wire_size(&self) -> usize {
-        4 + 1 + escape(&self.payload).len()
+        4 + 1 + escaped_len(&self.payload)
     }
 }
 
+/// Whether an escaped body needs the end-of-payload protection byte: true
+/// when it ends in a (possibly empty) run of `0x03` bytes preceded by a
+/// `0x00`. Without it the *next* start code would swallow the trailing
+/// zero (`… 00 | 00 00 01` scans as `… | 00 00 00 1`), and with a bare
+/// appended `0x03` the decoder could not tell protection from a literal
+/// trailing `[0x00, 0x03]` payload — so protection always *extends* the
+/// trailing escape run, and the decoder strips exactly one byte whenever
+/// this same predicate holds.
+fn needs_tail_escape(body: &[u8]) -> bool {
+    let threes = body.iter().rev().take_while(|&&b| b == 0x03).count();
+    body.len()
+        .checked_sub(threes + 1)
+        .is_some_and(|i| body[i] == 0x00)
+}
+
 /// Inserts emulation-prevention `0x03` bytes: any `00 00 0x` with
-/// `x <= 3` in the payload becomes `00 00 03 0x`.
+/// `x <= 3` in the payload becomes `00 00 03 0x`; a payload whose escaped
+/// form ends ambiguously (see [`needs_tail_escape`]) gets one extra
+/// trailing `0x03` so the following start code can never swallow payload
+/// bytes.
 fn escape(payload: &[u8]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(payload.len());
+    // Worst case: one inserted escape per two payload bytes, plus the
+    // end-of-payload protection byte.
+    let mut out = Vec::with_capacity(payload.len() + payload.len() / 2 + 1);
     let mut zeros = 0usize;
     for &b in payload {
         if zeros >= 2 && b <= 0x03 {
@@ -95,11 +116,62 @@ fn escape(payload: &[u8]) -> Vec<u8> {
             zeros = 0;
         }
     }
+    if needs_tail_escape(&out) {
+        out.push(0x03);
+    }
     out
 }
 
-/// Removes emulation-prevention bytes.
-fn unescape(data: &[u8]) -> Vec<u8> {
+/// Length [`escape`] would produce, without allocating.
+fn escaped_len(payload: &[u8]) -> usize {
+    let mut len = 0usize;
+    // Trailing-byte state of the would-be output: `zeros` doubles as the
+    // escape-insertion counter (both are "trailing zeros of the output"),
+    // `threes`/`zero_before` decide the end-of-payload protection byte.
+    let mut zeros = 0usize;
+    let mut threes = 0usize;
+    let mut zero_before = false;
+    let emit = |b: u8, zeros: &mut usize, threes: &mut usize, zero_before: &mut bool| match b {
+        0x00 => {
+            *zeros += 1;
+            *threes = 0;
+            *zero_before = false;
+        }
+        0x03 => {
+            if *threes == 0 {
+                *zero_before = *zeros > 0;
+            }
+            *threes += 1;
+            *zeros = 0;
+        }
+        _ => {
+            *zeros = 0;
+            *threes = 0;
+            *zero_before = false;
+        }
+    };
+    for &b in payload {
+        if zeros >= 2 && b <= 0x03 {
+            len += 1;
+            emit(0x03, &mut zeros, &mut threes, &mut zero_before);
+        }
+        len += 1;
+        emit(b, &mut zeros, &mut threes, &mut zero_before);
+    }
+    let needs_tail = if threes > 0 { zero_before } else { zeros > 0 };
+    len + usize::from(needs_tail)
+}
+
+/// Removes emulation-prevention bytes (symmetric with [`escape`]).
+pub(crate) fn unescape(data: &[u8]) -> Vec<u8> {
+    // Undo the end-of-payload protection first: whenever the body ends in
+    // an escape run preceded by a zero, exactly one trailing 0x03 is the
+    // appended protection byte.
+    let data = if needs_tail_escape(data) {
+        &data[..data.len() - 1]
+    } else {
+        data
+    };
     let mut out = Vec::with_capacity(data.len());
     let mut zeros = 0usize;
     let mut i = 0;
@@ -425,8 +497,30 @@ mod tests {
     #[test]
     fn wire_size_includes_framing_and_escapes() {
         let unit = NalUnit::new(NalType::PSlice, vec![0, 0, 0]);
-        // escape([0,0,0]) = [0,0,3,0] (third zero escaped) -> 4 bytes.
-        assert_eq!(unit.wire_size(), 4 + 1 + 4);
+        // escape([0,0,0]) = [0,0,3,0] (third zero escaped) + the trailing
+        // protection byte -> [0,0,3,0,3], 5 bytes.
+        assert_eq!(unit.wire_size(), 4 + 1 + 5);
+    }
+
+    #[test]
+    fn wire_size_matches_written_stream() {
+        let payloads: Vec<Vec<u8>> = vec![
+            vec![1, 2, 3],
+            vec![0],
+            vec![0, 0],
+            vec![0, 3],
+            vec![0, 0, 3],
+            vec![0, 3, 3],
+            vec![3],
+            vec![3, 3, 3],
+            vec![0, 0, 0, 0, 0],
+            (0..=255).collect(),
+        ];
+        for p in payloads {
+            let unit = NalUnit::new(NalType::PSlice, p.clone());
+            let stream = write_annex_b(std::slice::from_ref(&unit));
+            assert_eq!(unit.wire_size(), stream.len(), "payload {p:?}");
+        }
     }
 
     #[test]
@@ -436,9 +530,56 @@ mod tests {
             vec![0, 0, 1, 1, 0, 0, 2, 2, 0, 0, 3, 3],
             vec![0, 0, 0, 0, 1],
             (0..=255).collect(),
+            // Zero-tailed and escape-tailed payloads: the end-of-payload
+            // protection cases.
+            vec![0],
+            vec![0, 0],
+            vec![0, 3],
+            vec![0, 0, 3],
+            vec![0, 3, 3],
+            vec![0, 0, 0],
+            vec![3],
+            vec![3, 3],
+            vec![0xAA, 0, 0],
         ];
         for p in patterns {
             assert_eq!(unescape(&escape(&p)), p, "pattern {p:?}");
+            assert_eq!(escaped_len(&p), escape(&p).len(), "pattern {p:?}");
+        }
+    }
+
+    #[test]
+    fn escaped_body_never_ends_in_zero() {
+        for p in [
+            vec![0u8],
+            vec![0, 0],
+            vec![0, 0, 0],
+            vec![0xAA, 0],
+            vec![0xAA, 0, 0],
+            vec![1, 0, 0, 0, 0],
+        ] {
+            let body = escape(&p);
+            assert_ne!(body.last(), Some(&0u8), "payload {p:?} -> body {body:?}");
+        }
+    }
+
+    #[test]
+    fn zero_tailed_payload_survives_three_byte_start_code() {
+        // The bug this fixes: a zero-tailed body followed by a 3-byte
+        // start code used to lose its last byte (`… 00 | 00 00 01` was
+        // scanned as `… | 00 00 00 1`).
+        for tail_zeros in 1..=4usize {
+            let mut payload = vec![0xAAu8; 3];
+            payload.resize(3 + tail_zeros, 0);
+            let first = NalUnit::new(NalType::PSlice, payload.clone());
+            let mut stream = write_annex_b(std::slice::from_ref(&first));
+            // Append a second unit with a *3-byte* start code, as an
+            // external or resynchronizing sender may.
+            stream.extend_from_slice(&[0, 0, 1, NalType::PSlice.code(), 7]);
+            let units = split_annex_b(&stream).unwrap();
+            assert_eq!(units.len(), 2, "tail_zeros {tail_zeros}");
+            assert_eq!(units[0].payload, payload, "tail_zeros {tail_zeros}");
+            assert_eq!(units[1].payload, vec![7]);
         }
     }
 }

@@ -5,7 +5,41 @@ use h264::cavlc::{decode_block, encode_block};
 use h264::expgolomb::{BitReader, BitWriter};
 use h264::nal::{split_annex_b, write_annex_b, NalType, NalUnit};
 use h264::transform::{decode_residual, encode_residual, qp_step};
+use h264::{AnnexBScanner, ScannerConfig};
 use proptest::prelude::*;
+
+/// Units whose payloads are biased toward the framing edge cases: zero
+/// tails, `00 03`-style escape tails, and all-zero bodies.
+fn zero_tailed_units_strategy() -> impl Strategy<Value = Vec<NalUnit>> {
+    prop::collection::vec(
+        (
+            prop_oneof![
+                Just(NalType::IdrSlice),
+                Just(NalType::PSlice),
+                Just(NalType::BSlice),
+            ],
+            prop::collection::vec(any::<u8>(), 0..40),
+            prop_oneof![
+                Just(vec![]),
+                Just(vec![0u8]),
+                Just(vec![0, 0]),
+                Just(vec![0, 0, 0]),
+                Just(vec![0, 3]),
+                Just(vec![0, 0, 3]),
+                Just(vec![0, 3, 3]),
+                Just(vec![0, 0, 0, 0]),
+            ],
+        )
+            .prop_map(|(t, mut p, tail)| {
+                p.extend(tail);
+                if p.is_empty() {
+                    p.push(0);
+                }
+                NalUnit::new(t, p)
+            }),
+        1..8,
+    )
+}
 
 fn nal_units_strategy() -> impl Strategy<Value = Vec<NalUnit>> {
     prop::collection::vec(
@@ -126,5 +160,62 @@ proptest! {
         let small = select_units(&units, SelectorParams::new(a, 1).unwrap());
         let large = select_units(&units, SelectorParams::new(b, 1).unwrap());
         prop_assert!(large.deleted_units >= small.deleted_units);
+    }
+
+    /// Zero-tailed payloads round-trip through the writer's own framing.
+    #[test]
+    fn zero_tailed_round_trip(units in zero_tailed_units_strategy()) {
+        let stream = write_annex_b(&units);
+        let back = split_annex_b(&stream).unwrap();
+        prop_assert_eq!(back, units);
+    }
+
+    /// Zero-tailed payloads survive *3-byte* start-code framing — the wire
+    /// a streaming peer is allowed to emit. Before the trailing-zero
+    /// escape fix, a body ending in `00` lost that byte to the following
+    /// short start code.
+    #[test]
+    fn zero_tailed_round_trip_three_byte_codes(units in zero_tailed_units_strategy()) {
+        let mut wire = Vec::new();
+        for u in &units {
+            let one = write_annex_b(std::slice::from_ref(u));
+            // Drop the leading zero: `00 00 00 01` becomes `00 00 01`.
+            wire.extend_from_slice(&one[1..]);
+        }
+        let back = split_annex_b(&wire).unwrap();
+        prop_assert_eq!(back, units);
+    }
+
+    /// The streaming scanner is invariant under chunking: arbitrary cut
+    /// points — including cuts inside start codes and escape sequences —
+    /// yield exactly the units whole-buffer parsing yields.
+    #[test]
+    fn scanner_invariant_under_chunking(
+        units in zero_tailed_units_strategy(),
+        cuts in prop::collection::vec(0usize..4096, 0..6),
+    ) {
+        let stream = write_annex_b(&units);
+        let whole = split_annex_b(&stream).unwrap();
+        let mut points: Vec<usize> = cuts.iter().map(|c| c % (stream.len() + 1)).collect();
+        points.sort_unstable();
+        let mut scanner = AnnexBScanner::new(ScannerConfig::default());
+        let mut got = Vec::new();
+        let mut prev = 0;
+        for p in points {
+            got.extend(scanner.push_chunk(&stream[prev..p]).unwrap());
+            prev = p;
+        }
+        got.extend(scanner.push_chunk(&stream[prev..]).unwrap());
+        got.extend(scanner.flush().unwrap());
+        prop_assert_eq!(&got, &whole);
+
+        // Degenerate transport: one byte per chunk.
+        let mut scanner = AnnexBScanner::new(ScannerConfig::default());
+        let mut got = Vec::new();
+        for &b in &stream {
+            got.extend(scanner.push_chunk(&[b]).unwrap());
+        }
+        got.extend(scanner.flush().unwrap());
+        prop_assert_eq!(&got, &whole);
     }
 }

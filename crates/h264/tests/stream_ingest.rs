@@ -1,0 +1,191 @@
+//! Streaming-ingest equivalence suite: for every corpus stream and every
+//! tested chunking — including one byte at a time — chunked decode must
+//! produce byte-identical frames, Activity counters, SelectionReports and
+//! buffer statistics to whole-buffer [`Decoder::decode`].
+//!
+//! This is the tentpole invariant of the streaming front-end: chunk
+//! boundaries are a transport artifact and must be observationally
+//! invisible to everything downstream.
+
+use h264::adaptive::{options_for_mode, paper_reference, ModeSwitchDriver};
+use h264::decoder::{DecodeOutput, Decoder};
+use h264::encoder::{Encoder, EncoderConfig, GopPattern};
+use h264::video::reference_clip;
+use h264::{AccessUnitAssembler, AnnexBScanner, ScannerConfig};
+
+use affect_core::policy::VideoPowerMode;
+
+/// Encoded corpus: the calibration clip plus GOP/QP variants, so the
+/// suite covers IDR-only, P-heavy and B-frame streams.
+fn corpus() -> Vec<(String, Vec<u8>)> {
+    let mut streams = Vec::new();
+    let (_, calibration) = paper_reference(5).expect("calibration clip");
+    streams.push(("calibration-qp30-gop8-b1".to_string(), calibration));
+    for (qp, intra_period, b_between) in [(24u8, 4usize, 0usize), (34, 12, 2)] {
+        let frames = reference_clip(7).expect("clip");
+        let encoder = Encoder::new(EncoderConfig {
+            qp,
+            gop: GopPattern {
+                intra_period,
+                b_between,
+            },
+            ..EncoderConfig::default()
+        })
+        .expect("encoder");
+        let stream = encoder.encode(&frames).expect("encode");
+        streams.push((
+            format!("clip7-qp{qp}-gop{intra_period}-b{b_between}"),
+            stream,
+        ));
+    }
+    streams
+}
+
+fn chunk_sizes(len: usize) -> Vec<usize> {
+    vec![1, 2, 3, 7, 64, 1500, len.max(1)]
+}
+
+fn assert_outputs_equal(name: &str, chunk: usize, got: &DecodeOutput, want: &DecodeOutput) {
+    assert_eq!(
+        got.frames, want.frames,
+        "{name}: frames differ at chunk size {chunk}"
+    );
+    assert_eq!(
+        got.activity, want.activity,
+        "{name}: activity differs at chunk size {chunk}"
+    );
+    assert_eq!(
+        got.selection, want.selection,
+        "{name}: selection differs at chunk size {chunk}"
+    );
+    assert_eq!(
+        got.buffer, want.buffer,
+        "{name}: buffer stats differ at chunk size {chunk}"
+    );
+    assert_eq!(
+        got.resilience, want.resilience,
+        "{name}: resilience differs at chunk size {chunk}"
+    );
+}
+
+/// Every mode × every corpus stream × every chunking: chunked == whole.
+#[test]
+fn chunked_decode_matches_whole_buffer_for_all_modes() {
+    for (name, stream) in corpus() {
+        for mode in VideoPowerMode::ALL {
+            let mut decoder = Decoder::new(options_for_mode(mode));
+            let whole = decoder.decode(&stream).expect("whole decode");
+            for chunk in chunk_sizes(stream.len()) {
+                let mut s = decoder.begin_stream();
+                for piece in stream.chunks(chunk) {
+                    s.decode_chunk(piece).expect("chunk decode");
+                }
+                let got = s.finish().expect("finish");
+                assert_outputs_equal(&format!("{name}/{mode:?}"), chunk, &got, &whole);
+            }
+        }
+    }
+}
+
+/// The driver-level chunked API obeys the same invariant, with metrics
+/// attached and a lenient scanner (lenient must not change intact-stream
+/// results).
+#[test]
+fn driver_chunked_decode_matches_whole_buffer() {
+    let (name, stream) = &corpus()[0];
+    for mode in VideoPowerMode::ALL {
+        let driver = ModeSwitchDriver::new(mode);
+        let whole = driver.decode_segment(stream).expect("whole decode");
+        for strict in [true, false] {
+            let scanner = ScannerConfig {
+                strict,
+                ..ScannerConfig::default()
+            };
+            for chunk in [1usize, 97, stream.len()] {
+                let got = driver
+                    .decode_segment_chunked(stream.chunks(chunk), scanner)
+                    .expect("chunked decode");
+                assert_outputs_equal(
+                    &format!("{name}/{mode:?}/strict={strict}"),
+                    chunk,
+                    &got,
+                    &whole,
+                );
+            }
+        }
+    }
+}
+
+/// Deterministic in-flight damage: corrupt the whole stream once, then
+/// decode the *corrupted* bytes chunked vs. whole under resilient lenient
+/// decode — still byte-identical. (Corruption happens on the wire; the
+/// equivalence invariant is about chunking, and must survive damage.)
+#[test]
+fn chunked_decode_matches_whole_buffer_on_damaged_streams() {
+    for (name, stream) in corpus() {
+        for seed in [42u64, 1337] {
+            let mut damaged = stream.clone();
+            // SplitMix-ish LCG over byte positions; skip the stream head so
+            // the SPS survives and decode has something to resync onto.
+            let mut state = seed;
+            for _ in 0..8 {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let pos = 64 + (state as usize) % (damaged.len() - 64);
+                damaged[pos] ^= (1 << (state >> 61)) as u8;
+            }
+            let mut options = options_for_mode(VideoPowerMode::Combined);
+            options.resilient = true;
+            let decoder = Decoder::new(options);
+            let scanner = ScannerConfig {
+                strict: false,
+                ..ScannerConfig::default()
+            };
+            let whole = {
+                let mut s = decoder.begin_stream_with(scanner);
+                s.decode_chunk(&damaged).expect("whole damaged decode");
+                s.finish().expect("finish")
+            };
+            for chunk in [1usize, 13, 256] {
+                let mut s = decoder.begin_stream_with(scanner);
+                for piece in damaged.chunks(chunk) {
+                    s.decode_chunk(piece).expect("chunk decode");
+                }
+                let got = s.finish().expect("finish");
+                assert_outputs_equal(&format!("{name}/seed{seed}"), chunk, &got, &whole);
+            }
+        }
+    }
+}
+
+/// The access-unit assembler regroups scanner output into one AU per
+/// encoded frame, keyframes flagged, regardless of chunking.
+#[test]
+fn access_units_are_chunking_invariant() {
+    let (_, stream) = &corpus()[0];
+    let assemble = |chunk: usize| {
+        let mut scanner = AnnexBScanner::new(ScannerConfig::default());
+        let mut assembler = AccessUnitAssembler::new();
+        let mut aus = Vec::new();
+        for piece in stream.chunks(chunk) {
+            for unit in scanner.push_chunk(piece).expect("scan") {
+                aus.extend(assembler.push(unit));
+            }
+        }
+        if let Some(unit) = scanner.flush().expect("flush") {
+            aus.extend(assembler.push(unit));
+        }
+        aus.extend(assembler.flush());
+        aus
+    };
+    let whole = assemble(stream.len());
+    assert!(!whole.is_empty(), "corpus stream yields access units");
+    assert!(
+        whole.iter().any(|au| au.keyframe),
+        "GOP heads are keyframes"
+    );
+    for chunk in [1usize, 31, 900] {
+        assert_eq!(assemble(chunk), whole, "AUs differ at chunk size {chunk}");
+    }
+}

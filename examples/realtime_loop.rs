@@ -107,11 +107,11 @@ impl Actuator for DeviceActuator {
 /// [`VirtualClock`] (no wall-clock latencies or deadline misses), a single
 /// worker per pool with one window in flight at a time (no batching races),
 /// and `affect-fault`'s pure-hash decisions (no RNG state).
-fn run_chaos(seed: u64) -> Result<(), Box<dyn std::error::Error>> {
+fn run_chaos(seed: u64, stream_chunk: Option<usize>) -> Result<(), Box<dyn std::error::Error>> {
     use affectsys::biosignal::validate_samples;
     use affectsys::fault::{
         apply_sensor_faults, corrupt_annex_b, FaultPlan, NalFaultConfig, RtFaultHook, SensorFault,
-        SensorFaultConfig,
+        SensorFaultConfig, WireCorruptor,
     };
     use affectsys::h264::decoder::{Decoder, DecoderOptions};
     use affectsys::h264::encoder::{Encoder, EncoderConfig, GopPattern};
@@ -261,6 +261,80 @@ fn run_chaos(seed: u64) -> Result<(), Box<dyn std::error::Error>> {
         out.resilience.resyncs
     );
 
+    if let Some(chunk) = stream_chunk {
+        // Phase 2b: the chunking byte-diff — stream the *same corrupted
+        // bytes* through the incremental front-end in wire-sized chunks
+        // and demand byte-identical output to the whole-buffer decode
+        // above. This is the invariant the CI ingest-smoke job diffs.
+        let decoder = Decoder::new(DecoderOptions {
+            resilient: true,
+            ..DecoderOptions::default()
+        });
+        let mut incremental = decoder.begin_stream();
+        for piece in stream.chunks(chunk) {
+            incremental.decode_chunk(piece)?;
+        }
+        let chunked = incremental.finish()?;
+        assert_eq!(
+            chunked.frames, out.frames,
+            "chunked frames diverged from whole-buffer"
+        );
+        assert_eq!(chunked.activity, out.activity, "chunked activity diverged");
+        assert_eq!(
+            chunked.selection, out.selection,
+            "chunked selection diverged"
+        );
+        println!(
+            "stream ingest: {} chunks of {chunk} bytes → {} frames, byte-identical to whole-buffer decode",
+            stream.len().div_ceil(chunk),
+            chunked.frames.len()
+        );
+
+        // Phase 2c: damage applied *on the wire*, per chunk, with unit
+        // numbering carried across chunk boundaries so the decision
+        // stream replays exactly; lenient resilient decode plays through.
+        let clean = encoder.encode(&clip)?;
+        let mut corruptor = WireCorruptor::new(
+            seed,
+            NalFaultConfig {
+                flip_per_million: 250_000,
+                truncate_per_million: 150_000,
+                max_flips: 4,
+                protect_sps: true,
+            },
+        );
+        let wire_decoder = Decoder::new(DecoderOptions {
+            resilient: true,
+            ..DecoderOptions::default()
+        });
+        let mut wire_stream = wire_decoder.begin_stream_with(affectsys::h264::ScannerConfig {
+            strict: false,
+            ..affectsys::h264::ScannerConfig::default()
+        });
+        let mut sent = 0u64;
+        for piece in clean.chunks(chunk) {
+            let mut buf = piece.to_vec();
+            corruptor.corrupt_chunk(&mut buf);
+            sent += buf.len() as u64;
+            wire_stream.decode_chunk(&buf)?;
+        }
+        let ingest = *wire_stream.ingest_stats();
+        let wire_out = wire_stream.finish()?;
+        let tally = corruptor.tally();
+        println!(
+            "wire chaos: {} bytes in {} chunks, {}/{} units hit in flight ({} bits flipped) → \
+             {} frames, {} concealed, {} scanner resyncs",
+            sent,
+            ingest.chunks,
+            tally.units_flipped + tally.units_truncated,
+            tally.units_seen,
+            tally.bits_flipped,
+            wire_out.frames.len(),
+            wire_out.resilience.concealed_frames,
+            ingest.resyncs
+        );
+    }
+
     // The fault-related metric series, so a diff of two runs covers the
     // observability path too.
     println!("\nfault metric series:");
@@ -290,9 +364,12 @@ fn run_fleet(
     shards: usize,
     sessions: usize,
     chaos_seed: Option<u64>,
+    stream_chunk: Option<usize>,
 ) -> Result<(), Box<dyn std::error::Error>> {
-    use affectsys::fault::{FaultPlan, RtFaultHook};
-    use affectsys::fleet::{drive_lockstep, FleetBuilder, FleetConfig, LoadPlan, QosTier};
+    use affectsys::fault::{FaultPlan, NalFaultConfig, RtFaultHook, WireCorruptor};
+    use affectsys::fleet::{
+        drive_lockstep, drive_wire, FleetBuilder, FleetConfig, LoadPlan, QosTier, WirePlan,
+    };
     use affectsys::rt::{
         silence_injected_panics, CollectActuator, FaultHook, OverflowPolicy, StageConfig,
         SupervisionConfig, VirtualClock,
@@ -412,6 +489,52 @@ fn run_fleet(
     }
     assert!(report.accounted(), "fleet accounting broke");
 
+    // Post-run: the video leg of every session's traffic, fanned out per
+    // QoS tier over the chunked wire (optionally damaged in flight).
+    if let Some(chunk) = stream_chunk {
+        use std::collections::HashMap;
+        let (_, stream) = paper_reference(5)?;
+        let mut wire_plan = WirePlan::default();
+        for policy in &mut wire_plan.by_tier {
+            policy.wire.chunk_bytes = chunk;
+        }
+        let wire_sessions: Vec<(u64, QosTier)> = (0..sessions as u64)
+            .map(|key| (key, QosTier::ALL[key as usize % QosTier::ALL.len()]))
+            .collect();
+        let wire_report = match chaos_seed {
+            Some(seed) => {
+                // One corruptor per session keeps each wire's unit
+                // numbering (and thus its damage) independent and
+                // replayable from the fleet seed.
+                let mut corruptors: HashMap<u64, WireCorruptor> = HashMap::new();
+                drive_wire(&wire_sessions, &stream, &wire_plan, |session, _, buf| {
+                    corruptors
+                        .entry(session)
+                        .or_insert_with(|| {
+                            WireCorruptor::new(seed ^ session, NalFaultConfig::CHAOS)
+                        })
+                        .corrupt_chunk(buf);
+                })
+            }
+            None => drive_wire(&wire_sessions, &stream, &wire_plan, |_, _, _| {}),
+        };
+        println!("\nper-tier wire ledger ({chunk}-byte chunks):");
+        for tier in QosTier::ALL {
+            let t = wire_report.tier(tier);
+            println!(
+                "  {:11}: {:4} chunks, {:6} bytes, {:3} units, {:3} frames, {:2} concealed, {:2} resyncs",
+                tier.label(),
+                t.chunks,
+                t.wire_bytes,
+                t.units,
+                t.frames,
+                t.concealed_frames,
+                t.resyncs
+            );
+        }
+        println!("  wire failures: {}", wire_report.failures.len());
+    }
+
     println!("\nfleet metric series:");
     let rendered = affectsys::obs::render_prometheus(&registry);
     for line in rendered.lines() {
@@ -452,14 +575,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ),
         None => None,
     };
+    let stream_chunk: Option<usize> = match flag_value(&args, "--stream-chunk") {
+        Some(v) => Some(
+            v.parse::<usize>()
+                .ok()
+                .filter(|&b| b > 0)
+                .ok_or("usage: realtime_loop --stream-chunk <bytes>")?,
+        ),
+        None => None,
+    };
     if let Some(v) = flag_value(&args, "--fleet") {
         let shards: usize = v
             .parse()
             .map_err(|_| "usage: realtime_loop --fleet <shards>")?;
-        return run_fleet(shards, sessions_flag.unwrap_or(24), chaos_seed);
+        return run_fleet(
+            shards,
+            sessions_flag.unwrap_or(24),
+            chaos_seed,
+            stream_chunk,
+        );
     }
     if let Some(seed) = chaos_seed {
-        return run_chaos(seed);
+        return run_chaos(seed, stream_chunk);
     }
 
     let sessions_n: usize = sessions_flag.unwrap_or(8);
@@ -606,19 +743,44 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Post-run phase 1: decode a calibration segment under each video
     // power mode so the h264_* deletion/deblock/IQIT series are exercised
     // beyond what the live loop's mode switches touched.
-    println!("\ndecoding one segment per video power mode:");
+    match stream_chunk {
+        Some(chunk) => {
+            println!("\ndecoding one segment per video power mode ({chunk}-byte wire chunks):")
+        }
+        None => println!("\ndecoding one segment per video power mode:"),
+    }
     let (_, stream) = paper_reference(5)?;
     let mut driver = ModeSwitchDriver::new(VideoPowerMode::Standard);
     driver.attach_metrics(&registry);
     for mode in VideoPowerMode::ALL {
         driver.set_mode(mode);
-        let out = driver.decode_segment(&stream)?;
+        let out = match stream_chunk {
+            // Wire-path variant: stream the segment in transport-sized
+            // chunks and hold the chunking-invariance contract live.
+            Some(chunk) => {
+                let whole = driver.decode_segment(&stream)?;
+                let out = driver.decode_segment_chunked(
+                    stream.chunks(chunk),
+                    affectsys::h264::ScannerConfig::default(),
+                )?;
+                assert_eq!(
+                    out.frames, whole.frames,
+                    "chunked decode diverged from whole-buffer"
+                );
+                assert_eq!(out.activity, whole.activity, "chunked activity diverged");
+                out
+            }
+            None => driver.decode_segment(&stream)?,
+        };
         println!(
             "  {mode}: {} frames, {} NALs deleted, {} IQIT blocks",
             out.frames.len(),
             out.selection.deleted_units,
             out.activity.iqit_blocks
         );
+    }
+    if stream_chunk.is_some() {
+        println!("  chunked decode verified byte-identical to whole-buffer in every mode");
     }
 
     // Post-run phase 2: a short emotion-policy app-manager run so the
