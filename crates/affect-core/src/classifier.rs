@@ -14,13 +14,21 @@
 //! on the reported counts — see each constructor). The `scaled_*`
 //! constructors build the same architectures at ~1–10% of the size so the
 //! test suite and benches train in seconds.
+//!
+//! Beyond the paper's three families, [`AffectClassifier::hdc`] wraps the
+//! integer-only hyperdimensional classifier from [`nn::hdc`] as a fourth
+//! [`ClassifierKind`] — the bottom rung of the runtime's degradation
+//! ladder, not part of the Fig. 3 model study.
 
 use crate::emotion::Emotion;
 use crate::AffectError;
+use nn::hdc::{HdcClassifier, HdcConfig};
 use nn::layers::{Activation, Conv1d, Dense, Dropout, Flatten, Lstm, MaxPool1d};
-use nn::{Scratch, Sequential, Tensor};
+use nn::{Precision, Scratch, Sequential, Tensor};
 
-/// The classifier family, matching the paper's model axis in Fig. 3.
+/// The classifier family: the paper's model axis in Fig. 3 (MLP/CNN/LSTM)
+/// plus the hyperdimensional-computing rung the runtime degrades to below
+/// the MLP (after Menon et al., arXiv:2104.02804).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ClassifierKind {
     /// Fully connected network (the paper's "NN").
@@ -29,40 +37,59 @@ pub enum ClassifierKind {
     Cnn,
     /// Long short-term memory network.
     Lstm,
+    /// Hyperdimensional-computing classifier: binary hypervectors with
+    /// XOR bind / majority bundle and Hamming-distance lookup. Integer-only
+    /// inference; the cheapest rung of the degradation ladder.
+    Hdc,
 }
 
 impl ClassifierKind {
-    /// All kinds, in the paper's presentation order.
-    pub const ALL: [ClassifierKind; 3] = [
+    /// All kinds: the paper's presentation order, then the HDC rung.
+    pub const ALL: [ClassifierKind; 4] = [
+        ClassifierKind::Mlp,
+        ClassifierKind::Cnn,
+        ClassifierKind::Lstm,
+        ClassifierKind::Hdc,
+    ];
+
+    /// The three neural families of the paper's Fig. 3 study, in its
+    /// presentation order. The figure-reproduction code iterates this set:
+    /// HDC is a runtime degradation rung, not part of the paper's model
+    /// comparison.
+    pub const NEURAL: [ClassifierKind; 3] = [
         ClassifierKind::Mlp,
         ClassifierKind::Cnn,
         ClassifierKind::Lstm,
     ];
 
-    /// The paper's display name.
+    /// The display name (the paper's, for its three families).
     pub fn name(self) -> &'static str {
         match self {
             ClassifierKind::Mlp => "NN",
             ClassifierKind::Cnn => "CNN",
             ClassifierKind::Lstm => "LSTM",
+            ClassifierKind::Hdc => "HDC",
         }
     }
 
-    /// The next-cheaper family on the paper's accuracy/latency frontier
-    /// (LSTM → CNN → MLP), or `None` when already at the cheapest. The
-    /// real-time runtime walks this ladder under sustained deadline misses.
+    /// The next-cheaper family on the accuracy/latency frontier
+    /// (LSTM → CNN → MLP → HDC), or `None` when already at the cheapest.
+    /// The real-time runtime walks this ladder under sustained deadline
+    /// misses.
     pub fn fallback(self) -> Option<ClassifierKind> {
         match self {
             ClassifierKind::Lstm => Some(ClassifierKind::Cnn),
             ClassifierKind::Cnn => Some(ClassifierKind::Mlp),
-            ClassifierKind::Mlp => None,
+            ClassifierKind::Mlp => Some(ClassifierKind::Hdc),
+            ClassifierKind::Hdc => None,
         }
     }
 
-    /// The next-richer family (MLP → CNN → LSTM), or `None` at the top.
-    /// Inverse of [`ClassifierKind::fallback`].
+    /// The next-richer family (HDC → MLP → CNN → LSTM), or `None` at the
+    /// top. Inverse of [`ClassifierKind::fallback`].
     pub fn upgrade(self) -> Option<ClassifierKind> {
         match self {
+            ClassifierKind::Hdc => Some(ClassifierKind::Mlp),
             ClassifierKind::Mlp => Some(ClassifierKind::Cnn),
             ClassifierKind::Cnn => Some(ClassifierKind::Lstm),
             ClassifierKind::Lstm => None,
@@ -397,17 +424,28 @@ impl ModelConfig {
 /// ```
 #[derive(Debug)]
 pub struct AffectClassifier {
-    model: Sequential,
+    backend: Backend,
     kind: ClassifierKind,
     labels: Vec<String>,
 }
 
-/// A classification decision: the winning class and its softmax confidence.
+/// What actually answers a classify call: a neural [`Sequential`] for the
+/// MLP/CNN/LSTM families, or the integer-only [`HdcClassifier`] for the
+/// HDC rung.
+#[derive(Debug)]
+enum Backend {
+    Net(Sequential),
+    Hdc(HdcClassifier),
+}
+
+/// A classification decision: the winning class and its confidence (softmax
+/// probability for the neural families, normalized Hamming similarity for
+/// HDC).
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Decision {
     /// Winning class index.
     pub class: usize,
-    /// Softmax probability of the winning class.
+    /// Probability of the winning class.
     pub confidence: f32,
     /// Full probability vector.
     pub probabilities: Vec<f32>,
@@ -440,16 +478,54 @@ impl AffectClassifier {
             });
         }
         Ok(Self {
-            model: config.build(seed)?,
+            backend: Backend::Net(config.build(seed)?),
             kind: config.kind(),
             labels,
         })
     }
 
-    /// Wraps an already-trained model.
+    /// Builds an untrained HDC classifier over a flat `input_dim`-feature
+    /// vector, with its channel/level codebooks (and placeholder class
+    /// prototypes) derived deterministically from `seed`. Train it via
+    /// [`AffectClassifier::hdc_mut`] and [`HdcClassifier::fit`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AffectError::InvalidParameter`] when `labels` is empty and
+    /// propagates [`HdcConfig`] validation errors.
+    pub fn hdc(input_dim: usize, labels: Vec<String>, seed: u64) -> Result<Self, AffectError> {
+        let config = HdcConfig::new(input_dim, labels.len(), seed)?;
+        Ok(Self {
+            backend: Backend::Hdc(HdcClassifier::new(config)?),
+            kind: ClassifierKind::Hdc,
+            labels,
+        })
+    }
+
+    /// Wraps an already-trained HDC classifier.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AffectError::InvalidParameter`] when `labels` does not
+    /// have exactly one entry per class.
+    pub fn from_hdc(model: HdcClassifier, labels: Vec<String>) -> Result<Self, AffectError> {
+        if labels.len() != model.config().classes {
+            return Err(AffectError::InvalidParameter {
+                name: "labels",
+                reason: "must have exactly `classes` entries",
+            });
+        }
+        Ok(Self {
+            backend: Backend::Hdc(model),
+            kind: ClassifierKind::Hdc,
+            labels,
+        })
+    }
+
+    /// Wraps an already-trained neural model.
     pub fn from_model(model: Sequential, kind: ClassifierKind, labels: Vec<String>) -> Self {
         Self {
-            model,
+            backend: Backend::Net(model),
             kind,
             labels,
         }
@@ -473,14 +549,54 @@ impl AffectClassifier {
         &self.labels
     }
 
-    /// The underlying model (e.g. to train it with [`nn::train::fit`]).
-    pub fn model_mut(&mut self) -> &mut Sequential {
-        &mut self.model
+    /// The underlying neural model (e.g. to train it with
+    /// [`nn::train::fit`]); `None` for the HDC family.
+    pub fn model_mut(&mut self) -> Option<&mut Sequential> {
+        match &mut self.backend {
+            Backend::Net(model) => Some(model),
+            Backend::Hdc(_) => None,
+        }
     }
 
-    /// The underlying model, read-only.
-    pub fn model(&self) -> &Sequential {
-        &self.model
+    /// The underlying neural model, read-only; `None` for the HDC family.
+    pub fn model(&self) -> Option<&Sequential> {
+        match &self.backend {
+            Backend::Net(model) => Some(model),
+            Backend::Hdc(_) => None,
+        }
+    }
+
+    /// The underlying HDC classifier (e.g. to train it with
+    /// [`HdcClassifier::fit`]); `None` for the neural families.
+    pub fn hdc_mut(&mut self) -> Option<&mut HdcClassifier> {
+        match &mut self.backend {
+            Backend::Net(_) => None,
+            Backend::Hdc(clf) => Some(clf),
+        }
+    }
+
+    /// Switches the inference precision of the allocation-free classify
+    /// path (see [`Sequential::set_precision`]). The HDC family is
+    /// integer-only by construction, so the call is a no-op there.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer quantization errors.
+    pub fn set_precision(&mut self, precision: Precision) -> Result<(), AffectError> {
+        match &mut self.backend {
+            Backend::Net(model) => model.set_precision(precision)?,
+            Backend::Hdc(_) => {}
+        }
+        Ok(())
+    }
+
+    /// Current inference precision: the neural model's setting, or
+    /// [`Precision::Int8`] for the always-integer HDC family.
+    pub fn precision(&self) -> Precision {
+        match &self.backend {
+            Backend::Net(model) => model.precision(),
+            Backend::Hdc(_) => Precision::Int8,
+        }
     }
 
     /// Classifies one feature tensor.
@@ -489,17 +605,25 @@ impl AffectClassifier {
     ///
     /// Propagates shape errors from the model's forward pass.
     pub fn classify(&mut self, features: &Tensor) -> Result<Decision, AffectError> {
-        let probabilities = self.model.predict_proba(features)?;
-        let (class, &confidence) = probabilities
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.total_cmp(b.1))
-            .expect("probability vector is non-empty");
-        Ok(Decision {
-            class,
-            confidence,
-            probabilities: probabilities.clone(),
-        })
+        let mut decision = Decision::default();
+        match &mut self.backend {
+            Backend::Net(model) => {
+                let probabilities = model.predict_proba(features)?;
+                let (class, &confidence) = probabilities
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.total_cmp(b.1))
+                    .expect("probability vector is non-empty");
+                decision.class = class;
+                decision.confidence = confidence;
+                decision.probabilities = probabilities;
+            }
+            Backend::Hdc(clf) => {
+                decision.class = clf.classify_into(features.data(), &mut decision.probabilities)?;
+                decision.confidence = decision.probabilities[decision.class];
+            }
+        }
+        Ok(decision)
     }
 
     /// The label name for a decision.
@@ -522,16 +646,28 @@ impl AffectClassifier {
         scratch: &mut Scratch,
         decision: &mut Decision,
     ) -> Result<(), AffectError> {
-        let probabilities = self.model.predict_proba_with(features, shape, scratch)?;
-        let (class, &confidence) = probabilities
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.total_cmp(b.1))
-            .expect("probability vector is non-empty");
-        decision.class = class;
-        decision.confidence = confidence;
-        decision.probabilities.clear();
-        decision.probabilities.extend_from_slice(probabilities);
+        match &mut self.backend {
+            Backend::Net(model) => {
+                let probabilities = model.predict_proba_with(features, shape, scratch)?;
+                let (class, &confidence) = probabilities
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.total_cmp(b.1))
+                    .expect("probability vector is non-empty");
+                decision.class = class;
+                decision.confidence = confidence;
+                decision.probabilities.clear();
+                decision.probabilities.extend_from_slice(probabilities);
+            }
+            Backend::Hdc(clf) => {
+                // The HDC encoder keeps its own fixed hypervector buffers
+                // and the decision's probability vector is reused, so this
+                // arm is allocation-free without touching `scratch`.
+                let _ = shape;
+                decision.class = clf.classify_into(features, &mut decision.probabilities)?;
+                decision.confidence = decision.probabilities[decision.class];
+            }
+        }
         Ok(())
     }
 }
@@ -666,13 +802,23 @@ mod tests {
         assert_eq!(ClassifierKind::Mlp.to_string(), "NN");
         assert_eq!(ClassifierKind::Cnn.to_string(), "CNN");
         assert_eq!(ClassifierKind::Lstm.to_string(), "LSTM");
+        assert_eq!(ClassifierKind::Hdc.to_string(), "HDC");
     }
 
     #[test]
-    fn fallback_ladder_descends_to_mlp() {
+    fn fallback_ladder_descends_to_hdc() {
         assert_eq!(ClassifierKind::Lstm.fallback(), Some(ClassifierKind::Cnn));
         assert_eq!(ClassifierKind::Cnn.fallback(), Some(ClassifierKind::Mlp));
-        assert_eq!(ClassifierKind::Mlp.fallback(), None);
+        assert_eq!(ClassifierKind::Mlp.fallback(), Some(ClassifierKind::Hdc));
+        assert_eq!(ClassifierKind::Hdc.fallback(), None);
+    }
+
+    #[test]
+    fn neural_kinds_exclude_hdc() {
+        assert!(!ClassifierKind::NEURAL.contains(&ClassifierKind::Hdc));
+        for kind in ClassifierKind::NEURAL {
+            assert!(ClassifierKind::ALL.contains(&kind));
+        }
     }
 
     #[test]
@@ -710,5 +856,70 @@ mod tests {
         let clf = AffectClassifier::from_config(&cfg, vec!["a".into(), "b".into()], 0).unwrap();
         assert_eq!(clf.family(), clf.kind());
         assert_eq!(clf.family(), ClassifierKind::Mlp);
+    }
+
+    #[test]
+    fn hdc_classifier_classifies_flat_features() {
+        let labels: Vec<String> = (0..4).map(|i| format!("c{i}")).collect();
+        let mut clf = AffectClassifier::hdc(10, labels, 5).unwrap();
+        assert_eq!(clf.kind(), ClassifierKind::Hdc);
+        assert!(clf.model().is_none());
+        assert!(clf.model_mut().is_none());
+        assert!(clf.hdc_mut().is_some());
+        let features: Vec<f32> = (0..10).map(|i| (i as f32 * 0.7).cos()).collect();
+        let tensor = Tensor::from_vec(features.clone(), &[10]).unwrap();
+        let reference = clf.classify(&tensor).unwrap();
+        assert!(reference.class < 4);
+        assert_eq!(reference.probabilities.len(), 4);
+        assert!((reference.probabilities.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+        // The scratch path agrees bitwise and reuses the decision buffer.
+        let mut scratch = Scratch::new();
+        let mut decision = Decision::default();
+        for _ in 0..3 {
+            clf.classify_with(&features, &[10], &mut scratch, &mut decision)
+                .unwrap();
+            assert_eq!(reference, decision);
+        }
+    }
+
+    #[test]
+    fn hdc_precision_is_always_int8() {
+        let labels = vec!["a".into(), "b".into()];
+        let mut clf = AffectClassifier::hdc(6, labels, 1).unwrap();
+        assert_eq!(clf.precision(), Precision::Int8);
+        clf.set_precision(Precision::F32).unwrap();
+        assert_eq!(clf.precision(), Precision::Int8);
+    }
+
+    #[test]
+    fn net_precision_switches_classify_with_path() {
+        let cfg = ModelConfig::scaled_mlp(8, 3);
+        let labels: Vec<String> = (0..3).map(|i| format!("c{i}")).collect();
+        let mut clf = AffectClassifier::from_config(&cfg, labels, 3).unwrap();
+        assert_eq!(clf.precision(), Precision::F32);
+        let features: Vec<f32> = (0..8).map(|i| (i as f32 * 0.41).sin()).collect();
+        let mut scratch = Scratch::new();
+        let mut f32_d = Decision::default();
+        clf.classify_with(&features, &[8], &mut scratch, &mut f32_d)
+            .unwrap();
+        clf.set_precision(Precision::Int8).unwrap();
+        assert_eq!(clf.precision(), Precision::Int8);
+        let mut i8_d = Decision::default();
+        clf.classify_with(&features, &[8], &mut scratch, &mut i8_d)
+            .unwrap();
+        for (a, b) in f32_d.probabilities.iter().zip(&i8_d.probabilities) {
+            assert!((a - b).abs() < 0.1, "{a} vs {b}");
+        }
+        clf.set_precision(Precision::F32).unwrap();
+        let mut back = Decision::default();
+        clf.classify_with(&features, &[8], &mut scratch, &mut back)
+            .unwrap();
+        assert_eq!(back, f32_d);
+    }
+
+    #[test]
+    fn from_hdc_validates_label_count() {
+        let clf = HdcClassifier::new(HdcConfig::new(4, 3, 1).unwrap()).unwrap();
+        assert!(AffectClassifier::from_hdc(clf, vec!["a".into()]).is_err());
     }
 }

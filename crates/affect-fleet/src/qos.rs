@@ -1,16 +1,18 @@
 //! QoS tiers and admission control.
 //!
-//! The paper's degradation ladder (LSTM → CNN → MLP) trades accuracy for
+//! The degradation ladder (LSTM → CNN → MLP → HDC) trades accuracy for
 //! compute per wearer. At fleet scale the same ladder becomes a *policy
 //! axis*: a tier is a promise about which rung a session starts on, how
 //! far it may climb back after degradation, and who gets shed first when
-//! the fleet saturates.
+//! the fleet saturates. Every tier may degrade all the way down to the
+//! runtime's floor family (the integer-only HDC rung by default — see
+//! `docs/DEGRADATION.md`); the tier only caps the *ceiling*.
 //!
-//! | tier         | initial family | shed order            |
-//! |--------------|----------------|-----------------------|
-//! | `Critical`   | LSTM           | never shed            |
-//! | `Standard`   | CNN            | shed under heavy load |
-//! | `BestEffort` | MLP            | shed first            |
+//! | tier         | initial family (= ceiling) | shed order            |
+//! |--------------|----------------------------|-----------------------|
+//! | `Critical`   | LSTM                       | never shed            |
+//! | `Standard`   | CNN                        | shed under heavy load |
+//! | `BestEffort` | MLP                        | shed first            |
 //!
 //! Admission happens at registration time: `affect-rt` fixes its session
 //! set at `start()`, so the fleet's capacity promise has to be made
@@ -27,7 +29,8 @@ use affect_core::classifier::ClassifierKind;
 /// Service tier of one fleet session.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum QosTier {
-    /// Shed before anything else; runs the cheapest model (MLP).
+    /// Shed before anything else; starts on (and is capped at) the MLP
+    /// rung, one above the HDC floor.
     BestEffort,
     /// Shed only under heavy load; runs the mid-ladder CNN.
     Standard,

@@ -19,9 +19,13 @@
 //!   end-to-end latency is recorded against a configurable budget (the
 //!   paper's ~1 s decision cadence) and misses are counted per session.
 //! - **Graceful degradation** — sustained misses drop the session one
-//!   model family down the paper's accuracy/latency ladder (LSTM → CNN →
-//!   MLP) and widen its decision interval; sustained on-time windows climb
-//!   back up.
+//!   model family down the accuracy/latency ladder (LSTM → CNN → MLP →
+//!   HDC, the last an integer-only hyperdimensional classifier) and widen
+//!   its decision interval; sustained on-time windows climb back up. The
+//!   bottom rung is configurable ([`RuntimeConfig`]`::floor_family` /
+//!   `min_accuracy`), and each session can run its neural models in int8
+//!   (`RuntimeBuilder::add_session_with_precision`). See
+//!   `docs/DEGRADATION.md` for the full ladder semantics.
 //! - **Honest accounting** — `produced == processed + dropped` per
 //!   session, always: load shedding is explicit, never silent.
 //! - **Supervision** — feature and classify workers run each window inside
@@ -29,8 +33,8 @@
 //!   organic) costs one window, restarts the worker with exponential
 //!   backoff, and retires it only after a restart budget. Repeated
 //!   classifier failures trip a per-session circuit breaker straight to
-//!   the MLP floor; an optional watchdog force-drains stalled queues. See
-//!   `docs/ROBUSTNESS.md`.
+//!   the session's floor family (the HDC rung by default); an optional
+//!   watchdog force-drains stalled queues. See `docs/ROBUSTNESS.md`.
 //!
 //! Everything is built on `std::thread` + mutex/condvar rings; the crate
 //! adds no dependencies beyond the workspace's own crates.

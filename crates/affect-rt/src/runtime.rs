@@ -9,7 +9,7 @@
 //!                                     ▼
 //!                              [classify ring] ──▶ classify workers (xW)
 //!                                     │ shared pool; each worker owns all
-//!                                     │ three model families
+//!                                     │ four model families (per precision)
 //!                                     ▼
 //!                               [control ring] ──▶ control worker (x1)
 //!                                     │ per-session SystemController
@@ -20,9 +20,10 @@
 //! ```
 //!
 //! Classifier models are not `Send` (layers are plain `Box<dyn Layer>`),
-//! so each classify worker *builds its own* copy of all three scaled
-//! families at startup and dispatches on the family stamped into the
-//! message; a session's family switch is picked up by whichever worker
+//! so each classify worker *builds its own* pool at startup — the three
+//! scaled neural families (per configured precision) plus the integer-only
+//! HDC rung — and dispatches on the (family, precision) pair stamped into
+//! the message; a session's family switch is picked up by whichever worker
 //! handles its next window.
 //!
 //! ## Accounting invariant
@@ -39,9 +40,13 @@
 //! Windows carry their arrival timestamp; the actuate stage measures
 //! end-to-end latency against the deadline budget. A configured streak of
 //! consecutive misses degrades the session — classifier falls back one
-//! family (LSTM → CNN → MLP) *and* the decision interval widens so only
-//! every k-th window enters the pipeline. A streak of on-time windows
-//! recovers one step at a time (first the interval, then the family).
+//! family (LSTM → CNN → MLP → HDC) *and* the decision interval widens so
+//! only every k-th window enters the pipeline. A streak of on-time windows
+//! recovers one step at a time (first the interval, then the family). The
+//! fallback stops at the session's floor: [`RuntimeConfig::floor_family`]
+//! (default the HDC rung), optionally raised by
+//! [`RuntimeConfig::min_accuracy`] to the cheapest rung meeting that
+//! accuracy. See `docs/DEGRADATION.md` for the full ladder semantics.
 
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -57,7 +62,7 @@ use affect_core::pipeline::{FeatureConfig, FeaturePipeline};
 use affect_core::policy::PolicyTable;
 use affect_core::AffectError;
 use affect_obs::{Counter as ObsCounter, Histogram as ObsHistogram, MetricsRegistry, Span};
-use nn::{Scratch, Tensor};
+use nn::{Precision, Scratch, Tensor};
 
 use crate::actuator::Actuator;
 use crate::clock::{Clock, SystemClock};
@@ -110,7 +115,8 @@ pub struct SupervisionConfig {
     /// Backoff ceiling, milliseconds.
     pub backoff_max_ms: u64,
     /// Consecutive classify failures of one session that trip its circuit
-    /// breaker: the session is forced to the MLP family until a half-open
+    /// breaker: the session is pinned to its floor family (the HDC rung by
+    /// default, see [`RuntimeConfig::floor_family`]) until a half-open
     /// recovery probe (driven by the ordinary `ok_streak` recovery
     /// machinery) succeeds with a richer family.
     pub breaker_threshold: u32,
@@ -161,6 +167,24 @@ pub struct RuntimeConfig {
     pub window_samples: usize,
     /// Classifier family each session starts in.
     pub initial_family: ClassifierKind,
+    /// Cheapest family the degradation machinery (miss-streak fallback and
+    /// the classify circuit breaker) may drop a session to. Defaults to
+    /// [`ClassifierKind::Hdc`], the bottom of the ladder; setting e.g.
+    /// [`ClassifierKind::Mlp`] restores the pre-HDC floor. A session whose
+    /// QoS ceiling sits below this floor is pinned at its ceiling.
+    pub floor_family: ClassifierKind,
+    /// Optional accuracy floor. When set, the effective degradation floor
+    /// is raised to the cheapest rung whose indicative accuracy (see the
+    /// `accuracy_energy` bench / `BENCH_accuracy_energy.json`) meets this
+    /// value — the controller then always picks the cheapest rung that
+    /// still meets the configured accuracy.
+    pub min_accuracy: Option<f32>,
+    /// Numeric precision of the classify stage's inference path for
+    /// sessions without a per-session override
+    /// ([`RuntimeBuilder::add_session_with_precision`]).
+    /// [`Precision::Int8`] runs the neural families through the quantized
+    /// int8 kernels; the HDC rung is integer-only regardless.
+    pub precision: Precision,
     /// Worker threads for the feature and classify stages (each).
     pub workers: usize,
     /// Ingest queue (submit → feature).
@@ -206,6 +230,9 @@ impl Default for RuntimeConfig {
             feature: FeatureConfig::default(),
             window_samples: 16_000, // 1 s at the default 16 kHz
             initial_family: ClassifierKind::Lstm,
+            floor_family: ClassifierKind::Hdc,
+            min_accuracy: None,
+            precision: Precision::F32,
             workers: 2,
             ingest: StageConfig::new(8, OverflowPolicy::Block),
             classify: StageConfig::new(8, OverflowPolicy::Block),
@@ -275,6 +302,14 @@ impl RuntimeConfig {
                 reason: "must be at least 1",
             });
         }
+        if let Some(acc) = self.min_accuracy {
+            if !(0.0..=1.0).contains(&acc) {
+                return Err(AffectError::InvalidParameter {
+                    name: "min_accuracy",
+                    reason: "must lie in [0, 1]",
+                });
+            }
+        }
         if let Some(w) = &self.watchdog {
             if w.poll_ms == 0 || w.stall_polls == 0 {
                 return Err(AffectError::InvalidParameter {
@@ -286,8 +321,10 @@ impl RuntimeConfig {
         Ok(())
     }
 
-    /// The three scaled model configurations this runtime classifies with,
-    /// dimensioned from the feature config and window length.
+    /// The three scaled neural model configurations this runtime classifies
+    /// with, dimensioned from the feature config and window length (the HDC
+    /// rung is not a [`ModelConfig`]; it is built directly over the flat
+    /// feature vector).
     fn model_configs(&self, pipeline: &FeaturePipeline) -> [ModelConfig; 3] {
         let fpf = pipeline.features_per_frame();
         let frames = pipeline.frames_for(self.window_samples);
@@ -298,23 +335,74 @@ impl RuntimeConfig {
             ModelConfig::scaled_lstm(fpf, classes),
         ]
     }
+
+    /// The degradation floor actually enforced: [`RuntimeConfig::floor_family`],
+    /// raised to the cheapest rung whose indicative accuracy meets
+    /// [`RuntimeConfig::min_accuracy`] when that is set. An unmeetable
+    /// accuracy floor resolves to the richest family — the controller can
+    /// then never trade accuracy away below the user's bar.
+    pub fn effective_floor(&self) -> ClassifierKind {
+        let mut floor = self.floor_family;
+        if let Some(min) = self.min_accuracy {
+            let by_accuracy = NOMINAL_ACCURACY
+                .iter()
+                .find(|(_, acc)| *acc >= min)
+                .map(|(kind, _)| *kind)
+                .unwrap_or(ClassifierKind::Lstm);
+            if family_code(by_accuracy) > family_code(floor) {
+                floor = by_accuracy;
+            }
+        }
+        floor
+    }
 }
 
+/// Ladder position of a family, cheapest first: the codes order exactly as
+/// the degradation ladder (HDC < MLP < CNN < LSTM), so floor/ceiling checks
+/// are plain integer comparisons.
 fn family_code(kind: ClassifierKind) -> u8 {
     match kind {
-        ClassifierKind::Mlp => 0,
-        ClassifierKind::Cnn => 1,
-        ClassifierKind::Lstm => 2,
+        ClassifierKind::Hdc => 0,
+        ClassifierKind::Mlp => 1,
+        ClassifierKind::Cnn => 2,
+        ClassifierKind::Lstm => 3,
     }
 }
 
 fn family_from_code(code: u8) -> ClassifierKind {
     match code {
-        0 => ClassifierKind::Mlp,
-        1 => ClassifierKind::Cnn,
+        0 => ClassifierKind::Hdc,
+        1 => ClassifierKind::Mlp,
+        2 => ClassifierKind::Cnn,
         _ => ClassifierKind::Lstm,
     }
 }
+
+/// Classifier-pool key for a window: family plus precision, with the HDC
+/// rung normalized to a single (integer-only) instance so f32 and int8
+/// sessions share it.
+fn pool_key(family: ClassifierKind, precision: Precision) -> (u8, Precision) {
+    match family {
+        ClassifierKind::Hdc => (family_code(family), Precision::Int8),
+        _ => (family_code(family), precision),
+    }
+}
+
+/// Indicative per-family accuracies on the synthetic EMOVO-like corpus,
+/// cheapest family first, as measured by the `accuracy_energy` bench (the
+/// committed numbers live in `BENCH_accuracy_energy.json` — keep the two
+/// in sync). [`RuntimeConfig`] uses this table to translate a
+/// `min_accuracy` floor into the cheapest ladder rung that still meets it;
+/// the scan walks cheapest-first, so a non-monotonic entry (the LSTM
+/// trails the CNN on this corpus) simply never wins a floor. The table is
+/// intentionally coarse: it orders the rungs, it does not promise absolute
+/// accuracy on live signals.
+const NOMINAL_ACCURACY: [(ClassifierKind, f32); 4] = [
+    (ClassifierKind::Hdc, 0.69),
+    (ClassifierKind::Mlp, 0.81),
+    (ClassifierKind::Cnn, 0.83),
+    (ClassifierKind::Lstm, 0.74),
+];
 
 /// Circuit-breaker states, stored in `SessionState::breaker`.
 const BREAKER_CLOSED: u8 = 0;
@@ -335,17 +423,25 @@ struct SessionState {
     /// Richest family this session may recover to (its QoS ceiling): the
     /// per-session initial family, frozen at registration.
     ceiling: u8,
+    /// Cheapest family degradation or the circuit breaker may drop this
+    /// session to, frozen at registration: the runtime's effective floor,
+    /// clamped to the session's ceiling.
+    floor: u8,
+    /// Inference precision for this session's neural windows, frozen at
+    /// registration.
+    precision: Precision,
     interval: AtomicU32,
     latency: Histogram,
     /// Classify circuit breaker: `BREAKER_CLOSED`, `BREAKER_OPEN` (family
-    /// pinned to MLP) or `BREAKER_HALF_OPEN` (recovery probe in flight).
+    /// pinned to the session's floor) or `BREAKER_HALF_OPEN` (recovery
+    /// probe in flight).
     breaker: AtomicU8,
     /// Consecutive classify failures while the breaker is closed.
     breaker_failures: AtomicU32,
 }
 
 impl SessionState {
-    fn new(initial_family: ClassifierKind) -> Self {
+    fn new(initial_family: ClassifierKind, floor: ClassifierKind, precision: Precision) -> Self {
         Self {
             next_seq: AtomicU64::new(0),
             produced: AtomicU64::new(0),
@@ -356,6 +452,8 @@ impl SessionState {
             recoveries: AtomicU64::new(0),
             family: AtomicU8::new(family_code(initial_family)),
             ceiling: family_code(initial_family),
+            floor: family_code(floor).min(family_code(initial_family)),
+            precision,
             interval: AtomicU32::new(1),
             latency: Histogram::new(),
             breaker: AtomicU8::new(BREAKER_CLOSED),
@@ -445,6 +543,12 @@ struct RtMetrics {
     degradations: Arc<ObsCounter>,
     recoveries: Arc<ObsCounter>,
     batch_size: Arc<ObsHistogram>,
+    /// Per-family classify completions, indexed by [`family_code`] (one
+    /// labelled series per rung of the degradation ladder).
+    classify_family: [Arc<ObsCounter>; 4],
+    /// Classify windows that ran the quantized int8 path (neural families
+    /// at [`Precision::Int8`] plus every integer-only HDC window).
+    int8_windows: Arc<ObsCounter>,
     scratch_allocs: Arc<ObsCounter>,
     scratch_reuses: Arc<ObsCounter>,
     worker_panics: Arc<ObsCounter>,
@@ -510,6 +614,26 @@ impl RtMetrics {
             batch_size: registry.histogram(
                 "affect_rt_classify_batch_size",
                 "windows drained per classify-worker wakeup",
+                &[],
+            ),
+            classify_family: {
+                let family = |kind: ClassifierKind| {
+                    registry.counter(
+                        "affect_rt_classify_family_total",
+                        "classify windows completed, per classifier family",
+                        &[("family", kind.name())],
+                    )
+                };
+                [
+                    family(ClassifierKind::Hdc),
+                    family(ClassifierKind::Mlp),
+                    family(ClassifierKind::Cnn),
+                    family(ClassifierKind::Lstm),
+                ]
+            },
+            int8_windows: registry.counter(
+                "affect_rt_classify_int8_windows_total",
+                "classify windows that ran the quantized int8 inference path",
                 &[],
             ),
             scratch_allocs: registry.counter(
@@ -671,6 +795,9 @@ struct ClassifyMsg {
     seq: u64,
     arrival_ns: u64,
     family: ClassifierKind,
+    /// The session's inference precision, stamped alongside the family so
+    /// the classify worker picks the matching pool entry.
+    precision: Precision,
     features: Tensor,
 }
 
@@ -705,6 +832,8 @@ pub struct RuntimeBuilder {
     /// A fleet's QoS tiers use this to pin each tier to its rung of the
     /// degradation ladder.
     families: Vec<Option<ClassifierKind>>,
+    /// Per-session precision overrides (None = the config default).
+    precisions: Vec<Option<Precision>>,
     registry: Option<Arc<MetricsRegistry>>,
     fault_hook: Option<Arc<dyn FaultHook>>,
 }
@@ -723,6 +852,7 @@ impl RuntimeBuilder {
             clock: Arc::new(SystemClock::new()),
             actuators: Vec::new(),
             families: Vec::new(),
+            precisions: Vec::new(),
             registry: None,
             fault_hook: None,
         })
@@ -761,14 +891,15 @@ impl RuntimeBuilder {
     pub fn add_session(&mut self, actuator: Box<dyn Actuator>) -> SessionId {
         self.actuators.push(actuator);
         self.families.push(None);
+        self.precisions.push(None);
         SessionId(self.actuators.len() - 1)
     }
 
     /// Registers a session whose classifier family starts at — and never
     /// recovers past — `family`, overriding the runtime-wide default. This
     /// is the per-session QoS knob: a best-effort session pinned at MLP
-    /// stays on the cheapest rung of the degradation ladder for its whole
-    /// life, while a critical one keeps the full LSTM → CNN → MLP range.
+    /// stays near the bottom of the degradation ladder for its whole life,
+    /// while a critical one keeps the full LSTM → CNN → MLP → HDC range.
     pub fn add_session_with_family(
         &mut self,
         actuator: Box<dyn Actuator>,
@@ -776,6 +907,25 @@ impl RuntimeBuilder {
     ) -> SessionId {
         self.actuators.push(actuator);
         self.families.push(Some(family));
+        self.precisions.push(None);
+        SessionId(self.actuators.len() - 1)
+    }
+
+    /// Registers a session with both a family ceiling and its own inference
+    /// precision, overriding [`RuntimeConfig::precision`]. An
+    /// [`Precision::Int8`] session runs its neural windows through the
+    /// quantized int8 kernels while f32 sessions sharing the same workers
+    /// stay bit-exact — the per-session memory/accuracy knob of the paper's
+    /// quantization study, applied live.
+    pub fn add_session_with_precision(
+        &mut self,
+        actuator: Box<dyn Actuator>,
+        family: ClassifierKind,
+        precision: Precision,
+    ) -> SessionId {
+        self.actuators.push(actuator);
+        self.families.push(Some(family));
+        self.precisions.push(Some(precision));
         SessionId(self.actuators.len() - 1)
     }
 
@@ -800,13 +950,24 @@ impl RuntimeBuilder {
         for model in config.model_configs(&pipeline) {
             AffectClassifier::from_config(&model, labels.clone(), config.model_seed)?;
         }
+        AffectClassifier::hdc(pipeline.flat_dim(), labels.clone(), config.model_seed)?;
 
+        let floor = config.effective_floor();
         let sessions: Arc<Vec<SessionState>> = Arc::new(
             self.families
                 .iter()
-                .map(|family| SessionState::new(family.unwrap_or(config.initial_family)))
+                .zip(&self.precisions)
+                .map(|(family, precision)| {
+                    SessionState::new(
+                        family.unwrap_or(config.initial_family),
+                        floor,
+                        precision.unwrap_or(config.precision),
+                    )
+                })
                 .collect(),
         );
+        // Int8 pool entries are only built when some session can use them.
+        let need_int8 = sessions.iter().any(|s| s.precision == Precision::Int8);
         let progress = Arc::new(Progress::new());
         let fault_counters = Arc::new(FaultCounters::default());
         let fault_hook = self.fault_hook.clone();
@@ -898,7 +1059,9 @@ impl RuntimeBuilder {
                             .map(|m| Span::enter(&m.feature_latency, &*m.clock));
                         let family = sessions[session].family();
                         let features = match family {
-                            ClassifierKind::Mlp => pipeline.extract_flat(&msg.samples),
+                            ClassifierKind::Mlp | ClassifierKind::Hdc => {
+                                pipeline.extract_flat(&msg.samples)
+                            }
                             ClassifierKind::Cnn => pipeline.extract_strip(&msg.samples),
                             ClassifierKind::Lstm => pipeline.extract_sequence(&msg.samples),
                         };
@@ -908,6 +1071,7 @@ impl RuntimeBuilder {
                             seq: msg.seq,
                             arrival_ns: msg.arrival_ns,
                             family,
+                            precision: sessions[session].precision,
                             features,
                         })
                     }));
@@ -976,13 +1140,16 @@ impl RuntimeBuilder {
             let supervision = config.supervision;
             classify_workers.push(std::thread::spawn(move || {
                 // Models are not Send; build this worker's own pool of all
-                // three families (identical across workers by seed).
+                // four families (identical across workers by seed), keyed
+                // by (family, precision). Int8 variants are built only when
+                // some session runs quantized; the single HDC instance is
+                // integer-only and serves every precision.
                 let pipeline =
                     FeaturePipeline::new(feature).expect("config validated before spawn");
                 let fpf = pipeline.features_per_frame();
                 let frames = pipeline.frames_for(window_samples);
                 let classes = Emotion::ALL.len();
-                let mut pool: HashMap<u8, AffectClassifier> = HashMap::new();
+                let mut pool: HashMap<(u8, Precision), AffectClassifier> = HashMap::new();
                 for model in [
                     ModelConfig::scaled_mlp(pipeline.flat_dim(), classes),
                     ModelConfig::scaled_cnn(frames * fpf, classes),
@@ -990,8 +1157,18 @@ impl RuntimeBuilder {
                 ] {
                     let clf = AffectClassifier::from_config(&model, labels.clone(), seed)
                         .expect("trial-built before spawn");
-                    pool.insert(family_code(clf.family()), clf);
+                    pool.insert((family_code(clf.family()), Precision::F32), clf);
+                    if need_int8 {
+                        let mut clf = AffectClassifier::from_config(&model, labels.clone(), seed)
+                            .expect("trial-built before spawn");
+                        clf.set_precision(Precision::Int8)
+                            .expect("fresh models always quantize");
+                        pool.insert((family_code(clf.family()), Precision::Int8), clf);
+                    }
                 }
+                let hdc = AffectClassifier::hdc(pipeline.flat_dim(), labels.clone(), seed)
+                    .expect("trial-built before spawn");
+                pool.insert(pool_key(ClassifierKind::Hdc, Precision::Int8), hdc);
                 // The worker's persistent inference arena: every forward
                 // pass across every family draws its intermediates from
                 // here, so steady state runs allocation-free.
@@ -1026,6 +1203,7 @@ impl RuntimeBuilder {
                     while let Some(msg) = batch.pop_front() {
                         let session = msg.session;
                         let family = msg.family;
+                        let precision = pool_key(msg.family, msg.precision).1;
                         let action = match &hook {
                             Some(h) => h.inject(Stage::Classify, session, msg.seq),
                             None => FaultAction::None,
@@ -1048,7 +1226,7 @@ impl RuntimeBuilder {
                                 .as_ref()
                                 .map(|m| Span::enter(&m.classify_latency, &*m.clock));
                             let clf = pool
-                                .get_mut(&family_code(msg.family))
+                                .get_mut(&pool_key(msg.family, msg.precision))
                                 .expect("all families pooled");
                             let result = clf.classify_with(
                                 msg.features.data(),
@@ -1068,6 +1246,12 @@ impl RuntimeBuilder {
                             Ok(Ok(out)) => {
                                 consecutive_panics = 0;
                                 counters.windows.fetch_add(1, Ordering::SeqCst);
+                                if let Some(m) = &metrics {
+                                    m.classify_family[family_code(family) as usize].inc();
+                                    if precision == Precision::Int8 {
+                                        m.int8_windows.inc();
+                                    }
+                                }
                                 breaker_on_success(
                                     &sessions[session],
                                     family,
@@ -1364,13 +1548,17 @@ impl RuntimeBuilder {
 }
 
 /// One degradation step: fall back one model family *and* widen the
-/// decision interval (the paper's two load-shedding axes at once).
+/// decision interval (the paper's two load-shedding axes at once). The
+/// family never falls below the session's floor (by default the HDC rung;
+/// raised by [`RuntimeConfig::floor_family`] / [`RuntimeConfig::min_accuracy`]).
 /// Returns whether anything actually changed.
 fn degrade(state: &SessionState, degraded_interval: u32) -> bool {
     let mut changed = false;
     if let Some(simpler) = state.family().fallback() {
-        state.family.store(family_code(simpler), Ordering::SeqCst);
-        changed = true;
+        if family_code(simpler) >= state.floor {
+            state.family.store(family_code(simpler), Ordering::SeqCst);
+            changed = true;
+        }
     }
     if state.interval.load(Ordering::SeqCst) < degraded_interval {
         state.interval.store(degraded_interval, Ordering::SeqCst);
@@ -1390,8 +1578,8 @@ fn degrade(state: &SessionState, degraded_interval: u32) -> bool {
 /// breaker is open, a family upgrade is allowed but marks the breaker
 /// half-open — the upgraded window becomes the recovery *probe*. A probe
 /// that classifies cleanly closes the breaker; one that fails reopens it
-/// and re-pins the MLP floor. While a probe is in flight, no further
-/// upgrades happen.
+/// and re-pins the session's floor family. While a probe is in flight, no
+/// further upgrades happen.
 fn recover(state: &SessionState) -> bool {
     if state.interval.load(Ordering::SeqCst) > 1 {
         state.interval.store(1, Ordering::SeqCst);
@@ -1464,7 +1652,8 @@ fn survive_panic(
 }
 
 /// Books one classify failure against a session's circuit breaker,
-/// tripping it (family forced to MLP) after the configured streak.
+/// tripping it (family forced to the session's floor) after the configured
+/// streak.
 fn breaker_on_failure(
     state: &SessionState,
     threshold: u32,
@@ -1473,11 +1662,9 @@ fn breaker_on_failure(
 ) {
     match state.breaker.load(Ordering::SeqCst) {
         BREAKER_HALF_OPEN => {
-            // The recovery probe failed: reopen and re-pin the MLP floor.
+            // The recovery probe failed: reopen and re-pin the floor.
             state.breaker.store(BREAKER_OPEN, Ordering::SeqCst);
-            state
-                .family
-                .store(family_code(ClassifierKind::Mlp), Ordering::SeqCst);
+            state.family.store(state.floor, Ordering::SeqCst);
             faults.breaker_trips.fetch_add(1, Ordering::SeqCst);
             if let Some(m) = metrics {
                 // The gauge still counts this breaker from the original
@@ -1493,9 +1680,7 @@ fn breaker_on_failure(
                 // Trip straight to the floor of the fallback chain — no
                 // stepwise descent while the classifier is demonstrably
                 // broken.
-                state
-                    .family
-                    .store(family_code(ClassifierKind::Mlp), Ordering::SeqCst);
+                state.family.store(state.floor, Ordering::SeqCst);
                 faults.breaker_trips.fetch_add(1, Ordering::SeqCst);
                 if let Some(m) = metrics {
                     m.breaker_trips.inc();
@@ -1503,12 +1688,12 @@ fn breaker_on_failure(
                 }
             }
         }
-        _ => {} // already open: nothing below MLP to fall to
+        _ => {} // already open: nothing below the floor to fall to
     }
 }
 
 /// Books one classify success: closes a half-open breaker when the probe
-/// window (a richer-than-MLP family) came through.
+/// window (a richer-than-floor family) came through.
 fn breaker_on_success(
     state: &SessionState,
     family: ClassifierKind,
@@ -1517,7 +1702,7 @@ fn breaker_on_success(
 ) {
     state.breaker_failures.store(0, Ordering::SeqCst);
     if state.breaker.load(Ordering::SeqCst) == BREAKER_HALF_OPEN
-        && family_code(family) > family_code(ClassifierKind::Mlp)
+        && family_code(family) > state.floor
     {
         state.breaker.store(BREAKER_CLOSED, Ordering::SeqCst);
         faults.breaker_closes.fetch_add(1, Ordering::SeqCst);
@@ -1808,11 +1993,11 @@ mod tests {
     use super::*;
 
     fn state() -> SessionState {
-        SessionState::new(ClassifierKind::Lstm)
+        SessionState::new(ClassifierKind::Lstm, ClassifierKind::Hdc, Precision::F32)
     }
 
     #[test]
-    fn breaker_trips_to_mlp_after_threshold_failures() {
+    fn breaker_trips_to_floor_after_threshold_failures() {
         let s = state();
         let faults = FaultCounters::default();
         breaker_on_failure(&s, 3, &faults, None);
@@ -1821,8 +2006,14 @@ mod tests {
         assert_eq!(s.family(), ClassifierKind::Lstm);
         breaker_on_failure(&s, 3, &faults, None);
         assert_eq!(s.breaker.load(Ordering::SeqCst), BREAKER_OPEN);
-        assert_eq!(s.family(), ClassifierKind::Mlp, "tripped straight to MLP");
+        assert_eq!(s.family(), ClassifierKind::Hdc, "tripped straight to HDC");
         assert_eq!(faults.breaker_trips.load(Ordering::SeqCst), 1);
+        // With the floor raised to MLP, the trip pins MLP instead.
+        let s = SessionState::new(ClassifierKind::Lstm, ClassifierKind::Mlp, Precision::F32);
+        for _ in 0..3 {
+            breaker_on_failure(&s, 3, &faults, None);
+        }
+        assert_eq!(s.family(), ClassifierKind::Mlp);
     }
 
     #[test]
@@ -1848,51 +2039,124 @@ mod tests {
         // upgrade marks the breaker half-open.
         assert!(recover(&s));
         assert_eq!(s.breaker.load(Ordering::SeqCst), BREAKER_HALF_OPEN);
-        assert_eq!(s.family(), ClassifierKind::Cnn);
+        assert_eq!(s.family(), ClassifierKind::Mlp);
         // No further upgrades while the probe is in flight.
         assert!(!recover(&s));
-        // MLP stragglers still in the pipe must not close the breaker…
-        breaker_on_success(&s, ClassifierKind::Mlp, &faults, None);
+        // Floor-family (HDC) stragglers still in the pipe must not close
+        // the breaker…
+        breaker_on_success(&s, ClassifierKind::Hdc, &faults, None);
         assert_eq!(s.breaker.load(Ordering::SeqCst), BREAKER_HALF_OPEN);
         // …but the probe family succeeding does.
-        breaker_on_success(&s, ClassifierKind::Cnn, &faults, None);
+        breaker_on_success(&s, ClassifierKind::Mlp, &faults, None);
         assert_eq!(s.breaker.load(Ordering::SeqCst), BREAKER_CLOSED);
         assert_eq!(faults.breaker_closes.load(Ordering::SeqCst), 1);
-        // With the breaker closed, recovery can continue up the ladder.
+        // With the breaker closed, recovery continues up the ladder.
+        assert!(recover(&s));
+        assert_eq!(s.family(), ClassifierKind::Cnn);
         assert!(recover(&s));
         assert_eq!(s.family(), ClassifierKind::Lstm);
     }
 
     #[test]
-    fn failed_probe_reopens_and_repins_mlp() {
+    fn failed_probe_reopens_and_repins_floor() {
         let s = state();
         let faults = FaultCounters::default();
         for _ in 0..3 {
             breaker_on_failure(&s, 3, &faults, None);
         }
+        assert_eq!(s.family(), ClassifierKind::Hdc);
         assert!(recover(&s));
         assert_eq!(s.breaker.load(Ordering::SeqCst), BREAKER_HALF_OPEN);
         breaker_on_failure(&s, 3, &faults, None);
         assert_eq!(s.breaker.load(Ordering::SeqCst), BREAKER_OPEN);
-        assert_eq!(s.family(), ClassifierKind::Mlp);
+        assert_eq!(s.family(), ClassifierKind::Hdc);
         assert_eq!(faults.breaker_trips.load(Ordering::SeqCst), 2);
     }
 
     #[test]
     fn per_session_ceiling_caps_recovery() {
-        // A session registered at the MLP rung (a best-effort QoS tier)
-        // never climbs the ladder, even through sustained on-time windows.
-        let s = SessionState::new(ClassifierKind::Mlp);
+        // An MLP-ceiling session (a best-effort QoS tier) can still shed
+        // load by degrading to the HDC rung below it, then recovers back
+        // to — and never past — its ceiling.
+        let s = SessionState::new(ClassifierKind::Mlp, ClassifierKind::Hdc, Precision::F32);
         assert_eq!(s.family(), ClassifierKind::Mlp);
-        assert!(!recover(&s), "nothing above the MLP ceiling");
+        assert!(degrade(&s, 2));
+        assert_eq!(s.family(), ClassifierKind::Hdc);
+        assert!(recover(&s), "interval restores first");
+        assert!(recover(&s), "then the family climbs");
         assert_eq!(s.family(), ClassifierKind::Mlp);
-        // A CNN-ceiling session degraded to MLP recovers to CNN and stops.
-        let s = SessionState::new(ClassifierKind::Cnn);
+        assert!(!recover(&s), "ceiling reached");
+        // A CNN-ceiling session with an MLP floor walks CNN → MLP and
+        // stops: the floor blocks the HDC rung.
+        let s = SessionState::new(ClassifierKind::Cnn, ClassifierKind::Mlp, Precision::F32);
         assert!(degrade(&s, 2));
         assert_eq!(s.family(), ClassifierKind::Mlp);
+        assert!(
+            !degrade(&s, 2),
+            "floor blocks the family, interval already wide"
+        );
+        assert_eq!(s.family(), ClassifierKind::Mlp, "family floor holds");
         assert!(recover(&s), "interval restores first");
         assert!(recover(&s), "then the family climbs");
         assert_eq!(s.family(), ClassifierKind::Cnn);
+        assert!(!recover(&s), "ceiling reached");
+    }
+
+    #[test]
+    fn floor_never_sits_above_the_ceiling() {
+        // A session whose ceiling is below the configured floor is pinned
+        // at its ceiling rather than hoisted above it.
+        let s = SessionState::new(ClassifierKind::Mlp, ClassifierKind::Cnn, Precision::F32);
+        assert_eq!(s.floor, family_code(ClassifierKind::Mlp));
+        assert!(
+            !degrade(&s, 1),
+            "nothing below the pinned rung at interval 1"
+        );
+        assert_eq!(s.family(), ClassifierKind::Mlp);
+    }
+
+    #[test]
+    fn min_accuracy_raises_the_effective_floor() {
+        let mut config = RuntimeConfig::default();
+        assert_eq!(config.effective_floor(), ClassifierKind::Hdc);
+        config.min_accuracy = Some(0.50);
+        assert_eq!(config.effective_floor(), ClassifierKind::Hdc);
+        config.min_accuracy = Some(0.75);
+        assert_eq!(config.effective_floor(), ClassifierKind::Mlp);
+        config.min_accuracy = Some(0.82);
+        assert_eq!(config.effective_floor(), ClassifierKind::Cnn);
+        // An unmeetable bar resolves to the richest family.
+        config.min_accuracy = Some(0.99);
+        assert_eq!(config.effective_floor(), ClassifierKind::Lstm);
+        // An explicit floor_family is never lowered by the accuracy rule.
+        config.min_accuracy = Some(0.10);
+        config.floor_family = ClassifierKind::Cnn;
+        assert_eq!(config.effective_floor(), ClassifierKind::Cnn);
+        config.min_accuracy = Some(1.5);
+        assert!(config.validate().is_err());
+    }
+
+    #[test]
+    fn degradation_walks_the_full_ladder_to_hdc() {
+        let s = state();
+        assert_eq!(s.family(), ClassifierKind::Lstm);
+        assert!(degrade(&s, 2));
+        assert_eq!(s.family(), ClassifierKind::Cnn);
+        assert!(degrade(&s, 2));
+        assert_eq!(s.family(), ClassifierKind::Mlp);
+        assert!(degrade(&s, 2));
+        assert_eq!(s.family(), ClassifierKind::Hdc);
+        assert!(!degrade(&s, 2), "HDC is the bottom rung");
+        // And all the way back up.
+        assert!(recover(&s), "interval");
+        for expected in [
+            ClassifierKind::Mlp,
+            ClassifierKind::Cnn,
+            ClassifierKind::Lstm,
+        ] {
+            assert!(recover(&s));
+            assert_eq!(s.family(), expected);
+        }
         assert!(!recover(&s), "ceiling reached");
     }
 

@@ -271,7 +271,7 @@ impl SessionReport {
         self.recoveries += other.recoveries;
         self.latency_hist.merge(&other.latency_hist);
         self.latency = self.latency_hist.summary();
-        // "More degraded wins": MLP < CNN < LSTM on the ladder.
+        // "More degraded wins": HDC < MLP < CNN < LSTM on the ladder.
         if ladder_rank(other.family) < ladder_rank(self.family) {
             self.family = other.family;
         }
@@ -281,9 +281,10 @@ impl SessionReport {
 
 fn ladder_rank(kind: ClassifierKind) -> u8 {
     match kind {
-        ClassifierKind::Mlp => 0,
-        ClassifierKind::Cnn => 1,
-        ClassifierKind::Lstm => 2,
+        ClassifierKind::Hdc => 0,
+        ClassifierKind::Mlp => 1,
+        ClassifierKind::Cnn => 2,
+        ClassifierKind::Lstm => 3,
     }
 }
 

@@ -1,14 +1,17 @@
 //! Proves the scratch-buffer inference path (`Sequential::forward_with`
 //! and `AffectClassifier::classify_with`) performs zero steady-state
-//! heap allocations once the `Scratch` arena is warm.
+//! heap allocations once the `Scratch` arena is warm — in f32, in int8,
+//! with f32 and int8 models interleaved on one shared arena (the runtime's
+//! mixed-precision worker pattern), and through the HDC classifier.
 //!
 //! Runs without the libtest harness (`harness = false`): the allocator
 //! counters are process-global, so the measurement must own the process.
 
 use affect_core::classifier::{AffectClassifier, Decision, ModelConfig};
 use alloc_counter::{count_allocations, CountingAllocator};
+use nn::hdc::HdcClassifier;
 use nn::layers::{Activation, Dense};
-use nn::{Scratch, Sequential};
+use nn::{Precision, Scratch, Sequential, Tensor};
 
 #[global_allocator]
 static ALLOC: CountingAllocator = CountingAllocator::new();
@@ -63,6 +66,65 @@ fn main() {
     assert_eq!(
         delta.allocations, 0,
         "classify_with allocated in steady state: {delta:?}"
+    );
+    assert_eq!(delta.bytes_allocated, 0);
+
+    // Int8 path interleaved with a f32 model on the SAME arena — the
+    // mixed-precision worker pattern of affect-rt. The quantized pass pulls
+    // its i8 temporaries from a pool disjoint from the f32 buffers, so
+    // alternating precisions must not thrash the best-fit allocator.
+    let mut q_model = Sequential::new();
+    q_model.push(Dense::new(16, 32, 21).unwrap());
+    q_model.push(Activation::relu());
+    q_model.push(Dense::new(32, 8, 22).unwrap());
+    q_model.set_precision(Precision::Int8).unwrap();
+    let mut shared = Scratch::new();
+    for _ in 0..2 {
+        q_model.forward_with(&input, &[16], &mut shared).unwrap();
+        model.forward_with(&input, &[16], &mut shared).unwrap();
+    }
+    let (delta, ()) = count_allocations(|| {
+        for _ in 0..100 {
+            q_model.forward_with(&input, &[16], &mut shared).unwrap();
+            model.forward_with(&input, &[16], &mut shared).unwrap();
+        }
+    });
+    assert_eq!(
+        delta.allocations, 0,
+        "mixed f32/int8 forwards allocated in steady state: {delta:?}"
+    );
+    assert_eq!(delta.bytes_allocated, 0);
+
+    // HDC rung: encode + Hamming lookup reuse internal buffers, and
+    // classify_into reuses the caller's probability vector.
+    let xs: Vec<Tensor> = (0..8)
+        .map(|i| {
+            Tensor::from_vec(
+                (0..16)
+                    .map(|c| ((i * 16 + c) as f32 * 0.11).sin())
+                    .collect(),
+                &[16],
+            )
+            .unwrap()
+        })
+        .collect();
+    let ys: Vec<usize> = (0..8).map(|i| i % 4).collect();
+    let mut hdc = HdcClassifier::new(nn::hdc::HdcConfig::new(16, 4, 5).unwrap()).unwrap();
+    hdc.fit(&xs, &ys).unwrap();
+    let mut probs = Vec::with_capacity(4);
+    for x in &xs {
+        hdc.classify_into(x.data(), &mut probs).unwrap();
+    }
+    let (delta, ()) = count_allocations(|| {
+        for _ in 0..100 {
+            for x in &xs {
+                hdc.classify_into(x.data(), &mut probs).unwrap();
+            }
+        }
+    });
+    assert_eq!(
+        delta.allocations, 0,
+        "HDC classify_into allocated in steady state: {delta:?}"
     );
     assert_eq!(delta.bytes_allocated, 0);
     println!("forward_zero_alloc: ok");

@@ -131,6 +131,14 @@ fn model_for(
         ClassifierKind::Mlp => ModelConfig::scaled_mlp(sample.shape()[0], classes),
         ClassifierKind::Cnn => ModelConfig::scaled_cnn(sample.shape()[1], classes),
         ClassifierKind::Lstm => ModelConfig::scaled_lstm(sample.shape()[1], classes),
+        // The Fig. 3 study covers the paper's gradient-trained families;
+        // the HDC rung is benchmarked separately (`accuracy_energy`).
+        ClassifierKind::Hdc => {
+            return Err(AffectError::InvalidParameter {
+                name: "kind",
+                reason: "HDC has no Sequential model; see the accuracy_energy bench",
+            })
+        }
     };
     config.build(seed)
 }
@@ -216,7 +224,7 @@ pub fn evaluate_classifier(
 pub fn full_grid(config: &Fig3Config) -> Result<Vec<ClassifierResult>, Fig3Error> {
     let mut results = Vec::new();
     for spec in CorpusSpec::paper_corpora() {
-        for kind in ClassifierKind::ALL {
+        for kind in ClassifierKind::NEURAL {
             results.push(evaluate_classifier(kind, &spec, config)?);
         }
     }

@@ -23,12 +23,15 @@ pub enum FeatureLayout {
 }
 
 impl FeatureLayout {
-    /// The layout each classifier family consumes.
+    /// The layout each classifier family consumes. The HDC rung reads the
+    /// compact flat statistics vector: its per-channel thermometer encoder
+    /// wants a short, fixed list of scalar channels, not a sequence.
     pub fn for_kind(kind: ClassifierKind) -> Self {
         match kind {
             ClassifierKind::Mlp => FeatureLayout::Flattened,
             ClassifierKind::Cnn => FeatureLayout::Strip,
             ClassifierKind::Lstm => FeatureLayout::Sequence,
+            ClassifierKind::Hdc => FeatureLayout::Flat,
         }
     }
 }
@@ -266,6 +269,10 @@ mod tests {
         assert_eq!(
             FeatureLayout::for_kind(ClassifierKind::Lstm),
             FeatureLayout::Sequence
+        );
+        assert_eq!(
+            FeatureLayout::for_kind(ClassifierKind::Hdc),
+            FeatureLayout::Flat
         );
     }
 

@@ -3,6 +3,7 @@
 use crate::init::{he_uniform, seeded_rng};
 use crate::kernels;
 use crate::layers::{Layer, Param};
+use crate::quant::{quantize_activations_into, Precision, QuantizedTensor};
 use crate::scratch::{Scratch, Shape};
 use crate::{NnError, Tensor};
 
@@ -28,6 +29,9 @@ use crate::{NnError, Tensor};
 pub struct Conv1d {
     weight: Param, // [out_ch, in_ch * k]
     bias: Param,   // [out_ch]
+    /// Int8 weight snapshot; present iff the layer runs the quantized
+    /// scratch path (see [`Layer::set_precision`]).
+    qweight: Option<QuantizedTensor>,
     in_ch: usize,
     out_ch: usize,
     kernel: usize,
@@ -54,6 +58,7 @@ impl Conv1d {
         Ok(Self {
             weight: Param::new(Tensor::from_vec(w, &[out_ch, fan_in])?),
             bias: Param::new(Tensor::zeros(&[out_ch])?),
+            qweight: None,
             in_ch,
             out_ch,
             kernel,
@@ -113,7 +118,7 @@ impl Layer for Conv1d {
         input: &[f32],
         shape: Shape,
         out: &mut Vec<f32>,
-        _scratch: &mut Scratch,
+        scratch: &mut Scratch,
     ) -> Result<Shape, NnError> {
         let dims = shape.as_slice();
         if dims.len() != 2 || dims[0] != self.in_ch || dims[1] < self.kernel {
@@ -126,17 +131,51 @@ impl Layer for Conv1d {
         let t_out = t_in - self.kernel + 1;
         out.clear();
         out.resize(self.out_ch * t_out, 0.0);
-        kernels::conv1d_forward(
-            self.weight.value.data(),
-            self.bias.value.data(),
-            input,
-            self.in_ch,
-            self.out_ch,
-            self.kernel,
-            t_in,
-            out,
-        );
+        if let Some(qw) = &self.qweight {
+            // Fully quantized path: the whole strip quantizes once (one
+            // per-tensor activation scale), then each output position
+            // gathers its [in_ch × k] window contiguously so every filter
+            // reduces to one fused i8 dot.
+            let ick = self.in_ch * self.kernel;
+            let mut qx = scratch.acquire_i8(self.in_ch * t_in);
+            let x_scale = quantize_activations_into(input, &mut qx);
+            let mut window = scratch.acquire_i8(ick);
+            let combined = qw.scale() * x_scale;
+            let values = qw.values();
+            let bias = self.bias.value.data();
+            for t in 0..t_out {
+                for c in 0..self.in_ch {
+                    window[c * self.kernel..(c + 1) * self.kernel]
+                        .copy_from_slice(&qx[c * t_in + t..c * t_in + t + self.kernel]);
+                }
+                for o in 0..self.out_ch {
+                    let row = &values[o * ick..(o + 1) * ick];
+                    out[o * t_out + t] = kernels::dot_i8(row, &window) as f32 * combined + bias[o];
+                }
+            }
+            scratch.release_i8(window);
+            scratch.release_i8(qx);
+        } else {
+            kernels::conv1d_forward(
+                self.weight.value.data(),
+                self.bias.value.data(),
+                input,
+                self.in_ch,
+                self.out_ch,
+                self.kernel,
+                t_in,
+                out,
+            );
+        }
         Ok(Shape::d2(self.out_ch, t_out))
+    }
+
+    fn set_precision(&mut self, precision: Precision) -> Result<(), NnError> {
+        self.qweight = match precision {
+            Precision::F32 => None,
+            Precision::Int8 => Some(QuantizedTensor::quantize(&self.weight.value)),
+        };
+        Ok(())
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
@@ -256,6 +295,25 @@ mod tests {
             .unwrap();
         assert_eq!(shape.as_slice(), y.shape());
         assert_eq!(out, y.data());
+    }
+
+    #[test]
+    fn int8_scratch_path_tracks_f32_within_quant_error() {
+        let mut c = Conv1d::new(2, 3, 3, 17).unwrap();
+        let x: Vec<f32> = (0..22).map(|i| (i as f32 * 0.41).sin()).collect();
+        let mut scratch = Scratch::new();
+        let mut f32_out = Vec::new();
+        c.forward_scratch(&x, Shape::d2(2, 11), &mut f32_out, &mut scratch)
+            .unwrap();
+        c.set_precision(Precision::Int8).unwrap();
+        let mut i8_out = Vec::new();
+        let shape = c
+            .forward_scratch(&x, Shape::d2(2, 11), &mut i8_out, &mut scratch)
+            .unwrap();
+        assert_eq!(shape.as_slice(), &[3, 9]);
+        for (a, b) in f32_out.iter().zip(&i8_out) {
+            assert!((a - b).abs() < 0.05, "{a} vs {b}");
+        }
     }
 
     #[test]

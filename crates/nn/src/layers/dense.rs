@@ -3,6 +3,7 @@
 use crate::init::{he_uniform, seeded_rng};
 use crate::kernels;
 use crate::layers::{Layer, Param};
+use crate::quant::{quantize_activations_into, Precision, QuantizedTensor};
 use crate::scratch::{Scratch, Shape};
 use crate::{NnError, Tensor};
 
@@ -25,6 +26,9 @@ use crate::{NnError, Tensor};
 pub struct Dense {
     weight: Param, // [out, in]
     bias: Param,   // [out]
+    /// Int8 weight snapshot; present iff the layer runs the quantized
+    /// scratch path (see [`Layer::set_precision`]).
+    qweight: Option<QuantizedTensor>,
     input_cache: Option<Tensor>,
 }
 
@@ -47,6 +51,7 @@ impl Dense {
         Ok(Self {
             weight: Param::new(Tensor::from_vec(w, &[out_dim, in_dim])?),
             bias: Param::new(Tensor::zeros(&[out_dim])?),
+            qweight: None,
             input_cache: None,
         })
     }
@@ -83,7 +88,7 @@ impl Layer for Dense {
         input: &[f32],
         shape: Shape,
         out: &mut Vec<f32>,
-        _scratch: &mut Scratch,
+        scratch: &mut Scratch,
     ) -> Result<Shape, NnError> {
         if shape.as_slice() != [self.in_dim()] {
             return Err(NnError::ShapeMismatch {
@@ -94,11 +99,34 @@ impl Layer for Dense {
         let (out_dim, in_dim) = (self.out_dim(), self.in_dim());
         out.clear();
         out.resize(out_dim, 0.0);
-        kernels::gemv(self.weight.value.data(), out_dim, in_dim, input, out);
-        for (yi, bi) in out.iter_mut().zip(self.bias.value.data()) {
-            *yi += bi;
+        if let Some(qw) = &self.qweight {
+            // Fully quantized path: i8 activations, i8×i8→i32 dots, one
+            // rescale per output row. The i8 temporary comes from the
+            // scratch pool, so the pass stays allocation-free once warm.
+            let mut qx = scratch.acquire_i8(in_dim);
+            let x_scale = quantize_activations_into(input, &mut qx);
+            let combined = qw.scale() * x_scale;
+            let values = qw.values();
+            for (r, (yr, &br)) in out.iter_mut().zip(self.bias.value.data()).enumerate() {
+                let row = &values[r * in_dim..(r + 1) * in_dim];
+                *yr = kernels::dot_i8(row, &qx) as f32 * combined + br;
+            }
+            scratch.release_i8(qx);
+        } else {
+            kernels::gemv(self.weight.value.data(), out_dim, in_dim, input, out);
+            for (yi, bi) in out.iter_mut().zip(self.bias.value.data()) {
+                *yi += bi;
+            }
         }
         Ok(Shape::d1(out_dim))
+    }
+
+    fn set_precision(&mut self, precision: Precision) -> Result<(), NnError> {
+        self.qweight = match precision {
+            Precision::F32 => None,
+            Precision::Int8 => Some(QuantizedTensor::quantize(&self.weight.value)),
+        };
+        Ok(())
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
@@ -175,6 +203,29 @@ mod tests {
             .unwrap();
         assert_eq!(shape.as_slice(), y.shape());
         assert_eq!(out, y.data());
+    }
+
+    #[test]
+    fn int8_scratch_path_tracks_f32_within_quant_error() {
+        let mut l = Dense::new(16, 6, 33).unwrap();
+        let x: Vec<f32> = (0..16).map(|i| (i as f32 * 0.61).sin() * 1.4).collect();
+        let mut scratch = Scratch::new();
+        let mut f32_out = Vec::new();
+        l.forward_scratch(&x, Shape::d1(16), &mut f32_out, &mut scratch)
+            .unwrap();
+        l.set_precision(Precision::Int8).unwrap();
+        let mut i8_out = Vec::new();
+        l.forward_scratch(&x, Shape::d1(16), &mut i8_out, &mut scratch)
+            .unwrap();
+        for (a, b) in f32_out.iter().zip(&i8_out) {
+            assert!((a - b).abs() < 0.05, "{a} vs {b}");
+        }
+        // Back to f32 restores the exact float result.
+        l.set_precision(Precision::F32).unwrap();
+        let mut back = Vec::new();
+        l.forward_scratch(&x, Shape::d1(16), &mut back, &mut scratch)
+            .unwrap();
+        assert_eq!(back, f32_out);
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use crate::init::{seeded_rng, xavier_uniform};
 use crate::kernels;
 use crate::layers::{Layer, Param};
+use crate::quant::{quantize_activations_into, Precision, QuantizedTensor};
 use crate::scratch::{Scratch, Shape};
 use crate::{NnError, Tensor};
 
@@ -44,6 +45,11 @@ pub struct Lstm {
     wx: Param,   // [4H, F]
     wh: Param,   // [4H, H]
     bias: Param, // [4H]
+    /// Int8 snapshots of `wx`/`wh`; present iff the layer runs the
+    /// quantized scratch path (see [`Layer::set_precision`]). The gate
+    /// nonlinearities and cell state stay f32.
+    qwx: Option<QuantizedTensor>,
+    qwh: Option<QuantizedTensor>,
     input_dim: usize,
     hidden: usize,
     return_sequences: bool,
@@ -86,6 +92,8 @@ impl Lstm {
             wx: Param::new(Tensor::from_vec(wx, &[4 * hidden, input_dim])?),
             wh: Param::new(Tensor::from_vec(wh, &[4 * hidden, hidden])?),
             bias: Param::new(Tensor::from_vec(bias, &[4 * hidden])?),
+            qwx: None,
+            qwh: None,
             input_dim,
             hidden,
             return_sequences,
@@ -189,19 +197,46 @@ impl Layer for Lstm {
             });
         }
         let (t_len, h, f_dim) = (dims[0], self.hidden, self.input_dim);
+        let quantized = self.qwx.is_some();
         let mut z = scratch.acquire(4 * h);
         let mut zh = scratch.acquire(4 * h);
         let mut h_prev = scratch.acquire(h);
         let mut c_prev = scratch.acquire(h);
+        // Int8 temporaries live in the separate i8 pool so they never
+        // steal the f32 buffers above; the f32 path touches neither.
+        let (mut qx, mut qh) = if quantized {
+            (scratch.acquire_i8(f_dim), scratch.acquire_i8(h))
+        } else {
+            (Vec::new(), Vec::new())
+        };
         out.clear();
         out.resize(if self.return_sequences { t_len * h } else { h }, 0.0);
 
         for t in 0..t_len {
             let x = &input[t * f_dim..(t + 1) * f_dim];
-            kernels::gemv(self.wx.value.data(), 4 * h, f_dim, x, &mut z);
-            kernels::gemv(self.wh.value.data(), 4 * h, h, &h_prev, &mut zh);
-            for ((zi, &zhi), &bi) in z.iter_mut().zip(zh.iter()).zip(self.bias.value.data()) {
-                *zi += zhi + bi;
+            if let (Some(qwx), Some(qwh)) = (&self.qwx, &self.qwh) {
+                // Quantized gate pre-activations: x_t and h_{t-1} each
+                // quantize per step (their own scale), gates accumulate
+                // in i32 and rescale once per row.
+                let x_scale = quantize_activations_into(x, &mut qx);
+                let h_scale = quantize_activations_into(&h_prev, &mut qh);
+                let cx = qwx.scale() * x_scale;
+                let ch = qwh.scale() * h_scale;
+                let (vx, vh) = (qwx.values(), qwh.values());
+                for (r, zr) in z.iter_mut().enumerate() {
+                    let dot_x = kernels::dot_i8(&vx[r * f_dim..(r + 1) * f_dim], &qx);
+                    let dot_h = kernels::dot_i8(&vh[r * h..(r + 1) * h], &qh);
+                    *zr = dot_x as f32 * cx + dot_h as f32 * ch;
+                }
+                for (zi, &bi) in z.iter_mut().zip(self.bias.value.data()) {
+                    *zi += bi;
+                }
+            } else {
+                kernels::gemv(self.wx.value.data(), 4 * h, f_dim, x, &mut z);
+                kernels::gemv(self.wh.value.data(), 4 * h, h, &h_prev, &mut zh);
+                for ((zi, &zhi), &bi) in z.iter_mut().zip(zh.iter()).zip(self.bias.value.data()) {
+                    *zi += zhi + bi;
+                }
             }
             for j in 0..h {
                 let i_gate = sigmoid(z[j]);
@@ -219,6 +254,10 @@ impl Layer for Lstm {
         if !self.return_sequences {
             out.copy_from_slice(&h_prev);
         }
+        if quantized {
+            scratch.release_i8(qx);
+            scratch.release_i8(qh);
+        }
         scratch.release(z);
         scratch.release(zh);
         scratch.release(h_prev);
@@ -228,6 +267,20 @@ impl Layer for Lstm {
         } else {
             Shape::d1(h)
         })
+    }
+
+    fn set_precision(&mut self, precision: Precision) -> Result<(), NnError> {
+        match precision {
+            Precision::F32 => {
+                self.qwx = None;
+                self.qwh = None;
+            }
+            Precision::Int8 => {
+                self.qwx = Some(QuantizedTensor::quantize(&self.wx.value));
+                self.qwh = Some(QuantizedTensor::quantize(&self.wh.value));
+            }
+        }
+        Ok(())
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {

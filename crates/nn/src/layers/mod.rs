@@ -25,6 +25,7 @@ pub use lstm::Lstm;
 pub use param::Param;
 pub use pool::MaxPool1d;
 
+use crate::quant::Precision;
 use crate::scratch::{Scratch, Shape};
 use crate::{NnError, Tensor};
 
@@ -80,6 +81,23 @@ pub trait Layer: std::fmt::Debug + Send {
         out.clear();
         out.extend_from_slice(y.data());
         Ok(out_shape)
+    }
+
+    /// Switches the numeric precision of [`Layer::forward_scratch`].
+    /// Weighted layers (`Dense`, `Conv1d`, `Lstm`) snapshot per-tensor
+    /// int8 copies of their weights on [`Precision::Int8`] (and drop them
+    /// on [`Precision::F32`]); the snapshot reflects the weights at call
+    /// time, so re-call after mutating parameters. Parameter-free layers
+    /// ignore the call — activations between quantized layers stay f32.
+    /// The tensor-path `forward`/`backward` always run in f32.
+    ///
+    /// # Errors
+    ///
+    /// The default implementation is infallible; implementations may
+    /// propagate shape errors from weight snapshotting.
+    fn set_precision(&mut self, precision: Precision) -> Result<(), NnError> {
+        let _ = precision;
+        Ok(())
     }
 
     /// Mutable access to the trainable parameters (empty for stateless

@@ -20,7 +20,11 @@
 //! * [`optim`] — SGD with momentum and Adam,
 //! * [`train`] — a minibatch training loop with shuffling,
 //! * [`quant`] — per-tensor affine int8 weight quantization and a quantized
-//!   inference path (for the Fig. 3(c)/(d) experiments),
+//!   inference path (for the Fig. 3(c)/(d) experiments), selectable at run
+//!   time per model via [`Sequential::set_precision`],
+//! * [`hdc`] — a hyperdimensional-computing affect classifier (binary
+//!   hypervectors, XOR bind / majority bundle, Hamming lookup) that forms
+//!   the integer-only bottom rung of the runtime degradation ladder,
 //! * [`metrics`] — accuracy and confusion matrices (Fig. 3(a)).
 //!
 //! # Example
@@ -65,6 +69,7 @@
 #![warn(missing_docs)]
 
 pub mod error;
+pub mod hdc;
 pub mod init;
 pub mod kernels;
 pub mod layers;
@@ -80,5 +85,6 @@ pub mod train;
 
 pub use error::NnError;
 pub use model::Sequential;
+pub use quant::Precision;
 pub use scratch::{Scratch, Shape};
 pub use tensor::Tensor;

@@ -2,6 +2,7 @@
 
 use crate::layers::{Layer, Param};
 use crate::loss::{cross_entropy, softmax, softmax_in_place};
+use crate::quant::Precision;
 use crate::scratch::{Scratch, Shape};
 use crate::{NnError, Tensor};
 
@@ -25,17 +26,59 @@ use crate::{NnError, Tensor};
 #[derive(Debug, Default)]
 pub struct Sequential {
     layers: Vec<Box<dyn Layer>>,
+    precision: Precision,
 }
 
 impl Sequential {
     /// Creates an empty model.
     pub fn new() -> Self {
-        Self { layers: Vec::new() }
+        Self::default()
     }
 
     /// Appends a layer to the stack.
+    ///
+    /// The new layer joins at the model's current [`Sequential::precision`]
+    /// so late pushes cannot silently mix numeric paths.
     pub fn push<L: Layer + 'static>(&mut self, layer: L) {
-        self.layers.push(Box::new(layer));
+        let mut boxed: Box<dyn Layer> = Box::new(layer);
+        if self.precision != Precision::F32 {
+            // Freshly constructed layers are f32; mirror the model setting.
+            // Snapshotting a just-built layer cannot fail.
+            let _ = boxed.set_precision(self.precision);
+        }
+        self.layers.push(boxed);
+    }
+
+    /// Switches the inference precision of the scratch path
+    /// ([`Sequential::forward_with`] / [`Sequential::predict_proba_with`]).
+    ///
+    /// [`Precision::Int8`] makes every weighted layer snapshot a per-tensor
+    /// int8 copy of its weights and run `i8×i8→i32` dot products with one
+    /// f32 rescale per output; [`Precision::F32`] drops the snapshots and
+    /// restores the bit-exact float path. Training and the tensor-path
+    /// `forward` always run in f32 — re-call this after `fit`/optimizer
+    /// steps to refresh stale snapshots.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer errors; on error the model is left in f32.
+    pub fn set_precision(&mut self, precision: Precision) -> Result<(), NnError> {
+        for layer in &mut self.layers {
+            if let Err(e) = layer.set_precision(precision) {
+                for l in &mut self.layers {
+                    let _ = l.set_precision(Precision::F32);
+                }
+                self.precision = Precision::F32;
+                return Err(e);
+            }
+        }
+        self.precision = precision;
+        Ok(())
+    }
+
+    /// Current inference precision of the scratch path.
+    pub fn precision(&self) -> Precision {
+        self.precision
     }
 
     /// Number of layers.
@@ -338,6 +381,50 @@ mod tests {
         let (shape, out) = m.forward_with(x.data(), x.shape(), &mut scratch).unwrap();
         assert_eq!(shape.as_slice(), expected.shape());
         assert_eq!(out, expected.data());
+    }
+
+    #[test]
+    fn set_precision_switches_scratch_path_and_back() {
+        use crate::quant::Precision;
+        let mut m = tiny_model();
+        let x = [0.5f32, -0.5, 1.0];
+        let mut scratch = Scratch::new();
+        let f32_out = {
+            let (_, out) = m.forward_with(&x, &[3], &mut scratch).unwrap();
+            out.to_vec()
+        };
+        m.set_precision(Precision::Int8).unwrap();
+        assert_eq!(m.precision(), Precision::Int8);
+        let i8_out = {
+            let (_, out) = m.forward_with(&x, &[3], &mut scratch).unwrap();
+            out.to_vec()
+        };
+        for (a, b) in f32_out.iter().zip(&i8_out) {
+            assert!((a - b).abs() < 0.1, "{a} vs {b}");
+        }
+        m.set_precision(Precision::F32).unwrap();
+        let (_, back) = m.forward_with(&x, &[3], &mut scratch).unwrap();
+        assert_eq!(back, f32_out.as_slice());
+    }
+
+    #[test]
+    fn push_after_set_precision_quantizes_new_layer() {
+        use crate::quant::Precision;
+        let mut m = Sequential::new();
+        m.push(Dense::new(3, 4, 1).unwrap());
+        m.set_precision(Precision::Int8).unwrap();
+        m.push(Dense::new(4, 2, 2).unwrap());
+        // A reference model quantized after both pushes must agree exactly:
+        // both snapshots come from identical (untrained) weights.
+        let mut r = Sequential::new();
+        r.push(Dense::new(3, 4, 1).unwrap());
+        r.push(Dense::new(4, 2, 2).unwrap());
+        r.set_precision(Precision::Int8).unwrap();
+        let x = [0.5f32, -0.5, 1.0];
+        let mut scratch = Scratch::new();
+        let a = m.forward_with(&x, &[3], &mut scratch).unwrap().1.to_vec();
+        let b = r.forward_with(&x, &[3], &mut scratch).unwrap().1.to_vec();
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -11,6 +11,35 @@ use crate::kernels;
 use crate::model::Sequential;
 use crate::{NnError, Tensor};
 
+/// Numeric precision of the scratch-path forward pass.
+///
+/// [`crate::Sequential::set_precision`] switches every weighted layer
+/// (`Dense`, `Conv1d`, `Lstm`) between the float path and the fully
+/// quantized int8 path; parameter-free layers (activations, pooling,
+/// flatten) always operate on the f32 activations between them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Precision {
+    /// Full float32 inference (the default).
+    #[default]
+    F32,
+    /// Fully quantized int8 inference: weights snapshotted per-tensor
+    /// symmetric (`scale = max|w| / 127`), activations quantized per
+    /// vector on the fly, every multiply-accumulate in i8×i8→i32 via
+    /// [`kernels::dot_i8`].
+    Int8,
+}
+
+impl Precision {
+    /// Short lowercase label (`"f32"` / `"i8"`), used in bench tables and
+    /// metric labels.
+    pub fn label(self) -> &'static str {
+        match self {
+            Precision::F32 => "f32",
+            Precision::Int8 => "i8",
+        }
+    }
+}
+
 /// An int8-quantized tensor with its per-tensor scale.
 ///
 /// # Example

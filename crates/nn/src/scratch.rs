@@ -84,9 +84,18 @@ impl Shape {
 /// to the pool. Buffer capacities only ever grow, so after a few warm-up
 /// passes through a fixed model the pool reaches a fixed point and no call
 /// allocates.
+///
+/// Int8 inference temporaries live in a **separate** `i8` pool
+/// ([`Scratch::acquire_i8`]/[`Scratch::release_i8`]): quantized activation
+/// buffers are typically much smaller than the f32 activations, and letting
+/// them compete in one best-fit pool would steal the tight-fitting f32
+/// buffers and re-grow them every window. Keeping the element types apart
+/// makes mixed f32/i8 sessions reach the same zero-allocation fixed point
+/// as pure-f32 ones (verified by `crates/alloc-counter`).
 #[derive(Debug, Default)]
 pub struct Scratch {
     pool: Vec<Vec<f32>>,
+    pool_i8: Vec<Vec<i8>>,
     out: Vec<f32>,
     alloc_events: u64,
     reuse_events: u64,
@@ -125,6 +134,39 @@ impl Scratch {
     /// Returns a buffer to the pool for later reuse.
     pub fn release(&mut self, buf: Vec<f32>) {
         self.pool.push(buf);
+    }
+
+    /// Borrows a zeroed `i8` buffer of exactly `len` elements from the
+    /// int8 pool, preferring the smallest pooled buffer that already has
+    /// the capacity. Same best-fit discipline (and the same alloc/reuse
+    /// counters) as [`Scratch::acquire`], but over a pool that never mixes
+    /// with the f32 buffers.
+    pub fn acquire_i8(&mut self, len: usize) -> Vec<i8> {
+        let mut best: Option<usize> = None;
+        for (i, b) in self.pool_i8.iter().enumerate() {
+            if b.capacity() >= len && best.is_none_or(|j| b.capacity() < self.pool_i8[j].capacity())
+            {
+                best = Some(i);
+            }
+        }
+        match best {
+            Some(i) => {
+                self.reuse_events += 1;
+                let mut v = self.pool_i8.swap_remove(i);
+                v.clear();
+                v.resize(len, 0);
+                v
+            }
+            None => {
+                self.alloc_events += 1;
+                vec![0; len]
+            }
+        }
+    }
+
+    /// Returns an `i8` buffer to the int8 pool for later reuse.
+    pub fn release_i8(&mut self, buf: Vec<i8>) {
+        self.pool_i8.push(buf);
     }
 
     /// Installs `v` as the output slot, recycling the previous output into
@@ -202,6 +244,53 @@ mod tests {
         s.release(got);
         let got = s.acquire(32);
         assert!(got.capacity() >= 64, "only the big buffer fits");
+    }
+
+    #[test]
+    fn i8_pool_is_disjoint_from_f32_pool() {
+        let mut s = Scratch::new();
+        // Seed the f32 pool with a tight-fitting buffer.
+        let f = s.acquire(64);
+        s.release(f);
+        s.reset_counters();
+        // i8 acquires must not consume (or re-grow) the f32 buffer.
+        let q = s.acquire_i8(64);
+        assert_eq!(s.alloc_events(), 1, "first i8 acquire is a fresh buffer");
+        s.release_i8(q);
+        let q = s.acquire_i8(32);
+        assert_eq!(s.reuse_events(), 1, "second i8 acquire reuses the i8 pool");
+        assert!(q.iter().all(|&x| x == 0));
+        s.release_i8(q);
+        // The f32 buffer is still there, untouched by the i8 traffic.
+        s.reset_counters();
+        let f = s.acquire(64);
+        assert_eq!(s.alloc_events(), 0);
+        assert_eq!(s.reuse_events(), 1);
+        s.release(f);
+    }
+
+    #[test]
+    fn mixed_f32_i8_reaches_alloc_free_fixed_point() {
+        let mut s = Scratch::new();
+        for _ in 0..3 {
+            let a = s.acquire(48);
+            let q = s.acquire_i8(48);
+            let b = s.acquire(26);
+            s.release(a);
+            s.release_i8(q);
+            s.release(b);
+        }
+        s.reset_counters();
+        for _ in 0..10 {
+            let a = s.acquire(48);
+            let q = s.acquire_i8(48);
+            let b = s.acquire(26);
+            s.release(a);
+            s.release_i8(q);
+            s.release(b);
+        }
+        assert_eq!(s.alloc_events(), 0);
+        assert_eq!(s.reuse_events(), 30);
     }
 
     #[test]

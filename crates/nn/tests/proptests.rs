@@ -1,11 +1,12 @@
 //! Property-based tests for the NN crate's core invariants.
 
+use nn::hdc::{HdcClassifier, HdcConfig};
 use nn::kernels;
 use nn::layers::{Activation, Conv1d, Dense, Flatten, Layer, Lstm, MaxPool1d};
 use nn::loss::{cross_entropy, softmax};
 use nn::quant::QuantizedTensor;
 use nn::serialize::{load_weights, save_weights};
-use nn::{Scratch, Sequential, Tensor};
+use nn::{Precision, Scratch, Sequential, Tensor};
 use proptest::prelude::*;
 
 /// Reference row-major matrix-vector product, the pre-kernel arithmetic
@@ -176,5 +177,102 @@ proptest! {
         prop_assert!(once.data().iter().all(|&v| v >= 0.0));
         let twice = relu.forward(&once, false).unwrap();
         prop_assert_eq!(once, twice);
+    }
+
+    /// The unrolled i8×i8→i32 dot kernel agrees exactly with the scalar
+    /// accumulation for every length, including ragged tails.
+    #[test]
+    fn dot_i8_matches_scalar_exactly(
+        a in prop::collection::vec(-128i8..=127, 0..64),
+        seed in 0u64..1000,
+    ) {
+        let mut s = seed;
+        let b: Vec<i8> = (0..a.len())
+            .map(|_| {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (s >> 56) as i8
+            })
+            .collect();
+        let reference: i32 = a.iter().zip(&b).map(|(&x, &y)| i32::from(x) * i32::from(y)).sum();
+        prop_assert_eq!(kernels::dot_i8(&a, &b), reference);
+    }
+
+    /// Two HDC classifiers built from the same config are identical
+    /// functions: same encodings, same predictions, same probabilities —
+    /// the item memory is a pure function of the seed.
+    #[test]
+    fn hdc_seed_determinism(
+        seed in 0u64..500,
+        values in prop::collection::vec(-2.0f32..2.0, 6),
+    ) {
+        let config = HdcConfig::new(6, 3, seed).unwrap();
+        let mut a = HdcClassifier::new(config).unwrap();
+        let mut b = HdcClassifier::new(config).unwrap();
+        prop_assert_eq!(a.encode(&values).unwrap(), b.encode(&values).unwrap());
+        let (mut pa, mut pb) = (Vec::new(), Vec::new());
+        let ca = a.classify_into(&values, &mut pa).unwrap();
+        let cb = b.classify_into(&values, &mut pb).unwrap();
+        prop_assert_eq!(ca, cb);
+        prop_assert_eq!(pa, pb);
+    }
+
+    /// Bundling is commutative: fitting on a rotated sample order yields
+    /// bit-identical prototypes, so training is order-invariant.
+    #[test]
+    fn hdc_fit_is_permutation_stable(seed in 0u64..200, rotate in 1usize..11) {
+        let xs: Vec<Tensor> = (0..12)
+            .map(|i| {
+                let v: Vec<f32> = (0..5)
+                    .map(|c| (((i * 5 + c) as f32) * 0.37 + seed as f32).sin())
+                    .collect();
+                Tensor::from_vec(v, &[5]).unwrap()
+            })
+            .collect();
+        let ys: Vec<usize> = (0..12).map(|i| i % 3).collect();
+        let mut rotated_x = xs.clone();
+        let mut rotated_y = ys.clone();
+        rotated_x.rotate_left(rotate);
+        rotated_y.rotate_left(rotate);
+        let mut a = HdcClassifier::new(HdcConfig::new(5, 3, seed).unwrap()).unwrap();
+        let mut b = HdcClassifier::new(HdcConfig::new(5, 3, seed).unwrap()).unwrap();
+        a.fit(&xs, &ys).unwrap();
+        b.fit(&rotated_x, &rotated_y).unwrap();
+        for class in 0..3 {
+            prop_assert_eq!(a.prototype(class), b.prototype(class));
+        }
+        for x in &xs {
+            prop_assert_eq!(a.predict(x.data()).unwrap(), b.predict(x.data()).unwrap());
+        }
+    }
+
+    /// Switching a model to int8 perturbs the scratch-path output only
+    /// within the quantization error budget, and switching back restores
+    /// the f32 result bit-for-bit.
+    #[test]
+    fn int8_forward_stays_near_f32(hidden in 1usize..12, seed in 0u64..200) {
+        let mut model = Sequential::new();
+        model.push(Dense::new(6, hidden, seed).unwrap());
+        model.push(Activation::relu());
+        model.push(Dense::new(hidden, 4, seed + 1).unwrap());
+        let input: Vec<f32> = (0..6).map(|i| ((i as f32) - 2.5) * 0.4).collect();
+        let mut scratch = Scratch::new();
+        let f32_out: Vec<f32> = {
+            let (_, out) = model.forward_with(&input, &[6], &mut scratch).unwrap();
+            out.to_vec()
+        };
+        model.set_precision(Precision::Int8).unwrap();
+        {
+            let (shape, out) = model.forward_with(&input, &[6], &mut scratch).unwrap();
+            prop_assert_eq!(shape.as_slice(), &[4usize][..]);
+            for (q, f) in out.iter().zip(&f32_out) {
+                prop_assert!(
+                    (q - f).abs() <= 0.1 * (1.0 + f.abs()),
+                    "int8 {} strayed from f32 {}", q, f
+                );
+            }
+        }
+        model.set_precision(Precision::F32).unwrap();
+        let (_, out) = model.forward_with(&input, &[6], &mut scratch).unwrap();
+        prop_assert_eq!(out, &f32_out[..]);
     }
 }

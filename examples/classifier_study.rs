@@ -84,6 +84,9 @@ mod bench_harness {
                 ClassifierKind::Lstm => {
                     ModelConfig::scaled_lstm(train_x[0].shape()[1], spec.emotions.len())
                 }
+                ClassifierKind::Hdc => {
+                    return Err("HDC is not part of the gradient-trained study".into())
+                }
             };
             let mut model = model_cfg.build(cfg.seed)?;
             let mut optimizer = Adam::new(0.004);
@@ -152,7 +155,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "corpus", "model", "float", "int8", "params"
     );
     for spec in CorpusSpec::paper_corpora() {
-        for kind in ClassifierKind::ALL {
+        for kind in ClassifierKind::NEURAL {
             let cell = evaluate_classifier(kind, &spec, &cfg)?;
             println!(
                 "{:<14} {:<6} {:>8.1}% {:>8.1}% {:>9}",

@@ -43,7 +43,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut classifier = AffectClassifier::from_config(&config, spec.label_names(), 42)?;
     let mut optimizer = Adam::new(0.01);
     fit(
-        classifier.model_mut(),
+        classifier.model_mut().expect("neural classifier"),
         &xs,
         &ys,
         &mut optimizer,
@@ -57,7 +57,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "trained {} ({} parameters)\n",
         ClassifierKind::Lstm,
-        classifier.model().param_count()
+        classifier.model().expect("neural classifier").param_count()
     );
 
     // 2. Classify a few windows and feed the controller.

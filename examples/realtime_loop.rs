@@ -222,6 +222,108 @@ fn run_chaos(seed: u64, stream_chunk: Option<usize>) -> Result<(), Box<dyn std::
         );
     }
 
+    // Phase 1b: a deterministic walk down the whole degradation ladder
+    // (LSTM → CNN → MLP → HDC) and back up. A gate actuator advances the
+    // virtual clock past the deadline *while each window is in flight*, so
+    // every processed window misses; with `miss_streak: 1` each miss takes
+    // one rung. Releasing the gate makes every window on-time and the
+    // session climbs back. The session runs int8, so the walk also proves
+    // the quantized path live (`docs/DEGRADATION.md`, `docs/QUANTIZATION.md`).
+    {
+        use affectsys::core::classifier::ClassifierKind;
+        use affectsys::nn::Precision;
+        use std::sync::atomic::{AtomicBool, Ordering};
+
+        struct GateActuator {
+            clock: Arc<VirtualClock>,
+            stall: Arc<AtomicBool>,
+            stall_ns: u64,
+        }
+        impl affectsys::rt::Actuator for GateActuator {
+            fn actuate(&mut self, _event: ControlEvent, _now_nanos: u64) {}
+            fn on_window(&mut self, _seq: u64) {
+                if self.stall.load(Ordering::SeqCst) {
+                    self.clock.advance(self.stall_ns);
+                }
+            }
+        }
+
+        let ladder_config = RuntimeConfig {
+            feature: FeatureConfig {
+                frame_len: 256,
+                hop: 128,
+                n_mfcc: 8,
+                n_mels: 20,
+                ..FeatureConfig::default()
+            },
+            window_samples: WINDOW_SAMPLES,
+            workers: 1,
+            miss_streak: 1,
+            ok_streak: 1,
+            ..RuntimeConfig::default()
+        };
+        let deadline = ladder_config.deadline_ns;
+        let ladder_registry = Arc::new(MetricsRegistry::new());
+        let ladder_clock = Arc::new(VirtualClock::new());
+        let stall = Arc::new(AtomicBool::new(true));
+        let mut builder = RuntimeBuilder::new(ladder_config)?
+            .metrics(Arc::clone(&ladder_registry))
+            .clock(Arc::clone(&ladder_clock) as _);
+        let session = builder.add_session_with_precision(
+            Box::new(GateActuator {
+                clock: Arc::clone(&ladder_clock),
+                stall: Arc::clone(&stall),
+                stall_ns: 2 * deadline,
+            }),
+            ClassifierKind::Lstm,
+            Precision::Int8,
+        );
+        let ladder = builder.start()?;
+
+        println!("\nladder walk (int8 session, gate holds every window past the deadline):");
+        for w in 0..13u64 {
+            if w == 8 {
+                stall.store(false, Ordering::SeqCst);
+                println!("  -- gate released, windows run on time again --");
+            }
+            let window: Vec<f32> = (0..WINDOW_SAMPLES)
+                .map(|n| ((n as f32) * 0.017).sin() * 0.3)
+                .collect();
+            ladder.submit(session, window);
+            ladder.wait_idle();
+            println!(
+                "  window {:2}: family {:4}, interval {}",
+                w,
+                ladder.session_family(session).to_string(),
+                ladder.session_interval(session)
+            );
+        }
+        assert_eq!(
+            ladder.session_family(session),
+            ClassifierKind::Lstm,
+            "full recovery"
+        );
+        assert_eq!(ladder.session_interval(session), 1);
+        let ladder_report = ladder.shutdown().report;
+        let s = &ladder_report.sessions[0];
+        assert!(s.accounted(), "ladder window lost silently");
+        println!(
+            "  ledger: {} produced, {} processed, {} decimated, {} misses, \
+             {} degradations, {} recoveries",
+            s.produced, s.processed, s.dropped, s.deadline_misses, s.degradations, s.recoveries
+        );
+        println!("  per-family classify counters:");
+        let rendered = affectsys::obs::render_prometheus(&ladder_registry);
+        for line in rendered.lines() {
+            if !line.starts_with('#')
+                && (line.starts_with("affect_rt_classify_family_total")
+                    || line.starts_with("affect_rt_classify_int8_windows_total"))
+            {
+                println!("    {line}");
+            }
+        }
+    }
+
     // Phase 2: seeded bitstream chaos through the resilient decoder.
     let clip = synthetic_clip(48, 48, 12, 5)?;
     let encoder = Encoder::new(EncoderConfig {

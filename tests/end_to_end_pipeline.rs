@@ -36,7 +36,7 @@ fn synthetic_voice_trains_a_working_classifier() {
     let mut clf = AffectClassifier::from_config(&config, spec.label_names(), 11).unwrap();
     let mut opt = Adam::new(0.01);
     fit(
-        clf.model_mut(),
+        clf.model_mut().expect("neural classifier"),
         &xs,
         &ys,
         &mut opt,
