@@ -22,15 +22,20 @@
 //!   dropouts, rail saturation, NaN bursts.
 //! * [`nal`] — deterministic bitstream corruption for Annex-B H.264
 //!   streams: bit-flips and truncation.
+//! * [`mem`] — seed-pure phantom memory charges that walk a runtime's
+//!   [`MemoryBudget`](affect_rt::MemoryBudget) through all four pressure
+//!   bands on a deterministic staircase.
 
 #![warn(missing_docs)]
 
 pub mod hook;
+pub mod mem;
 pub mod nal;
 pub mod plan;
 pub mod sensor;
 
 pub use hook::{InjectionReport, RtFaultHook};
+pub use mem::{MemPressurePlan, SITE_MEM};
 pub use nal::{
     corrupt_annex_b, corrupt_annex_b_from, NalCorruption, NalFaultConfig, WireCorruptor,
 };

@@ -18,7 +18,16 @@
 //! - **Pressure shedding** — each submit consults the owning shard's
 //!   ingest fill and sheds `BestEffort` (then `Standard`) windows before
 //!   the queue's overflow policy would evict blindly. Shed windows are
-//!   tallied per tier so `offered == submitted + shed` always holds.
+//!   tallied per tier so `offered == submitted + shed + evicted` always
+//!   holds.
+//! - **Memory-pressure eviction** — [`Fleet::enforce_pressure`] reads each
+//!   shard's [`affect_rt::MemoryBudget`] band: at `Red` it evicts
+//!   `BestEffort` sessions (ascending global id), at `Critical` it evicts
+//!   `Standard` sessions too; `Critical`-tier sessions are never evicted.
+//!   When a shard returns to `Green` its evicted sessions are readmitted
+//!   in the same deterministic order. A submit against an evicted session
+//!   bounces cleanly (tallied per tier as `evicted`) without ever being
+//!   produced, so both accounting invariants hold mid-eviction.
 //! - **Aggregation** — shutdown merges every shard's [`RuntimeReport`]
 //!   (histograms bucket-wise, counters summed) after remapping
 //!   shard-local session ids onto the fleet's global id space.
@@ -29,7 +38,8 @@ use std::sync::Arc;
 use affect_core::AffectError;
 use affect_obs::MetricsRegistry;
 use affect_rt::{
-    Actuator, Clock, FaultHook, Runtime, RuntimeBuilder, RuntimeConfig, RuntimeReport, SessionId,
+    Actuator, Clock, FaultHook, MemoryBudget, PressureBand, Runtime, RuntimeBuilder, RuntimeConfig,
+    RuntimeReport, SessionId,
 };
 
 use crate::metrics::FleetMetrics;
@@ -258,6 +268,9 @@ impl FleetBuilder {
             offered: AtomicPerTier::default(),
             submitted: AtomicPerTier::default(),
             shed: AtomicPerTier::default(),
+            evicted: AtomicPerTier::default(),
+            sessions_evicted: AtomicPerTier::default(),
+            sessions_readmitted: AtomicPerTier::default(),
             metrics,
         })
     }
@@ -276,6 +289,9 @@ pub struct Fleet {
     offered: AtomicPerTier,
     submitted: AtomicPerTier,
     shed: AtomicPerTier,
+    evicted: AtomicPerTier,
+    sessions_evicted: AtomicPerTier,
+    sessions_readmitted: AtomicPerTier,
     metrics: Option<FleetMetrics>,
 }
 
@@ -288,6 +304,10 @@ pub enum SubmitOutcome {
     Submitted,
     /// QoS pressure control shed the window before it reached the shard.
     Shed,
+    /// The session is currently evicted by the memory-pressure governor;
+    /// the window bounced before it was produced, so the session's
+    /// accounting stayed frozen exactly where eviction left it.
+    Evicted,
 }
 
 impl Fleet {
@@ -308,15 +328,24 @@ impl Fleet {
 
     /// Offers one window for `session`. Under ingest pressure on the
     /// owning shard, `BestEffort` windows are shed first and `Standard`
-    /// next; `Critical` windows always go through to the runtime. Either
-    /// way the window is tallied: `offered == submitted + shed` per tier,
-    /// always.
+    /// next; `Critical` windows always go through to the runtime. Windows
+    /// for a session the memory-pressure governor has evicted bounce
+    /// before they are produced. Either way the window is tallied:
+    /// `offered == submitted + shed + evicted` per tier, always.
     pub fn submit(&self, session: FleetSessionId, samples: Vec<f32>) -> SubmitOutcome {
         let tier = session.tier;
         self.offered.inc(tier);
         let runtime = self.shards[session.shard.index()]
             .as_ref()
             .expect("session routed to an empty shard");
+        if runtime.session_evicted(session.local) {
+            self.evicted.inc(tier);
+            if let Some(m) = &self.metrics {
+                m.tier(tier).offered.inc();
+                m.tier(tier).windows_evicted.inc();
+            }
+            return SubmitOutcome::Evicted;
+        }
         if self
             .admission
             .should_shed(tier, runtime.ingest_depth(), runtime.ingest_capacity())
@@ -328,13 +357,99 @@ impl Fleet {
             }
             return SubmitOutcome::Shed;
         }
-        runtime.submit(session.local, samples);
+        if !runtime.submit(session.local, samples) && runtime.session_evicted(session.local) {
+            // The governor evicted the session between the pre-check and
+            // the submit: the runtime refused the window before producing
+            // it, so it belongs in the evicted ledger, not submitted.
+            self.evicted.inc(tier);
+            if let Some(m) = &self.metrics {
+                m.tier(tier).offered.inc();
+                m.tier(tier).windows_evicted.inc();
+            }
+            return SubmitOutcome::Evicted;
+        }
         self.submitted.inc(tier);
         if let Some(m) = &self.metrics {
             m.tier(tier).offered.inc();
             m.tier(tier).submitted.inc();
         }
         SubmitOutcome::Submitted
+    }
+
+    /// Runs one pass of the memory-pressure eviction governor and returns
+    /// the worst pressure band seen across shards.
+    ///
+    /// Per shard, the shard's [`affect_rt::MemoryBudget`] band (recomputed
+    /// from live usage) dictates the response:
+    ///
+    /// - `Red` — every `BestEffort` session on the shard is evicted, in
+    ///   ascending global-id order.
+    /// - `Critical` — `Standard` sessions are evicted too (`BestEffort`
+    ///   first, then `Standard`, each in ascending global-id order).
+    ///   `Critical`-tier sessions are *never* evicted.
+    /// - `Green` — previously evicted sessions are readmitted in ascending
+    ///   global-id order.
+    ///
+    /// Each eviction blocks until the session's in-flight windows drain
+    /// ([`affect_rt::Runtime::remove_session`]), so the session's
+    /// accounting is frozen exactly (`produced == processed + dropped`)
+    /// the moment this returns. The pass is deterministic: the same band
+    /// sequence against the same session set always evicts and readmits
+    /// in the same order. Call it from the fleet's control plane at
+    /// whatever cadence suits the deployment (the chaos driver ticks it
+    /// once per submitted window).
+    pub fn enforce_pressure(&self) -> PressureBand {
+        let mut worst = PressureBand::Green;
+        for (i, runtime) in self.shards.iter().enumerate() {
+            let Some(runtime) = runtime else { continue };
+            let band = runtime.memory_budget().refresh();
+            worst = worst.max(band);
+            if band >= PressureBand::Red {
+                // BestEffort goes first; Standard only at Critical. The
+                // outer tier loop keeps the order deterministic even when
+                // both tiers go in one pass.
+                for tier in [QosTier::BestEffort, QosTier::Standard] {
+                    if tier == QosTier::Standard && band < PressureBand::Critical {
+                        continue;
+                    }
+                    for session in self.sessions.iter() {
+                        if session.shard.index() != i || session.tier != tier {
+                            continue;
+                        }
+                        if runtime.remove_session(session.local) {
+                            self.sessions_evicted.inc(tier);
+                            if let Some(m) = &self.metrics {
+                                m.tier(tier).sessions_evicted.inc();
+                                m.tier(tier).sessions.add(-1);
+                            }
+                        }
+                    }
+                }
+            } else if band == PressureBand::Green {
+                for session in self.sessions.iter() {
+                    if session.shard.index() != i {
+                        continue;
+                    }
+                    if runtime.readmit_session(session.local) {
+                        self.sessions_readmitted.inc(session.tier);
+                        if let Some(m) = &self.metrics {
+                            m.tier(session.tier).sessions_readmitted.inc();
+                            m.tier(session.tier).sessions.add(1);
+                        }
+                    }
+                }
+            }
+        }
+        worst
+    }
+
+    /// The memory budget of one shard's runtime, or `None` for a shard
+    /// the router left empty. A control plane uses this to re-target
+    /// budgets at runtime ([`MemoryBudget::set_budget_bytes`]) or to read
+    /// usage before calling [`Fleet::enforce_pressure`]; a chaos harness
+    /// injects phantom charges through the same handle.
+    pub fn shard_budget(&self, shard: usize) -> Option<&Arc<MemoryBudget>> {
+        self.shards.get(shard)?.as_ref().map(Runtime::memory_budget)
     }
 
     /// Deepest ingest backlog across shards (pressure diagnostics).
@@ -373,6 +488,9 @@ impl Fleet {
             offered: self.offered.snapshot(),
             submitted: self.submitted.snapshot(),
             shed: self.shed.snapshot(),
+            evicted: self.evicted.snapshot(),
+            sessions_evicted: self.sessions_evicted.snapshot(),
+            sessions_readmitted: self.sessions_readmitted.snapshot(),
         };
         FleetReport::new(shard_reports, admission)
     }
@@ -501,5 +619,79 @@ mod tests {
         };
         assert_eq!(family_of(best.global), ClassifierKind::Mlp);
         assert_eq!(family_of(crit.global), ClassifierKind::Lstm);
+    }
+
+    #[test]
+    fn pressure_evicts_low_tiers_first_and_readmits_on_green() {
+        let config = FleetConfig {
+            shards: 1,
+            runtime: small_runtime_config(),
+            ..FleetConfig::default()
+        };
+        let mut builder = FleetBuilder::new(config).unwrap();
+        let best = builder
+            .add_session(0, QosTier::BestEffort, Box::new(CollectActuator::default()))
+            .unwrap();
+        let std_tier = builder
+            .add_session(1, QosTier::Standard, Box::new(CollectActuator::default()))
+            .unwrap();
+        let crit = builder
+            .add_session(2, QosTier::Critical, Box::new(CollectActuator::default()))
+            .unwrap();
+        let fleet = builder.start().unwrap();
+
+        // Warm every session up first so the scratch arenas reach their
+        // fixed point, then scale the budget off the shard's real
+        // footprint: base usage sits at 100‰ and the phantom charge alone
+        // decides the band.
+        assert_eq!(fleet.submit(best, vec![0.1; 256]), SubmitOutcome::Submitted);
+        assert_eq!(
+            fleet.submit(std_tier, vec![0.1; 256]),
+            SubmitOutcome::Submitted
+        );
+        assert_eq!(fleet.submit(crit, vec![0.1; 256]), SubmitOutcome::Submitted);
+        fleet.wait_idle();
+        let base = fleet.shards[0].as_ref().unwrap().memory_budget().clone();
+        let real = base.used_bytes();
+        assert!(real > 0, "rings and model tables must be charged");
+        base.set_budget_bytes(real * 10);
+        assert_eq!(fleet.enforce_pressure(), affect_rt::PressureBand::Green);
+
+        // Red: BestEffort is evicted; Standard and Critical ride on.
+        base.set_phantom(real * 9 - real); // 900‰ total
+        assert_eq!(fleet.enforce_pressure(), affect_rt::PressureBand::Red);
+        assert_eq!(fleet.submit(best, vec![0.1; 256]), SubmitOutcome::Evicted);
+        assert_eq!(
+            fleet.submit(std_tier, vec![0.1; 256]),
+            SubmitOutcome::Submitted
+        );
+
+        // Critical: Standard goes too; the Critical tier never does.
+        base.set_phantom(real * 10 - real); // 1000‰ total
+        assert_eq!(fleet.enforce_pressure(), affect_rt::PressureBand::Critical);
+        assert_eq!(
+            fleet.submit(std_tier, vec![0.1; 256]),
+            SubmitOutcome::Evicted
+        );
+        assert_eq!(fleet.submit(crit, vec![0.1; 256]), SubmitOutcome::Submitted);
+
+        // Pressure recedes: everyone is readmitted, in order.
+        base.set_phantom(0);
+        assert_eq!(fleet.enforce_pressure(), affect_rt::PressureBand::Green);
+        assert_eq!(fleet.submit(best, vec![0.1; 256]), SubmitOutcome::Submitted);
+        assert_eq!(
+            fleet.submit(std_tier, vec![0.1; 256]),
+            SubmitOutcome::Submitted
+        );
+
+        fleet.wait_idle();
+        let report = fleet.shutdown();
+        assert!(report.accounted());
+        let admission = &report.admission;
+        assert_eq!(admission.sessions_evicted.by_tier, [1, 1, 0]);
+        assert_eq!(admission.sessions_readmitted.by_tier, [1, 1, 0]);
+        assert_eq!(admission.evicted.by_tier, [1, 1, 0]);
+        assert_eq!(admission.offered.by_tier, [3, 4, 2]);
+        assert_eq!(admission.submitted.by_tier, [2, 3, 2]);
     }
 }

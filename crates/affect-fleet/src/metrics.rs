@@ -28,6 +28,15 @@ pub struct TierMetrics {
     pub submitted: Arc<Counter>,
     /// `affect_fleet_windows_shed_total{tier}`.
     pub shed: Arc<Counter>,
+    /// `affect_fleet_windows_evicted_total{tier}` — windows refused
+    /// because their session was evicted by the memory-pressure governor.
+    pub windows_evicted: Arc<Counter>,
+    /// `affect_fleet_sessions_evicted_total{tier}` — sessions evicted by
+    /// the memory-pressure governor.
+    pub sessions_evicted: Arc<Counter>,
+    /// `affect_fleet_sessions_readmitted_total{tier}` — evicted sessions
+    /// readmitted after pressure receded.
+    pub sessions_readmitted: Arc<Counter>,
 }
 
 /// All fleet-level instruments, registered once per fleet.
@@ -68,6 +77,22 @@ impl FleetMetrics {
                 shed: registry.counter(
                     "affect_fleet_windows_shed_total",
                     "Windows shed pre-submit by QoS pressure control, by QoS tier",
+                    labels,
+                ),
+                windows_evicted: registry.counter(
+                    "affect_fleet_windows_evicted_total",
+                    "Windows refused because their session was evicted by the \
+                     memory-pressure governor, by QoS tier",
+                    labels,
+                ),
+                sessions_evicted: registry.counter(
+                    "affect_fleet_sessions_evicted_total",
+                    "Sessions evicted by the memory-pressure governor, by QoS tier",
+                    labels,
+                ),
+                sessions_readmitted: registry.counter(
+                    "affect_fleet_sessions_readmitted_total",
+                    "Evicted sessions readmitted after memory pressure receded, by QoS tier",
                     labels,
                 ),
             }

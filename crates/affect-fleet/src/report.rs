@@ -9,10 +9,12 @@
 //!    `produced == processed + dropped` (the `affect-rt` no-silent-loss
 //!    invariant, preserved by [`affect_rt::RuntimeReport::merge`]).
 //! 2. **Fleet accounting** — for every QoS tier,
-//!    `offered == submitted + shed`: every window the load source offered
-//!    the fleet either entered a shard's pipeline or was explicitly shed
-//!    by QoS pressure control. Nothing disappears between the router and
-//!    the runtime.
+//!    `offered == submitted + shed + evicted`: every window the load
+//!    source offered the fleet either entered a shard's pipeline, was
+//!    explicitly shed by QoS pressure control, or bounced off an evicted
+//!    session (memory-pressure eviction refuses its windows before they
+//!    are produced). Nothing disappears between the router and the
+//!    runtime.
 
 use affect_rt::RuntimeReport;
 
@@ -33,15 +35,23 @@ pub struct AdmissionReport {
     pub submitted: PerTier,
     /// Windows shed pre-submit by QoS pressure control per tier.
     pub shed: PerTier,
+    /// Windows refused because their session was evicted by the
+    /// memory-pressure governor (and not yet readmitted) per tier.
+    pub evicted: PerTier,
+    /// Sessions evicted by the memory-pressure governor per tier
+    /// (cumulative; a session evicted twice counts twice).
+    pub sessions_evicted: PerTier,
+    /// Sessions readmitted after pressure receded per tier.
+    pub sessions_readmitted: PerTier,
 }
 
 impl AdmissionReport {
     /// `true` when every offered window is accounted for per tier:
-    /// `offered == submitted + shed`.
+    /// `offered == submitted + shed + evicted`.
     pub fn accounted(&self) -> bool {
-        QosTier::ALL
-            .iter()
-            .all(|&t| self.offered.get(t) == self.submitted.get(t) + self.shed.get(t))
+        QosTier::ALL.iter().all(|&t| {
+            self.offered.get(t) == self.submitted.get(t) + self.shed.get(t) + self.evicted.get(t)
+        })
     }
 
     /// Fraction of offered windows shed for one tier (0 when the tier saw
@@ -86,6 +96,7 @@ impl FleetReport {
             stages: Vec::new(),
             classify: Default::default(),
             faults: Default::default(),
+            mem: Default::default(),
         });
         Self {
             shards,
@@ -127,6 +138,9 @@ mod tests {
         // A lost window breaks the invariant in exactly one tier.
         *report.submitted.get_mut(QosTier::BestEffort) = 6;
         assert!(!report.accounted());
+        // …and an eviction bounce explains it again.
+        *report.evicted.get_mut(QosTier::BestEffort) = 1;
+        assert!(report.accounted());
     }
 
     #[test]

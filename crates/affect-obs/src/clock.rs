@@ -14,6 +14,19 @@ use std::time::Instant;
 pub trait Clock: Send + Sync {
     /// Nanoseconds since the clock's origin.
     fn now_nanos(&self) -> u64;
+
+    /// Blocks until the clock reads at least `deadline_nanos`.
+    ///
+    /// The default implementation sleeps the remaining wall-clock delta,
+    /// which is right for [`SystemClock`]; [`VirtualClock`] overrides it to
+    /// jump virtual time to the deadline instead, so paced playback (e.g.
+    /// `WireSession` with a chunk interval) is deterministic under test.
+    fn sleep_until(&self, deadline_nanos: u64) {
+        let now = self.now_nanos();
+        if now < deadline_nanos {
+            std::thread::sleep(std::time::Duration::from_nanos(deadline_nanos - now));
+        }
+    }
 }
 
 /// Wall-clock time anchored at construction.
@@ -74,6 +87,12 @@ impl Clock for VirtualClock {
     fn now_nanos(&self) -> u64 {
         self.nanos.load(Ordering::SeqCst)
     }
+
+    fn sleep_until(&self, deadline_nanos: u64) {
+        // Virtual time never passes on its own: jump to the deadline
+        // (monotonically — a stale deadline does not rewind the clock).
+        self.nanos.fetch_max(deadline_nanos, Ordering::SeqCst);
+    }
 }
 
 #[cfg(test)]
@@ -97,5 +116,24 @@ mod tests {
         assert_eq!(clock.now_nanos(), 1_500);
         clock.set(10);
         assert_eq!(clock.now_nanos(), 10);
+    }
+
+    #[test]
+    fn virtual_sleep_until_jumps_without_blocking() {
+        let clock = VirtualClock::new();
+        clock.set(100);
+        clock.sleep_until(1_000);
+        assert_eq!(clock.now_nanos(), 1_000);
+        // A deadline already in the past must not rewind the clock.
+        clock.sleep_until(500);
+        assert_eq!(clock.now_nanos(), 1_000);
+    }
+
+    #[test]
+    fn system_sleep_until_reaches_the_deadline() {
+        let clock = SystemClock::new();
+        let deadline = clock.now_nanos() + 2_000_000; // 2 ms
+        clock.sleep_until(deadline);
+        assert!(clock.now_nanos() >= deadline);
     }
 }

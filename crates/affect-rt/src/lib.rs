@@ -78,6 +78,7 @@
 pub mod actuator;
 pub mod clock;
 pub mod fault;
+pub mod mem;
 pub mod ring;
 pub mod runtime;
 pub mod stats;
@@ -86,6 +87,7 @@ pub mod wire;
 pub use actuator::{Actuator, AppActuator, CollectActuator, NullActuator, VideoActuator};
 pub use clock::{Clock, SystemClock, VirtualClock};
 pub use fault::{silence_injected_panics, FaultAction, FaultHook, InjectedPanic, Stage};
+pub use mem::{MemConsumer, MemReport, MemoryBudget, PressureBand};
 pub use ring::{OverflowPolicy, PushOutcome, Ring, RingMetrics, RingStats};
 pub use runtime::{
     Runtime, RuntimeBuilder, RuntimeConfig, SessionId, ShutdownOutcome, StageConfig,

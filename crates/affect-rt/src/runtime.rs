@@ -67,6 +67,7 @@ use nn::{Precision, Scratch, Tensor};
 use crate::actuator::Actuator;
 use crate::clock::{Clock, SystemClock};
 use crate::fault::{FaultAction, FaultHook, InjectedPanic, Stage};
+use crate::mem::{MemConsumer, MemReport, MemoryBudget, PressureBand};
 use crate::ring::{OverflowPolicy, PushOutcome, Ring, RingMetrics};
 use crate::stats::{
     ClassifyReport, FaultReport, Histogram, RuntimeReport, SessionReport, StageReport,
@@ -120,6 +121,20 @@ pub struct SupervisionConfig {
     /// recovery probe (driven by the ordinary `ok_streak` recovery
     /// machinery) succeeds with a richer family.
     pub breaker_threshold: u32,
+}
+
+impl SupervisionConfig {
+    /// The restart backoff (milliseconds) after the `consecutive`-th panic
+    /// in a row: exponential from [`SupervisionConfig::backoff_base_ms`],
+    /// capped at [`SupervisionConfig::backoff_max_ms`].
+    pub fn backoff_for(&self, consecutive: u32) -> u64 {
+        if consecutive == 0 {
+            return 0;
+        }
+        self.backoff_base_ms
+            .saturating_mul(1u64 << consecutive.saturating_sub(1).min(16))
+            .min(self.backoff_max_ms)
+    }
 }
 
 impl Default for SupervisionConfig {
@@ -222,6 +237,15 @@ pub struct RuntimeConfig {
     pub supervision: SupervisionConfig,
     /// Stalled-queue watchdog; `None` (the default) disables it.
     pub watchdog: Option<WatchdogConfig>,
+    /// Memory budget in bytes for the pressure governor; 0 (the default)
+    /// disables it. When set, the runtime charges its real consumers (ring
+    /// queues, scratch arenas, classifier tables) against a
+    /// [`MemoryBudget`] and derives a [`PressureBand`]: under Yellow or
+    /// worse, classify batching collapses to 1 and sustained pressure
+    /// walks sessions down the degradation ladder exactly like a
+    /// deadline-miss streak; a fleet evicts BestEffort (Red) and Standard
+    /// (Critical) sessions. See `docs/ROBUSTNESS.md` §memory-pressure.
+    pub memory_budget_bytes: u64,
 }
 
 impl Default for RuntimeConfig {
@@ -248,6 +272,7 @@ impl Default for RuntimeConfig {
             model_seed: 7,
             supervision: SupervisionConfig::default(),
             watchdog: None,
+            memory_budget_bytes: 0,
         }
     }
 }
@@ -438,6 +463,11 @@ struct SessionState {
     breaker: AtomicU8,
     /// Consecutive classify failures while the breaker is closed.
     breaker_failures: AtomicU32,
+    /// Set by [`Runtime::remove_session`]: an evicted session's submits
+    /// become clean no-ops (not produced, not dropped — never offered), so
+    /// its final accounting stays exact. Cleared by
+    /// [`Runtime::readmit_session`].
+    evicted: AtomicBool,
 }
 
 impl SessionState {
@@ -458,6 +488,7 @@ impl SessionState {
             latency: Histogram::new(),
             breaker: AtomicU8::new(BREAKER_CLOSED),
             breaker_failures: AtomicU32::new(0),
+            evicted: AtomicBool::new(false),
         }
     }
 
@@ -509,6 +540,8 @@ struct ClassifyCounters {
     max_batch: AtomicU64,
     scratch_allocs: AtomicU64,
     scratch_reuses: AtomicU64,
+    /// Completed classify windows per family, indexed by [`family_code`].
+    family_windows: [AtomicU64; 4],
 }
 
 impl ClassifyCounters {
@@ -519,6 +552,7 @@ impl ClassifyCounters {
             max_batch: self.max_batch.load(Ordering::SeqCst),
             scratch_allocs: self.scratch_allocs.load(Ordering::SeqCst),
             scratch_reuses: self.scratch_reuses.load(Ordering::SeqCst),
+            family_windows: std::array::from_fn(|i| self.family_windows[i].load(Ordering::SeqCst)),
         }
     }
 }
@@ -836,6 +870,7 @@ pub struct RuntimeBuilder {
     precisions: Vec<Option<Precision>>,
     registry: Option<Arc<MetricsRegistry>>,
     fault_hook: Option<Arc<dyn FaultHook>>,
+    memory_budget: Option<Arc<MemoryBudget>>,
 }
 
 impl RuntimeBuilder {
@@ -855,7 +890,18 @@ impl RuntimeBuilder {
             precisions: Vec::new(),
             registry: None,
             fault_hook: None,
+            memory_budget: None,
         })
+    }
+
+    /// Supplies a pre-built (usually shared) [`MemoryBudget`] instead of
+    /// the one the runtime would build from
+    /// [`RuntimeConfig::memory_budget_bytes`]. A fleet passes one budget to
+    /// every shard runtime it owns; a chaos harness keeps a handle so its
+    /// fault plan can inject phantom charges.
+    pub fn memory_budget(mut self, budget: Arc<MemoryBudget>) -> Self {
+        self.memory_budget = Some(budget);
+        self
     }
 
     /// Attaches a fault-injection hook, consulted once per window per
@@ -979,6 +1025,16 @@ impl RuntimeBuilder {
             r.gauge("affect_rt_sessions", "registered sessions", &[])
                 .set(self.actuators.len() as i64);
         }
+        let mem: Arc<MemoryBudget> = match self.memory_budget {
+            Some(budget) => budget,
+            None => {
+                let budget = MemoryBudget::new(config.memory_budget_bytes);
+                Arc::new(match &self.registry {
+                    Some(r) => budget.with_metrics(r),
+                    None => budget,
+                })
+            }
+        };
         let registry = self.registry.as_deref();
         let ingest: Arc<Ring<IngestMsg>> = Arc::new(make_ring(
             registry,
@@ -1004,6 +1060,20 @@ impl RuntimeBuilder {
             OverflowPolicy::Block,
             "actuate",
         ));
+        // Ring bytes are fixed at construction: capacity × slot size, the
+        // ingest slots widened by the window payload (each queued IngestMsg
+        // owns a `window_samples` f32 buffer) and the classify slots by the
+        // flat feature vector. Released at shutdown.
+        let ring_bytes = (config.ingest.capacity
+            * (std::mem::size_of::<IngestMsg>()
+                + config.window_samples * std::mem::size_of::<f32>())
+            + config.classify.capacity
+                * (std::mem::size_of::<ClassifyMsg>()
+                    + pipeline.flat_dim() * std::mem::size_of::<f32>())
+            + config.control.capacity * std::mem::size_of::<ControlMsg>()
+            + config.actuate_capacity * std::mem::size_of::<ActuateMsg>())
+            as u64;
+        mem.charge(MemConsumer::RingQueues, ring_bytes);
 
         let mut feature_workers = Vec::with_capacity(config.workers);
         let feature_live = Arc::new(AtomicUsize::new(config.workers));
@@ -1138,6 +1208,7 @@ impl RuntimeBuilder {
             let faults = Arc::clone(&fault_counters);
             let live = Arc::clone(&classify_live);
             let supervision = config.supervision;
+            let mem = Arc::clone(&mem);
             classify_workers.push(std::thread::spawn(move || {
                 // Models are not Send; build this worker's own pool of all
                 // four families (identical across workers by seed), keyed
@@ -1166,8 +1237,26 @@ impl RuntimeBuilder {
                         pool.insert((family_code(clf.family()), Precision::Int8), clf);
                     }
                 }
-                let hdc = AffectClassifier::hdc(pipeline.flat_dim(), labels.clone(), seed)
+                let mut hdc = AffectClassifier::hdc(pipeline.flat_dim(), labels.clone(), seed)
                     .expect("trial-built before spawn");
+                // This worker's classifier tables are resident for its whole
+                // life: the neural families' parameters (4 bytes each at
+                // f32, 1 at int8) plus the HDC bound/prototype tables.
+                let mut table_bytes = 0u64;
+                for model in [
+                    ModelConfig::scaled_mlp(pipeline.flat_dim(), classes),
+                    ModelConfig::scaled_cnn(frames * fpf, classes),
+                    ModelConfig::scaled_lstm(fpf, classes),
+                ] {
+                    table_bytes += (model.param_count() * std::mem::size_of::<f32>()) as u64;
+                    if need_int8 {
+                        table_bytes += model.param_count() as u64;
+                    }
+                }
+                if let Some(h) = hdc.hdc_mut() {
+                    table_bytes += h.storage_bytes() as u64;
+                }
+                mem.charge(MemConsumer::ModelTables, table_bytes);
                 pool.insert(pool_key(ClassifierKind::Hdc, Precision::Int8), hdc);
                 // The worker's persistent inference arena: every forward
                 // pass across every family draws its intermediates from
@@ -1180,7 +1269,18 @@ impl RuntimeBuilder {
                 let mut panics_survived = 0u32;
                 let mut last_allocs = 0u64;
                 let mut last_reuses = 0u64;
+                let mut last_scratch_bytes = 0u64;
                 'pool: while let Some(msg) = classify.pop() {
+                    // Under memory pressure the batching window collapses
+                    // to 1: the worker stops hoarding queued windows, so
+                    // peak in-flight feature tensors shrink while the
+                    // ladder machinery catches up. One atomic load per
+                    // wakeup.
+                    let batch_limit = if mem.band() >= PressureBand::Yellow {
+                        1
+                    } else {
+                        batch_limit
+                    };
                     // Batching window: after the blocking pop, drain
                     // whatever else is already queued (up to the limit) so
                     // one wakeup amortises over several windows. The batch
@@ -1246,6 +1346,8 @@ impl RuntimeBuilder {
                             Ok(Ok(out)) => {
                                 consecutive_panics = 0;
                                 counters.windows.fetch_add(1, Ordering::SeqCst);
+                                counters.family_windows[family_code(family) as usize]
+                                    .fetch_add(1, Ordering::SeqCst);
                                 if let Some(m) = &metrics {
                                     m.classify_family[family_code(family) as usize].inc();
                                     if precision == Precision::Int8 {
@@ -1316,9 +1418,21 @@ impl RuntimeBuilder {
                         m.scratch_allocs.add(allocs - last_allocs);
                         m.scratch_reuses.add(reuses - last_reuses);
                     }
+                    // Re-measure the arena only when it actually grew (an
+                    // acquire allocated a fresh buffer), i.e. during
+                    // warm-up — a steady-state batch pays nothing here.
+                    if allocs != last_allocs {
+                        let bytes = scratch.pooled_bytes() as u64;
+                        if bytes > last_scratch_bytes {
+                            mem.charge(MemConsumer::ScratchPools, bytes - last_scratch_bytes);
+                        }
+                        last_scratch_bytes = bytes;
+                    }
                     last_allocs = allocs;
                     last_reuses = reuses;
                 }
+                mem.release(MemConsumer::ScratchPools, last_scratch_bytes);
+                mem.release(MemConsumer::ModelTables, table_bytes);
                 if live.fetch_sub(1, Ordering::SeqCst) == 1 {
                     classify.close();
                     while let Some(m) = classify.try_pop() {
@@ -1386,6 +1500,7 @@ impl RuntimeBuilder {
             })
         };
 
+        let pressure_degradations = Arc::new(AtomicU64::new(0));
         let actuate_worker = {
             let actuate = Arc::clone(&actuate);
             let sessions = Arc::clone(&sessions);
@@ -1398,6 +1513,8 @@ impl RuntimeBuilder {
             let ok_streak_limit = config.ok_streak;
             let degraded_interval = config.degraded_interval;
             let hook = fault_hook.clone();
+            let mem = Arc::clone(&mem);
+            let pressure_degradations = Arc::clone(&pressure_degradations);
             std::thread::spawn(move || {
                 let mut miss_streaks = vec![0u32; actuators.len()];
                 let mut ok_streaks = vec![0u32; actuators.len()];
@@ -1432,16 +1549,28 @@ impl RuntimeBuilder {
                     if let Some(m) = &metrics {
                         m.e2e_latency.record(latency);
                     }
-                    if latency > deadline {
+                    let missed = latency > deadline;
+                    if missed {
                         state.misses.fetch_add(1, Ordering::SeqCst);
                         if let Some(m) = &metrics {
                             m.misses.inc();
                         }
+                    }
+                    // Memory pressure is a second degradation trigger
+                    // beside the deadline: a Yellow-or-worse band feeds the
+                    // same miss/ok-streak machinery, so sustained pressure
+                    // walks the session down the ladder and a Green band
+                    // lets it climb back. One atomic load per window.
+                    let pressured = mem.band() >= PressureBand::Yellow;
+                    if missed || pressured {
                         ok_streaks[msg.session] = 0;
                         miss_streaks[msg.session] += 1;
                         if miss_streaks[msg.session] >= miss_streak_limit {
                             miss_streaks[msg.session] = 0;
                             if degrade(state, degraded_interval) {
+                                if !missed {
+                                    pressure_degradations.fetch_add(1, Ordering::SeqCst);
+                                }
                                 if let Some(m) = &metrics {
                                     m.degradations.inc();
                                 }
@@ -1543,6 +1672,9 @@ impl RuntimeBuilder {
             actuate_worker,
             watchdog_worker,
             watchdog_stop,
+            mem,
+            ring_bytes,
+            pressure_degradations,
         })
     }
 }
@@ -1641,10 +1773,7 @@ fn survive_panic(
     if let Some(m) = metrics {
         m.worker_restarts.inc();
     }
-    let backoff = supervision
-        .backoff_base_ms
-        .saturating_mul(1u64 << consecutive_panics.saturating_sub(1).min(16))
-        .min(supervision.backoff_max_ms);
+    let backoff = supervision.backoff_for(consecutive_panics);
     if backoff > 0 {
         std::thread::sleep(Duration::from_millis(backoff));
     }
@@ -1751,6 +1880,11 @@ pub struct Runtime {
     actuate_worker: JoinHandle<Vec<Box<dyn Actuator>>>,
     watchdog_worker: Option<JoinHandle<()>>,
     watchdog_stop: Arc<AtomicBool>,
+    mem: Arc<MemoryBudget>,
+    /// Ring bytes charged at start, released at shutdown.
+    ring_bytes: u64,
+    /// Degradation steps triggered by memory pressure alone (deadline met).
+    pressure_degradations: Arc<AtomicU64>,
 }
 
 impl Runtime {
@@ -1786,12 +1920,70 @@ impl Runtime {
         self.ingest.capacity()
     }
 
+    /// The runtime's memory-budget accountant. A fleet governor polls its
+    /// [`PressureBand`] to drive eviction; a chaos harness injects phantom
+    /// charges through it.
+    pub fn memory_budget(&self) -> &Arc<MemoryBudget> {
+        &self.mem
+    }
+
+    /// Evicts a session: future [`Runtime::submit`] calls for it become
+    /// clean no-ops (returning `false` without producing a window), then
+    /// this call blocks until every window it already produced is
+    /// accounted (processed or dropped), so the accounting handoff is
+    /// exact — the session's final report satisfies
+    /// `produced == processed + dropped` with nothing in flight.
+    ///
+    /// The session's slot (state, controller, actuator) stays registered,
+    /// so the final [`RuntimeReport`] includes it and
+    /// [`Runtime::readmit_session`] can cheaply bring it back.
+    ///
+    /// Returns `false` when the session was already evicted.
+    pub fn remove_session(&self, session: SessionId) -> bool {
+        let state = &self.sessions[session.0];
+        if state.evicted.swap(true, Ordering::SeqCst) {
+            return false;
+        }
+        let mut generation = self
+            .progress
+            .generation
+            .lock()
+            .expect("progress lock poisoned");
+        while !state.accounted() {
+            let (next, _timeout) = self
+                .progress
+                .changed
+                .wait_timeout(generation, Duration::from_millis(20))
+                .expect("progress lock poisoned");
+            generation = next;
+        }
+        true
+    }
+
+    /// Readmits a previously evicted session: its submits flow again, all
+    /// counters continuing from where eviction left them. Returns `false`
+    /// when the session was not evicted.
+    pub fn readmit_session(&self, session: SessionId) -> bool {
+        self.sessions[session.0]
+            .evicted
+            .swap(false, Ordering::SeqCst)
+    }
+
+    /// Whether a session is currently evicted.
+    pub fn session_evicted(&self, session: SessionId) -> bool {
+        self.sessions[session.0].evicted.load(Ordering::SeqCst)
+    }
+
     /// Submits one analysis window for a session. The window is stamped
     /// with the clock's current time as its arrival.
     ///
     /// Returns `true` when the window entered the pipeline; `false` when
     /// it was decimated by a widened decision interval or shed at the
-    /// ingest queue (either way it is counted, never lost). Under
+    /// ingest queue (either way it is counted, never lost), or when the
+    /// session is currently evicted by the memory-pressure governor (the
+    /// window is refused *before* it is produced, so the session's frozen
+    /// accounting stays exact — check [`Runtime::session_evicted`] to
+    /// distinguish). Under
     /// [`OverflowPolicy::Block`] ingest this call blocks while the queue
     /// is full — that is the backpressure propagating to the producer.
     ///
@@ -1800,6 +1992,12 @@ impl Runtime {
     /// Panics when `session` did not come from this runtime's builder.
     pub fn submit(&self, session: SessionId, samples: Vec<f32>) -> bool {
         let state = &self.sessions[session.0];
+        // An evicted session's windows are refused before they are
+        // produced: nothing enters any counter, so the accounting frozen
+        // at eviction time stays exact.
+        if state.evicted.load(Ordering::SeqCst) {
+            return false;
+        }
         let seq = state.next_seq.fetch_add(1, Ordering::SeqCst);
         state.produced.fetch_add(1, Ordering::SeqCst);
         if let Some(m) = &self.metrics {
@@ -1900,6 +2098,8 @@ impl Runtime {
             &self.actuate,
             &self.classify_counters,
             &self.fault_counters,
+            &self.mem,
+            &self.pressure_degradations,
         )
     }
 
@@ -1935,7 +2135,12 @@ impl Runtime {
             &self.actuate,
             &self.classify_counters,
             &self.fault_counters,
+            &self.mem,
+            &self.pressure_degradations,
         );
+        // The report above snapshots usage *with* the rings still charged
+        // (that is what the run held); the release happens after.
+        self.mem.release(MemConsumer::RingQueues, self.ring_bytes);
         ShutdownOutcome { report, actuators }
     }
 }
@@ -1949,6 +2154,8 @@ fn snapshot_report(
     actuate: &Ring<ActuateMsg>,
     classify_counters: &ClassifyCounters,
     fault_counters: &FaultCounters,
+    mem: &MemoryBudget,
+    pressure_degradations: &AtomicU64,
 ) -> RuntimeReport {
     let sessions = sessions
         .iter()
@@ -1965,6 +2172,7 @@ fn snapshot_report(
             decision_interval: s.interval.load(Ordering::SeqCst),
             latency: s.latency.summary(),
             latency_hist: s.latency.snapshot_hist(),
+            evicted: s.evicted.load(Ordering::SeqCst),
         })
         .collect();
     let stage = |name: &'static str, stats: crate::ring::RingStats, capacity: usize| StageReport {
@@ -1985,6 +2193,11 @@ fn snapshot_report(
         ],
         classify: classify_counters.snapshot(),
         faults: fault_counters.snapshot(),
+        mem: {
+            let mut snapshot = MemReport::snapshot(mem);
+            snapshot.pressure_degradations = pressure_degradations.load(Ordering::SeqCst);
+            snapshot
+        },
     }
 }
 

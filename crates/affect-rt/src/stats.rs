@@ -11,6 +11,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use affect_core::classifier::ClassifierKind;
 
+use crate::mem::MemReport;
+
 const BUCKETS: usize = 64;
 
 /// Log2-bucketed latency histogram with atomic buckets.
@@ -234,6 +236,11 @@ pub struct SessionReport {
     /// The full log2 bucket resolution behind `latency`, kept so
     /// fleet-level merges can combine distributions exactly.
     pub latency_hist: LatencyHistogram,
+    /// Whether the session was evicted (memory pressure or an explicit
+    /// [`crate::Runtime::remove_session`]) and not readmitted by report
+    /// time. An evicted session's counters stay in the report — eviction
+    /// hands accounting off exactly, it never erases it.
+    pub evicted: bool,
 }
 
 impl SessionReport {
@@ -276,6 +283,8 @@ impl SessionReport {
             self.family = other.family;
         }
         self.decision_interval = self.decision_interval.max(other.decision_interval);
+        // Either observer having seen the session evicted means it is out.
+        self.evicted |= other.evicted;
     }
 }
 
@@ -320,6 +329,9 @@ pub struct ClassifyReport {
     pub scratch_allocs: u64,
     /// Scratch-arena buffer reuses (allocation-free acquisitions).
     pub scratch_reuses: u64,
+    /// Windows classified per family, indexed HDC/MLP/CNN/LSTM (ladder
+    /// order, cheapest first) — the degradation mix of the run.
+    pub family_windows: [u64; 4],
 }
 
 impl ClassifyReport {
@@ -387,6 +399,9 @@ pub struct RuntimeReport {
     pub classify: ClassifyReport,
     /// Fault and supervision counters (all zero on a healthy run).
     pub faults: FaultReport,
+    /// Memory-budget accounting at report time (all zero when no governor
+    /// is configured).
+    pub mem: MemReport,
 }
 
 impl RuntimeReport {
@@ -472,6 +487,15 @@ impl RuntimeReport {
         self.classify.max_batch = self.classify.max_batch.max(other.classify.max_batch);
         self.classify.scratch_allocs += other.classify.scratch_allocs;
         self.classify.scratch_reuses += other.classify.scratch_reuses;
+        for (mine, theirs) in self
+            .classify
+            .family_windows
+            .iter_mut()
+            .zip(other.classify.family_windows.iter())
+        {
+            *mine += theirs;
+        }
+        self.mem.merge(&other.mem);
         self.faults.worker_panics += other.faults.worker_panics;
         self.faults.worker_restarts += other.faults.worker_restarts;
         self.faults.workers_lost += other.faults.workers_lost;
@@ -526,6 +550,7 @@ mod tests {
             max_batch: 5,
             scratch_allocs: 6,
             scratch_reuses: 18,
+            family_windows: [3, 3, 3, 3],
         };
         assert!((r.mean_batch() - 3.0).abs() < 1e-12);
         assert!((r.reuse_rate() - 0.75).abs() < 1e-12);
@@ -566,6 +591,7 @@ mod tests {
             decision_interval: 1,
             latency: hist.summary(),
             latency_hist: hist,
+            evicted: false,
         }
     }
 
@@ -593,11 +619,13 @@ mod tests {
                 max_batch: 4,
                 scratch_allocs: 2,
                 scratch_reuses: 7 + seed,
+                family_windows: [seed, 2, 3, 4 + seed],
             },
             faults: FaultReport {
                 worker_panics: seed,
                 ..FaultReport::default()
             },
+            mem: MemReport::default(),
         }
     }
 
@@ -663,6 +691,105 @@ mod tests {
         merged2.merge(&midflight);
         assert!(!merged2.all_accounted());
         assert_eq!(merged2.sessions[0].produced, 19);
+    }
+
+    #[test]
+    fn merging_an_empty_shard_is_total_and_commutative() {
+        // A shard that admitted zero sessions produces a report with an
+        // empty session list (and possibly empty stage list). Folding it
+        // in either direction must be a no-op on the populated side.
+        let populated = runtime_report(
+            vec![
+                session_report(0, 12, 10, 2, ClassifierKind::Lstm),
+                session_report(3, 5, 5, 0, ClassifierKind::Hdc),
+            ],
+            2,
+        );
+        let empty = RuntimeReport {
+            sessions: Vec::new(),
+            stages: Vec::new(),
+            classify: ClassifyReport::default(),
+            faults: FaultReport::default(),
+            mem: MemReport::default(),
+        };
+        assert!(empty.all_accounted(), "vacuously accounted");
+        let mut ab = populated.clone();
+        ab.merge(&empty);
+        let mut ba = empty.clone();
+        ba.merge(&populated);
+        assert_eq!(ab, ba, "empty-shard merge must be order-independent");
+        assert_eq!(ab.sessions.len(), 2);
+        assert_eq!(ab.total_produced(), populated.total_produced());
+        assert!(ab.all_accounted());
+        // Both directions reproduce the populated report exactly.
+        assert_eq!(ab, populated);
+        // And two empty shards merge into an empty report.
+        let mut both_empty = empty.clone();
+        both_empty.merge(&empty);
+        assert_eq!(both_empty, empty);
+    }
+
+    #[test]
+    fn disjoint_family_counters_merge_totally_and_commutatively() {
+        // One shard classified only on the rich end of the ladder, the
+        // other only on the cheap end: no overlapping family counter is
+        // non-zero, and the merge must still sum element-wise without
+        // losing either side.
+        let mut a = runtime_report(vec![session_report(0, 4, 4, 0, ClassifierKind::Lstm)], 0);
+        a.classify.family_windows = [0, 0, 3, 9]; // CNN + LSTM only
+        let mut b = runtime_report(vec![session_report(1, 6, 6, 0, ClassifierKind::Hdc)], 0);
+        b.classify.family_windows = [5, 7, 0, 0]; // HDC + MLP only
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba, "disjoint-counter merge must be order-independent");
+        assert_eq!(ab.classify.family_windows, [5, 7, 3, 9]);
+        assert!(ab.all_accounted());
+    }
+
+    #[test]
+    fn eviction_flag_survives_merge_and_preserves_accounting() {
+        let mut a = session_report(2, 9, 6, 3, ClassifierKind::Mlp);
+        a.evicted = true;
+        let b = session_report(2, 4, 4, 0, ClassifierKind::Mlp);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        assert!(ab.evicted, "either observer seeing the eviction wins");
+        assert!(ab.accounted(), "evicted counters still add up");
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn mem_report_merge_is_symmetric_and_takes_worst_band() {
+        let a = MemReport {
+            budget_bytes: 1000,
+            used_bytes: 900,
+            used_by: [100, 200, 300, 150, 150, 0],
+            band: 2, // Red
+            band_transitions: [0, 1, 1, 0],
+            pressure_degradations: 3,
+        };
+        let b = MemReport {
+            budget_bytes: 500,
+            used_bytes: 100,
+            used_by: [50, 50, 0, 0, 0, 0],
+            band: 0, // Green
+            band_transitions: [1, 1, 0, 0],
+            pressure_degradations: 0,
+        };
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.budget_bytes, 1500);
+        assert_eq!(ab.used_bytes, 1000);
+        assert_eq!(ab.band, 2, "worst band wins");
+        assert_eq!(ab.band_transitions, [1, 2, 1, 0]);
+        assert_eq!(ab.pressure_degradations, 3);
     }
 
     #[test]

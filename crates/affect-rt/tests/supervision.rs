@@ -135,6 +135,82 @@ fn exhausted_restart_budget_retires_workers_without_losing_windows() {
     assert_eq!(report.faults.worker_restarts, 4);
 }
 
+#[test]
+fn backoff_schedule_is_exponential_and_capped() {
+    let sup = SupervisionConfig {
+        backoff_base_ms: 3,
+        backoff_max_ms: 50,
+        ..SupervisionConfig::default()
+    };
+    // No panic yet → no pause.
+    assert_eq!(sup.backoff_for(0), 0);
+    // Exponential from the base: 3, 6, 12, 24, 48 …
+    assert_eq!(sup.backoff_for(1), 3);
+    assert_eq!(sup.backoff_for(2), 6);
+    assert_eq!(sup.backoff_for(3), 12);
+    assert_eq!(sup.backoff_for(4), 24);
+    assert_eq!(sup.backoff_for(5), 48);
+    // … clamped at the ceiling from then on.
+    assert_eq!(sup.backoff_for(6), 50);
+    assert_eq!(sup.backoff_for(1_000), 50);
+    // The shift itself saturates long before u32::MAX consecutive panics,
+    // so huge streaks cannot overflow into a zero-length pause.
+    let uncapped = SupervisionConfig {
+        backoff_base_ms: 1,
+        backoff_max_ms: u64::MAX,
+        ..sup
+    };
+    assert_eq!(uncapped.backoff_for(17), 1 << 16);
+    assert_eq!(uncapped.backoff_for(u32::MAX), 1 << 16);
+    // A zero base disables backoff entirely regardless of streak length.
+    let disabled = SupervisionConfig {
+        backoff_base_ms: 0,
+        ..sup
+    };
+    assert_eq!(disabled.backoff_for(7), 0);
+}
+
+#[test]
+fn windows_submitted_after_retirement_drain_from_the_closed_ring() {
+    silence_injected_panics();
+    let config = RuntimeConfig {
+        workers: 1,
+        supervision: SupervisionConfig {
+            restart_budget: 0, // first panic retires the only worker
+            backoff_base_ms: 0,
+            backoff_max_ms: 0,
+            ..SupervisionConfig::default()
+        },
+        ..fast_config()
+    };
+    let mut builder = RuntimeBuilder::new(config).unwrap();
+    let session = builder.add_session(Box::<CollectActuator>::default());
+    let runtime = builder
+        .fault_hook(Arc::new(PanicEverything))
+        .start()
+        .unwrap();
+
+    // One window retires the pool …
+    runtime.submit(session, vec![0.2; 1024]);
+    runtime.wait_idle();
+    // … and everything offered afterwards must still drain out of the
+    // closed ring as drops, not wedge the accounting invariant.
+    for _ in 0..16 {
+        runtime.submit(session, vec![0.2; 1024]);
+    }
+    runtime.wait_idle();
+    let report = runtime.shutdown().report;
+
+    assert!(report.all_accounted(), "closed ring drains to drops");
+    let s = &report.sessions[session.index()];
+    assert_eq!(s.produced, 17);
+    assert_eq!(s.processed, 0);
+    assert_eq!(s.dropped, 17);
+    assert_eq!(report.faults.workers_lost, 1, "the lone worker retired");
+    assert_eq!(report.faults.worker_panics, 1);
+    assert_eq!(report.faults.worker_restarts, 0, "budget 0 allows none");
+}
+
 /// Drops every window at a chosen stage.
 struct DropAt(Stage);
 

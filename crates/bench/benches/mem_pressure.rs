@@ -1,0 +1,281 @@
+//! Memory-pressure sweep: what each pressure band costs — and saves — on
+//! a loaded fleet. One fresh fleet per point; after a warm-up round the
+//! shard budgets are re-targeted (`set_budget_bytes`) so the *real* usage
+//! lands at a chosen permille, then `enforce_pressure` runs once per
+//! lockstep round exactly like a deployment's control plane.
+//!
+//! The sweep walks the same staircase the governor defends: a disabled
+//! budget, a roomy Green one, then budgets tight enough to force Yellow
+//! (ladder degradation), Red (BestEffort eviction) and Critical (Standard
+//! eviction too). Reported per point: the worst band seen, surviving
+//! sessions per tier, evicted windows, pressure-triggered ladder steps,
+//! and throughput over the pressured rounds.
+//!
+//! Outputs:
+//!   - `benches/results/mem_pressure.csv` — the full sweep
+//!   - `../../BENCH_mem_pressure.json` — the repo-root summary
+//!
+//! Flags:
+//!   - `--test` (passed by `cargo test`) shrinks the run to a smoke
+//!     signal and skips file output.
+//!   - `--budget <bytes>` pins every point's budget instead of deriving
+//!     it from measured usage (the CI smoke job sweeps two fixed budgets).
+//!
+//! Every point asserts the fleet accounting invariant
+//! `offered == submitted + shed + evicted` per tier, and that Critical
+//! sessions survive every band.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use affect_core::pipeline::FeatureConfig;
+use affect_fleet::{FleetBuilder, FleetConfig, FleetReport, QosTier, SubmitOutcome};
+use affect_rt::{
+    NullActuator, OverflowPolicy, PressureBand, RuntimeConfig, StageConfig, VirtualClock,
+};
+use bench::table::Table;
+
+const WINDOW_SAMPLES: usize = 256;
+const TICK_NS: u64 = 1_000_000_000;
+const SHARDS: usize = 4;
+
+fn runtime_config() -> RuntimeConfig {
+    RuntimeConfig {
+        feature: FeatureConfig {
+            frame_len: 128,
+            hop: 64,
+            n_mfcc: 4,
+            n_mels: 12,
+            ..FeatureConfig::default()
+        },
+        window_samples: WINDOW_SAMPLES,
+        workers: 1,
+        ingest: StageConfig::new(256, OverflowPolicy::Block),
+        classify: StageConfig::new(256, OverflowPolicy::Block),
+        control: StageConfig::new(256, OverflowPolicy::Block),
+        actuate_capacity: 256,
+        // Pressure, not deadlines, is under test: a generous deadline and
+        // a short miss streak make every ladder step pressure-triggered.
+        deadline_ns: 3_600 * TICK_NS,
+        miss_streak: 1,
+        ..RuntimeConfig::default()
+    }
+}
+
+struct Point {
+    /// Usage target in permille of the budget; 0 disables the budget.
+    target_permille: u64,
+    label: &'static str,
+}
+
+const POINTS: [Point; 5] = [
+    Point {
+        target_permille: 0,
+        label: "disabled",
+    },
+    Point {
+        target_permille: 300,
+        label: "green",
+    },
+    Point {
+        target_permille: 750,
+        label: "yellow",
+    },
+    Point {
+        target_permille: 880,
+        label: "red",
+    },
+    Point {
+        target_permille: 980,
+        label: "critical",
+    },
+];
+
+struct PointResult {
+    band: PressureBand,
+    evicted_windows: u64,
+    elapsed_s: f64,
+    processed: u64,
+    report: FleetReport,
+}
+
+/// One sweep point: warm the fleet up, re-target the shard budgets so
+/// real usage sits at `target_permille`, then drive `rounds` pressured
+/// lockstep rounds with `enforce_pressure` once per round.
+fn run_point(
+    sessions: usize,
+    rounds: u64,
+    target_permille: u64,
+    fixed_budget: Option<u64>,
+) -> PointResult {
+    let mut config = FleetConfig {
+        shards: SHARDS,
+        runtime: runtime_config(),
+        ..FleetConfig::default()
+    };
+    config.admission.max_sessions_per_shard = sessions;
+    config.admission.critical_reserve = 0;
+    config.admission.standard_reserve = 0;
+    let clock = Arc::new(VirtualClock::new());
+    let mut builder = FleetBuilder::new(config).expect("fleet config");
+    for key in 0..sessions as u64 {
+        let tier = QosTier::ALL[key as usize % QosTier::ALL.len()];
+        builder
+            .add_session(key, tier, Box::new(NullActuator))
+            .expect("admission cap was lifted");
+    }
+    let fleet = builder.clock(clock.clone()).start().expect("fleet start");
+
+    // Warm-up round with budgets disabled: scratch arenas and model
+    // tables reach steady state, so the usage we scale against is real.
+    for global in 0..fleet.session_count() {
+        fleet.submit(fleet.session(global), vec![0.2; WINDOW_SAMPLES]);
+    }
+    fleet.wait_idle();
+
+    // Re-target every shard's budget so its own usage sits at the chosen
+    // permille (or at the fixed CI budget).
+    if target_permille > 0 || fixed_budget.is_some() {
+        for shard in 0..fleet.shard_count() {
+            let Some(budget) = fleet.shard_budget(shard) else {
+                continue;
+            };
+            let bytes = match fixed_budget {
+                Some(bytes) => bytes,
+                None => budget.used_bytes() * 1000 / target_permille,
+            };
+            budget.set_budget_bytes(bytes.max(1));
+        }
+    }
+
+    let mut evicted_windows = 0u64;
+    let mut band = PressureBand::Green;
+    let start = Instant::now();
+    for _ in 0..rounds {
+        band = band.max(fleet.enforce_pressure());
+        for global in 0..fleet.session_count() {
+            if fleet.submit(fleet.session(global), vec![0.2; WINDOW_SAMPLES])
+                == SubmitOutcome::Evicted
+            {
+                evicted_windows += 1;
+            }
+        }
+        clock.advance(TICK_NS);
+        fleet.wait_idle();
+    }
+    let elapsed_s = start.elapsed().as_secs_f64();
+    let report = fleet.shutdown();
+    assert!(
+        report.accounted(),
+        "accounting violation at {target_permille}permille"
+    );
+    let critical = QosTier::Critical.index();
+    assert_eq!(
+        report.admission.sessions_evicted.by_tier[critical], 0,
+        "a Critical session was evicted"
+    );
+    let processed = report.merged.total_processed();
+    PointResult {
+        band,
+        evicted_windows,
+        elapsed_s,
+        processed,
+        report,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let test_mode = args.iter().any(|a| a == "--test");
+    let fixed_budget: Option<u64> = args
+        .iter()
+        .position(|a| a == "--budget")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("--budget takes bytes"));
+    let (sessions, rounds) = if test_mode { (24, 3) } else { (96, 8) };
+
+    let mut table = Table::new(vec![
+        "point".into(),
+        "target_permille".into(),
+        "band".into(),
+        "sessions".into(),
+        "evicted_sessions".into(),
+        "readmitted_sessions".into(),
+        "evicted_windows".into(),
+        "pressure_degradations".into(),
+        "processed".into(),
+        "windows_per_sec".into(),
+    ]);
+    let mut json_points = Vec::new();
+    eprintln!("\nmemory-pressure sweep ({SHARDS} shards, {sessions} sessions, {rounds} rounds):");
+    for point in &POINTS {
+        // A fixed CI budget collapses the sweep to that budget at every
+        // labelled point; the bands then come from real usage alone.
+        let result = run_point(sessions, rounds, point.target_permille, fixed_budget);
+        let adm = &result.report.admission;
+        let per_sec = result.processed as f64 / result.elapsed_s;
+        let evicted_sessions = adm.sessions_evicted.total();
+        let readmitted = adm.sessions_readmitted.total();
+        let degradations = result.report.merged.mem.pressure_degradations;
+        eprintln!(
+            "  {:>9} ({:>4}permille): band {:?}, {} sessions evicted, {} windows bounced, \
+             {} ladder steps, {:>7.0} windows/s",
+            point.label,
+            point.target_permille,
+            result.band,
+            evicted_sessions,
+            result.evicted_windows,
+            degradations,
+            per_sec,
+        );
+        table.row(vec![
+            point.label.to_string(),
+            point.target_permille.to_string(),
+            format!("{:?}", result.band),
+            sessions.to_string(),
+            evicted_sessions.to_string(),
+            readmitted.to_string(),
+            result.evicted_windows.to_string(),
+            degradations.to_string(),
+            result.processed.to_string(),
+            format!("{per_sec:.1}"),
+        ]);
+        json_points.push(format!(
+            "    {{\n      \"point\": \"{}\",\n      \"target_permille\": {},\n      \
+             \"band\": \"{:?}\",\n      \"evicted_sessions\": {},\n      \
+             \"readmitted_sessions\": {},\n      \"evicted_windows\": {},\n      \
+             \"pressure_degradations\": {},\n      \"windows_per_sec\": {:.1},\n      \
+             \"accounted\": true\n    }}",
+            point.label,
+            point.target_permille,
+            result.band,
+            evicted_sessions,
+            readmitted,
+            result.evicted_windows,
+            degradations,
+            per_sec,
+        ));
+    }
+
+    if test_mode {
+        println!("test mode: skipping csv/json output");
+        return;
+    }
+
+    let csv_path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/benches/results/mem_pressure.csv"
+    );
+    table.write_csv(csv_path).expect("write mem sweep csv");
+    println!("wrote {csv_path}");
+
+    let json_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_mem_pressure.json");
+    let json = format!(
+        "{{\n  \"bench\": \"mem_pressure\",\n  \"unit\": \"windows_per_sec\",\n  \
+         \"shards\": {SHARDS},\n  \"sessions\": {sessions},\n  \"rounds_per_point\": {rounds},\n  \
+         \"points\": [\n{}\n  ]\n}}\n",
+        json_points.join(",\n")
+    );
+    std::fs::write(json_path, json).expect("write mem_pressure json");
+    println!("wrote {json_path}");
+}

@@ -285,6 +285,7 @@ impl Decoder {
                         )?;
                     }
                     NalType::Sps => return Err(CodecError::InvalidSyntax("nested sps")),
+                    NalType::Pps => return Err(CodecError::InvalidSyntax("nested pps")),
                 }
             }
         }
@@ -679,6 +680,14 @@ impl DecodeStream {
                 self.activity.parser_bits += bits;
                 self.sps = Some(sps);
             }
+            return Ok(());
+        }
+        if unit.nal_type == NalType::Pps {
+            // Same cache contract as the SPS: a byte-identical re-send is
+            // a hit, a changed PPS mid-stream is an error. This codec
+            // derives per-picture parameters from the SPS, so activation
+            // parses nothing — the unit is carried and validated only.
+            self.params.offer_pps(&unit.payload)?;
             return Ok(());
         }
         let Some(sps) = self.sps else {

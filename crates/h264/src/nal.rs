@@ -13,6 +13,11 @@ use crate::CodecError;
 pub enum NalType {
     /// Sequence parameter set (dimensions, QP, frame count).
     Sps,
+    /// Picture parameter set. This codec derives every per-picture
+    /// parameter from the SPS, so a PPS carries no syntax it parses — but
+    /// external streams repeat one in band, and the framing layer must
+    /// carry, cache and validate it like any parameter set.
+    Pps,
     /// IDR slice — an I frame; indispensable reference data.
     IdrSlice,
     /// Non-IDR predicted slice — a P frame.
@@ -22,12 +27,13 @@ pub enum NalType {
 }
 
 impl NalType {
-    /// Wire code (5-bit `nal_unit_type` field). SPS and IDR reuse the
-    /// H.264 codes (7 and 5); P and B use 1 and 2 so the Input Selector can
-    /// classify them from the header byte alone.
+    /// Wire code (5-bit `nal_unit_type` field). SPS, PPS and IDR reuse
+    /// the H.264 codes (7, 8 and 5); P and B use 1 and 2 so the Input
+    /// Selector can classify them from the header byte alone.
     pub fn code(self) -> u8 {
         match self {
             NalType::Sps => 7,
+            NalType::Pps => 8,
             NalType::IdrSlice => 5,
             NalType::PSlice => 1,
             NalType::BSlice => 2,
@@ -42,6 +48,7 @@ impl NalType {
     pub fn from_code(code: u8) -> Result<Self, CodecError> {
         match code {
             7 => Ok(NalType::Sps),
+            8 => Ok(NalType::Pps),
             5 => Ok(NalType::IdrSlice),
             1 => Ok(NalType::PSlice),
             2 => Ok(NalType::BSlice),
@@ -306,6 +313,7 @@ impl TypeStats {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StreamInfo {
     sps: TypeStats,
+    pps: TypeStats,
     idr: TypeStats,
     p: TypeStats,
     b: TypeStats,
@@ -325,6 +333,7 @@ impl StreamInfo {
         let units = split_annex_b(stream)?;
         let mut info = StreamInfo {
             sps: TypeStats::default(),
+            pps: TypeStats::default(),
             idr: TypeStats::default(),
             p: TypeStats::default(),
             b: TypeStats::default(),
@@ -336,6 +345,7 @@ impl StreamInfo {
             info.total_bytes += size;
             match unit.nal_type {
                 NalType::Sps => info.sps.record(size),
+                NalType::Pps => info.pps.record(size),
                 NalType::IdrSlice => info.idr.record(size),
                 NalType::PSlice => info.p.record(size),
                 NalType::BSlice => info.b.record(size),
@@ -351,6 +361,7 @@ impl StreamInfo {
     pub fn stats(&self, nal_type: NalType) -> TypeStats {
         match nal_type {
             NalType::Sps => self.sps,
+            NalType::Pps => self.pps,
             NalType::IdrSlice => self.idr,
             NalType::PSlice => self.p,
             NalType::BSlice => self.b,
@@ -419,6 +430,7 @@ mod tests {
     fn type_codes_round_trip() {
         for t in [
             NalType::Sps,
+            NalType::Pps,
             NalType::IdrSlice,
             NalType::PSlice,
             NalType::BSlice,
@@ -431,6 +443,7 @@ mod tests {
     #[test]
     fn droppability_matches_paper() {
         assert!(!NalType::Sps.is_droppable());
+        assert!(!NalType::Pps.is_droppable());
         assert!(!NalType::IdrSlice.is_droppable());
         assert!(NalType::PSlice.is_droppable());
         assert!(NalType::BSlice.is_droppable());

@@ -263,7 +263,8 @@ impl AnnexBScanner {
 /// previous slice, plus exactly one slice — one decodable picture.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AccessUnit {
-    /// The units, stream order: zero or more SPS then one slice.
+    /// The units, stream order: zero or more parameter sets (SPS/PPS)
+    /// then one slice.
     pub units: Vec<NalUnit>,
     /// Whether the slice is an IDR (a random-access/resync point).
     pub keyframe: bool,
@@ -286,7 +287,7 @@ impl AccessUnitAssembler {
     /// a slice.
     pub fn push(&mut self, unit: NalUnit) -> Option<AccessUnit> {
         let keyframe = unit.nal_type == NalType::IdrSlice;
-        if unit.nal_type == NalType::Sps {
+        if matches!(unit.nal_type, NalType::Sps | NalType::Pps) {
             self.pending.push(unit);
             return None;
         }
@@ -308,13 +309,14 @@ impl AccessUnitAssembler {
     }
 }
 
-/// Caches the stream's active parameter set so re-sent (in-band repeated)
-/// SPS units are recognized rather than re-activated: a byte-identical
-/// re-send is a cache hit, a *changed* SPS mid-stream is an error — this
-/// codec's streams are single-sequence.
+/// Caches the stream's active parameter sets so re-sent (in-band
+/// repeated) SPS/PPS units are recognized rather than re-activated: a
+/// byte-identical re-send is a cache hit, a *changed* parameter set
+/// mid-stream is an error — this codec's streams are single-sequence.
 #[derive(Debug, Clone, Default)]
 pub struct ParameterSetCache {
     sps: Option<Vec<u8>>,
+    pps: Option<Vec<u8>>,
     hits: u64,
 }
 
@@ -332,16 +334,40 @@ impl ParameterSetCache {
     /// [`CodecError::InvalidSyntax`] when the payload differs from the
     /// cached one.
     pub fn offer_sps(&mut self, payload: &[u8]) -> Result<bool, CodecError> {
-        match &self.sps {
+        Self::offer(&mut self.sps, &mut self.hits, payload, "sps")
+    }
+
+    /// Offers a PPS payload — same contract as
+    /// [`ParameterSetCache::offer_sps`]: first sight activates,
+    /// byte-identical re-sends hit, a changed payload is an error.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::InvalidSyntax`] when the payload differs from the
+    /// cached one.
+    pub fn offer_pps(&mut self, payload: &[u8]) -> Result<bool, CodecError> {
+        Self::offer(&mut self.pps, &mut self.hits, payload, "pps")
+    }
+
+    fn offer(
+        slot: &mut Option<Vec<u8>>,
+        hits: &mut u64,
+        payload: &[u8],
+        what: &'static str,
+    ) -> Result<bool, CodecError> {
+        match slot {
             None => {
-                self.sps = Some(payload.to_vec());
+                *slot = Some(payload.to_vec());
                 Ok(true)
             }
             Some(active) if active.as_slice() == payload => {
-                self.hits += 1;
+                *hits += 1;
                 Ok(false)
             }
-            Some(_) => Err(CodecError::InvalidSyntax("sps changed mid-stream")),
+            Some(_) => Err(CodecError::InvalidSyntax(match what {
+                "sps" => "sps changed mid-stream",
+                _ => "pps changed mid-stream",
+            })),
         }
     }
 
@@ -350,7 +376,12 @@ impl ParameterSetCache {
         self.sps.as_deref()
     }
 
-    /// Cache hits (re-sent identical parameter sets).
+    /// The active PPS payload, if one was offered.
+    pub fn active_pps(&self) -> Option<&[u8]> {
+        self.pps.as_deref()
+    }
+
+    /// Cache hits (re-sent identical parameter sets of either kind).
     pub fn hits(&self) -> u64 {
         self.hits
     }
@@ -530,5 +561,40 @@ mod tests {
         assert_eq!(cache.hits(), 1);
         assert_eq!(cache.active_sps(), Some(&[1u8, 2][..]));
         assert!(cache.offer_sps(&[9]).is_err());
+    }
+
+    #[test]
+    fn parameter_set_cache_treats_pps_like_sps() {
+        let mut cache = ParameterSetCache::new();
+        // First sight activates; the SPS slot is untouched.
+        assert!(cache.offer_pps(&[5, 6]).unwrap());
+        assert_eq!(cache.active_pps(), Some(&[5u8, 6][..]));
+        assert_eq!(cache.active_sps(), None);
+        // Byte-identical re-sends hit; SPS and PPS hits share the tally.
+        assert!(!cache.offer_pps(&[5, 6]).unwrap());
+        assert!(cache.offer_sps(&[1]).unwrap());
+        assert!(!cache.offer_sps(&[1]).unwrap());
+        assert_eq!(cache.hits(), 2);
+        // The slots are independent: a changed PPS errors even when the
+        // payload equals the active SPS.
+        assert_eq!(
+            cache.offer_pps(&[1]).unwrap_err(),
+            CodecError::InvalidSyntax("pps changed mid-stream")
+        );
+    }
+
+    #[test]
+    fn assembler_attaches_pps_to_the_next_slice() {
+        let mut asm = AccessUnitAssembler::new();
+        assert!(asm.push(NalUnit::new(NalType::Sps, vec![1])).is_none());
+        assert!(asm.push(NalUnit::new(NalType::Pps, vec![2])).is_none());
+        let au = asm
+            .push(NalUnit::new(NalType::IdrSlice, vec![3]))
+            .expect("slice closes the access unit");
+        assert!(au.keyframe);
+        assert_eq!(
+            au.units.iter().map(|u| u.nal_type).collect::<Vec<_>>(),
+            vec![NalType::Sps, NalType::Pps, NalType::IdrSlice]
+        );
     }
 }

@@ -8,8 +8,9 @@
 //! invisible to everything downstream.
 
 use h264::adaptive::{options_for_mode, paper_reference, ModeSwitchDriver};
-use h264::decoder::{DecodeOutput, Decoder};
+use h264::decoder::{DecodeOutput, Decoder, DecoderOptions};
 use h264::encoder::{Encoder, EncoderConfig, GopPattern};
+use h264::nal::{split_annex_b, write_annex_b, NalType, NalUnit};
 use h264::video::reference_clip;
 use h264::{AccessUnitAssembler, AnnexBScanner, ScannerConfig};
 
@@ -156,6 +157,54 @@ fn chunked_decode_matches_whole_buffer_on_damaged_streams() {
                 assert_outputs_equal(&format!("{name}/seed{seed}"), chunk, &got, &whole);
             }
         }
+    }
+}
+
+/// In-band PPS units ride the corpus streams transparently: an injected
+/// (and in-band repeated) PPS changes no decoded pixel, byte-identical
+/// re-sends are cache hits, and a *changed* PPS mid-stream is an error —
+/// the same contract the SPS has, under every chunking.
+#[test]
+fn injected_pps_is_cached_and_validated_like_sps() {
+    for (name, stream) in corpus() {
+        let mut units = split_annex_b(&stream).expect("corpus parses");
+        assert_eq!(units[0].nal_type, NalType::Sps);
+        // Inject the PPS right after the SPS and repeat it byte-identically
+        // mid-stream, as an external sender refreshing parameter sets does.
+        let pps = NalUnit::new(NalType::Pps, vec![0x1B, 0x00, 0x42]);
+        units.insert(1, pps.clone());
+        let mid = units.len() / 2;
+        units.insert(mid, pps.clone());
+        let with_pps = write_annex_b(&units);
+
+        let mut decoder = Decoder::new(DecoderOptions::default());
+        let clean = decoder.decode(&stream).expect("clean decode");
+        let whole = decoder.decode(&with_pps).expect("pps decode");
+        assert_eq!(whole.frames, clean.frames, "{name}: pps changed pixels");
+        for chunk in [1usize, 7, 256] {
+            let mut s = decoder.begin_stream();
+            for piece in with_pps.chunks(chunk) {
+                s.decode_chunk(piece).expect("chunk decode");
+            }
+            let got = s.finish().expect("finish");
+            assert_eq!(
+                got.frames, whole.frames,
+                "{name}: frames differ at chunk size {chunk}"
+            );
+        }
+
+        // A changed PPS mid-stream must be rejected, not silently adopted.
+        let changed_at = units
+            .iter()
+            .rposition(|u| u.nal_type == NalType::Pps)
+            .expect("pps present");
+        units[changed_at].payload.push(0x07);
+        let damaged = write_annex_b(&units);
+        let err = decoder.decode(&damaged).expect_err("changed pps");
+        assert!(
+            format!("{err:?}").contains("pps"),
+            "{name}: unexpected error {err:?}"
+        );
     }
 }
 

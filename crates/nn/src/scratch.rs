@@ -202,6 +202,20 @@ impl Scratch {
         self.alloc_events = 0;
         self.reuse_events = 0;
     }
+
+    /// Bytes currently held by the pools and the output slot (capacity, not
+    /// length — this is what the allocator actually retains). Memory-budget
+    /// accounting samples this only when [`Scratch::alloc_events`] changed,
+    /// so a steady-state window never pays for the walk.
+    pub fn pooled_bytes(&self) -> usize {
+        let f32_bytes: usize = self
+            .pool
+            .iter()
+            .map(|b| b.capacity() * std::mem::size_of::<f32>())
+            .sum();
+        let i8_bytes: usize = self.pool_i8.iter().map(|b| b.capacity()).sum();
+        f32_bytes + i8_bytes + self.out.capacity() * std::mem::size_of::<f32>()
+    }
 }
 
 #[cfg(test)]

@@ -58,6 +58,23 @@
 //! the CI chaos job diffs two invocations.
 //!
 //! `--sessions N` also parameterizes the plain demo (default 8 wearers).
+//!
+//! # Memory pressure and pacing
+//!
+//! ```text
+//! cargo run --release --example realtime_loop -- --chaos 42 --mem-budget 16000000
+//! cargo run --release --example realtime_loop -- --chaos 42 --stream-chunk 1500 --pace 33
+//! ```
+//!
+//! `--mem-budget <bytes>` attaches the memory-pressure governor: in chaos
+//! mode a seed-pure phantom staircase (`MemPressurePlan`) walks the budget
+//! through all four bands while the stage chaos runs, and the printed
+//! pressure walk + `affect_mem_*` series are part of the byte-stable
+//! transcript; in fleet mode the governor runs one eviction pass after the
+//! load and the admission ledger gains its eviction columns. `--pace <ms>`
+//! replays the wire segment rate-paced on the virtual clock — chunk k is
+//! released at `k × pace`, and the decode must stay byte-identical to the
+//! unpaced path.
 
 use std::sync::{Arc, Mutex};
 
@@ -107,11 +124,16 @@ impl Actuator for DeviceActuator {
 /// [`VirtualClock`] (no wall-clock latencies or deadline misses), a single
 /// worker per pool with one window in flight at a time (no batching races),
 /// and `affect-fault`'s pure-hash decisions (no RNG state).
-fn run_chaos(seed: u64, stream_chunk: Option<usize>) -> Result<(), Box<dyn std::error::Error>> {
+fn run_chaos(
+    seed: u64,
+    stream_chunk: Option<usize>,
+    mem_budget: Option<u64>,
+    pace_ms: Option<u64>,
+) -> Result<(), Box<dyn std::error::Error>> {
     use affectsys::biosignal::validate_samples;
     use affectsys::fault::{
-        apply_sensor_faults, corrupt_annex_b, FaultPlan, NalFaultConfig, RtFaultHook, SensorFault,
-        SensorFaultConfig, WireCorruptor,
+        apply_sensor_faults, corrupt_annex_b, FaultPlan, MemPressurePlan, NalFaultConfig,
+        RtFaultHook, SensorFault, SensorFaultConfig, WireCorruptor,
     };
     use affectsys::h264::decoder::{Decoder, DecoderOptions};
     use affectsys::h264::encoder::{Encoder, EncoderConfig, GopPattern};
@@ -126,7 +148,15 @@ fn run_chaos(seed: u64, stream_chunk: Option<usize>) -> Result<(), Box<dyn std::
     const TICK_NS: u64 = 50_000_000; // virtual time per window round
 
     silence_injected_panics();
-    println!("chaos run: seed {seed}, {SESSIONS} sessions × {WINDOWS} windows, lockstep");
+    match mem_budget {
+        Some(bytes) => println!(
+            "chaos run: seed {seed}, {SESSIONS} sessions × {WINDOWS} windows, lockstep, \
+             {bytes}-byte memory budget"
+        ),
+        None => {
+            println!("chaos run: seed {seed}, {SESSIONS} sessions × {WINDOWS} windows, lockstep")
+        }
+    }
 
     let config = RuntimeConfig {
         feature: FeatureConfig {
@@ -138,6 +168,7 @@ fn run_chaos(seed: u64, stream_chunk: Option<usize>) -> Result<(), Box<dyn std::
         },
         window_samples: WINDOW_SAMPLES,
         workers: 1,
+        memory_budget_bytes: mem_budget.unwrap_or(0),
         supervision: SupervisionConfig {
             restart_budget: u32::MAX,
             backoff_base_ms: 0,
@@ -159,11 +190,21 @@ fn run_chaos(seed: u64, stream_chunk: Option<usize>) -> Result<(), Box<dyn std::
         .fault_hook(Arc::clone(&hook) as Arc<dyn FaultHook>)
         .start()?;
 
+    // With a budget attached, a seed-pure phantom staircase walks the
+    // governor through all four pressure bands while the stage chaos
+    // runs — the same `(seed, tick)` hash stream as every other decision,
+    // so the printed pressure walk replays byte-identically too.
+    let pressure_plan = mem_budget.map(|bytes| MemPressurePlan::with_period(seed, bytes, 16));
+    let mem = Arc::clone(runtime.memory_budget());
+
     // Phase 1: sensor + stage chaos through the live loop, one window in
     // flight at a time so scheduling cannot perturb the outcome.
     let sensor_cfg = SensorFaultConfig::CHAOS;
     let (mut dropouts, mut saturated, mut nan_bursts) = (0u64, 0u64, 0u64);
     for w in 0..WINDOWS {
+        if let Some(plan) = &pressure_plan {
+            plan.apply(&mem, w);
+        }
         clock.advance(TICK_NS);
         for (i, &session) in sessions.iter().enumerate() {
             let mut window: Vec<f32> = (0..WINDOW_SAMPLES)
@@ -185,6 +226,11 @@ fn run_chaos(seed: u64, stream_chunk: Option<usize>) -> Result<(), Box<dyn std::
             runtime.submit(session, window);
             runtime.wait_idle();
         }
+    }
+    if pressure_plan.is_some() {
+        // Drop the phantom so the final snapshot reflects real usage.
+        mem.set_phantom(0);
+        mem.refresh();
     }
     let report = runtime.shutdown().report;
 
@@ -220,6 +266,41 @@ fn run_chaos(seed: u64, stream_chunk: Option<usize>) -> Result<(), Box<dyn std::
             injected.drops[i],
             injected.delays[i]
         );
+    }
+
+    if let Some(plan) = &pressure_plan {
+        use affectsys::rt::{MemConsumer, PressureBand};
+        println!(
+            "\npressure walk ({}-byte budget, {}-tick staircase):",
+            plan.budget_bytes(),
+            16
+        );
+        println!(
+            "  band transitions (green/yellow/red/critical): {} / {} / {} / {}",
+            report.mem.band_transitions[0],
+            report.mem.band_transitions[1],
+            report.mem.band_transitions[2],
+            report.mem.band_transitions[3],
+        );
+        println!(
+            "  {} pressure-triggered ladder steps, final band {:?}",
+            report.mem.pressure_degradations,
+            PressureBand::from_code(report.mem.band),
+        );
+        for consumer in MemConsumer::ALL {
+            println!(
+                "  {:>14}: {} bytes",
+                consumer.label(),
+                report.mem.used_by[consumer as usize]
+            );
+        }
+        println!("  memory metric series:");
+        let rendered = affectsys::obs::render_prometheus(&registry);
+        for line in rendered.lines() {
+            if !line.starts_with('#') && line.starts_with("affect_mem_") {
+                println!("    {line}");
+            }
+        }
     }
 
     // Phase 1b: a deterministic walk down the whole degradation ladder
@@ -437,6 +518,50 @@ fn run_chaos(seed: u64, stream_chunk: Option<usize>) -> Result<(), Box<dyn std::
         );
     }
 
+    if let Some(ms) = pace_ms {
+        // Phase 2d: rate-paced wire playback. The sender releases chunk k
+        // at `origin + k * pace` on the runtime clock; on a virtual clock
+        // the sleeps are deterministic jumps, so the printed timeline is
+        // part of the byte-stable transcript. The frames must match an
+        // unpaced decode exactly — pacing changes *when* chunks arrive,
+        // never what they decode to.
+        use affectsys::rt::{Clock as _, MemConsumer, WireConfig, WireSession};
+        let chunk = stream_chunk.unwrap_or(1500);
+        let pace_ns = ms * 1_000_000;
+        let clean = encoder.encode(&clip)?;
+        let wire_driver = ModeSwitchDriver::new(VideoPowerMode::Combined);
+        let whole = wire_driver.decode_segment(&clean)?;
+        let wire_clock = VirtualClock::new();
+        let mut wire = WireSession::new(WireConfig {
+            chunk_bytes: chunk,
+            pace_ns,
+            ..WireConfig::default()
+        });
+        if mem_budget.is_some() {
+            wire = wire.with_memory_budget(Arc::clone(&mem));
+        }
+        let (paced_out, wire_report) =
+            wire.ingest_segment_paced(&wire_driver, &clean, &wire_clock, |_, _| {})?;
+        assert_eq!(
+            paced_out.frames, whole.frames,
+            "paced decode diverged from whole-buffer"
+        );
+        println!(
+            "\npaced wire playback: {} chunks of {chunk} bytes at {ms} ms/chunk → \
+             {} frames over {} virtual ms, byte-identical to whole-buffer decode",
+            wire_report.chunks,
+            paced_out.frames.len(),
+            wire_clock.now_nanos() / 1_000_000,
+        );
+        if mem_budget.is_some() {
+            println!(
+                "  wire/decoder buffer charges released: {} / {} bytes held",
+                mem.used_by(MemConsumer::WireBuffers),
+                mem.used_by(MemConsumer::DecoderBuffers),
+            );
+        }
+    }
+
     // The fault-related metric series, so a diff of two runs covers the
     // observability path too.
     println!("\nfault metric series:");
@@ -467,6 +592,7 @@ fn run_fleet(
     sessions: usize,
     chaos_seed: Option<u64>,
     stream_chunk: Option<usize>,
+    mem_budget: Option<u64>,
 ) -> Result<(), Box<dyn std::error::Error>> {
     use affectsys::fault::{FaultPlan, NalFaultConfig, RtFaultHook, WireCorruptor};
     use affectsys::fleet::{
@@ -512,6 +638,7 @@ fn run_fleet(
             // past one tick keeps misses (and thus degradation churn)
             // deterministically at zero.
             deadline_ns: 100 * TICK_NS,
+            memory_budget_bytes: mem_budget.unwrap_or(0),
             supervision: SupervisionConfig {
                 restart_budget: u32::MAX,
                 backoff_base_ms: 0,
@@ -552,6 +679,16 @@ fn run_fleet(
     };
     drive_lockstep(&fleet, &clock, &plan);
     fleet.wait_idle();
+    if mem_budget.is_some() {
+        // One governor pass after the load: with a tight budget this
+        // evicts BestEffort (then Standard) sessions deterministically;
+        // a roomy one readmits. Either way the ledger below must balance.
+        let band = fleet.enforce_pressure();
+        println!(
+            "memory governor: worst shard band {band:?} under the {}-byte budget",
+            mem_budget.unwrap_or(0)
+        );
+    }
     let report = fleet.shutdown();
 
     println!("\nper-shard placement:");
@@ -576,17 +713,21 @@ fn run_fleet(
         assert!(s.accounted(), "window lost silently");
     }
 
-    println!("\nadmission ledger (offered = submitted + shed per tier):");
+    println!("\nadmission ledger (offered = submitted + shed + evicted per tier):");
     let a = &report.admission;
     for tier in QosTier::ALL {
         println!(
-            "  {:11}: {:3} sessions admitted, {:2} rejected, {:4} offered, {:4} submitted, {:3} shed",
+            "  {:11}: {:3} sessions admitted, {:2} rejected, {:4} offered, {:4} submitted, \
+             {:3} shed, {:3} evicted windows, {:2} sessions evicted, {:2} readmitted",
             tier.label(),
             a.admitted.get(tier),
             a.rejected.get(tier),
             a.offered.get(tier),
             a.submitted.get(tier),
-            a.shed.get(tier)
+            a.shed.get(tier),
+            a.evicted.get(tier),
+            a.sessions_evicted.get(tier),
+            a.sessions_readmitted.get(tier)
         );
     }
     assert!(report.accounted(), "fleet accounting broke");
@@ -686,6 +827,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ),
         None => None,
     };
+    let mem_budget: Option<u64> = match flag_value(&args, "--mem-budget") {
+        Some(v) => Some(
+            v.parse::<u64>()
+                .ok()
+                .filter(|&b| b > 0)
+                .ok_or("usage: realtime_loop --mem-budget <bytes>")?,
+        ),
+        None => None,
+    };
+    let pace_ms: Option<u64> = match flag_value(&args, "--pace") {
+        Some(v) => Some(
+            v.parse::<u64>()
+                .ok()
+                .filter(|&ms| ms > 0)
+                .ok_or("usage: realtime_loop --pace <ms>")?,
+        ),
+        None => None,
+    };
     if let Some(v) = flag_value(&args, "--fleet") {
         let shards: usize = v
             .parse()
@@ -695,10 +854,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             sessions_flag.unwrap_or(24),
             chaos_seed,
             stream_chunk,
+            mem_budget,
         );
     }
     if let Some(seed) = chaos_seed {
-        return run_chaos(seed, stream_chunk);
+        return run_chaos(seed, stream_chunk, mem_budget, pace_ms);
     }
 
     let sessions_n: usize = sessions_flag.unwrap_or(8);
